@@ -1,0 +1,18 @@
+// pghive: the PG-HIVE command-line interface. All logic lives in
+// src/cli/commands.h so it is unit-testable; this translation unit only
+// maps Status to exit codes.
+
+#include <iostream>
+
+#include "cli/args.h"
+#include "cli/commands.h"
+
+int main(int argc, char** argv) {
+  pghive::Args args = pghive::Args::Parse(argc, argv);
+  pghive::Status status = pghive::RunCliCommand(args, std::cout);
+  if (!status.ok()) {
+    std::cerr << "pghive: " << status << "\n";
+    return status.code() == pghive::StatusCode::kInvalidArgument ? 2 : 1;
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Shared helpers for the figure/table reproduction harnesses.
+//
+// Every bench binary prints the rows/series its paper counterpart plots.
+// The dataset scale (relative to the specs' laptop-scale defaults) can be
+// adjusted with the PGHIVE_SCALE environment variable (default 0.3 for the
+// sweep-heavy figures; each binary documents its own default).
+
+#ifndef PGHIVE_BENCH_BENCH_UTIL_H_
+#define PGHIVE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "eval/experiment.h"
+#include "eval/report.h"
+
+namespace pghive {
+namespace bench {
+
+inline double ScaleFromEnv(double default_scale) {
+  const char* env = std::getenv("PGHIVE_SCALE");
+  if (!env) return default_scale;
+  double v = std::atof(env);
+  return v > 0 ? v : default_scale;
+}
+
+/// The paper's evaluation grid.
+inline const std::vector<double>& NoiseLevels() {
+  static const std::vector<double> kLevels = {0.0, 0.1, 0.2, 0.3, 0.4};
+  return kLevels;
+}
+
+inline const std::vector<double>& LabelAvailabilities() {
+  static const std::vector<double> kLevels = {1.0, 0.5, 0.0};
+  return kLevels;
+}
+
+inline std::string Pct(double v) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%.0f%%", v * 100);
+  return buf;
+}
+
+inline std::string F3(double v) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+inline std::string Secs(double v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%.3fs", v);
+  return buf;
+}
+
+}  // namespace bench
+}  // namespace pghive
+
+#endif  // PGHIVE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,67 @@
+// Figure 4: F1*-scores across all noise levels (0-40%) and label
+// availabilities (100/50/0%), for all eight datasets and all four methods.
+// GMMSchema and SchemI only run at 100% label availability (they refuse
+// otherwise), exactly like in the paper's plots where their lines are
+// absent for 50% and 0%.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "datagen/noise.h"
+
+using namespace pghive;
+using namespace pghive::bench;
+
+int main() {
+  double scale = ScaleFromEnv(0.3);
+  ExperimentConfig config;
+  config.size_scale = scale;
+  std::printf("%s",
+              Banner("Figure 4: F1* vs noise x label availability (scale " +
+                     FormatDouble(scale, 2) + ")")
+                  .c_str());
+
+  for (const auto& spec : AllDatasetSpecs()) {
+    auto clean = GenerateForExperiment(spec, config);
+    if (!clean.ok()) {
+      std::fprintf(stderr, "%s\n", clean.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("\n### %s (%zu nodes, %zu edges)\n", spec.name.c_str(),
+                clean->num_nodes(), clean->num_edges());
+    TextTable table({"labels", "noise", "method", "node F1*", "edge F1*",
+                     "node F1* bar"});
+    for (double avail : LabelAvailabilities()) {
+      for (double noise : NoiseLevels()) {
+        NoiseOptions nopt;
+        nopt.property_removal = noise;
+        nopt.label_availability = avail;
+        auto g = InjectNoise(*clean, nopt).value();
+        for (Method m : AllMethods()) {
+          if (!MethodSupportsLabelAvailability(m, avail)) continue;
+          ExperimentResult r = RunMethod(g, m, config);
+          if (!r.ran) {
+            table.AddRow({Pct(avail), Pct(noise), MethodName(m), "refused",
+                          "refused", ""});
+            continue;
+          }
+          table.AddRow({Pct(avail), Pct(noise), MethodName(m),
+                        F3(r.node_f1.f1),
+                        r.has_edge_types ? F3(r.edge_f1.f1) : "-",
+                        AsciiBar(r.node_f1.f1)});
+        }
+        std::fprintf(stderr, ".");
+      }
+    }
+    std::printf("%s", table.ToString().c_str());
+  }
+  std::fprintf(stderr, "\n");
+
+  std::printf(
+      "\nPaper reference (Figure 4): PG-HIVE stays above ~0.9 under noise\n"
+      "with labels available and remains usable even at 0%% labels, where\n"
+      "GMMSchema and SchemI cannot run at all; GMMSchema degrades as noise\n"
+      "exceeds 20%%; SchemI trails on multi-label datasets (MB6, FIB25,\n"
+      "HET.IO, IYP).\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 5: execution time until type discovery on each dataset across
+// noise percentages (0-40%), 100% label availability. Post-processing is
+// excluded, matching the paper's timing boundary.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "datagen/noise.h"
+
+using namespace pghive;
+using namespace pghive::bench;
+
+int main() {
+  double scale = ScaleFromEnv(1.0);
+  ExperimentConfig config;
+  config.size_scale = scale;
+  std::printf("%s", Banner("Figure 5: time until type discovery (scale " +
+                           FormatDouble(scale, 2) + ")")
+                        .c_str());
+
+  TextTable table({"dataset", "noise", "ELSH", "MinHash", "GMMSchema",
+                   "SchemI"});
+  for (const auto& spec : AllDatasetSpecs()) {
+    auto clean = GenerateForExperiment(spec, config);
+    if (!clean.ok()) {
+      std::fprintf(stderr, "%s\n", clean.status().ToString().c_str());
+      return 1;
+    }
+    for (double noise : NoiseLevels()) {
+      NoiseOptions nopt;
+      nopt.property_removal = noise;
+      auto g = InjectNoise(*clean, nopt).value();
+      std::vector<std::string> row = {spec.name, Pct(noise)};
+      for (Method m : AllMethods()) {
+        ExperimentResult r = RunMethod(g, m, config);
+        row.push_back(r.ran ? Secs(r.seconds) : "refused");
+      }
+      table.AddRow(std::move(row));
+      std::fprintf(stderr, ".");
+    }
+  }
+  std::fprintf(stderr, "\n");
+  std::printf("%s", table.ToString().c_str());
+
+  std::printf(
+      "\nPaper reference (Figure 5): PG-HIVE's runtime is flat across noise\n"
+      "levels (O(N T D) hashing, §4.7); GMMSchema's cost grows with noise as\n"
+      "property distributions spread and EM works harder. NOTE: the paper's\n"
+      "1.95x PG-HIVE-vs-SchemI speedup compared a Spark implementation with\n"
+      "SchemI's research prototype; re-implemented on one substrate, SchemI's\n"
+      "simpler per-element work is cheaper at these scales (see\n"
+      "EXPERIMENTS.md).\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Figure 6: heatmaps of F1*-scores across datasets (100% labels, 0% noise)
+// for nodes and edges, sweeping the ELSH table count T and the alpha bucket
+// multiplier; the adaptive choice is marked with 'X'. Cells are rendered as
+// F1 deciles (0-9, '9' ~ [0.9, 1.0]).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/pipeline.h"
+#include "eval/f1.h"
+
+using namespace pghive;
+using namespace pghive::bench;
+
+namespace {
+
+char Decile(double f1) {
+  int d = static_cast<int>(f1 * 10.0);
+  if (d > 9) d = 9;
+  if (d < 0) d = 0;
+  return static_cast<char>('0' + d);
+}
+
+}  // namespace
+
+int main() {
+  double scale = ScaleFromEnv(0.3);
+  ExperimentConfig config;
+  config.size_scale = scale;
+  std::printf("%s", Banner("Figure 6: F1* over (T, alpha) for ELSH (scale " +
+                           FormatDouble(scale, 2) + ")")
+                        .c_str());
+
+  const std::vector<int> tables = {5, 10, 15, 20, 25, 30, 35};
+  const std::vector<double> alphas = {0.5, 0.8, 1.0, 1.2, 1.5, 2.0};
+
+  for (const auto& spec : AllDatasetSpecs()) {
+    auto g = GenerateForExperiment(spec, config);
+    if (!g.ok()) {
+      std::fprintf(stderr, "%s\n", g.status().ToString().c_str());
+      return 1;
+    }
+
+    // Adaptive run first: its (T, alpha) is the red X of the figure.
+    PipelineOptions adaptive_opt;
+    PgHivePipeline adaptive(adaptive_opt);
+    auto adaptive_schema = adaptive.DiscoverSchema(*g).value();
+    double adaptive_node_f1 = MajorityF1Nodes(*g, adaptive_schema).f1;
+    double adaptive_edge_f1 = MajorityF1Edges(*g, adaptive_schema).f1;
+    int ad_t = adaptive.last_diagnostics().node_params.num_tables;
+    double ad_a = adaptive.last_diagnostics().node_params.alpha;
+
+    std::printf("\n### %s  adaptive: T=%d alpha=%.1f  nodeF1=%.3f edgeF1=%.3f\n",
+                spec.name.c_str(), ad_t, ad_a, adaptive_node_f1,
+                adaptive_edge_f1);
+    std::printf("rows = alpha, cols = T %s; cell = F1 decile, X = adaptive\n",
+                "(5..35)");
+
+    // Sweep: override alpha and T while keeping the data-driven mu.
+    std::vector<std::string> node_rows, edge_rows;
+    for (double a : alphas) {
+      std::string node_row, edge_row;
+      for (int t : tables) {
+        PipelineOptions opt;
+        opt.adaptive_tuning.alpha_override = a;
+        opt.adaptive_tuning.tables_override = t;
+        PgHivePipeline pipeline(opt);
+        auto schema = pipeline.DiscoverSchema(*g).value();
+        double nf = MajorityF1Nodes(*g, schema).f1;
+        double ef = MajorityF1Edges(*g, schema).f1;
+        bool is_adaptive_cell =
+            t == ((ad_t + 2) / 5) * 5 && std::abs(a - ad_a) < 0.11;
+        node_row += is_adaptive_cell ? 'X' : Decile(nf);
+        edge_row += is_adaptive_cell ? 'X' : Decile(ef);
+        node_row += ' ';
+        edge_row += ' ';
+        std::fprintf(stderr, ".");
+      }
+      node_rows.push_back(node_row);
+      edge_rows.push_back(edge_row);
+    }
+    std::printf("%-8s %-16s %-16s\n", "alpha", "nodes (T ->)", "edges (T ->)");
+    for (size_t i = 0; i < alphas.size(); ++i) {
+      std::printf("%-8.1f %-16s %-16s\n", alphas[i], node_rows[i].c_str(),
+                  edge_rows[i].c_str());
+    }
+  }
+  std::fprintf(stderr, "\n");
+
+  std::printf(
+      "\nPaper reference (Figure 6): the adaptive choice lands in or near\n"
+      "the high-F1 region on most datasets; smaller alpha (narrower buckets)\n"
+      "over-separates patterns, which the merge step repairs (high F1),\n"
+      "while large alpha and T merge distinct patterns and lower F1. IYP is\n"
+      "the case where adaptive is not optimal but remains accurate.\n");
+  return 0;
+}

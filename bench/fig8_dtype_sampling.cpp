@@ -1,0 +1,120 @@
+// Figure 8: distribution of datatype-inference errors using sampling,
+// across datasets, for both clustering variants. For each discovered
+// (type, property), the sampling error is
+//     error(p) = (1/|S_p|) * sum_{v in S_p} 1( f(v) != f(D_p) )
+// where f(D_p) is the datatype inferred from a full scan and S_p a random
+// sample (10%, at least 1000 values). Errors are reported in the paper's
+// bins, normalized by the property count of the dataset.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "core/datatype_inference.h"
+#include "core/pipeline.h"
+
+using namespace pghive;
+using namespace pghive::bench;
+
+namespace {
+
+struct Bins {
+  // [0, 0.05), [0.05, 0.10), [0.10, 0.20), [0.20, 1.0]
+  size_t counts[4] = {0, 0, 0, 0};
+  size_t total = 0;
+
+  void Add(double error) {
+    ++total;
+    if (error < 0.05) ++counts[0];
+    else if (error < 0.10) ++counts[1];
+    else if (error < 0.20) ++counts[2];
+    else ++counts[3];
+  }
+};
+
+template <typename TypeVec, typename GetElem>
+void AccumulateErrors(const TypeVec& types, GetElem get, Rng* rng,
+                      Bins* bins) {
+  for (const auto& t : types) {
+    for (const auto& key : t.property_keys) {
+      std::vector<const Value*> values;
+      for (auto id : t.instances) {
+        const auto& props = get(id).properties;
+        auto it = props.find(key);
+        if (it != props.end()) values.push_back(&it->second);
+      }
+      if (values.empty()) continue;
+      DataType full = FoldValueTypes(values);
+      size_t want = std::max<size_t>(
+          std::min<size_t>(1000, values.size()),
+          static_cast<size_t>(0.10 * static_cast<double>(values.size())));
+      auto pick = rng->SampleWithoutReplacement(values.size(), want);
+      size_t mismatches = 0;
+      for (size_t idx : pick) {
+        if (values[idx]->type() != full) ++mismatches;
+      }
+      bins->Add(static_cast<double>(mismatches) /
+                static_cast<double>(pick.size()));
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  double scale = ScaleFromEnv(1.0);
+  ExperimentConfig config;
+  config.size_scale = scale;
+  std::printf("%s",
+              Banner("Figure 8: datatype sampling-error distribution "
+                     "(scale " +
+                     FormatDouble(scale, 2) + ")")
+                  .c_str());
+
+  for (ClusteringMethod method :
+       {ClusteringMethod::kElsh, ClusteringMethod::kMinHash}) {
+    std::printf("\n--- PG-HIVE-%s ---\n", ClusteringMethodName(method));
+    TextTable table({"dataset", "props", "[0,.05)", "[.05,.10)", "[.10,.20)",
+                     ">=.20"});
+    for (const auto& spec : AllDatasetSpecs()) {
+      auto g = GenerateForExperiment(spec, config);
+      if (!g.ok()) {
+        std::fprintf(stderr, "%s\n", g.status().ToString().c_str());
+        return 1;
+      }
+      PipelineOptions opt;
+      opt.method = method;
+      opt.post_process = false;
+      PgHivePipeline pipeline(opt);
+      auto schema = pipeline.DiscoverSchema(*g).value();
+
+      Rng rng(777);
+      Bins bins;
+      AccumulateErrors(schema.node_types,
+                       [&](NodeId id) -> const Node& { return g->node(id); },
+                       &rng, &bins);
+      AccumulateErrors(schema.edge_types,
+                       [&](EdgeId id) -> const Edge& { return g->edge(id); },
+                       &rng, &bins);
+
+      std::vector<std::string> row = {spec.name, std::to_string(bins.total)};
+      for (size_t b = 0; b < 4; ++b) {
+        double frac = bins.total ? static_cast<double>(bins.counts[b]) /
+                                       static_cast<double>(bins.total)
+                                 : 0.0;
+        row.push_back(F3(frac));
+      }
+      table.AddRow(std::move(row));
+      std::fprintf(stderr, ".");
+    }
+    std::printf("%s", table.ToString().c_str());
+  }
+  std::fprintf(stderr, "\n");
+
+  std::printf(
+      "\nPaper reference (Figure 8): most properties fall into the lowest\n"
+      "error bin; the outliers occur on the heterogeneous datasets (ICIJ,\n"
+      "CORD19, IYP) whose mixed value populations (INT with DOUBLE/STRING\n"
+      "outliers, DATE vs STRING) a small sample cannot fully reflect.\n");
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Headline claims: the paper's abstract quantifies PG-HIVE's advantage as
+// "up to 65% higher accuracy for nodes, 40% for edges, and 1.95x faster
+// execution". This harness computes the same aggregates over the full
+// evaluation grid of this reproduction: per test case, the margin of the
+// best PG-HIVE variant over the best runnable baseline, maximized (and
+// averaged) across cases.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "datagen/noise.h"
+
+using namespace pghive;
+using namespace pghive::bench;
+
+int main() {
+  double scale = ScaleFromEnv(0.3);
+  ExperimentConfig config;
+  config.size_scale = scale;
+  std::printf("%s", Banner("Headline claims over the full grid (scale " +
+                           FormatDouble(scale, 2) + ")")
+                        .c_str());
+
+  double max_node_gain = 0, max_edge_gain = 0, max_speedup = 0;
+  double sum_node_gain = 0, sum_edge_gain = 0, sum_speedup = 0;
+  size_t comparable_cases = 0, exclusive_cases = 0;
+  std::string max_node_case, max_edge_case, max_speed_case;
+
+  for (const auto& spec : AllDatasetSpecs()) {
+    auto clean = GenerateForExperiment(spec, config);
+    if (!clean.ok()) {
+      std::fprintf(stderr, "%s\n", clean.status().ToString().c_str());
+      return 1;
+    }
+    for (double avail : LabelAvailabilities()) {
+      for (double noise : NoiseLevels()) {
+        NoiseOptions nopt;
+        nopt.property_removal = noise;
+        nopt.label_availability = avail;
+        auto g = InjectNoise(*clean, nopt).value();
+
+        double hive_node = 0, hive_edge = 0, hive_time = 1e9;
+        for (Method m : {Method::kPgHiveElsh, Method::kPgHiveMinHash}) {
+          ExperimentResult r = RunMethod(g, m, config);
+          if (!r.ran) continue;
+          hive_node = std::max(hive_node, r.node_f1.f1);
+          hive_edge = std::max(hive_edge, r.edge_f1.f1);
+          hive_time = std::min(hive_time, r.seconds);
+        }
+        double base_node = -1, base_edge = -1, base_time = 1e9;
+        bool any_baseline = false;
+        for (Method m : {Method::kGmmSchema, Method::kSchemI}) {
+          if (!MethodSupportsLabelAvailability(m, avail)) continue;
+          ExperimentResult r = RunMethod(g, m, config);
+          if (!r.ran) continue;
+          any_baseline = true;
+          base_node = std::max(base_node, r.node_f1.f1);
+          if (r.has_edge_types) {
+            base_edge = std::max(base_edge, r.edge_f1.f1);
+          }
+          base_time = std::min(base_time, r.seconds);
+        }
+        std::fprintf(stderr, ".");
+        if (!any_baseline) {
+          ++exclusive_cases;  // only PG-HIVE produced a schema at all
+          continue;
+        }
+        ++comparable_cases;
+        std::string case_name = spec.name + " " + Pct(noise) + "noise/" +
+                                Pct(avail) + "lab";
+        double node_gain = (hive_node - base_node) * 100.0;
+        double edge_gain = base_edge >= 0 ? (hive_edge - base_edge) * 100.0
+                                          : 0.0;
+        double speedup = base_time / std::max(hive_time, 1e-9);
+        sum_node_gain += node_gain;
+        sum_edge_gain += edge_gain;
+        sum_speedup += speedup;
+        if (node_gain > max_node_gain) {
+          max_node_gain = node_gain;
+          max_node_case = case_name;
+        }
+        if (edge_gain > max_edge_gain) {
+          max_edge_gain = edge_gain;
+          max_edge_case = case_name;
+        }
+        if (speedup > max_speedup) {
+          max_speedup = speedup;
+          max_speed_case = case_name;
+        }
+      }
+    }
+  }
+  std::fprintf(stderr, "\n");
+
+  TextTable table({"claim", "paper", "measured", "at case"});
+  table.AddRow({"max node F1* gain vs best baseline", "up to +65 pts",
+                "+" + FormatDouble(max_node_gain, 1) + " pts",
+                max_node_case});
+  table.AddRow({"max edge F1* gain vs best baseline", "up to +40 pts",
+                "+" + FormatDouble(max_edge_gain, 1) + " pts",
+                max_edge_case});
+  table.AddRow({"max speedup vs slowest baseline", "up to 1.95x",
+                FormatDouble(max_speedup, 2) + "x", max_speed_case});
+  table.AddRow({"mean node F1* gain (comparable cases)", "-",
+                "+" + FormatDouble(sum_node_gain / comparable_cases, 1) +
+                    " pts",
+                std::to_string(comparable_cases) + " cases"});
+  table.AddRow({"mean edge F1* gain (comparable cases)", "-",
+                "+" + FormatDouble(sum_edge_gain / comparable_cases, 1) +
+                    " pts",
+                ""});
+  table.AddRow({"cases only PG-HIVE can process", "-",
+                std::to_string(exclusive_cases) + " of " +
+                    std::to_string(exclusive_cases + comparable_cases),
+                "50%/0% label availability"});
+  std::printf("%s", table.ToString().c_str());
+
+  std::printf(
+      "\nNotes: gains are measured only where a baseline runs (100%% label\n"
+      "availability); at 50%%/0%% labels the baselines refuse, which is the\n"
+      "paper's strongest claim. The runtime ratio reflects GMMSchema (see\n"
+      "EXPERIMENTS.md: the SchemI prototype ratio does not transfer across\n"
+      "substrates).\n");
+  return 0;
+}

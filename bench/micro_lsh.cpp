@@ -1,0 +1,110 @@
+// Microbenchmarks (google-benchmark) for the LSH substrate: hashing
+// throughput and its scaling in dimension / table count / set size, plus
+// the union-find clustering pass. These are the ablation measurements
+// behind the O(N T D) efficiency analysis of §4.7.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "cluster/lsh_clusterer.h"
+#include "common/random.h"
+#include "lsh/euclidean_lsh.h"
+#include "lsh/minhash_lsh.h"
+
+namespace pghive {
+namespace {
+
+std::vector<std::vector<float>> RandomVectors(size_t n, size_t dim,
+                                              uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<float>> out(n, std::vector<float>(dim));
+  for (auto& v : out) {
+    for (auto& x : v) x = static_cast<float>(rng.Normal());
+  }
+  return out;
+}
+
+void BM_ElshHash(benchmark::State& state) {
+  size_t dim = static_cast<size_t>(state.range(0));
+  int tables = static_cast<int>(state.range(1));
+  EuclideanLshOptions opt;
+  opt.num_tables = tables;
+  auto lsh = EuclideanLsh::Create(dim, opt).value();
+  auto vectors = RandomVectors(256, dim, 1);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lsh.Hash(vectors[i++ & 255]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ElshHash)
+    ->Args({16, 10})
+    ->Args({64, 10})
+    ->Args({256, 10})
+    ->Args({64, 5})
+    ->Args({64, 20})
+    ->Args({64, 35});
+
+void BM_MinHashSignature(benchmark::State& state) {
+  size_t set_size = static_cast<size_t>(state.range(0));
+  int hashes = static_cast<int>(state.range(1));
+  MinHashLshOptions opt;
+  opt.num_hashes = hashes;
+  opt.rows_per_band = 4;
+  auto lsh = MinHashLsh::Create(opt).value();
+  std::vector<std::string> tokens;
+  for (size_t i = 0; i < set_size; ++i) {
+    tokens.push_back("prop:key_" + std::to_string(i));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lsh.Signature(tokens));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MinHashSignature)
+    ->Args({4, 32})
+    ->Args({16, 32})
+    ->Args({64, 32})
+    ->Args({16, 8})
+    ->Args({16, 128});
+
+void BM_ClusterByBucketKeys(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  // ~32 distinct bucket populations, 12 tables each.
+  Rng rng(7);
+  std::vector<std::vector<uint64_t>> keys(n);
+  for (auto& k : keys) {
+    uint64_t base = rng.UniformU32(32);
+    for (int t = 0; t < 12; ++t) {
+      k.push_back(base * 1000 + static_cast<uint64_t>(t));
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ClusterByBucketKeys(keys));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ClusterByBucketKeys)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_ElshEndToEndLinear(benchmark::State& state) {
+  // Demonstrates the O(N) scaling of hash-then-cluster (§4.7).
+  size_t n = static_cast<size_t>(state.range(0));
+  auto vectors = RandomVectors(n, 48, 3);
+  EuclideanLshOptions opt;
+  opt.bucket_length = 2.0;
+  auto lsh = EuclideanLsh::Create(48, opt).value();
+  for (auto _ : state) {
+    std::vector<std::vector<uint64_t>> keys;
+    keys.reserve(n);
+    for (const auto& v : vectors) keys.push_back(lsh.Hash(v));
+    benchmark::DoNotOptimize(ClusterByBucketKeys(keys));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ElshEndToEndLinear)->Arg(1000)->Arg(4000)->Arg(16000);
+
+}  // namespace
+}  // namespace pghive
+
+BENCHMARK_MAIN();

@@ -1,0 +1,131 @@
+// Data-steward scenario: watch a growing graph for schema drift.
+//
+// Day 0: discover a schema, save it. Each following "day" new data arrives
+// (with drifting structure); the steward validates the new batch against
+// yesterday's schema, inspects the violations, re-discovers, and diffs the
+// schemas to see exactly what changed. Exercises validation, diffing and
+// JSON persistence end to end.
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/pipeline.h"
+#include "core/schema_diff.h"
+#include "core/schema_json.h"
+#include "core/validation.h"
+#include "datagen/generator.h"
+#include "graph/graph_builder.h"
+
+using namespace pghive;
+
+namespace {
+
+// Day 0: a small product catalog.
+PropertyGraph Day0() {
+  GraphBuilder b;
+  Rng rng(1);
+  std::vector<NodeId> products, customers;
+  for (int i = 0; i < 40; ++i) {
+    products.push_back(b.Node(
+        {"Product"},
+        {{"sku", Value::String("sku_" + std::to_string(i))},
+         {"price", Value::Double(10.0 + i)}},
+        "Product"));
+  }
+  for (int i = 0; i < 30; ++i) {
+    customers.push_back(b.Node(
+        {"Customer"},
+        {{"name", Value::String("c" + std::to_string(i))},
+         {"joined", Value::Date("2024-01-15")}},
+        "Customer"));
+  }
+  PropertyGraph g = std::move(b).Build();
+  for (int i = 0; i < 80; ++i) {
+    NodeId c = customers[rng.UniformU32(customers.size())];
+    NodeId p = products[rng.UniformU32(products.size())];
+    (void)g.AddEdge(c, p, {"BOUGHT"},
+                    {{"at", Value::Timestamp("2024-02-01T10:00:00")}},
+                    "BOUGHT");
+  }
+  return g;
+}
+
+// Day 1: new data drifts — products gain a "discount" property, a new
+// Review node type appears, and one price arrives as a string.
+PropertyGraph Day1() {
+  GraphBuilder b;
+  Rng rng(2);
+  std::vector<NodeId> products, customers, reviews;
+  for (int i = 0; i < 20; ++i) {
+    products.push_back(b.Node(
+        {"Product"},
+        {{"sku", Value::String("sku_n" + std::to_string(i))},
+         {"price", i == 0 ? Value::String("call us")   // dirty record
+                          : Value::Double(20.0 + i)},
+         {"discount", Value::Double(0.1)}},
+        "Product"));
+  }
+  for (int i = 0; i < 10; ++i) {
+    customers.push_back(b.Node(
+        {"Customer"},
+        {{"name", Value::String("n" + std::to_string(i))},
+         {"joined", Value::Date("2024-03-01")}},
+        "Customer"));
+  }
+  for (int i = 0; i < 15; ++i) {
+    reviews.push_back(b.Node(
+        {"Review"},
+        {{"stars", Value::Int(1 + static_cast<int>(rng.UniformU32(5)))},
+         {"text", Value::String("...")}},
+        "Review"));
+  }
+  PropertyGraph g = std::move(b).Build();
+  for (int i = 0; i < 30; ++i) {
+    NodeId c = customers[rng.UniformU32(customers.size())];
+    NodeId p = products[rng.UniformU32(products.size())];
+    (void)g.AddEdge(c, p, {"BOUGHT"}, {}, "BOUGHT");
+  }
+  for (size_t i = 0; i < reviews.size(); ++i) {
+    (void)g.AddEdge(reviews[i], products[rng.UniformU32(products.size())],
+                    {"REVIEWS"}, {}, "REVIEWS");
+  }
+  return g;
+}
+
+}  // namespace
+
+int main() {
+  // Day 0: discover and persist the baseline schema.
+  PropertyGraph day0 = Day0();
+  PgHivePipeline pipeline;
+  auto baseline = pipeline.DiscoverSchema(day0);
+  if (!baseline.ok()) {
+    std::cerr << baseline.status() << "\n";
+    return 1;
+  }
+  std::printf("day 0: %s\n", SchemaSummary(*baseline).c_str());
+  if (auto s = SaveSchemaJson(*baseline, "catalog_schema.json"); !s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+  std::printf("saved baseline to catalog_schema.json\n\n");
+
+  // Day 1: screen the incoming batch against the baseline (STRICT).
+  PropertyGraph day1 = Day1();
+  ValidationOptions strict;
+  strict.mode = ValidationMode::kStrict;
+  strict.max_violations = 8;
+  ValidationReport report = ValidateGraph(day1, *baseline, strict);
+  std::printf("day 1 batch screened against baseline:\n%s\n\n",
+              report.Summary().c_str());
+
+  // Accept the drift: re-discover on the new batch and diff.
+  auto evolved = pipeline.DiscoverSchema(day1);
+  if (!evolved.ok()) {
+    std::cerr << evolved.status() << "\n";
+    return 1;
+  }
+  SchemaDiff diff = DiffSchemas(*baseline, *evolved);
+  std::printf("schema drift day0 -> day1:\n%s", diff.ToString().c_str());
+  return 0;
+}

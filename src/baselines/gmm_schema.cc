@@ -1,0 +1,170 @@
+#include "baselines/gmm_schema.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <unordered_map>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "ml/gmm.h"
+#include "text/hash_embedder.h"
+
+namespace pghive {
+
+namespace {
+
+// Builds the GMMSchema node vectors: label-token embedding followed by the
+// property-presence indicators over the global node key space.
+std::vector<std::vector<double>> BuildVectors(
+    const PropertyGraph& g, const GmmSchemaOptions& options) {
+  std::vector<std::string> keys = g.NodePropertyKeys();
+  std::unordered_map<std::string, size_t> key_index;
+  for (size_t i = 0; i < keys.size(); ++i) key_index.emplace(keys[i], i);
+
+  const size_t d =
+      options.label_dimension > 0 ? static_cast<size_t>(options.label_dimension)
+                                  : 0;
+  HashEmbedder embedder(std::max(options.label_dimension, 1), options.seed);
+  std::vector<std::vector<double>> vectors;
+  vectors.reserve(g.num_nodes());
+  for (const auto& n : g.nodes()) {
+    std::vector<double> v(d + keys.size(), 0.0);
+    if (d > 0) {
+      auto emb = embedder.Embed(CanonicalLabelToken(n.labels));
+      for (size_t i = 0; i < d; ++i) v[i] = emb[i];
+    }
+    for (const auto& [k, val] : n.properties) {
+      v[d + key_index.at(k)] = 1.0;
+    }
+    vectors.push_back(std::move(v));
+  }
+  return vectors;
+}
+
+}  // namespace
+
+Result<SchemaGraph> RunGmmSchema(const PropertyGraph& g,
+                                 const GmmSchemaOptions& options) {
+  if (g.num_nodes() == 0) {
+    return Status::InvalidArgument("GMMSchema: empty graph");
+  }
+  // GMMSchema assumes fully labeled datasets (paper §2, limitation (ii)).
+  std::set<std::string> label_tokens;
+  for (const auto& n : g.nodes()) {
+    if (n.labels.empty()) {
+      return Status::FailedPrecondition(
+          "GMMSchema requires a fully labeled dataset (found an unlabeled "
+          "node)");
+    }
+    label_tokens.insert(CanonicalLabelToken(n.labels));
+  }
+
+  std::vector<std::vector<double>> vectors = BuildVectors(g, options);
+
+  // Optional sampling for large graphs (limitation (iv)).
+  Rng rng(options.seed, 0x6d6d);
+  std::vector<size_t> fit_indices;
+  if (options.sample_size > 0 && vectors.size() > options.sample_size) {
+    fit_indices =
+        rng.SampleWithoutReplacement(vectors.size(), options.sample_size);
+  } else {
+    fit_indices.resize(vectors.size());
+    for (size_t i = 0; i < vectors.size(); ++i) fit_indices[i] = i;
+  }
+  std::vector<std::vector<double>> fit_points;
+  fit_points.reserve(fit_indices.size());
+  for (size_t i : fit_indices) fit_points.push_back(vectors[i]);
+
+  // Level 1: BIC-selected GMM around the label-token count.
+  int k_hint = static_cast<int>(label_tokens.size());
+  int k_max = std::min(options.k_max_cap,
+                       std::max(2, static_cast<int>(options.k_factor *
+                                                    k_hint)));
+  int k_min = std::max(1, k_hint / 2);
+  if (k_min > k_max) k_min = k_max;
+  GmmOptions gmm_opt;
+  gmm_opt.seed = options.seed;
+  // Coarse BIC grid: at most bic_candidates model orders over [k_min,
+  // k_max], always including both endpoints.
+  GmmModel level1;
+  {
+    double best_bic = std::numeric_limits<double>::infinity();
+    int candidates = std::max(1, options.bic_candidates);
+    int span = k_max - k_min;
+    int step = std::max(1, (span + candidates - 1) / std::max(1, candidates - 1));
+    bool have = false;
+    for (int k = k_min; k <= k_max; k += step) {
+      int kk = std::min(k, k_max);
+      PGHIVE_ASSIGN_OR_RETURN(GmmModel model, FitGmm(fit_points, kk, gmm_opt));
+      double bic = model.Bic(fit_points.size());
+      if (!have || bic < best_bic) {
+        level1 = std::move(model);
+        best_bic = bic;
+        have = true;
+      }
+      if (kk == k_max) break;
+    }
+    if (k_min != k_max && (k_max - k_min) % step != 0) {
+      PGHIVE_ASSIGN_OR_RETURN(GmmModel model,
+                              FitGmm(fit_points, k_max, gmm_opt));
+      if (model.Bic(fit_points.size()) < best_bic) level1 = std::move(model);
+    }
+  }
+
+  // Assign all nodes (not just the fitted sample).
+  std::vector<int> assignment(vectors.size());
+  for (size_t i = 0; i < vectors.size(); ++i) {
+    assignment[i] = level1.Predict(vectors[i]);
+  }
+
+  // Level 2: hierarchical refinement of each component when BIC improves.
+  std::vector<std::vector<size_t>> components(level1.num_components());
+  for (size_t i = 0; i < vectors.size(); ++i) {
+    components[assignment[i]].push_back(i);
+  }
+  std::vector<std::vector<size_t>> final_clusters;
+  for (auto& comp : components) {
+    if (comp.empty()) continue;
+    if (comp.size() < 40 || options.refine_k_max < 2) {
+      final_clusters.push_back(std::move(comp));
+      continue;
+    }
+    std::vector<std::vector<double>> pts;
+    pts.reserve(comp.size());
+    for (size_t i : comp) pts.push_back(vectors[i]);
+    auto one = FitGmm(pts, 1, gmm_opt);
+    auto multi = FitGmmBic(pts, 2, options.refine_k_max, gmm_opt);
+    if (one.ok() && multi.ok() &&
+        multi->Bic(pts.size()) + 1e-9 < one->Bic(pts.size())) {
+      std::vector<std::vector<size_t>> subs(multi->num_components());
+      for (size_t j = 0; j < comp.size(); ++j) {
+        subs[multi->Predict(pts[j])].push_back(comp[j]);
+      }
+      for (auto& sub : subs) {
+        if (!sub.empty()) final_clusters.push_back(std::move(sub));
+      }
+    } else {
+      final_clusters.push_back(std::move(comp));
+    }
+  }
+
+  // Materialize node types (union representatives, as in PG-HIVE's
+  // evaluation protocol). GMMSchema yields no edge types.
+  SchemaGraph schema;
+  for (const auto& cluster : final_clusters) {
+    SchemaNodeType t;
+    for (size_t i : cluster) {
+      const Node& n = g.node(i);
+      t.labels.insert(n.labels.begin(), n.labels.end());
+      for (const auto& [k, v] : n.properties) t.property_keys.insert(k);
+      t.instances.push_back(i);
+    }
+    t.name = "GMM_" + std::to_string(schema.node_types.size()) + "_" +
+             CanonicalLabelToken(t.labels);
+    schema.node_types.push_back(std::move(t));
+  }
+  return schema;
+}
+
+}  // namespace pghive

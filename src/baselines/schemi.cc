@@ -1,0 +1,175 @@
+#include "baselines/schemi.h"
+
+#include <map>
+#include <set>
+
+#include "cluster/cluster.h"
+#include "core/pattern.h"
+
+namespace pghive {
+
+namespace {
+
+// The label SchemI flattens a multi-label element onto: the alphabetically
+// first label (std::set iterates in sorted order).
+const std::string& PrimaryLabel(const std::set<std::string>& labels) {
+  return *labels.begin();
+}
+
+// One saturated pattern of the evolving type graph.
+struct SaturatedNodePattern {
+  NodePattern pattern;
+  std::vector<NodeId> instances;
+};
+
+struct SaturatedEdgePattern {
+  EdgePattern pattern;
+  std::vector<EdgeId> instances;
+};
+
+bool IsSubset(const std::set<std::string>& sub,
+              const std::set<std::string>& super) {
+  if (sub.size() > super.size()) return false;
+  for (const auto& x : sub) {
+    if (!super.count(x)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<SchemaGraph> RunSchemI(const PropertyGraph& g,
+                              const SchemIOptions& options) {
+  if (g.num_nodes() == 0) {
+    return Status::InvalidArgument("SchemI: empty graph");
+  }
+  for (const auto& n : g.nodes()) {
+    if (n.labels.empty()) {
+      return Status::FailedPrecondition(
+          "SchemI requires complete type label declarations (found an "
+          "unlabeled node)");
+    }
+  }
+  for (const auto& e : g.edges()) {
+    if (e.labels.empty()) {
+      return Status::FailedPrecondition(
+          "SchemI requires complete type label declarations (found an "
+          "unlabeled edge)");
+    }
+  }
+
+  // --- Saturation: fold every instance into the type graph one at a time.
+  // Following the published algorithm's structure, each instance's pattern
+  // is compared against the already-materialized patterns by walking the
+  // label/property sets (graph-morphism style folding; no hashing or
+  // vectorization — this linear probe is what dominates SchemI's runtime
+  // and why it grows with the pattern count, i.e. with noise).
+  std::vector<SaturatedNodePattern> node_patterns;
+  for (const auto& n : g.nodes()) {
+    NodePattern p = PatternOf(n);
+    bool folded = false;
+    for (auto& existing : node_patterns) {
+      if (existing.pattern.labels == p.labels &&
+          existing.pattern.property_keys == p.property_keys) {
+        existing.instances.push_back(n.id);
+        folded = true;
+        break;
+      }
+    }
+    if (!folded) {
+      node_patterns.push_back({std::move(p), {n.id}});
+    }
+  }
+  std::vector<SaturatedEdgePattern> edge_patterns;
+  for (const auto& e : g.edges()) {
+    EdgePattern p = PatternOf(g, e);
+    bool folded = false;
+    for (auto& existing : edge_patterns) {
+      if (existing.pattern == p) {
+        existing.instances.push_back(e.id);
+        folded = true;
+        break;
+      }
+    }
+    if (!folded) {
+      edge_patterns.push_back({std::move(p), {e.id}});
+    }
+  }
+
+  // --- Subtype relations: SchemI also infers a type hierarchy, relating
+  // every pair of patterns by label-set and property-set inclusion (the
+  // O(P^2) pass the original performs during saturation).
+  size_t subtype_relations = 0;
+  for (size_t i = 0; i < node_patterns.size(); ++i) {
+    for (size_t j = 0; j < node_patterns.size(); ++j) {
+      if (i == j) continue;
+      const auto& a = node_patterns[i].pattern;
+      const auto& b = node_patterns[j].pattern;
+      if (IsSubset(a.labels, b.labels) &&
+          JaccardSimilarity(a.property_keys, b.property_keys) >=
+              options.pattern_similarity) {
+        ++subtype_relations;
+      }
+    }
+  }
+  for (size_t i = 0; i < edge_patterns.size(); ++i) {
+    for (size_t j = 0; j < edge_patterns.size(); ++j) {
+      if (i == j) continue;
+      const auto& a = edge_patterns[i].pattern;
+      const auto& b = edge_patterns[j].pattern;
+      if (IsSubset(a.labels, b.labels) &&
+          JaccardSimilarity(a.property_keys, b.property_keys) >=
+              options.pattern_similarity) {
+        ++subtype_relations;
+      }
+    }
+  }
+  (void)subtype_relations;  // hierarchy metadata; membership is below
+
+  // --- Type formation: one type per distinct individual (primary) label;
+  // multi-labeled patterns flatten onto one label, which is exactly where
+  // the method loses accuracy on multi-label datasets (PG-HIVE paper §2).
+  SchemaGraph schema;
+  std::map<std::string, size_t> node_type_index;
+  for (const auto& sp : node_patterns) {
+    const std::string& label = PrimaryLabel(sp.pattern.labels);
+    auto [it, inserted] =
+        node_type_index.emplace(label, schema.node_types.size());
+    if (inserted) {
+      SchemaNodeType t;
+      t.name = label;
+      schema.node_types.push_back(std::move(t));
+    }
+    SchemaNodeType& t = schema.node_types[it->second];
+    t.labels.insert(sp.pattern.labels.begin(), sp.pattern.labels.end());
+    t.property_keys.insert(sp.pattern.property_keys.begin(),
+                           sp.pattern.property_keys.end());
+    t.instances.insert(t.instances.end(), sp.instances.begin(),
+                       sp.instances.end());
+  }
+
+  std::map<std::string, size_t> edge_type_index;
+  for (const auto& sp : edge_patterns) {
+    const std::string& label = PrimaryLabel(sp.pattern.labels);
+    auto [it, inserted] =
+        edge_type_index.emplace(label, schema.edge_types.size());
+    if (inserted) {
+      SchemaEdgeType t;
+      t.name = label;
+      schema.edge_types.push_back(std::move(t));
+    }
+    SchemaEdgeType& t = schema.edge_types[it->second];
+    t.labels.insert(sp.pattern.labels.begin(), sp.pattern.labels.end());
+    t.property_keys.insert(sp.pattern.property_keys.begin(),
+                           sp.pattern.property_keys.end());
+    t.source_labels.insert(sp.pattern.source_labels.begin(),
+                           sp.pattern.source_labels.end());
+    t.target_labels.insert(sp.pattern.target_labels.begin(),
+                           sp.pattern.target_labels.end());
+    t.instances.insert(t.instances.end(), sp.instances.begin(),
+                       sp.instances.end());
+  }
+  return schema;
+}
+
+}  // namespace pghive

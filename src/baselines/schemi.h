@@ -1,0 +1,39 @@
+// SchemI baseline (Lbath, Bonifati & Harmer, EDBT 2021), re-implemented
+// from its published description.
+//
+// SchemI assumes completely labeled data and derives types from labels: each
+// distinct individual label is a type (PG-HIVE paper §2: "approaches like
+// [SchemI] treat each distinct label as a separate type, while several
+// datasets define types by sets of co-occurring labels"). A multi-labeled
+// node is flattened onto one of its labels (deterministically, the
+// alphabetically first), which is exactly where the method loses accuracy on
+// multi-label datasets. Edge types are keyed by the edge label alone, so
+// same-label edges with different endpoint types collapse. A saturation
+// phase aggregates the per-instance patterns of every type (property unions,
+// endpoint sets, pairwise pattern comparisons) to build the type hierarchy,
+// which dominates its runtime.
+
+#ifndef PGHIVE_BASELINES_SCHEMI_H_
+#define PGHIVE_BASELINES_SCHEMI_H_
+
+#include "common/result.h"
+#include "core/schema.h"
+#include "graph/property_graph.h"
+
+namespace pghive {
+
+struct SchemIOptions {
+  /// Pattern-similarity threshold used during the saturation phase when
+  /// relating patterns of the same type (hierarchy construction).
+  double pattern_similarity = 0.5;
+};
+
+/// Runs SchemI. Fails with FailedPrecondition when any node or edge is
+/// unlabeled. Returns node and edge types (no constraints/cardinalities —
+/// SchemI does not model them, Table 1).
+Result<SchemaGraph> RunSchemI(const PropertyGraph& g,
+                              const SchemIOptions& options = {});
+
+}  // namespace pghive
+
+#endif  // PGHIVE_BASELINES_SCHEMI_H_

@@ -1,0 +1,306 @@
+#include "cli/commands.h"
+
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/string_util.h"
+#include "core/incremental.h"
+#include "core/label_alias.h"
+#include "core/pipeline.h"
+#include "core/schema_diff.h"
+#include "core/pgschema_parser.h"
+#include "core/schema_json.h"
+#include "core/serialization.h"
+#include "core/validation.h"
+#include "datagen/datasets.h"
+#include "datagen/generator.h"
+#include "datagen/noise.h"
+#include "eval/f1.h"
+#include "graph/csv_io.h"
+#include "graph/graph_stats.h"
+
+namespace pghive {
+
+namespace {
+
+Result<PropertyGraph> LoadPrefix(const std::string& prefix) {
+  auto g = LoadGraphCsv(prefix);
+  if (!g.ok()) {
+    return Status(g.status().code(),
+                  "cannot load graph '" + prefix + "': " +
+                      g.status().message());
+  }
+  return g;
+}
+
+// Applies a --aliases file (alias=canonical lines) to the loaded graph, so
+// inconsistent label vocabularies integrate before discovery.
+Result<PropertyGraph> MaybeApplyAliases(const Args& args, PropertyGraph g) {
+  if (!args.Has("aliases")) return g;
+  PGHIVE_ASSIGN_OR_RETURN(std::string text,
+                          ReadFile(args.GetString("aliases")));
+  PGHIVE_ASSIGN_OR_RETURN(AliasTable table, AliasTable::FromText(text));
+  return ApplyAliases(g, table);
+}
+
+Result<PipelineOptions> PipelineOptionsFromArgs(const Args& args) {
+  PipelineOptions opt;
+  std::string method = ToLower(args.GetString("method", "elsh"));
+  if (method == "elsh") {
+    opt.method = ClusteringMethod::kElsh;
+  } else if (method == "minhash") {
+    opt.method = ClusteringMethod::kMinHash;
+  } else {
+    return Status::InvalidArgument("unknown --method '" + method +
+                                   "' (elsh|minhash)");
+  }
+  double theta = args.GetDouble("theta", 0.9);
+  if (theta < 0.0 || theta > 1.0) {
+    return Status::InvalidArgument("--theta must be in [0,1]");
+  }
+  opt.extraction.jaccard_threshold = theta;
+  opt.post_process = !args.GetBool("no-post", false);
+  opt.datatypes.sample = args.GetBool("sample-datatypes", false);
+  opt.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  if (args.Has("bucket")) {
+    opt.adaptive_parameters = false;
+    opt.elsh.bucket_length = args.GetDouble("bucket", 1.0);
+    opt.elsh.num_tables = static_cast<int>(args.GetInt("tables", 20));
+  }
+  return opt;
+}
+
+Result<SchemaGraph> DiscoverFromArgs(const Args& args,
+                                     const PropertyGraph& g) {
+  PGHIVE_ASSIGN_OR_RETURN(PipelineOptions opt, PipelineOptionsFromArgs(args));
+  int64_t batches = args.GetInt("incremental", 0);
+  if (batches > 1) {
+    IncrementalOptions inc;
+    inc.pipeline = opt;
+    IncrementalDiscoverer discoverer(inc);
+    for (const auto& batch :
+         SplitIntoBatches(g, static_cast<size_t>(batches))) {
+      PGHIVE_RETURN_NOT_OK(discoverer.Feed(batch));
+    }
+    return discoverer.Finish(g);
+  }
+  PgHivePipeline pipeline(opt);
+  return pipeline.DiscoverSchema(g);
+}
+
+void PrintSchemaSummary(const SchemaGraph& schema, const PropertyGraph& g,
+                        std::ostream& out) {
+  out << "discovered " << SchemaSummary(schema) << "\n\n";
+  for (const auto& t : schema.node_types) {
+    out << "node type " << t.name << "  instances=" << t.instances.size()
+        << "\n";
+    for (const auto& [key, c] : t.constraints) {
+      out << "    " << key << " " << DataTypeName(c.type)
+          << (c.mandatory ? " MANDATORY" : " OPTIONAL") << "\n";
+    }
+  }
+  for (const auto& t : schema.edge_types) {
+    out << "edge type " << t.name << "  (" << Join(t.source_labels, "|")
+        << ")->(" << Join(t.target_labels, "|") << ")  cardinality "
+        << SchemaCardinalityName(t.cardinality)
+        << "  instances=" << t.instances.size() << "\n";
+  }
+  // Report quality when the input carries ground truth.
+  F1Result node_f1 = MajorityF1Nodes(g, schema);
+  if (node_f1.instances > 0) {
+    F1Result edge_f1 = MajorityF1Edges(g, schema);
+    out << "\nground truth present: node F1*=" << FormatDouble(node_f1.f1, 3)
+        << " edge F1*=" << FormatDouble(edge_f1.f1, 3) << "\n";
+  }
+}
+
+}  // namespace
+
+Status CmdDiscover(const Args& args, std::ostream& out) {
+  if (args.positional().size() < 2) {
+    return Status::InvalidArgument(
+        "usage: pghive discover <graph-prefix> [--method elsh|minhash] "
+        "[--theta 0.9] [--incremental N] "
+        "[--format summary|pgschema|xsd|json] [--mode strict|loose] "
+        "[--save-schema file.json] [--aliases aliases.txt] [--no-post] "
+        "[--sample-datatypes] [--seed N] [--bucket B --tables T]");
+  }
+  PGHIVE_ASSIGN_OR_RETURN(PropertyGraph g, LoadPrefix(args.positional()[1]));
+  PGHIVE_ASSIGN_OR_RETURN(g, MaybeApplyAliases(args, std::move(g)));
+  PGHIVE_ASSIGN_OR_RETURN(SchemaGraph schema, DiscoverFromArgs(args, g));
+
+  if (args.Has("save-schema")) {
+    const std::string path = args.GetString("save-schema");
+    PGHIVE_RETURN_NOT_OK(SaveSchemaJson(schema, path));
+    out << "saved schema to " << path << "\n";
+  }
+
+  std::string format = ToLower(args.GetString("format", "summary"));
+  std::string mode_str = ToLower(args.GetString("mode", "strict"));
+  PgSchemaMode mode =
+      mode_str == "loose" ? PgSchemaMode::kLoose : PgSchemaMode::kStrict;
+  if (format == "summary") {
+    PrintSchemaSummary(schema, g, out);
+  } else if (format == "pgschema") {
+    out << ToPgSchema(schema, args.positional()[1], mode);
+  } else if (format == "xsd") {
+    out << ToXsd(schema);
+  } else if (format == "json") {
+    out << SchemaToJson(schema);
+  } else {
+    return Status::InvalidArgument("unknown --format '" + format +
+                                   "' (summary|pgschema|xsd|json)");
+  }
+  return Status::OK();
+}
+
+Status CmdGenerate(const Args& args, std::ostream& out) {
+  if (args.positional().size() < 3) {
+    return Status::InvalidArgument(
+        "usage: pghive generate <dataset> <output-prefix> [--nodes N] "
+        "[--edges M] [--seed S] [--noise 0..1] [--labels 0..1]");
+  }
+  PGHIVE_ASSIGN_OR_RETURN(DatasetSpec spec,
+                          DatasetSpecByName(args.positional()[1]));
+  GenerateOptions gen;
+  gen.num_nodes = static_cast<size_t>(args.GetInt("nodes", 0));
+  gen.num_edges = static_cast<size_t>(args.GetInt("edges", 0));
+  gen.seed = static_cast<uint64_t>(args.GetInt("seed", 1234));
+  PGHIVE_ASSIGN_OR_RETURN(PropertyGraph g, GenerateGraph(spec, gen));
+
+  double noise = args.GetDouble("noise", 0.0);
+  double labels = args.GetDouble("labels", 1.0);
+  if (noise > 0.0 || labels < 1.0) {
+    NoiseOptions nopt;
+    nopt.property_removal = noise;
+    nopt.label_availability = labels;
+    nopt.seed = gen.seed + 1;
+    PGHIVE_ASSIGN_OR_RETURN(g, InjectNoise(g, nopt));
+  }
+  const std::string& prefix = args.positional()[2];
+  PGHIVE_RETURN_NOT_OK(SaveGraphCsv(g, prefix));
+  out << "wrote " << prefix << ".nodes.csv (" << g.num_nodes()
+      << " nodes) and " << prefix << ".edges.csv (" << g.num_edges()
+      << " edges)\n";
+  return Status::OK();
+}
+
+Status CmdStats(const Args& args, std::ostream& out) {
+  if (args.positional().size() < 2) {
+    return Status::InvalidArgument("usage: pghive stats <graph-prefix>");
+  }
+  PGHIVE_ASSIGN_OR_RETURN(PropertyGraph g, LoadPrefix(args.positional()[1]));
+  GraphStats s = ComputeGraphStats(g, args.positional()[1]);
+  out << FormatStatsHeader() << "\n" << FormatStatsRow(s) << "\n";
+  return Status::OK();
+}
+
+Status CmdValidate(const Args& args, std::ostream& out) {
+  const bool from_file = args.Has("schema");
+  if (args.positional().size() < (from_file ? 2u : 3u)) {
+    return Status::InvalidArgument(
+        "usage: pghive validate <schema-graph-prefix> <data-graph-prefix> "
+        "[--strict] [--max-violations N], or pghive validate "
+        "<data-graph-prefix> --schema <schema.json|schema.pgs> (saved by "
+        "discover --save-schema, or a PG-Schema document)");
+  }
+  SchemaGraph schema;
+  std::string data_prefix;
+  if (from_file) {
+    const std::string path = args.GetString("schema");
+    if (EndsWith(path, ".pgs") || EndsWith(path, ".pgschema")) {
+      PGHIVE_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+      PGHIVE_ASSIGN_OR_RETURN(ParsedPgSchema parsed, ParsePgSchema(text));
+      schema = std::move(parsed.schema);
+    } else {
+      PGHIVE_ASSIGN_OR_RETURN(schema, LoadSchemaJson(path));
+    }
+    data_prefix = args.positional()[1];
+  } else {
+    PGHIVE_ASSIGN_OR_RETURN(PropertyGraph reference,
+                            LoadPrefix(args.positional()[1]));
+    PGHIVE_ASSIGN_OR_RETURN(schema, DiscoverFromArgs(args, reference));
+    data_prefix = args.positional()[2];
+  }
+  PGHIVE_ASSIGN_OR_RETURN(PropertyGraph data, LoadPrefix(data_prefix));
+
+  ValidationOptions vopt;
+  vopt.mode = args.GetBool("strict", false) ? ValidationMode::kStrict
+                                            : ValidationMode::kLoose;
+  vopt.max_violations =
+      static_cast<size_t>(args.GetInt("max-violations", 50));
+  ValidationReport report = ValidateGraph(data, schema, vopt);
+  out << report.Summary() << "\n";
+  if (!report.valid()) {
+    return Status::FailedPrecondition("validation found violations");
+  }
+  return Status::OK();
+}
+
+Status CmdDiff(const Args& args, std::ostream& out) {
+  if (args.positional().size() < 3) {
+    return Status::InvalidArgument(
+        "usage: pghive diff <graph-prefix-a> <graph-prefix-b> "
+        "(discovers both schemas and reports the drift a -> b)");
+  }
+  PGHIVE_ASSIGN_OR_RETURN(PropertyGraph a, LoadPrefix(args.positional()[1]));
+  PGHIVE_ASSIGN_OR_RETURN(PropertyGraph b, LoadPrefix(args.positional()[2]));
+  PGHIVE_ASSIGN_OR_RETURN(SchemaGraph sa, DiscoverFromArgs(args, a));
+  PGHIVE_ASSIGN_OR_RETURN(SchemaGraph sb, DiscoverFromArgs(args, b));
+  out << DiffSchemas(sa, sb).ToString();
+  return Status::OK();
+}
+
+Status CmdDatasets(const Args&, std::ostream& out) {
+  out << "built-in benchmark datasets (Table 2 of the paper):\n";
+  for (const auto& spec : AllDatasetSpecs()) {
+    out << "  " << spec.name << "  " << spec.node_types.size()
+        << " node types, " << spec.edge_types.size() << " edge types, "
+        << "defaults " << spec.default_nodes << " nodes / "
+        << spec.default_edges << " edges  (original: "
+        << WithThousands(spec.paper_nodes) << " / "
+        << WithThousands(spec.paper_edges) << ")\n";
+  }
+  return Status::OK();
+}
+
+std::string HelpText() {
+  std::ostringstream out;
+  out << "pghive — hybrid incremental schema discovery for property graphs\n"
+      << "\n"
+      << "commands:\n"
+      << "  discover <prefix>            discover the schema of a CSV graph\n"
+      << "  generate <dataset> <prefix>  generate a benchmark graph as CSV\n"
+      << "  stats <prefix>               structural statistics (Table 2)\n"
+      << "  validate <ref> <data>        validate data against ref's schema\n"
+      << "  diff <a> <b>                 schema drift between two graphs\n"
+      << "  datasets                     list built-in dataset specs\n"
+      << "  help                         this text\n"
+      << "\n"
+      << "graphs are stored as <prefix>.nodes.csv / <prefix>.edges.csv\n"
+      << "(see graph/csv_io.h for the dialect). Run a command without\n"
+      << "arguments for its flags.\n";
+  return out.str();
+}
+
+Status RunCliCommand(const Args& args, std::ostream& out) {
+  if (args.positional().empty()) {
+    out << HelpText();
+    return Status::OK();
+  }
+  const std::string& cmd = args.positional()[0];
+  if (cmd == "discover") return CmdDiscover(args, out);
+  if (cmd == "generate") return CmdGenerate(args, out);
+  if (cmd == "stats") return CmdStats(args, out);
+  if (cmd == "validate") return CmdValidate(args, out);
+  if (cmd == "diff") return CmdDiff(args, out);
+  if (cmd == "datasets") return CmdDatasets(args, out);
+  if (cmd == "help" || cmd == "--help") {
+    out << HelpText();
+    return Status::OK();
+  }
+  return Status::InvalidArgument("unknown command '" + cmd +
+                                 "'; run `pghive help`");
+}
+
+}  // namespace pghive

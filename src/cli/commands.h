@@ -1,0 +1,43 @@
+// The pghive command-line interface, as a testable library.
+//
+// Subcommands (see HelpText() for flags):
+//   discover   CSV graph -> discovered schema (summary / PG-Schema / XSD)
+//   generate   synthetic benchmark dataset -> CSV graph (+noise)
+//   stats      Table-2-style statistics of a CSV graph
+//   validate   validate one CSV graph against the schema of another
+//   diff       schema drift between two CSV graphs
+//   datasets   list the built-in benchmark dataset specs
+//
+// Each command writes human-readable output to `out` and returns a Status;
+// main() maps that to exit codes. Graphs are read/written in the
+// graph/csv_io.h dialect (<prefix>.nodes.csv / <prefix>.edges.csv).
+
+#ifndef PGHIVE_CLI_COMMANDS_H_
+#define PGHIVE_CLI_COMMANDS_H_
+
+#include <ostream>
+#include <string>
+
+#include "cli/args.h"
+#include "common/status.h"
+
+namespace pghive {
+
+/// Top-level dispatch: args.positional()[0] selects the subcommand.
+/// Returns InvalidArgument with usage info for unknown commands/flags.
+Status RunCliCommand(const Args& args, std::ostream& out);
+
+/// Full usage text.
+std::string HelpText();
+
+// Individual commands (exposed for unit tests).
+Status CmdDiscover(const Args& args, std::ostream& out);
+Status CmdGenerate(const Args& args, std::ostream& out);
+Status CmdStats(const Args& args, std::ostream& out);
+Status CmdValidate(const Args& args, std::ostream& out);
+Status CmdDiff(const Args& args, std::ostream& out);
+Status CmdDatasets(const Args& args, std::ostream& out);
+
+}  // namespace pghive
+
+#endif  // PGHIVE_CLI_COMMANDS_H_

@@ -1,0 +1,28 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+
+namespace pghive {
+
+double JaccardSimilarity(const std::set<std::string>& a,
+                         const std::set<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  size_t intersection = 0;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia == *ib) {
+      ++intersection;
+      ++ia;
+      ++ib;
+    } else if (*ia < *ib) {
+      ++ia;
+    } else {
+      ++ib;
+    }
+  }
+  size_t uni = a.size() + b.size() - intersection;
+  return static_cast<double>(intersection) / static_cast<double>(uni);
+}
+
+}  // namespace pghive

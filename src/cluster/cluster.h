@@ -1,0 +1,37 @@
+// Cluster representation: a group of structurally similar elements plus its
+// representative pattern (paper §4.2, "Cluster representative").
+
+#ifndef PGHIVE_CLUSTER_CLUSTER_H_
+#define PGHIVE_CLUSTER_CLUSTER_H_
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace pghive {
+
+/// A candidate type emerging from LSH clustering. `members` are indices into
+/// the clustered element population (global NodeId/EdgeId values when the
+/// population is a batch of the graph). The representative pattern is the
+/// union of labels / property keys / endpoint labels over the members
+/// (paper: rep(C) = (L, K, R)).
+struct Cluster {
+  std::vector<size_t> members;
+  std::set<std::string> labels;          // L
+  std::set<std::string> property_keys;   // K
+  std::set<std::string> source_labels;   // R.first  (edges only)
+  std::set<std::string> target_labels;   // R.second (edges only)
+
+  bool labeled() const { return !labels.empty(); }
+  size_t size() const { return members.size(); }
+};
+
+/// Jaccard similarity of two string sets; 1.0 when both are empty (two
+/// property-less clusters are structurally identical).
+double JaccardSimilarity(const std::set<std::string>& a,
+                         const std::set<std::string>& b);
+
+}  // namespace pghive
+
+#endif  // PGHIVE_CLUSTER_CLUSTER_H_

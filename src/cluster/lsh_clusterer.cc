@@ -1,0 +1,28 @@
+#include "cluster/lsh_clusterer.h"
+
+#include <unordered_map>
+
+#include "common/union_find.h"
+
+namespace pghive {
+
+std::vector<std::vector<size_t>> ClusterByBucketKeys(
+    const std::vector<std::vector<uint64_t>>& keys) {
+  size_t n = keys.size();
+  UnionFind uf(n);
+  // Map each bucket key to the first element that produced it; later
+  // elements with the same key union with that anchor. Keys already encode
+  // the table index (see EuclideanLsh::Hash / MinHashLsh::BandKeys), so one
+  // flat map suffices.
+  std::unordered_map<uint64_t, size_t> first_seen;
+  if (n > 0) first_seen.reserve(n * keys[0].size());
+  for (size_t i = 0; i < n; ++i) {
+    for (uint64_t key : keys[i]) {
+      auto [it, inserted] = first_seen.emplace(key, i);
+      if (!inserted) uf.Union(i, it->second);
+    }
+  }
+  return uf.Components();
+}
+
+}  // namespace pghive

@@ -1,0 +1,25 @@
+// LSH-collision clustering (paper §4.2).
+//
+// Elements that share a bucket key in at least one hash table (ELSH) or
+// band (MinHash) — the OR rule — are placed in the same candidate cluster
+// via union-find. This realizes the paper's P_{b,T}(d) collision analysis
+// with a single O(N * T) pass and no pairwise comparisons.
+
+#ifndef PGHIVE_CLUSTER_LSH_CLUSTERER_H_
+#define PGHIVE_CLUSTER_LSH_CLUSTERER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pghive {
+
+/// Groups elements whose per-table bucket-key vectors collide in >= 1
+/// position. `keys[i]` holds the bucket keys of element i; all elements must
+/// have the same number of keys. Returns member-index groups.
+std::vector<std::vector<size_t>> ClusterByBucketKeys(
+    const std::vector<std::vector<uint64_t>>& keys);
+
+}  // namespace pghive
+
+#endif  // PGHIVE_CLUSTER_LSH_CLUSTERER_H_

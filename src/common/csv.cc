@@ -1,0 +1,118 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace pghive {
+
+namespace {
+
+// Shared scanning core: parses CSV starting at *pos in text, consuming one
+// record (up to an unquoted newline or end of text). Returns the fields and
+// advances *pos past the record's newline.
+Result<std::vector<std::string>> ParseRecord(std::string_view text,
+                                             size_t* pos) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  size_t i = *pos;
+  for (; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+    } else {
+      if (c == '"') {
+        in_quotes = true;
+      } else if (c == ',') {
+        fields.push_back(std::move(field));
+        field.clear();
+      } else if (c == '\n') {
+        ++i;
+        break;
+      } else if (c == '\r') {
+        // Swallow CR in CRLF; a bare CR also terminates the record.
+        if (i + 1 < text.size() && text[i + 1] == '\n') ++i;
+        ++i;
+        break;
+      } else {
+        field += c;
+      }
+    }
+  }
+  if (in_quotes) {
+    return Status::ParseError("unterminated quoted CSV field");
+  }
+  fields.push_back(std::move(field));
+  *pos = i;
+  return fields;
+}
+
+}  // namespace
+
+Result<std::vector<std::string>> ParseCsvLine(std::string_view line) {
+  size_t pos = 0;
+  PGHIVE_ASSIGN_OR_RETURN(auto fields, ParseRecord(line, &pos));
+  if (pos < line.size()) {
+    return Status::ParseError("unexpected newline inside CSV line");
+  }
+  return fields;
+}
+
+Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text) {
+  std::vector<std::vector<std::string>> rows;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    PGHIVE_ASSIGN_OR_RETURN(auto fields, ParseRecord(text, &pos));
+    rows.push_back(std::move(fields));
+  }
+  return rows;
+}
+
+std::string CsvQuote(std::string_view field) {
+  bool needs_quote = field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quote) return std::string(field);
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string FormatCsvRow(const std::vector<std::string>& fields) {
+  std::string out;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out += ',';
+    out += CsvQuote(fields[i]);
+  }
+  out += '\n';
+  return out;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+Status WriteFile(const std::string& path, std::string_view content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open file for writing: " + path);
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace pghive

@@ -1,0 +1,40 @@
+// Minimal RFC-4180-ish CSV reading and writing.
+//
+// Supports quoted fields with embedded commas, quotes ("" escaping) and
+// newlines. Used by graph/csv_io to import/export property graphs and by the
+// benchmark harnesses to dump result tables.
+
+#ifndef PGHIVE_COMMON_CSV_H_
+#define PGHIVE_COMMON_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace pghive {
+
+/// Parses one CSV record (no trailing newline) into fields.
+/// Fails with ParseError on an unterminated quoted field.
+Result<std::vector<std::string>> ParseCsvLine(std::string_view line);
+
+/// Parses a whole CSV document; handles quoted fields spanning lines.
+Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text);
+
+/// Quotes a field if it contains a comma, quote, or newline.
+std::string CsvQuote(std::string_view field);
+
+/// Serializes one row (with trailing newline).
+std::string FormatCsvRow(const std::vector<std::string>& fields);
+
+/// Reads an entire file into a string.
+Result<std::string> ReadFile(const std::string& path);
+
+/// Writes a string to a file (overwrite).
+Status WriteFile(const std::string& path, std::string_view content);
+
+}  // namespace pghive
+
+#endif  // PGHIVE_COMMON_CSV_H_

@@ -1,0 +1,60 @@
+// Hashing utilities shared by LSH, clustering and container keys.
+
+#ifndef PGHIVE_COMMON_HASH_H_
+#define PGHIVE_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pghive {
+
+/// 64-bit FNV-1a over arbitrary bytes; stable across platforms.
+inline uint64_t Fnv1a64(const void* data, size_t len) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 1469598103934665603ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+inline uint64_t HashString(std::string_view s) {
+  return Fnv1a64(s.data(), s.size());
+}
+
+/// SplitMix64 finalizer: cheap high-quality mixing of a 64-bit value.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combines two hashes (boost::hash_combine style, 64-bit).
+inline uint64_t HashCombine(uint64_t seed, uint64_t v) {
+  return seed ^ (Mix64(v) + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+/// Order-sensitive hash of a sequence of 64-bit values.
+inline uint64_t HashSequence(const std::vector<uint64_t>& values) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (uint64_t v : values) h = HashCombine(h, v);
+  return h;
+}
+
+/// Hash functor for std::pair keys in unordered containers.
+struct PairHash {
+  template <typename A, typename B>
+  size_t operator()(const std::pair<A, B>& p) const {
+    return static_cast<size_t>(
+        HashCombine(std::hash<A>()(p.first), std::hash<B>()(p.second)));
+  }
+};
+
+}  // namespace pghive
+
+#endif  // PGHIVE_COMMON_HASH_H_

@@ -1,0 +1,101 @@
+// Minimal JSON document model, writer and parser.
+//
+// Supports the full JSON value grammar (null, bool, number, string with
+// escapes, array, object) — enough to persist schemas (core/schema_json.h)
+// and exchange results with external tooling. Numbers are stored as double
+// with an exact-integer fast path. No external dependencies.
+
+#ifndef PGHIVE_COMMON_JSON_H_
+#define PGHIVE_COMMON_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace pghive {
+
+class JsonValue;
+using JsonArray = std::vector<JsonValue>;
+/// std::map keeps keys sorted -> deterministic serialization.
+using JsonObject = std::map<std::string, JsonValue>;
+
+/// A JSON value (tagged union).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+  JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}            // NOLINT
+  JsonValue(double d) : kind_(Kind::kNumber), number_(d) {}      // NOLINT
+  JsonValue(int64_t i)                                           // NOLINT
+      : kind_(Kind::kNumber), number_(static_cast<double>(i)) {}
+  JsonValue(int i) : JsonValue(static_cast<int64_t>(i)) {}       // NOLINT
+  JsonValue(size_t u) : JsonValue(static_cast<int64_t>(u)) {}    // NOLINT
+  JsonValue(std::string s)                                       // NOLINT
+      : kind_(Kind::kString), string_(std::move(s)) {}
+  JsonValue(const char* s) : JsonValue(std::string(s)) {}        // NOLINT
+  JsonValue(JsonArray a)                                         // NOLINT
+      : kind_(Kind::kArray), array_(std::move(a)) {}
+  JsonValue(JsonObject o)                                        // NOLINT
+      : kind_(Kind::kObject), object_(std::move(o)) {}
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsDouble() const { return number_; }
+  int64_t AsInt() const { return static_cast<int64_t>(number_); }
+  const std::string& AsString() const { return string_; }
+  const JsonArray& AsArray() const { return array_; }
+  JsonArray& MutableArray() { return array_; }
+  const JsonObject& AsObject() const { return object_; }
+  JsonObject& MutableObject() { return object_; }
+
+  /// Object member access; null reference semantics are avoided by
+  /// returning a shared null sentinel for missing keys.
+  const JsonValue& operator[](const std::string& key) const;
+
+  /// Typed member lookups with Status on absence/kind-mismatch.
+  Result<bool> GetBool(const std::string& key) const;
+  Result<int64_t> GetInt(const std::string& key) const;
+  Result<double> GetDouble(const std::string& key) const;
+  Result<std::string> GetString(const std::string& key) const;
+
+  bool operator==(const JsonValue& other) const;
+
+  /// Compact serialization ({"a":1,...}).
+  std::string Dump() const;
+  /// Pretty serialization with 2-space indentation.
+  std::string Pretty() const;
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  JsonArray array_;
+  JsonObject object_;
+};
+
+/// Parses a complete JSON document; trailing non-whitespace is an error.
+Result<JsonValue> ParseJson(std::string_view text);
+
+/// Escapes a string for inclusion in JSON output (without quotes).
+std::string JsonEscape(std::string_view s);
+
+}  // namespace pghive
+
+#endif  // PGHIVE_COMMON_JSON_H_

@@ -1,0 +1,60 @@
+// Minimal leveled logging to stderr.
+//
+// PG-HIVE library code logs sparingly (pipeline phase boundaries at INFO,
+// diagnostics at DEBUG). The level is process-global and defaults to WARNING
+// so library consumers see nothing unless they opt in.
+
+#ifndef PGHIVE_COMMON_LOGGING_H_
+#define PGHIVE_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace pghive {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the process-global minimum level that is emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// No-op sink for disabled levels (avoids formatting cost via short-circuit).
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace pghive
+
+#define PGHIVE_LOG(level)                                               \
+  if (::pghive::LogLevel::level < ::pghive::GetLogLevel()) {            \
+  } else                                                                \
+    ::pghive::internal::LogMessage(::pghive::LogLevel::level, __FILE__, \
+                                   __LINE__)
+
+#endif  // PGHIVE_COMMON_LOGGING_H_

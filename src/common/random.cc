@@ -1,0 +1,100 @@
+#include "common/random.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace pghive {
+
+Rng::Rng(uint64_t seed, uint64_t stream) : state_(0), inc_((stream << 1u) | 1u) {
+  NextU32();
+  state_ += seed;
+  NextU32();
+}
+
+uint32_t Rng::NextU32() {
+  uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+  uint32_t rot = static_cast<uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+uint64_t Rng::NextU64() {
+  return (static_cast<uint64_t>(NextU32()) << 32) | NextU32();
+}
+
+uint32_t Rng::UniformU32(uint32_t bound) {
+  if (bound == 0) return 0;
+  // Lemire-style rejection to avoid modulo bias.
+  uint32_t threshold = (0u - bound) % bound;
+  for (;;) {
+    uint32_t r = NextU32();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  if (hi <= lo) return lo;
+  uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range <= UINT32_MAX) {
+    return lo + static_cast<int64_t>(UniformU32(static_cast<uint32_t>(range)));
+  }
+  return lo + static_cast<int64_t>(NextU64() % range);
+}
+
+double Rng::UniformDouble() {
+  // 53 random bits -> [0, 1).
+  return (NextU64() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * UniformDouble();
+}
+
+double Rng::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = UniformDouble();
+  double u2 = UniformDouble();
+  // Guard against log(0).
+  if (u1 < 1e-300) u1 = 1e-300;
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+bool Rng::Bernoulli(double p) { return UniformDouble() < p; }
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  if (k >= n) {
+    std::vector<size_t> all(n);
+    for (size_t i = 0; i < n; ++i) all[i] = i;
+    return all;
+  }
+  // Floyd's algorithm: k iterations, O(k) expected set operations.
+  std::unordered_set<size_t> chosen;
+  std::vector<size_t> result;
+  result.reserve(k);
+  for (size_t j = n - k; j < n; ++j) {
+    size_t t = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(j)));
+    if (chosen.count(t)) t = j;
+    chosen.insert(t);
+    result.push_back(t);
+  }
+  return result;
+}
+
+Rng Rng::Fork(uint64_t salt) {
+  uint64_t seed = NextU64() ^ (salt * 0x9e3779b97f4a7c15ULL);
+  return Rng(seed, salt | 1);
+}
+
+}  // namespace pghive

@@ -1,0 +1,71 @@
+// Result<T>: a value or an error Status (Arrow-style).
+
+#ifndef PGHIVE_COMMON_RESULT_H_
+#define PGHIVE_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace pghive {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value is absent. Accessing the value of an errored Result is a programming
+/// error (asserted in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error Status. Must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok());
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Moves the value out, or returns `fallback` on error.
+  T value_or(T fallback) && {
+    if (ok()) return std::move(*value_);
+    return fallback;
+  }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::OK();
+};
+
+}  // namespace pghive
+
+/// Assigns the value of a Result expression to `lhs`, or propagates the error.
+#define PGHIVE_ASSIGN_OR_RETURN(lhs, expr)            \
+  auto PGHIVE_CONCAT_(_res_, __LINE__) = (expr);      \
+  if (!PGHIVE_CONCAT_(_res_, __LINE__).ok())          \
+    return PGHIVE_CONCAT_(_res_, __LINE__).status();  \
+  lhs = std::move(PGHIVE_CONCAT_(_res_, __LINE__)).value()
+
+#define PGHIVE_CONCAT_IMPL_(a, b) a##b
+#define PGHIVE_CONCAT_(a, b) PGHIVE_CONCAT_IMPL_(a, b)
+
+#endif  // PGHIVE_COMMON_RESULT_H_

@@ -1,0 +1,45 @@
+// Small string helpers used across loaders, serializers and report printers.
+
+#ifndef PGHIVE_COMMON_STRING_UTIL_H_
+#define PGHIVE_COMMON_STRING_UTIL_H_
+
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pghive {
+
+/// Splits `s` on `delim`; empty fields are preserved.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+std::string Join(const std::set<std::string>& parts, std::string_view sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// ASCII lower-casing.
+std::string ToLower(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// The canonical token for a label set: labels sorted alphabetically and
+/// joined with "&" (paper §4.1: multi-label instances use the sorted
+/// concatenation as one unique label).
+std::string CanonicalLabelToken(const std::set<std::string>& labels);
+
+/// Escapes a string for embedding in XML text/attributes.
+std::string XmlEscape(std::string_view s);
+
+/// Formats a double with a fixed number of decimals (locale-independent).
+std::string FormatDouble(double v, int decimals);
+
+/// Renders n with thousands separators, e.g. 1234567 -> "1,234,567".
+std::string WithThousands(uint64_t n);
+
+}  // namespace pghive
+
+#endif  // PGHIVE_COMMON_STRING_UTIL_H_

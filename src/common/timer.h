@@ -1,0 +1,31 @@
+// Wall-clock timing for the benchmark harnesses.
+
+#ifndef PGHIVE_COMMON_TIMER_H_
+#define PGHIVE_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace pghive {
+
+/// Monotonic stopwatch; starts on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pghive
+
+#endif  // PGHIVE_COMMON_TIMER_H_

@@ -1,0 +1,49 @@
+#include "common/union_find.h"
+
+namespace pghive {
+
+UnionFind::UnionFind(size_t n)
+    : parent_(n), rank_(n, 0), num_components_(n) {
+  for (size_t i = 0; i < n; ++i) parent_[i] = i;
+}
+
+size_t UnionFind::Find(size_t x) {
+  // Iterative two-pass path compression.
+  size_t root = x;
+  while (parent_[root] != root) root = parent_[root];
+  while (parent_[x] != root) {
+    size_t next = parent_[x];
+    parent_[x] = root;
+    x = next;
+  }
+  return root;
+}
+
+bool UnionFind::Union(size_t a, size_t b) {
+  size_t ra = Find(a);
+  size_t rb = Find(b);
+  if (ra == rb) return false;
+  if (rank_[ra] < rank_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  if (rank_[ra] == rank_[rb]) ++rank_[ra];
+  --num_components_;
+  return true;
+}
+
+bool UnionFind::Connected(size_t a, size_t b) { return Find(a) == Find(b); }
+
+std::vector<std::vector<size_t>> UnionFind::Components() {
+  std::unordered_map<size_t, size_t> root_to_slot;
+  root_to_slot.reserve(num_components_);
+  std::vector<std::vector<size_t>> out;
+  out.reserve(num_components_);
+  for (size_t i = 0; i < parent_.size(); ++i) {
+    size_t r = Find(i);
+    auto [it, inserted] = root_to_slot.emplace(r, out.size());
+    if (inserted) out.emplace_back();
+    out[it->second].push_back(i);
+  }
+  return out;
+}
+
+}  // namespace pghive

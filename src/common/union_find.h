@@ -1,0 +1,49 @@
+// Disjoint-set forest with path compression and union by rank.
+//
+// Used by the LSH clusterer: elements that collide in at least one hash
+// table / band are unioned, and the resulting components are the candidate
+// clusters.
+
+#ifndef PGHIVE_COMMON_UNION_FIND_H_
+#define PGHIVE_COMMON_UNION_FIND_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace pghive {
+
+class UnionFind {
+ public:
+  /// Creates a forest of n singleton sets {0}, {1}, ..., {n-1}.
+  explicit UnionFind(size_t n);
+
+  /// Representative of the set containing x (with path compression).
+  size_t Find(size_t x);
+
+  /// Merges the sets of a and b; returns true if they were distinct.
+  bool Union(size_t a, size_t b);
+
+  /// True if a and b are in the same set.
+  bool Connected(size_t a, size_t b);
+
+  /// Number of disjoint sets.
+  size_t NumComponents() const { return num_components_; }
+
+  size_t size() const { return parent_.size(); }
+
+  /// Groups element indices by component. Component order follows the first
+  /// occurrence of each representative; within a component, elements are in
+  /// increasing index order.
+  std::vector<std::vector<size_t>> Components();
+
+ private:
+  std::vector<size_t> parent_;
+  std::vector<uint8_t> rank_;
+  size_t num_components_;
+};
+
+}  // namespace pghive
+
+#endif  // PGHIVE_COMMON_UNION_FIND_H_

@@ -1,0 +1,42 @@
+#include "core/cardinality.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace pghive {
+
+SchemaCardinality ClassifyCardinality(size_t max_out, size_t max_in) {
+  if (max_out == 0 || max_in == 0) return SchemaCardinality::kUnknown;
+  bool out_many = max_out > 1;
+  bool in_many = max_in > 1;
+  if (!out_many && !in_many) return SchemaCardinality::kZeroOrOne;
+  if (!out_many && in_many) return SchemaCardinality::kManyToOne;
+  if (out_many && !in_many) return SchemaCardinality::kOneToMany;
+  return SchemaCardinality::kManyToMany;
+}
+
+void ComputeCardinalities(const PropertyGraph& g, SchemaGraph* schema) {
+  for (auto& t : schema->edge_types) {
+    // Distinct targets per source and distinct sources per target.
+    std::unordered_map<NodeId, std::unordered_set<NodeId>> out_sets;
+    std::unordered_map<NodeId, std::unordered_set<NodeId>> in_sets;
+    for (EdgeId id : t.instances) {
+      const Edge& e = g.edge(id);
+      out_sets[e.source].insert(e.target);
+      in_sets[e.target].insert(e.source);
+    }
+    size_t max_out = 0;
+    for (const auto& [src, tgts] : out_sets) {
+      max_out = std::max(max_out, tgts.size());
+    }
+    size_t max_in = 0;
+    for (const auto& [tgt, srcs] : in_sets) {
+      max_in = std::max(max_in, srcs.size());
+    }
+    t.max_out_degree = max_out;
+    t.max_in_degree = max_in;
+    t.cardinality = ClassifyCardinality(max_out, max_in);
+  }
+}
+
+}  // namespace pghive

@@ -1,0 +1,28 @@
+// Edge cardinality inference (paper §4.4, "Cardinalities").
+//
+// For each edge type we compute the maximum out-degree (distinct targets per
+// source) and maximum in-degree (distinct sources per target) over the
+// type's instances and classify, following the paper's Example 8 (WORKS_AT:
+// each Person works at one Org, an Org has many employees -> N:1):
+//   (max_out, max_in) = (1, 1) -> 0:1    (1, >1) -> N:1
+//                       (>1, 1) -> 0:N   (>1, >1) -> M:N
+// The values are sound upper bounds (§4.7); lower bounds would require
+// scanning unconnected nodes, which the paper defers to future work.
+
+#ifndef PGHIVE_CORE_CARDINALITY_H_
+#define PGHIVE_CORE_CARDINALITY_H_
+
+#include "core/schema.h"
+#include "graph/property_graph.h"
+
+namespace pghive {
+
+/// Fills cardinality / max_out_degree / max_in_degree of every edge type.
+void ComputeCardinalities(const PropertyGraph& g, SchemaGraph* schema);
+
+/// Classifies a (max_out, max_in) pair. Exposed for tests.
+SchemaCardinality ClassifyCardinality(size_t max_out, size_t max_in);
+
+}  // namespace pghive
+
+#endif  // PGHIVE_CORE_CARDINALITY_H_

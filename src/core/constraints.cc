@@ -1,0 +1,59 @@
+#include "core/constraints.h"
+
+#include <unordered_map>
+
+namespace pghive {
+
+namespace {
+
+// Counts key occurrences over instances and flips the mandatory bit for
+// keys present in all of them.
+template <typename TypeT, typename GetElem>
+void InferForType(TypeT* t, GetElem get) {
+  std::unordered_map<std::string, size_t> counts;
+  for (auto id : t->instances) {
+    for (const auto& [k, v] : get(id).properties) ++counts[k];
+  }
+  for (const auto& key : t->property_keys) {
+    PropertyConstraint& c = t->constraints[key];  // default-insert
+    auto it = counts.find(key);
+    c.mandatory = !t->instances.empty() && it != counts.end() &&
+                  it->second == t->instances.size();
+  }
+}
+
+template <typename TypeT, typename GetElem>
+double Frequency(const PropertyGraph&, const TypeT& t, const std::string& key,
+                 GetElem get) {
+  if (t.instances.empty()) return 0.0;
+  size_t count = 0;
+  for (auto id : t.instances) {
+    if (get(id).properties.count(key)) ++count;
+  }
+  return static_cast<double>(count) / static_cast<double>(t.instances.size());
+}
+
+}  // namespace
+
+void InferPropertyConstraints(const PropertyGraph& g, SchemaGraph* schema) {
+  for (auto& t : schema->node_types) {
+    InferForType(&t, [&](NodeId id) -> const Node& { return g.node(id); });
+  }
+  for (auto& t : schema->edge_types) {
+    InferForType(&t, [&](EdgeId id) -> const Edge& { return g.edge(id); });
+  }
+}
+
+double NodePropertyFrequency(const PropertyGraph& g, const SchemaNodeType& t,
+                             const std::string& key) {
+  return Frequency(g, t, key,
+                   [&](NodeId id) -> const Node& { return g.node(id); });
+}
+
+double EdgePropertyFrequency(const PropertyGraph& g, const SchemaEdgeType& t,
+                             const std::string& key) {
+  return Frequency(g, t, key,
+                   [&](EdgeId id) -> const Edge& { return g.edge(id); });
+}
+
+}  // namespace pghive

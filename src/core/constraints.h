@@ -1,0 +1,30 @@
+// Property-constraint inference (paper §4.4, "Property constraints").
+//
+// A property p is MANDATORY for a type T iff it appears in every assigned
+// instance of T (frequency f_T(p) = 1), OPTIONAL otherwise. Soundness: every
+// property marked mandatory is indeed present in all instances (§4.7).
+
+#ifndef PGHIVE_CORE_CONSTRAINTS_H_
+#define PGHIVE_CORE_CONSTRAINTS_H_
+
+#include "core/schema.h"
+#include "graph/property_graph.h"
+
+namespace pghive {
+
+/// Fills the `mandatory` flag of every property constraint of every type in
+/// `schema`, creating constraint entries (with default String datatype) for
+/// properties that do not have one yet. Types without instances keep all
+/// properties optional.
+void InferPropertyConstraints(const PropertyGraph& g, SchemaGraph* schema);
+
+/// Frequency f_T(p): fraction of the type's instances carrying property p.
+/// Exposed for tests. Returns 0 for an instance-less type.
+double NodePropertyFrequency(const PropertyGraph& g, const SchemaNodeType& t,
+                             const std::string& key);
+double EdgePropertyFrequency(const PropertyGraph& g, const SchemaEdgeType& t,
+                             const std::string& key);
+
+}  // namespace pghive
+
+#endif  // PGHIVE_CORE_CONSTRAINTS_H_

@@ -1,0 +1,65 @@
+#include "core/datatype_inference.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace pghive {
+
+DataType FoldValueTypes(const std::vector<const Value*>& values) {
+  if (values.empty()) return DataType::kString;
+  DataType acc = values[0]->type();
+  for (size_t i = 1; i < values.size(); ++i) {
+    acc = GeneralizeDataType(acc, values[i]->type());
+    if (acc == DataType::kString) break;  // cannot generalize further
+  }
+  return acc;
+}
+
+namespace {
+
+template <typename TypeT, typename GetElem>
+void InferForType(TypeT* t, const DataTypeInferenceOptions& options, Rng* rng,
+                  GetElem get) {
+  for (const auto& key : t->property_keys) {
+    // Collect (pointers to) all observed values of this property.
+    std::vector<const Value*> values;
+    for (auto id : t->instances) {
+      const auto& props = get(id).properties;
+      auto it = props.find(key);
+      if (it != props.end()) values.push_back(&it->second);
+    }
+    if (options.sample && values.size() > options.min_sample) {
+      size_t want = std::max(
+          options.min_sample,
+          static_cast<size_t>(options.sample_fraction *
+                              static_cast<double>(values.size())));
+      if (want < values.size()) {
+        auto pick = rng->SampleWithoutReplacement(values.size(), want);
+        std::vector<const Value*> sampled;
+        sampled.reserve(pick.size());
+        for (size_t idx : pick) sampled.push_back(values[idx]);
+        values = std::move(sampled);
+      }
+    }
+    t->constraints[key].type = FoldValueTypes(values);
+  }
+}
+
+}  // namespace
+
+void InferDataTypes(const PropertyGraph& g,
+                    const DataTypeInferenceOptions& options,
+                    SchemaGraph* schema) {
+  Rng rng(options.seed, 0xd7);
+  for (auto& t : schema->node_types) {
+    InferForType(&t, options, &rng,
+                 [&](NodeId id) -> const Node& { return g.node(id); });
+  }
+  for (auto& t : schema->edge_types) {
+    InferForType(&t, options, &rng,
+                 [&](EdgeId id) -> const Edge& { return g.edge(id); });
+  }
+}
+
+}  // namespace pghive

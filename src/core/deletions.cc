@@ -1,0 +1,82 @@
+#include "core/deletions.h"
+
+#include <algorithm>
+
+#include "core/cardinality.h"
+#include "core/constraints.h"
+#include "core/datatype_inference.h"
+
+namespace pghive {
+
+namespace {
+
+// Removes deleted ids from one type vector; returns per-type bookkeeping.
+template <typename TypeT, typename IdT, typename GetElem>
+void ProcessTypes(std::vector<TypeT>* types,
+                  const std::unordered_set<IdT>& deleted, GetElem get,
+                  const DeletionOptions& options, size_t* removed,
+                  size_t* dropped, size_t* retired) {
+  std::vector<TypeT> kept;
+  kept.reserve(types->size());
+  for (auto& t : *types) {
+    size_t before = t.instances.size();
+    t.instances.erase(
+        std::remove_if(t.instances.begin(), t.instances.end(),
+                       [&](IdT id) { return deleted.count(id) > 0; }),
+        t.instances.end());
+    *removed += before - t.instances.size();
+
+    if (t.instances.empty() && before > 0 && options.drop_empty_types) {
+      ++*dropped;
+      continue;
+    }
+
+    if (before != t.instances.size() && !t.instances.empty()) {
+      // Shrink the property-key set to what survivors actually carry; the
+      // union semantics of merging only ever grows it, so after deletions
+      // it may overstate the data.
+      std::set<std::string> observed;
+      for (IdT id : t.instances) {
+        for (const auto& [k, v] : get(id).properties) observed.insert(k);
+      }
+      for (auto it = t.property_keys.begin(); it != t.property_keys.end();) {
+        if (!observed.count(*it)) {
+          t.constraints.erase(*it);
+          it = t.property_keys.erase(it);
+          ++*retired;
+        } else {
+          ++it;
+        }
+      }
+    }
+    kept.push_back(std::move(t));
+  }
+  *types = std::move(kept);
+}
+
+}  // namespace
+
+DeletionStats ApplyDeletions(const PropertyGraph& g,
+                             const std::unordered_set<NodeId>& deleted_nodes,
+                             const std::unordered_set<EdgeId>& deleted_edges,
+                             const DeletionOptions& options,
+                             SchemaGraph* schema) {
+  DeletionStats stats;
+  ProcessTypes(&schema->node_types, deleted_nodes,
+               [&](NodeId id) -> const Node& { return g.node(id); }, options,
+               &stats.nodes_removed, &stats.node_types_dropped,
+               &stats.properties_retired);
+  ProcessTypes(&schema->edge_types, deleted_edges,
+               [&](EdgeId id) -> const Edge& { return g.edge(id); }, options,
+               &stats.edges_removed, &stats.edge_types_dropped,
+               &stats.properties_retired);
+
+  if (options.refresh_constraints) {
+    InferPropertyConstraints(g, schema);
+    InferDataTypes(g, {}, schema);
+    ComputeCardinalities(g, schema);
+  }
+  return stats;
+}
+
+}  // namespace pghive

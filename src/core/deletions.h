@@ -1,0 +1,53 @@
+// Deletion support for the incremental schema (paper §4.6: "Handling
+// updates and deletions is left for future work" — implemented here as an
+// extension).
+//
+// Deletions break the monotone-chain guarantee by design: removing the last
+// instance of a pattern may retire a type, demote a property, or tighten a
+// constraint. ApplyDeletions removes the given elements from the schema's
+// instance assignments, drops types that lost all instances, shrinks each
+// type's property-key set to what its remaining instances actually carry,
+// and (optionally) re-runs post-processing so constraints and cardinalities
+// reflect the surviving data.
+
+#ifndef PGHIVE_CORE_DELETIONS_H_
+#define PGHIVE_CORE_DELETIONS_H_
+
+#include <unordered_set>
+
+#include "common/status.h"
+#include "core/schema.h"
+#include "graph/property_graph.h"
+
+namespace pghive {
+
+struct DeletionOptions {
+  /// Recompute constraints / datatypes / cardinalities over the surviving
+  /// instances (requires the graph the surviving ids refer to).
+  bool refresh_constraints = true;
+  /// Drop types whose instance list becomes empty. When false, emptied
+  /// types are kept as (instance-less) declarations.
+  bool drop_empty_types = true;
+};
+
+struct DeletionStats {
+  size_t nodes_removed = 0;
+  size_t edges_removed = 0;
+  size_t node_types_dropped = 0;
+  size_t edge_types_dropped = 0;
+  size_t properties_retired = 0;  // keys no longer observed in any instance
+};
+
+/// Removes deleted elements from `schema`. `deleted_nodes` / `deleted_edges`
+/// are ids in `g`'s id space; deleting a node does NOT implicitly delete its
+/// incident edges — pass those explicitly (the caller knows its deletion
+/// semantics). Ids never assigned to any type are ignored.
+DeletionStats ApplyDeletions(const PropertyGraph& g,
+                             const std::unordered_set<NodeId>& deleted_nodes,
+                             const std::unordered_set<EdgeId>& deleted_edges,
+                             const DeletionOptions& options,
+                             SchemaGraph* schema);
+
+}  // namespace pghive
+
+#endif  // PGHIVE_CORE_DELETIONS_H_

@@ -1,0 +1,144 @@
+#include "core/feature_encoder.h"
+
+#include <map>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace pghive {
+
+namespace {
+
+/// Dense index over the distinct property keys of a batch slice.
+template <typename GetElem>
+std::unordered_map<std::string, size_t> BuildKeyIndex(size_t begin, size_t end,
+                                                      GetElem get) {
+  std::set<std::string> keys;
+  for (size_t i = begin; i < end; ++i) {
+    for (const auto& [k, v] : get(i).properties) keys.insert(k);
+  }
+  std::unordered_map<std::string, size_t> index;
+  index.reserve(keys.size());
+  size_t slot = 0;
+  for (const auto& k : keys) index.emplace(k, slot++);
+  return index;
+}
+
+void AppendScaled(std::vector<float>* out, const std::vector<float>& block,
+                  double scale) {
+  for (float v : block) out->push_back(static_cast<float>(v * scale));
+}
+
+}  // namespace
+
+FeatureEncoder::FeatureEncoder(const LabelEmbedder* embedder,
+                               FeatureEncoderOptions options)
+    : embedder_(embedder), options_(options) {}
+
+EncodedElements FeatureEncoder::EncodeNodes(const GraphBatch& batch) const {
+  const PropertyGraph& g = *batch.graph;
+  auto key_index = BuildKeyIndex(batch.node_begin, batch.node_end,
+                                 [&](size_t i) -> const Node& {
+                                   return g.node(i);
+                                 });
+  const size_t K = key_index.size();
+  const size_t d = static_cast<size_t>(embedder_->dimension());
+
+  EncodedElements out;
+  out.ids.reserve(batch.num_nodes());
+  out.vectors.reserve(batch.num_nodes());
+  out.token_sets.reserve(batch.num_nodes());
+  for (size_t i = batch.node_begin; i < batch.node_end; ++i) {
+    const Node& n = g.node(i);
+    out.ids.push_back(i);
+
+    std::vector<float> vec;
+    vec.reserve(d + K);
+    AppendScaled(&vec, embedder_->EmbedLabels(n.labels), options_.label_weight);
+    vec.resize(d + K, 0.0f);
+    std::vector<std::string> tokens;
+    tokens.reserve(n.properties.size() + options_.minhash_label_copies);
+    if (!n.labels.empty()) {
+      const std::string token = CanonicalLabelToken(n.labels);
+      for (int c = 0; c < options_.minhash_label_copies; ++c) {
+        tokens.push_back("label" + std::to_string(c) + ":" + token);
+      }
+    }
+    for (const auto& [k, v] : n.properties) {
+      vec[d + key_index.at(k)] = 1.0f;
+      tokens.push_back("prop:" + k);
+    }
+    out.vectors.push_back(std::move(vec));
+    out.token_sets.push_back(std::move(tokens));
+  }
+  return out;
+}
+
+std::string FeatureEncoder::EndpointToken(
+    const Node& node, const EndpointLabelMap& endpoint_labels) {
+  if (!node.labels.empty()) return CanonicalLabelToken(node.labels);
+  auto it = endpoint_labels.find(node.id);
+  return it == endpoint_labels.end() ? std::string()
+                                     : CanonicalLabelToken(it->second);
+}
+
+EncodedElements FeatureEncoder::EncodeEdges(
+    const GraphBatch& batch, const EndpointLabelMap& endpoint_labels) const {
+  const PropertyGraph& g = *batch.graph;
+  auto key_index = BuildKeyIndex(batch.edge_begin, batch.edge_end,
+                                 [&](size_t i) -> const Edge& {
+                                   return g.edge(i);
+                                 });
+  const size_t Q = key_index.size();
+  const size_t d = static_cast<size_t>(embedder_->dimension());
+
+  EncodedElements out;
+  out.ids.reserve(batch.num_edges());
+  out.vectors.reserve(batch.num_edges());
+  out.token_sets.reserve(batch.num_edges());
+  for (size_t i = batch.edge_begin; i < batch.edge_end; ++i) {
+    const Edge& e = g.edge(i);
+    const Node& src = g.node(e.source);
+    const Node& tgt = g.node(e.target);
+    const std::string src_token = EndpointToken(src, endpoint_labels);
+    const std::string tgt_token = EndpointToken(tgt, endpoint_labels);
+    out.ids.push_back(i);
+
+    std::vector<float> vec;
+    vec.reserve(3 * d + Q);
+    AppendScaled(&vec, embedder_->EmbedLabels(e.labels), options_.label_weight);
+    AppendScaled(&vec, embedder_->EmbedToken(src_token),
+                 options_.label_weight);
+    AppendScaled(&vec, embedder_->EmbedToken(tgt_token),
+                 options_.label_weight);
+    vec.resize(3 * d + Q, 0.0f);
+
+    std::vector<std::string> tokens;
+    tokens.reserve(e.properties.size() + 3 * options_.minhash_label_copies);
+    if (!e.labels.empty()) {
+      const std::string token = CanonicalLabelToken(e.labels);
+      for (int c = 0; c < options_.minhash_label_copies; ++c) {
+        tokens.push_back("label" + std::to_string(c) + ":" + token);
+      }
+    }
+    if (!src_token.empty()) {
+      for (int c = 0; c < options_.minhash_label_copies; ++c) {
+        tokens.push_back("src" + std::to_string(c) + ":" + src_token);
+      }
+    }
+    if (!tgt_token.empty()) {
+      for (int c = 0; c < options_.minhash_label_copies; ++c) {
+        tokens.push_back("tgt" + std::to_string(c) + ":" + tgt_token);
+      }
+    }
+    for (const auto& [k, v] : e.properties) {
+      vec[3 * d + key_index.at(k)] = 1.0f;
+      tokens.push_back("prop:" + k);
+    }
+    out.vectors.push_back(std::move(vec));
+    out.token_sets.push_back(std::move(tokens));
+  }
+  return out;
+}
+
+}  // namespace pghive

@@ -1,0 +1,67 @@
+#include "core/incremental.h"
+
+#include "common/timer.h"
+
+namespace pghive {
+
+IncrementalDiscoverer::IncrementalDiscoverer(IncrementalOptions options)
+    : options_(options), pipeline_(options.pipeline) {}
+
+Status IncrementalDiscoverer::Feed(const GraphBatch& batch) {
+  Timer timer;
+  PGHIVE_RETURN_NOT_OK(pipeline_.ProcessBatch(batch, &schema_));
+  if (options_.post_process_each_batch) {
+    pipeline_.PostProcess(*batch.graph, &schema_);
+  }
+  batch_seconds_.push_back(timer.ElapsedSeconds());
+  return Status::OK();
+}
+
+const SchemaGraph& IncrementalDiscoverer::Finish(const PropertyGraph& g) {
+  pipeline_.PostProcess(g, &schema_);
+  return schema_;
+}
+
+namespace {
+
+/// Reinterprets a schema type as a cluster so schema-with-schema merging
+/// reuses Algorithm 2 verbatim.
+Cluster NodeTypeAsCluster(const SchemaNodeType& t) {
+  Cluster c;
+  c.members.assign(t.instances.begin(), t.instances.end());
+  c.labels = t.labels;
+  c.property_keys = t.property_keys;
+  return c;
+}
+
+Cluster EdgeTypeAsCluster(const SchemaEdgeType& t) {
+  Cluster c;
+  c.members.assign(t.instances.begin(), t.instances.end());
+  c.labels = t.labels;
+  c.property_keys = t.property_keys;
+  c.source_labels = t.source_labels;
+  c.target_labels = t.target_labels;
+  return c;
+}
+
+}  // namespace
+
+SchemaGraph MergeSchemas(const SchemaGraph& s1, const SchemaGraph& s2,
+                         const TypeExtractionOptions& options) {
+  SchemaGraph merged = s1;
+  std::vector<Cluster> node_clusters;
+  node_clusters.reserve(s2.node_types.size());
+  for (const auto& t : s2.node_types) {
+    node_clusters.push_back(NodeTypeAsCluster(t));
+  }
+  std::vector<Cluster> edge_clusters;
+  edge_clusters.reserve(s2.edge_types.size());
+  for (const auto& t : s2.edge_types) {
+    edge_clusters.push_back(EdgeTypeAsCluster(t));
+  }
+  ExtractNodeTypes(node_clusters, options, &merged);
+  ExtractEdgeTypes(edge_clusters, options, &merged);
+  return merged;
+}
+
+}  // namespace pghive

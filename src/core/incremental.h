@@ -1,0 +1,62 @@
+// Incremental schema discovery (paper §4.6).
+//
+// IncrementalDiscoverer streams batches through the same
+// preprocess/cluster/extract pipeline and merges each batch's types into the
+// evolving schema via Algorithm 2, so S_i ⊑ S_{i+1} forms a monotone chain
+// (no label, property or endpoint is ever lost). Post-processing can run
+// after every batch (Algorithm 1's postProcessing flag) or only at the end.
+
+#ifndef PGHIVE_CORE_INCREMENTAL_H_
+#define PGHIVE_CORE_INCREMENTAL_H_
+
+#include <vector>
+
+#include "core/pipeline.h"
+
+namespace pghive {
+
+struct IncrementalOptions {
+  PipelineOptions pipeline;
+  /// Run constraint/datatype/cardinality inference after every batch rather
+  /// than only on Finish() (paper: optional postProcessing flag).
+  bool post_process_each_batch = false;
+};
+
+class IncrementalDiscoverer {
+ public:
+  explicit IncrementalDiscoverer(IncrementalOptions options = {});
+
+  /// Processes one new batch and merges it into the running schema.
+  Status Feed(const GraphBatch& batch);
+
+  /// Number of batches processed so far.
+  size_t batches_processed() const { return batch_seconds_.size(); }
+
+  /// Wall-clock seconds each Feed() call took (Figure 7 series).
+  const std::vector<double>& batch_seconds() const { return batch_seconds_; }
+
+  /// The schema as of the last processed batch (constraints only filled if
+  /// post_process_each_batch or after Finish()).
+  const SchemaGraph& schema() const { return schema_; }
+
+  /// Final post-processing pass over everything fed so far; returns the
+  /// completed schema. `g` must be the graph the batches sliced.
+  const SchemaGraph& Finish(const PropertyGraph& g);
+
+ private:
+  IncrementalOptions options_;
+  PgHivePipeline pipeline_;
+  SchemaGraph schema_;
+  std::vector<double> batch_seconds_;
+};
+
+/// Merges two independently discovered schemas into the least general
+/// schema covering both (paper §4.6 "Schema merging"): node/edge types merge
+/// by identical label set; unlabeled types merge into labeled then unlabeled
+/// ones by property Jaccard; leftovers stay ABSTRACT.
+SchemaGraph MergeSchemas(const SchemaGraph& s1, const SchemaGraph& s2,
+                         const TypeExtractionOptions& options = {});
+
+}  // namespace pghive
+
+#endif  // PGHIVE_CORE_INCREMENTAL_H_

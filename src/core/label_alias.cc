@@ -1,0 +1,76 @@
+#include "core/label_alias.h"
+
+#include "common/string_util.h"
+
+namespace pghive {
+
+void AliasTable::Add(const std::string& alias, const std::string& canonical) {
+  if (alias == canonical) return;
+  aliases_[alias] = canonical;
+}
+
+Result<std::string> AliasTable::Resolve(const std::string& label) const {
+  std::string current = label;
+  // Follow the chain; more hops than table entries means a cycle.
+  for (size_t hops = 0; hops <= aliases_.size(); ++hops) {
+    auto it = aliases_.find(current);
+    if (it == aliases_.end()) return current;
+    current = it->second;
+  }
+  return Status::FailedPrecondition("alias cycle involving label '" + label +
+                                    "'");
+}
+
+Result<AliasTable> AliasTable::FromText(const std::string& text) {
+  AliasTable table;
+  size_t line_no = 0;
+  for (const auto& raw : Split(text, '\n')) {
+    ++line_no;
+    std::string line(Trim(raw));
+    if (line.empty() || line[0] == '#') continue;
+    auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      return Status::ParseError("alias line " + std::to_string(line_no) +
+                                " is not 'alias=canonical': " + line);
+    }
+    std::string alias(Trim(line.substr(0, eq)));
+    std::string canonical(Trim(line.substr(eq + 1)));
+    if (alias.empty() || canonical.empty()) {
+      return Status::ParseError("alias line " + std::to_string(line_no) +
+                                " has an empty side");
+    }
+    table.Add(alias, canonical);
+  }
+  return table;
+}
+
+namespace {
+
+Result<std::set<std::string>> ResolveSet(const std::set<std::string>& labels,
+                                         const AliasTable& table) {
+  std::set<std::string> out;
+  for (const auto& l : labels) {
+    PGHIVE_ASSIGN_OR_RETURN(std::string canonical, table.Resolve(l));
+    out.insert(std::move(canonical));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<PropertyGraph> ApplyAliases(const PropertyGraph& g,
+                                   const AliasTable& table) {
+  PropertyGraph out = g;
+  if (table.empty()) return out;
+  for (size_t i = 0; i < out.num_nodes(); ++i) {
+    PGHIVE_ASSIGN_OR_RETURN(out.mutable_node(i).labels,
+                            ResolveSet(out.node(i).labels, table));
+  }
+  for (size_t i = 0; i < out.num_edges(); ++i) {
+    PGHIVE_ASSIGN_OR_RETURN(out.mutable_edge(i).labels,
+                            ResolveSet(out.edge(i).labels, table));
+  }
+  return out;
+}
+
+}  // namespace pghive

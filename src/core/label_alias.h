@@ -1,0 +1,55 @@
+// Label alignment for integration scenarios (paper §6 future work (c):
+// "support integration scenarios when label semantics are not consistent
+// (e.g., labels in different languages)" — implemented here as a manual
+// alias table; the paper envisions LLM-derived alignments, which would
+// simply populate the same table).
+//
+// An AliasTable maps synonymous labels onto a canonical label (e.g.
+// Company -> Organization, Organisation -> Organization, Firma ->
+// Organization). ApplyAliases rewrites a graph's node and edge labels
+// before discovery, so instances of the same conceptual type integrate into
+// one schema type even when their sources disagree on naming.
+
+#ifndef PGHIVE_CORE_LABEL_ALIAS_H_
+#define PGHIVE_CORE_LABEL_ALIAS_H_
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "graph/property_graph.h"
+
+namespace pghive {
+
+class AliasTable {
+ public:
+  AliasTable() = default;
+
+  /// Declares `alias` to mean `canonical`. Chains are allowed (a->b, b->c
+  /// resolves a to c); cycles fail at Resolve time. Self-aliases are no-ops.
+  void Add(const std::string& alias, const std::string& canonical);
+
+  /// Canonical form of a label (itself when unaliased). Fails with
+  /// FailedPrecondition on an alias cycle.
+  Result<std::string> Resolve(const std::string& label) const;
+
+  size_t size() const { return aliases_.size(); }
+  bool empty() const { return aliases_.empty(); }
+
+  /// Parses "alias=canonical" lines (comments with '#', blank lines
+  /// skipped) — the file format the CLI accepts via --aliases.
+  static Result<AliasTable> FromText(const std::string& text);
+
+ private:
+  std::map<std::string, std::string> aliases_;
+};
+
+/// Returns a copy of `g` with every node and edge label resolved through
+/// the table. Ground-truth annotations are untouched. Fails if any label
+/// resolves through a cycle.
+Result<PropertyGraph> ApplyAliases(const PropertyGraph& g,
+                                   const AliasTable& table);
+
+}  // namespace pghive
+
+#endif  // PGHIVE_CORE_LABEL_ALIAS_H_

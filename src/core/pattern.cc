@@ -1,0 +1,35 @@
+#include "core/pattern.h"
+
+#include <algorithm>
+
+namespace pghive {
+
+NodePattern PatternOf(const Node& n) {
+  NodePattern p;
+  p.labels = n.labels;
+  for (const auto& [k, v] : n.properties) p.property_keys.insert(k);
+  return p;
+}
+
+EdgePattern PatternOf(const PropertyGraph& g, const Edge& e) {
+  EdgePattern p;
+  p.labels = e.labels;
+  for (const auto& [k, v] : e.properties) p.property_keys.insert(k);
+  p.source_labels = g.node(e.source).labels;
+  p.target_labels = g.node(e.target).labels;
+  return p;
+}
+
+std::vector<NodePattern> DistinctNodePatterns(const PropertyGraph& g) {
+  std::set<NodePattern> set;
+  for (const auto& n : g.nodes()) set.insert(PatternOf(n));
+  return {set.begin(), set.end()};
+}
+
+std::vector<EdgePattern> DistinctEdgePatterns(const PropertyGraph& g) {
+  std::set<EdgePattern> set;
+  for (const auto& e : g.edges()) set.insert(PatternOf(g, e));
+  return {set.begin(), set.end()};
+}
+
+}  // namespace pghive

@@ -1,0 +1,63 @@
+// Node and edge patterns (Definitions 3.5 / 3.6).
+//
+// A pattern is the structural fingerprint of an instance: its label set and
+// property-key set (plus source/target label sets for edges). Types are
+// associated with one or more patterns; pattern extraction is used by the
+// evaluation (Table 2 pattern counts) and by tests.
+
+#ifndef PGHIVE_CORE_PATTERN_H_
+#define PGHIVE_CORE_PATTERN_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "graph/property_graph.h"
+
+namespace pghive {
+
+/// T_Np = (L, K).
+struct NodePattern {
+  std::set<std::string> labels;
+  std::set<std::string> property_keys;
+
+  bool operator==(const NodePattern& o) const = default;
+  bool operator<(const NodePattern& o) const {
+    if (labels != o.labels) return labels < o.labels;
+    return property_keys < o.property_keys;
+  }
+};
+
+/// T_Ep = (L, K, R) with R = (source labels, target labels).
+struct EdgePattern {
+  std::set<std::string> labels;
+  std::set<std::string> property_keys;
+  std::set<std::string> source_labels;
+  std::set<std::string> target_labels;
+
+  bool operator==(const EdgePattern& o) const = default;
+  bool operator<(const EdgePattern& o) const {
+    if (labels != o.labels) return labels < o.labels;
+    if (property_keys != o.property_keys)
+      return property_keys < o.property_keys;
+    if (source_labels != o.source_labels)
+      return source_labels < o.source_labels;
+    return target_labels < o.target_labels;
+  }
+};
+
+/// Pattern of a single node.
+NodePattern PatternOf(const Node& n);
+
+/// Pattern of a single edge within its graph (endpoint labels resolved).
+EdgePattern PatternOf(const PropertyGraph& g, const Edge& e);
+
+/// All distinct node patterns of a graph, sorted.
+std::vector<NodePattern> DistinctNodePatterns(const PropertyGraph& g);
+
+/// All distinct edge patterns of a graph, sorted.
+std::vector<EdgePattern> DistinctEdgePatterns(const PropertyGraph& g);
+
+}  // namespace pghive
+
+#endif  // PGHIVE_CORE_PATTERN_H_

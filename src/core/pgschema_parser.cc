@@ -1,0 +1,344 @@
+#include "core/pgschema_parser.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace pghive {
+
+namespace {
+
+// ---------- tokenizer ----------
+
+enum class TokenKind {
+  kIdentifier,  // [A-Za-z0-9_.~]+ (identifiers; GQL keywords resolved later)
+  kPunct,       // single-character punctuation ( ) [ ] { } , : & |
+  kArrow,       // ->
+  kComment,     // /* ... */ (cardinality annotations)
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  size_t offset = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> tokens;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '.' || c == '~') {
+        size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '_' || text_[pos_] == '.' ||
+                text_[pos_] == '~')) {
+          ++pos_;
+        }
+        tokens.push_back({TokenKind::kIdentifier,
+                          text_.substr(start, pos_ - start), start});
+        continue;
+      }
+      if (c == '-' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '>') {
+        tokens.push_back({TokenKind::kArrow, "->", pos_});
+        pos_ += 2;
+        continue;
+      }
+      if (c == '/' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '*') {
+        size_t start = pos_;
+        size_t end = text_.find("*/", pos_ + 2);
+        if (end == std::string::npos) {
+          return Status::ParseError("unterminated comment at offset " +
+                                    std::to_string(start));
+        }
+        tokens.push_back({TokenKind::kComment,
+                          text_.substr(start + 2, end - start - 2), start});
+        pos_ = end + 2;
+        continue;
+      }
+      if (std::string("()[]{},:&|-").find(c) != std::string::npos) {
+        tokens.push_back({TokenKind::kPunct, std::string(1, c), pos_});
+        ++pos_;
+        continue;
+      }
+      return Status::ParseError(std::string("unexpected character '") + c +
+                                "' at offset " + std::to_string(pos_));
+    }
+    tokens.push_back({TokenKind::kEnd, "", text_.size()});
+    return tokens;
+  }
+
+ private:
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// ---------- parser ----------
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ParsedPgSchema> Parse() {
+    ParsedPgSchema out;
+    PGHIVE_RETURN_NOT_OK(ExpectIdentifier("CREATE"));
+    PGHIVE_RETURN_NOT_OK(ExpectIdentifier("GRAPH"));
+    PGHIVE_RETURN_NOT_OK(ExpectIdentifier("TYPE"));
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Error("expected graph type name");
+    }
+    out.graph_name = Next().text;
+    if (Peek().kind != TokenKind::kIdentifier ||
+        (Peek().text != "STRICT" && Peek().text != "LOOSE")) {
+      return Error("expected STRICT or LOOSE");
+    }
+    out.mode = Next().text == "LOOSE" ? PgSchemaMode::kLoose
+                                      : PgSchemaMode::kStrict;
+    PGHIVE_RETURN_NOT_OK(ExpectPunct("{"));
+    if (!PeekPunct("}")) {
+      for (;;) {
+        PGHIVE_RETURN_NOT_OK(ParseDeclaration(&out));
+        if (PeekPunct(",")) {
+          Next();
+          continue;
+        }
+        break;
+      }
+    }
+    PGHIVE_RETURN_NOT_OK(ExpectPunct("}"));
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("trailing content after schema body");
+    }
+    return out;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Next() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(msg + " at offset " +
+                              std::to_string(Peek().offset));
+  }
+
+  bool PeekPunct(const std::string& p, size_t ahead = 0) const {
+    return Peek(ahead).kind == TokenKind::kPunct && Peek(ahead).text == p;
+  }
+
+  Status ExpectPunct(const std::string& p) {
+    if (!PeekPunct(p)) return Error("expected '" + p + "'");
+    Next();
+    return Status::OK();
+  }
+
+  Status ExpectIdentifier(const std::string& word) {
+    if (Peek().kind != TokenKind::kIdentifier || Peek().text != word) {
+      return Error("expected '" + word + "'");
+    }
+    Next();
+    return Status::OK();
+  }
+
+  static std::string RecoverTypeName(const std::string& identifier) {
+    if (EndsWith(identifier, "Type") && identifier.size() > 4) {
+      return identifier.substr(0, identifier.size() - 4);
+    }
+    return identifier;
+  }
+
+  // "Label & Label & ..." -> set.
+  Result<std::set<std::string>> ParseLabelConjunction() {
+    std::set<std::string> labels;
+    for (;;) {
+      if (Peek().kind != TokenKind::kIdentifier) {
+        return Error("expected label");
+      }
+      labels.insert(Next().text);
+      if (PeekPunct("&")) {
+        Next();
+        continue;
+      }
+      return labels;
+    }
+  }
+
+  // "Label | Label | ..." -> set (edge endpoint alternatives).
+  Result<std::set<std::string>> ParseLabelDisjunction() {
+    std::set<std::string> labels;
+    for (;;) {
+      if (Peek().kind != TokenKind::kIdentifier) {
+        return Error("expected endpoint label");
+      }
+      labels.insert(Next().text);
+      if (PeekPunct("|")) {
+        Next();
+        continue;
+      }
+      return labels;
+    }
+  }
+
+  // "{key [OPTIONAL] [GQLTYPE], ...}"; LOOSE bodies omit type/optionality.
+  Status ParsePropertyBlock(std::set<std::string>* keys,
+                            std::map<std::string, PropertyConstraint>* cs) {
+    PGHIVE_RETURN_NOT_OK(ExpectPunct("{"));
+    if (PeekPunct("}")) {
+      Next();
+      return Status::OK();
+    }
+    for (;;) {
+      if (Peek().kind != TokenKind::kIdentifier) {
+        return Error("expected property key");
+      }
+      std::string key = Next().text;
+      keys->insert(key);
+      bool optional = false;
+      if (Peek().kind == TokenKind::kIdentifier && Peek().text == "OPTIONAL") {
+        Next();
+        optional = true;
+      }
+      if (Peek().kind == TokenKind::kIdentifier) {
+        auto type = GqlNameToDataType(Peek().text);
+        if (!type.ok()) {
+          return Error("unknown datatype '" + Peek().text + "'");
+        }
+        Next();
+        (*cs)[key] = {*type, !optional};
+      } else if (optional) {
+        // "key OPTIONAL" without a type still records optionality.
+        (*cs)[key] = {DataType::kString, false};
+      }
+      if (PeekPunct(",")) {
+        Next();
+        continue;
+      }
+      return ExpectPunct("}");
+    }
+  }
+
+  static Result<DataType> GqlNameToDataType(const std::string& name) {
+    for (DataType t : {DataType::kInt, DataType::kDouble, DataType::kBool,
+                       DataType::kDate, DataType::kTimestamp,
+                       DataType::kString}) {
+      if (name == DataTypeGqlName(t)) return t;
+    }
+    return Status::InvalidArgument("unknown GQL type " + name);
+  }
+
+  static Result<SchemaCardinality> ParseCardinalityComment(
+      const std::string& body) {
+    std::string trimmed(Trim(body));
+    if (!StartsWith(trimmed, "cardinality ")) {
+      return Status::InvalidArgument("not a cardinality comment");
+    }
+    std::string name(Trim(trimmed.substr(12)));
+    for (SchemaCardinality c :
+         {SchemaCardinality::kZeroOrOne, SchemaCardinality::kManyToOne,
+          SchemaCardinality::kOneToMany, SchemaCardinality::kManyToMany}) {
+      if (name == SchemaCardinalityName(c)) return c;
+    }
+    return Status::InvalidArgument("unknown cardinality " + name);
+  }
+
+  // One "(...)" node declaration or "(...)-[...]->(...)" edge declaration.
+  Status ParseDeclaration(ParsedPgSchema* out) {
+    PGHIVE_RETURN_NOT_OK(ExpectPunct("("));
+
+    // Edge declarations start with an endpoint spec: ")" (empty) or
+    // ": Label..."; node declarations start with the type identifier.
+    bool is_edge =
+        PeekPunct(")") ||
+        (PeekPunct(":") );
+    if (is_edge) return ParseEdgeTail(out);
+
+    SchemaNodeType t;
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Error("expected node type identifier");
+    }
+    t.name = RecoverTypeName(Next().text);
+    if (Peek().kind == TokenKind::kIdentifier && Peek().text == "ABSTRACT") {
+      Next();
+      t.is_abstract = true;
+    }
+    if (PeekPunct(":")) {
+      Next();
+      PGHIVE_ASSIGN_OR_RETURN(t.labels, ParseLabelConjunction());
+    } else {
+      t.is_abstract = true;  // label-less node type is abstract by definition
+    }
+    if (PeekPunct("{")) {
+      PGHIVE_RETURN_NOT_OK(ParsePropertyBlock(&t.property_keys,
+                                              &t.constraints));
+    }
+    PGHIVE_RETURN_NOT_OK(ExpectPunct(")"));
+    out->schema.node_types.push_back(std::move(t));
+    return Status::OK();
+  }
+
+  // Continues after "(" of an edge: endpoints, -[decl]->, endpoints.
+  Status ParseEdgeTail(ParsedPgSchema* out) {
+    SchemaEdgeType t;
+    if (PeekPunct(":")) {
+      Next();
+      PGHIVE_ASSIGN_OR_RETURN(t.source_labels, ParseLabelDisjunction());
+    }
+    PGHIVE_RETURN_NOT_OK(ExpectPunct(")"));
+    PGHIVE_RETURN_NOT_OK(ExpectPunct("-"));
+    PGHIVE_RETURN_NOT_OK(ExpectPunct("["));
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Error("expected edge type identifier");
+    }
+    t.name = RecoverTypeName(Next().text);
+    if (PeekPunct(":")) {
+      Next();
+      PGHIVE_ASSIGN_OR_RETURN(t.labels, ParseLabelConjunction());
+    } else {
+      t.is_abstract = true;
+    }
+    if (PeekPunct("{")) {
+      PGHIVE_RETURN_NOT_OK(ParsePropertyBlock(&t.property_keys,
+                                              &t.constraints));
+    }
+    PGHIVE_RETURN_NOT_OK(ExpectPunct("]"));
+    if (Peek().kind != TokenKind::kArrow) return Error("expected '->'");
+    Next();
+    PGHIVE_RETURN_NOT_OK(ExpectPunct("("));
+    if (PeekPunct(":")) {
+      Next();
+      PGHIVE_ASSIGN_OR_RETURN(t.target_labels, ParseLabelDisjunction());
+    }
+    PGHIVE_RETURN_NOT_OK(ExpectPunct(")"));
+    if (Peek().kind == TokenKind::kComment) {
+      auto card = ParseCardinalityComment(Peek().text);
+      if (card.ok()) t.cardinality = *card;
+      Next();  // unknown comments are ignored
+    }
+    out->schema.edge_types.push_back(std::move(t));
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ParsedPgSchema> ParsePgSchema(const std::string& text) {
+  PGHIVE_ASSIGN_OR_RETURN(auto tokens, Lexer(text).Tokenize());
+  return Parser(std::move(tokens)).Parse();
+}
+
+}  // namespace pghive

@@ -1,0 +1,43 @@
+// Parser for the PG-Schema-style grammar emitted by core/serialization.h.
+//
+// PG-Schema has no finalized concrete syntax (paper §4.5); this parser
+// accepts the illustrative grammar of Angles et al. (2023) that ToPgSchema
+// writes, in both LOOSE and STRICT modes:
+//
+//   CREATE GRAPH TYPE Name STRICT {
+//     (PersonType: Person {name STRING, email OPTIONAL STRING}),
+//     (GhostType ABSTRACT {blob OPTIONAL STRING}),
+//     (: Person)-[KnowsType: KNOWS {since OPTIONAL DATE}]->(: Person)
+//         /* cardinality M:N */
+//   }
+//
+// Together with ToPgSchema this gives a full round-trip: a discovered
+// schema can be exported, reviewed/edited by hand, and re-imported for
+// validation. Type names are recovered by stripping the "Type" suffix;
+// everything else (labels, properties, constraints, endpoints,
+// cardinalities, ABSTRACT flags) round-trips losslessly.
+
+#ifndef PGHIVE_CORE_PGSCHEMA_PARSER_H_
+#define PGHIVE_CORE_PGSCHEMA_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "core/schema.h"
+#include "core/serialization.h"
+
+namespace pghive {
+
+struct ParsedPgSchema {
+  std::string graph_name;
+  PgSchemaMode mode = PgSchemaMode::kStrict;
+  SchemaGraph schema;
+};
+
+/// Parses a PG-Schema document. Fails with ParseError (with offset
+/// information) on malformed input.
+Result<ParsedPgSchema> ParsePgSchema(const std::string& text);
+
+}  // namespace pghive
+
+#endif  // PGHIVE_CORE_PGSCHEMA_PARSER_H_

@@ -1,0 +1,194 @@
+#include "core/pipeline.h"
+
+#include <set>
+
+#include "cluster/lsh_clusterer.h"
+#include "common/string_util.h"
+#include "core/cardinality.h"
+#include "core/constraints.h"
+
+namespace pghive {
+
+const char* ClusteringMethodName(ClusteringMethod m) {
+  switch (m) {
+    case ClusteringMethod::kElsh:
+      return "ELSH";
+    case ClusteringMethod::kMinHash:
+      return "MinHash";
+  }
+  return "?";
+}
+
+std::vector<std::vector<std::string>> BuildBatchLabelCorpus(
+    const GraphBatch& batch) {
+  // One singleton sentence per observed label-set token. The paper trains
+  // Word2Vec "on the set of node and edge labels observed in the dataset to
+  // ensure consistent semantic embeddings across identical label sets" —
+  // the embeddings must be consistent and DISTINCT per token. Feeding
+  // co-occurrence sentences instead (e.g. (src, edge, tgt) triples) would
+  // pull the labels of frequently-connected types together and collapse the
+  // very separation the encoding needs (§4.1: the representation "prevents
+  // semantically different nodes, or edges, from being merged due to their
+  // same structure").
+  const PropertyGraph& g = *batch.graph;
+  std::set<std::string> tokens;
+  for (size_t i = batch.node_begin; i < batch.node_end; ++i) {
+    const Node& n = g.node(i);
+    if (!n.labels.empty()) tokens.insert(CanonicalLabelToken(n.labels));
+  }
+  for (size_t i = batch.edge_begin; i < batch.edge_end; ++i) {
+    const Edge& e = g.edge(i);
+    if (!e.labels.empty()) tokens.insert(CanonicalLabelToken(e.labels));
+    const Node& src = g.node(e.source);
+    const Node& tgt = g.node(e.target);
+    if (!src.labels.empty()) tokens.insert(CanonicalLabelToken(src.labels));
+    if (!tgt.labels.empty()) tokens.insert(CanonicalLabelToken(tgt.labels));
+  }
+  std::vector<std::vector<std::string>> corpus;
+  corpus.reserve(tokens.size());
+  for (const auto& t : tokens) corpus.push_back({t});
+  return corpus;
+}
+
+namespace {
+
+// Distinct individual labels over a batch slice (the L of the alpha(L)
+// heuristic).
+size_t CountDistinctLabels(const GraphBatch& batch, ElementKind kind) {
+  const PropertyGraph& g = *batch.graph;
+  std::set<std::string> labels;
+  if (kind == ElementKind::kNode) {
+    for (size_t i = batch.node_begin; i < batch.node_end; ++i) {
+      const auto& ls = g.node(i).labels;
+      labels.insert(ls.begin(), ls.end());
+    }
+  } else {
+    for (size_t i = batch.edge_begin; i < batch.edge_end; ++i) {
+      const auto& ls = g.edge(i).labels;
+      labels.insert(ls.begin(), ls.end());
+    }
+  }
+  return labels.size();
+}
+
+}  // namespace
+
+PgHivePipeline::PgHivePipeline(PipelineOptions options)
+    : options_(options) {}
+
+Status PgHivePipeline::ProcessBatch(const GraphBatch& batch,
+                                    SchemaGraph* schema) {
+  const PropertyGraph& g = *batch.graph;
+
+  // Preprocess: train the label embedder on the batch corpus, then encode.
+  LabelEmbedderOptions embed_opt = options_.embedding;
+  embed_opt.seed = options_.seed;
+  LabelEmbedder embedder(embed_opt);
+  PGHIVE_RETURN_NOT_OK(embedder.Train(BuildBatchLabelCorpus(batch)));
+  FeatureEncoder encoder(&embedder, options_.encoder);
+
+  // Clusters one encoded population with the configured LSH backend.
+  auto cluster_population =
+      [&](const EncodedElements& enc, ElementKind kind,
+          AdaptiveLshParams* diag)
+      -> Result<std::vector<std::vector<size_t>>> {
+    std::vector<std::vector<size_t>> groups;
+    if (enc.ids.empty()) return groups;
+    DataProfile profile;
+    if (options_.adaptive_parameters) {
+      profile.num_elements = enc.ids.size();
+      profile.num_distinct_labels = CountDistinctLabels(batch, kind);
+      profile.mean_pairwise_distance =
+          SampleMeanDistance(enc.vectors, options_.seed);
+      *diag = ComputeAdaptiveParams(profile, kind, options_.adaptive_tuning);
+    }
+    if (options_.method == ClusteringMethod::kElsh) {
+      EuclideanLshOptions lsh_opt = options_.elsh;
+      if (options_.adaptive_parameters) {
+        lsh_opt = ToElshOptions(*diag, options_.seed);
+        lsh_opt.hashes_per_table = options_.elsh.hashes_per_table;
+      }
+      PGHIVE_ASSIGN_OR_RETURN(
+          EuclideanLsh lsh,
+          EuclideanLsh::Create(enc.vectors[0].size(), lsh_opt));
+      std::vector<std::vector<uint64_t>> keys;
+      keys.reserve(enc.vectors.size());
+      for (const auto& v : enc.vectors) keys.push_back(lsh.Hash(v));
+      return ClusterByBucketKeys(keys);
+    }
+    MinHashLshOptions mh_opt = options_.minhash;
+    if (options_.adaptive_parameters) {
+      // The adaptive table count T is the signature length (the paper's
+      // "number of hash tables" for MinHash).
+      mh_opt.num_hashes =
+          std::max(diag->num_tables, mh_opt.rows_per_band);
+      mh_opt.num_hashes -= mh_opt.num_hashes % mh_opt.rows_per_band;
+      mh_opt.seed = options_.seed;
+    }
+    PGHIVE_ASSIGN_OR_RETURN(MinHashLsh lsh, MinHashLsh::Create(mh_opt));
+    // Clustering rule: two elements share a cluster seed iff their whole
+    // signatures agree (probability J^T) — similar sets collide often,
+    // dissimilar ones rarely (§4.2). Fragments are reunited by Algorithm 2.
+    std::vector<std::vector<uint64_t>> keys;
+    keys.reserve(enc.token_sets.size());
+    for (const auto& tokens : enc.token_sets) {
+      keys.push_back({lsh.SignatureKey(lsh.Signature(tokens))});
+    }
+    return ClusterByBucketKeys(keys);
+  };
+
+  // --- Nodes first (edges consume the discovered node types). ---
+  EncodedElements nodes = encoder.EncodeNodes(batch);
+  PGHIVE_ASSIGN_OR_RETURN(
+      auto node_groups,
+      cluster_population(nodes, ElementKind::kNode,
+                         &diagnostics_.node_params));
+  diagnostics_.node_clusters = node_groups.size();
+  ExtractNodeTypes(BuildNodeClusters(g, nodes.ids, node_groups),
+                   options_.extraction, schema);
+
+  // Map this batch's unlabeled nodes to their discovered type's endpoint
+  // label set so edges still see typed endpoints: a node that merged into a
+  // labeled type looks exactly like a labeled endpoint; abstract types
+  // contribute a "~ABSTRACT_n" marker token.
+  FeatureEncoder::EndpointLabelMap endpoint_labels;
+  endpoint_labels.reserve(batch.num_nodes());
+  for (const auto& t : schema->node_types) {
+    std::set<std::string> tokens =
+        t.labels.empty() ? std::set<std::string>{"~" + t.name} : t.labels;
+    for (NodeId id : t.instances) {
+      if (id >= batch.node_begin && id < batch.node_end &&
+          g.node(id).labels.empty()) {
+        endpoint_labels[id] = tokens;
+      }
+    }
+  }
+
+  // --- Edges. ---
+  EncodedElements edges = encoder.EncodeEdges(batch, endpoint_labels);
+  PGHIVE_ASSIGN_OR_RETURN(
+      auto edge_groups,
+      cluster_population(edges, ElementKind::kEdge,
+                         &diagnostics_.edge_params));
+  diagnostics_.edge_clusters = edge_groups.size();
+  ExtractEdgeTypes(
+      BuildEdgeClusters(g, edges.ids, edge_groups, endpoint_labels),
+      options_.extraction, schema);
+  return Status::OK();
+}
+
+void PgHivePipeline::PostProcess(const PropertyGraph& g,
+                                 SchemaGraph* schema) const {
+  InferPropertyConstraints(g, schema);
+  InferDataTypes(g, options_.datatypes, schema);
+  ComputeCardinalities(g, schema);
+}
+
+Result<SchemaGraph> PgHivePipeline::DiscoverSchema(const PropertyGraph& g) {
+  SchemaGraph schema;
+  PGHIVE_RETURN_NOT_OK(ProcessBatch(FullBatch(g), &schema));
+  if (options_.post_process) PostProcess(g, &schema);
+  return schema;
+}
+
+}  // namespace pghive

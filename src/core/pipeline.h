@@ -1,0 +1,100 @@
+// The PG-HIVE schema discovery pipeline (paper §4, Algorithm 1).
+//
+// Stages per batch: load -> preprocess (label-embedding + binary property
+// vectors, §4.1) -> LSH clustering (ELSH or MinHash, §4.2) -> type
+// extraction & merging (Algorithm 2, §4.3) -> optional post-processing
+// (constraints, datatypes, cardinalities, §4.4). The static mode runs a
+// single batch covering the whole graph; core/incremental.h streams batches
+// through the same ProcessBatch entry point.
+
+#ifndef PGHIVE_CORE_PIPELINE_H_
+#define PGHIVE_CORE_PIPELINE_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "core/feature_encoder.h"
+#include "core/datatype_inference.h"
+#include "core/schema.h"
+#include "core/type_extraction.h"
+#include "graph/property_graph.h"
+#include "lsh/adaptive_params.h"
+#include "lsh/euclidean_lsh.h"
+#include "lsh/minhash_lsh.h"
+#include "text/label_embedder.h"
+
+namespace pghive {
+
+/// The two LSH clustering backends evaluated in the paper.
+enum class ClusteringMethod { kElsh, kMinHash };
+
+const char* ClusteringMethodName(ClusteringMethod m);
+
+struct PipelineOptions {
+  ClusteringMethod method = ClusteringMethod::kElsh;
+
+  /// Label embedding (Word2Vec by default, §4.1).
+  LabelEmbedderOptions embedding;
+
+  /// Feature-encoding knobs.
+  FeatureEncoderOptions encoder;
+
+  /// theta and merge behaviour (Algorithm 2).
+  TypeExtractionOptions extraction;
+
+  /// When true (default) b and T are derived from the data (§4.2);
+  /// otherwise the explicit elsh/minhash options below are used.
+  bool adaptive_parameters = true;
+  AdaptiveTuning adaptive_tuning;
+  EuclideanLshOptions elsh;
+  MinHashLshOptions minhash;
+
+  /// Post-processing toggle (Algorithm 1 lines 7-10) and sampling options.
+  bool post_process = true;
+  DataTypeInferenceOptions datatypes;
+
+  uint64_t seed = 42;
+};
+
+/// Diagnostics of the most recent batch (exposed for Figure 6 and tests).
+struct BatchDiagnostics {
+  AdaptiveLshParams node_params;
+  AdaptiveLshParams edge_params;
+  size_t node_clusters = 0;  // raw LSH clusters before merging
+  size_t edge_clusters = 0;
+};
+
+class PgHivePipeline {
+ public:
+  explicit PgHivePipeline(PipelineOptions options = {});
+
+  const PipelineOptions& options() const { return options_; }
+
+  /// Static schema discovery: one batch over the whole graph, then
+  /// post-processing (when enabled).
+  Result<SchemaGraph> DiscoverSchema(const PropertyGraph& g);
+
+  /// Runs preprocess -> clustering -> type extraction for one batch,
+  /// merging into `schema` (Algorithm 1 lines 3-6 + 11). Post-processing is
+  /// NOT applied here; call PostProcess when needed.
+  Status ProcessBatch(const GraphBatch& batch, SchemaGraph* schema);
+
+  /// Constraint, datatype and cardinality inference over the instances
+  /// currently assigned in `schema` (Algorithm 1 lines 7-10).
+  void PostProcess(const PropertyGraph& g, SchemaGraph* schema) const;
+
+  const BatchDiagnostics& last_diagnostics() const { return diagnostics_; }
+
+ private:
+  PipelineOptions options_;
+  BatchDiagnostics diagnostics_;
+};
+
+/// Label corpus restricted to one batch (the incremental pipeline trains
+/// its embedder on the data it has seen in the batch).
+std::vector<std::vector<std::string>> BuildBatchLabelCorpus(
+    const GraphBatch& batch);
+
+}  // namespace pghive
+
+#endif  // PGHIVE_CORE_PIPELINE_H_

@@ -1,0 +1,88 @@
+#include "core/schema.h"
+
+#include <algorithm>
+
+namespace pghive {
+
+const char* SchemaCardinalityName(SchemaCardinality c) {
+  switch (c) {
+    case SchemaCardinality::kUnknown:
+      return "?";
+    case SchemaCardinality::kZeroOrOne:
+      return "0:1";
+    case SchemaCardinality::kManyToOne:
+      return "N:1";
+    case SchemaCardinality::kOneToMany:
+      return "0:N";
+    case SchemaCardinality::kManyToMany:
+      return "M:N";
+  }
+  return "?";
+}
+
+int SchemaGraph::FindNodeTypeByLabels(
+    const std::set<std::string>& labels) const {
+  for (size_t i = 0; i < node_types.size(); ++i) {
+    if (node_types[i].labels == labels) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int SchemaGraph::FindEdgeTypeByLabels(
+    const std::set<std::string>& labels) const {
+  for (size_t i = 0; i < edge_types.size(); ++i) {
+    if (edge_types[i].labels == labels) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+namespace {
+
+bool IsSubset(const std::set<std::string>& sub,
+              const std::set<std::string>& super) {
+  return std::includes(super.begin(), super.end(), sub.begin(), sub.end());
+}
+
+}  // namespace
+
+bool SchemaCovers(const SchemaGraph& super, const SchemaGraph& sub) {
+  for (const auto& t : sub.node_types) {
+    bool covered = false;
+    for (const auto& s : super.node_types) {
+      if (IsSubset(t.labels, s.labels) &&
+          IsSubset(t.property_keys, s.property_keys)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  for (const auto& t : sub.edge_types) {
+    bool covered = false;
+    for (const auto& s : super.edge_types) {
+      if (IsSubset(t.labels, s.labels) &&
+          IsSubset(t.property_keys, s.property_keys) &&
+          IsSubset(t.source_labels, s.source_labels) &&
+          IsSubset(t.target_labels, s.target_labels)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+std::string SchemaSummary(const SchemaGraph& schema) {
+  size_t abstract_nodes = 0;
+  for (const auto& t : schema.node_types) {
+    if (t.is_abstract) ++abstract_nodes;
+  }
+  std::string out = std::to_string(schema.node_types.size()) +
+                    " node types (" + std::to_string(abstract_nodes) +
+                    " abstract), " + std::to_string(schema.edge_types.size()) +
+                    " edge types";
+  return out;
+}
+
+}  // namespace pghive

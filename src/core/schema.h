@@ -1,0 +1,92 @@
+// The discovered schema graph (Definitions 3.2-3.4, PG-Schema flavored).
+//
+// A SchemaGraph holds node types and edge types. Each type records its label
+// set, the union of observed property keys (Lemmas 1-2 guarantee unions are
+// never narrowed by merging), the assigned instance ids, and — after
+// post-processing — per-property constraints (datatype +
+// MANDATORY/OPTIONAL) and edge cardinalities.
+
+#ifndef PGHIVE_CORE_SCHEMA_H_
+#define PGHIVE_CORE_SCHEMA_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "graph/property_graph.h"
+#include "graph/value.h"
+
+namespace pghive {
+
+/// Edge-type cardinality classes derived from (max_out, max_in) as in §4.4:
+/// (1,1) -> 0:1, (>1,1) -> N:1, (1,>1) -> 0:N, (>1,>1) -> M:N.
+enum class SchemaCardinality {
+  kUnknown = 0,
+  kZeroOrOne,   // (1, 1)
+  kManyToOne,   // (>1, 1)
+  kOneToMany,   // (1, >1)
+  kManyToMany,  // (>1, >1)
+};
+
+const char* SchemaCardinalityName(SchemaCardinality c);
+
+/// Constraint of one property within a type: datatype + completeness.
+struct PropertyConstraint {
+  DataType type = DataType::kString;
+  bool mandatory = false;
+};
+
+/// Discovered node type (Def. 3.2).
+struct SchemaNodeType {
+  std::string name;                    // canonical label token or ABSTRACT_n
+  std::set<std::string> labels;        // lambda_n
+  std::set<std::string> property_keys; // union over instances
+  /// Filled by post-processing (constraints + datatypes); keys are a subset
+  /// of property_keys.
+  std::map<std::string, PropertyConstraint> constraints;
+  bool is_abstract = false;            // unlabeled, kept as ABSTRACT type
+  std::vector<NodeId> instances;       // assigned instance ids
+};
+
+/// Discovered edge type (Def. 3.3).
+struct SchemaEdgeType {
+  std::string name;
+  std::set<std::string> labels;
+  std::set<std::string> property_keys;
+  std::map<std::string, PropertyConstraint> constraints;
+  std::set<std::string> source_labels;  // rho_e, as endpoint label sets
+  std::set<std::string> target_labels;
+  SchemaCardinality cardinality = SchemaCardinality::kUnknown;
+  size_t max_out_degree = 0;  // raw (max_out, max_in) behind the class
+  size_t max_in_degree = 0;
+  bool is_abstract = false;
+  std::vector<EdgeId> instances;
+};
+
+/// The full discovered schema S_G = (V_s, E_s, rho_s).
+struct SchemaGraph {
+  std::vector<SchemaNodeType> node_types;
+  std::vector<SchemaEdgeType> edge_types;
+
+  size_t num_types() const { return node_types.size() + edge_types.size(); }
+
+  /// Index of the node type with exactly this label set, or -1.
+  int FindNodeTypeByLabels(const std::set<std::string>& labels) const;
+
+  /// Index of the edge type with exactly this label set, or -1.
+  int FindEdgeTypeByLabels(const std::set<std::string>& labels) const;
+};
+
+/// True iff every label and property key of `sub`'s types is covered by a
+/// type of `super` with the same (or superset) labels — the schema-ordering
+/// check S_sub ⊑ S_super used by the incremental monotonicity guarantee
+/// (§4.6). Instance assignments are ignored.
+bool SchemaCovers(const SchemaGraph& super, const SchemaGraph& sub);
+
+/// Human-readable one-line summary ("7 node types, 17 edge types").
+std::string SchemaSummary(const SchemaGraph& schema);
+
+}  // namespace pghive
+
+#endif  // PGHIVE_CORE_SCHEMA_H_

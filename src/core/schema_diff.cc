@@ -1,0 +1,184 @@
+#include "core/schema_diff.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace pghive {
+
+bool TypeChange::Empty() const {
+  return added_labels.empty() && removed_labels.empty() &&
+         added_properties.empty() && removed_properties.empty() &&
+         became_optional.empty() && became_mandatory.empty() &&
+         datatype_changes.empty() && cardinality_change.empty() &&
+         added_source_labels.empty() && added_target_labels.empty();
+}
+
+bool SchemaDiff::Empty() const {
+  return added_node_types.empty() && removed_node_types.empty() &&
+         added_edge_types.empty() && removed_edge_types.empty() &&
+         changed_types.empty();
+}
+
+namespace {
+
+std::set<std::string> Minus(const std::set<std::string>& a,
+                            const std::set<std::string>& b) {
+  std::set<std::string> out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::inserter(out, out.begin()));
+  return out;
+}
+
+// Constraint-level comparison shared by node and edge types.
+template <typename TypeT>
+void DiffConstraints(const TypeT& from, const TypeT& to, TypeChange* change) {
+  for (const auto& [key, to_c] : to.constraints) {
+    auto it = from.constraints.find(key);
+    if (it == from.constraints.end()) continue;  // covered by added_properties
+    const PropertyConstraint& from_c = it->second;
+    if (from_c.mandatory && !to_c.mandatory) {
+      change->became_optional.push_back(key);
+    } else if (!from_c.mandatory && to_c.mandatory) {
+      change->became_mandatory.push_back(key);
+    }
+    if (from_c.type != to_c.type) {
+      change->datatype_changes.push_back(std::string(key) + ": " +
+                                         DataTypeName(from_c.type) + " -> " +
+                                         DataTypeName(to_c.type));
+    }
+  }
+}
+
+// Finds the `from`-side counterpart of a `to`-side type.
+const SchemaNodeType* MatchNodeType(const SchemaGraph& from,
+                                    const SchemaNodeType& t) {
+  for (const auto& candidate : from.node_types) {
+    if (t.is_abstract || candidate.labels.empty()) {
+      if (candidate.name == t.name) return &candidate;
+    } else if (candidate.labels == t.labels) {
+      return &candidate;
+    }
+  }
+  return nullptr;
+}
+
+const SchemaEdgeType* MatchEdgeType(const SchemaGraph& from,
+                                    const SchemaEdgeType& t) {
+  const SchemaEdgeType* label_match = nullptr;
+  for (const auto& candidate : from.edge_types) {
+    if (t.is_abstract || candidate.labels.empty()) {
+      if (candidate.name == t.name) return &candidate;
+      continue;
+    }
+    if (candidate.labels != t.labels) continue;
+    // Prefer the exact name (covers duplicate-label types); fall back to
+    // the first label match.
+    if (candidate.name == t.name) return &candidate;
+    if (label_match == nullptr) label_match = &candidate;
+  }
+  return label_match;
+}
+
+}  // namespace
+
+SchemaDiff DiffSchemas(const SchemaGraph& from, const SchemaGraph& to) {
+  SchemaDiff diff;
+
+  // Node types.
+  for (const auto& t : to.node_types) {
+    const SchemaNodeType* old = MatchNodeType(from, t);
+    if (old == nullptr) {
+      diff.added_node_types.push_back(t.name);
+      continue;
+    }
+    TypeChange change;
+    change.name = t.name;
+    change.is_edge = false;
+    change.added_labels = Minus(t.labels, old->labels);
+    change.removed_labels = Minus(old->labels, t.labels);
+    change.added_properties = Minus(t.property_keys, old->property_keys);
+    change.removed_properties = Minus(old->property_keys, t.property_keys);
+    DiffConstraints(*old, t, &change);
+    if (!change.Empty()) diff.changed_types.push_back(std::move(change));
+  }
+  for (const auto& t : from.node_types) {
+    if (MatchNodeType(to, t) == nullptr) {
+      diff.removed_node_types.push_back(t.name);
+    }
+  }
+
+  // Edge types.
+  for (const auto& t : to.edge_types) {
+    const SchemaEdgeType* old = MatchEdgeType(from, t);
+    if (old == nullptr) {
+      diff.added_edge_types.push_back(t.name);
+      continue;
+    }
+    TypeChange change;
+    change.name = t.name;
+    change.is_edge = true;
+    change.added_labels = Minus(t.labels, old->labels);
+    change.removed_labels = Minus(old->labels, t.labels);
+    change.added_properties = Minus(t.property_keys, old->property_keys);
+    change.removed_properties = Minus(old->property_keys, t.property_keys);
+    change.added_source_labels = Minus(t.source_labels, old->source_labels);
+    change.added_target_labels = Minus(t.target_labels, old->target_labels);
+    DiffConstraints(*old, t, &change);
+    if (old->cardinality != t.cardinality &&
+        old->cardinality != SchemaCardinality::kUnknown &&
+        t.cardinality != SchemaCardinality::kUnknown) {
+      change.cardinality_change =
+          std::string(SchemaCardinalityName(old->cardinality)) + " -> " +
+          SchemaCardinalityName(t.cardinality);
+    }
+    if (!change.Empty()) diff.changed_types.push_back(std::move(change));
+  }
+  for (const auto& t : from.edge_types) {
+    if (MatchEdgeType(to, t) == nullptr) {
+      diff.removed_edge_types.push_back(t.name);
+    }
+  }
+  return diff;
+}
+
+std::string SchemaDiff::ToString() const {
+  if (Empty()) return "no changes\n";
+  std::string out;
+  auto list = [&out](const char* title, const std::vector<std::string>& v) {
+    if (v.empty()) return;
+    out += std::string(title) + ": " + Join(v, ", ") + "\n";
+  };
+  list("+ node types", added_node_types);
+  list("- node types", removed_node_types);
+  list("+ edge types", added_edge_types);
+  list("- edge types", removed_edge_types);
+  for (const auto& c : changed_types) {
+    out += std::string("~ ") + (c.is_edge ? "edge " : "node ") + c.name + "\n";
+    auto sub = [&out](const char* title, const std::set<std::string>& v) {
+      if (v.empty()) return;
+      out += "    " + std::string(title) + ": " + Join(v, ", ") + "\n";
+    };
+    sub("+labels", c.added_labels);
+    sub("-labels", c.removed_labels);
+    sub("+properties", c.added_properties);
+    sub("-properties", c.removed_properties);
+    sub("+source labels", c.added_source_labels);
+    sub("+target labels", c.added_target_labels);
+    if (!c.became_optional.empty()) {
+      out += "    became optional: " + Join(c.became_optional, ", ") + "\n";
+    }
+    if (!c.became_mandatory.empty()) {
+      out += "    became mandatory: " + Join(c.became_mandatory, ", ") + "\n";
+    }
+    if (!c.datatype_changes.empty()) {
+      out += "    datatypes: " + Join(c.datatype_changes, "; ") + "\n";
+    }
+    if (!c.cardinality_change.empty()) {
+      out += "    cardinality: " + c.cardinality_change + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace pghive

@@ -1,0 +1,64 @@
+// Schema diffing: what changed between two discovered schemas.
+//
+// The incremental mode (§4.6) evolves a schema monotonically batch by
+// batch; DiffSchemas reports that evolution — newly appeared types, widened
+// property sets, constraints that relaxed (a property that used to be
+// mandatory observed missing in new data), cardinality upgrades (N:1
+// becoming M:N) — which is the information a data steward watches when a
+// live graph drifts.
+
+#ifndef PGHIVE_CORE_SCHEMA_DIFF_H_
+#define PGHIVE_CORE_SCHEMA_DIFF_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/schema.h"
+
+namespace pghive {
+
+/// Change record for one type present on both sides.
+struct TypeChange {
+  std::string name;  // the `to`-side name
+  bool is_edge = false;
+  std::set<std::string> added_labels;
+  std::set<std::string> removed_labels;
+  std::set<std::string> added_properties;
+  std::set<std::string> removed_properties;
+  /// Properties whose MANDATORY flag flipped (true entry = became optional,
+  /// the direction monotone growth produces).
+  std::vector<std::string> became_optional;
+  std::vector<std::string> became_mandatory;
+  /// Properties whose declared datatype widened/changed ("age: Int->Double").
+  std::vector<std::string> datatype_changes;
+  /// Cardinality transition, empty if unchanged ("N:1 -> M:N").
+  std::string cardinality_change;
+  /// Endpoint label-set growth (edges).
+  std::set<std::string> added_source_labels;
+  std::set<std::string> added_target_labels;
+
+  bool Empty() const;
+};
+
+struct SchemaDiff {
+  std::vector<std::string> added_node_types;
+  std::vector<std::string> removed_node_types;
+  std::vector<std::string> added_edge_types;
+  std::vector<std::string> removed_edge_types;
+  std::vector<TypeChange> changed_types;
+
+  bool Empty() const;
+
+  /// Human-readable multi-line rendering; "no changes" when empty.
+  std::string ToString() const;
+};
+
+/// Computes the change set from `from` to `to`. Labeled types are matched
+/// by identical label set (edges additionally by compatible endpoints when
+/// labels are ambiguous); abstract types are matched by name.
+SchemaDiff DiffSchemas(const SchemaGraph& from, const SchemaGraph& to);
+
+}  // namespace pghive
+
+#endif  // PGHIVE_CORE_SCHEMA_DIFF_H_

@@ -1,0 +1,214 @@
+#include "core/schema_json.h"
+
+#include <string>
+
+#include "common/csv.h"
+
+namespace pghive {
+
+namespace {
+
+JsonValue SetToJson(const std::set<std::string>& set) {
+  JsonArray arr;
+  arr.reserve(set.size());
+  for (const auto& s : set) arr.emplace_back(s);
+  return arr;
+}
+
+Result<std::set<std::string>> SetFromJson(const JsonValue& v,
+                                          const std::string& what) {
+  if (v.is_null()) return std::set<std::string>{};
+  if (!v.is_array()) return Status::InvalidArgument(what + " must be array");
+  std::set<std::string> out;
+  for (const auto& item : v.AsArray()) {
+    if (!item.is_string()) {
+      return Status::InvalidArgument(what + " entries must be strings");
+    }
+    out.insert(item.AsString());
+  }
+  return out;
+}
+
+Result<DataType> DataTypeFromName(const std::string& name) {
+  for (DataType t : {DataType::kInt, DataType::kDouble, DataType::kBool,
+                     DataType::kDate, DataType::kTimestamp,
+                     DataType::kString}) {
+    if (name == DataTypeName(t)) return t;
+  }
+  return Status::InvalidArgument("unknown datatype name: " + name);
+}
+
+Result<SchemaCardinality> CardinalityFromName(const std::string& name) {
+  for (SchemaCardinality c :
+       {SchemaCardinality::kUnknown, SchemaCardinality::kZeroOrOne,
+        SchemaCardinality::kManyToOne, SchemaCardinality::kOneToMany,
+        SchemaCardinality::kManyToMany}) {
+    if (name == SchemaCardinalityName(c)) return c;
+  }
+  return Status::InvalidArgument("unknown cardinality name: " + name);
+}
+
+JsonValue ConstraintsToJson(
+    const std::map<std::string, PropertyConstraint>& constraints) {
+  JsonObject obj;
+  for (const auto& [key, c] : constraints) {
+    JsonObject entry;
+    entry.emplace("type", DataTypeName(c.type));
+    entry.emplace("mandatory", c.mandatory);
+    obj.emplace(key, std::move(entry));
+  }
+  return obj;
+}
+
+Status ConstraintsFromJson(const JsonValue& v,
+                           std::map<std::string, PropertyConstraint>* out) {
+  if (v.is_null()) return Status::OK();
+  if (!v.is_object()) {
+    return Status::InvalidArgument("constraints must be an object");
+  }
+  for (const auto& [key, entry] : v.AsObject()) {
+    PGHIVE_ASSIGN_OR_RETURN(std::string type_name, entry.GetString("type"));
+    PGHIVE_ASSIGN_OR_RETURN(DataType type, DataTypeFromName(type_name));
+    PGHIVE_ASSIGN_OR_RETURN(bool mandatory, entry.GetBool("mandatory"));
+    (*out)[key] = {type, mandatory};
+  }
+  return Status::OK();
+}
+
+template <typename IdT>
+JsonValue InstancesToJson(const std::vector<IdT>& instances) {
+  JsonArray arr;
+  arr.reserve(instances.size());
+  for (IdT id : instances) arr.emplace_back(static_cast<size_t>(id));
+  return arr;
+}
+
+template <typename IdT>
+Status InstancesFromJson(const JsonValue& v, std::vector<IdT>* out) {
+  if (v.is_null()) return Status::OK();
+  if (!v.is_array()) {
+    return Status::InvalidArgument("instances must be an array");
+  }
+  for (const auto& item : v.AsArray()) {
+    if (!item.is_number()) {
+      return Status::InvalidArgument("instance ids must be numbers");
+    }
+    out->push_back(static_cast<IdT>(item.AsInt()));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string SchemaToJson(const SchemaGraph& schema,
+                         const SchemaJsonOptions& options) {
+  JsonArray node_types;
+  for (const auto& t : schema.node_types) {
+    JsonObject obj;
+    obj.emplace("name", t.name);
+    obj.emplace("labels", SetToJson(t.labels));
+    obj.emplace("properties", SetToJson(t.property_keys));
+    obj.emplace("constraints", ConstraintsToJson(t.constraints));
+    obj.emplace("abstract", t.is_abstract);
+    if (options.include_instances) {
+      obj.emplace("instances", InstancesToJson(t.instances));
+    }
+    node_types.emplace_back(std::move(obj));
+  }
+  JsonArray edge_types;
+  for (const auto& t : schema.edge_types) {
+    JsonObject obj;
+    obj.emplace("name", t.name);
+    obj.emplace("labels", SetToJson(t.labels));
+    obj.emplace("properties", SetToJson(t.property_keys));
+    obj.emplace("constraints", ConstraintsToJson(t.constraints));
+    obj.emplace("source_labels", SetToJson(t.source_labels));
+    obj.emplace("target_labels", SetToJson(t.target_labels));
+    obj.emplace("cardinality",
+                std::string(SchemaCardinalityName(t.cardinality)));
+    obj.emplace("max_out_degree", t.max_out_degree);
+    obj.emplace("max_in_degree", t.max_in_degree);
+    obj.emplace("abstract", t.is_abstract);
+    if (options.include_instances) {
+      obj.emplace("instances", InstancesToJson(t.instances));
+    }
+    edge_types.emplace_back(std::move(obj));
+  }
+  JsonObject root;
+  root.emplace("format", "pghive-schema");
+  root.emplace("version", 1);
+  root.emplace("node_types", std::move(node_types));
+  root.emplace("edge_types", std::move(edge_types));
+  JsonValue doc(std::move(root));
+  return options.pretty ? doc.Pretty() + "\n" : doc.Dump();
+}
+
+Result<SchemaGraph> SchemaFromJson(const std::string& text) {
+  PGHIVE_ASSIGN_OR_RETURN(JsonValue doc, ParseJson(text));
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("schema document must be a JSON object");
+  }
+  PGHIVE_ASSIGN_OR_RETURN(std::string format, doc.GetString("format"));
+  if (format != "pghive-schema") {
+    return Status::InvalidArgument("not a pghive-schema document");
+  }
+
+  SchemaGraph schema;
+  const JsonValue& node_types = doc["node_types"];
+  if (!node_types.is_array()) {
+    return Status::InvalidArgument("node_types must be an array");
+  }
+  for (const auto& obj : node_types.AsArray()) {
+    SchemaNodeType t;
+    PGHIVE_ASSIGN_OR_RETURN(t.name, obj.GetString("name"));
+    PGHIVE_ASSIGN_OR_RETURN(t.labels, SetFromJson(obj["labels"], "labels"));
+    PGHIVE_ASSIGN_OR_RETURN(t.property_keys,
+                            SetFromJson(obj["properties"], "properties"));
+    PGHIVE_RETURN_NOT_OK(ConstraintsFromJson(obj["constraints"],
+                                             &t.constraints));
+    t.is_abstract = obj["abstract"].is_bool() && obj["abstract"].AsBool();
+    PGHIVE_RETURN_NOT_OK(InstancesFromJson(obj["instances"], &t.instances));
+    schema.node_types.push_back(std::move(t));
+  }
+
+  const JsonValue& edge_types = doc["edge_types"];
+  if (!edge_types.is_array()) {
+    return Status::InvalidArgument("edge_types must be an array");
+  }
+  for (const auto& obj : edge_types.AsArray()) {
+    SchemaEdgeType t;
+    PGHIVE_ASSIGN_OR_RETURN(t.name, obj.GetString("name"));
+    PGHIVE_ASSIGN_OR_RETURN(t.labels, SetFromJson(obj["labels"], "labels"));
+    PGHIVE_ASSIGN_OR_RETURN(t.property_keys,
+                            SetFromJson(obj["properties"], "properties"));
+    PGHIVE_RETURN_NOT_OK(ConstraintsFromJson(obj["constraints"],
+                                             &t.constraints));
+    PGHIVE_ASSIGN_OR_RETURN(
+        t.source_labels, SetFromJson(obj["source_labels"], "source_labels"));
+    PGHIVE_ASSIGN_OR_RETURN(
+        t.target_labels, SetFromJson(obj["target_labels"], "target_labels"));
+    PGHIVE_ASSIGN_OR_RETURN(std::string card, obj.GetString("cardinality"));
+    PGHIVE_ASSIGN_OR_RETURN(t.cardinality, CardinalityFromName(card));
+    t.max_out_degree = static_cast<size_t>(
+        obj["max_out_degree"].is_number() ? obj["max_out_degree"].AsInt()
+                                          : 0);
+    t.max_in_degree = static_cast<size_t>(
+        obj["max_in_degree"].is_number() ? obj["max_in_degree"].AsInt() : 0);
+    t.is_abstract = obj["abstract"].is_bool() && obj["abstract"].AsBool();
+    PGHIVE_RETURN_NOT_OK(InstancesFromJson(obj["instances"], &t.instances));
+    schema.edge_types.push_back(std::move(t));
+  }
+  return schema;
+}
+
+Status SaveSchemaJson(const SchemaGraph& schema, const std::string& path,
+                      const SchemaJsonOptions& options) {
+  return WriteFile(path, SchemaToJson(schema, options));
+}
+
+Result<SchemaGraph> LoadSchemaJson(const std::string& path) {
+  PGHIVE_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  return SchemaFromJson(text);
+}
+
+}  // namespace pghive

@@ -1,0 +1,43 @@
+// Schema persistence: SchemaGraph <-> JSON.
+//
+// A machine-readable companion to the PG-Schema / XSD exports (§4.5): the
+// JSON document round-trips losslessly (labels, property keys, constraints,
+// endpoints, cardinalities, abstract flags, and optionally instance
+// assignments), so a discovered schema can be saved once and reused by the
+// CLI's validate/diff commands or by external tooling.
+
+#ifndef PGHIVE_CORE_SCHEMA_JSON_H_
+#define PGHIVE_CORE_SCHEMA_JSON_H_
+
+#include <string>
+
+#include "common/json.h"
+#include "common/result.h"
+#include "core/schema.h"
+
+namespace pghive {
+
+struct SchemaJsonOptions {
+  /// Instance id lists make the file large and are only needed to resume
+  /// evaluation; off by default.
+  bool include_instances = false;
+  bool pretty = true;
+};
+
+/// Serializes a schema to a JSON document string.
+std::string SchemaToJson(const SchemaGraph& schema,
+                         const SchemaJsonOptions& options = {});
+
+/// Parses a schema back. Fails with ParseError on malformed JSON and with
+/// InvalidArgument on structurally invalid documents (unknown datatype or
+/// cardinality names, missing required members).
+Result<SchemaGraph> SchemaFromJson(const std::string& text);
+
+/// File convenience wrappers.
+Status SaveSchemaJson(const SchemaGraph& schema, const std::string& path,
+                      const SchemaJsonOptions& options = {});
+Result<SchemaGraph> LoadSchemaJson(const std::string& path);
+
+}  // namespace pghive
+
+#endif  // PGHIVE_CORE_SCHEMA_JSON_H_

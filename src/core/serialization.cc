@@ -1,0 +1,150 @@
+#include "core/serialization.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace pghive {
+
+namespace {
+
+std::string SanitizeIdentifier(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+      out += c;
+    } else {
+      out += '_';
+    }
+  }
+  if (out.empty()) out = "Unnamed";
+  return out;
+}
+
+std::string TypeIdentifier(const std::string& name, const char* suffix) {
+  return SanitizeIdentifier(name) + suffix;
+}
+
+// Property list: "{name STRING, email OPTIONAL STRING}"; empty string when
+// the type has no properties. LOOSE mode omits datatypes and optionality.
+std::string PropertyBlock(const std::set<std::string>& keys,
+                          const std::map<std::string, PropertyConstraint>& cs,
+                          PgSchemaMode mode) {
+  if (keys.empty()) return "";
+  std::vector<std::string> parts;
+  parts.reserve(keys.size());
+  for (const auto& key : keys) {
+    auto it = cs.find(key);
+    if (mode == PgSchemaMode::kLoose || it == cs.end()) {
+      parts.push_back(key);
+      continue;
+    }
+    std::string part = key;
+    if (!it->second.mandatory) part += " OPTIONAL";
+    part += std::string(" ") + DataTypeGqlName(it->second.type);
+    parts.push_back(std::move(part));
+  }
+  return " {" + Join(parts, ", ") + "}";
+}
+
+std::string LabelSpec(const std::set<std::string>& labels) {
+  if (labels.empty()) return "";
+  return ": " + Join(labels, " & ");
+}
+
+}  // namespace
+
+std::string ToPgSchema(const SchemaGraph& schema,
+                       const std::string& graph_name, PgSchemaMode mode) {
+  std::string out = "CREATE GRAPH TYPE " + SanitizeIdentifier(graph_name);
+  out += mode == PgSchemaMode::kLoose ? " LOOSE {\n" : " STRICT {\n";
+
+  std::vector<std::string> decls;
+  decls.reserve(schema.num_types());
+  for (const auto& t : schema.node_types) {
+    std::string decl = "  (" + TypeIdentifier(t.name, "Type");
+    if (t.is_abstract && mode == PgSchemaMode::kStrict) decl += " ABSTRACT";
+    decl += LabelSpec(t.labels);
+    decl += PropertyBlock(t.property_keys, t.constraints, mode);
+    decl += ")";
+    decls.push_back(std::move(decl));
+  }
+  for (const auto& t : schema.edge_types) {
+    std::string src = t.source_labels.empty()
+                          ? ""
+                          : ": " + Join(t.source_labels, " | ");
+    std::string tgt = t.target_labels.empty()
+                          ? ""
+                          : ": " + Join(t.target_labels, " | ");
+    std::string decl = "  (" + src + ")-[" + TypeIdentifier(t.name, "Type");
+    decl += LabelSpec(t.labels);
+    decl += PropertyBlock(t.property_keys, t.constraints, mode);
+    decl += "]->(" + tgt + ")";
+    if (mode == PgSchemaMode::kStrict &&
+        t.cardinality != SchemaCardinality::kUnknown) {
+      decl += std::string(" /* cardinality ") +
+              SchemaCardinalityName(t.cardinality) + " */";
+    }
+    decls.push_back(std::move(decl));
+  }
+  out += Join(decls, ",\n");
+  out += "\n}\n";
+  return out;
+}
+
+std::string ToXsd(const SchemaGraph& schema) {
+  std::string out =
+      "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+      "<xs:schema xmlns:xs=\"http://www.w3.org/2001/XMLSchema\">\n";
+
+  auto emit_properties =
+      [&out](const std::set<std::string>& keys,
+             const std::map<std::string, PropertyConstraint>& cs) {
+        out += "    <xs:sequence>\n";
+        for (const auto& key : keys) {
+          auto it = cs.find(key);
+          const char* xsd_type = it == cs.end()
+                                     ? "xs:string"
+                                     : DataTypeXsdName(it->second.type);
+          bool mandatory = it != cs.end() && it->second.mandatory;
+          out += "      <xs:element name=\"" + XmlEscape(key) + "\" type=\"" +
+                 xsd_type + "\"";
+          if (!mandatory) out += " minOccurs=\"0\"";
+          out += "/>\n";
+        }
+        out += "    </xs:sequence>\n";
+      };
+
+  for (const auto& t : schema.node_types) {
+    out += "  <xs:complexType name=\"" +
+           XmlEscape(SanitizeIdentifier(t.name)) + "\"";
+    if (t.is_abstract) out += " abstract=\"true\"";
+    out += ">\n";
+    if (!t.labels.empty()) {
+      out += "    <xs:annotation><xs:documentation>labels: " +
+             XmlEscape(Join(t.labels, ", ")) +
+             "</xs:documentation></xs:annotation>\n";
+    }
+    emit_properties(t.property_keys, t.constraints);
+    out += "  </xs:complexType>\n";
+  }
+  for (const auto& t : schema.edge_types) {
+    out += "  <xs:complexType name=\"" +
+           XmlEscape(SanitizeIdentifier(t.name)) + "_Edge\">\n";
+    out += "    <xs:annotation><xs:documentation>";
+    out += "source: " + XmlEscape(Join(t.source_labels, "|"));
+    out += "; target: " + XmlEscape(Join(t.target_labels, "|"));
+    if (t.cardinality != SchemaCardinality::kUnknown) {
+      out += std::string("; cardinality: ") +
+             SchemaCardinalityName(t.cardinality);
+    }
+    out += "</xs:documentation></xs:annotation>\n";
+    emit_properties(t.property_keys, t.constraints);
+    out += "  </xs:complexType>\n";
+  }
+  out += "</xs:schema>\n";
+  return out;
+}
+
+}  // namespace pghive

@@ -1,0 +1,36 @@
+// Schema serialization (paper §4.5): PG-Schema (LOOSE and STRICT) and XSD.
+//
+// PG-Schema has no finalized concrete syntax; like the paper, we emit the
+// illustrative grammar of Angles et al. (2023):
+//
+//   CREATE GRAPH TYPE SocialGraph LOOSE {
+//     (PersonType: Person {name STRING, gender STRING, bday DATE}),
+//     (:PersonType)-[KnowsType: KNOWS {since OPTIONAL DATE}]->(:PersonType)
+//   }
+//
+// STRICT mode additionally marks OPTIONAL properties, ABSTRACT types and
+// cardinalities; LOOSE omits constraints so data may deviate.
+
+#ifndef PGHIVE_CORE_SERIALIZATION_H_
+#define PGHIVE_CORE_SERIALIZATION_H_
+
+#include <string>
+
+#include "core/schema.h"
+
+namespace pghive {
+
+enum class PgSchemaMode { kLoose, kStrict };
+
+/// Renders the schema in the PG-Schema-style grammar.
+std::string ToPgSchema(const SchemaGraph& schema, const std::string& graph_name,
+                       PgSchemaMode mode);
+
+/// Renders the schema as an XML Schema document: one complexType per node /
+/// edge type, property elements typed with xs:* datatypes, minOccurs=0 for
+/// optional properties.
+std::string ToXsd(const SchemaGraph& schema);
+
+}  // namespace pghive
+
+#endif  // PGHIVE_CORE_SERIALIZATION_H_

@@ -1,0 +1,324 @@
+#include "core/type_extraction.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "common/union_find.h"
+
+namespace pghive {
+
+namespace {
+
+// Union the second set into the first.
+void UnionInto(std::set<std::string>* dst, const std::set<std::string>& src) {
+  dst->insert(src.begin(), src.end());
+}
+
+std::string AbstractName(size_t ordinal) {
+  return "ABSTRACT_" + std::to_string(ordinal);
+}
+
+// Next free ABSTRACT_<n> ordinal. Counting existing abstract types is not
+// enough: deletions may retire ABSTRACT_0 while ABSTRACT_1 survives, and a
+// count-based ordinal would then collide with it.
+template <typename TypeVec>
+size_t NextAbstractOrdinal(const TypeVec& types) {
+  size_t next = 0;
+  for (const auto& t : types) {
+    if (!t.is_abstract) continue;
+    if (StartsWith(t.name, "ABSTRACT_")) {
+      size_t ordinal = 0;
+      const char* digits = t.name.c_str() + 9;
+      while (*digits >= '0' && *digits <= '9') {
+        ordinal = ordinal * 10 + static_cast<size_t>(*digits - '0');
+        ++digits;
+      }
+      next = std::max(next, ordinal + 1);
+    }
+  }
+  return next;
+}
+
+}  // namespace
+
+std::vector<Cluster> BuildNodeClusters(
+    const PropertyGraph& g, const std::vector<size_t>& ids,
+    const std::vector<std::vector<size_t>>& groups) {
+  std::vector<Cluster> clusters;
+  clusters.reserve(groups.size());
+  for (const auto& group : groups) {
+    Cluster c;
+    c.members.reserve(group.size());
+    for (size_t local : group) {
+      size_t id = ids[local];
+      c.members.push_back(id);
+      const Node& n = g.node(id);
+      UnionInto(&c.labels, n.labels);
+      for (const auto& [k, v] : n.properties) c.property_keys.insert(k);
+    }
+    clusters.push_back(std::move(c));
+  }
+  return clusters;
+}
+
+std::vector<Cluster> BuildEdgeClusters(
+    const PropertyGraph& g, const std::vector<size_t>& ids,
+    const std::vector<std::vector<size_t>>& groups,
+    const std::unordered_map<size_t, std::set<std::string>>&
+        endpoint_labels) {
+  std::vector<Cluster> clusters;
+  clusters.reserve(groups.size());
+  auto endpoint_tokens = [&](const Node& n, std::set<std::string>* out) {
+    if (!n.labels.empty()) {
+      out->insert(n.labels.begin(), n.labels.end());
+      return;
+    }
+    auto it = endpoint_labels.find(n.id);
+    if (it != endpoint_labels.end()) {
+      out->insert(it->second.begin(), it->second.end());
+    }
+  };
+  for (const auto& group : groups) {
+    Cluster c;
+    c.members.reserve(group.size());
+    for (size_t local : group) {
+      size_t id = ids[local];
+      c.members.push_back(id);
+      const Edge& e = g.edge(id);
+      UnionInto(&c.labels, e.labels);
+      for (const auto& [k, v] : e.properties) c.property_keys.insert(k);
+      endpoint_tokens(g.node(e.source), &c.source_labels);
+      endpoint_tokens(g.node(e.target), &c.target_labels);
+    }
+    clusters.push_back(std::move(c));
+  }
+  return clusters;
+}
+
+namespace {
+
+// The structural fingerprint Algorithm 2's Jaccard comparisons run on: the
+// property keys, extended for edges with prefixed endpoint tokens so that
+// property-less edge clusters with different endpoints do not all look
+// identical (J(∅, ∅) = 1 would merge them).
+std::set<std::string> SimilaritySet(const std::set<std::string>& props,
+                                    const std::set<std::string>& src,
+                                    const std::set<std::string>& tgt) {
+  std::set<std::string> out = props;
+  for (const auto& s : src) out.insert("s:" + s);
+  for (const auto& t : tgt) out.insert("t:" + t);
+  return out;
+}
+
+// Shared implementation of Algorithm 2 over node or edge types. Merging of
+// cluster `c` into schema type `t` is delegated so node/edge differences
+// (endpoint sets) stay local to the callers; `type_sim` extracts the
+// similarity fingerprint of an existing schema type.
+// True when one set contains the other (or either is empty). Merely sharing
+// a label is not enough: LDBC's LIKES targets {Message, Post} and
+// {Comment, Message} share "Message" but are different endpoint types,
+// while the same type seen across batches yields nested unions (e.g.
+// {Person} then {Person, ~ABSTRACT_1}).
+bool SetsCompatible(const std::set<std::string>& a,
+                    const std::set<std::string>& b) {
+  if (a.empty() || b.empty()) return true;
+  const std::set<std::string>& small = a.size() <= b.size() ? a : b;
+  const std::set<std::string>& big = a.size() <= b.size() ? b : a;
+  return std::includes(big.begin(), big.end(), small.begin(), small.end());
+}
+
+template <typename TypeVec, typename MergeFn, typename NewTypeFn,
+          typename TypeSimFn, typename MatchFn>
+void ExtractTypesImpl(const std::vector<Cluster>& clusters,
+                      const TypeExtractionOptions& options, TypeVec* types,
+                      MergeFn merge_into, NewTypeFn make_type,
+                      TypeSimFn type_sim, MatchFn labeled_match) {
+  // Phase 1 (Algorithm 2 lines 2-7): labeled clusters merge by identical
+  // label set; unseen label sets found new types.
+  std::vector<const Cluster*> unlabeled;
+  for (const auto& c : clusters) {
+    // Truly empty clusters carry no information; clusters with labels or
+    // properties but no members (schema-with-schema merges) still count.
+    if (c.members.empty() && c.labels.empty() && c.property_keys.empty()) {
+      continue;
+    }
+    if (c.labeled()) {
+      int idx = -1;
+      for (size_t i = 0; i < types->size(); ++i) {
+        if (labeled_match(c, (*types)[i])) {
+          idx = static_cast<int>(i);
+          break;
+        }
+      }
+      if (idx >= 0) {
+        merge_into(c, &(*types)[idx]);
+      } else {
+        types->push_back(make_type(c, /*is_abstract=*/false));
+      }
+    } else {
+      unlabeled.push_back(&c);
+    }
+  }
+
+  // Phase 2 (lines 8-11): each unlabeled cluster merges into the labeled
+  // type with the highest fingerprint Jaccard >= theta.
+  std::vector<const Cluster*> still_unmatched;
+  for (const Cluster* c : unlabeled) {
+    std::set<std::string> c_sim =
+        SimilaritySet(c->property_keys, c->source_labels, c->target_labels);
+    int best = -1;
+    double best_sim = options.jaccard_threshold;
+    for (size_t i = 0; i < types->size(); ++i) {
+      if ((*types)[i].labels.empty()) continue;  // labeled candidates only
+      double sim = JaccardSimilarity(c_sim, type_sim((*types)[i]));
+      if (sim >= best_sim) {
+        best_sim = sim;
+        best = static_cast<int>(i);
+      }
+    }
+    if (best >= 0) {
+      merge_into(*c, &(*types)[best]);
+    } else {
+      still_unmatched.push_back(c);
+    }
+  }
+
+  // Phase 2b: remaining unlabeled clusters may extend an existing ABSTRACT
+  // type discovered in an earlier batch (incremental mode, §4.6).
+  std::vector<const Cluster*> fresh;
+  for (const Cluster* c : still_unmatched) {
+    std::set<std::string> c_sim =
+        SimilaritySet(c->property_keys, c->source_labels, c->target_labels);
+    int best = -1;
+    double best_sim = options.jaccard_threshold;
+    for (size_t i = 0; i < types->size(); ++i) {
+      if (!(*types)[i].is_abstract) continue;
+      double sim = JaccardSimilarity(c_sim, type_sim((*types)[i]));
+      if (sim >= best_sim) {
+        best_sim = sim;
+        best = static_cast<int>(i);
+      }
+    }
+    if (best >= 0) {
+      merge_into(*c, &(*types)[best]);
+    } else {
+      fresh.push_back(c);
+    }
+  }
+
+  // Phase 3 (lines 12-14): pairwise merge among the fresh unlabeled
+  // clusters, then append the survivors as new ABSTRACT types.
+  std::vector<std::set<std::string>> fresh_sim;
+  fresh_sim.reserve(fresh.size());
+  for (const Cluster* c : fresh) {
+    fresh_sim.push_back(
+        SimilaritySet(c->property_keys, c->source_labels, c->target_labels));
+  }
+  UnionFind uf(fresh.size());
+  for (size_t i = 0; i < fresh.size(); ++i) {
+    for (size_t j = i + 1; j < fresh.size(); ++j) {
+      if (JaccardSimilarity(fresh_sim[i], fresh_sim[j]) >=
+          options.jaccard_threshold) {
+        uf.Union(i, j);
+      }
+    }
+  }
+  for (const auto& component : uf.Components()) {
+    Cluster combined;
+    for (size_t local : component) {
+      const Cluster& c = *fresh[local];
+      combined.members.insert(combined.members.end(), c.members.begin(),
+                              c.members.end());
+      UnionInto(&combined.property_keys, c.property_keys);
+      UnionInto(&combined.source_labels, c.source_labels);
+      UnionInto(&combined.target_labels, c.target_labels);
+    }
+    types->push_back(make_type(combined, /*is_abstract=*/true));
+  }
+}
+
+}  // namespace
+
+void ExtractNodeTypes(const std::vector<Cluster>& clusters,
+                      const TypeExtractionOptions& options,
+                      SchemaGraph* schema) {
+  size_t abstract_ordinal = NextAbstractOrdinal(schema->node_types);
+  auto merge_into = [](const Cluster& c, SchemaNodeType* t) {
+    t->labels.insert(c.labels.begin(), c.labels.end());
+    t->property_keys.insert(c.property_keys.begin(), c.property_keys.end());
+    t->instances.insert(t->instances.end(), c.members.begin(),
+                        c.members.end());
+  };
+  auto make_type = [&](const Cluster& c, bool is_abstract) {
+    SchemaNodeType t;
+    t.labels = c.labels;
+    t.property_keys = c.property_keys;
+    t.instances.assign(c.members.begin(), c.members.end());
+    t.is_abstract = is_abstract;
+    t.name = is_abstract ? AbstractName(abstract_ordinal++)
+                         : CanonicalLabelToken(c.labels);
+    return t;
+  };
+  auto type_sim = [](const SchemaNodeType& t) { return t.property_keys; };
+  // Labeled node clusters merge on the identical label set (Algorithm 2).
+  auto labeled_match = [](const Cluster& c, const SchemaNodeType& t) {
+    return t.labels == c.labels;
+  };
+  ExtractTypesImpl(clusters, options, &schema->node_types, merge_into,
+                   make_type, type_sim, labeled_match);
+}
+
+void ExtractEdgeTypes(const std::vector<Cluster>& clusters,
+                      const TypeExtractionOptions& options,
+                      SchemaGraph* schema) {
+  size_t abstract_ordinal = NextAbstractOrdinal(schema->edge_types);
+  auto merge_into = [](const Cluster& c, SchemaEdgeType* t) {
+    t->labels.insert(c.labels.begin(), c.labels.end());
+    t->property_keys.insert(c.property_keys.begin(), c.property_keys.end());
+    t->source_labels.insert(c.source_labels.begin(), c.source_labels.end());
+    t->target_labels.insert(c.target_labels.begin(), c.target_labels.end());
+    t->instances.insert(t->instances.end(), c.members.begin(),
+                        c.members.end());
+  };
+  auto make_type = [&](const Cluster& c, bool is_abstract) {
+    SchemaEdgeType t;
+    t.labels = c.labels;
+    t.property_keys = c.property_keys;
+    t.source_labels = c.source_labels;
+    t.target_labels = c.target_labels;
+    t.instances.assign(c.members.begin(), c.members.end());
+    t.is_abstract = is_abstract;
+    std::string base = is_abstract ? AbstractName(abstract_ordinal++)
+                                   : CanonicalLabelToken(c.labels);
+    // Same-label edge types with different endpoints coexist; keep their
+    // names unique for serialization.
+    std::string name = base;
+    int suffix = 2;
+    auto taken = [&](const std::string& n) {
+      for (const auto& existing : schema->edge_types) {
+        if (existing.name == n) return true;
+      }
+      return false;
+    };
+    while (taken(name)) name = base + "_" + std::to_string(suffix++);
+    t.name = name;
+    return t;
+  };
+  auto type_sim = [](const SchemaEdgeType& t) {
+    return SimilaritySet(t.property_keys, t.source_labels, t.target_labels);
+  };
+  // Labeled edge clusters merge on the identical label set AND compatible
+  // endpoints: an edge type is (lambda_e, ..., rho_e) per Def. 3.3, so the
+  // same label between different endpoint types is a different type (e.g.
+  // HAS_POSTCODE from Location vs from Area). Endpoint sets are compatible
+  // when they share a token or one side carries no endpoint evidence.
+  auto labeled_match = [](const Cluster& c, const SchemaEdgeType& t) {
+    return t.labels == c.labels &&
+           SetsCompatible(c.source_labels, t.source_labels) &&
+           SetsCompatible(c.target_labels, t.target_labels);
+  };
+  ExtractTypesImpl(clusters, options, &schema->edge_types, merge_into,
+                   make_type, type_sim, labeled_match);
+}
+
+}  // namespace pghive

@@ -1,0 +1,62 @@
+// Type extraction and merging (paper §4.3, Algorithm 2).
+//
+// Candidate clusters from LSH are refined into schema types:
+//   1. labeled clusters merge with the schema type carrying the identical
+//      label set (or found a new type),
+//   2. unlabeled clusters merge into the labeled type with the highest
+//      property-set Jaccard similarity >= theta,
+//   3. remaining unlabeled clusters merge with existing ABSTRACT types, then
+//      with each other, under the same Jaccard rule,
+//   4. whatever is left becomes a new ABSTRACT type.
+// All merges take unions (Lemmas 1-2), so no label, property or endpoint is
+// ever lost — the monotonicity the incremental mode relies on (§4.6).
+
+#ifndef PGHIVE_CORE_TYPE_EXTRACTION_H_
+#define PGHIVE_CORE_TYPE_EXTRACTION_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "core/schema.h"
+#include "graph/property_graph.h"
+
+namespace pghive {
+
+struct TypeExtractionOptions {
+  /// theta: minimum Jaccard similarity for merging an unlabeled cluster
+  /// (paper sets 0.9; lowering raises recall but mixes types).
+  double jaccard_threshold = 0.9;
+};
+
+/// Materializes Cluster objects (with union representatives) from the
+/// member groups produced by the LSH clusterer. `ids` maps group-local
+/// positions to global NodeIds.
+std::vector<Cluster> BuildNodeClusters(
+    const PropertyGraph& g, const std::vector<size_t>& ids,
+    const std::vector<std::vector<size_t>>& groups);
+
+/// Edge flavour: also unions endpoint label sets into the representative;
+/// unlabeled endpoints fall back to their discovered type's endpoint label
+/// set from `endpoint_labels` (see FeatureEncoder::EndpointLabelMap).
+std::vector<Cluster> BuildEdgeClusters(
+    const PropertyGraph& g, const std::vector<size_t>& ids,
+    const std::vector<std::vector<size_t>>& groups,
+    const std::unordered_map<size_t, std::set<std::string>>& endpoint_labels);
+
+/// Algorithm 2 for node clusters: merges `clusters` into `schema` in place.
+void ExtractNodeTypes(const std::vector<Cluster>& clusters,
+                      const TypeExtractionOptions& options,
+                      SchemaGraph* schema);
+
+/// Algorithm 2 for edge clusters. Labeled edge clusters merge by label set
+/// only (the paper merges edges by label and unions the endpoint sets to
+/// define rho_s).
+void ExtractEdgeTypes(const std::vector<Cluster>& clusters,
+                      const TypeExtractionOptions& options,
+                      SchemaGraph* schema);
+
+}  // namespace pghive
+
+#endif  // PGHIVE_CORE_TYPE_EXTRACTION_H_

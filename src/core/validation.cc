@@ -1,0 +1,279 @@
+#include "core/validation.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace pghive {
+
+const char* ViolationKindName(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kNoMatchingType:
+      return "NoMatchingType";
+    case ViolationKind::kMissingMandatory:
+      return "MissingMandatory";
+    case ViolationKind::kDatatypeMismatch:
+      return "DatatypeMismatch";
+    case ViolationKind::kUndeclaredProperty:
+      return "UndeclaredProperty";
+    case ViolationKind::kEndpointMismatch:
+      return "EndpointMismatch";
+    case ViolationKind::kCardinalityExceeded:
+      return "CardinalityExceeded";
+  }
+  return "?";
+}
+
+std::string Violation::ToString() const {
+  std::string out = ViolationKindName(kind);
+  out += is_edge ? " edge #" : " node #";
+  out += std::to_string(element_id);
+  if (!type_name.empty()) out += " (type " + type_name + ")";
+  if (!detail.empty()) out += ": " + detail;
+  return out;
+}
+
+std::string ValidationReport::Summary() const {
+  std::string out = std::to_string(elements_valid) + "/" +
+                    std::to_string(elements_checked) + " elements valid (" +
+                    (mode == ValidationMode::kStrict ? "STRICT" : "LOOSE") +
+                    ")";
+  if (!violations.empty()) {
+    out += ", " + std::to_string(violations.size()) + " violations:";
+    size_t shown = std::min<size_t>(violations.size(), 10);
+    for (size_t i = 0; i < shown; ++i) {
+      out += "\n  " + violations[i].ToString();
+    }
+    if (shown < violations.size()) {
+      out += "\n  ... (" + std::to_string(violations.size() - shown) +
+             " more)";
+    }
+  }
+  return out;
+}
+
+bool DataTypeAccepts(DataType declared, DataType observed) {
+  if (declared == observed) return true;
+  if (declared == DataType::kString) return true;
+  if (declared == DataType::kDouble && observed == DataType::kInt) {
+    return true;
+  }
+  if (declared == DataType::kTimestamp && observed == DataType::kDate) {
+    return true;
+  }
+  return false;
+}
+
+namespace {
+
+bool IsSubset(const std::set<std::string>& sub,
+              const std::set<std::string>& super) {
+  return std::includes(super.begin(), super.end(), sub.begin(), sub.end());
+}
+
+template <typename Elem>
+std::set<std::string> PropertyKeySet(const Elem& e) {
+  std::set<std::string> keys;
+  for (const auto& [k, v] : e.properties) keys.insert(k);
+  return keys;
+}
+
+// LOOSE coverage check for a node against a node type.
+bool NodeCovered(const Node& n, const SchemaNodeType& t,
+                 const std::set<std::string>& keys) {
+  return IsSubset(n.labels, t.labels) && IsSubset(keys, t.property_keys);
+}
+
+bool EdgeCovered(const PropertyGraph& g, const Edge& e,
+                 const SchemaEdgeType& t, const std::set<std::string>& keys) {
+  if (!IsSubset(e.labels, t.labels)) return false;
+  if (!IsSubset(keys, t.property_keys)) return false;
+  const Node& src = g.node(e.source);
+  const Node& tgt = g.node(e.target);
+  // Labeled endpoints must be covered by the declared endpoint label sets
+  // (unlabeled endpoints impose no constraint at the LOOSE level).
+  if (!src.labels.empty() && !t.source_labels.empty() &&
+      !IsSubset(src.labels, t.source_labels)) {
+    return false;
+  }
+  if (!tgt.labels.empty() && !t.target_labels.empty() &&
+      !IsSubset(tgt.labels, t.target_labels)) {
+    return false;
+  }
+  return true;
+}
+
+// Collects the STRICT-mode violations of an element against its matched
+// type; returns true if none.
+template <typename TypeT, typename Elem>
+bool CheckStrictProperties(const Elem& e, const TypeT& t, bool is_edge,
+                           std::vector<Violation>* out) {
+  bool ok = true;
+  for (const auto& [key, constraint] : t.constraints) {
+    auto it = e.properties.find(key);
+    if (it == e.properties.end()) {
+      if (constraint.mandatory) {
+        out->push_back({ViolationKind::kMissingMandatory, is_edge, e.id,
+                        t.name, "missing mandatory property '" + key + "'"});
+        ok = false;
+      }
+      continue;
+    }
+    if (!DataTypeAccepts(constraint.type, it->second.type())) {
+      out->push_back(
+          {ViolationKind::kDatatypeMismatch, is_edge, e.id, t.name,
+           "property '" + key + "' has " +
+               DataTypeName(it->second.type()) + ", declared " +
+               DataTypeName(constraint.type)});
+      ok = false;
+    }
+  }
+  for (const auto& [key, value] : e.properties) {
+    if (!t.property_keys.count(key)) {
+      out->push_back({ViolationKind::kUndeclaredProperty, is_edge, e.id,
+                      t.name, "undeclared property '" + key + "'"});
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace
+
+ValidationReport ValidateGraph(const PropertyGraph& g,
+                               const SchemaGraph& schema,
+                               const ValidationOptions& options) {
+  ValidationReport report;
+  report.mode = options.mode;
+  const bool strict = options.mode == ValidationMode::kStrict;
+
+  auto room = [&] {
+    return options.max_violations == 0 ||
+           report.violations.size() < options.max_violations;
+  };
+
+  // --- Nodes ---
+  for (const auto& n : g.nodes()) {
+    ++report.elements_checked;
+    std::set<std::string> keys = PropertyKeySet(n);
+    const SchemaNodeType* match = nullptr;
+    for (const auto& t : schema.node_types) {
+      if (NodeCovered(n, t, keys)) {
+        match = &t;
+        break;
+      }
+    }
+    if (match == nullptr) {
+      if (room()) {
+        report.violations.push_back({ViolationKind::kNoMatchingType, false,
+                                     n.id, "",
+                                     "no type covers labels/properties"});
+      }
+      continue;
+    }
+    bool ok = true;
+    if (strict) {
+      std::vector<Violation> local;
+      ok = CheckStrictProperties(n, *match, /*is_edge=*/false, &local);
+      for (auto& v : local) {
+        if (room()) report.violations.push_back(std::move(v));
+      }
+    }
+    if (ok) ++report.elements_valid;
+  }
+
+  // --- Edges ---
+  // Per-type fan counts for the cardinality check (STRICT only).
+  std::vector<const SchemaEdgeType*> matched_type(g.num_edges(), nullptr);
+  for (const auto& e : g.edges()) {
+    ++report.elements_checked;
+    std::set<std::string> keys = PropertyKeySet(e);
+    const SchemaEdgeType* match = nullptr;
+    // Track near-misses that fail only on endpoints, for better reporting.
+    const SchemaEdgeType* endpoint_miss = nullptr;
+    for (const auto& t : schema.edge_types) {
+      if (EdgeCovered(g, e, t, keys)) {
+        match = &t;
+        break;
+      }
+      if (endpoint_miss == nullptr && IsSubset(e.labels, t.labels) &&
+          IsSubset(keys, t.property_keys)) {
+        endpoint_miss = &t;
+      }
+    }
+    if (match == nullptr) {
+      if (room()) {
+        if (endpoint_miss != nullptr) {
+          report.violations.push_back(
+              {ViolationKind::kEndpointMismatch, true, e.id,
+               endpoint_miss->name,
+               "endpoints outside the type's source/target label sets"});
+        } else {
+          report.violations.push_back(
+              {ViolationKind::kNoMatchingType, true, e.id, "",
+               "no type covers labels/properties/endpoints"});
+        }
+      }
+      continue;
+    }
+    matched_type[e.id] = match;
+    bool ok = true;
+    if (strict) {
+      std::vector<Violation> local;
+      ok = CheckStrictProperties(e, *match, /*is_edge=*/true, &local);
+      for (auto& v : local) {
+        if (room()) report.violations.push_back(std::move(v));
+      }
+    }
+    if (ok) ++report.elements_valid;
+  }
+
+  if (strict) {
+    // Cardinality: fan counts per (type, endpoint) must respect the class.
+    struct Fans {
+      std::unordered_map<NodeId, std::unordered_set<NodeId>> out, in;
+    };
+    std::unordered_map<const SchemaEdgeType*, Fans> fans;
+    for (const auto& e : g.edges()) {
+      const SchemaEdgeType* t = matched_type[e.id];
+      if (t == nullptr) continue;
+      fans[t].out[e.source].insert(e.target);
+      fans[t].in[e.target].insert(e.source);
+    }
+    for (const auto& [t, f] : fans) {
+      if (t->cardinality == SchemaCardinality::kUnknown) continue;
+      bool out_must_be_one =
+          t->cardinality == SchemaCardinality::kZeroOrOne ||
+          t->cardinality == SchemaCardinality::kManyToOne;
+      bool in_must_be_one = t->cardinality == SchemaCardinality::kZeroOrOne ||
+                            t->cardinality == SchemaCardinality::kOneToMany;
+      if (out_must_be_one) {
+        for (const auto& [src, tgts] : f.out) {
+          if (tgts.size() > 1 && room()) {
+            report.violations.push_back(
+                {ViolationKind::kCardinalityExceeded, true, src, t->name,
+                 "source node " + std::to_string(src) + " has " +
+                     std::to_string(tgts.size()) +
+                     " distinct targets, declared " +
+                     SchemaCardinalityName(t->cardinality)});
+          }
+        }
+      }
+      if (in_must_be_one) {
+        for (const auto& [tgt, srcs] : f.in) {
+          if (srcs.size() > 1 && room()) {
+            report.violations.push_back(
+                {ViolationKind::kCardinalityExceeded, true, tgt, t->name,
+                 "target node " + std::to_string(tgt) + " has " +
+                     std::to_string(srcs.size()) +
+                     " distinct sources, declared " +
+                     SchemaCardinalityName(t->cardinality)});
+          }
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace pghive

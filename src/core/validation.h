@@ -1,0 +1,91 @@
+// Schema validation: checking a property graph against a discovered schema.
+//
+// PG-Schema distinguishes STRICT and LOOSE typing (paper §3 "Schema
+// constraint level" and §4.5): a STRICT schema requires every element to
+// match a type exactly — labels, mandatory properties, datatypes,
+// endpoints, cardinalities — while a LOOSE schema only requires that each
+// element is *covered* by some type (its labels and properties are a subset
+// of a type's). Validation is the flip side of discovery: a schema
+// discovered from a graph must validate that same graph (tested as an
+// invariant), and newly arriving data can be screened against the schema
+// before ingestion.
+
+#ifndef PGHIVE_CORE_VALIDATION_H_
+#define PGHIVE_CORE_VALIDATION_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/schema.h"
+#include "graph/property_graph.h"
+
+namespace pghive {
+
+enum class ValidationMode { kLoose, kStrict };
+
+/// What went wrong for one element.
+enum class ViolationKind {
+  kNoMatchingType,        // no type covers the element
+  kMissingMandatory,      // a MANDATORY property is absent (STRICT)
+  kDatatypeMismatch,      // value incompatible with the declared type (STRICT)
+  kUndeclaredProperty,    // property not in the matched type (STRICT)
+  kEndpointMismatch,      // edge endpoints outside the type's rho_e (STRICT)
+  kCardinalityExceeded,   // fan-out/in above the declared class (STRICT)
+};
+
+const char* ViolationKindName(ViolationKind kind);
+
+struct Violation {
+  ViolationKind kind;
+  bool is_edge = false;
+  size_t element_id = 0;       // NodeId or EdgeId
+  std::string type_name;       // matched (or best-candidate) type, if any
+  std::string detail;          // human-readable specifics
+
+  std::string ToString() const;
+};
+
+struct ValidationReport {
+  ValidationMode mode = ValidationMode::kLoose;
+  size_t elements_checked = 0;
+  size_t elements_valid = 0;
+  std::vector<Violation> violations;
+
+  bool valid() const { return violations.empty(); }
+  double validity_ratio() const {
+    return elements_checked
+               ? static_cast<double>(elements_valid) / elements_checked
+               : 1.0;
+  }
+
+  /// Multi-line summary ("3 violations: ...").
+  std::string Summary() const;
+};
+
+struct ValidationOptions {
+  ValidationMode mode = ValidationMode::kLoose;
+  /// Stop collecting after this many violations (0 = unlimited).
+  size_t max_violations = 0;
+};
+
+/// Validates every node and edge of `g` against `schema`.
+///
+/// LOOSE: an element is valid iff some type's label set contains the
+/// element's labels and the type's property keys contain the element's
+/// keys (edges additionally need endpoint-label containment).
+///
+/// STRICT: the element must additionally carry every MANDATORY property of
+/// the matched type with a datatype-compatible value, carry no undeclared
+/// properties, and — for edges — respect the type's cardinality class.
+ValidationReport ValidateGraph(const PropertyGraph& g,
+                               const SchemaGraph& schema,
+                               const ValidationOptions& options = {});
+
+/// True iff `observed` can be stored under declared type `declared`
+/// (Int fits Double, Date fits Timestamp, everything fits String).
+bool DataTypeAccepts(DataType declared, DataType observed);
+
+}  // namespace pghive
+
+#endif  // PGHIVE_CORE_VALIDATION_H_

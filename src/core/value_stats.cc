@@ -1,0 +1,116 @@
+#include "core/value_stats.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace pghive {
+
+namespace {
+
+template <typename TypeT, typename GetElem>
+TypeValueStats StatsForType(const TypeT& t, GetElem get,
+                            const ValueStatsOptions& options) {
+  TypeValueStats out;
+  for (const auto& key : t.property_keys) {
+    PropertyStats stats;
+    std::unordered_map<std::string, size_t> counts;
+    for (auto id : t.instances) {
+      const auto& props = get(id).properties;
+      auto it = props.find(key);
+      if (it == props.end()) {
+        ++stats.absent;
+        continue;
+      }
+      ++stats.observed;
+      const Value& v = it->second;
+      std::string text = v.ToText();
+      ++counts[text];
+      if (stats.observed == 1 || text < stats.lexical_min) {
+        stats.lexical_min = text;
+      }
+      if (stats.observed == 1 || text > stats.lexical_max) {
+        stats.lexical_max = text;
+      }
+      double numeric = 0.0;
+      bool is_numeric = false;
+      if (v.type() == DataType::kInt) {
+        numeric = static_cast<double>(v.AsInt());
+        is_numeric = true;
+      } else if (v.type() == DataType::kDouble) {
+        numeric = v.AsDouble();
+        is_numeric = true;
+      }
+      if (is_numeric) {
+        if (stats.numeric_count == 0) {
+          stats.numeric_min = stats.numeric_max = numeric;
+        } else {
+          stats.numeric_min = std::min(stats.numeric_min, numeric);
+          stats.numeric_max = std::max(stats.numeric_max, numeric);
+        }
+        ++stats.numeric_count;
+      }
+    }
+    stats.distinct = counts.size();
+
+    // Top-k by count (desc), value (asc) for determinism.
+    std::vector<std::pair<std::string, size_t>> ranked(counts.begin(),
+                                                       counts.end());
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second != b.second) return a.second > b.second;
+                return a.first < b.first;
+              });
+    if (ranked.size() > options.top_k) ranked.resize(options.top_k);
+    stats.top_values = std::move(ranked);
+
+    stats.enum_candidate =
+        stats.observed >= options.min_enum_support &&
+        stats.distinct <= options.max_enum_size &&
+        static_cast<double>(stats.distinct) <=
+            options.enum_support_ratio * static_cast<double>(stats.observed);
+    if (stats.enum_candidate) {
+      stats.enum_domain.reserve(counts.size());
+      for (const auto& [value, n] : counts) stats.enum_domain.push_back(value);
+      std::sort(stats.enum_domain.begin(), stats.enum_domain.end());
+    }
+    out.emplace(key, std::move(stats));
+  }
+  return out;
+}
+
+}  // namespace
+
+SchemaValueStats ComputeValueStats(const PropertyGraph& g,
+                                   const SchemaGraph& schema,
+                                   const ValueStatsOptions& options) {
+  SchemaValueStats out;
+  out.node_types.reserve(schema.node_types.size());
+  for (const auto& t : schema.node_types) {
+    out.node_types.push_back(StatsForType(
+        t, [&](NodeId id) -> const Node& { return g.node(id); }, options));
+  }
+  out.edge_types.reserve(schema.edge_types.size());
+  for (const auto& t : schema.edge_types) {
+    out.edge_types.push_back(StatsForType(
+        t, [&](EdgeId id) -> const Edge& { return g.edge(id); }, options));
+  }
+  return out;
+}
+
+std::string FormatPropertyStats(const PropertyStats& stats) {
+  std::string out = "observed=" + std::to_string(stats.observed) +
+                    " absent=" + std::to_string(stats.absent) +
+                    " distinct=" + std::to_string(stats.distinct);
+  if (stats.numeric_count > 0) {
+    out += " range=[" + FormatDouble(stats.numeric_min, 2) + ", " +
+           FormatDouble(stats.numeric_max, 2) + "]";
+  }
+  if (stats.enum_candidate) {
+    out += " ENUM{" + Join(stats.enum_domain, ", ") + "}";
+  }
+  return out;
+}
+
+}  // namespace pghive

@@ -1,0 +1,80 @@
+// Property value statistics and enumeration detection (paper §6 future
+// work: "for enumerations and value semantics, we should leverage the
+// property values, along with additional schema constraints" — implemented
+// here as an optional post-processing pass).
+//
+// For every (type, property) pair the pass collects per-value statistics
+// over the assigned instances: observed count, null/absent count, distinct
+// count, numeric min/max, lexical min/max, and the most frequent values.
+// Properties whose distinct value set is small relative to their support
+// are flagged as enumeration candidates, with the value domain recorded —
+// the "enumerated types and bounded ranges" the paper defers.
+
+#ifndef PGHIVE_CORE_VALUE_STATS_H_
+#define PGHIVE_CORE_VALUE_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/schema.h"
+#include "graph/property_graph.h"
+
+namespace pghive {
+
+/// Statistics of one property within one type.
+struct PropertyStats {
+  size_t observed = 0;        // instances carrying the property
+  size_t absent = 0;          // instances of the type without it
+  size_t distinct = 0;        // distinct lexical values
+  /// Numeric range (valid when numeric_count > 0).
+  size_t numeric_count = 0;
+  double numeric_min = 0.0;
+  double numeric_max = 0.0;
+  /// Lexicographic range over the lexical forms (valid when observed > 0).
+  std::string lexical_min;
+  std::string lexical_max;
+  /// Most frequent lexical values, descending by count (ties by value).
+  std::vector<std::pair<std::string, size_t>> top_values;
+  /// True when the property looks like an enumeration: distinct values are
+  /// few in absolute terms and relative to support (see ValueStatsOptions).
+  bool enum_candidate = false;
+  /// The full value domain when enum_candidate (sorted).
+  std::vector<std::string> enum_domain;
+};
+
+struct ValueStatsOptions {
+  /// How many of the most frequent values to keep per property.
+  size_t top_k = 5;
+  /// A property is an enumeration candidate when distinct <= max_enum_size
+  /// and distinct <= enum_support_ratio * observed, with at least
+  /// min_enum_support observations.
+  size_t max_enum_size = 8;
+  double enum_support_ratio = 0.2;
+  size_t min_enum_support = 10;
+};
+
+/// Per-type property statistics, keyed by property name.
+using TypeValueStats = std::map<std::string, PropertyStats>;
+
+/// The stats of every node and edge type, parallel to the schema's type
+/// vectors.
+struct SchemaValueStats {
+  std::vector<TypeValueStats> node_types;
+  std::vector<TypeValueStats> edge_types;
+};
+
+/// Computes value statistics for every (type, property) of the schema over
+/// the instances assigned in it.
+SchemaValueStats ComputeValueStats(const PropertyGraph& g,
+                                   const SchemaGraph& schema,
+                                   const ValueStatsOptions& options = {});
+
+/// Renders one property's statistics on a single line ("observed=40
+/// distinct=3 ENUM{a, b, c}").
+std::string FormatPropertyStats(const PropertyStats& stats);
+
+}  // namespace pghive
+
+#endif  // PGHIVE_CORE_VALUE_STATS_H_

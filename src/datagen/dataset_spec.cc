@@ -1,0 +1,95 @@
+#include "datagen/dataset_spec.h"
+
+#include <unordered_set>
+
+namespace pghive {
+
+const char* CardinalityClassName(CardinalityClass c) {
+  switch (c) {
+    case CardinalityClass::kOneToOne:
+      return "1:1";
+    case CardinalityClass::kManyToOne:
+      return "N:1";
+    case CardinalityClass::kOneToMany:
+      return "1:N";
+    case CardinalityClass::kManyToMany:
+      return "M:N";
+  }
+  return "?";
+}
+
+namespace {
+
+Status ValidateProperties(const std::vector<PropertySpec>& props,
+                          const std::string& owner) {
+  std::unordered_set<std::string> keys;
+  for (const auto& p : props) {
+    if (p.key.empty()) {
+      return Status::InvalidArgument(owner + ": empty property key");
+    }
+    if (!keys.insert(p.key).second) {
+      return Status::InvalidArgument(owner + ": duplicate property key " +
+                                     p.key);
+    }
+    if (p.presence < 0.0 || p.presence > 1.0) {
+      return Status::InvalidArgument(owner + "." + p.key +
+                                     ": presence out of [0,1]");
+    }
+    if (p.outlier_rate < 0.0 || p.outlier_rate > 1.0) {
+      return Status::InvalidArgument(owner + "." + p.key +
+                                     ": outlier_rate out of [0,1]");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status DatasetSpec::Validate() const {
+  if (node_types.empty()) {
+    return Status::InvalidArgument(name + ": no node types");
+  }
+  std::unordered_set<std::string> node_type_names;
+  for (const auto& nt : node_types) {
+    if (nt.name.empty()) {
+      return Status::InvalidArgument(name + ": node type with empty name");
+    }
+    if (!node_type_names.insert(nt.name).second) {
+      return Status::InvalidArgument(name + ": duplicate node type " +
+                                     nt.name);
+    }
+    if (nt.weight <= 0.0) {
+      return Status::InvalidArgument(name + "." + nt.name +
+                                     ": non-positive weight");
+    }
+    PGHIVE_RETURN_NOT_OK(ValidateProperties(nt.properties, name + "." + nt.name));
+  }
+  std::unordered_set<std::string> edge_type_names;
+  for (const auto& et : edge_types) {
+    if (et.name.empty()) {
+      return Status::InvalidArgument(name + ": edge type with empty name");
+    }
+    if (!edge_type_names.insert(et.name).second) {
+      return Status::InvalidArgument(name + ": duplicate edge type " +
+                                     et.name);
+    }
+    if (!node_type_names.count(et.source_type)) {
+      return Status::InvalidArgument(name + "." + et.name +
+                                     ": unknown source type " +
+                                     et.source_type);
+    }
+    if (!node_type_names.count(et.target_type)) {
+      return Status::InvalidArgument(name + "." + et.name +
+                                     ": unknown target type " +
+                                     et.target_type);
+    }
+    if (et.weight <= 0.0) {
+      return Status::InvalidArgument(name + "." + et.name +
+                                     ": non-positive weight");
+    }
+    PGHIVE_RETURN_NOT_OK(ValidateProperties(et.properties, name + "." + et.name));
+  }
+  return Status::OK();
+}
+
+}  // namespace pghive

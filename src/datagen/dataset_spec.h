@@ -1,0 +1,88 @@
+// Declarative dataset specifications for the synthetic benchmark graphs.
+//
+// Each of the paper's eight datasets (Table 2) is described by a
+// DatasetSpec: the ground-truth node/edge types, their label sets, their
+// property inventories (with per-property presence probabilities that create
+// the multiple structural patterns per type the paper reports), endpoint
+// types and target cardinalities for edges, and mixed-value-type "outlier"
+// rates that drive the datatype-sampling experiment (Figure 8).
+
+#ifndef PGHIVE_DATAGEN_DATASET_SPEC_H_
+#define PGHIVE_DATAGEN_DATASET_SPEC_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/value.h"
+
+namespace pghive {
+
+/// Target cardinality class for an edge type; controls endpoint sampling so
+/// the cardinality-inference experiment has ground truth to recover.
+enum class CardinalityClass {
+  kOneToOne,   // (1, 1)
+  kManyToOne,  // (>1, 1): each source has one target, targets reused
+  kOneToMany,  // (1, >1)
+  kManyToMany, // (>1, >1)
+};
+
+const char* CardinalityClassName(CardinalityClass c);
+
+/// One property of a type.
+struct PropertySpec {
+  std::string key;
+  DataType type = DataType::kString;
+  /// Probability an instance of the type carries this property at all
+  /// (structural variation independent of injected noise). 1.0 = intrinsic
+  /// mandatory property.
+  double presence = 1.0;
+  /// Probability a present value is generated with `outlier_type` instead of
+  /// `type` (creates the heterogeneous value populations of ICIJ/CORD19/IYP
+  /// that make sampled datatype inference err, Figure 8).
+  double outlier_rate = 0.0;
+  DataType outlier_type = DataType::kString;
+};
+
+/// Ground-truth node type.
+struct NodeTypeSpec {
+  std::string name;                // truth type id
+  std::set<std::string> labels;    // label set written on instances
+  std::vector<PropertySpec> properties;
+  double weight = 1.0;             // relative share of nodes
+};
+
+/// Ground-truth edge type.
+struct EdgeTypeSpec {
+  std::string name;
+  std::string label;               // edge label (empty = unlabeled type)
+  std::vector<PropertySpec> properties;
+  std::string source_type;         // NodeTypeSpec::name
+  std::string target_type;
+  double weight = 1.0;             // relative share of edges
+  CardinalityClass cardinality = CardinalityClass::kManyToMany;
+};
+
+/// A complete dataset description.
+struct DatasetSpec {
+  std::string name;
+  std::vector<NodeTypeSpec> node_types;
+  std::vector<EdgeTypeSpec> edge_types;
+  /// Element counts of the original dataset (Table 2), for reporting.
+  size_t paper_nodes = 0;
+  size_t paper_edges = 0;
+  /// Default generated size (scaled-down, see DESIGN.md §1).
+  size_t default_nodes = 4000;
+  size_t default_edges = 8000;
+  bool real = false;  // R/S column of Table 2
+
+  /// Fails with InvalidArgument when the spec is inconsistent (duplicate
+  /// type names, edges referencing unknown node types, bad probabilities).
+  Status Validate() const;
+};
+
+}  // namespace pghive
+
+#endif  // PGHIVE_DATAGEN_DATASET_SPEC_H_

@@ -1,0 +1,685 @@
+#include "datagen/datasets.h"
+
+#include <cstdio>
+
+#include "common/hash.h"
+#include "common/string_util.h"
+
+namespace pghive {
+
+namespace {
+
+using CC = CardinalityClass;
+using DT = DataType;
+
+PropertySpec P(std::string key, DT type, double presence = 1.0) {
+  PropertySpec p;
+  p.key = std::move(key);
+  p.type = type;
+  p.presence = presence;
+  return p;
+}
+
+/// Property whose values occasionally come from a different datatype; these
+/// heterogeneous populations drive the Figure-8 sampling-error experiment.
+PropertySpec POut(std::string key, DT type, double presence,
+                  double outlier_rate, DT outlier_type) {
+  PropertySpec p = P(std::move(key), type, presence);
+  p.outlier_rate = outlier_rate;
+  p.outlier_type = outlier_type;
+  return p;
+}
+
+NodeTypeSpec NT(std::string name, std::set<std::string> labels,
+                std::vector<PropertySpec> props, double weight = 1.0) {
+  NodeTypeSpec nt;
+  nt.name = std::move(name);
+  nt.labels = std::move(labels);
+  nt.properties = std::move(props);
+  nt.weight = weight;
+  return nt;
+}
+
+EdgeTypeSpec ET(std::string name, std::string label, std::string src,
+                std::string tgt, CC card,
+                std::vector<PropertySpec> props = {}, double weight = 1.0) {
+  EdgeTypeSpec et;
+  et.name = std::move(name);
+  et.label = std::move(label);
+  et.source_type = std::move(src);
+  et.target_type = std::move(tgt);
+  et.cardinality = card;
+  et.properties = std::move(props);
+  et.weight = weight;
+  return et;
+}
+
+}  // namespace
+
+DatasetSpec MakePoleSpec() {
+  DatasetSpec s;
+  s.name = "POLE";
+  s.real = false;
+  s.paper_nodes = 61521;
+  s.paper_edges = 105840;
+  s.default_nodes = 3000;
+  s.default_edges = 5200;
+
+  s.node_types = {
+      NT("Person", {"Person"},
+         {P("name", DT::kString), P("surname", DT::kString),
+          P("nhs_no", DT::kString), P("nickname", DT::kString, 0.4)},
+         8),
+      NT("Officer", {"Officer"},
+         {P("name", DT::kString), P("rank", DT::kString),
+          P("badge_no", DT::kInt)},
+         1),
+      NT("Object", {"Object"},
+         {P("description", DT::kString), P("found_on", DT::kDate)}, 2),
+      NT("Location", {"Location"},
+         {P("address", DT::kString), P("latitude", DT::kDouble),
+          P("longitude", DT::kDouble)},
+         4),
+      NT("Event", {"Event"},
+         {P("event_type", DT::kString), P("date", DT::kDate)}, 2),
+      NT("Crime", {"Crime"},
+         {P("crime_type", DT::kString), P("date", DT::kDate),
+          P("last_outcome", DT::kString), P("note", DT::kString, 0.3)},
+         3),
+      NT("Vehicle", {"Vehicle"},
+         {P("make", DT::kString), P("model", DT::kString),
+          P("reg", DT::kString), P("year", DT::kInt, 0.7)},
+         1.5),
+      NT("Area", {"Area"}, {P("area_code", DT::kString)}, 0.8),
+      NT("PhoneCall", {"PhoneCall"},
+         {P("call_date", DT::kDate), P("call_time", DT::kString),
+          P("call_duration", DT::kInt), P("call_type", DT::kString)},
+         3),
+      NT("Phone", {"Phone"}, {P("phoneNo", DT::kString)}, 2),
+      NT("PostCode", {"PostCode"}, {P("code", DT::kString)}, 1),
+  };
+
+  s.edge_types = {
+      ET("KNOWS", "KNOWS", "Person", "Person", CC::kManyToMany, {}, 4),
+      ET("KNOWS_LW", "KNOWS_LW", "Person", "Person", CC::kManyToMany, {}, 1),
+      ET("KNOWS_SN", "KNOWS_SN", "Person", "Person", CC::kManyToMany, {}, 1),
+      ET("KNOWS_PHONE", "KNOWS_PHONE", "Person", "Person", CC::kManyToMany,
+         {}, 1),
+      ET("FAMILY_REL", "FAMILY_REL", "Person", "Person", CC::kManyToMany,
+         {P("rel_type", DT::kString)}, 1),
+      ET("CURRENT_ADDRESS", "CURRENT_ADDRESS", "Person", "Location",
+         CC::kManyToOne, {}, 2),
+      ET("HAS_PHONE", "HAS_PHONE", "Person", "Phone", CC::kOneToOne, {}, 1.5),
+      ET("PARTY_TO", "PARTY_TO", "Person", "Crime", CC::kManyToMany, {}, 2),
+      ET("INVESTIGATED_BY", "INVESTIGATED_BY", "Crime", "Officer",
+         CC::kManyToOne, {}, 1),
+      ET("OCCURRED_AT", "OCCURRED_AT", "Crime", "Location", CC::kManyToOne,
+         {}, 1),
+      ET("INVOLVED_IN", "INVOLVED_IN", "Object", "Crime", CC::kManyToOne, {},
+         1),
+      ET("HAS_POSTCODE", "HAS_POSTCODE", "Location", "PostCode",
+         CC::kManyToOne, {}, 1.2),
+      ET("HAS_POSTCODE_AREA", "HAS_POSTCODE", "Area", "PostCode",
+         CC::kManyToOne, {}, 0.5),
+      ET("LOCATION_IN_AREA", "LOCATION_IN_AREA", "Location", "Area",
+         CC::kManyToOne, {}, 1),
+      ET("CALLER", "CALLER", "PhoneCall", "Phone", CC::kManyToOne, {}, 1.5),
+      ET("CALLED", "CALLED", "PhoneCall", "Phone", CC::kManyToOne, {}, 1.5),
+      ET("REGISTERED_TO", "REGISTERED_TO", "Vehicle", "Person",
+         CC::kManyToOne, {}, 0.8),
+  };
+  return s;
+}
+
+namespace {
+
+/// MB6 and FIB25 share the connectome shape: 4 node types defined by
+/// co-occurring label sets over 10 individual labels, 5 edge types over 3
+/// labels, heavy per-type structural variation from optional properties.
+DatasetSpec MakeConnectomeSpec(const std::string& name, size_t paper_nodes,
+                               size_t paper_edges, size_t gen_nodes,
+                               size_t gen_edges, double optional_presence) {
+  DatasetSpec s;
+  s.name = name;
+  s.real = false;
+  s.paper_nodes = paper_nodes;
+  s.paper_edges = paper_edges;
+  s.default_nodes = gen_nodes;
+  s.default_edges = gen_edges;
+
+  s.node_types = {
+      NT("Neuron", {"Neuron", "Cell", "Traced", "Region"},
+         {P("bodyId", DT::kInt), P("name", DT::kString, optional_presence),
+          P("status", DT::kString, 0.8),
+          P("pre", DT::kInt, optional_presence),
+          P("post", DT::kInt, optional_presence),
+          P("size", DT::kInt, 0.9)},
+         3),
+      NT("Segment", {"Segment", "Cell", "Element", "Region"},
+         {P("bodyId", DT::kInt), P("size", DT::kInt, 0.9),
+          P("status", DT::kString, optional_presence)},
+         4),
+      NT("SynapsePre", {"Synapse", "Pre", "Site", "Region"},
+         {P("location", DT::kString), P("confidence", DT::kDouble),
+          P("type", DT::kString, optional_presence)},
+         2),
+      NT("SynapsePost", {"Synapse", "Post", "Site", "Region"},
+         {P("location", DT::kString), P("confidence", DT::kDouble),
+          P("roi", DT::kString, optional_presence)},
+         2),
+  };
+
+  s.edge_types = {
+      ET("ConnectsToNeuron", "ConnectsTo", "Neuron", "Neuron",
+         CC::kManyToMany, {P("weight", DT::kInt, 0.8)}, 3),
+      ET("ConnectsToSegment", "ConnectsTo", "Segment", "Segment",
+         CC::kManyToMany, {P("weight", DT::kInt, 0.8)}, 2),
+      ET("SynapsesTo", "SynapsesTo", "SynapsePre", "SynapsePost",
+         CC::kManyToMany, {}, 3),
+      ET("ContainsNeuron", "Contains", "Neuron", "SynapsePre", CC::kOneToMany,
+         {}, 1.5),
+      ET("ContainsSegment", "Contains", "Segment", "SynapsePost",
+         CC::kOneToMany, {}, 1.5),
+  };
+  return s;
+}
+
+}  // namespace
+
+DatasetSpec MakeMb6Spec() {
+  // Higher optional-property variance than FIB25 (52 vs 31 paper patterns).
+  return MakeConnectomeSpec("MB6", 486267, 961571, 5000, 9800, 0.55);
+}
+
+DatasetSpec MakeFib25Spec() {
+  return MakeConnectomeSpec("FIB25", 802473, 1625428, 6000, 12000, 0.75);
+}
+
+DatasetSpec MakeHetioSpec() {
+  DatasetSpec s;
+  s.name = "HET.IO";
+  s.real = true;
+  s.paper_nodes = 47031;
+  s.paper_edges = 2250197;
+  s.default_nodes = 2600;
+  s.default_edges = 26000;
+
+  // Every node carries the extra HetionetNode integration label (paper §5.1,
+  // "HET.IO has assigned to all its nodes an extra HetionetNode label").
+  auto HN = [](std::string name, std::vector<PropertySpec> props,
+               double weight) {
+    return NT(name, {name, "HetionetNode"}, std::move(props), weight);
+  };
+  // Each type keeps the shared (identifier, name) core of the real dataset
+  // but also carries its source-specific metadata properties (the real
+  // Hetionet stores per-source provenance fields), so types remain
+  // structurally distinguishable even when labels are stripped.
+  s.node_types = {
+      HN("Gene",
+         {P("identifier", DT::kInt), P("name", DT::kString),
+          P("chromosome", DT::kString, 0.8), P("description", DT::kString, 0.6)},
+         6),
+      HN("Disease",
+         {P("identifier", DT::kString), P("name", DT::kString),
+          P("mesh_terms", DT::kString, 0.7)},
+         1),
+      HN("Compound",
+         {P("identifier", DT::kString), P("name", DT::kString),
+          P("inchikey", DT::kString, 0.9), P("inchi", DT::kString, 0.8)},
+         2),
+      HN("Anatomy",
+         {P("identifier", DT::kString), P("name", DT::kString),
+          P("uberon_id", DT::kString)},
+         1),
+      HN("BiologicalProcess",
+         {P("identifier", DT::kString), P("name", DT::kString),
+          P("go_domain", DT::kString, 0.9)},
+         3),
+      HN("CellularComponent",
+         {P("identifier", DT::kString), P("name", DT::kString),
+          P("go_component", DT::kString, 0.9)},
+         1),
+      HN("MolecularFunction",
+         {P("identifier", DT::kString), P("name", DT::kString),
+          P("go_function", DT::kString, 0.9)},
+         1),
+      HN("Pathway",
+         {P("identifier", DT::kString), P("name", DT::kString),
+          P("pathway_source", DT::kString), P("n_genes", DT::kInt, 0.8)},
+         1),
+      HN("PharmacologicClass",
+         {P("identifier", DT::kString), P("name", DT::kString),
+          P("class_type", DT::kString)},
+         0.5),
+      HN("SideEffect",
+         {P("identifier", DT::kString), P("name", DT::kString),
+          P("umls_id", DT::kString, 0.9)},
+         1.5),
+      HN("Symptom",
+         {P("identifier", DT::kString), P("name", DT::kString),
+          P("mesh_id", DT::kString, 0.9)},
+         0.5),
+  };
+
+  struct E {
+    const char* label;
+    const char* src;
+    const char* tgt;
+    double w;
+    bool props;  // some HET.IO edges carry provenance properties
+  };
+  const E edges[] = {
+      {"ASSOCIATES_DaG", "Disease", "Gene", 2, true},
+      {"BINDS_CbG", "Compound", "Gene", 2, true},
+      {"CAUSES_CcSE", "Compound", "SideEffect", 2, false},
+      {"COVARIES_GcG", "Gene", "Gene", 1, false},
+      {"DOWNREGULATES_AdG", "Anatomy", "Gene", 1.5, false},
+      {"DOWNREGULATES_CdG", "Compound", "Gene", 1, true},
+      {"DOWNREGULATES_DdG", "Disease", "Gene", 1, false},
+      {"EXPRESSES_AeG", "Anatomy", "Gene", 3, false},
+      {"INCLUDES_PCiC", "PharmacologicClass", "Compound", 0.5, false},
+      {"INTERACTS_GiG", "Gene", "Gene", 2, true},
+      {"LOCALIZES_DlA", "Disease", "Anatomy", 1, false},
+      {"PALLIATES_CpD", "Compound", "Disease", 0.5, true},
+      {"PARTICIPATES_GpBP", "Gene", "BiologicalProcess", 3, false},
+      {"PARTICIPATES_GpCC", "Gene", "CellularComponent", 1, false},
+      {"PARTICIPATES_GpMF", "Gene", "MolecularFunction", 1, false},
+      {"PARTICIPATES_GpPW", "Gene", "Pathway", 1, false},
+      {"PRESENTS_DpS", "Disease", "Symptom", 0.5, false},
+      {"REGULATES_GrG", "Gene", "Gene", 1.5, false},
+      {"RESEMBLES_CrC", "Compound", "Compound", 0.5, false},
+      {"RESEMBLES_DrD", "Disease", "Disease", 0.3, false},
+      {"TREATS_CtD", "Compound", "Disease", 0.5, true},
+      {"UPREGULATES_AuG", "Anatomy", "Gene", 1.5, false},
+      {"UPREGULATES_CuG", "Compound", "Gene", 1, true},
+      {"UPREGULATES_DuG", "Disease", "Gene", 1, false},
+  };
+  for (const E& e : edges) {
+    std::vector<PropertySpec> props;
+    if (e.props) {
+      props = {P("sources", DT::kString, 0.8),
+               P("unbiased", DT::kBool, 0.5),
+               P("z_score", DT::kDouble, 0.4)};
+    }
+    s.edge_types.push_back(ET(e.label, e.label, e.src, e.tgt, CC::kManyToMany,
+                              std::move(props), e.w));
+  }
+  return s;
+}
+
+DatasetSpec MakeIcijSpec() {
+  DatasetSpec s;
+  s.name = "ICIJ";
+  s.real = true;
+  s.paper_nodes = 2016523;
+  s.paper_edges = 3339267;
+  s.default_nodes = 8000;
+  s.default_edges = 13200;
+
+  // Few types, extreme property heterogeneity (208 paper node patterns):
+  // most properties are optional with mid-range presence, and several
+  // properties have mixed value types (driving Figure 8 sampling errors).
+  s.node_types = {
+      NT("Entity", {"Entity"},
+         {P("name", DT::kString),
+          P("jurisdiction", DT::kString, 0.6),
+          P("incorporation_date", DT::kDate, 0.5),
+          P("inactivation_date", DT::kDate, 0.3),
+          P("status", DT::kString, 0.6),
+          P("service_provider", DT::kString, 0.4),
+          POut("ibcRUC", DT::kInt, 0.5, 0.12, DT::kString),
+          P("country_codes", DT::kString, 0.5),
+          P("note", DT::kString, 0.15)},
+         6),
+      NT("Officer", {"Officer"},
+         {P("name", DT::kString),
+          P("country_codes", DT::kString, 0.55),
+          P("valid_until", DT::kString, 0.4),
+          POut("icij_id", DT::kString, 0.6, 0.0, DT::kString)},
+         5),
+      NT("Intermediary", {"Intermediary"},
+         {P("name", DT::kString),
+          P("address", DT::kString, 0.5),
+          P("country_codes", DT::kString, 0.5),
+          P("status", DT::kString, 0.45),
+          P("internal_id", DT::kInt, 0.5)},
+         1.5),
+      NT("Address", {"Address"},
+         {P("address", DT::kString),
+          P("country_codes", DT::kString, 0.7),
+          POut("postcode", DT::kInt, 0.5, 0.2, DT::kString),
+          P("valid_until", DT::kString, 0.35)},
+         3),
+      NT("Other", {"Other", "Misc"},
+         {P("name", DT::kString),
+          P("closed_date", DT::kDate, 0.4),
+          P("note", DT::kString, 0.4),
+          P("type", DT::kString, 0.6)},
+         0.8),
+  };
+
+  struct E {
+    const char* label;
+    const char* src;
+    const char* tgt;
+    double w;
+    CC card;
+  };
+  const E edges[] = {
+      {"officer_of", "Officer", "Entity", 4, CC::kManyToMany},
+      {"intermediary_of", "Intermediary", "Entity", 2, CC::kOneToMany},
+      {"registered_address", "Entity", "Address", 3, CC::kManyToOne},
+      {"registered_address_officer", "Officer", "Address", 1, CC::kManyToOne},
+      {"connected_to", "Entity", "Entity", 1, CC::kManyToMany},
+      {"similar", "Entity", "Entity", 0.5, CC::kManyToMany},
+      {"same_name_as", "Officer", "Officer", 0.5, CC::kManyToMany},
+      {"same_id_as", "Entity", "Entity", 0.3, CC::kOneToOne},
+      {"underlying", "Entity", "Other", 0.4, CC::kManyToOne},
+      {"shareholder_of", "Officer", "Entity", 1.5, CC::kManyToMany},
+      {"director_of", "Officer", "Entity", 1.5, CC::kManyToMany},
+      {"beneficiary_of", "Officer", "Entity", 1, CC::kManyToMany},
+      {"secretary_of", "Officer", "Entity", 0.5, CC::kManyToMany},
+      {"trustee_of", "Officer", "Entity", 0.3, CC::kManyToMany},
+  };
+  for (const E& e : edges) {
+    // Registration edges carry sparse validity properties -> many edge
+    // patterns (42 in the paper).
+    std::vector<PropertySpec> props = {P("valid_until", DT::kString, 0.4),
+                                       P("start_date", DT::kDate, 0.35),
+                                       P("end_date", DT::kDate, 0.2)};
+    const bool is_same_edge = std::string(e.label).rfind("same_", 0) == 0;
+    if (is_same_edge) props.clear();
+    s.edge_types.push_back(
+        ET(e.label, e.label, e.src, e.tgt, e.card, std::move(props), e.w));
+  }
+  // One duplicate-label edge type distinguishes by endpoints (label reuse).
+  return s;
+}
+
+DatasetSpec MakeCord19Spec() {
+  DatasetSpec s;
+  s.name = "CORD19";
+  s.real = true;
+  s.paper_nodes = 5485296;
+  s.paper_edges = 5720776;
+  s.default_nodes = 10000;
+  s.default_edges = 10400;
+
+  struct N {
+    const char* name;
+    double w;
+  };
+  const N core[] = {{"Paper", 5},          {"Author", 6},
+                    {"Affiliation", 2},    {"Journal", 0.5},
+                    {"Gene", 3},           {"Protein", 3},
+                    {"Disease", 1},        {"Chemical", 2},
+                    {"Species", 0.5},      {"CellType", 0.5},
+                    {"Tissue", 0.5},       {"Pathway", 0.7},
+                    {"ClinicalTrial", 0.5}, {"PatentFamily", 0.3},
+                    {"BodyText", 4},       {"Abstract", 3}};
+  for (const N& n : core) {
+    // Entity types carry namespaced identifiers (gene_id, disease_id, ...)
+    // as in the real CovidGraph, keeping them structurally distinct.
+    std::string id_key = ToLower(n.name) + "_id";
+    std::vector<PropertySpec> props = {P(id_key, DT::kString),
+                                       P("name", DT::kString, 0.9)};
+    if (std::string(n.name) == "Paper") {
+      props = {P("cord_uid", DT::kString),
+               P("title", DT::kString),
+               P("publish_time", DT::kDate, 0.8),
+               POut("year", DT::kInt, 0.7, 0.1, DT::kString),
+               P("doi", DT::kString, 0.6),
+               P("journal_name", DT::kString, 0.5)};
+    } else if (std::string(n.name) == "Author") {
+      props = {P("first", DT::kString, 0.9), P("last", DT::kString),
+               P("email", DT::kString, 0.3)};
+    } else if (std::string(n.name) == "BodyText" ||
+               std::string(n.name) == "Abstract") {
+      props = {P("text", DT::kString), P("section", DT::kString, 0.6),
+               POut("position", DT::kInt, 0.8, 0.05, DT::kDouble)};
+    }
+    s.node_types.push_back(NT(n.name, {n.name}, std::move(props), n.w));
+  }
+
+  struct E {
+    const char* label;
+    const char* src;
+    const char* tgt;
+    double w;
+    CC card;
+  };
+  const E edges[] = {
+      {"WROTE", "Author", "Paper", 5, CC::kManyToMany},
+      {"AFFILIATED_WITH", "Author", "Affiliation", 3, CC::kManyToOne},
+      {"PUBLISHED_IN", "Paper", "Journal", 2, CC::kManyToOne},
+      {"MENTIONS_GENE", "Paper", "Gene", 2, CC::kManyToMany},
+      {"MENTIONS_DISEASE", "Paper", "Disease", 2, CC::kManyToMany},
+      {"MENTIONS_CHEMICAL", "Paper", "Chemical", 2, CC::kManyToMany},
+      {"CODES_FOR", "Gene", "Protein", 1, CC::kOneToOne},
+      {"ASSOCIATED_WITH", "Gene", "Disease", 1, CC::kManyToMany},
+      {"INTERACTS_WITH", "Protein", "Protein", 1, CC::kManyToMany},
+      {"PART_OF_PATHWAY", "Protein", "Pathway", 1, CC::kManyToOne},
+      {"OCCURS_IN", "Disease", "Species", 0.5, CC::kManyToMany},
+      {"HAS_BODYTEXT", "Paper", "BodyText", 3, CC::kOneToMany},
+      {"HAS_ABSTRACT", "Paper", "Abstract", 2, CC::kOneToOne},
+      {"CITES", "Paper", "Paper", 2, CC::kManyToMany},
+      {"TESTED_IN", "Chemical", "ClinicalTrial", 0.5, CC::kManyToMany},
+      {"PATENTED_IN", "Chemical", "PatentFamily", 0.3, CC::kManyToOne},
+  };
+  for (const E& e : edges) {
+    std::vector<PropertySpec> props;
+    if (std::string(e.label).rfind("MENTIONS", 0) == 0) {
+      props = {P("count", DT::kInt, 0.9), P("score", DT::kDouble, 0.5)};
+    }
+    s.edge_types.push_back(
+        ET(e.label, e.label, e.src, e.tgt, e.card, std::move(props), e.w));
+  }
+  return s;
+}
+
+DatasetSpec MakeLdbcSpec() {
+  DatasetSpec s;
+  s.name = "LDBC";
+  s.real = false;
+  s.paper_nodes = 3181724;
+  s.paper_edges = 12505476;
+  s.default_nodes = 9000;
+  s.default_edges = 35000;
+
+  s.node_types = {
+      NT("Person", {"Person"},
+         {P("firstName", DT::kString), P("lastName", DT::kString),
+          P("gender", DT::kString), P("birthday", DT::kDate),
+          P("creationDate", DT::kTimestamp), P("locationIP", DT::kString),
+          P("browserUsed", DT::kString), P("email", DT::kString, 0.7)},
+         4),
+      NT("Forum", {"Forum"},
+         {P("title", DT::kString), P("creationDate", DT::kTimestamp)}, 1.5),
+      // Post and Comment share the Message superclass label.
+      NT("Post", {"Message", "Post"},
+         {P("creationDate", DT::kTimestamp), P("locationIP", DT::kString),
+          P("browserUsed", DT::kString), P("content", DT::kString, 0.8),
+          P("language", DT::kString, 0.6), P("imageFile", DT::kString, 0.3)},
+         5),
+      NT("Comment", {"Comment", "Message"},
+         {P("creationDate", DT::kTimestamp), P("locationIP", DT::kString),
+          P("browserUsed", DT::kString), P("content", DT::kString)},
+         6),
+      NT("Place", {"Place"},
+         {P("name", DT::kString), P("url", DT::kString),
+          P("placeType", DT::kString)},
+         0.5),
+      NT("Organisation", {"Organisation"},
+         {P("name", DT::kString), P("url", DT::kString),
+          P("orgType", DT::kString)},
+         0.5),
+      NT("Tag", {"Tag"}, {P("name", DT::kString), P("url", DT::kString)}, 1),
+  };
+
+  s.edge_types = {
+      ET("KNOWS", "KNOWS", "Person", "Person", CC::kManyToMany,
+         {P("creationDate", DT::kTimestamp)}, 4),
+      ET("HAS_CREATOR_POST", "HAS_CREATOR", "Post", "Person", CC::kManyToOne,
+         {}, 3),
+      ET("HAS_CREATOR_COMMENT", "HAS_CREATOR", "Comment", "Person",
+         CC::kManyToOne, {}, 3.5),
+      ET("LIKES", "LIKES", "Person", "Post", CC::kManyToMany,
+         {P("creationDate", DT::kTimestamp)}, 2.5),
+      ET("FORUM_HAS_TAG", "FORUM_HAS_TAG", "Forum", "Tag", CC::kManyToMany,
+         {}, 1.5),
+      ET("HAS_MEMBER", "HAS_MEMBER", "Forum", "Person", CC::kManyToMany,
+         {P("joinDate", DT::kTimestamp)}, 3),
+      ET("HAS_MODERATOR", "HAS_MODERATOR", "Forum", "Person", CC::kManyToOne,
+         {}, 0.7),
+      ET("CONTAINER_OF", "CONTAINER_OF", "Forum", "Post", CC::kOneToMany, {},
+         2.5),
+      ET("REPLY_OF_POST", "REPLY_OF", "Comment", "Post", CC::kManyToOne, {},
+         2.5),
+      ET("REPLY_OF_COMMENT", "REPLY_OF", "Comment", "Comment", CC::kManyToOne,
+         {}, 2),
+      ET("HAS_TAG", "HAS_TAG", "Post", "Tag", CC::kManyToMany, {}, 2),
+      ET("HAS_INTEREST", "HAS_INTEREST", "Person", "Tag", CC::kManyToMany, {},
+         1.5),
+      ET("IS_LOCATED_IN", "IS_LOCATED_IN", "Person", "Place", CC::kManyToOne,
+         {}, 1.5),
+      ET("STUDY_AT", "STUDY_AT", "Person", "Organisation", CC::kManyToOne,
+         {P("classYear", DT::kInt)}, 0.7),
+      ET("WORK_AT", "WORK_AT", "Person", "Organisation", CC::kManyToMany,
+         {P("workFrom", DT::kInt)}, 1),
+      ET("IS_PART_OF", "IS_PART_OF", "Place", "Place", CC::kManyToOne, {},
+         0.3),
+      ET("ORG_LOCATED_IN", "ORG_LOCATED_IN", "Organisation", "Place",
+         CC::kManyToOne, {}, 0.4),
+  };
+  return s;
+}
+
+DatasetSpec MakeIypSpec() {
+  DatasetSpec s;
+  s.name = "IYP";
+  s.real = true;
+  s.paper_nodes = 44539999;
+  s.paper_edges = 251432812;
+  s.default_nodes = 12000;
+  s.default_edges = 60000;
+
+  // 86 node types built from 33 labels: 11 base entity labels on their own
+  // (11 single-label types) plus combinations of base labels with "source"
+  // category labels (integration scenario: the same entity class annotated
+  // by different measurement sources).
+  const char* bases[] = {"AS",        "Prefix",   "IP",      "DomainName",
+                         "HostName",  "IXP",      "Organization",
+                         "Country",   "Facility", "AtlasProbe", "URL"};
+  const char* sources[] = {"RIPE",   "CAIDA",     "BGPKIT", "PeeringDB",
+                           "Cisco",  "OpenINTEL", "Tranco"};
+  // 11 bases + 7 sources + 15 tag labels = 33 labels.
+  const char* tags[] = {"Tag", "Ranking", "Name", "OpaqueID", "PeeringLAN",
+                        "Estimate", "Geoloc", "Registry", "Route", "Measurement",
+                        "Resolver", "Authoritative", "Anycast", "Cloud", "CDN"};
+
+  // Shared property pool; each type samples a subset -> structural overlap
+  // between types (the paper's "structurally heterogeneous" case).
+  const PropertySpec pool[] = {
+      P("asn", DT::kInt, 0.9),
+      P("prefix", DT::kString, 0.8),
+      P("ip", DT::kString, 0.8),
+      P("name", DT::kString, 0.7),
+      P("country_code", DT::kString, 0.6),
+      POut("reference_time", DT::kTimestamp, 0.6, 0.1, DT::kString),
+      P("reference_org", DT::kString, 0.5),
+      P("reference_url", DT::kString, 0.5),
+      POut("rank", DT::kInt, 0.5, 0.08, DT::kDouble),
+      P("value", DT::kDouble, 0.5),
+      P("af", DT::kInt, 0.6),
+      P("registered", DT::kDate, 0.4),
+      P("domain", DT::kString, 0.7),
+      P("hostname", DT::kString, 0.7),
+      P("org_name", DT::kString, 0.6),
+      P("probe_id", DT::kInt, 0.8),
+  };
+  const size_t pool_size = std::size(pool);
+
+  size_t type_idx = 0;
+  auto add_type = [&](std::set<std::string> labels, double weight) {
+    // Each type samples a pseudo-random 3-6-property subset of the shared
+    // pool, keyed by its label set: heavy structural overlap between types
+    // (the integrated-dataset scenario) while nearly all subsets stay
+    // distinct. This mirrors IYP's 1210 observed node patterns for 86 types.
+    std::string label_key;
+    for (const auto& l : labels) label_key += l + "|";
+    uint64_t h = HashString(label_key);
+    size_t count = 3 + (h % 4);
+    std::set<std::string> seen;
+    std::vector<PropertySpec> props;
+    uint64_t state = h;
+    while (props.size() < count) {
+      state = Mix64(state);
+      const PropertySpec& p = pool[state % pool_size];
+      if (seen.insert(p.key).second) props.push_back(p);
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "T%02zu", type_idx);
+    std::string name = buf;
+    for (const auto& l : labels) name += "_" + l;
+    s.node_types.push_back(NT(name, std::move(labels), std::move(props),
+                              weight));
+    ++type_idx;
+  };
+
+  // 11 single-base types.
+  for (const char* b : bases) add_type({b}, 2.0);
+  // 11 x 7 = 77 would exceed 86-11=75; take the first 75 (base, source)
+  // pairs -> 86 types total.
+  size_t pairs = 0;
+  for (const char* b : bases) {
+    for (const char* src : sources) {
+      if (pairs >= 75) break;
+      add_type({b, src}, 0.5);
+      ++pairs;
+    }
+  }
+  // Tag labels appear as additional labels on a rotating subset of the pair
+  // types so all 33 labels are observed, without creating new types: we fold
+  // them into the label sets of the last few types instead.
+  size_t ti = s.node_types.size() - std::size(tags);
+  for (size_t k = 0; k < std::size(tags); ++k) {
+    s.node_types[ti + k].labels.insert(tags[k]);
+  }
+
+  // 25 edge types over 25 labels connecting rotating type pairs.
+  const char* edge_labels[] = {
+      "MEMBER_OF",    "ORIGINATE",   "DEPENDS_ON",  "PEERS_WITH",
+      "MANAGED_BY",   "LOCATED_IN",  "RESOLVES_TO", "ALIAS_OF",
+      "PART_OF",      "CATEGORIZED", "RANK",        "COUNTRY",
+      "WEBSITE",      "NAME",        "EXTERNAL_ID", "ASSIGNED",
+      "ROUTE_ORIGIN", "QUERIED_FROM", "TARGET",     "HOSTED_BY",
+      "SIBLING_OF",   "UPSTREAM",    "DOWNSTREAM",  "AVAILABLE",
+      "CENSORED"};
+  for (size_t k = 0; k < std::size(edge_labels); ++k) {
+    const auto& src = s.node_types[(k * 7) % s.node_types.size()].name;
+    const auto& tgt = s.node_types[(k * 11 + 3) % s.node_types.size()].name;
+    std::vector<PropertySpec> props = {
+        P("reference_org", DT::kString, 0.7),
+        P("reference_time", DT::kTimestamp, 0.5)};
+    if (k % 3 == 0) props.push_back(POut("count", DT::kInt, 0.5, 0.06, DT::kDouble));
+    s.edge_types.push_back(ET(edge_labels[k], edge_labels[k], src, tgt,
+                              k % 4 == 0 ? CC::kManyToOne : CC::kManyToMany,
+                              std::move(props), 1.0));
+  }
+  return s;
+}
+
+std::vector<DatasetSpec> AllDatasetSpecs() {
+  return {MakePoleSpec(),   MakeMb6Spec(),    MakeHetioSpec(),
+          MakeFib25Spec(),  MakeIcijSpec(),   MakeCord19Spec(),
+          MakeLdbcSpec(),   MakeIypSpec()};
+}
+
+Result<DatasetSpec> DatasetSpecByName(const std::string& name) {
+  for (auto& spec : AllDatasetSpecs()) {
+    if (spec.name == name) return spec;
+  }
+  return Status::NotFound("unknown dataset: " + name);
+}
+
+}  // namespace pghive

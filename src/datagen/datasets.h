@@ -1,0 +1,61 @@
+// The eight benchmark dataset specifications of the paper (Table 2).
+//
+// Each spec mirrors the published structural characteristics of its
+// namesake: ground-truth node/edge type counts, distinct label counts
+// (including the multi-label structure of MB6/FIB25/IYP and the extra
+// integration labels of HET.IO/LDBC), property heterogeneity (pattern
+// counts) and edge endpoint structure. Instance counts are scaled down to
+// laptop size (DESIGN.md §1); the paper-scale counts are retained in the
+// spec for reporting.
+
+#ifndef PGHIVE_DATAGEN_DATASETS_H_
+#define PGHIVE_DATAGEN_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "datagen/dataset_spec.h"
+
+namespace pghive {
+
+/// POLE: crime investigation graph (Person-Object-Location-Event).
+/// 11 node types / 17 edge types, flat single-label structure.
+DatasetSpec MakePoleSpec();
+
+/// MB6: fruit-fly mushroom-body connectome. 4 node types defined by
+/// co-occurring label sets over 10 labels; heavy structural variation.
+DatasetSpec MakeMb6Spec();
+
+/// HET.IO: integrated biomedical knowledge graph. 11 node types / 24 edge
+/// types; every node carries an extra HetionetNode integration label.
+DatasetSpec MakeHetioSpec();
+
+/// FIB25: fruit-fly medulla connectome; sibling of MB6.
+DatasetSpec MakeFib25Spec();
+
+/// ICIJ: offshore-leaks graph; few types but extremely heterogeneous
+/// properties (hundreds of structural patterns).
+DatasetSpec MakeIcijSpec();
+
+/// CORD19: COVID-19 knowledge graph; 16 node and edge types.
+DatasetSpec MakeCord19Spec();
+
+/// LDBC SNB: social network benchmark; 7 node types / 17 edge types with a
+/// Message superclass label shared by Post and Comment.
+DatasetSpec MakeLdbcSpec();
+
+/// IYP: Internet Yellow Pages; 86 node types formed by combinations of 33
+/// labels, the hardest integration scenario.
+DatasetSpec MakeIypSpec();
+
+/// All eight specs in Table-2 order (POLE, MB6, HET.IO, FIB25, ICIJ,
+/// CORD19, LDBC, IYP).
+std::vector<DatasetSpec> AllDatasetSpecs();
+
+/// Looks a spec up by its Table-2 name (case-sensitive).
+Result<DatasetSpec> DatasetSpecByName(const std::string& name);
+
+}  // namespace pghive
+
+#endif  // PGHIVE_DATAGEN_DATASETS_H_

@@ -1,0 +1,202 @@
+#include "datagen/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <unordered_map>
+
+#include "common/random.h"
+
+namespace pghive {
+
+namespace {
+
+const char* const kWordPool[] = {
+    "alpha", "beta",  "gamma", "delta", "epsilon", "zeta",  "eta",
+    "theta", "iota",  "kappa", "lambda", "mu",     "nu",    "xi",
+    "omikron", "pi",  "rho",   "sigma", "tau",     "upsilon"};
+
+std::string RandomWord(Rng* rng) {
+  return kWordPool[rng->UniformU32(std::size(kWordPool))];
+}
+
+std::string RandomDate(Rng* rng) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d",
+                static_cast<int>(rng->UniformInt(1970, 2025)),
+                static_cast<int>(rng->UniformInt(1, 12)),
+                static_cast<int>(rng->UniformInt(1, 28)));
+  return buf;
+}
+
+std::string RandomTimestamp(Rng* rng) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%sT%02d:%02d:%02d",
+                RandomDate(rng).c_str(),
+                static_cast<int>(rng->UniformInt(0, 23)),
+                static_cast<int>(rng->UniformInt(0, 59)),
+                static_cast<int>(rng->UniformInt(0, 59)));
+  return buf;
+}
+
+// Draws a type index proportionally to weights using a precomputed CDF.
+size_t DrawIndex(const std::vector<double>& cdf, Rng* rng) {
+  double r = rng->UniformDouble() * cdf.back();
+  auto it = std::lower_bound(cdf.begin(), cdf.end(), r);
+  return std::min<size_t>(static_cast<size_t>(it - cdf.begin()),
+                          cdf.size() - 1);
+}
+
+std::vector<double> BuildCdf(const std::vector<double>& weights) {
+  std::vector<double> cdf(weights.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    cdf[i] = acc;
+  }
+  return cdf;
+}
+
+std::map<std::string, Value> RealizeProperties(
+    const std::vector<PropertySpec>& props, Rng* rng) {
+  std::map<std::string, Value> out;
+  for (const auto& p : props) {
+    if (p.presence < 1.0 && !rng->Bernoulli(p.presence)) continue;
+    DataType t = p.type;
+    if (p.outlier_rate > 0.0 && rng->Bernoulli(p.outlier_rate)) {
+      t = p.outlier_type;
+    }
+    out.emplace(p.key, GenerateValue(t, rng));
+  }
+  return out;
+}
+
+}  // namespace
+
+Value GenerateValue(DataType type, Rng* rng) {
+  switch (type) {
+    case DataType::kInt:
+      return Value::Int(rng->UniformInt(0, 1000000));
+    case DataType::kDouble:
+      // Force a fractional part so the lexical form stays a double.
+      return Value::Double(rng->UniformDouble(0.0, 1000.0) + 0.5);
+    case DataType::kBool:
+      return Value::Bool(rng->Bernoulli(0.5));
+    case DataType::kDate:
+      return Value::Date(RandomDate(rng));
+    case DataType::kTimestamp:
+      return Value::Timestamp(RandomTimestamp(rng));
+    case DataType::kString:
+      return Value::String(RandomWord(rng) + "_" +
+                           std::to_string(rng->UniformInt(0, 9999)));
+  }
+  return Value::String("?");
+}
+
+Result<PropertyGraph> GenerateGraph(const DatasetSpec& spec,
+                                    const GenerateOptions& options) {
+  PGHIVE_RETURN_NOT_OK(spec.Validate());
+  size_t num_nodes = options.num_nodes ? options.num_nodes : spec.default_nodes;
+  size_t num_edges = options.num_edges ? options.num_edges : spec.default_edges;
+  Rng rng(options.seed, 0x9e9);
+
+  // --- Nodes ---
+  std::vector<double> node_weights;
+  node_weights.reserve(spec.node_types.size());
+  for (const auto& nt : spec.node_types) node_weights.push_back(nt.weight);
+  std::vector<double> node_cdf = BuildCdf(node_weights);
+
+  // Decide the type of every node first (guaranteeing >=1 instance per type
+  // when the graph is large enough), then optionally shuffle.
+  std::vector<size_t> node_type_of(num_nodes);
+  for (size_t i = 0; i < num_nodes; ++i) {
+    node_type_of[i] = i < spec.node_types.size() && num_nodes >= spec.node_types.size()
+                          ? i
+                          : DrawIndex(node_cdf, &rng);
+  }
+  if (options.shuffle) rng.Shuffle(&node_type_of);
+
+  PropertyGraph g;
+  std::unordered_map<std::string, std::vector<NodeId>> pool;  // type -> ids
+  for (size_t i = 0; i < num_nodes; ++i) {
+    const NodeTypeSpec& nt = spec.node_types[node_type_of[i]];
+    NodeId id = g.AddNode(nt.labels, RealizeProperties(nt.properties, &rng),
+                          nt.name);
+    pool[nt.name].push_back(id);
+  }
+
+  // --- Edges ---
+  if (spec.edge_types.empty() || num_edges == 0) return g;
+  std::vector<double> edge_weights;
+  edge_weights.reserve(spec.edge_types.size());
+  for (const auto& et : spec.edge_types) edge_weights.push_back(et.weight);
+  std::vector<double> edge_cdf = BuildCdf(edge_weights);
+
+  std::vector<size_t> edge_type_of(num_edges);
+  for (size_t i = 0; i < num_edges; ++i) {
+    edge_type_of[i] = i < spec.edge_types.size() && num_edges >= spec.edge_types.size()
+                          ? i
+                          : DrawIndex(edge_cdf, &rng);
+  }
+  if (options.shuffle) rng.Shuffle(&edge_type_of);
+
+  // Per edge type, a "next source" cursor implements the cardinality class:
+  //   1:1  -> fresh source, fresh target
+  //   N:1  -> fresh source, target drawn from a small reused subset
+  //   1:N  -> source drawn from a small reused subset, fresh target
+  //   M:N  -> both drawn at random (reuse expected)
+  struct Cursor {
+    size_t next_src = 0;
+    size_t next_tgt = 0;
+  };
+  std::unordered_map<std::string, Cursor> cursors;
+
+  for (size_t i = 0; i < num_edges; ++i) {
+    const EdgeTypeSpec& et = spec.edge_types[edge_type_of[i]];
+    auto& srcs = pool[et.source_type];
+    auto& tgts = pool[et.target_type];
+    if (srcs.empty() || tgts.empty()) continue;  // undersized graph
+    Cursor& cur = cursors[et.name];
+
+    auto fresh = [&](std::vector<NodeId>& v, size_t* next) {
+      NodeId id = v[*next % v.size()];
+      ++*next;
+      return id;
+    };
+    auto reused = [&](std::vector<NodeId>& v) {
+      // Small hub subset: first ~sqrt(|v|) ids.
+      size_t hubs = std::max<size_t>(1, static_cast<size_t>(
+                                            std::sqrt(double(v.size()))));
+      return v[rng.UniformU32(static_cast<uint32_t>(hubs))];
+    };
+
+    NodeId s = 0, t = 0;
+    switch (et.cardinality) {
+      case CardinalityClass::kOneToOne:
+        s = fresh(srcs, &cur.next_src);
+        t = fresh(tgts, &cur.next_tgt);
+        break;
+      case CardinalityClass::kManyToOne:
+        s = fresh(srcs, &cur.next_src);
+        t = reused(tgts);
+        break;
+      case CardinalityClass::kOneToMany:
+        s = reused(srcs);
+        t = fresh(tgts, &cur.next_tgt);
+        break;
+      case CardinalityClass::kManyToMany:
+        s = srcs[rng.UniformU32(static_cast<uint32_t>(srcs.size()))];
+        t = tgts[rng.UniformU32(static_cast<uint32_t>(tgts.size()))];
+        break;
+    }
+    std::set<std::string> labels;
+    if (!et.label.empty()) labels.insert(et.label);
+    auto added = g.AddEdge(s, t, std::move(labels),
+                           RealizeProperties(et.properties, &rng), et.name);
+    if (!added.ok()) return added.status();
+  }
+  return g;
+}
+
+}  // namespace pghive

@@ -1,0 +1,42 @@
+// Graph generation engine: instantiates a DatasetSpec into a PropertyGraph.
+//
+// Nodes are drawn per type proportionally to type weights; each instance
+// realizes its properties according to the per-property presence
+// probability and gets typed values (with optional outlier types). Edges
+// sample endpoints from their (source, target) node-type pools respecting
+// the declared cardinality class, so the cardinality-inference step has
+// recoverable ground truth.
+
+#ifndef PGHIVE_DATAGEN_GENERATOR_H_
+#define PGHIVE_DATAGEN_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "datagen/dataset_spec.h"
+#include "graph/property_graph.h"
+
+namespace pghive {
+
+struct GenerateOptions {
+  /// Total nodes/edges to generate; 0 = use the spec defaults.
+  size_t num_nodes = 0;
+  size_t num_edges = 0;
+  uint64_t seed = 1234;
+  /// Shuffle node/edge insertion order so incremental batches see a mix of
+  /// types (the paper splits graphs into batches randomly).
+  bool shuffle = true;
+};
+
+/// Generates a graph from a spec. Fails if the spec does not Validate().
+Result<PropertyGraph> GenerateGraph(const DatasetSpec& spec,
+                                    const GenerateOptions& options = {});
+
+/// Generates a single property value of the given data type (deterministic
+/// in the Rng state). Exposed for tests and the Figure-8 harness.
+Value GenerateValue(DataType type, Rng* rng);
+
+}  // namespace pghive
+
+#endif  // PGHIVE_DATAGEN_GENERATOR_H_

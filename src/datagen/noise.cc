@@ -1,0 +1,46 @@
+#include "datagen/noise.h"
+
+#include "common/random.h"
+
+namespace pghive {
+
+namespace {
+
+template <typename Elem>
+void ApplyNoiseToElement(Elem* e, const NoiseOptions& options, Rng* rng) {
+  if (options.property_removal > 0.0 && !e->properties.empty()) {
+    for (auto it = e->properties.begin(); it != e->properties.end();) {
+      if (rng->Bernoulli(options.property_removal)) {
+        it = e->properties.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (options.label_availability < 1.0 && !e->labels.empty()) {
+    if (!rng->Bernoulli(options.label_availability)) e->labels.clear();
+  }
+}
+
+}  // namespace
+
+Result<PropertyGraph> InjectNoise(const PropertyGraph& g,
+                                  const NoiseOptions& options) {
+  if (options.property_removal < 0.0 || options.property_removal > 1.0) {
+    return Status::InvalidArgument("property_removal out of [0,1]");
+  }
+  if (options.label_availability < 0.0 || options.label_availability > 1.0) {
+    return Status::InvalidArgument("label_availability out of [0,1]");
+  }
+  PropertyGraph noisy = g;
+  Rng rng(options.seed, 0x401);
+  for (size_t i = 0; i < noisy.num_nodes(); ++i) {
+    ApplyNoiseToElement(&noisy.mutable_node(i), options, &rng);
+  }
+  for (size_t i = 0; i < noisy.num_edges(); ++i) {
+    ApplyNoiseToElement(&noisy.mutable_edge(i), options, &rng);
+  }
+  return noisy;
+}
+
+}  // namespace pghive

@@ -1,0 +1,35 @@
+// Noise injection (paper §5, "Noise injection").
+//
+// The evaluation stresses schema discovery by (a) randomly removing
+// 0-40% of node/edge properties and (b) limiting label availability to
+// 100% / 50% / 0% (labels removed from a random subset of elements).
+// Ground-truth annotations are left untouched.
+
+#ifndef PGHIVE_DATAGEN_NOISE_H_
+#define PGHIVE_DATAGEN_NOISE_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "graph/property_graph.h"
+
+namespace pghive {
+
+struct NoiseOptions {
+  /// Probability of dropping each individual property instance (0-0.4 in
+  /// the paper's grid).
+  double property_removal = 0.0;
+  /// Fraction of elements that KEEP their labels (1.0, 0.5, 0.0 in the
+  /// paper). Elements that lose labels lose the whole label set.
+  double label_availability = 1.0;
+  uint64_t seed = 99;
+};
+
+/// Returns a noisy copy of `g`. Fails with InvalidArgument if the options
+/// are outside [0, 1].
+Result<PropertyGraph> InjectNoise(const PropertyGraph& g,
+                                  const NoiseOptions& options);
+
+}  // namespace pghive
+
+#endif  // PGHIVE_DATAGEN_NOISE_H_

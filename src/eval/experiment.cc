@@ -1,0 +1,109 @@
+#include "eval/experiment.h"
+
+#include <algorithm>
+
+#include "common/timer.h"
+
+namespace pghive {
+
+const char* MethodName(Method m) {
+  switch (m) {
+    case Method::kPgHiveElsh:
+      return "PG-HIVE-ELSH";
+    case Method::kPgHiveMinHash:
+      return "PG-HIVE-MinHash";
+    case Method::kGmmSchema:
+      return "GMMSchema";
+    case Method::kSchemI:
+      return "SchemI";
+  }
+  return "?";
+}
+
+const std::vector<Method>& AllMethods() {
+  static const std::vector<Method> kMethods = {
+      Method::kPgHiveElsh, Method::kPgHiveMinHash, Method::kGmmSchema,
+      Method::kSchemI};
+  return kMethods;
+}
+
+bool MethodSupportsLabelAvailability(Method m, double label_availability) {
+  switch (m) {
+    case Method::kPgHiveElsh:
+    case Method::kPgHiveMinHash:
+      return true;
+    case Method::kGmmSchema:
+    case Method::kSchemI:
+      return label_availability >= 1.0;
+  }
+  return false;
+}
+
+Result<PropertyGraph> GenerateForExperiment(const DatasetSpec& spec,
+                                            const ExperimentConfig& config) {
+  GenerateOptions opt;
+  opt.num_nodes = std::max<size_t>(
+      spec.node_types.size(),
+      static_cast<size_t>(spec.default_nodes * config.size_scale));
+  opt.num_edges = std::max<size_t>(
+      spec.edge_types.size(),
+      static_cast<size_t>(spec.default_edges * config.size_scale));
+  opt.seed = config.seed;
+  return GenerateGraph(spec, opt);
+}
+
+ExperimentResult RunMethod(const PropertyGraph& g, Method method,
+                           const ExperimentConfig& config) {
+  ExperimentResult result;
+  Timer timer;
+  SchemaGraph schema;
+  switch (method) {
+    case Method::kPgHiveElsh:
+    case Method::kPgHiveMinHash: {
+      PipelineOptions opt = config.pipeline;
+      opt.method = method == Method::kPgHiveElsh ? ClusteringMethod::kElsh
+                                                 : ClusteringMethod::kMinHash;
+      opt.post_process = false;  // Figure-5 boundary: type discovery only
+      PgHivePipeline pipeline(opt);
+      auto discovered = pipeline.DiscoverSchema(g);
+      if (!discovered.ok()) {
+        result.failure = discovered.status().ToString();
+        return result;
+      }
+      schema = std::move(discovered).value();
+      result.has_edge_types = true;
+      break;
+    }
+    case Method::kGmmSchema: {
+      auto discovered = RunGmmSchema(g, config.gmm);
+      if (!discovered.ok()) {
+        result.failure = discovered.status().ToString();
+        return result;
+      }
+      schema = std::move(discovered).value();
+      result.has_edge_types = false;
+      break;
+    }
+    case Method::kSchemI: {
+      auto discovered = RunSchemI(g, config.schemi);
+      if (!discovered.ok()) {
+        result.failure = discovered.status().ToString();
+        return result;
+      }
+      schema = std::move(discovered).value();
+      result.has_edge_types = true;
+      break;
+    }
+  }
+  result.seconds = timer.ElapsedSeconds();
+  result.ran = true;
+  result.node_types = schema.node_types.size();
+  result.edge_types = schema.edge_types.size();
+  result.node_f1 = MajorityF1Nodes(g, schema);
+  if (result.has_edge_types) {
+    result.edge_f1 = MajorityF1Edges(g, schema);
+  }
+  return result;
+}
+
+}  // namespace pghive

@@ -1,0 +1,69 @@
+// Experiment runner: executes a schema-discovery method on a (dataset,
+// noise, label-availability) case and measures quality + runtime. This is
+// the engine behind Figures 3-7.
+
+#ifndef PGHIVE_EVAL_EXPERIMENT_H_
+#define PGHIVE_EVAL_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/gmm_schema.h"
+#include "baselines/schemi.h"
+#include "core/pipeline.h"
+#include "datagen/datasets.h"
+#include "datagen/generator.h"
+#include "datagen/noise.h"
+#include "eval/f1.h"
+
+namespace pghive {
+
+/// The four compared methods (paper §5 "Baselines").
+enum class Method {
+  kPgHiveElsh = 0,
+  kPgHiveMinHash,
+  kGmmSchema,
+  kSchemI,
+};
+
+const char* MethodName(Method m);
+const std::vector<Method>& AllMethods();
+
+/// True when the method can run on a graph with the given label
+/// availability (GMMSchema / SchemI need 100%).
+bool MethodSupportsLabelAvailability(Method m, double label_availability);
+
+struct ExperimentResult {
+  bool ran = false;            // false when the method refused the input
+  std::string failure;         // refusal reason when !ran
+  F1Result node_f1;
+  F1Result edge_f1;            // zero/empty for GMMSchema (nodes only)
+  bool has_edge_types = false;
+  double seconds = 0.0;        // time until type discovery (paper Fig. 5)
+  size_t node_types = 0;
+  size_t edge_types = 0;
+};
+
+/// Scale factor applied to every dataset's default size; lets benches trade
+/// fidelity for runtime uniformly.
+struct ExperimentConfig {
+  double size_scale = 1.0;
+  uint64_t seed = 2026;
+  /// PG-HIVE pipeline template (method field overridden per run).
+  PipelineOptions pipeline;
+  GmmSchemaOptions gmm;
+  SchemIOptions schemi;
+};
+
+/// Generates the (clean) graph of a spec at the configured scale.
+Result<PropertyGraph> GenerateForExperiment(const DatasetSpec& spec,
+                                            const ExperimentConfig& config);
+
+/// Runs one method on an already-noised graph. Type discovery only (no
+/// post-processing), matching the paper's Figure-5 timing boundary.
+ExperimentResult RunMethod(const PropertyGraph& g, Method method,
+                           const ExperimentConfig& config);
+
+}  // namespace pghive
+
+#endif  // PGHIVE_EVAL_EXPERIMENT_H_

@@ -1,0 +1,116 @@
+#include "eval/f1.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace pghive {
+
+F1Result MajorityF1(const std::vector<std::vector<size_t>>& clusters,
+                    const std::function<const std::string&(size_t)>& truth_of,
+                    std::vector<PerTypeF1>* per_type) {
+  F1Result result;
+  result.clusters = clusters.size();
+
+  // Majority true type per cluster.
+  std::vector<std::string> majority(clusters.size());
+  for (size_t c = 0; c < clusters.size(); ++c) {
+    std::unordered_map<std::string, size_t> counts;
+    for (size_t id : clusters[c]) {
+      const std::string& t = truth_of(id);
+      if (!t.empty()) ++counts[t];
+    }
+    size_t best = 0;
+    for (const auto& [t, n] : counts) {
+      // Deterministic tie-break on the type name.
+      if (n > best || (n == best && (majority[c].empty() || t < majority[c]))) {
+        best = n;
+        majority[c] = t;
+      }
+    }
+  }
+
+  // Per-true-type tallies.
+  struct Tally {
+    size_t tp = 0;  // instances of t inside clusters with majority t
+    size_t fp = 0;  // other instances inside clusters with majority t
+    size_t fn = 0;  // instances of t inside clusters with other majority
+  };
+  std::unordered_map<std::string, Tally> tallies;
+  size_t correct = 0;
+  size_t total = 0;
+  for (size_t c = 0; c < clusters.size(); ++c) {
+    for (size_t id : clusters[c]) {
+      const std::string& truth = truth_of(id);
+      if (truth.empty()) continue;
+      ++total;
+      if (truth == majority[c]) {
+        ++tallies[truth].tp;
+        ++correct;
+      } else {
+        ++tallies[truth].fn;
+        ++tallies[majority[c]].fp;
+      }
+    }
+  }
+  result.instances = total;
+  result.accuracy = total ? static_cast<double>(correct) / total : 0.0;
+
+  // Instance-weighted averages over true types.
+  double p_sum = 0.0, r_sum = 0.0, f_sum = 0.0;
+  size_t support_sum = 0;
+  if (per_type) per_type->clear();
+  for (const auto& [type, t] : tallies) {
+    size_t support = t.tp + t.fn;
+    if (support == 0) continue;
+    double p = (t.tp + t.fp) ? static_cast<double>(t.tp) / (t.tp + t.fp) : 0.0;
+    double r = static_cast<double>(t.tp) / support;
+    double f = (p + r > 0) ? 2.0 * p * r / (p + r) : 0.0;
+    p_sum += p * support;
+    r_sum += r * support;
+    f_sum += f * support;
+    support_sum += support;
+    if (per_type) {
+      per_type->push_back({type, support, p, r, f});
+    }
+  }
+  if (support_sum > 0) {
+    result.precision = p_sum / support_sum;
+    result.recall = r_sum / support_sum;
+    result.f1 = f_sum / support_sum;
+  }
+  if (per_type) {
+    std::sort(per_type->begin(), per_type->end(),
+              [](const PerTypeF1& a, const PerTypeF1& b) {
+                return a.support > b.support;
+              });
+  }
+  return result;
+}
+
+F1Result MajorityF1Nodes(const PropertyGraph& g, const SchemaGraph& schema,
+                         std::vector<PerTypeF1>* per_type) {
+  std::vector<std::vector<size_t>> clusters;
+  clusters.reserve(schema.node_types.size());
+  for (const auto& t : schema.node_types) {
+    clusters.emplace_back(t.instances.begin(), t.instances.end());
+  }
+  return MajorityF1(
+      clusters,
+      [&](size_t id) -> const std::string& { return g.node(id).truth_type; },
+      per_type);
+}
+
+F1Result MajorityF1Edges(const PropertyGraph& g, const SchemaGraph& schema,
+                         std::vector<PerTypeF1>* per_type) {
+  std::vector<std::vector<size_t>> clusters;
+  clusters.reserve(schema.edge_types.size());
+  for (const auto& t : schema.edge_types) {
+    clusters.emplace_back(t.instances.begin(), t.instances.end());
+  }
+  return MajorityF1(
+      clusters,
+      [&](size_t id) -> const std::string& { return g.edge(id).truth_type; },
+      per_type);
+}
+
+}  // namespace pghive

@@ -1,0 +1,57 @@
+// Majority-based F1* score (paper §5, "Evaluation metrics").
+//
+// Each discovered type (cluster) is assigned the majority ground-truth type
+// of its members; an instance's placement is correct iff its true type
+// matches its cluster's majority type. Per-true-type precision/recall/F1 are
+// combined into an instance-weighted average — the F1*-score plotted in
+// Figures 3, 4 and 6.
+
+#ifndef PGHIVE_EVAL_F1_H_
+#define PGHIVE_EVAL_F1_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/schema.h"
+#include "graph/property_graph.h"
+
+namespace pghive {
+
+struct F1Result {
+  double precision = 0.0;  // instance-weighted over true types
+  double recall = 0.0;
+  double f1 = 0.0;
+  double accuracy = 0.0;   // micro: fraction of correctly placed instances
+  size_t clusters = 0;     // number of discovered types evaluated
+  size_t instances = 0;    // instances covered by the clusters
+};
+
+/// Per-type breakdown for diagnostics.
+struct PerTypeF1 {
+  std::string type;
+  size_t support = 0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// Evaluates an arbitrary clustering: `clusters[i]` lists instance ids and
+/// `truth_of(id)` returns the ground-truth type of an instance. Ids with an
+/// empty truth are ignored.
+F1Result MajorityF1(const std::vector<std::vector<size_t>>& clusters,
+                    const std::function<const std::string&(size_t)>& truth_of,
+                    std::vector<PerTypeF1>* per_type = nullptr);
+
+/// F1* over the node types of a discovered schema.
+F1Result MajorityF1Nodes(const PropertyGraph& g, const SchemaGraph& schema,
+                         std::vector<PerTypeF1>* per_type = nullptr);
+
+/// F1* over the edge types of a discovered schema.
+F1Result MajorityF1Edges(const PropertyGraph& g, const SchemaGraph& schema,
+                         std::vector<PerTypeF1>* per_type = nullptr);
+
+}  // namespace pghive
+
+#endif  // PGHIVE_EVAL_F1_H_

@@ -1,0 +1,31 @@
+#include "eval/ground_truth.h"
+
+namespace pghive {
+
+std::set<std::string> TrueNodeTypes(const PropertyGraph& g) {
+  std::set<std::string> types;
+  for (const auto& n : g.nodes()) {
+    if (!n.truth_type.empty()) types.insert(n.truth_type);
+  }
+  return types;
+}
+
+std::set<std::string> TrueEdgeTypes(const PropertyGraph& g) {
+  std::set<std::string> types;
+  for (const auto& e : g.edges()) {
+    if (!e.truth_type.empty()) types.insert(e.truth_type);
+  }
+  return types;
+}
+
+bool HasCompleteGroundTruth(const PropertyGraph& g) {
+  for (const auto& n : g.nodes()) {
+    if (n.truth_type.empty()) return false;
+  }
+  for (const auto& e : g.edges()) {
+    if (e.truth_type.empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace pghive

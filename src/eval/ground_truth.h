@@ -1,0 +1,24 @@
+// Ground-truth access for the evaluation harness.
+
+#ifndef PGHIVE_EVAL_GROUND_TRUTH_H_
+#define PGHIVE_EVAL_GROUND_TRUTH_H_
+
+#include <set>
+#include <string>
+
+#include "graph/property_graph.h"
+
+namespace pghive {
+
+/// Distinct ground-truth node type names (empty annotations skipped).
+std::set<std::string> TrueNodeTypes(const PropertyGraph& g);
+
+/// Distinct ground-truth edge type names.
+std::set<std::string> TrueEdgeTypes(const PropertyGraph& g);
+
+/// True iff every node and edge carries a ground-truth annotation.
+bool HasCompleteGroundTruth(const PropertyGraph& g);
+
+}  // namespace pghive
+
+#endif  // PGHIVE_EVAL_GROUND_TRUTH_H_

@@ -1,0 +1,56 @@
+#include "eval/ranking.h"
+
+#include <cmath>
+
+#include "ml/stats.h"
+
+namespace pghive {
+
+double NemenyiQAlpha05(size_t k) {
+  // Demsar (2006), Table 5(a): critical values for the two-tailed Nemenyi
+  // test at alpha = 0.05 (already divided by sqrt(2)).
+  static const double kTable[] = {0.0,   0.0,   1.960, 2.343, 2.569, 2.728,
+                                  2.850, 2.949, 3.031, 3.102, 3.164};
+  if (k < 2) return 0.0;
+  if (k <= 10) return kTable[k];
+  // Conservative extension for k > 10.
+  return kTable[10] + 0.05 * static_cast<double>(k - 10);
+}
+
+bool RankingResult::SignificantlyDifferent(size_t i, size_t j) const {
+  return std::abs(average_ranks[i] - average_ranks[j]) >= critical_difference;
+}
+
+Result<RankingResult> NemenyiAnalysis(
+    const std::vector<std::string>& methods,
+    const std::vector<std::vector<double>>& scores) {
+  size_t k = methods.size();
+  if (k < 2) return Status::InvalidArgument("need at least 2 methods");
+  if (scores.empty()) return Status::InvalidArgument("no test cases");
+  for (const auto& row : scores) {
+    if (row.size() != k) {
+      return Status::InvalidArgument("scores row does not match methods");
+    }
+  }
+  size_t n = scores.size();
+
+  RankingResult result;
+  result.methods = methods;
+  result.num_cases = n;
+  result.average_ranks = AverageRanks(scores);
+
+  // Friedman chi-square with the tie-agnostic classical formula.
+  double sum_sq = 0.0;
+  for (double r : result.average_ranks) sum_sq += r * r;
+  double kd = static_cast<double>(k);
+  double nd = static_cast<double>(n);
+  result.friedman_chi2 =
+      (12.0 * nd / (kd * (kd + 1.0))) *
+      (sum_sq - kd * (kd + 1.0) * (kd + 1.0) / 4.0);
+
+  result.critical_difference =
+      NemenyiQAlpha05(k) * std::sqrt(kd * (kd + 1.0) / (6.0 * nd));
+  return result;
+}
+
+}  // namespace pghive

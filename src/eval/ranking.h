@@ -1,0 +1,42 @@
+// Friedman test and Nemenyi post-hoc analysis (Figure 3).
+//
+// Methods are ranked per test case by F1* (rank 1 = best); the Friedman
+// statistic tests whether the methods differ at all, and the Nemenyi
+// critical difference tells which average-rank gaps are significant at
+// alpha = 0.05 (Demsar 2006; the paper uses the autorank package).
+
+#ifndef PGHIVE_EVAL_RANKING_H_
+#define PGHIVE_EVAL_RANKING_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace pghive {
+
+struct RankingResult {
+  std::vector<std::string> methods;
+  std::vector<double> average_ranks;  // parallel to methods, 1 = best
+  double friedman_chi2 = 0.0;
+  double critical_difference = 0.0;   // Nemenyi CD at alpha = 0.05
+  size_t num_cases = 0;
+
+  /// True iff |rank_i - rank_j| >= CD (significant difference).
+  bool SignificantlyDifferent(size_t i, size_t j) const;
+};
+
+/// `scores[case][method]` holds the F1* of each method per test case (higher
+/// is better). Fails with InvalidArgument on ragged input, < 2 methods or
+/// zero cases.
+Result<RankingResult> NemenyiAnalysis(
+    const std::vector<std::string>& methods,
+    const std::vector<std::vector<double>>& scores);
+
+/// Studentized-range quantile q_{0.05}(k) / sqrt(2) used by the Nemenyi CD
+/// for k = 2..10 methods.
+double NemenyiQAlpha05(size_t k);
+
+}  // namespace pghive
+
+#endif  // PGHIVE_EVAL_RANKING_H_

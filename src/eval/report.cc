@@ -1,0 +1,55 @@
+#include "eval/report.h"
+
+#include <algorithm>
+
+namespace pghive {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) line += "  ";
+      line += row[c];
+      line.append(widths[c] - row[c].size(), ' ');
+    }
+    // Trim trailing spaces.
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + "\n";
+  };
+  std::string out = render_row(header_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  out += std::string(total > 2 ? total - 2 : 0, '-') + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string AsciiBar(double value, size_t width) {
+  value = std::clamp(value, 0.0, 1.0);
+  size_t filled = static_cast<size_t>(value * static_cast<double>(width) + 0.5);
+  std::string bar(filled, '#');
+  bar.append(width - filled, '.');
+  return bar;
+}
+
+std::string Banner(const std::string& title) {
+  std::string line(title.size() + 6, '=');
+  return line + "\n== " + title + " ==\n" + line + "\n";
+}
+
+}  // namespace pghive

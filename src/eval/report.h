@@ -1,0 +1,36 @@
+// Plain-text table / series rendering for the benchmark harnesses. Each
+// bench prints the same rows/series its paper figure plots.
+
+#ifndef PGHIVE_EVAL_REPORT_H_
+#define PGHIVE_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace pghive {
+
+/// A simple column-aligned text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders with column widths fitted to content, space-separated.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders an ASCII bar for a value in [0, 1] ("#####....." style), used to
+/// make F1 series readable in terminal output.
+std::string AsciiBar(double value, size_t width = 20);
+
+/// Section banner ("== Figure 4: ... ==").
+std::string Banner(const std::string& title);
+
+}  // namespace pghive
+
+#endif  // PGHIVE_EVAL_REPORT_H_

@@ -1,0 +1,135 @@
+#include "graph/csv_io.h"
+
+#include <algorithm>
+
+#include "common/csv.h"
+#include "common/string_util.h"
+
+namespace pghive {
+
+namespace {
+
+std::string LabelsCell(const std::set<std::string>& labels) {
+  return Join(labels, ";");
+}
+
+std::set<std::string> ParseLabelsCell(const std::string& cell) {
+  std::set<std::string> labels;
+  if (cell.empty()) return labels;
+  for (auto& part : Split(cell, ';')) {
+    if (!part.empty()) labels.insert(part);
+  }
+  return labels;
+}
+
+}  // namespace
+
+std::string NodesToCsv(const PropertyGraph& g) {
+  std::vector<std::string> keys = g.NodePropertyKeys();
+  std::string out;
+  std::vector<std::string> header = {"id", "labels", "truth"};
+  header.insert(header.end(), keys.begin(), keys.end());
+  out += FormatCsvRow(header);
+  for (const auto& n : g.nodes()) {
+    std::vector<std::string> row = {std::to_string(n.id),
+                                    LabelsCell(n.labels), n.truth_type};
+    for (const auto& k : keys) {
+      auto it = n.properties.find(k);
+      row.push_back(it == n.properties.end() ? "" : it->second.ToText());
+    }
+    out += FormatCsvRow(row);
+  }
+  return out;
+}
+
+std::string EdgesToCsv(const PropertyGraph& g) {
+  std::vector<std::string> keys = g.EdgePropertyKeys();
+  std::string out;
+  std::vector<std::string> header = {"src", "tgt", "labels", "truth"};
+  header.insert(header.end(), keys.begin(), keys.end());
+  out += FormatCsvRow(header);
+  for (const auto& e : g.edges()) {
+    std::vector<std::string> row = {std::to_string(e.source),
+                                    std::to_string(e.target),
+                                    LabelsCell(e.labels), e.truth_type};
+    for (const auto& k : keys) {
+      auto it = e.properties.find(k);
+      row.push_back(it == e.properties.end() ? "" : it->second.ToText());
+    }
+    out += FormatCsvRow(row);
+  }
+  return out;
+}
+
+Result<PropertyGraph> GraphFromCsv(const std::string& nodes_csv,
+                                   const std::string& edges_csv) {
+  PGHIVE_ASSIGN_OR_RETURN(auto node_rows, ParseCsv(nodes_csv));
+  PGHIVE_ASSIGN_OR_RETURN(auto edge_rows, ParseCsv(edges_csv));
+  if (node_rows.empty() || edge_rows.empty()) {
+    return Status::ParseError("missing CSV header row");
+  }
+
+  PropertyGraph g;
+  const auto& nheader = node_rows[0];
+  if (nheader.size() < 3 || nheader[0] != "id" || nheader[1] != "labels" ||
+      nheader[2] != "truth") {
+    return Status::ParseError("bad node CSV header");
+  }
+  for (size_t r = 1; r < node_rows.size(); ++r) {
+    const auto& row = node_rows[r];
+    if (row.size() != nheader.size()) {
+      return Status::ParseError("node row " + std::to_string(r) +
+                                " has wrong field count");
+    }
+    std::map<std::string, Value> props;
+    for (size_t c = 3; c < row.size(); ++c) {
+      if (!row[c].empty()) props.emplace(nheader[c], ParseValue(row[c]));
+    }
+    NodeId id = g.AddNode(ParseLabelsCell(row[1]), std::move(props), row[2]);
+    if (std::to_string(id) != row[0]) {
+      return Status::ParseError("node ids must be dense 0..n-1 in row order");
+    }
+  }
+
+  const auto& eheader = edge_rows[0];
+  if (eheader.size() < 4 || eheader[0] != "src" || eheader[1] != "tgt" ||
+      eheader[2] != "labels" || eheader[3] != "truth") {
+    return Status::ParseError("bad edge CSV header");
+  }
+  for (size_t r = 1; r < edge_rows.size(); ++r) {
+    const auto& row = edge_rows[r];
+    if (row.size() != eheader.size()) {
+      return Status::ParseError("edge row " + std::to_string(r) +
+                                " has wrong field count");
+    }
+    std::map<std::string, Value> props;
+    for (size_t c = 4; c < row.size(); ++c) {
+      if (!row[c].empty()) props.emplace(eheader[c], ParseValue(row[c]));
+    }
+    NodeId src = 0, tgt = 0;
+    try {
+      src = std::stoull(row[0]);
+      tgt = std::stoull(row[1]);
+    } catch (...) {
+      return Status::ParseError("bad edge endpoint id in row " +
+                                std::to_string(r));
+    }
+    auto added = g.AddEdge(src, tgt, ParseLabelsCell(row[2]), std::move(props),
+                           row[3]);
+    if (!added.ok()) return added.status();
+  }
+  return g;
+}
+
+Status SaveGraphCsv(const PropertyGraph& g, const std::string& prefix) {
+  PGHIVE_RETURN_NOT_OK(WriteFile(prefix + ".nodes.csv", NodesToCsv(g)));
+  return WriteFile(prefix + ".edges.csv", EdgesToCsv(g));
+}
+
+Result<PropertyGraph> LoadGraphCsv(const std::string& prefix) {
+  PGHIVE_ASSIGN_OR_RETURN(auto nodes, ReadFile(prefix + ".nodes.csv"));
+  PGHIVE_ASSIGN_OR_RETURN(auto edges, ReadFile(prefix + ".edges.csv"));
+  return GraphFromCsv(nodes, edges);
+}
+
+}  // namespace pghive

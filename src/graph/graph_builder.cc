@@ -1,0 +1,81 @@
+#include "graph/graph_builder.h"
+
+namespace pghive {
+
+namespace {
+std::map<std::string, Value> ToMap(
+    std::initializer_list<std::pair<std::string, Value>> props) {
+  std::map<std::string, Value> m;
+  for (const auto& [k, v] : props) m.emplace(k, v);
+  return m;
+}
+}  // namespace
+
+NodeId GraphBuilder::Node(
+    std::initializer_list<std::string> labels,
+    std::initializer_list<std::pair<std::string, Value>> props,
+    std::string truth_type) {
+  return graph_.AddNode(std::set<std::string>(labels), ToMap(props),
+                        std::move(truth_type));
+}
+
+EdgeId GraphBuilder::Edge(
+    NodeId src, NodeId tgt, const std::string& label,
+    std::initializer_list<std::pair<std::string, Value>> props,
+    std::string truth_type) {
+  auto r = graph_.AddEdge(src, tgt, {label}, ToMap(props),
+                          std::move(truth_type));
+  // Endpoints come from this builder, so this cannot fail.
+  return r.value();
+}
+
+EdgeId GraphBuilder::UnlabeledEdge(
+    NodeId src, NodeId tgt,
+    std::initializer_list<std::pair<std::string, Value>> props,
+    std::string truth_type) {
+  auto r = graph_.AddEdge(src, tgt, {}, ToMap(props), std::move(truth_type));
+  return r.value();
+}
+
+PropertyGraph MakeFigure1Graph() {
+  GraphBuilder b;
+  // Node patterns T_Np1..T_Np6 of Example 2.
+  NodeId bob = b.Node({"Person"},
+                      {{"name", Value::String("Bob")},
+                       {"gender", Value::String("m")},
+                       {"bday", Value::Date("1988-04-02")}},
+                      "Person");
+  NodeId john = b.Node({"Person"},
+                       {{"name", Value::String("John")},
+                        {"gender", Value::String("m")},
+                        {"bday", Value::Date("1991-11-23")}},
+                       "Person");
+  // Alice appears without a label (unlabeled instance of Person).
+  NodeId alice = b.Node({},
+                        {{"name", Value::String("Alice")},
+                         {"gender", Value::String("f")},
+                         {"bday", Value::Date("1999-12-19")}},
+                        "Person");
+  NodeId org = b.Node({"Organization"},
+                      {{"name", Value::String("FORTH")},
+                       {"url", Value::String("https://www.ics.forth.gr")}},
+                      "Organization");
+  NodeId post1 = b.Node({"Post"}, {{"imgFile", Value::String("photo.jpg")}},
+                        "Post");
+  NodeId post2 = b.Node({"Post"}, {{"content", Value::String("hello world")}},
+                        "Post");
+  NodeId place = b.Node({"Place"}, {{"name", Value::String("Heraklion")}},
+                        "Place");
+
+  // Edge patterns T_Ep1..T_Ep6 of Example 2.
+  b.Edge(alice, john, "KNOWS", {{"since", Value::Date("2015-06-01")}},
+         "KNOWS");
+  b.Edge(bob, john, "KNOWS", {}, "KNOWS");
+  b.Edge(alice, post1, "LIKES", {}, "LIKES");
+  b.Edge(john, post2, "LIKES", {}, "LIKES");
+  b.Edge(bob, org, "WORKS_AT", {{"from", Value::Int(2019)}}, "WORKS_AT");
+  b.Edge(alice, place, "LOCATED_IN", {}, "LOCATED_IN");
+  return std::move(b).Build();
+}
+
+}  // namespace pghive

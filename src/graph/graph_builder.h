@@ -1,0 +1,56 @@
+// Fluent construction helpers for small graphs (tests, examples).
+
+#ifndef PGHIVE_GRAPH_GRAPH_BUILDER_H_
+#define PGHIVE_GRAPH_GRAPH_BUILDER_H_
+
+#include <initializer_list>
+#include <string>
+#include <utility>
+
+#include "graph/property_graph.h"
+
+namespace pghive {
+
+/// Builds a PropertyGraph with terse call sites:
+///
+///   GraphBuilder b;
+///   auto alice = b.Node({"Person"}, {{"name", Value::String("Alice")}});
+///   auto acme  = b.Node({"Organization"}, {{"name", Value::String("ACME")}});
+///   b.Edge(alice, acme, "WORKS_AT", {{"from", Value::Int(2019)}});
+///   PropertyGraph g = std::move(b).Build();
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+
+  /// Adds a node with the given labels and properties.
+  NodeId Node(std::initializer_list<std::string> labels,
+              std::initializer_list<std::pair<std::string, Value>> props = {},
+              std::string truth_type = "");
+
+  /// Adds a single-labeled edge. Endpoints must already exist.
+  EdgeId Edge(NodeId src, NodeId tgt, const std::string& label,
+              std::initializer_list<std::pair<std::string, Value>> props = {},
+              std::string truth_type = "");
+
+  /// Adds an unlabeled edge.
+  EdgeId UnlabeledEdge(
+      NodeId src, NodeId tgt,
+      std::initializer_list<std::pair<std::string, Value>> props = {},
+      std::string truth_type = "");
+
+  const PropertyGraph& graph() const { return graph_; }
+
+  PropertyGraph Build() && { return std::move(graph_); }
+
+ private:
+  PropertyGraph graph_;
+};
+
+/// Returns the example graph of Figure 1 of the paper: Person / Organization
+/// / Post / Place nodes with KNOWS / LIKES / WORKS_AT / LOCATED_IN edges,
+/// including the unlabeled "Alice" node. Used by tests and the quickstart.
+PropertyGraph MakeFigure1Graph();
+
+}  // namespace pghive
+
+#endif  // PGHIVE_GRAPH_GRAPH_BUILDER_H_

@@ -1,0 +1,48 @@
+#include "graph/graph_stats.h"
+
+#include <cstdio>
+#include <set>
+
+namespace pghive {
+
+GraphStats ComputeGraphStats(const PropertyGraph& g, const std::string& name) {
+  GraphStats s;
+  s.name = name;
+  s.nodes = g.num_nodes();
+  s.edges = g.num_edges();
+
+  std::set<std::string> node_types, edge_types;
+  for (const auto& n : g.nodes()) {
+    if (!n.truth_type.empty()) node_types.insert(n.truth_type);
+  }
+  for (const auto& e : g.edges()) {
+    if (!e.truth_type.empty()) edge_types.insert(e.truth_type);
+  }
+  s.node_types = node_types.size();
+  s.edge_types = edge_types.size();
+  s.node_labels = g.NodeLabels().size();
+  s.edge_labels = g.EdgeLabels().size();
+  s.node_patterns = g.CountNodePatterns();
+  s.edge_patterns = g.CountEdgePatterns();
+  return s;
+}
+
+std::string FormatStatsHeader() {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%-10s %10s %10s %6s %6s %7s %7s %6s %6s",
+                "Dataset", "Nodes", "Edges", "NTyp", "ETyp", "NLab", "ELab",
+                "NPat", "EPat");
+  return buf;
+}
+
+std::string FormatStatsRow(const GraphStats& s) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%-10s %10zu %10zu %6zu %6zu %7zu %7zu %6zu %6zu",
+                s.name.c_str(), s.nodes, s.edges, s.node_types, s.edge_types,
+                s.node_labels, s.edge_labels, s.node_patterns,
+                s.edge_patterns);
+  return buf;
+}
+
+}  // namespace pghive

@@ -1,0 +1,37 @@
+// Dataset statistics in the shape of Table 2 of the paper.
+
+#ifndef PGHIVE_GRAPH_GRAPH_STATS_H_
+#define PGHIVE_GRAPH_GRAPH_STATS_H_
+
+#include <cstddef>
+#include <string>
+
+#include "graph/property_graph.h"
+
+namespace pghive {
+
+/// One row of Table 2: structural statistics of a dataset.
+struct GraphStats {
+  std::string name;
+  size_t nodes = 0;
+  size_t edges = 0;
+  size_t node_types = 0;    // distinct ground-truth node types
+  size_t edge_types = 0;    // distinct ground-truth edge types
+  size_t node_labels = 0;   // distinct individual node labels
+  size_t edge_labels = 0;   // distinct individual edge labels
+  size_t node_patterns = 0; // distinct (labels, property-keys) pairs
+  size_t edge_patterns = 0; // distinct (labels, keys, endpoints) triples
+};
+
+/// Computes Table-2 statistics for a graph. Type counts come from the
+/// ground-truth annotations (empty truth types are ignored).
+GraphStats ComputeGraphStats(const PropertyGraph& g, const std::string& name);
+
+/// Renders a GraphStats row as a fixed-width table line; `header` renders
+/// the column captions instead.
+std::string FormatStatsHeader();
+std::string FormatStatsRow(const GraphStats& s);
+
+}  // namespace pghive
+
+#endif  // PGHIVE_GRAPH_GRAPH_STATS_H_

@@ -1,0 +1,135 @@
+#include "graph/property_graph.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/hash.h"
+#include "common/string_util.h"
+
+namespace pghive {
+
+NodeId PropertyGraph::AddNode(std::set<std::string> labels,
+                              std::map<std::string, Value> properties,
+                              std::string truth_type) {
+  Node n;
+  n.id = nodes_.size();
+  n.labels = std::move(labels);
+  n.properties = std::move(properties);
+  n.truth_type = std::move(truth_type);
+  nodes_.push_back(std::move(n));
+  return nodes_.back().id;
+}
+
+Result<EdgeId> PropertyGraph::AddEdge(NodeId source, NodeId target,
+                                      std::set<std::string> labels,
+                                      std::map<std::string, Value> properties,
+                                      std::string truth_type) {
+  if (source >= nodes_.size() || target >= nodes_.size()) {
+    return Status::InvalidArgument("edge endpoint does not exist");
+  }
+  Edge e;
+  e.id = edges_.size();
+  e.source = source;
+  e.target = target;
+  e.labels = std::move(labels);
+  e.properties = std::move(properties);
+  e.truth_type = std::move(truth_type);
+  edges_.push_back(std::move(e));
+  return edges_.back().id;
+}
+
+namespace {
+
+template <typename Elems>
+std::vector<std::string> CollectPropertyKeys(const Elems& elems) {
+  std::set<std::string> keys;
+  for (const auto& e : elems) {
+    for (const auto& [k, v] : e.properties) keys.insert(k);
+  }
+  return {keys.begin(), keys.end()};
+}
+
+template <typename Elems>
+std::vector<std::string> CollectLabels(const Elems& elems) {
+  std::set<std::string> labels;
+  for (const auto& e : elems) {
+    labels.insert(e.labels.begin(), e.labels.end());
+  }
+  return {labels.begin(), labels.end()};
+}
+
+template <typename Elem>
+uint64_t PatternSignature(const Elem& e) {
+  uint64_t h = 0x12345;
+  for (const auto& l : e.labels) h = HashCombine(h, HashString(l));
+  h = HashCombine(h, 0xdeadbeefULL);
+  for (const auto& [k, v] : e.properties) h = HashCombine(h, HashString(k));
+  return h;
+}
+
+}  // namespace
+
+std::vector<std::string> PropertyGraph::NodePropertyKeys() const {
+  return CollectPropertyKeys(nodes_);
+}
+
+std::vector<std::string> PropertyGraph::EdgePropertyKeys() const {
+  return CollectPropertyKeys(edges_);
+}
+
+std::vector<std::string> PropertyGraph::NodeLabels() const {
+  return CollectLabels(nodes_);
+}
+
+std::vector<std::string> PropertyGraph::EdgeLabels() const {
+  return CollectLabels(edges_);
+}
+
+size_t PropertyGraph::CountNodePatterns() const {
+  std::unordered_set<uint64_t> sigs;
+  sigs.reserve(nodes_.size());
+  for (const auto& n : nodes_) sigs.insert(PatternSignature(n));
+  return sigs.size();
+}
+
+size_t PropertyGraph::CountEdgePatterns() const {
+  std::unordered_set<uint64_t> sigs;
+  sigs.reserve(edges_.size());
+  for (const auto& e : edges_) {
+    uint64_t h = PatternSignature(e);
+    // Edge patterns additionally include source/target label sets (Def 3.6).
+    for (const auto& l : nodes_[e.source].labels) {
+      h = HashCombine(h, HashString(l) ^ 0x1111);
+    }
+    h = HashCombine(h, 0x2222ULL);
+    for (const auto& l : nodes_[e.target].labels) {
+      h = HashCombine(h, HashString(l) ^ 0x3333);
+    }
+    sigs.insert(h);
+  }
+  return sigs.size();
+}
+
+GraphBatch FullBatch(const PropertyGraph& g) {
+  return GraphBatch{&g, 0, g.num_nodes(), 0, g.num_edges()};
+}
+
+std::vector<GraphBatch> SplitIntoBatches(const PropertyGraph& g,
+                                         size_t num_batches) {
+  if (num_batches == 0) num_batches = 1;
+  size_t nb = std::min(num_batches, std::max<size_t>(g.num_nodes(), 1));
+  std::vector<GraphBatch> batches;
+  batches.reserve(nb);
+  for (size_t i = 0; i < nb; ++i) {
+    GraphBatch b;
+    b.graph = &g;
+    b.node_begin = g.num_nodes() * i / nb;
+    b.node_end = g.num_nodes() * (i + 1) / nb;
+    b.edge_begin = g.num_edges() * i / nb;
+    b.edge_end = g.num_edges() * (i + 1) / nb;
+    batches.push_back(b);
+  }
+  return batches;
+}
+
+}  // namespace pghive

@@ -1,0 +1,98 @@
+// Typed property values for property graphs.
+//
+// PG-Schema uses GQL's predefined data types; PG-HIVE works with the
+// extended set {STRING, BOOLEAN, INT, DOUBLE, TIMESTAMP, DATE} (paper §3).
+// Value is the dynamically-typed runtime representation; DataType is the
+// schema-level type tag inferred by core/datatype_inference.
+
+#ifndef PGHIVE_GRAPH_VALUE_H_
+#define PGHIVE_GRAPH_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+namespace pghive {
+
+/// Schema-level property data types, ordered by inference priority
+/// (paper §4.4: integer, float, boolean, date/time, default string).
+enum class DataType {
+  kInt = 0,
+  kDouble,
+  kBool,
+  kDate,
+  kTimestamp,
+  kString,
+};
+
+const char* DataTypeName(DataType t);
+
+/// GQL-style name used in PG-Schema serialization (INT, DOUBLE, ...).
+const char* DataTypeGqlName(DataType t);
+
+/// XSD type name used in XML Schema serialization (xs:integer, ...).
+const char* DataTypeXsdName(DataType t);
+
+/// Least upper bound of two datatypes in the inference hierarchy:
+/// Int ⊔ Double = Double; everything else incompatible generalizes to String.
+DataType GeneralizeDataType(DataType a, DataType b);
+
+/// A dynamically-typed property value. Dates and timestamps are stored as
+/// their ISO-8601 string plus the type tag (schema discovery only needs the
+/// lexical form).
+class Value {
+ public:
+  Value() : data_(std::monostate{}) {}
+  static Value Int(int64_t v) { return Value(v); }
+  static Value Double(double v) { return Value(v); }
+  static Value Bool(bool v) { return Value(v); }
+  static Value String(std::string v) { return Value(std::move(v), DataType::kString); }
+  static Value Date(std::string iso) { return Value(std::move(iso), DataType::kDate); }
+  static Value Timestamp(std::string iso) {
+    return Value(std::move(iso), DataType::kTimestamp);
+  }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(data_); }
+
+  /// The runtime type of this value; String for null.
+  DataType type() const;
+
+  int64_t AsInt() const { return std::get<int64_t>(data_); }
+  double AsDouble() const { return std::get<double>(data_); }
+  bool AsBool() const { return std::get<bool>(data_); }
+  const std::string& AsString() const { return std::get<Str>(data_).text; }
+
+  /// Lexical form: what the value would look like in a CSV export.
+  std::string ToText() const;
+
+  bool operator==(const Value& other) const;
+
+ private:
+  struct Str {
+    std::string text;
+    DataType tag;
+    bool operator==(const Str& o) const {
+      return tag == o.tag && text == o.text;
+    }
+  };
+
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(bool v) : data_(v) {}
+  Value(std::string s, DataType tag) : data_(Str{std::move(s), tag}) {}
+
+  std::variant<std::monostate, int64_t, double, bool, Str> data_;
+};
+
+/// Classifies a lexical form with the paper's priority-based inference:
+/// integer, then float, then boolean (true/false), then ISO date
+/// (YYYY-MM-DD) / timestamp (YYYY-MM-DDTHH:MM:SS[...]), defaulting to string.
+DataType InferDataTypeFromText(std::string_view text);
+
+/// Parses a lexical form into a typed Value using InferDataTypeFromText.
+Value ParseValue(std::string_view text);
+
+}  // namespace pghive
+
+#endif  // PGHIVE_GRAPH_VALUE_H_

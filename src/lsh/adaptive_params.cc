@@ -1,0 +1,105 @@
+#include "lsh/adaptive_params.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+
+namespace pghive {
+
+namespace {
+constexpr int kMinTables = 5;
+constexpr int kMaxTables = 35;
+}  // namespace
+
+double SampleMeanDistance(const std::vector<std::vector<float>>& vectors,
+                          uint64_t seed, size_t max_pairs) {
+  if (vectors.size() < 2) return 0.0;
+  // Sample max(1%, 10k) vectors as the paper prescribes, then estimate the
+  // mean over random pairs within the sample.
+  size_t sample_size =
+      std::min(vectors.size(),
+               std::max<size_t>(vectors.size() / 100, 10000));
+  Rng rng(seed, 0xada);
+  std::vector<size_t> sample =
+      rng.SampleWithoutReplacement(vectors.size(), sample_size);
+
+  size_t pairs = std::min(max_pairs, sample.size() * (sample.size() - 1) / 2);
+  if (pairs == 0) return 0.0;
+  double sum = 0.0;
+  for (size_t p = 0; p < pairs; ++p) {
+    size_t i = sample[rng.UniformU32(static_cast<uint32_t>(sample.size()))];
+    size_t j = sample[rng.UniformU32(static_cast<uint32_t>(sample.size()))];
+    if (i == j) {
+      j = sample[(p + 1) % sample.size()];
+      if (i == j) continue;
+    }
+    const auto& a = vectors[i];
+    const auto& b = vectors[j];
+    double sq = 0.0;
+    for (size_t d = 0; d < a.size(); ++d) {
+      double diff = a[d] - b[d];
+      sq += diff * diff;
+    }
+    sum += std::sqrt(sq);
+  }
+  return sum / static_cast<double>(pairs);
+}
+
+double AlphaForLabelCount(size_t num_distinct_labels) {
+  if (num_distinct_labels <= 3) return 0.8;
+  if (num_distinct_labels <= 10) return 1.0;
+  return 1.5;
+}
+
+AdaptiveLshParams ComputeAdaptiveParams(const DataProfile& profile,
+                                        ElementKind kind,
+                                        const AdaptiveTuning& tuning) {
+  AdaptiveLshParams out;
+  out.mu = profile.mean_pairwise_distance;
+  // Degenerate samples (all-identical vectors) would give b = 0; fall back
+  // to a unit bucket so hashing stays well-defined.
+  if (out.mu <= 1e-9) out.mu = 1.0;
+  out.b_base = tuning.bucket_factor * out.mu;
+  out.alpha = AlphaForLabelCount(profile.num_distinct_labels);
+  out.alpha = std::min(out.alpha, kind == ElementKind::kEdge
+                                      ? tuning.edge_alpha_cap
+                                      : tuning.node_alpha_cap);
+  if (tuning.alpha_override > 0.0) out.alpha = tuning.alpha_override;
+  out.bucket_length = out.b_base * out.alpha;
+
+  double log_n =
+      std::log10(std::max<double>(10.0, static_cast<double>(
+                                            profile.num_elements)));
+  double t_raw;
+  if (kind == ElementKind::kNode) {
+    t_raw = out.b_base * std::max(5.0, out.alpha * std::min(25.0, log_n));
+  } else {
+    t_raw = out.b_base * std::max(3.0, out.alpha * std::min(20.0, log_n));
+  }
+  out.num_tables =
+      std::clamp(static_cast<int>(std::lround(t_raw)), kMinTables, kMaxTables);
+  if (tuning.tables_override > 0) out.num_tables = tuning.tables_override;
+  return out;
+}
+
+EuclideanLshOptions ToElshOptions(const AdaptiveLshParams& params,
+                                  uint64_t seed) {
+  EuclideanLshOptions opt;
+  opt.bucket_length = params.bucket_length;
+  opt.num_tables = params.num_tables;
+  opt.hashes_per_table = 10;
+  opt.seed = seed;
+  return opt;
+}
+
+MinHashLshOptions ToMinHashOptions(const AdaptiveLshParams& params,
+                                   uint64_t seed) {
+  MinHashLshOptions opt;
+  opt.rows_per_band = 4;
+  opt.num_hashes = params.num_tables * opt.rows_per_band;
+  opt.seed = seed;
+  return opt;
+}
+
+}  // namespace pghive

@@ -1,0 +1,94 @@
+// Adaptive LSH parameterization (paper §4.2).
+//
+// Before clustering, PG-HIVE samples a small portion of the data to infer
+// the distance scale mu and combines it with the label-diversity factor
+// alpha(L) and dataset size to pick the bucket length b and table count T:
+//
+//   sample  = max(1% of N, 10k) elements (capped at N)
+//   mu      = mean pairwise Euclidean distance over the sample
+//   b_base  = 1.2 * mu
+//   alpha   = 0.8 (L <= 3), 1.0 (4 <= L <= 10), 1.5 (L > 10)
+//   b       = b_base * alpha
+//   T_nodes = b_base * max(5, alpha * min(25, log10 N))
+//   T_edges = b_base * max(3, alpha * min(20, log10 E))
+//
+// T is rounded and clamped to the paper's empirically practical range
+// [5, 35]. Users can always bypass this and provide their own parameters.
+
+#ifndef PGHIVE_LSH_ADAPTIVE_PARAMS_H_
+#define PGHIVE_LSH_ADAPTIVE_PARAMS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "lsh/euclidean_lsh.h"
+#include "lsh/minhash_lsh.h"
+
+namespace pghive {
+
+/// Which element population the parameters are tuned for.
+enum class ElementKind { kNode, kEdge };
+
+/// Inputs to the heuristic, all cheaply measurable from the data.
+struct DataProfile {
+  size_t num_elements = 0;       // N (nodes) or E (edges)
+  size_t num_distinct_labels = 0;  // L
+  double mean_pairwise_distance = 0.0;  // mu, from SampleMeanDistance
+};
+
+/// The resolved parameters, with the intermediate quantities exposed for
+/// diagnostics (Figure 6 marks the adaptive (T, alpha) on the heatmap).
+struct AdaptiveLshParams {
+  double mu = 0.0;
+  double b_base = 0.0;
+  double alpha = 1.0;
+  double bucket_length = 0.0;
+  int num_tables = 0;
+};
+
+/// Estimates mu: mean Euclidean distance over up to `max_pairs` random pairs
+/// drawn from a sample of max(1% of the data, 10k) vectors. Returns 0 for
+/// fewer than 2 vectors.
+double SampleMeanDistance(const std::vector<std::vector<float>>& vectors,
+                          uint64_t seed, size_t max_pairs = 2000);
+
+/// alpha(L) label-diversity factor from the paper.
+double AlphaForLabelCount(size_t num_distinct_labels);
+
+/// Calibration constants of the heuristic. The paper uses 1.2 * mu for the
+/// base bucket; the right constant depends on the vector scaling (label
+/// weight, embedding dimension), so it is exposed here and explored by the
+/// micro_pipeline ablation bench. The edge alpha cap implements the paper's
+/// observation that "edges benefit from slightly smaller alpha".
+struct AdaptiveTuning {
+  double bucket_factor = 0.7;
+  /// Upper bounds on alpha(L). Wider buckets only reduce fragmentation —
+  /// which Algorithm 2's merging already repairs — while they directly risk
+  /// mixing types, so both populations are capped at 1.0 by default
+  /// (the paper notes edges prefer smaller alpha; the Figure-6 sweep
+  /// explores larger values explicitly).
+  double node_alpha_cap = 1.0;
+  double edge_alpha_cap = 1.0;
+  /// Figure-6 sweep knobs: when positive, force alpha and/or T instead of
+  /// deriving them, while the data-driven distance scale mu still applies.
+  double alpha_override = 0.0;
+  int tables_override = 0;
+};
+
+/// Resolves the full heuristic for one element population.
+AdaptiveLshParams ComputeAdaptiveParams(const DataProfile& profile,
+                                        ElementKind kind,
+                                        const AdaptiveTuning& tuning = {});
+
+/// Convenience: materializes EuclideanLshOptions from the heuristic result.
+EuclideanLshOptions ToElshOptions(const AdaptiveLshParams& params,
+                                  uint64_t seed);
+
+/// Convenience: materializes MinHashLshOptions; the table count T maps to
+/// the number of bands (rows_per_band = 2).
+MinHashLshOptions ToMinHashOptions(const AdaptiveLshParams& params,
+                                   uint64_t seed);
+
+}  // namespace pghive
+
+#endif  // PGHIVE_LSH_ADAPTIVE_PARAMS_H_

@@ -1,0 +1,37 @@
+#include "lsh/collision_model.h"
+
+#include <cmath>
+
+namespace pghive {
+
+double NormalCdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+double ElshCollisionProbability(double distance, double bucket_length) {
+  if (distance <= 0.0) return 1.0;
+  if (bucket_length <= 0.0) return 0.0;
+  double c = bucket_length / distance;
+  double term1 = 1.0 - 2.0 * NormalCdf(-c);
+  double term2 = (2.0 / (std::sqrt(2.0 * M_PI) * c)) *
+                 (1.0 - std::exp(-c * c / 2.0));
+  double p = term1 - term2;
+  if (p < 0.0) return 0.0;
+  if (p > 1.0) return 1.0;
+  return p;
+}
+
+double AmplifiedProbability(double p_single, int hashes_per_table,
+                            int num_tables) {
+  if (p_single <= 0.0) return 0.0;
+  if (p_single >= 1.0) return 1.0;
+  double p_table = std::pow(p_single, hashes_per_table);
+  return 1.0 - std::pow(1.0 - p_table, num_tables);
+}
+
+double MinHashBandProbability(double jaccard, int rows_per_band, int bands) {
+  if (jaccard <= 0.0) return 0.0;
+  if (jaccard >= 1.0) return 1.0;
+  double p_band = std::pow(jaccard, rows_per_band);
+  return 1.0 - std::pow(1.0 - p_band, bands);
+}
+
+}  // namespace pghive

@@ -1,0 +1,31 @@
+// Closed-form LSH collision probabilities (paper §4.2).
+//
+// Used by the property tests (monotonicity in d, b, T) and the parameter
+// ablation bench to relate observed clustering behaviour to theory.
+
+#ifndef PGHIVE_LSH_COLLISION_MODEL_H_
+#define PGHIVE_LSH_COLLISION_MODEL_H_
+
+namespace pghive {
+
+/// Single-projection ELSH collision probability p_b(d) for two points at
+/// Euclidean distance d with bucket length b (Datar et al. 2004):
+///   p_b(d) = 1 - 2*Phi(-b/d) - (2 / (sqrt(2*pi) * b/d)) * (1 - e^{-b^2/(2d^2)})
+/// For d == 0 the probability is 1.
+double ElshCollisionProbability(double distance, double bucket_length);
+
+/// AND-OR amplified probability: k projections per table, T tables,
+/// P = 1 - (1 - p^k)^T. This is the paper's P_{b,T}(d) when k = 1.
+double AmplifiedProbability(double p_single, int hashes_per_table,
+                            int num_tables);
+
+/// MinHash banded collision probability for Jaccard similarity j with
+/// r rows per band and `bands` bands: 1 - (1 - j^r)^bands.
+double MinHashBandProbability(double jaccard, int rows_per_band, int bands);
+
+/// Standard normal CDF.
+double NormalCdf(double x);
+
+}  // namespace pghive
+
+#endif  // PGHIVE_LSH_COLLISION_MODEL_H_

@@ -1,0 +1,61 @@
+#include "lsh/euclidean_lsh.h"
+
+#include <cmath>
+
+#include "common/hash.h"
+#include "common/random.h"
+
+namespace pghive {
+
+Result<EuclideanLsh> EuclideanLsh::Create(size_t dimension,
+                                          const EuclideanLshOptions& options) {
+  if (dimension == 0) {
+    return Status::InvalidArgument("ELSH dimension must be positive");
+  }
+  if (options.bucket_length <= 0.0) {
+    return Status::InvalidArgument("ELSH bucket_length must be > 0");
+  }
+  if (options.num_tables <= 0 || options.hashes_per_table <= 0) {
+    return Status::InvalidArgument(
+        "ELSH num_tables and hashes_per_table must be > 0");
+  }
+  return EuclideanLsh(dimension, options);
+}
+
+EuclideanLsh::EuclideanLsh(size_t dimension,
+                           const EuclideanLshOptions& options)
+    : dimension_(dimension), options_(options) {
+  Rng rng(options.seed, 0xe15b);
+  size_t rows = static_cast<size_t>(options.num_tables) *
+                static_cast<size_t>(options.hashes_per_table);
+  projections_.resize(rows * dimension);
+  offsets_.resize(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t d = 0; d < dimension; ++d) {
+      projections_[r * dimension + d] = static_cast<float>(rng.Normal());
+    }
+    offsets_[r] = rng.UniformDouble(0.0, options.bucket_length);
+  }
+}
+
+std::vector<uint64_t> EuclideanLsh::Hash(const std::vector<float>& x) const {
+  const int T = options_.num_tables;
+  const int k = options_.hashes_per_table;
+  std::vector<uint64_t> keys(T);
+  for (int t = 0; t < T; ++t) {
+    uint64_t key = Mix64(0xb0c4e7 + static_cast<uint64_t>(t));
+    for (int i = 0; i < k; ++i) {
+      size_t row = static_cast<size_t>(t) * k + i;
+      const float* a = &projections_[row * dimension_];
+      double dot = 0.0;
+      for (size_t d = 0; d < dimension_; ++d) dot += a[d] * x[d];
+      int64_t bucket = static_cast<int64_t>(
+          std::floor((dot + offsets_[row]) / options_.bucket_length));
+      key = HashCombine(key, static_cast<uint64_t>(bucket));
+    }
+    keys[t] = key;
+  }
+  return keys;
+}
+
+}  // namespace pghive

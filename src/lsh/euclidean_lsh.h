@@ -1,0 +1,67 @@
+// Euclidean LSH (ELSH): p-stable / bucketed random projections.
+//
+// Datar et al. (2004). Each of the T hash tables hashes a vector x with k
+// independent projections h_i(x) = floor((a_i . x + o_i) / b), where a_i has
+// i.i.d. standard-normal entries, o_i ~ U[0, b), and b is the bucket length.
+// A table's bucket key is the k-tuple of projection values (AND-
+// amplification within a table); across tables the OR rule applies: two
+// vectors are LSH-neighbours if they share a bucket in at least one table,
+// giving the paper's collision probability P_{b,T}(d) = 1-(1-p_b(d)^k)^T.
+//
+// Spark MLlib's BucketedRandomProjectionLSH is the k=1 special case.
+
+#ifndef PGHIVE_LSH_EUCLIDEAN_LSH_H_
+#define PGHIVE_LSH_EUCLIDEAN_LSH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace pghive {
+
+struct EuclideanLshOptions {
+  /// Bucket length b > 0: wider buckets -> more collisions, higher recall.
+  double bucket_length = 1.0;
+  /// Number of hash tables T (OR rule across tables).
+  int num_tables = 20;
+  /// Projections per table (AND rule within a table). The adaptive bucket
+  /// length is on the order of the mean pairwise distance, so a single
+  /// projection collides dissimilar vectors roughly half the time; ~10
+  /// AND-ed projections push the inter-type collision probability per table
+  /// below 1e-3 while identical vectors still always collide.
+  int hashes_per_table = 10;
+  uint64_t seed = 7;
+};
+
+/// Hashes fixed-dimension real vectors into per-table bucket keys.
+class EuclideanLsh {
+ public:
+  /// Fails with InvalidArgument on non-positive parameters.
+  static Result<EuclideanLsh> Create(size_t dimension,
+                                     const EuclideanLshOptions& options);
+
+  size_t dimension() const { return dimension_; }
+  int num_tables() const { return options_.num_tables; }
+  const EuclideanLshOptions& options() const { return options_; }
+
+  /// Bucket keys of `x` (size num_tables). x.size() must equal dimension().
+  /// Each key already encodes the table index, so keys from different tables
+  /// never collide with each other.
+  std::vector<uint64_t> Hash(const std::vector<float>& x) const;
+
+ private:
+  EuclideanLsh(size_t dimension, const EuclideanLshOptions& options);
+
+  size_t dimension_;
+  EuclideanLshOptions options_;
+  /// T * k rows of `dimension` Gaussian entries, row-major.
+  std::vector<float> projections_;
+  /// T * k offsets in [0, b).
+  std::vector<double> offsets_;
+};
+
+}  // namespace pghive
+
+#endif  // PGHIVE_LSH_EUCLIDEAN_LSH_H_

@@ -1,0 +1,76 @@
+#include "lsh/minhash_lsh.h"
+
+#include <limits>
+
+#include "common/hash.h"
+#include "common/random.h"
+
+namespace pghive {
+
+Result<MinHashLsh> MinHashLsh::Create(const MinHashLshOptions& options) {
+  if (options.num_hashes <= 0 || options.rows_per_band <= 0) {
+    return Status::InvalidArgument(
+        "MinHash num_hashes and rows_per_band must be > 0");
+  }
+  if (options.num_hashes % options.rows_per_band != 0) {
+    return Status::InvalidArgument(
+        "MinHash num_hashes must be divisible by rows_per_band");
+  }
+  return MinHashLsh(options);
+}
+
+MinHashLsh::MinHashLsh(const MinHashLshOptions& options) : options_(options) {
+  Rng rng(options.seed, 0x3141);
+  salts_.resize(options.num_hashes);
+  for (auto& s : salts_) s = rng.NextU64();
+}
+
+std::vector<uint64_t> MinHashLsh::Signature(
+    const std::vector<std::string>& tokens) const {
+  std::vector<uint64_t> sig(options_.num_hashes,
+                            std::numeric_limits<uint64_t>::max());
+  // Hash each token once, then mix with per-function salts: O(|S| * T) with
+  // only |S| string hashes.
+  for (const auto& tok : tokens) {
+    uint64_t h = HashString(tok);
+    for (int i = 0; i < options_.num_hashes; ++i) {
+      uint64_t v = Mix64(h ^ salts_[i]);
+      if (v < sig[i]) sig[i] = v;
+    }
+  }
+  return sig;
+}
+
+std::vector<uint64_t> MinHashLsh::BandKeys(
+    const std::vector<uint64_t>& signature) const {
+  const int r = options_.rows_per_band;
+  const int bands = num_bands();
+  std::vector<uint64_t> keys(bands);
+  for (int b = 0; b < bands; ++b) {
+    uint64_t key = Mix64(0xbad5eedULL + static_cast<uint64_t>(b));
+    for (int i = 0; i < r; ++i) {
+      key = HashCombine(key, signature[b * r + i]);
+    }
+    keys[b] = key;
+  }
+  return keys;
+}
+
+uint64_t MinHashLsh::SignatureKey(
+    const std::vector<uint64_t>& signature) const {
+  uint64_t key = 0x517e5eedULL;
+  for (uint64_t v : signature) key = HashCombine(key, v);
+  return key;
+}
+
+double MinHashLsh::SignatureAgreement(const std::vector<uint64_t>& a,
+                                      const std::vector<uint64_t>& b) {
+  if (a.empty() || a.size() != b.size()) return 0.0;
+  size_t agree = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == b[i]) ++agree;
+  }
+  return static_cast<double>(agree) / static_cast<double>(a.size());
+}
+
+}  // namespace pghive

@@ -1,0 +1,73 @@
+// MinHash LSH over sets (Broder 1997; MMDS ch. 3).
+//
+// Each element is a set of string tokens (property keys, label tokens,
+// endpoint tokens). A signature of `num_hashes` minima is computed with
+// universal hashing; signatures are split into bands of `rows_per_band`
+// rows. Two sets are LSH-neighbours iff some band matches exactly, giving
+// collision probability 1-(1-J^r)^(T/r) for Jaccard similarity J.
+
+#ifndef PGHIVE_LSH_MINHASH_LSH_H_
+#define PGHIVE_LSH_MINHASH_LSH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace pghive {
+
+struct MinHashLshOptions {
+  /// Signature length T (the paper's "number of hash tables").
+  int num_hashes = 64;
+  /// Rows per band r; num_hashes must be divisible by r. r = 4 keeps the
+  /// banded collision probability steep enough that token sets with Jaccard
+  /// <= 0.5 rarely collide while near-identical sets always do.
+  int rows_per_band = 4;
+  uint64_t seed = 11;
+};
+
+class MinHashLsh {
+ public:
+  /// Fails with InvalidArgument on non-positive or non-divisible parameters.
+  static Result<MinHashLsh> Create(const MinHashLshOptions& options);
+
+  const MinHashLshOptions& options() const { return options_; }
+  int num_bands() const {
+    return options_.num_hashes / options_.rows_per_band;
+  }
+
+  /// MinHash signature of a token set (size num_hashes). The empty set gets
+  /// a sentinel signature (all-max) that never collides with non-empty sets
+  /// but always collides with other empty sets.
+  std::vector<uint64_t> Signature(
+      const std::vector<std::string>& tokens) const;
+
+  /// Banded bucket keys (size num_bands) derived from a signature; each key
+  /// encodes the band index.
+  std::vector<uint64_t> BandKeys(const std::vector<uint64_t>& signature) const;
+
+  /// Single bucket key over the WHOLE signature: two sets share it with
+  /// probability J^T. This is the clustering rule the paper describes for
+  /// MinHash ("the probability of two sets to collide in a hash function is
+  /// equal to their Jaccard similarity" — with T functions the estimate
+  /// sharpens, so similar sets collide often and dissimilar ones rarely).
+  uint64_t SignatureKey(const std::vector<uint64_t>& signature) const;
+
+  /// Fraction of positions where the signatures agree — an unbiased
+  /// estimator of the Jaccard similarity of the underlying sets.
+  static double SignatureAgreement(const std::vector<uint64_t>& a,
+                                   const std::vector<uint64_t>& b);
+
+ private:
+  explicit MinHashLsh(const MinHashLshOptions& options);
+
+  MinHashLshOptions options_;
+  /// Per-hash-function salts.
+  std::vector<uint64_t> salts_;
+};
+
+}  // namespace pghive
+
+#endif  // PGHIVE_LSH_MINHASH_LSH_H_

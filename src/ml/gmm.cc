@@ -1,0 +1,171 @@
+#include "ml/gmm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "ml/kmeans.h"
+#include "ml/stats.h"
+
+namespace pghive {
+
+namespace {
+
+// log N(x | mean, diag(var)).
+double LogGaussian(const std::vector<double>& x,
+                   const std::vector<double>& mean,
+                   const std::vector<double>& var) {
+  double ll = 0.0;
+  for (size_t d = 0; d < x.size(); ++d) {
+    double diff = x[d] - mean[d];
+    ll += -0.5 * (std::log(2.0 * M_PI * var[d]) + diff * diff / var[d]);
+  }
+  return ll;
+}
+
+}  // namespace
+
+std::vector<double> GmmModel::Responsibilities(
+    const std::vector<double>& x) const {
+  int k = num_components();
+  std::vector<double> logp(k);
+  for (int c = 0; c < k; ++c) {
+    logp[c] = std::log(std::max(weights[c], 1e-300)) +
+              LogGaussian(x, means[c], variances[c]);
+  }
+  double lse = LogSumExp(logp);
+  std::vector<double> resp(k);
+  for (int c = 0; c < k; ++c) resp[c] = std::exp(logp[c] - lse);
+  return resp;
+}
+
+int GmmModel::Predict(const std::vector<double>& x) const {
+  int k = num_components();
+  double best = -std::numeric_limits<double>::infinity();
+  int best_c = 0;
+  for (int c = 0; c < k; ++c) {
+    double lp = std::log(std::max(weights[c], 1e-300)) +
+                LogGaussian(x, means[c], variances[c]);
+    if (lp > best) {
+      best = lp;
+      best_c = c;
+    }
+  }
+  return best_c;
+}
+
+double GmmModel::Bic(size_t n) const {
+  if (means.empty()) return std::numeric_limits<double>::infinity();
+  size_t dim = means[0].size();
+  // Free parameters: k-1 weights + k*dim means + k*dim variances.
+  double params = static_cast<double>(num_components()) *
+                      (2.0 * static_cast<double>(dim)) +
+                  (num_components() - 1);
+  return -2.0 * log_likelihood +
+         params * std::log(static_cast<double>(std::max<size_t>(n, 1)));
+}
+
+Result<GmmModel> FitGmm(const std::vector<std::vector<double>>& points, int k,
+                        const GmmOptions& options) {
+  if (k <= 0) return Status::InvalidArgument("k must be positive");
+  if (points.empty()) return Status::InvalidArgument("no points");
+  size_t n = points.size();
+  size_t dim = points[0].size();
+  for (const auto& p : points) {
+    if (p.size() != dim) return Status::InvalidArgument("ragged input");
+  }
+  k = std::min<int>(k, static_cast<int>(n));
+
+  // Initialize from k-means.
+  KMeansOptions km_opt;
+  km_opt.seed = options.seed;
+  PGHIVE_ASSIGN_OR_RETURN(KMeansResult km, KMeans(points, k, km_opt));
+  k = static_cast<int>(km.centroids.size());
+
+  GmmModel model;
+  model.weights.assign(k, 0.0);
+  model.means = km.centroids;
+  model.variances.assign(k, std::vector<double>(dim, options.min_variance));
+
+  // Moment-match each k-means cluster for the starting point.
+  std::vector<size_t> counts(k, 0);
+  for (size_t i = 0; i < n; ++i) ++counts[km.assignments[i]];
+  for (int c = 0; c < k; ++c) {
+    model.weights[c] =
+        std::max(1e-6, static_cast<double>(counts[c]) / static_cast<double>(n));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    int c = km.assignments[i];
+    for (size_t d = 0; d < dim; ++d) {
+      double diff = points[i][d] - model.means[c][d];
+      model.variances[c][d] += diff * diff / std::max<size_t>(counts[c], 1);
+    }
+  }
+
+  // EM iterations.
+  std::vector<std::vector<double>> resp(n, std::vector<double>(k, 0.0));
+  double prev_ll = -std::numeric_limits<double>::infinity();
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    model.iterations = iter + 1;
+    // E-step.
+    double ll = 0.0;
+    std::vector<double> logp(k);
+    for (size_t i = 0; i < n; ++i) {
+      for (int c = 0; c < k; ++c) {
+        logp[c] = std::log(std::max(model.weights[c], 1e-300)) +
+                  LogGaussian(points[i], model.means[c], model.variances[c]);
+      }
+      double lse = LogSumExp(logp);
+      ll += lse;
+      for (int c = 0; c < k; ++c) resp[i][c] = std::exp(logp[c] - lse);
+    }
+    model.log_likelihood = ll;
+
+    // M-step.
+    for (int c = 0; c < k; ++c) {
+      double nk = 0.0;
+      for (size_t i = 0; i < n; ++i) nk += resp[i][c];
+      nk = std::max(nk, 1e-10);
+      model.weights[c] = nk / static_cast<double>(n);
+      for (size_t d = 0; d < dim; ++d) {
+        double m = 0.0;
+        for (size_t i = 0; i < n; ++i) m += resp[i][c] * points[i][d];
+        m /= nk;
+        double v = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+          double diff = points[i][d] - m;
+          v += resp[i][c] * diff * diff;
+        }
+        model.means[c][d] = m;
+        model.variances[c][d] = std::max(v / nk, options.min_variance);
+      }
+    }
+
+    if (std::abs(ll - prev_ll) < options.tolerance * std::abs(ll)) break;
+    prev_ll = ll;
+  }
+  return model;
+}
+
+Result<GmmModel> FitGmmBic(const std::vector<std::vector<double>>& points,
+                           int k_min, int k_max, const GmmOptions& options) {
+  if (k_min <= 0 || k_max < k_min) {
+    return Status::InvalidArgument("invalid k range");
+  }
+  GmmModel best;
+  double best_bic = std::numeric_limits<double>::infinity();
+  bool have = false;
+  for (int k = k_min; k <= k_max; ++k) {
+    auto fitted = FitGmm(points, k, options);
+    if (!fitted.ok()) return fitted.status();
+    double bic = fitted->Bic(points.size());
+    if (!have || bic < best_bic) {
+      best = std::move(fitted).value();
+      best_bic = bic;
+      have = true;
+    }
+  }
+  return best;
+}
+
+}  // namespace pghive

@@ -1,0 +1,58 @@
+// Gaussian Mixture Model with diagonal covariance, fit by EM.
+//
+// Substrate for the GMMSchema baseline (Bonifati et al., EDBT 2022), which
+// clusters node property-distribution vectors with a GMM. Model order can be
+// selected by BIC over a range of k.
+
+#ifndef PGHIVE_ML_GMM_H_
+#define PGHIVE_ML_GMM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace pghive {
+
+struct GmmOptions {
+  int max_iterations = 60;
+  double tolerance = 1e-4;       // stop on log-likelihood improvement below
+  double min_variance = 1e-4;    // variance floor for numerical stability
+  uint64_t seed = 17;
+};
+
+/// A fitted mixture of k diagonal Gaussians.
+struct GmmModel {
+  std::vector<double> weights;                // k
+  std::vector<std::vector<double>> means;     // k x dim
+  std::vector<std::vector<double>> variances; // k x dim (diagonal)
+  double log_likelihood = 0.0;
+  int iterations = 0;
+
+  int num_components() const { return static_cast<int>(weights.size()); }
+
+  /// Index of the most probable component for a point.
+  int Predict(const std::vector<double>& x) const;
+
+  /// Posterior responsibilities for a point (size k, sums to 1).
+  std::vector<double> Responsibilities(const std::vector<double>& x) const;
+
+  /// Bayesian Information Criterion: -2*LL + params*ln(n). Lower is better.
+  double Bic(size_t n) const;
+};
+
+/// Fits a k-component GMM with EM, initialized from k-means++. Fails with
+/// InvalidArgument on k <= 0 or empty/ragged input; k is capped at n.
+Result<GmmModel> FitGmm(const std::vector<std::vector<double>>& points, int k,
+                        const GmmOptions& options = {});
+
+/// Fits GMMs for k in [k_min, k_max] and returns the one with the lowest
+/// BIC. This is how GMMSchema chooses the number of sub-clusters per label
+/// group without supervision.
+Result<GmmModel> FitGmmBic(const std::vector<std::vector<double>>& points,
+                           int k_min, int k_max,
+                           const GmmOptions& options = {});
+
+}  // namespace pghive
+
+#endif  // PGHIVE_ML_GMM_H_

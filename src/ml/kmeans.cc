@@ -1,0 +1,117 @@
+#include "ml/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/random.h"
+
+namespace pghive {
+
+namespace {
+
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  double sq = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    sq += d * d;
+  }
+  return sq;
+}
+
+// k-means++: first centroid uniform, then proportional to D^2.
+std::vector<std::vector<double>> InitPlusPlus(
+    const std::vector<std::vector<double>>& points, int k, Rng* rng) {
+  std::vector<std::vector<double>> centroids;
+  centroids.reserve(k);
+  centroids.push_back(
+      points[rng->UniformU32(static_cast<uint32_t>(points.size()))]);
+  std::vector<double> d2(points.size(),
+                         std::numeric_limits<double>::infinity());
+  while (static_cast<int>(centroids.size()) < k) {
+    double total = 0.0;
+    for (size_t i = 0; i < points.size(); ++i) {
+      d2[i] = std::min(d2[i], SquaredDistance(points[i], centroids.back()));
+      total += d2[i];
+    }
+    if (total <= 0.0) {
+      // All points coincide with centroids; duplicate one.
+      centroids.push_back(points[0]);
+      continue;
+    }
+    double r = rng->UniformDouble() * total;
+    double cum = 0.0;
+    size_t chosen = points.size() - 1;
+    for (size_t i = 0; i < points.size(); ++i) {
+      cum += d2[i];
+      if (cum >= r) {
+        chosen = i;
+        break;
+      }
+    }
+    centroids.push_back(points[chosen]);
+  }
+  return centroids;
+}
+
+}  // namespace
+
+Result<KMeansResult> KMeans(const std::vector<std::vector<double>>& points,
+                            int k, const KMeansOptions& options) {
+  if (k <= 0) return Status::InvalidArgument("k must be positive");
+  if (points.empty()) return Status::InvalidArgument("no points");
+  size_t dim = points[0].size();
+  for (const auto& p : points) {
+    if (p.size() != dim) return Status::InvalidArgument("ragged input");
+  }
+  k = std::min<int>(k, static_cast<int>(points.size()));
+
+  Rng rng(options.seed, 0x6b6d);
+  KMeansResult result;
+  result.centroids = InitPlusPlus(points, k, &rng);
+  result.assignments.assign(points.size(), 0);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Assignment step.
+    result.inertia = 0.0;
+    for (size_t i = 0; i < points.size(); ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      int best_c = 0;
+      for (int c = 0; c < k; ++c) {
+        double d = SquaredDistance(points[i], result.centroids[c]);
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      result.assignments[i] = best_c;
+      result.inertia += best;
+    }
+    // Update step.
+    std::vector<std::vector<double>> sums(k, std::vector<double>(dim, 0.0));
+    std::vector<size_t> counts(k, 0);
+    for (size_t i = 0; i < points.size(); ++i) {
+      int c = result.assignments[i];
+      ++counts[c];
+      for (size_t d = 0; d < dim; ++d) sums[c][d] += points[i][d];
+    }
+    double shift = 0.0;
+    for (int c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster at a random point.
+        sums[c] = points[rng.UniformU32(static_cast<uint32_t>(points.size()))];
+        counts[c] = 1;
+      }
+      for (size_t d = 0; d < dim; ++d) {
+        sums[c][d] /= static_cast<double>(counts[c]);
+      }
+      shift += std::sqrt(SquaredDistance(sums[c], result.centroids[c]));
+      result.centroids[c] = std::move(sums[c]);
+    }
+    if (shift < options.tolerance) break;
+  }
+  return result;
+}
+
+}  // namespace pghive

@@ -1,0 +1,37 @@
+// k-means with k-means++ seeding; used to initialize the GMM (EM) fit.
+
+#ifndef PGHIVE_ML_KMEANS_H_
+#define PGHIVE_ML_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace pghive {
+
+struct KMeansOptions {
+  int max_iterations = 50;
+  double tolerance = 1e-4;  // stop when centroid shift falls below this
+  uint64_t seed = 13;
+};
+
+struct KMeansResult {
+  /// k centroids, each of the input dimension.
+  std::vector<std::vector<double>> centroids;
+  /// Cluster index per input point.
+  std::vector<int> assignments;
+  /// Sum of squared distances to assigned centroids.
+  double inertia = 0.0;
+  int iterations = 0;
+};
+
+/// Lloyd's algorithm with k-means++ initialization. Fails with
+/// InvalidArgument for k <= 0 or an empty/ragged input. If k > n, k is
+/// reduced to n.
+Result<KMeansResult> KMeans(const std::vector<std::vector<double>>& points,
+                            int k, const KMeansOptions& options = {});
+
+}  // namespace pghive
+
+#endif  // PGHIVE_ML_KMEANS_H_

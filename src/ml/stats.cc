@@ -1,0 +1,71 @@
+#include "ml/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace pghive {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+double Variance(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double m = Mean(xs);
+  double sq = 0.0;
+  for (double x : xs) sq += (x - m) * (x - m);
+  return sq / static_cast<double>(xs.size());
+}
+
+double StdDev(const std::vector<double>& xs) { return std::sqrt(Variance(xs)); }
+
+double Median(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  size_t mid = xs.size() / 2;
+  std::nth_element(xs.begin(), xs.begin() + mid, xs.end());
+  double hi = xs[mid];
+  if (xs.size() % 2 == 1) return hi;
+  double lo = *std::max_element(xs.begin(), xs.begin() + mid);
+  return (lo + hi) / 2.0;
+}
+
+double LogSumExp(const std::vector<double>& xs) {
+  if (xs.empty()) return -std::numeric_limits<double>::infinity();
+  double mx = *std::max_element(xs.begin(), xs.end());
+  if (!std::isfinite(mx)) return mx;
+  double sum = 0.0;
+  for (double x : xs) sum += std::exp(x - mx);
+  return mx + std::log(sum);
+}
+
+std::vector<double> AverageRanks(
+    const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return {};
+  size_t k = rows[0].size();
+  std::vector<double> rank_sum(k, 0.0);
+  for (const auto& row : rows) {
+    // Sort column indices by value descending (rank 1 = largest).
+    std::vector<size_t> order(k);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](size_t a, size_t b) { return row[a] > row[b]; });
+    // Assign mean ranks to ties.
+    size_t i = 0;
+    while (i < k) {
+      size_t j = i;
+      while (j + 1 < k && row[order[j + 1]] == row[order[i]]) ++j;
+      double mean_rank = (static_cast<double>(i + 1) +
+                          static_cast<double>(j + 1)) / 2.0;
+      for (size_t t = i; t <= j; ++t) rank_sum[order[t]] += mean_rank;
+      i = j + 1;
+    }
+  }
+  for (auto& r : rank_sum) r /= static_cast<double>(rows.size());
+  return rank_sum;
+}
+
+}  // namespace pghive

@@ -1,0 +1,29 @@
+// Basic descriptive statistics used by the ML substrate and evaluation.
+
+#ifndef PGHIVE_ML_STATS_H_
+#define PGHIVE_ML_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace pghive {
+
+double Mean(const std::vector<double>& xs);
+double Variance(const std::vector<double>& xs);  // population variance
+double StdDev(const std::vector<double>& xs);
+
+/// Sample median (average of middle two for even n); 0 for empty input.
+double Median(std::vector<double> xs);
+
+/// log(sum_i exp(x_i)) computed stably; -inf for empty input.
+double LogSumExp(const std::vector<double>& xs);
+
+/// Average rank of each column over rows (1 = best = largest value), with
+/// ties sharing the mean of the tied rank positions. Rows are test cases,
+/// columns are methods. Used by the Friedman/Nemenyi analysis (Figure 3),
+/// where methods are ranked by F1* per case.
+std::vector<double> AverageRanks(const std::vector<std::vector<double>>& rows);
+
+}  // namespace pghive
+
+#endif  // PGHIVE_ML_STATS_H_

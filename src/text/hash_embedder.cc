@@ -1,0 +1,34 @@
+#include "text/hash_embedder.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/hash.h"
+#include "common/random.h"
+
+namespace pghive {
+
+HashEmbedder::HashEmbedder(int dimension, uint64_t seed)
+    : dimension_(dimension), seed_(seed) {
+  assert(dimension > 0);
+}
+
+std::vector<float> HashEmbedder::Embed(const std::string& token) const {
+  // Gaussian entries seeded by the token hash, then normalized: a uniform
+  // point on the unit sphere, deterministic per token.
+  Rng rng(HashString(token) ^ Mix64(seed_), 0x5eed);
+  std::vector<float> v(dimension_);
+  double sq = 0.0;
+  for (int k = 0; k < dimension_; ++k) {
+    double x = rng.Normal();
+    v[k] = static_cast<float>(x);
+    sq += x * x;
+  }
+  if (sq > 1e-12) {
+    float inv = static_cast<float>(1.0 / std::sqrt(sq));
+    for (auto& x : v) x *= inv;
+  }
+  return v;
+}
+
+}  // namespace pghive

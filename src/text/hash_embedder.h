@@ -1,0 +1,35 @@
+// Deterministic hash-projection embeddings.
+//
+// A training-free alternative to Word2Vec: each token's vector is a unit
+// vector on the d-sphere derived deterministically from the token's hash.
+// Distinct tokens get (near-)orthogonal vectors in expectation, identical
+// tokens get identical vectors — exactly the property the PG-HIVE encoding
+// needs when no semantic structure is available or training is undesirable.
+
+#ifndef PGHIVE_TEXT_HASH_EMBEDDER_H_
+#define PGHIVE_TEXT_HASH_EMBEDDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pghive {
+
+class HashEmbedder {
+ public:
+  /// `dimension` must be positive; `seed` varies the projection family.
+  explicit HashEmbedder(int dimension, uint64_t seed = 0);
+
+  int dimension() const { return dimension_; }
+
+  /// Unit-norm vector for `token`; deterministic in (token, seed, dim).
+  std::vector<float> Embed(const std::string& token) const;
+
+ private:
+  int dimension_;
+  uint64_t seed_;
+};
+
+}  // namespace pghive
+
+#endif  // PGHIVE_TEXT_HASH_EMBEDDER_H_

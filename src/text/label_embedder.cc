@@ -1,0 +1,71 @@
+#include "text/label_embedder.h"
+
+#include "common/string_util.h"
+#include "graph/property_graph.h"
+
+namespace pghive {
+
+LabelEmbedder::LabelEmbedder(LabelEmbedderOptions options)
+    : options_(options), hash_(options.dimension, options.seed) {
+  if (options_.backend == EmbeddingBackend::kWord2Vec) {
+    Word2VecOptions w2v = options_.word2vec;
+    w2v.dimension = options_.dimension;
+    w2v.seed = options_.seed;
+    word2vec_ = std::make_unique<Word2Vec>(w2v);
+  }
+}
+
+Status LabelEmbedder::Train(
+    const std::vector<std::vector<std::string>>& sentences) {
+  if (options_.backend == EmbeddingBackend::kHash) return Status::OK();
+  if (sentences.empty()) {
+    // Fully unlabeled graph: nothing to train on; hash vectors are never
+    // queried for real tokens anyway, but keep the embedder functional.
+    use_hash_fallback_ = true;
+    return Status::OK();
+  }
+  return word2vec_->Train(sentences);
+}
+
+std::vector<float> LabelEmbedder::EmbedLabels(
+    const std::set<std::string>& labels) const {
+  if (labels.empty()) return std::vector<float>(options_.dimension, 0.0f);
+  return EmbedToken(CanonicalLabelToken(labels));
+}
+
+std::vector<float> LabelEmbedder::EmbedToken(const std::string& token) const {
+  if (token.empty()) return std::vector<float>(options_.dimension, 0.0f);
+  if (options_.backend == EmbeddingBackend::kHash || use_hash_fallback_) {
+    return hash_.Embed(token);
+  }
+  if (word2vec_->trained() &&
+      word2vec_->vocabulary().Lookup(token) != Vocabulary::kUnknown) {
+    return word2vec_->Embed(token);
+  }
+  // Unknown token (e.g. a label combination first seen in a later batch):
+  // fall back to the deterministic hash vector so the embedding stays
+  // consistent across batches.
+  return hash_.Embed(token);
+}
+
+std::vector<std::vector<std::string>> BuildLabelCorpus(
+    const PropertyGraph& g) {
+  std::vector<std::vector<std::string>> corpus;
+  corpus.reserve(g.num_nodes() + g.num_edges());
+  for (const auto& n : g.nodes()) {
+    if (n.labels.empty()) continue;
+    corpus.push_back({CanonicalLabelToken(n.labels)});
+  }
+  for (const auto& e : g.edges()) {
+    std::vector<std::string> sent;
+    const auto& src = g.node(e.source);
+    const auto& tgt = g.node(e.target);
+    if (!src.labels.empty()) sent.push_back(CanonicalLabelToken(src.labels));
+    if (!e.labels.empty()) sent.push_back(CanonicalLabelToken(e.labels));
+    if (!tgt.labels.empty()) sent.push_back(CanonicalLabelToken(tgt.labels));
+    if (sent.size() >= 2) corpus.push_back(std::move(sent));
+  }
+  return corpus;
+}
+
+}  // namespace pghive

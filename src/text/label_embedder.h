@@ -1,0 +1,79 @@
+// Label-set embedding facade (paper §4.1).
+//
+// Converts a node's or edge's label set into a fixed-dimension vector:
+//   - absent labels -> the zero vector,
+//   - multiple labels -> sorted alphabetically and concatenated into one
+//     token, so identical label sets share an embedding and different sets
+//     (even overlapping ones) get distinct embeddings,
+//   - the per-token vector comes from either a Word2Vec model trained on the
+//     label corpus of the dataset or a deterministic hash projection.
+
+#ifndef PGHIVE_TEXT_LABEL_EMBEDDER_H_
+#define PGHIVE_TEXT_LABEL_EMBEDDER_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "text/hash_embedder.h"
+#include "text/word2vec.h"
+
+namespace pghive {
+
+enum class EmbeddingBackend {
+  /// Skip-gram Word2Vec trained on the observed label sentences.
+  kWord2Vec,
+  /// Deterministic hash projection; no training pass.
+  kHash,
+};
+
+struct LabelEmbedderOptions {
+  EmbeddingBackend backend = EmbeddingBackend::kWord2Vec;
+  /// Embedding width d. Label separation relies on distinct tokens mapping
+  /// to near-orthogonal unit vectors; cosine spread between random vectors
+  /// shrinks as 1/sqrt(d), so label-rich datasets (IYP has 86 label
+  /// combinations) need d large enough that no two tokens land close.
+  int dimension = 24;
+  uint64_t seed = 42;
+  Word2VecOptions word2vec;  // dimension/seed overridden by the above
+};
+
+/// Embeds canonical label tokens. Train() must be called before Embed() when
+/// the backend is Word2Vec; the hash backend needs no training.
+class LabelEmbedder {
+ public:
+  explicit LabelEmbedder(LabelEmbedderOptions options = {});
+
+  /// Trains the Word2Vec backend on label sentences (one sentence per node
+  /// label set, one (src, edge, tgt) sentence per edge). A no-op for the
+  /// hash backend. An empty corpus silently degrades to hash embeddings so
+  /// fully-unlabeled graphs still work.
+  Status Train(const std::vector<std::vector<std::string>>& sentences);
+
+  int dimension() const { return options_.dimension; }
+
+  /// Embedding of a label set; zero vector when `labels` is empty.
+  std::vector<float> EmbedLabels(const std::set<std::string>& labels) const;
+
+  /// Embedding of a pre-canonicalized token ("A&B" form); zero for "".
+  std::vector<float> EmbedToken(const std::string& token) const;
+
+ private:
+  LabelEmbedderOptions options_;
+  std::unique_ptr<Word2Vec> word2vec_;
+  HashEmbedder hash_;
+  bool use_hash_fallback_ = false;
+};
+
+/// Builds the label corpus of a graph: node label-set tokens and edge
+/// (source-token, edge-token, target-token) sentences, as described in
+/// §4.1. Unlabeled elements contribute nothing.
+class PropertyGraph;  // forward decl (graph/property_graph.h)
+std::vector<std::vector<std::string>> BuildLabelCorpus(
+    const PropertyGraph& g);
+
+}  // namespace pghive
+
+#endif  // PGHIVE_TEXT_LABEL_EMBEDDER_H_

@@ -1,0 +1,25 @@
+#include "text/vocabulary.h"
+
+namespace pghive {
+
+int32_t Vocabulary::Add(std::string_view token) {
+  auto it = index_.find(std::string(token));
+  if (it != index_.end()) {
+    ++counts_[it->second];
+    ++total_count_;
+    return it->second;
+  }
+  int32_t id = static_cast<int32_t>(tokens_.size());
+  index_.emplace(std::string(token), id);
+  tokens_.emplace_back(token);
+  counts_.push_back(1);
+  ++total_count_;
+  return id;
+}
+
+int32_t Vocabulary::Lookup(std::string_view token) const {
+  auto it = index_.find(std::string(token));
+  return it == index_.end() ? kUnknown : it->second;
+}
+
+}  // namespace pghive

@@ -1,0 +1,41 @@
+// Token <-> id mapping with frequency counts, shared by the embedders.
+
+#ifndef PGHIVE_TEXT_VOCABULARY_H_
+#define PGHIVE_TEXT_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace pghive {
+
+/// Dense token ids in insertion order, with occurrence counts (used for the
+/// negative-sampling distribution in word2vec).
+class Vocabulary {
+ public:
+  static constexpr int32_t kUnknown = -1;
+
+  /// Registers (or re-counts) a token; returns its id.
+  int32_t Add(std::string_view token);
+
+  /// Id of a token, or kUnknown.
+  int32_t Lookup(std::string_view token) const;
+
+  const std::string& token(int32_t id) const { return tokens_[id]; }
+  uint64_t count(int32_t id) const { return counts_[id]; }
+
+  size_t size() const { return tokens_.size(); }
+  uint64_t total_count() const { return total_count_; }
+
+ private:
+  std::unordered_map<std::string, int32_t> index_;
+  std::vector<std::string> tokens_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_count_ = 0;
+};
+
+}  // namespace pghive
+
+#endif  // PGHIVE_TEXT_VOCABULARY_H_

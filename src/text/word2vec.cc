@@ -1,0 +1,170 @@
+#include "text/word2vec.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pghive {
+
+namespace {
+
+// Fast logistic; input clamped to [-6, 6] as in the original word2vec code.
+inline double Sigmoid(double x) {
+  if (x > 6.0) return 1.0;
+  if (x < -6.0) return 0.0;
+  return 1.0 / (1.0 + std::exp(-x));
+}
+
+constexpr size_t kNegativeTableSize = 1 << 16;
+
+}  // namespace
+
+Word2Vec::Word2Vec(Word2VecOptions options) : options_(options) {}
+
+Status Word2Vec::Train(
+    const std::vector<std::vector<std::string>>& sentences) {
+  if (options_.dimension <= 0) {
+    return Status::InvalidArgument("word2vec dimension must be positive");
+  }
+  if (sentences.empty()) {
+    return Status::InvalidArgument("word2vec corpus is empty");
+  }
+
+  // Build vocabulary and the id-encoded corpus.
+  std::vector<std::vector<int32_t>> corpus;
+  corpus.reserve(sentences.size());
+  for (const auto& sent : sentences) {
+    std::vector<int32_t> ids;
+    ids.reserve(sent.size());
+    for (const auto& tok : sent) ids.push_back(vocab_.Add(tok));
+    corpus.push_back(std::move(ids));
+  }
+  if (vocab_.size() == 0) {
+    return Status::InvalidArgument("word2vec corpus has no tokens");
+  }
+
+  const int dim = options_.dimension;
+  Rng rng(options_.seed);
+
+  // Initialize embeddings uniformly in [-0.5/d, 0.5/d]; context weights zero
+  // (the original word2vec initialization).
+  input_.assign(vocab_.size() * dim, 0.0f);
+  output_.assign(vocab_.size() * dim, 0.0f);
+  for (auto& w : input_) {
+    w = static_cast<float>((rng.UniformDouble() - 0.5) / dim);
+  }
+
+  // Unigram^(3/4) negative-sampling table.
+  negative_table_.resize(kNegativeTableSize);
+  double norm = 0.0;
+  for (size_t i = 0; i < vocab_.size(); ++i) {
+    norm += std::pow(static_cast<double>(vocab_.count(static_cast<int32_t>(i))),
+                     0.75);
+  }
+  {
+    size_t i = 0;
+    double cum = std::pow(static_cast<double>(vocab_.count(0)), 0.75) / norm;
+    for (size_t t = 0; t < kNegativeTableSize; ++t) {
+      negative_table_[t] = static_cast<int32_t>(i);
+      double frac = static_cast<double>(t + 1) / kNegativeTableSize;
+      while (frac > cum && i + 1 < vocab_.size()) {
+        ++i;
+        cum += std::pow(
+            static_cast<double>(vocab_.count(static_cast<int32_t>(i))), 0.75) /
+               norm;
+      }
+    }
+  }
+
+  // SGD over (center, context) pairs.
+  const double lr0 = options_.learning_rate;
+  const double lr_min = lr0 * 0.1;
+  size_t total_steps =
+      std::max<size_t>(1, static_cast<size_t>(options_.epochs) * corpus.size());
+  size_t step = 0;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    for (const auto& sent : corpus) {
+      double progress = static_cast<double>(step++) / total_steps;
+      double lr = std::max(lr_min, lr0 * (1.0 - progress));
+      for (size_t i = 0; i < sent.size(); ++i) {
+        int lo = static_cast<int>(i) - options_.window;
+        int hi = static_cast<int>(i) + options_.window;
+        for (int j = std::max(lo, 0);
+             j <= std::min(hi, static_cast<int>(sent.size()) - 1); ++j) {
+          if (j == static_cast<int>(i)) continue;
+          TrainPair(sent[i], sent[j], lr, &rng);
+        }
+      }
+    }
+  }
+
+  // L2-normalize the embedding rows.
+  for (size_t v = 0; v < vocab_.size(); ++v) {
+    float* row = &input_[v * dim];
+    double sq = 0.0;
+    for (int k = 0; k < dim; ++k) sq += row[k] * row[k];
+    if (sq > 1e-12) {
+      float inv = static_cast<float>(1.0 / std::sqrt(sq));
+      for (int k = 0; k < dim; ++k) row[k] *= inv;
+    }
+  }
+  trained_ = true;
+  return Status::OK();
+}
+
+void Word2Vec::TrainPair(int32_t center, int32_t context, double lr,
+                         Rng* rng) {
+  const int dim = options_.dimension;
+  float* v_in = &input_[static_cast<size_t>(center) * dim];
+  std::vector<float> grad_in(dim, 0.0f);
+
+  // One positive target plus `negative_samples` negatives.
+  for (int s = 0; s < options_.negative_samples + 1; ++s) {
+    int32_t target;
+    double label;
+    if (s == 0) {
+      target = context;
+      label = 1.0;
+    } else {
+      target = SampleNegative(rng);
+      if (target == context) continue;
+      label = 0.0;
+    }
+    float* v_out = &output_[static_cast<size_t>(target) * dim];
+    double dot = 0.0;
+    for (int k = 0; k < dim; ++k) dot += v_in[k] * v_out[k];
+    double g = (label - Sigmoid(dot)) * lr;
+    for (int k = 0; k < dim; ++k) {
+      grad_in[k] += static_cast<float>(g) * v_out[k];
+      v_out[k] += static_cast<float>(g) * v_in[k];
+    }
+  }
+  for (int k = 0; k < dim; ++k) v_in[k] += grad_in[k];
+}
+
+int32_t Word2Vec::SampleNegative(Rng* rng) const {
+  return negative_table_[rng->UniformU32(kNegativeTableSize)];
+}
+
+std::vector<float> Word2Vec::Embed(const std::string& token) const {
+  std::vector<float> v(options_.dimension, 0.0f);
+  int32_t id = vocab_.Lookup(token);
+  if (id == Vocabulary::kUnknown || !trained_) return v;
+  const float* row = &input_[static_cast<size_t>(id) * options_.dimension];
+  std::copy(row, row + options_.dimension, v.begin());
+  return v;
+}
+
+double Word2Vec::Similarity(const std::string& a, const std::string& b) const {
+  auto va = Embed(a);
+  auto vb = Embed(b);
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t k = 0; k < va.size(); ++k) {
+    dot += va[k] * vb[k];
+    na += va[k] * va[k];
+    nb += vb[k] * vb[k];
+  }
+  if (na < 1e-12 || nb < 1e-12) return 0.0;
+  return dot / std::sqrt(na * nb);
+}
+
+}  // namespace pghive

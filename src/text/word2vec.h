@@ -1,0 +1,73 @@
+// Skip-gram Word2Vec with negative sampling (Mikolov et al., 2013).
+//
+// PG-HIVE trains a Word2Vec model on the label "corpus" of the dataset
+// (paper §4.1): each node contributes its label set as a sentence, each edge
+// contributes the sentence (source-token, edge-token, target-token), so
+// labels that appear in similar structural contexts obtain nearby vectors.
+// Vectors are L2-normalized after training so embedding distances are
+// bounded and comparable with the binary property block.
+
+#ifndef PGHIVE_TEXT_WORD2VEC_H_
+#define PGHIVE_TEXT_WORD2VEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "text/vocabulary.h"
+
+namespace pghive {
+
+struct Word2VecOptions {
+  /// Embedding dimensionality d (paper uses a fixed small d; default 16).
+  int dimension = 16;
+  /// Skip-gram context window radius.
+  int window = 4;
+  /// Negative samples per positive pair.
+  int negative_samples = 5;
+  /// Initial learning rate, decayed linearly to 1/10 of this.
+  double learning_rate = 0.05;
+  /// Full passes over the corpus.
+  int epochs = 10;
+  /// Seed for initialization and sampling.
+  uint64_t seed = 42;
+};
+
+/// Trained skip-gram embeddings over a token vocabulary.
+class Word2Vec {
+ public:
+  explicit Word2Vec(Word2VecOptions options = {});
+
+  /// Trains on sentences (token sequences). Fails with InvalidArgument for a
+  /// non-positive dimension or an empty corpus.
+  Status Train(const std::vector<std::vector<std::string>>& sentences);
+
+  /// True once Train succeeded.
+  bool trained() const { return trained_; }
+
+  int dimension() const { return options_.dimension; }
+  const Vocabulary& vocabulary() const { return vocab_; }
+
+  /// The (L2-normalized) vector for a token; zero vector for unknown tokens.
+  std::vector<float> Embed(const std::string& token) const;
+
+  /// Cosine similarity of two tokens; 0 when either is unknown.
+  double Similarity(const std::string& a, const std::string& b) const;
+
+ private:
+  void TrainPair(int32_t center, int32_t context, double lr, Rng* rng);
+  int32_t SampleNegative(Rng* rng) const;
+
+  Word2VecOptions options_;
+  Vocabulary vocab_;
+  std::vector<float> input_;   // vocab x dim (the embeddings)
+  std::vector<float> output_;  // vocab x dim (context weights)
+  std::vector<int32_t> negative_table_;
+  bool trained_ = false;
+};
+
+}  // namespace pghive
+
+#endif  // PGHIVE_TEXT_WORD2VEC_H_

@@ -1,0 +1,167 @@
+// Tests for the GMMSchema and SchemI baseline re-implementations.
+
+#include <gtest/gtest.h>
+
+#include "baselines/gmm_schema.h"
+#include "baselines/schemi.h"
+#include "datagen/datasets.h"
+#include "datagen/generator.h"
+#include "datagen/noise.h"
+#include "eval/f1.h"
+#include "graph/graph_builder.h"
+
+namespace pghive {
+namespace {
+
+PropertyGraph SmallPole() {
+  GenerateOptions gen;
+  gen.num_nodes = 800;
+  gen.num_edges = 1400;
+  return GenerateGraph(MakePoleSpec(), gen).value();
+}
+
+// ---------- GMMSchema ----------
+
+TEST(GmmSchemaTest, RefusesUnlabeledNodes) {
+  PropertyGraph g = MakeFigure1Graph();  // Alice is unlabeled
+  auto r = RunGmmSchema(g);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(GmmSchemaTest, RefusesEmptyGraph) {
+  EXPECT_FALSE(RunGmmSchema(PropertyGraph()).ok());
+}
+
+TEST(GmmSchemaTest, DiscoversNodeTypesOnly) {
+  PropertyGraph g = SmallPole();
+  auto schema = RunGmmSchema(g);
+  ASSERT_TRUE(schema.ok());
+  EXPECT_TRUE(schema->edge_types.empty());  // Table 1: nodes only
+  EXPECT_GT(schema->node_types.size(), 0u);
+}
+
+TEST(GmmSchemaTest, HighQualityOnCleanData) {
+  PropertyGraph g = SmallPole();
+  auto schema = RunGmmSchema(g);
+  ASSERT_TRUE(schema.ok());
+  EXPECT_GT(MajorityF1Nodes(g, *schema).f1, 0.85);
+}
+
+TEST(GmmSchemaTest, DegradesUnderPropertyNoise) {
+  GenerateOptions gen;
+  gen.num_nodes = 1500;
+  gen.num_edges = 0;
+  auto clean = GenerateGraph(MakeIcijSpec(), gen).value();
+  auto clean_schema = RunGmmSchema(clean);
+  ASSERT_TRUE(clean_schema.ok());
+  double clean_f1 = MajorityF1Nodes(clean, *clean_schema).f1;
+
+  NoiseOptions nopt;
+  nopt.property_removal = 0.4;
+  auto noisy = InjectNoise(clean, nopt).value();
+  auto noisy_schema = RunGmmSchema(noisy);
+  ASSERT_TRUE(noisy_schema.ok());
+  double noisy_f1 = MajorityF1Nodes(noisy, *noisy_schema).f1;
+  EXPECT_LT(noisy_f1, clean_f1 - 0.05);
+}
+
+TEST(GmmSchemaTest, EveryNodeAssignedExactlyOnce) {
+  PropertyGraph g = SmallPole();
+  auto schema = RunGmmSchema(g);
+  ASSERT_TRUE(schema.ok());
+  std::vector<int> seen(g.num_nodes(), 0);
+  for (const auto& t : schema->node_types) {
+    for (NodeId id : t.instances) ++seen[id];
+  }
+  for (size_t i = 0; i < g.num_nodes(); ++i) EXPECT_EQ(seen[i], 1);
+}
+
+TEST(GmmSchemaTest, SamplingModeStillAssignsAllNodes) {
+  GmmSchemaOptions opt;
+  opt.sample_size = 100;  // force posterior prediction for most nodes
+  PropertyGraph g = SmallPole();
+  auto schema = RunGmmSchema(g, opt);
+  ASSERT_TRUE(schema.ok());
+  size_t assigned = 0;
+  for (const auto& t : schema->node_types) assigned += t.instances.size();
+  EXPECT_EQ(assigned, g.num_nodes());
+}
+
+// ---------- SchemI ----------
+
+TEST(SchemITest, RefusesUnlabeledElements) {
+  PropertyGraph g = MakeFigure1Graph();
+  auto r = RunSchemI(g);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SchemITest, RefusesUnlabeledEdge) {
+  PropertyGraph g;
+  NodeId a = g.AddNode({"A"}, {});
+  NodeId b = g.AddNode({"B"}, {});
+  ASSERT_TRUE(g.AddEdge(a, b, {}, {}).ok());  // unlabeled edge
+  EXPECT_FALSE(RunSchemI(g).ok());
+}
+
+TEST(SchemITest, PerfectOnSingleLabelDataset) {
+  PropertyGraph g = SmallPole();
+  auto schema = RunSchemI(g);
+  ASSERT_TRUE(schema.ok());
+  EXPECT_DOUBLE_EQ(MajorityF1Nodes(g, *schema).f1, 1.0);
+}
+
+TEST(SchemITest, FlattensMultiLabelTypes) {
+  // MB6-style: types defined by co-occurring label sets. SchemI keys types
+  // by a single label, mixing types that share the alphabetically first
+  // label (the documented weakness).
+  GenerateOptions gen;
+  gen.num_nodes = 1000;
+  gen.num_edges = 1500;
+  auto g = GenerateGraph(MakeMb6Spec(), gen).value();
+  auto schema = RunSchemI(g);
+  ASSERT_TRUE(schema.ok());
+  double f1 = MajorityF1Nodes(g, *schema).f1;
+  EXPECT_LT(f1, 0.9);
+  EXPECT_GT(f1, 0.3);
+}
+
+TEST(SchemITest, EdgeTypesCollapseByLabel) {
+  // POLE reuses HAS_POSTCODE between two endpoint pairs -> SchemI sees one
+  // type where the ground truth has two.
+  PropertyGraph g;
+  NodeId loc = g.AddNode({"Location"}, {}, "Location");
+  NodeId area = g.AddNode({"Area"}, {}, "Area");
+  NodeId pc = g.AddNode({"PostCode"}, {}, "PostCode");
+  ASSERT_TRUE(g.AddEdge(loc, pc, {"HAS_POSTCODE"}, {}, "HP_L").ok());
+  ASSERT_TRUE(g.AddEdge(area, pc, {"HAS_POSTCODE"}, {}, "HP_A").ok());
+  auto schema = RunSchemI(g);
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->edge_types.size(), 1u);
+  EXPECT_EQ(schema->edge_types[0].instances.size(), 2u);
+}
+
+TEST(SchemITest, AggregatesPropertiesPerType) {
+  PropertyGraph g;
+  g.AddNode({"T"}, {{"a", Value::Int(1)}}, "T");
+  g.AddNode({"T"}, {{"b", Value::Int(2)}}, "T");
+  auto schema = RunSchemI(g);
+  ASSERT_TRUE(schema.ok());
+  ASSERT_EQ(schema->node_types.size(), 1u);
+  EXPECT_EQ(schema->node_types[0].property_keys,
+            (std::set<std::string>{"a", "b"}));
+}
+
+TEST(SchemITest, EdgeEndpointsAggregated) {
+  PropertyGraph g = SmallPole();
+  auto schema = RunSchemI(g);
+  ASSERT_TRUE(schema.ok());
+  for (const auto& t : schema->edge_types) {
+    EXPECT_FALSE(t.source_labels.empty());
+    EXPECT_FALSE(t.target_labels.empty());
+  }
+}
+
+}  // namespace
+}  // namespace pghive

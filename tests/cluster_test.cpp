@@ -1,0 +1,91 @@
+// Unit tests for the clustering layer: Jaccard similarity and the
+// bucket-collision union-find clusterer.
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "cluster/lsh_clusterer.h"
+
+namespace pghive {
+namespace {
+
+TEST(JaccardTest, BasicValues) {
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a", "b"}, {"a", "b"}), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a", "b"}, {"c"}), 0.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a", "b", "c"}, {"b", "c", "d"}), 0.5);
+}
+
+TEST(JaccardTest, EmptySetsAreIdentical) {
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a"}, {}), 0.0);
+}
+
+TEST(JaccardTest, Symmetric) {
+  std::set<std::string> a = {"x", "y", "z"};
+  std::set<std::string> b = {"y", "w"};
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(a, b), JaccardSimilarity(b, a));
+}
+
+TEST(ClusterTest, LabeledPredicate) {
+  Cluster c;
+  EXPECT_FALSE(c.labeled());
+  c.labels.insert("A");
+  EXPECT_TRUE(c.labeled());
+  EXPECT_EQ(c.size(), 0u);
+}
+
+TEST(LshClustererTest, EmptyInput) {
+  EXPECT_TRUE(ClusterByBucketKeys({}).empty());
+}
+
+TEST(LshClustererTest, NoSharedKeysNoMerging) {
+  std::vector<std::vector<uint64_t>> keys = {{1, 2}, {3, 4}, {5, 6}};
+  auto groups = ClusterByBucketKeys(keys);
+  EXPECT_EQ(groups.size(), 3u);
+}
+
+TEST(LshClustererTest, SharedKeyInOneTableMerges) {
+  // Elements 0 and 2 share key 7 (OR rule: one table suffices).
+  std::vector<std::vector<uint64_t>> keys = {{1, 7}, {3, 4}, {5, 7}};
+  auto groups = ClusterByBucketKeys(keys);
+  ASSERT_EQ(groups.size(), 2u);
+  // Find the merged group.
+  bool found = false;
+  for (const auto& g : groups) {
+    if (g.size() == 2) {
+      EXPECT_EQ(g[0], 0u);
+      EXPECT_EQ(g[1], 2u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(LshClustererTest, TransitiveChaining) {
+  // 0-1 share, 1-2 share -> all three in one cluster.
+  std::vector<std::vector<uint64_t>> keys = {{10}, {10, 20}, {20}};
+  auto groups = ClusterByBucketKeys(keys);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].size(), 3u);
+}
+
+TEST(LshClustererTest, AllIdenticalMergeIntoOne) {
+  std::vector<std::vector<uint64_t>> keys(50, {42, 43, 44});
+  auto groups = ClusterByBucketKeys(keys);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].size(), 50u);
+}
+
+TEST(LshClustererTest, CoversEveryElementExactlyOnce) {
+  std::vector<std::vector<uint64_t>> keys;
+  for (uint64_t i = 0; i < 100; ++i) keys.push_back({i % 7, 100 + i % 13});
+  auto groups = ClusterByBucketKeys(keys);
+  std::set<size_t> seen;
+  for (const auto& g : groups) {
+    for (size_t m : g) EXPECT_TRUE(seen.insert(m).second);
+  }
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+}  // namespace
+}  // namespace pghive

@@ -1,0 +1,132 @@
+// Unit tests for the schema model (schema.h) and patterns (pattern.h).
+
+#include <gtest/gtest.h>
+
+#include "core/pattern.h"
+#include "core/schema.h"
+#include "graph/graph_builder.h"
+
+namespace pghive {
+namespace {
+
+SchemaGraph TwoTypeSchema() {
+  SchemaGraph s;
+  SchemaNodeType person;
+  person.name = "Person";
+  person.labels = {"Person"};
+  person.property_keys = {"name", "age"};
+  s.node_types.push_back(person);
+  SchemaNodeType org;
+  org.name = "Org";
+  org.labels = {"Org"};
+  org.property_keys = {"name", "url"};
+  s.node_types.push_back(org);
+  SchemaEdgeType works;
+  works.name = "WORKS_AT";
+  works.labels = {"WORKS_AT"};
+  works.source_labels = {"Person"};
+  works.target_labels = {"Org"};
+  works.property_keys = {"from"};
+  s.edge_types.push_back(works);
+  return s;
+}
+
+TEST(SchemaGraphTest, FindByLabels) {
+  SchemaGraph s = TwoTypeSchema();
+  EXPECT_EQ(s.FindNodeTypeByLabels({"Person"}), 0);
+  EXPECT_EQ(s.FindNodeTypeByLabels({"Org"}), 1);
+  EXPECT_EQ(s.FindNodeTypeByLabels({"Nope"}), -1);
+  EXPECT_EQ(s.FindEdgeTypeByLabels({"WORKS_AT"}), 0);
+  EXPECT_EQ(s.FindEdgeTypeByLabels({}), -1);
+  EXPECT_EQ(s.num_types(), 3u);
+}
+
+TEST(SchemaCoversTest, SchemaCoversItself) {
+  SchemaGraph s = TwoTypeSchema();
+  EXPECT_TRUE(SchemaCovers(s, s));
+}
+
+TEST(SchemaCoversTest, SupersetCoversSubset) {
+  SchemaGraph sub = TwoTypeSchema();
+  SchemaGraph super = TwoTypeSchema();
+  super.node_types[0].property_keys.insert("email");  // widened type
+  EXPECT_TRUE(SchemaCovers(super, sub));
+  EXPECT_FALSE(SchemaCovers(sub, super));
+}
+
+TEST(SchemaCoversTest, MissingTypeBreaksCoverage) {
+  SchemaGraph sub = TwoTypeSchema();
+  SchemaGraph super = TwoTypeSchema();
+  super.node_types.pop_back();
+  EXPECT_FALSE(SchemaCovers(super, sub));
+}
+
+TEST(SchemaCoversTest, EdgeEndpointsChecked) {
+  SchemaGraph sub = TwoTypeSchema();
+  SchemaGraph super = TwoTypeSchema();
+  super.edge_types[0].target_labels = {"Place"};
+  EXPECT_FALSE(SchemaCovers(super, sub));
+}
+
+TEST(SchemaCoversTest, EmptySchemaCoveredByAnything) {
+  SchemaGraph empty;
+  EXPECT_TRUE(SchemaCovers(TwoTypeSchema(), empty));
+  EXPECT_TRUE(SchemaCovers(empty, empty));
+}
+
+TEST(SchemaSummaryTest, CountsAbstractTypes) {
+  SchemaGraph s = TwoTypeSchema();
+  s.node_types[1].is_abstract = true;
+  std::string summary = SchemaSummary(s);
+  EXPECT_NE(summary.find("2 node types"), std::string::npos);
+  EXPECT_NE(summary.find("1 abstract"), std::string::npos);
+  EXPECT_NE(summary.find("1 edge types"), std::string::npos);
+}
+
+TEST(SchemaCardinalityTest, Names) {
+  EXPECT_STREQ(SchemaCardinalityName(SchemaCardinality::kZeroOrOne), "0:1");
+  EXPECT_STREQ(SchemaCardinalityName(SchemaCardinality::kManyToOne), "N:1");
+  EXPECT_STREQ(SchemaCardinalityName(SchemaCardinality::kOneToMany), "0:N");
+  EXPECT_STREQ(SchemaCardinalityName(SchemaCardinality::kManyToMany), "M:N");
+  EXPECT_STREQ(SchemaCardinalityName(SchemaCardinality::kUnknown), "?");
+}
+
+// ---------- patterns ----------
+
+TEST(PatternTest, NodePatternOfInstance) {
+  PropertyGraph g = MakeFigure1Graph();
+  NodePattern p = PatternOf(g.node(0));  // Bob
+  EXPECT_EQ(p.labels, (std::set<std::string>{"Person"}));
+  EXPECT_EQ(p.property_keys,
+            (std::set<std::string>{"bday", "gender", "name"}));
+}
+
+TEST(PatternTest, EdgePatternIncludesEndpoints) {
+  PropertyGraph g = MakeFigure1Graph();
+  // Edge 4 is WORKS_AT(Bob -> Organization) with property {from}.
+  EdgePattern p = PatternOf(g, g.edge(4));
+  EXPECT_EQ(p.labels, (std::set<std::string>{"WORKS_AT"}));
+  EXPECT_EQ(p.property_keys, (std::set<std::string>{"from"}));
+  EXPECT_EQ(p.source_labels, (std::set<std::string>{"Person"}));
+  EXPECT_EQ(p.target_labels, (std::set<std::string>{"Organization"}));
+}
+
+TEST(PatternTest, DistinctPatternsMatchExampleTwo) {
+  PropertyGraph g = MakeFigure1Graph();
+  EXPECT_EQ(DistinctNodePatterns(g).size(), 6u);
+  EXPECT_EQ(DistinctEdgePatterns(g).size(), 6u);
+}
+
+TEST(PatternTest, PatternOrderingIsStrictWeak) {
+  NodePattern a{{"A"}, {"x"}};
+  NodePattern b{{"A"}, {"y"}};
+  NodePattern c{{"B"}, {"x"}};
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(a < c);
+  EXPECT_FALSE(a < a);
+  EXPECT_TRUE(a == a);
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace pghive

@@ -1,0 +1,371 @@
+// Unit tests for the dataset generators: spec validation, generation
+// semantics, the eight paper specs and noise injection.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "datagen/datasets.h"
+#include "datagen/generator.h"
+#include "datagen/noise.h"
+#include "graph/graph_stats.h"
+
+namespace pghive {
+namespace {
+
+DatasetSpec TinySpec() {
+  DatasetSpec s;
+  s.name = "tiny";
+  NodeTypeSpec a;
+  a.name = "A";
+  a.labels = {"A"};
+  a.properties = {{"x", DataType::kInt, 1.0, 0.0, DataType::kString},
+                  {"opt", DataType::kString, 0.5, 0.0, DataType::kString}};
+  NodeTypeSpec b;
+  b.name = "B";
+  b.labels = {"B"};
+  b.properties = {{"y", DataType::kDouble, 1.0, 0.0, DataType::kString}};
+  s.node_types = {a, b};
+  EdgeTypeSpec e;
+  e.name = "R";
+  e.label = "R";
+  e.source_type = "A";
+  e.target_type = "B";
+  e.cardinality = CardinalityClass::kManyToOne;
+  s.edge_types = {e};
+  s.default_nodes = 200;
+  s.default_edges = 300;
+  return s;
+}
+
+// ---------- spec validation ----------
+
+TEST(DatasetSpecTest, ValidSpecPasses) {
+  EXPECT_TRUE(TinySpec().Validate().ok());
+}
+
+TEST(DatasetSpecTest, RejectsNoNodeTypes) {
+  DatasetSpec s;
+  s.name = "x";
+  EXPECT_FALSE(s.Validate().ok());
+}
+
+TEST(DatasetSpecTest, RejectsDuplicateTypeNames) {
+  auto s = TinySpec();
+  s.node_types.push_back(s.node_types[0]);
+  EXPECT_FALSE(s.Validate().ok());
+}
+
+TEST(DatasetSpecTest, RejectsUnknownEndpoint) {
+  auto s = TinySpec();
+  s.edge_types[0].target_type = "Nope";
+  EXPECT_FALSE(s.Validate().ok());
+}
+
+TEST(DatasetSpecTest, RejectsBadProbabilities) {
+  auto s = TinySpec();
+  s.node_types[0].properties[0].presence = 1.5;
+  EXPECT_FALSE(s.Validate().ok());
+  s = TinySpec();
+  s.node_types[0].properties[0].outlier_rate = -0.1;
+  EXPECT_FALSE(s.Validate().ok());
+}
+
+TEST(DatasetSpecTest, RejectsDuplicatePropertyKey) {
+  auto s = TinySpec();
+  s.node_types[0].properties.push_back(s.node_types[0].properties[0]);
+  EXPECT_FALSE(s.Validate().ok());
+}
+
+TEST(DatasetSpecTest, RejectsNonPositiveWeight) {
+  auto s = TinySpec();
+  s.edge_types[0].weight = 0.0;
+  EXPECT_FALSE(s.Validate().ok());
+}
+
+// ---------- generation ----------
+
+TEST(GeneratorTest, RespectsRequestedSizes) {
+  GenerateOptions opt;
+  opt.num_nodes = 123;
+  opt.num_edges = 77;
+  auto g = GenerateGraph(TinySpec(), opt);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 123u);
+  EXPECT_LE(g->num_edges(), 77u);  // undersized pools may skip edges
+  EXPECT_GT(g->num_edges(), 50u);
+}
+
+TEST(GeneratorTest, Deterministic) {
+  GenerateOptions opt;
+  opt.seed = 42;
+  auto g1 = GenerateGraph(TinySpec(), opt);
+  auto g2 = GenerateGraph(TinySpec(), opt);
+  ASSERT_TRUE(g1.ok());
+  ASSERT_TRUE(g2.ok());
+  ASSERT_EQ(g1->num_nodes(), g2->num_nodes());
+  for (size_t i = 0; i < g1->num_nodes(); ++i) {
+    EXPECT_EQ(g1->node(i).truth_type, g2->node(i).truth_type);
+    EXPECT_EQ(g1->node(i).properties.size(), g2->node(i).properties.size());
+  }
+}
+
+TEST(GeneratorTest, SeedChangesOutput) {
+  GenerateOptions a, b;
+  a.seed = 1;
+  b.seed = 2;
+  auto g1 = GenerateGraph(TinySpec(), a);
+  auto g2 = GenerateGraph(TinySpec(), b);
+  ASSERT_TRUE(g1.ok());
+  ASSERT_TRUE(g2.ok());
+  bool any_diff = false;
+  for (size_t i = 0; i < g1->num_nodes() && !any_diff; ++i) {
+    any_diff = g1->node(i).truth_type != g2->node(i).truth_type ||
+               g1->node(i).properties != g2->node(i).properties;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(GeneratorTest, EveryTypeRepresented) {
+  auto g = GenerateGraph(TinySpec(), {});
+  ASSERT_TRUE(g.ok());
+  std::set<std::string> node_types, edge_types;
+  for (const auto& n : g->nodes()) node_types.insert(n.truth_type);
+  for (const auto& e : g->edges()) edge_types.insert(e.truth_type);
+  EXPECT_EQ(node_types.size(), 2u);
+  EXPECT_EQ(edge_types.size(), 1u);
+}
+
+TEST(GeneratorTest, MandatoryPropertiesAlwaysPresent) {
+  auto g = GenerateGraph(TinySpec(), {});
+  ASSERT_TRUE(g.ok());
+  for (const auto& n : g->nodes()) {
+    if (n.truth_type == "A") {
+      EXPECT_TRUE(n.HasProperty("x"));
+    } else {
+      EXPECT_TRUE(n.HasProperty("y"));
+    }
+  }
+}
+
+TEST(GeneratorTest, OptionalPropertyPresenceNearSpec) {
+  GenerateOptions opt;
+  opt.num_nodes = 2000;
+  opt.num_edges = 0;
+  auto g = GenerateGraph(TinySpec(), opt);
+  ASSERT_TRUE(g.ok());
+  size_t a_total = 0, a_with_opt = 0;
+  for (const auto& n : g->nodes()) {
+    if (n.truth_type != "A") continue;
+    ++a_total;
+    a_with_opt += n.HasProperty("opt");
+  }
+  ASSERT_GT(a_total, 100u);
+  double frac = static_cast<double>(a_with_opt) / a_total;
+  EXPECT_NEAR(frac, 0.5, 0.07);
+}
+
+TEST(GeneratorTest, EdgesRespectEndpointTypes) {
+  auto g = GenerateGraph(TinySpec(), {});
+  ASSERT_TRUE(g.ok());
+  for (const auto& e : g->edges()) {
+    EXPECT_EQ(g->node(e.source).truth_type, "A");
+    EXPECT_EQ(g->node(e.target).truth_type, "B");
+  }
+}
+
+TEST(GeneratorTest, ManyToOneCardinalityRealized) {
+  GenerateOptions opt;
+  opt.num_nodes = 400;
+  opt.num_edges = 600;
+  auto g = GenerateGraph(TinySpec(), opt);
+  ASSERT_TRUE(g.ok());
+  // N:1 (source fresh, target reused): every source has at most 2 targets
+  // (cursor wrap tolerance) and some target has many sources.
+  std::map<NodeId, std::set<NodeId>> out, in;
+  for (const auto& e : g->edges()) {
+    out[e.source].insert(e.target);
+    in[e.target].insert(e.source);
+  }
+  size_t max_in = 0;
+  for (const auto& [t, srcs] : in) max_in = std::max(max_in, srcs.size());
+  EXPECT_GT(max_in, 3u);
+}
+
+TEST(GeneratorTest, GenerateValueMatchesRequestedType) {
+  Rng rng(5);
+  EXPECT_EQ(GenerateValue(DataType::kInt, &rng).type(), DataType::kInt);
+  EXPECT_EQ(GenerateValue(DataType::kDouble, &rng).type(), DataType::kDouble);
+  EXPECT_EQ(GenerateValue(DataType::kBool, &rng).type(), DataType::kBool);
+  EXPECT_EQ(GenerateValue(DataType::kDate, &rng).type(), DataType::kDate);
+  EXPECT_EQ(GenerateValue(DataType::kTimestamp, &rng).type(),
+            DataType::kTimestamp);
+  EXPECT_EQ(GenerateValue(DataType::kString, &rng).type(), DataType::kString);
+}
+
+TEST(GeneratorTest, GeneratedLexicalFormsReparseToSameType) {
+  Rng rng(6);
+  for (DataType t : {DataType::kInt, DataType::kDouble, DataType::kBool,
+                     DataType::kDate, DataType::kTimestamp}) {
+    for (int i = 0; i < 20; ++i) {
+      Value v = GenerateValue(t, &rng);
+      EXPECT_EQ(InferDataTypeFromText(v.ToText()), t)
+          << "lexical form: " << v.ToText();
+    }
+  }
+}
+
+// ---------- the eight paper specs ----------
+
+class PaperSpecTest : public testing::TestWithParam<std::string> {};
+
+TEST_P(PaperSpecTest, SpecValidates) {
+  auto spec = DatasetSpecByName(GetParam());
+  ASSERT_TRUE(spec.ok());
+  EXPECT_TRUE(spec->Validate().ok());
+}
+
+TEST_P(PaperSpecTest, GeneratesWithExpectedTypeCounts) {
+  auto spec = DatasetSpecByName(GetParam()).value();
+  GenerateOptions opt;
+  opt.num_nodes = std::max<size_t>(spec.node_types.size() * 20, 1500);
+  opt.num_edges = std::max<size_t>(spec.edge_types.size() * 20, 2500);
+  auto g = GenerateGraph(spec, opt);
+  ASSERT_TRUE(g.ok());
+  GraphStats stats = ComputeGraphStats(*g, spec.name);
+  EXPECT_EQ(stats.node_types, spec.node_types.size());
+  EXPECT_EQ(stats.edge_types, spec.edge_types.size());
+  // Patterns are at least as numerous as types (Def. 3.5/3.6).
+  EXPECT_GE(stats.node_patterns, stats.node_types);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, PaperSpecTest,
+                         testing::Values("POLE", "MB6", "HET.IO", "FIB25",
+                                         "ICIJ", "CORD19", "LDBC", "IYP"));
+
+TEST(PaperSpecsTest, TableTwoStructuralTargets) {
+  // Ground-truth structural counts per Table 2 of the paper.
+  struct Row {
+    const char* name;
+    size_t node_types, edge_types, node_labels, edge_labels;
+  };
+  const Row rows[] = {
+      {"POLE", 11, 17, 11, 16},  {"MB6", 4, 5, 10, 3},
+      {"HET.IO", 11, 24, 12, 24}, {"FIB25", 4, 5, 10, 3},
+      {"ICIJ", 5, 14, 6, 14},     {"CORD19", 16, 16, 16, 16},
+      {"LDBC", 7, 17, 8, 15},     {"IYP", 86, 25, 33, 25},
+  };
+  for (const Row& row : rows) {
+    auto spec = DatasetSpecByName(row.name).value();
+    EXPECT_EQ(spec.node_types.size(), row.node_types) << row.name;
+    EXPECT_EQ(spec.edge_types.size(), row.edge_types) << row.name;
+    std::set<std::string> nlabels, elabels;
+    for (const auto& nt : spec.node_types) {
+      nlabels.insert(nt.labels.begin(), nt.labels.end());
+    }
+    for (const auto& et : spec.edge_types) {
+      if (!et.label.empty()) elabels.insert(et.label);
+    }
+    EXPECT_EQ(nlabels.size(), row.node_labels) << row.name;
+    EXPECT_EQ(elabels.size(), row.edge_labels) << row.name;
+  }
+}
+
+TEST(PaperSpecsTest, UnknownNameFails) {
+  EXPECT_FALSE(DatasetSpecByName("NOT_A_DATASET").ok());
+}
+
+TEST(PaperSpecsTest, AllSpecsListedInTableOrder) {
+  auto specs = AllDatasetSpecs();
+  ASSERT_EQ(specs.size(), 8u);
+  EXPECT_EQ(specs[0].name, "POLE");
+  EXPECT_EQ(specs[7].name, "IYP");
+}
+
+// ---------- noise ----------
+
+TEST(NoiseTest, RejectsOutOfRangeOptions) {
+  PropertyGraph g;
+  g.AddNode({"A"}, {});
+  NoiseOptions opt;
+  opt.property_removal = 1.5;
+  EXPECT_FALSE(InjectNoise(g, opt).ok());
+  opt.property_removal = 0.0;
+  opt.label_availability = -0.1;
+  EXPECT_FALSE(InjectNoise(g, opt).ok());
+}
+
+TEST(NoiseTest, ZeroNoiseIsIdentity) {
+  auto g = GenerateGraph(TinySpec(), {}).value();
+  NoiseOptions opt;  // defaults: no removal, full labels
+  auto noisy = InjectNoise(g, opt).value();
+  for (size_t i = 0; i < g.num_nodes(); ++i) {
+    EXPECT_EQ(noisy.node(i).properties.size(), g.node(i).properties.size());
+    EXPECT_EQ(noisy.node(i).labels, g.node(i).labels);
+  }
+}
+
+TEST(NoiseTest, PropertyRemovalRateApproximate) {
+  GenerateOptions gen;
+  gen.num_nodes = 3000;
+  gen.num_edges = 0;
+  auto g = GenerateGraph(TinySpec(), gen).value();
+  size_t before = 0;
+  for (const auto& n : g.nodes()) before += n.properties.size();
+  NoiseOptions opt;
+  opt.property_removal = 0.3;
+  auto noisy = InjectNoise(g, opt).value();
+  size_t after = 0;
+  for (const auto& n : noisy.nodes()) after += n.properties.size();
+  double removed = 1.0 - static_cast<double>(after) / before;
+  EXPECT_NEAR(removed, 0.3, 0.04);
+}
+
+TEST(NoiseTest, LabelAvailabilityZeroClearsAllLabels) {
+  auto g = GenerateGraph(TinySpec(), {}).value();
+  NoiseOptions opt;
+  opt.label_availability = 0.0;
+  auto noisy = InjectNoise(g, opt).value();
+  for (const auto& n : noisy.nodes()) EXPECT_TRUE(n.labels.empty());
+  for (const auto& e : noisy.edges()) EXPECT_TRUE(e.labels.empty());
+}
+
+TEST(NoiseTest, LabelAvailabilityHalfApproximate) {
+  GenerateOptions gen;
+  gen.num_nodes = 3000;
+  gen.num_edges = 0;
+  auto g = GenerateGraph(TinySpec(), gen).value();
+  NoiseOptions opt;
+  opt.label_availability = 0.5;
+  auto noisy = InjectNoise(g, opt).value();
+  size_t labeled = 0;
+  for (const auto& n : noisy.nodes()) labeled += !n.labels.empty();
+  EXPECT_NEAR(static_cast<double>(labeled) / noisy.num_nodes(), 0.5, 0.04);
+}
+
+TEST(NoiseTest, GroundTruthUntouched) {
+  auto g = GenerateGraph(TinySpec(), {}).value();
+  NoiseOptions opt;
+  opt.property_removal = 0.4;
+  opt.label_availability = 0.0;
+  auto noisy = InjectNoise(g, opt).value();
+  for (size_t i = 0; i < g.num_nodes(); ++i) {
+    EXPECT_EQ(noisy.node(i).truth_type, g.node(i).truth_type);
+  }
+}
+
+TEST(NoiseTest, DeterministicInSeed) {
+  auto g = GenerateGraph(TinySpec(), {}).value();
+  NoiseOptions opt;
+  opt.property_removal = 0.2;
+  opt.seed = 5;
+  auto n1 = InjectNoise(g, opt).value();
+  auto n2 = InjectNoise(g, opt).value();
+  for (size_t i = 0; i < n1.num_nodes(); ++i) {
+    EXPECT_EQ(n1.node(i).properties.size(), n2.node(i).properties.size());
+  }
+}
+
+}  // namespace
+}  // namespace pghive

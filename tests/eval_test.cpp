@@ -1,0 +1,229 @@
+// Tests for the evaluation harness: majority-F1*, Friedman/Nemenyi ranking,
+// the experiment runner, ground truth and report rendering.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/experiment.h"
+#include "eval/f1.h"
+#include "eval/ground_truth.h"
+#include "eval/ranking.h"
+#include "eval/report.h"
+#include "graph/graph_builder.h"
+
+namespace pghive {
+namespace {
+
+// ---------- majority F1 ----------
+
+TEST(MajorityF1Test, PerfectClustering) {
+  std::vector<std::string> truth = {"A", "A", "B", "B"};
+  auto truth_of = [&](size_t i) -> const std::string& { return truth[i]; };
+  std::vector<std::vector<size_t>> clusters = {{0, 1}, {2, 3}};
+  F1Result r = MajorityF1(clusters, truth_of);
+  EXPECT_DOUBLE_EQ(r.f1, 1.0);
+  EXPECT_DOUBLE_EQ(r.accuracy, 1.0);
+  EXPECT_EQ(r.instances, 4u);
+}
+
+TEST(MajorityF1Test, FragmentedButPureStaysPerfect) {
+  // Majority-based F1 does not penalize fragmentation (paper's metric).
+  std::vector<std::string> truth = {"A", "A", "A", "A"};
+  auto truth_of = [&](size_t i) -> const std::string& { return truth[i]; };
+  std::vector<std::vector<size_t>> clusters = {{0}, {1}, {2, 3}};
+  F1Result r = MajorityF1(clusters, truth_of);
+  EXPECT_DOUBLE_EQ(r.f1, 1.0);
+}
+
+TEST(MajorityF1Test, MixedClusterPenalized) {
+  std::vector<std::string> truth = {"A", "A", "A", "B"};
+  auto truth_of = [&](size_t i) -> const std::string& { return truth[i]; };
+  std::vector<std::vector<size_t>> clusters = {{0, 1, 2, 3}};
+  F1Result r = MajorityF1(clusters, truth_of);
+  // Majority = A: 3 correct, 1 wrong. A: P=0.75, R=1; B: P=0, R=0.
+  EXPECT_DOUBLE_EQ(r.accuracy, 0.75);
+  // Weighted F1 = (3 * F1_A + 1 * F1_B) / 4, F1_A = 2*.75/1.75.
+  double f1_a = 2.0 * 0.75 * 1.0 / 1.75;
+  EXPECT_NEAR(r.f1, (3 * f1_a + 0) / 4.0, 1e-12);
+}
+
+TEST(MajorityF1Test, HandComputedTwoClusterCase) {
+  // Cluster 1: {A, A, B} -> majority A. Cluster 2: {B, B} -> majority B.
+  std::vector<std::string> truth = {"A", "A", "B", "B", "B"};
+  auto truth_of = [&](size_t i) -> const std::string& { return truth[i]; };
+  std::vector<std::vector<size_t>> clusters = {{0, 1, 2}, {3, 4}};
+  std::vector<PerTypeF1> per_type;
+  F1Result r = MajorityF1(clusters, truth_of, &per_type);
+  // A: TP=2 FP=1 FN=0 -> P=2/3, R=1, F1=0.8
+  // B: TP=2 FP=0 FN=1 -> P=1, R=2/3, F1=0.8
+  EXPECT_NEAR(r.f1, 0.8, 1e-12);
+  EXPECT_NEAR(r.accuracy, 0.8, 1e-12);
+  ASSERT_EQ(per_type.size(), 2u);
+  EXPECT_EQ(per_type[0].type, "B");  // larger support first
+  EXPECT_EQ(per_type[0].support, 3u);
+}
+
+TEST(MajorityF1Test, EmptyTruthIgnored) {
+  std::vector<std::string> truth = {"A", "", "A"};
+  auto truth_of = [&](size_t i) -> const std::string& { return truth[i]; };
+  F1Result r = MajorityF1({{0, 1, 2}}, truth_of);
+  EXPECT_EQ(r.instances, 2u);
+  EXPECT_DOUBLE_EQ(r.f1, 1.0);
+}
+
+TEST(MajorityF1Test, NoClusters) {
+  auto truth_of = [](size_t) -> const std::string& {
+    static const std::string kEmpty;
+    return kEmpty;
+  };
+  F1Result r = MajorityF1({}, truth_of);
+  EXPECT_DOUBLE_EQ(r.f1, 0.0);
+  EXPECT_EQ(r.instances, 0u);
+}
+
+TEST(MajorityF1Test, SchemaOverloadsUseInstanceLists) {
+  PropertyGraph g = MakeFigure1Graph();
+  SchemaGraph schema;
+  SchemaNodeType t;
+  t.name = "all";
+  for (const auto& n : g.nodes()) t.instances.push_back(n.id);
+  schema.node_types.push_back(t);
+  F1Result r = MajorityF1Nodes(g, schema);
+  EXPECT_LT(r.f1, 1.0);  // one mega-cluster mixes the four types
+  EXPECT_EQ(r.instances, g.num_nodes());
+}
+
+// ---------- ranking ----------
+
+TEST(RankingTest, RejectsBadInput) {
+  EXPECT_FALSE(NemenyiAnalysis({"only"}, {{1.0}}).ok());
+  EXPECT_FALSE(NemenyiAnalysis({"a", "b"}, {}).ok());
+  EXPECT_FALSE(NemenyiAnalysis({"a", "b"}, {{1.0}}).ok());  // ragged
+}
+
+TEST(RankingTest, DominantMethodGetsRankOne) {
+  std::vector<std::vector<double>> scores = {
+      {0.9, 0.5, 0.3}, {0.8, 0.6, 0.4}, {0.95, 0.7, 0.1}};
+  auto r = NemenyiAnalysis({"best", "mid", "worst"}, scores);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->average_ranks[0], 1.0);
+  EXPECT_DOUBLE_EQ(r->average_ranks[1], 2.0);
+  EXPECT_DOUBLE_EQ(r->average_ranks[2], 3.0);
+  EXPECT_GT(r->friedman_chi2, 0.0);
+  EXPECT_EQ(r->num_cases, 3u);
+}
+
+TEST(RankingTest, CriticalDifferenceFormula) {
+  // CD = q_alpha(k) * sqrt(k(k+1) / (6N)); for k=4, N=40:
+  // q = 2.569, CD = 2.569 * sqrt(20/240) = 2.569 * 0.2887 ≈ 0.7417.
+  std::vector<std::vector<double>> scores(40, {4, 3, 2, 1});
+  auto r = NemenyiAnalysis({"a", "b", "c", "d"}, scores);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->critical_difference, 2.569 * std::sqrt(20.0 / 240.0), 1e-9);
+  EXPECT_TRUE(r->SignificantlyDifferent(0, 3));
+  EXPECT_TRUE(r->SignificantlyDifferent(0, 1));
+}
+
+TEST(RankingTest, IndistinguishableMethodsNotSignificant) {
+  // Two methods that alternate winning by a hair.
+  std::vector<std::vector<double>> scores;
+  for (int i = 0; i < 20; ++i) {
+    scores.push_back(i % 2 ? std::vector<double>{0.9, 0.91}
+                           : std::vector<double>{0.91, 0.9});
+  }
+  auto r = NemenyiAnalysis({"a", "b"}, scores);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->SignificantlyDifferent(0, 1));
+}
+
+TEST(RankingTest, QAlphaTable) {
+  EXPECT_DOUBLE_EQ(NemenyiQAlpha05(2), 1.960);
+  EXPECT_DOUBLE_EQ(NemenyiQAlpha05(4), 2.569);
+  EXPECT_DOUBLE_EQ(NemenyiQAlpha05(10), 3.164);
+  EXPECT_GT(NemenyiQAlpha05(12), 3.164);
+}
+
+// ---------- ground truth ----------
+
+TEST(GroundTruthTest, TypeEnumeration) {
+  PropertyGraph g = MakeFigure1Graph();
+  EXPECT_EQ(TrueNodeTypes(g).size(), 4u);
+  EXPECT_EQ(TrueEdgeTypes(g).size(), 4u);
+  EXPECT_TRUE(HasCompleteGroundTruth(g));
+  g.AddNode({"X"}, {});  // no truth annotation
+  EXPECT_FALSE(HasCompleteGroundTruth(g));
+}
+
+// ---------- experiment runner ----------
+
+TEST(ExperimentTest, MethodSupportMatrix) {
+  EXPECT_TRUE(MethodSupportsLabelAvailability(Method::kPgHiveElsh, 0.0));
+  EXPECT_TRUE(MethodSupportsLabelAvailability(Method::kPgHiveMinHash, 0.5));
+  EXPECT_FALSE(MethodSupportsLabelAvailability(Method::kGmmSchema, 0.5));
+  EXPECT_FALSE(MethodSupportsLabelAvailability(Method::kSchemI, 0.0));
+  EXPECT_TRUE(MethodSupportsLabelAvailability(Method::kSchemI, 1.0));
+}
+
+TEST(ExperimentTest, MethodNames) {
+  EXPECT_STREQ(MethodName(Method::kPgHiveElsh), "PG-HIVE-ELSH");
+  EXPECT_STREQ(MethodName(Method::kGmmSchema), "GMMSchema");
+  EXPECT_EQ(AllMethods().size(), 4u);
+}
+
+TEST(ExperimentTest, RunsAllMethodsOnCleanPole) {
+  ExperimentConfig config;
+  config.size_scale = 0.2;
+  auto g = GenerateForExperiment(MakePoleSpec(), config).value();
+  for (Method m : AllMethods()) {
+    ExperimentResult r = RunMethod(g, m, config);
+    EXPECT_TRUE(r.ran) << MethodName(m) << ": " << r.failure;
+    EXPECT_GT(r.node_f1.f1, 0.8) << MethodName(m);
+    EXPECT_GT(r.seconds, 0.0);
+    if (m == Method::kGmmSchema) {
+      EXPECT_FALSE(r.has_edge_types);
+    } else {
+      EXPECT_TRUE(r.has_edge_types);
+    }
+  }
+}
+
+TEST(ExperimentTest, BaselinesRefuseUnlabeledInput) {
+  ExperimentConfig config;
+  config.size_scale = 0.1;
+  auto g = GenerateForExperiment(MakePoleSpec(), config).value();
+  NoiseOptions nopt;
+  nopt.label_availability = 0.0;
+  auto unlabeled = InjectNoise(g, nopt).value();
+  ExperimentResult r = RunMethod(unlabeled, Method::kSchemI, config);
+  EXPECT_FALSE(r.ran);
+  EXPECT_FALSE(r.failure.empty());
+}
+
+// ---------- report ----------
+
+TEST(ReportTest, TextTableAligned) {
+  TextTable t({"name", "value"});
+  t.AddRow({"short", "1"});
+  t.AddRow({"a-much-longer-name", "23456"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("a-much-longer-name"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(ReportTest, AsciiBar) {
+  EXPECT_EQ(AsciiBar(1.0, 4), "####");
+  EXPECT_EQ(AsciiBar(0.0, 4), "....");
+  EXPECT_EQ(AsciiBar(0.5, 4), "##..");
+  EXPECT_EQ(AsciiBar(2.0, 4), "####");  // clamped
+}
+
+TEST(ReportTest, Banner) {
+  std::string b = Banner("Title");
+  EXPECT_NE(b.find("== Title =="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pghive

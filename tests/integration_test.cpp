@@ -1,0 +1,189 @@
+// Integration tests: full pipelines across modules — generation, noise,
+// discovery, serialization, storage round-trips and baseline comparison.
+
+#include <gtest/gtest.h>
+
+#include "core/incremental.h"
+#include "core/pipeline.h"
+#include "core/serialization.h"
+#include "datagen/datasets.h"
+#include "datagen/generator.h"
+#include "datagen/noise.h"
+#include "eval/experiment.h"
+#include "eval/f1.h"
+#include "graph/csv_io.h"
+
+namespace pghive {
+namespace {
+
+TEST(IntegrationTest, GenerateDiscoverSerializeRoundTrip) {
+  auto spec = MakeHetioSpec();
+  GenerateOptions gen;
+  gen.num_nodes = 800;
+  gen.num_edges = 4000;
+  auto g = GenerateGraph(spec, gen).value();
+
+  PgHivePipeline pipeline;
+  auto schema = pipeline.DiscoverSchema(g);
+  ASSERT_TRUE(schema.ok());
+  EXPECT_GT(MajorityF1Nodes(g, *schema).f1, 0.95);
+
+  std::string strict = ToPgSchema(*schema, "Hetio", PgSchemaMode::kStrict);
+  std::string xsd = ToXsd(*schema);
+  // Every discovered label appears in the STRICT serialization.
+  for (const auto& t : schema->node_types) {
+    for (const auto& label : t.labels) {
+      EXPECT_NE(strict.find(label), std::string::npos) << label;
+    }
+  }
+  EXPECT_NE(xsd.find("xs:complexType"), std::string::npos);
+}
+
+TEST(IntegrationTest, CsvStorageRoundTripPreservesDiscovery) {
+  auto spec = MakePoleSpec();
+  GenerateOptions gen;
+  gen.num_nodes = 600;
+  gen.num_edges = 1000;
+  auto g = GenerateGraph(spec, gen).value();
+  auto reloaded = GraphFromCsv(NodesToCsv(g), EdgesToCsv(g)).value();
+
+  PgHivePipeline pipeline;
+  auto s1 = pipeline.DiscoverSchema(g);
+  auto s2 = pipeline.DiscoverSchema(reloaded);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(s1->node_types.size(), s2->node_types.size());
+  EXPECT_EQ(s1->edge_types.size(), s2->edge_types.size());
+}
+
+TEST(IntegrationTest, IncrementalEndsCoveringStaticSchema) {
+  auto spec = MakeCord19Spec();
+  GenerateOptions gen;
+  gen.num_nodes = 1600;
+  gen.num_edges = 1600;
+  auto g = GenerateGraph(spec, gen).value();
+
+  PgHivePipeline static_pipeline;
+  auto static_schema = static_pipeline.DiscoverSchema(g);
+  ASSERT_TRUE(static_schema.ok());
+
+  IncrementalDiscoverer discoverer;
+  for (const auto& batch : SplitIntoBatches(g, 8)) {
+    ASSERT_TRUE(discoverer.Feed(batch).ok());
+  }
+  const SchemaGraph& incr = discoverer.Finish(g);
+  // The incremental schema covers everything the static one discovered
+  // (both are complete w.r.t. the data, §4.7).
+  EXPECT_TRUE(SchemaCovers(incr, *static_schema));
+  EXPECT_TRUE(SchemaCovers(*static_schema, incr));
+  EXPECT_GT(MajorityF1Nodes(g, incr).f1, 0.95);
+}
+
+TEST(IntegrationTest, PgHiveBeatsBaselinesUnderNoise) {
+  // The paper's headline comparison, in miniature: at 40% noise on a
+  // heterogeneous dataset, PG-HIVE nodes stay accurate while GMMSchema
+  // degrades; baselines cannot run at 50% label availability at all.
+  ExperimentConfig config;
+  config.size_scale = 0.25;
+  auto clean = GenerateForExperiment(MakeIcijSpec(), config).value();
+  NoiseOptions nopt;
+  nopt.property_removal = 0.4;
+  auto noisy = InjectNoise(clean, nopt).value();
+
+  auto hive = RunMethod(noisy, Method::kPgHiveElsh, config);
+  auto gmm = RunMethod(noisy, Method::kGmmSchema, config);
+  ASSERT_TRUE(hive.ran);
+  ASSERT_TRUE(gmm.ran);
+  EXPECT_GT(hive.node_f1.f1, gmm.node_f1.f1);
+  EXPECT_GT(hive.node_f1.f1, 0.9);
+
+  NoiseOptions half;
+  half.label_availability = 0.5;
+  auto semi = InjectNoise(clean, half).value();
+  EXPECT_FALSE(RunMethod(semi, Method::kGmmSchema, config).ran);
+  EXPECT_FALSE(RunMethod(semi, Method::kSchemI, config).ran);
+  auto hive_semi = RunMethod(semi, Method::kPgHiveElsh, config);
+  ASSERT_TRUE(hive_semi.ran);
+  EXPECT_GT(hive_semi.node_f1.f1, 0.85);
+}
+
+TEST(IntegrationTest, MultiLabelDatasetAdvantage) {
+  // On MB6 (types = co-occurring label sets) PG-HIVE resolves the label
+  // sets while SchemI's per-label flattening mixes them.
+  ExperimentConfig config;
+  config.size_scale = 0.25;
+  auto g = GenerateForExperiment(MakeMb6Spec(), config).value();
+  auto hive = RunMethod(g, Method::kPgHiveMinHash, config);
+  auto schemi = RunMethod(g, Method::kSchemI, config);
+  ASSERT_TRUE(hive.ran);
+  ASSERT_TRUE(schemi.ran);
+  EXPECT_GT(hive.node_f1.f1, schemi.node_f1.f1 + 0.2);
+}
+
+TEST(IntegrationTest, RuntimeInsensitiveToNoise) {
+  // Figure 5's PG-HIVE property: noise does not change the runtime shape
+  // (within generous tolerance at tiny scales).
+  ExperimentConfig config;
+  config.size_scale = 0.5;
+  auto clean = GenerateForExperiment(MakeLdbcSpec(), config).value();
+  auto r0 = RunMethod(clean, Method::kPgHiveMinHash, config);
+  NoiseOptions nopt;
+  nopt.property_removal = 0.4;
+  auto noisy = InjectNoise(clean, nopt).value();
+  auto r40 = RunMethod(noisy, Method::kPgHiveMinHash, config);
+  ASSERT_TRUE(r0.ran);
+  ASSERT_TRUE(r40.ran);
+  EXPECT_LT(r40.seconds, r0.seconds * 5 + 0.5);
+}
+
+TEST(IntegrationTest, AbstractTypesEmergeWithoutLabels) {
+  ExperimentConfig config;
+  config.size_scale = 0.2;
+  auto clean = GenerateForExperiment(MakeFib25Spec(), config).value();
+  NoiseOptions nopt;
+  nopt.label_availability = 0.0;
+  auto unlabeled = InjectNoise(clean, nopt).value();
+  PgHivePipeline pipeline;
+  auto schema = pipeline.DiscoverSchema(unlabeled);
+  ASSERT_TRUE(schema.ok());
+  for (const auto& t : schema->node_types) {
+    EXPECT_TRUE(t.is_abstract);
+    EXPECT_TRUE(t.labels.empty());
+  }
+  EXPECT_GT(MajorityF1Nodes(unlabeled, *schema).f1, 0.8);
+}
+
+TEST(IntegrationTest, SampledDatatypesMostlyAgreeWithFullScan) {
+  // Figure 8's claim in miniature: sampling-based inference disagrees with
+  // the full scan on only a small fraction of properties.
+  ExperimentConfig config;
+  config.size_scale = 0.5;
+  auto g = GenerateForExperiment(MakeIcijSpec(), config).value();
+  PipelineOptions full_opt;
+  PgHivePipeline full_pipeline(full_opt);
+  auto full = full_pipeline.DiscoverSchema(g);
+  ASSERT_TRUE(full.ok());
+
+  PipelineOptions sample_opt;
+  sample_opt.datatypes.sample = true;
+  sample_opt.datatypes.min_sample = 50;
+  PgHivePipeline sample_pipeline(sample_opt);
+  auto sampled = sample_pipeline.DiscoverSchema(g);
+  ASSERT_TRUE(sampled.ok());
+
+  size_t total = 0, disagree = 0;
+  ASSERT_EQ(full->node_types.size(), sampled->node_types.size());
+  for (size_t t = 0; t < full->node_types.size(); ++t) {
+    for (const auto& [key, c] : full->node_types[t].constraints) {
+      ++total;
+      auto it = sampled->node_types[t].constraints.find(key);
+      ASSERT_NE(it, sampled->node_types[t].constraints.end());
+      disagree += it->second.type != c.type;
+    }
+  }
+  ASSERT_GT(total, 0u);
+  EXPECT_LT(static_cast<double>(disagree) / total, 0.25);
+}
+
+}  // namespace
+}  // namespace pghive

@@ -1,0 +1,308 @@
+// Unit tests for the LSH substrate: ELSH, MinHash, the collision-probability
+// model and the adaptive parameter heuristics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/random.h"
+#include "lsh/adaptive_params.h"
+#include "lsh/collision_model.h"
+#include "lsh/euclidean_lsh.h"
+#include "lsh/minhash_lsh.h"
+
+namespace pghive {
+namespace {
+
+// ---------- ELSH ----------
+
+TEST(EuclideanLshTest, RejectsBadParameters) {
+  EuclideanLshOptions opt;
+  EXPECT_FALSE(EuclideanLsh::Create(0, opt).ok());
+  opt.bucket_length = -1;
+  EXPECT_FALSE(EuclideanLsh::Create(4, opt).ok());
+  opt.bucket_length = 1;
+  opt.num_tables = 0;
+  EXPECT_FALSE(EuclideanLsh::Create(4, opt).ok());
+  opt.num_tables = 3;
+  opt.hashes_per_table = 0;
+  EXPECT_FALSE(EuclideanLsh::Create(4, opt).ok());
+}
+
+TEST(EuclideanLshTest, HashShapeAndDeterminism) {
+  EuclideanLshOptions opt;
+  opt.num_tables = 7;
+  auto lsh = EuclideanLsh::Create(4, opt);
+  ASSERT_TRUE(lsh.ok());
+  std::vector<float> x = {0.1f, 0.2f, 0.3f, 0.4f};
+  auto k1 = lsh->Hash(x);
+  auto k2 = lsh->Hash(x);
+  EXPECT_EQ(k1.size(), 7u);
+  EXPECT_EQ(k1, k2);
+}
+
+TEST(EuclideanLshTest, IdenticalVectorsAlwaysCollideEverywhere) {
+  auto lsh = EuclideanLsh::Create(8, {});
+  ASSERT_TRUE(lsh.ok());
+  std::vector<float> x(8, 0.25f);
+  EXPECT_EQ(lsh->Hash(x), lsh->Hash(std::vector<float>(8, 0.25f)));
+}
+
+TEST(EuclideanLshTest, CollisionRateDecreasesWithDistance) {
+  // Empirical check of the locality property: near pairs collide in more
+  // tables than far pairs.
+  EuclideanLshOptions opt;
+  opt.bucket_length = 1.0;
+  opt.num_tables = 64;
+  opt.hashes_per_table = 1;
+  opt.seed = 3;
+  auto lsh = EuclideanLsh::Create(16, opt);
+  ASSERT_TRUE(lsh.ok());
+
+  Rng rng(77);
+  auto collide_count = [&](double distance) {
+    int total = 0;
+    for (int trial = 0; trial < 40; ++trial) {
+      std::vector<float> a(16), b(16);
+      // b = a + distance * unit direction
+      std::vector<double> dir(16);
+      double n = 0;
+      for (auto& d : dir) {
+        d = rng.Normal();
+        n += d * d;
+      }
+      n = std::sqrt(n);
+      for (int i = 0; i < 16; ++i) {
+        a[i] = static_cast<float>(rng.Normal());
+        b[i] = a[i] + static_cast<float>(distance * dir[i] / n);
+      }
+      auto ka = lsh->Hash(a);
+      auto kb = lsh->Hash(b);
+      for (size_t t = 0; t < ka.size(); ++t) total += ka[t] == kb[t];
+    }
+    return total;
+  };
+  int near = collide_count(0.2);
+  int mid = collide_count(1.0);
+  int far = collide_count(5.0);
+  EXPECT_GT(near, mid);
+  EXPECT_GT(mid, far);
+}
+
+TEST(EuclideanLshTest, DifferentTablesDifferentKeys) {
+  // Keys encode the table index, so even a zero vector gets distinct keys
+  // per table.
+  auto lsh = EuclideanLsh::Create(4, {});
+  ASSERT_TRUE(lsh.ok());
+  auto keys = lsh->Hash(std::vector<float>(4, 0.0f));
+  std::set<uint64_t> unique(keys.begin(), keys.end());
+  EXPECT_EQ(unique.size(), keys.size());
+}
+
+// ---------- MinHash ----------
+
+TEST(MinHashTest, RejectsBadParameters) {
+  MinHashLshOptions opt;
+  opt.num_hashes = 0;
+  EXPECT_FALSE(MinHashLsh::Create(opt).ok());
+  opt.num_hashes = 10;
+  opt.rows_per_band = 3;  // not divisible
+  EXPECT_FALSE(MinHashLsh::Create(opt).ok());
+}
+
+TEST(MinHashTest, SignatureDeterministicAndOrderInvariant) {
+  auto lsh = MinHashLsh::Create({});
+  ASSERT_TRUE(lsh.ok());
+  auto s1 = lsh->Signature({"a", "b", "c"});
+  auto s2 = lsh->Signature({"c", "a", "b"});
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(MinHashTest, IdenticalSetsIdenticalSignatures) {
+  auto lsh = MinHashLsh::Create({});
+  ASSERT_TRUE(lsh.ok());
+  EXPECT_EQ(lsh->Signature({"x", "y"}), lsh->Signature({"x", "y"}));
+  EXPECT_EQ(lsh->SignatureKey(lsh->Signature({"x", "y"})),
+            lsh->SignatureKey(lsh->Signature({"y", "x"})));
+}
+
+TEST(MinHashTest, EmptySetSentinel) {
+  auto lsh = MinHashLsh::Create({});
+  ASSERT_TRUE(lsh.ok());
+  auto empty1 = lsh->Signature({});
+  auto empty2 = lsh->Signature({});
+  auto nonempty = lsh->Signature({"a"});
+  EXPECT_EQ(empty1, empty2);
+  EXPECT_NE(empty1, nonempty);
+}
+
+TEST(MinHashTest, AgreementEstimatesJaccard) {
+  MinHashLshOptions opt;
+  opt.num_hashes = 512;  // long signature -> tight estimate
+  auto lsh = MinHashLsh::Create(opt);
+  ASSERT_TRUE(lsh.ok());
+  // |A ∩ B| = 2, |A ∪ B| = 4 -> J = 0.5
+  auto sa = lsh->Signature({"a", "b", "c"});
+  auto sb = lsh->Signature({"b", "c", "d"});
+  EXPECT_NEAR(MinHashLsh::SignatureAgreement(sa, sb), 0.5, 0.1);
+  // Disjoint sets -> ~0.
+  auto sc = lsh->Signature({"x", "y", "z"});
+  EXPECT_LT(MinHashLsh::SignatureAgreement(sa, sc), 0.05);
+}
+
+TEST(MinHashTest, BandKeysShape) {
+  MinHashLshOptions opt;
+  opt.num_hashes = 12;
+  opt.rows_per_band = 4;
+  auto lsh = MinHashLsh::Create(opt);
+  ASSERT_TRUE(lsh.ok());
+  EXPECT_EQ(lsh->num_bands(), 3);
+  auto keys = lsh->BandKeys(lsh->Signature({"a"}));
+  EXPECT_EQ(keys.size(), 3u);
+}
+
+TEST(MinHashTest, AgreementDegenerateInputs) {
+  EXPECT_EQ(MinHashLsh::SignatureAgreement({}, {}), 0.0);
+  EXPECT_EQ(MinHashLsh::SignatureAgreement({1}, {1, 2}), 0.0);
+}
+
+// ---------- collision model ----------
+
+TEST(CollisionModelTest, NormalCdfKnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-9);
+  EXPECT_NEAR(NormalCdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(NormalCdf(-1.96), 0.025, 1e-3);
+}
+
+TEST(CollisionModelTest, ElshProbabilityBoundsAndMonotonicity) {
+  EXPECT_DOUBLE_EQ(ElshCollisionProbability(0.0, 1.0), 1.0);
+  double prev = 1.0;
+  for (double d = 0.1; d < 10.0; d += 0.1) {
+    double p = ElshCollisionProbability(d, 1.0);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, prev + 1e-12);  // decreasing in distance
+    prev = p;
+  }
+}
+
+TEST(CollisionModelTest, ElshProbabilityIncreasesWithBucket) {
+  double narrow = ElshCollisionProbability(1.0, 0.5);
+  double wide = ElshCollisionProbability(1.0, 4.0);
+  EXPECT_LT(narrow, wide);
+}
+
+TEST(CollisionModelTest, AmplificationMonotoneInTables) {
+  double p = 0.3;
+  double p1 = AmplifiedProbability(p, 2, 1);
+  double p10 = AmplifiedProbability(p, 2, 10);
+  double p50 = AmplifiedProbability(p, 2, 50);
+  EXPECT_LT(p1, p10);
+  EXPECT_LT(p10, p50);
+  EXPECT_LE(p50, 1.0);
+}
+
+TEST(CollisionModelTest, AmplificationMonotoneDecreasingInHashes) {
+  double p = 0.5;
+  EXPECT_GT(AmplifiedProbability(p, 1, 5), AmplifiedProbability(p, 4, 5));
+}
+
+TEST(CollisionModelTest, MinHashBandProbability) {
+  EXPECT_DOUBLE_EQ(MinHashBandProbability(0.0, 2, 10), 0.0);
+  EXPECT_DOUBLE_EQ(MinHashBandProbability(1.0, 2, 10), 1.0);
+  // S-curve: steeper with more rows per band.
+  EXPECT_GT(MinHashBandProbability(0.8, 2, 10),
+            MinHashBandProbability(0.8, 8, 10) - 1e-12);
+}
+
+// ---------- adaptive parameters ----------
+
+TEST(AdaptiveParamsTest, AlphaBrackets) {
+  EXPECT_DOUBLE_EQ(AlphaForLabelCount(0), 0.8);
+  EXPECT_DOUBLE_EQ(AlphaForLabelCount(3), 0.8);
+  EXPECT_DOUBLE_EQ(AlphaForLabelCount(4), 1.0);
+  EXPECT_DOUBLE_EQ(AlphaForLabelCount(10), 1.0);
+  EXPECT_DOUBLE_EQ(AlphaForLabelCount(11), 1.5);
+}
+
+TEST(AdaptiveParamsTest, SampleMeanDistanceOfKnownPoints) {
+  // Two clusters at distance ~10: the mean pairwise distance is positive
+  // and bounded by the diameter.
+  std::vector<std::vector<float>> vectors;
+  for (int i = 0; i < 50; ++i) vectors.push_back({0.0f, 0.0f});
+  for (int i = 0; i < 50; ++i) vectors.push_back({10.0f, 0.0f});
+  double mu = SampleMeanDistance(vectors, 42);
+  EXPECT_GT(mu, 2.0);
+  EXPECT_LT(mu, 10.5);
+}
+
+TEST(AdaptiveParamsTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(SampleMeanDistance({}, 1), 0.0);
+  EXPECT_DOUBLE_EQ(SampleMeanDistance({{1.0f}}, 1), 0.0);
+}
+
+TEST(AdaptiveParamsTest, BucketScalesWithMu) {
+  DataProfile p;
+  p.num_elements = 10000;
+  p.num_distinct_labels = 5;
+  p.mean_pairwise_distance = 2.0;
+  auto small = ComputeAdaptiveParams(p, ElementKind::kNode);
+  p.mean_pairwise_distance = 4.0;
+  auto large = ComputeAdaptiveParams(p, ElementKind::kNode);
+  EXPECT_LT(small.bucket_length, large.bucket_length);
+  EXPECT_NEAR(large.bucket_length / small.bucket_length, 2.0, 1e-9);
+}
+
+TEST(AdaptiveParamsTest, TablesClampedToPracticalRange) {
+  DataProfile p;
+  p.num_elements = 100;
+  p.num_distinct_labels = 2;
+  p.mean_pairwise_distance = 0.01;
+  auto params = ComputeAdaptiveParams(p, ElementKind::kNode);
+  EXPECT_GE(params.num_tables, 5);
+  EXPECT_LE(params.num_tables, 35);
+
+  p.num_elements = 100000000;
+  p.mean_pairwise_distance = 100.0;
+  params = ComputeAdaptiveParams(p, ElementKind::kEdge);
+  EXPECT_GE(params.num_tables, 5);
+  EXPECT_LE(params.num_tables, 35);
+}
+
+TEST(AdaptiveParamsTest, ZeroMuFallsBackToUnit) {
+  DataProfile p;
+  p.num_elements = 10;
+  p.mean_pairwise_distance = 0.0;  // all-identical vectors
+  auto params = ComputeAdaptiveParams(p, ElementKind::kNode);
+  EXPECT_GT(params.bucket_length, 0.0);
+}
+
+TEST(AdaptiveParamsTest, AlphaCapsApply) {
+  DataProfile p;
+  p.num_elements = 10000;
+  p.num_distinct_labels = 50;  // would give alpha = 1.5
+  p.mean_pairwise_distance = 1.0;
+  AdaptiveTuning tuning;
+  tuning.node_alpha_cap = 1.0;
+  tuning.edge_alpha_cap = 0.9;
+  auto node = ComputeAdaptiveParams(p, ElementKind::kNode, tuning);
+  auto edge = ComputeAdaptiveParams(p, ElementKind::kEdge, tuning);
+  EXPECT_DOUBLE_EQ(node.alpha, 1.0);
+  EXPECT_DOUBLE_EQ(edge.alpha, 0.9);
+}
+
+TEST(AdaptiveParamsTest, OptionConversion) {
+  AdaptiveLshParams params;
+  params.bucket_length = 2.5;
+  params.num_tables = 17;
+  auto elsh = ToElshOptions(params, 99);
+  EXPECT_DOUBLE_EQ(elsh.bucket_length, 2.5);
+  EXPECT_EQ(elsh.num_tables, 17);
+  EXPECT_EQ(elsh.seed, 99u);
+  auto mh = ToMinHashOptions(params, 99);
+  EXPECT_EQ(mh.num_hashes % mh.rows_per_band, 0);
+  EXPECT_EQ(mh.num_hashes, 17 * mh.rows_per_band);
+}
+
+}  // namespace
+}  // namespace pghive

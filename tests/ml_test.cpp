@@ -1,0 +1,185 @@
+// Unit tests for the ML substrate: statistics, k-means, GMM.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "ml/gmm.h"
+#include "ml/kmeans.h"
+#include "ml/stats.h"
+
+namespace pghive {
+namespace {
+
+// ---------- stats ----------
+
+TEST(StatsTest, MeanVarianceStdDev) {
+  std::vector<double> xs = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(Mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(Variance(xs), 1.25);
+  EXPECT_NEAR(StdDev(xs), std::sqrt(1.25), 1e-12);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({}), 0.0);
+}
+
+TEST(StatsTest, Median) {
+  EXPECT_DOUBLE_EQ(Median({5, 1, 3}), 3.0);
+  EXPECT_DOUBLE_EQ(Median({4, 1, 3, 2}), 2.5);
+  EXPECT_DOUBLE_EQ(Median({7}), 7.0);
+  EXPECT_DOUBLE_EQ(Median({}), 0.0);
+}
+
+TEST(StatsTest, LogSumExpStable) {
+  // log(e^1000 + e^1000) = 1000 + log 2; naive evaluation overflows.
+  EXPECT_NEAR(LogSumExp({1000.0, 1000.0}), 1000.0 + std::log(2.0), 1e-9);
+  EXPECT_NEAR(LogSumExp({0.0}), 0.0, 1e-12);
+  EXPECT_TRUE(std::isinf(LogSumExp({})));
+}
+
+TEST(StatsTest, AverageRanksSimple) {
+  // Method 0 always best, method 2 always worst.
+  std::vector<std::vector<double>> rows = {{0.9, 0.5, 0.1}, {0.8, 0.6, 0.2}};
+  auto ranks = AverageRanks(rows);
+  ASSERT_EQ(ranks.size(), 3u);
+  EXPECT_DOUBLE_EQ(ranks[0], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 2.0);
+  EXPECT_DOUBLE_EQ(ranks[2], 3.0);
+}
+
+TEST(StatsTest, AverageRanksTiesShareMean) {
+  std::vector<std::vector<double>> rows = {{0.5, 0.5, 0.1}};
+  auto ranks = AverageRanks(rows);
+  EXPECT_DOUBLE_EQ(ranks[0], 1.5);
+  EXPECT_DOUBLE_EQ(ranks[1], 1.5);
+  EXPECT_DOUBLE_EQ(ranks[2], 3.0);
+}
+
+// ---------- k-means ----------
+
+std::vector<std::vector<double>> TwoBlobs(size_t per_blob, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> pts;
+  for (size_t i = 0; i < per_blob; ++i) {
+    pts.push_back({rng.Normal(0.0, 0.3), rng.Normal(0.0, 0.3)});
+  }
+  for (size_t i = 0; i < per_blob; ++i) {
+    pts.push_back({rng.Normal(10.0, 0.3), rng.Normal(10.0, 0.3)});
+  }
+  return pts;
+}
+
+TEST(KMeansTest, RejectsBadInput) {
+  EXPECT_FALSE(KMeans({}, 2).ok());
+  EXPECT_FALSE(KMeans({{1.0}}, 0).ok());
+  EXPECT_FALSE(KMeans({{1.0}, {1.0, 2.0}}, 1).ok());  // ragged
+}
+
+TEST(KMeansTest, SeparatesTwoBlobs) {
+  auto pts = TwoBlobs(50, 1);
+  auto result = KMeans(pts, 2);
+  ASSERT_TRUE(result.ok());
+  // All points of each blob share an assignment.
+  for (size_t i = 1; i < 50; ++i) {
+    EXPECT_EQ(result->assignments[i], result->assignments[0]);
+  }
+  for (size_t i = 51; i < 100; ++i) {
+    EXPECT_EQ(result->assignments[i], result->assignments[50]);
+  }
+  EXPECT_NE(result->assignments[0], result->assignments[50]);
+  EXPECT_LT(result->inertia, 100.0);
+}
+
+TEST(KMeansTest, KLargerThanNReduces) {
+  std::vector<std::vector<double>> pts = {{0.0}, {1.0}};
+  auto result = KMeans(pts, 10);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->centroids.size(), 2u);
+}
+
+TEST(KMeansTest, Deterministic) {
+  auto pts = TwoBlobs(30, 2);
+  auto r1 = KMeans(pts, 2);
+  auto r2 = KMeans(pts, 2);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1->assignments, r2->assignments);
+}
+
+// ---------- GMM ----------
+
+TEST(GmmTest, RejectsBadInput) {
+  EXPECT_FALSE(FitGmm({}, 2).ok());
+  EXPECT_FALSE(FitGmm({{1.0}}, 0).ok());
+}
+
+TEST(GmmTest, FitsTwoBlobs) {
+  auto pts = TwoBlobs(60, 3);
+  auto model = FitGmm(pts, 2);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->num_components(), 2);
+  // Weights roughly balanced and summing to 1.
+  EXPECT_NEAR(model->weights[0] + model->weights[1], 1.0, 1e-6);
+  EXPECT_NEAR(model->weights[0], 0.5, 0.1);
+  // Prediction separates the blobs.
+  int c0 = model->Predict({0.0, 0.0});
+  int c1 = model->Predict({10.0, 10.0});
+  EXPECT_NE(c0, c1);
+}
+
+TEST(GmmTest, ResponsibilitiesSumToOne) {
+  auto pts = TwoBlobs(40, 4);
+  auto model = FitGmm(pts, 3);
+  ASSERT_TRUE(model.ok());
+  auto resp = model->Responsibilities({5.0, 5.0});
+  double sum = 0;
+  for (double r : resp) sum += r;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(GmmTest, LogLikelihoodImprovesOverSingleComponent) {
+  auto pts = TwoBlobs(60, 5);
+  auto one = FitGmm(pts, 1);
+  auto two = FitGmm(pts, 2);
+  ASSERT_TRUE(one.ok());
+  ASSERT_TRUE(two.ok());
+  EXPECT_GT(two->log_likelihood, one->log_likelihood);
+}
+
+TEST(GmmTest, BicSelectsTrueComponentCount) {
+  auto pts = TwoBlobs(80, 6);
+  auto best = FitGmmBic(pts, 1, 4);
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(best->num_components(), 2);
+}
+
+TEST(GmmTest, BicPenalizesOverfitOnSingleBlob) {
+  Rng rng(7);
+  std::vector<std::vector<double>> pts;
+  for (int i = 0; i < 150; ++i) {
+    pts.push_back({rng.Normal(0.0, 1.0), rng.Normal(0.0, 1.0)});
+  }
+  auto best = FitGmmBic(pts, 1, 4);
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(best->num_components(), 1);
+}
+
+TEST(GmmTest, VarianceFloorPreventsDegeneracy) {
+  // All points identical: variances must stay at the floor, not collapse.
+  std::vector<std::vector<double>> pts(20, std::vector<double>{1.0, 2.0});
+  GmmOptions opt;
+  auto model = FitGmm(pts, 2, opt);
+  ASSERT_TRUE(model.ok());
+  for (const auto& var : model->variances) {
+    for (double v : var) EXPECT_GE(v, opt.min_variance - 1e-12);
+  }
+}
+
+TEST(GmmTest, InvalidBicRange) {
+  auto pts = TwoBlobs(10, 8);
+  EXPECT_FALSE(FitGmmBic(pts, 0, 3).ok());
+  EXPECT_FALSE(FitGmmBic(pts, 3, 2).ok());
+}
+
+}  // namespace
+}  // namespace pghive

@@ -1,0 +1,185 @@
+// Tests for the PG-Schema parser and the ToPgSchema round-trip.
+
+#include <gtest/gtest.h>
+
+#include "core/pgschema_parser.h"
+#include "core/pipeline.h"
+#include "core/serialization.h"
+#include "datagen/datasets.h"
+#include "datagen/generator.h"
+#include "graph/graph_builder.h"
+
+namespace pghive {
+namespace {
+
+TEST(PgSchemaParserTest, MinimalStrictDocument) {
+  auto parsed = ParsePgSchema(
+      "CREATE GRAPH TYPE Social STRICT {\n"
+      "  (PersonType: Person {name STRING, email OPTIONAL STRING}),\n"
+      "  (: Person)-[KnowsType: KNOWS {since OPTIONAL DATE}]->(: Person)"
+      " /* cardinality M:N */\n"
+      "}\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->graph_name, "Social");
+  EXPECT_EQ(parsed->mode, PgSchemaMode::kStrict);
+  ASSERT_EQ(parsed->schema.node_types.size(), 1u);
+  const auto& person = parsed->schema.node_types[0];
+  EXPECT_EQ(person.name, "Person");
+  EXPECT_EQ(person.labels, (std::set<std::string>{"Person"}));
+  EXPECT_TRUE(person.constraints.at("name").mandatory);
+  EXPECT_FALSE(person.constraints.at("email").mandatory);
+  ASSERT_EQ(parsed->schema.edge_types.size(), 1u);
+  const auto& knows = parsed->schema.edge_types[0];
+  EXPECT_EQ(knows.name, "Knows");
+  EXPECT_EQ(knows.source_labels, (std::set<std::string>{"Person"}));
+  EXPECT_EQ(knows.cardinality, SchemaCardinality::kManyToMany);
+  EXPECT_EQ(knows.constraints.at("since").type, DataType::kDate);
+}
+
+TEST(PgSchemaParserTest, LooseDocumentWithoutConstraints) {
+  auto parsed = ParsePgSchema(
+      "CREATE GRAPH TYPE G LOOSE {\n"
+      "  (AType: A {x, y}),\n"
+      "  (BType: B)\n"
+      "}\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->mode, PgSchemaMode::kLoose);
+  ASSERT_EQ(parsed->schema.node_types.size(), 2u);
+  EXPECT_EQ(parsed->schema.node_types[0].property_keys,
+            (std::set<std::string>{"x", "y"}));
+  EXPECT_TRUE(parsed->schema.node_types[0].constraints.empty());
+  EXPECT_TRUE(parsed->schema.node_types[1].property_keys.empty());
+}
+
+TEST(PgSchemaParserTest, MultiLabelAndMultiEndpoint) {
+  auto parsed = ParsePgSchema(
+      "CREATE GRAPH TYPE G STRICT {\n"
+      "  (PostType: Message & Post {content STRING}),\n"
+      "  (: Forum | Group)-[HasType: HAS]->(: Message | Post)\n"
+      "}\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->schema.node_types[0].labels,
+            (std::set<std::string>{"Message", "Post"}));
+  EXPECT_EQ(parsed->schema.edge_types[0].source_labels,
+            (std::set<std::string>{"Forum", "Group"}));
+  EXPECT_EQ(parsed->schema.edge_types[0].target_labels,
+            (std::set<std::string>{"Message", "Post"}));
+}
+
+TEST(PgSchemaParserTest, AbstractTypes) {
+  auto parsed = ParsePgSchema(
+      "CREATE GRAPH TYPE G STRICT {\n"
+      "  (ABSTRACT_0Type ABSTRACT {blob OPTIONAL STRING}),\n"
+      "  ()-[ABSTRACT_1Type {w OPTIONAL INT}]->()\n"
+      "}\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->schema.node_types.size(), 1u);
+  EXPECT_TRUE(parsed->schema.node_types[0].is_abstract);
+  EXPECT_EQ(parsed->schema.node_types[0].name, "ABSTRACT_0");
+  ASSERT_EQ(parsed->schema.edge_types.size(), 1u);
+  EXPECT_TRUE(parsed->schema.edge_types[0].is_abstract);
+  EXPECT_TRUE(parsed->schema.edge_types[0].source_labels.empty());
+}
+
+TEST(PgSchemaParserTest, EmptyBody) {
+  auto parsed = ParsePgSchema("CREATE GRAPH TYPE Empty LOOSE {\n}\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->schema.num_types(), 0u);
+}
+
+TEST(PgSchemaParserTest, Errors) {
+  EXPECT_FALSE(ParsePgSchema("").ok());
+  EXPECT_FALSE(ParsePgSchema("CREATE GRAPH Social STRICT {}").ok());
+  EXPECT_FALSE(ParsePgSchema("CREATE GRAPH TYPE G SEMI {}").ok());
+  EXPECT_FALSE(ParsePgSchema("CREATE GRAPH TYPE G STRICT {").ok());
+  EXPECT_FALSE(
+      ParsePgSchema("CREATE GRAPH TYPE G STRICT { (T: A) } extra").ok());
+  EXPECT_FALSE(
+      ParsePgSchema("CREATE GRAPH TYPE G STRICT { (T: A {x QUANTUM}) }")
+          .ok());
+  EXPECT_FALSE(
+      ParsePgSchema("CREATE GRAPH TYPE G STRICT { (: A)-[E: R]->(: B /* x")
+          .ok());
+}
+
+TEST(PgSchemaParserTest, UnknownCommentIgnored) {
+  auto parsed = ParsePgSchema(
+      "CREATE GRAPH TYPE G STRICT {\n"
+      "  (: A)-[RType: R]->(: B) /* just a remark */\n"
+      "}\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->schema.edge_types[0].cardinality,
+            SchemaCardinality::kUnknown);
+}
+
+// ---------- round-trips ----------
+
+void ExpectSchemaEquivalent(const SchemaGraph& a, const SchemaGraph& b,
+                            bool with_constraints) {
+  ASSERT_EQ(a.node_types.size(), b.node_types.size());
+  ASSERT_EQ(a.edge_types.size(), b.edge_types.size());
+  for (size_t i = 0; i < a.node_types.size(); ++i) {
+    EXPECT_EQ(a.node_types[i].labels, b.node_types[i].labels);
+    EXPECT_EQ(a.node_types[i].property_keys, b.node_types[i].property_keys);
+    EXPECT_EQ(a.node_types[i].is_abstract, b.node_types[i].is_abstract);
+    if (with_constraints) {
+      for (const auto& [key, c] : a.node_types[i].constraints) {
+        const auto& other = b.node_types[i].constraints.at(key);
+        EXPECT_EQ(other.type, c.type) << key;
+        EXPECT_EQ(other.mandatory, c.mandatory) << key;
+      }
+    }
+  }
+  for (size_t i = 0; i < a.edge_types.size(); ++i) {
+    EXPECT_EQ(a.edge_types[i].labels, b.edge_types[i].labels);
+    EXPECT_EQ(a.edge_types[i].property_keys, b.edge_types[i].property_keys);
+    EXPECT_EQ(a.edge_types[i].source_labels, b.edge_types[i].source_labels);
+    EXPECT_EQ(a.edge_types[i].target_labels, b.edge_types[i].target_labels);
+    // LOOSE mode omits the cardinality comment; only STRICT round-trips it.
+    if (with_constraints) {
+      EXPECT_EQ(a.edge_types[i].cardinality, b.edge_types[i].cardinality);
+    }
+  }
+}
+
+TEST(PgSchemaRoundTripTest, Figure1Strict) {
+  PgHivePipeline pipeline;
+  SchemaGraph schema = pipeline.DiscoverSchema(MakeFigure1Graph()).value();
+  std::string text = ToPgSchema(schema, "Fig1", PgSchemaMode::kStrict);
+  auto parsed = ParsePgSchema(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status() << "\n" << text;
+  ExpectSchemaEquivalent(schema, parsed->schema, /*with_constraints=*/true);
+}
+
+TEST(PgSchemaRoundTripTest, Figure1Loose) {
+  PgHivePipeline pipeline;
+  SchemaGraph schema = pipeline.DiscoverSchema(MakeFigure1Graph()).value();
+  std::string text = ToPgSchema(schema, "Fig1", PgSchemaMode::kLoose);
+  auto parsed = ParsePgSchema(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status() << "\n" << text;
+  EXPECT_EQ(parsed->mode, PgSchemaMode::kLoose);
+  ExpectSchemaEquivalent(schema, parsed->schema, /*with_constraints=*/false);
+}
+
+class PgSchemaDatasetRoundTrip : public testing::TestWithParam<std::string> {};
+
+TEST_P(PgSchemaDatasetRoundTrip, DiscoveredSchemaRoundTrips) {
+  auto spec = DatasetSpecByName(GetParam()).value();
+  GenerateOptions gen;
+  gen.num_nodes = 500;
+  gen.num_edges = 900;
+  auto g = GenerateGraph(spec, gen).value();
+  PgHivePipeline pipeline;
+  SchemaGraph schema = pipeline.DiscoverSchema(g).value();
+  std::string text = ToPgSchema(schema, spec.name, PgSchemaMode::kStrict);
+  auto parsed = ParsePgSchema(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ExpectSchemaEquivalent(schema, parsed->schema, /*with_constraints=*/true);
+}
+
+INSTANTIATE_TEST_SUITE_P(Datasets, PgSchemaDatasetRoundTrip,
+                         testing::Values("POLE", "MB6", "HET.IO", "ICIJ",
+                                         "LDBC"));
+
+}  // namespace
+}  // namespace pghive

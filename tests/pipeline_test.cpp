@@ -1,0 +1,194 @@
+// Tests for the end-to-end PG-HIVE pipeline (Algorithm 1).
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "datagen/datasets.h"
+#include "datagen/generator.h"
+#include "datagen/noise.h"
+#include "eval/f1.h"
+#include "graph/graph_builder.h"
+
+namespace pghive {
+namespace {
+
+TEST(PipelineTest, Figure1RecoversPaperWalkthrough) {
+  PgHivePipeline pipeline;
+  auto schema = pipeline.DiscoverSchema(MakeFigure1Graph());
+  ASSERT_TRUE(schema.ok());
+  // Example 5: Alice's unlabeled cluster merges into Person; the two Post
+  // patterns merge -> 4 node types total, no abstract leftovers.
+  EXPECT_EQ(schema->node_types.size(), 4u);
+  for (const auto& t : schema->node_types) EXPECT_FALSE(t.is_abstract);
+  int person = schema->FindNodeTypeByLabels({"Person"});
+  ASSERT_GE(person, 0);
+  EXPECT_EQ(schema->node_types[person].instances.size(), 3u);  // Bob,John,Alice
+  EXPECT_EQ(schema->edge_types.size(), 4u);
+}
+
+TEST(PipelineTest, MinHashVariantAgreesOnFigure1) {
+  PipelineOptions opt;
+  opt.method = ClusteringMethod::kMinHash;
+  PgHivePipeline pipeline(opt);
+  auto schema = pipeline.DiscoverSchema(MakeFigure1Graph());
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->node_types.size(), 4u);
+  EXPECT_EQ(schema->edge_types.size(), 4u);
+}
+
+TEST(PipelineTest, EmptyGraph) {
+  PgHivePipeline pipeline;
+  auto schema = pipeline.DiscoverSchema(PropertyGraph());
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->num_types(), 0u);
+}
+
+TEST(PipelineTest, NodesOnlyGraph) {
+  PropertyGraph g;
+  for (int i = 0; i < 20; ++i) {
+    g.AddNode({"A"}, {{"x", Value::Int(i)}}, "A");
+  }
+  PgHivePipeline pipeline;
+  auto schema = pipeline.DiscoverSchema(g);
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->node_types.size(), 1u);
+  EXPECT_TRUE(schema->edge_types.empty());
+}
+
+TEST(PipelineTest, FullyUnlabeledGraphStillDiscovers) {
+  // Two structurally distinct populations without any labels.
+  PropertyGraph g;
+  for (int i = 0; i < 30; ++i) {
+    g.AddNode({}, {{"a", Value::Int(i)}, {"b", Value::Int(i)}}, "TA");
+    g.AddNode({}, {{"x", Value::String("s")}, {"y", Value::Double(1.5)}},
+              "TB");
+  }
+  PgHivePipeline pipeline;
+  auto schema = pipeline.DiscoverSchema(g);
+  ASSERT_TRUE(schema.ok());
+  ASSERT_EQ(schema->node_types.size(), 2u);
+  EXPECT_TRUE(schema->node_types[0].is_abstract);
+  EXPECT_TRUE(schema->node_types[1].is_abstract);
+  F1Result f1 = MajorityF1Nodes(g, *schema);
+  EXPECT_DOUBLE_EQ(f1.f1, 1.0);
+}
+
+TEST(PipelineTest, DeterministicForSeed) {
+  auto g = GenerateGraph(MakePoleSpec(), {}).value();
+  PgHivePipeline p1, p2;
+  auto s1 = p1.DiscoverSchema(g);
+  auto s2 = p2.DiscoverSchema(g);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(s1->node_types.size(), s2->node_types.size());
+  EXPECT_EQ(s1->edge_types.size(), s2->edge_types.size());
+}
+
+TEST(PipelineTest, FixedParametersPathWorks) {
+  PipelineOptions opt;
+  opt.adaptive_parameters = false;
+  opt.elsh.bucket_length = 2.0;
+  opt.elsh.num_tables = 10;
+  PgHivePipeline pipeline(opt);
+  auto schema = pipeline.DiscoverSchema(MakeFigure1Graph());
+  ASSERT_TRUE(schema.ok());
+  EXPECT_GT(schema->num_types(), 0u);
+}
+
+TEST(PipelineTest, HashEmbeddingBackendWorks) {
+  PipelineOptions opt;
+  opt.embedding.backend = EmbeddingBackend::kHash;
+  PgHivePipeline pipeline(opt);
+  auto schema = pipeline.DiscoverSchema(MakeFigure1Graph());
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->node_types.size(), 4u);
+}
+
+TEST(PipelineTest, DiagnosticsPopulated) {
+  auto g = GenerateGraph(MakePoleSpec(), {}).value();
+  PgHivePipeline pipeline;
+  ASSERT_TRUE(pipeline.DiscoverSchema(g).ok());
+  const BatchDiagnostics& d = pipeline.last_diagnostics();
+  EXPECT_GT(d.node_clusters, 0u);
+  EXPECT_GT(d.edge_clusters, 0u);
+  EXPECT_GT(d.node_params.bucket_length, 0.0);
+  EXPECT_GE(d.node_params.num_tables, 5);
+  EXPECT_LE(d.node_params.num_tables, 35);
+}
+
+TEST(PipelineTest, PostProcessToggleSkipsConstraints) {
+  PipelineOptions opt;
+  opt.post_process = false;
+  PgHivePipeline pipeline(opt);
+  auto schema = pipeline.DiscoverSchema(MakeFigure1Graph());
+  ASSERT_TRUE(schema.ok());
+  for (const auto& t : schema->node_types) {
+    EXPECT_TRUE(t.constraints.empty());
+  }
+}
+
+TEST(PipelineTest, TypeCompletenessOnPole) {
+  // §4.7 "Type completeness": every instance's labels and properties are
+  // covered by its assigned type.
+  auto g = GenerateGraph(MakePoleSpec(), {}).value();
+  PgHivePipeline pipeline;
+  auto schema = pipeline.DiscoverSchema(g);
+  ASSERT_TRUE(schema.ok());
+  // Build instance -> type index.
+  std::vector<int> type_of(g.num_nodes(), -1);
+  for (size_t t = 0; t < schema->node_types.size(); ++t) {
+    for (NodeId id : schema->node_types[t].instances) {
+      EXPECT_EQ(type_of[id], -1) << "node assigned twice";
+      type_of[id] = static_cast<int>(t);
+    }
+  }
+  for (size_t i = 0; i < g.num_nodes(); ++i) {
+    ASSERT_GE(type_of[i], 0) << "node not assigned to any type";
+    const auto& t = schema->node_types[type_of[i]];
+    for (const auto& l : g.node(i).labels) {
+      EXPECT_TRUE(t.labels.count(l));
+    }
+    for (const auto& [k, v] : g.node(i).properties) {
+      EXPECT_TRUE(t.property_keys.count(k));
+    }
+  }
+}
+
+TEST(PipelineTest, CleanLabeledDataPerfectF1) {
+  for (const char* name : {"POLE", "LDBC"}) {
+    auto spec = DatasetSpecByName(name).value();
+    GenerateOptions gen;
+    gen.num_nodes = 1000;
+    gen.num_edges = 2000;
+    auto g = GenerateGraph(spec, gen).value();
+    PgHivePipeline pipeline;
+    auto schema = pipeline.DiscoverSchema(g);
+    ASSERT_TRUE(schema.ok());
+    EXPECT_GT(MajorityF1Nodes(g, *schema).f1, 0.99) << name;
+    EXPECT_GT(MajorityF1Edges(g, *schema).f1, 0.99) << name;
+  }
+}
+
+TEST(PipelineTest, RobustToNoiseAndMissingLabels) {
+  auto spec = MakeIcijSpec();
+  GenerateOptions gen;
+  gen.num_nodes = 1500;
+  gen.num_edges = 2500;
+  auto clean = GenerateGraph(spec, gen).value();
+  NoiseOptions nopt;
+  nopt.property_removal = 0.2;
+  nopt.label_availability = 0.5;
+  auto noisy = InjectNoise(clean, nopt).value();
+  PgHivePipeline pipeline;
+  auto schema = pipeline.DiscoverSchema(noisy);
+  ASSERT_TRUE(schema.ok());
+  EXPECT_GT(MajorityF1Nodes(noisy, *schema).f1, 0.8);
+}
+
+TEST(PipelineTest, MethodNames) {
+  EXPECT_STREQ(ClusteringMethodName(ClusteringMethod::kElsh), "ELSH");
+  EXPECT_STREQ(ClusteringMethodName(ClusteringMethod::kMinHash), "MinHash");
+}
+
+}  // namespace
+}  // namespace pghive

@@ -1,0 +1,164 @@
+// Tests for schema diffing.
+
+#include <gtest/gtest.h>
+
+#include "core/incremental.h"
+#include "core/pipeline.h"
+#include "core/schema_diff.h"
+#include "datagen/datasets.h"
+#include "datagen/generator.h"
+
+namespace pghive {
+namespace {
+
+SchemaGraph BaseSchema() {
+  SchemaGraph s;
+  SchemaNodeType person;
+  person.name = "Person";
+  person.labels = {"Person"};
+  person.property_keys = {"name"};
+  person.constraints["name"] = {DataType::kString, true};
+  s.node_types.push_back(person);
+  SchemaEdgeType knows;
+  knows.name = "KNOWS";
+  knows.labels = {"KNOWS"};
+  knows.source_labels = {"Person"};
+  knows.target_labels = {"Person"};
+  knows.cardinality = SchemaCardinality::kZeroOrOne;
+  s.edge_types.push_back(knows);
+  return s;
+}
+
+TEST(SchemaDiffTest, IdenticalSchemasNoChanges) {
+  SchemaGraph s = BaseSchema();
+  SchemaDiff diff = DiffSchemas(s, s);
+  EXPECT_TRUE(diff.Empty());
+  EXPECT_EQ(diff.ToString(), "no changes\n");
+}
+
+TEST(SchemaDiffTest, AddedAndRemovedTypes) {
+  SchemaGraph from = BaseSchema();
+  SchemaGraph to = BaseSchema();
+  SchemaNodeType org;
+  org.name = "Org";
+  org.labels = {"Org"};
+  to.node_types.push_back(org);
+  from.edge_types.clear();
+
+  SchemaDiff diff = DiffSchemas(from, to);
+  ASSERT_EQ(diff.added_node_types.size(), 1u);
+  EXPECT_EQ(diff.added_node_types[0], "Org");
+  ASSERT_EQ(diff.added_edge_types.size(), 1u);
+  EXPECT_EQ(diff.added_edge_types[0], "KNOWS");
+  EXPECT_TRUE(diff.removed_node_types.empty());
+
+  SchemaDiff reverse = DiffSchemas(to, from);
+  ASSERT_EQ(reverse.removed_node_types.size(), 1u);
+  EXPECT_EQ(reverse.removed_node_types[0], "Org");
+  ASSERT_EQ(reverse.removed_edge_types.size(), 1u);
+}
+
+TEST(SchemaDiffTest, PropertyGrowthDetected) {
+  SchemaGraph from = BaseSchema();
+  SchemaGraph to = BaseSchema();
+  to.node_types[0].property_keys.insert("email");
+  SchemaDiff diff = DiffSchemas(from, to);
+  ASSERT_EQ(diff.changed_types.size(), 1u);
+  EXPECT_EQ(diff.changed_types[0].name, "Person");
+  EXPECT_EQ(diff.changed_types[0].added_properties,
+            (std::set<std::string>{"email"}));
+}
+
+TEST(SchemaDiffTest, ConstraintRelaxationDetected) {
+  SchemaGraph from = BaseSchema();
+  SchemaGraph to = BaseSchema();
+  to.node_types[0].constraints["name"] = {DataType::kString, false};
+  SchemaDiff diff = DiffSchemas(from, to);
+  ASSERT_EQ(diff.changed_types.size(), 1u);
+  ASSERT_EQ(diff.changed_types[0].became_optional.size(), 1u);
+  EXPECT_EQ(diff.changed_types[0].became_optional[0], "name");
+}
+
+TEST(SchemaDiffTest, DatatypeWideningDetected) {
+  SchemaGraph from = BaseSchema();
+  from.node_types[0].constraints["age"] = {DataType::kInt, false};
+  from.node_types[0].property_keys.insert("age");
+  SchemaGraph to = from;
+  to.node_types[0].constraints["age"] = {DataType::kDouble, false};
+  SchemaDiff diff = DiffSchemas(from, to);
+  ASSERT_EQ(diff.changed_types.size(), 1u);
+  ASSERT_EQ(diff.changed_types[0].datatype_changes.size(), 1u);
+  EXPECT_EQ(diff.changed_types[0].datatype_changes[0], "age: Int -> Double");
+}
+
+TEST(SchemaDiffTest, CardinalityUpgradeDetected) {
+  SchemaGraph from = BaseSchema();
+  SchemaGraph to = BaseSchema();
+  to.edge_types[0].cardinality = SchemaCardinality::kManyToMany;
+  SchemaDiff diff = DiffSchemas(from, to);
+  ASSERT_EQ(diff.changed_types.size(), 1u);
+  EXPECT_EQ(diff.changed_types[0].cardinality_change, "0:1 -> M:N");
+}
+
+TEST(SchemaDiffTest, EndpointGrowthDetected) {
+  SchemaGraph from = BaseSchema();
+  SchemaGraph to = BaseSchema();
+  to.edge_types[0].target_labels.insert("Bot");
+  SchemaDiff diff = DiffSchemas(from, to);
+  ASSERT_EQ(diff.changed_types.size(), 1u);
+  EXPECT_EQ(diff.changed_types[0].added_target_labels,
+            (std::set<std::string>{"Bot"}));
+}
+
+TEST(SchemaDiffTest, AbstractTypesMatchedByName) {
+  SchemaGraph from, to;
+  SchemaNodeType a;
+  a.name = "ABSTRACT_0";
+  a.is_abstract = true;
+  a.property_keys = {"x"};
+  from.node_types.push_back(a);
+  a.property_keys.insert("y");
+  to.node_types.push_back(a);
+  SchemaDiff diff = DiffSchemas(from, to);
+  ASSERT_EQ(diff.changed_types.size(), 1u);
+  EXPECT_EQ(diff.changed_types[0].added_properties,
+            (std::set<std::string>{"y"}));
+}
+
+TEST(SchemaDiffTest, IncrementalBatchesProduceMonotoneDiffs) {
+  // The incremental chain never removes anything (§4.6): each diff between
+  // consecutive schemas has no removals.
+  auto g = GenerateGraph(MakePoleSpec(),
+                         GenerateOptions{.num_nodes = 600, .num_edges = 1100})
+               .value();
+  IncrementalDiscoverer discoverer;
+  SchemaGraph previous;
+  for (const auto& batch : SplitIntoBatches(g, 5)) {
+    ASSERT_TRUE(discoverer.Feed(batch).ok());
+    SchemaDiff diff = DiffSchemas(previous, discoverer.schema());
+    EXPECT_TRUE(diff.removed_node_types.empty());
+    EXPECT_TRUE(diff.removed_edge_types.empty());
+    for (const auto& c : diff.changed_types) {
+      EXPECT_TRUE(c.removed_labels.empty());
+      EXPECT_TRUE(c.removed_properties.empty());
+    }
+    previous = discoverer.schema();
+  }
+}
+
+TEST(SchemaDiffTest, RenderingContainsSections) {
+  SchemaGraph from = BaseSchema();
+  SchemaGraph to = BaseSchema();
+  SchemaNodeType org;
+  org.name = "Org";
+  org.labels = {"Org"};
+  to.node_types.push_back(org);
+  to.node_types[0].property_keys.insert("email");
+  std::string text = DiffSchemas(from, to).ToString();
+  EXPECT_NE(text.find("+ node types: Org"), std::string::npos);
+  EXPECT_NE(text.find("~ node Person"), std::string::npos);
+  EXPECT_NE(text.find("+properties: email"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pghive

@@ -1,0 +1,130 @@
+// Unit tests for PG-Schema and XSD serialization (paper §4.5).
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "core/serialization.h"
+#include "graph/graph_builder.h"
+
+namespace pghive {
+namespace {
+
+SchemaGraph SampleSchema() {
+  SchemaGraph s;
+  SchemaNodeType person;
+  person.name = "Person";
+  person.labels = {"Person"};
+  person.property_keys = {"name", "email"};
+  person.constraints["name"] = {DataType::kString, true};
+  person.constraints["email"] = {DataType::kString, false};
+  s.node_types.push_back(person);
+
+  SchemaNodeType ghost;
+  ghost.name = "ABSTRACT_0";
+  ghost.is_abstract = true;
+  ghost.property_keys = {"blob"};
+  ghost.constraints["blob"] = {DataType::kString, false};
+  s.node_types.push_back(ghost);
+
+  SchemaEdgeType knows;
+  knows.name = "KNOWS";
+  knows.labels = {"KNOWS"};
+  knows.property_keys = {"since"};
+  knows.constraints["since"] = {DataType::kDate, false};
+  knows.source_labels = {"Person"};
+  knows.target_labels = {"Person"};
+  knows.cardinality = SchemaCardinality::kManyToMany;
+  s.edge_types.push_back(knows);
+  return s;
+}
+
+TEST(PgSchemaTest, StrictContainsConstraintDetail) {
+  std::string out = ToPgSchema(SampleSchema(), "Sample", PgSchemaMode::kStrict);
+  EXPECT_NE(out.find("CREATE GRAPH TYPE Sample STRICT {"), std::string::npos);
+  EXPECT_NE(out.find("PersonType"), std::string::npos);
+  EXPECT_NE(out.find("name STRING"), std::string::npos);
+  EXPECT_NE(out.find("email OPTIONAL STRING"), std::string::npos);
+  EXPECT_NE(out.find("since OPTIONAL DATE"), std::string::npos);
+  EXPECT_NE(out.find("ABSTRACT"), std::string::npos);
+  EXPECT_NE(out.find("cardinality M:N"), std::string::npos);
+}
+
+TEST(PgSchemaTest, LooseOmitsDatatypesAndOptionality) {
+  std::string out = ToPgSchema(SampleSchema(), "Sample", PgSchemaMode::kLoose);
+  EXPECT_NE(out.find("LOOSE {"), std::string::npos);
+  EXPECT_EQ(out.find("OPTIONAL"), std::string::npos);
+  EXPECT_EQ(out.find("STRING"), std::string::npos);
+  EXPECT_EQ(out.find("cardinality"), std::string::npos);
+  // Property keys still listed.
+  EXPECT_NE(out.find("email"), std::string::npos);
+}
+
+TEST(PgSchemaTest, EdgeDeclarationShowsEndpoints) {
+  std::string out = ToPgSchema(SampleSchema(), "Sample", PgSchemaMode::kStrict);
+  EXPECT_NE(out.find(")-[KNOWSType: KNOWS"), std::string::npos);
+  EXPECT_NE(out.find("]->("), std::string::npos);
+  EXPECT_NE(out.find(": Person)"), std::string::npos);
+}
+
+TEST(PgSchemaTest, IdentifiersSanitized) {
+  SchemaGraph s;
+  SchemaNodeType t;
+  t.name = "Weird Name&With/Chars";
+  t.labels = {"Weird Name&With/Chars"};
+  s.node_types.push_back(t);
+  std::string out = ToPgSchema(s, "bad name!", PgSchemaMode::kStrict);
+  EXPECT_NE(out.find("CREATE GRAPH TYPE bad_name_"), std::string::npos);
+  EXPECT_NE(out.find("Weird_Name_With_CharsType"), std::string::npos);
+}
+
+TEST(XsdTest, DeclaresComplexTypesAndElements) {
+  std::string out = ToXsd(SampleSchema());
+  EXPECT_NE(out.find("<?xml version=\"1.0\""), std::string::npos);
+  EXPECT_NE(out.find("<xs:schema"), std::string::npos);
+  EXPECT_NE(out.find("<xs:complexType name=\"Person\""), std::string::npos);
+  EXPECT_NE(out.find("type=\"xs:string\""), std::string::npos);
+  // Optional property carries minOccurs=0; mandatory does not.
+  EXPECT_NE(out.find("name=\"email\" type=\"xs:string\" minOccurs=\"0\""),
+            std::string::npos);
+  EXPECT_NE(out.find("name=\"name\" type=\"xs:string\"/>"), std::string::npos);
+  EXPECT_NE(out.find("abstract=\"true\""), std::string::npos);
+  EXPECT_NE(out.find("KNOWS_Edge"), std::string::npos);
+  EXPECT_NE(out.find("cardinality: M:N"), std::string::npos);
+  EXPECT_NE(out.find("</xs:schema>"), std::string::npos);
+}
+
+TEST(XsdTest, BalancedTags) {
+  std::string out = ToXsd(SampleSchema());
+  auto count = [&](const std::string& needle) {
+    size_t n = 0, pos = 0;
+    while ((pos = out.find(needle, pos)) != std::string::npos) {
+      ++n;
+      pos += needle.size();
+    }
+    return n;
+  };
+  EXPECT_EQ(count("<xs:complexType"), count("</xs:complexType>"));
+  EXPECT_EQ(count("<xs:sequence>"), count("</xs:sequence>"));
+  EXPECT_EQ(count("<xs:annotation>"), count("</xs:annotation>"));
+}
+
+TEST(SerializationTest, DiscoveredFigure1SchemaSerializes) {
+  PgHivePipeline pipeline;
+  auto schema = pipeline.DiscoverSchema(MakeFigure1Graph());
+  ASSERT_TRUE(schema.ok());
+  std::string strict = ToPgSchema(*schema, "Fig1", PgSchemaMode::kStrict);
+  std::string xsd = ToXsd(*schema);
+  EXPECT_NE(strict.find("Person"), std::string::npos);
+  EXPECT_NE(strict.find("WORKS_AT"), std::string::npos);
+  EXPECT_NE(xsd.find("Organization"), std::string::npos);
+}
+
+TEST(SerializationTest, EmptySchema) {
+  SchemaGraph empty;
+  EXPECT_NE(ToPgSchema(empty, "Empty", PgSchemaMode::kLoose).find("{"),
+            std::string::npos);
+  EXPECT_NE(ToXsd(empty).find("</xs:schema>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pghive

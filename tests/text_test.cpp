@@ -1,0 +1,196 @@
+// Unit tests for the embedding substrate: vocabulary, Word2Vec, hash
+// embedder and the label-embedding facade.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/graph_builder.h"
+#include "text/hash_embedder.h"
+#include "text/label_embedder.h"
+#include "text/vocabulary.h"
+#include "text/word2vec.h"
+
+namespace pghive {
+namespace {
+
+double Norm(const std::vector<float>& v) {
+  double sq = 0;
+  for (float x : v) sq += x * x;
+  return std::sqrt(sq);
+}
+
+double Cosine(const std::vector<float>& a, const std::vector<float>& b) {
+  double dot = 0;
+  for (size_t i = 0; i < a.size(); ++i) dot += a[i] * b[i];
+  double na = Norm(a), nb = Norm(b);
+  if (na < 1e-12 || nb < 1e-12) return 0;
+  return dot / (na * nb);
+}
+
+// ---------- Vocabulary ----------
+
+TEST(VocabularyTest, AddAndLookup) {
+  Vocabulary v;
+  int32_t a = v.Add("alpha");
+  int32_t b = v.Add("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(v.Lookup("alpha"), a);
+  EXPECT_EQ(v.Lookup("missing"), Vocabulary::kUnknown);
+  EXPECT_EQ(v.token(a), "alpha");
+}
+
+TEST(VocabularyTest, CountsAccumulate) {
+  Vocabulary v;
+  int32_t a = v.Add("x");
+  v.Add("x");
+  v.Add("x");
+  v.Add("y");
+  EXPECT_EQ(v.count(a), 3u);
+  EXPECT_EQ(v.total_count(), 4u);
+  EXPECT_EQ(v.size(), 2u);
+}
+
+// ---------- Word2Vec ----------
+
+TEST(Word2VecTest, RejectsBadOptions) {
+  Word2VecOptions opt;
+  opt.dimension = 0;
+  Word2Vec w2v(opt);
+  EXPECT_FALSE(w2v.Train({{"a"}}).ok());
+}
+
+TEST(Word2VecTest, RejectsEmptyCorpus) {
+  Word2Vec w2v;
+  EXPECT_FALSE(w2v.Train({}).ok());
+}
+
+TEST(Word2VecTest, TrainsAndEmbedsUnitVectors) {
+  Word2Vec w2v;
+  ASSERT_TRUE(w2v.Train({{"a", "b"}, {"a", "c"}, {"b", "c"}}).ok());
+  EXPECT_TRUE(w2v.trained());
+  auto va = w2v.Embed("a");
+  EXPECT_EQ(va.size(), 16u);
+  EXPECT_NEAR(Norm(va), 1.0, 1e-4);
+}
+
+TEST(Word2VecTest, UnknownTokenIsZero) {
+  Word2Vec w2v;
+  ASSERT_TRUE(w2v.Train({{"a", "b"}}).ok());
+  EXPECT_NEAR(Norm(w2v.Embed("zzz")), 0.0, 1e-9);
+}
+
+TEST(Word2VecTest, DeterministicAcrossRuns) {
+  std::vector<std::vector<std::string>> corpus = {{"a", "b"}, {"b", "c"}};
+  Word2Vec m1, m2;
+  ASSERT_TRUE(m1.Train(corpus).ok());
+  ASSERT_TRUE(m2.Train(corpus).ok());
+  EXPECT_EQ(m1.Embed("a"), m2.Embed("a"));
+}
+
+TEST(Word2VecTest, SharedContextTokensMoreSimilar) {
+  // Skip-gram aligns INPUT vectors for tokens with similar context
+  // distributions: "sun" and "sol" share contexts, "rock" does not.
+  std::vector<std::vector<std::string>> corpus;
+  for (int i = 0; i < 80; ++i) {
+    corpus.push_back({"sun", "sky"});
+    corpus.push_back({"sol", "sky"});
+    corpus.push_back({"sun", "light"});
+    corpus.push_back({"sol", "light"});
+    corpus.push_back({"rock", "ground"});
+    corpus.push_back({"rock", "stone"});
+  }
+  Word2VecOptions opt;
+  opt.epochs = 25;
+  Word2Vec w2v(opt);
+  ASSERT_TRUE(w2v.Train(corpus).ok());
+  EXPECT_GT(w2v.Similarity("sun", "sol"), 0.5);
+  EXPECT_GT(w2v.Similarity("sun", "sol"), w2v.Similarity("sun", "rock"));
+}
+
+TEST(Word2VecTest, SingletonCorpusYieldsDistinctVectors) {
+  // The PG-HIVE corpus is one singleton sentence per label token; no
+  // training pairs exist, but every token must still embed distinctly.
+  Word2Vec w2v;
+  ASSERT_TRUE(w2v.Train({{"Person"}, {"Organization"}, {"Post"}}).ok());
+  double cos = std::abs(Cosine(w2v.Embed("Person"), w2v.Embed("Post")));
+  EXPECT_LT(cos, 0.95);
+  EXPECT_NEAR(Norm(w2v.Embed("Person")), 1.0, 1e-4);
+}
+
+// ---------- HashEmbedder ----------
+
+TEST(HashEmbedderTest, UnitNormAndDeterministic) {
+  HashEmbedder e(32, 5);
+  auto v1 = e.Embed("token");
+  auto v2 = e.Embed("token");
+  EXPECT_EQ(v1, v2);
+  EXPECT_NEAR(Norm(v1), 1.0, 1e-6);
+}
+
+TEST(HashEmbedderTest, DistinctTokensNearOrthogonal) {
+  HashEmbedder e(64, 0);
+  auto a = e.Embed("alpha");
+  auto b = e.Embed("beta");
+  EXPECT_LT(std::abs(Cosine(a, b)), 0.5);
+}
+
+TEST(HashEmbedderTest, SeedChangesProjection) {
+  HashEmbedder e1(16, 1), e2(16, 2);
+  EXPECT_NE(e1.Embed("x"), e2.Embed("x"));
+}
+
+// ---------- LabelEmbedder ----------
+
+TEST(LabelEmbedderTest, UnlabeledIsZeroVector) {
+  LabelEmbedder embedder;
+  ASSERT_TRUE(embedder.Train({{"A"}}).ok());
+  auto v = embedder.EmbedLabels({});
+  EXPECT_NEAR(Norm(v), 0.0, 1e-9);
+  EXPECT_EQ(static_cast<int>(v.size()), embedder.dimension());
+}
+
+TEST(LabelEmbedderTest, MultiLabelCanonicalization) {
+  LabelEmbedder embedder;
+  ASSERT_TRUE(embedder.Train({{"A&B"}}).ok());
+  // The same set in different order produces the same vector.
+  EXPECT_EQ(embedder.EmbedLabels({"A", "B"}), embedder.EmbedLabels({"B", "A"}));
+  // And matches the canonical token directly.
+  EXPECT_EQ(embedder.EmbedLabels({"A", "B"}), embedder.EmbedToken("A&B"));
+}
+
+TEST(LabelEmbedderTest, UnknownTokenFallsBackToHash) {
+  LabelEmbedder embedder;
+  ASSERT_TRUE(embedder.Train({{"Known"}}).ok());
+  auto v = embedder.EmbedToken("NeverSeen");
+  EXPECT_NEAR(Norm(v), 1.0, 1e-5);  // deterministic hash vector, not zero
+  EXPECT_EQ(v, embedder.EmbedToken("NeverSeen"));
+}
+
+TEST(LabelEmbedderTest, HashBackendNeedsNoTraining) {
+  LabelEmbedderOptions opt;
+  opt.backend = EmbeddingBackend::kHash;
+  LabelEmbedder embedder(opt);
+  auto v = embedder.EmbedLabels({"X"});
+  EXPECT_NEAR(Norm(v), 1.0, 1e-5);
+}
+
+TEST(LabelEmbedderTest, EmptyCorpusDegradesGracefully) {
+  LabelEmbedder embedder;
+  ASSERT_TRUE(embedder.Train({}).ok());  // fully unlabeled graph
+  EXPECT_NEAR(Norm(embedder.EmbedLabels({})), 0.0, 1e-9);
+  EXPECT_NEAR(Norm(embedder.EmbedToken("anything")), 1.0, 1e-5);
+}
+
+TEST(LabelEmbedderTest, BuildLabelCorpusFromGraph) {
+  PropertyGraph g = MakeFigure1Graph();
+  auto corpus = BuildLabelCorpus(g);
+  EXPECT_FALSE(corpus.empty());
+  // Unlabeled Alice contributes no node sentence; labeled nodes do.
+  size_t singletons = 0;
+  for (const auto& sent : corpus) singletons += sent.size() == 1;
+  EXPECT_GT(singletons, 0u);
+}
+
+}  // namespace
+}  // namespace pghive

@@ -1,0 +1,291 @@
+// Unit tests for Algorithm 2: cluster materialization and the type
+// extraction / merging phases.
+
+#include <gtest/gtest.h>
+
+#include "core/type_extraction.h"
+#include "graph/graph_builder.h"
+
+namespace pghive {
+namespace {
+
+Cluster MakeCluster(std::set<std::string> labels,
+                    std::set<std::string> props,
+                    std::vector<size_t> members = {0}) {
+  Cluster c;
+  c.labels = std::move(labels);
+  c.property_keys = std::move(props);
+  c.members = std::move(members);
+  return c;
+}
+
+// ---------- cluster materialization ----------
+
+TEST(BuildClustersTest, NodeRepresentativeIsUnion) {
+  PropertyGraph g = MakeFigure1Graph();
+  // Group Bob (0) and Alice (2): labels {Person} ∪ {} and identical keys.
+  std::vector<size_t> ids = {0, 1, 2};
+  std::vector<std::vector<size_t>> groups = {{0, 2}, {1}};
+  auto clusters = BuildNodeClusters(g, ids, groups);
+  ASSERT_EQ(clusters.size(), 2u);
+  EXPECT_EQ(clusters[0].labels, (std::set<std::string>{"Person"}));
+  EXPECT_EQ(clusters[0].property_keys,
+            (std::set<std::string>{"bday", "gender", "name"}));
+  EXPECT_EQ(clusters[0].members, (std::vector<size_t>{0, 2}));
+}
+
+TEST(BuildClustersTest, EdgeRepresentativeHasEndpoints) {
+  PropertyGraph g = MakeFigure1Graph();
+  std::vector<size_t> ids = {4};  // WORKS_AT(Bob -> Org)
+  std::vector<std::vector<size_t>> groups = {{0}};
+  auto clusters = BuildEdgeClusters(g, ids, groups, {});
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].source_labels, (std::set<std::string>{"Person"}));
+  EXPECT_EQ(clusters[0].target_labels,
+            (std::set<std::string>{"Organization"}));
+}
+
+TEST(BuildClustersTest, UnlabeledEndpointUsesDiscoveredType) {
+  PropertyGraph g;
+  NodeId a = g.AddNode({}, {});  // unlabeled
+  NodeId b = g.AddNode({"B"}, {});
+  ASSERT_TRUE(g.AddEdge(a, b, {"R"}, {}).ok());
+  std::unordered_map<size_t, std::set<std::string>> endpoint_labels = {
+      {a, {"~ABSTRACT_0"}}};
+  auto clusters = BuildEdgeClusters(g, {0}, {{0}}, endpoint_labels);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].source_labels,
+            (std::set<std::string>{"~ABSTRACT_0"}));
+  EXPECT_EQ(clusters[0].target_labels, (std::set<std::string>{"B"}));
+}
+
+// ---------- Algorithm 2: node types ----------
+
+TEST(ExtractNodeTypesTest, SameLabelSetsMerge) {
+  SchemaGraph schema;
+  std::vector<Cluster> clusters = {
+      MakeCluster({"Post"}, {"imgFile"}, {0}),
+      MakeCluster({"Post"}, {"content"}, {1}),
+  };
+  ExtractNodeTypes(clusters, {}, &schema);
+  ASSERT_EQ(schema.node_types.size(), 1u);
+  EXPECT_EQ(schema.node_types[0].property_keys,
+            (std::set<std::string>{"content", "imgFile"}));
+  EXPECT_EQ(schema.node_types[0].instances.size(), 2u);
+  EXPECT_EQ(schema.node_types[0].name, "Post");
+}
+
+TEST(ExtractNodeTypesTest, DifferentLabelSetsStaySeparate) {
+  SchemaGraph schema;
+  std::vector<Cluster> clusters = {
+      MakeCluster({"Person"}, {"name"}, {0}),
+      MakeCluster({"Person", "Student"}, {"name"}, {1}),
+  };
+  ExtractNodeTypes(clusters, {}, &schema);
+  EXPECT_EQ(schema.node_types.size(), 2u);
+}
+
+TEST(ExtractNodeTypesTest, UnlabeledMergesIntoSimilarLabeledType) {
+  SchemaGraph schema;
+  std::vector<Cluster> clusters = {
+      MakeCluster({"Person"}, {"name", "gender", "bday"}, {0, 1}),
+      MakeCluster({}, {"name", "gender", "bday"}, {2}),  // Alice
+  };
+  ExtractNodeTypes(clusters, {}, &schema);
+  ASSERT_EQ(schema.node_types.size(), 1u);
+  EXPECT_EQ(schema.node_types[0].instances.size(), 3u);
+  EXPECT_FALSE(schema.node_types[0].is_abstract);
+}
+
+TEST(ExtractNodeTypesTest, DissimilarUnlabeledBecomesAbstract) {
+  SchemaGraph schema;
+  std::vector<Cluster> clusters = {
+      MakeCluster({"Person"}, {"name", "gender", "bday"}, {0}),
+      MakeCluster({}, {"totally", "different"}, {1}),
+  };
+  ExtractNodeTypes(clusters, {}, &schema);
+  ASSERT_EQ(schema.node_types.size(), 2u);
+  EXPECT_TRUE(schema.node_types[1].is_abstract);
+  EXPECT_EQ(schema.node_types[1].name, "ABSTRACT_0");
+}
+
+TEST(ExtractNodeTypesTest, ThetaControlsUnlabeledMerging) {
+  // Jaccard of {a,b,c} vs {a,b,c,d} is 0.75.
+  auto run = [](double theta) {
+    SchemaGraph schema;
+    std::vector<Cluster> clusters = {
+        MakeCluster({"T"}, {"a", "b", "c", "d"}, {0}),
+        MakeCluster({}, {"a", "b", "c"}, {1}),
+    };
+    TypeExtractionOptions opt;
+    opt.jaccard_threshold = theta;
+    ExtractNodeTypes(clusters, opt, &schema);
+    return schema.node_types.size();
+  };
+  EXPECT_EQ(run(0.9), 2u);  // too strict -> abstract type
+  EXPECT_EQ(run(0.7), 1u);  // permissive -> merged
+}
+
+TEST(ExtractNodeTypesTest, UnlabeledPairwiseMerging) {
+  SchemaGraph schema;
+  std::vector<Cluster> clusters = {
+      MakeCluster({}, {"x", "y"}, {0}),
+      MakeCluster({}, {"x", "y"}, {1}),
+      MakeCluster({}, {"p", "q"}, {2}),
+  };
+  ExtractNodeTypes(clusters, {}, &schema);
+  ASSERT_EQ(schema.node_types.size(), 2u);
+  EXPECT_TRUE(schema.node_types[0].is_abstract);
+  EXPECT_TRUE(schema.node_types[1].is_abstract);
+  // The two identical clusters merged.
+  size_t total = schema.node_types[0].instances.size() +
+                 schema.node_types[1].instances.size();
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(ExtractNodeTypesTest, UnlabeledExtendsExistingAbstractType) {
+  SchemaGraph schema;
+  ExtractNodeTypes({MakeCluster({}, {"x", "y"}, {0})}, {}, &schema);
+  ASSERT_EQ(schema.node_types.size(), 1u);
+  // Next batch: a structurally identical unlabeled cluster.
+  ExtractNodeTypes({MakeCluster({}, {"x", "y"}, {1})}, {}, &schema);
+  ASSERT_EQ(schema.node_types.size(), 1u);
+  EXPECT_EQ(schema.node_types[0].instances.size(), 2u);
+}
+
+TEST(ExtractNodeTypesTest, AbstractNamesStayUniqueAcrossBatches) {
+  SchemaGraph schema;
+  ExtractNodeTypes({MakeCluster({}, {"a1"}, {0})}, {}, &schema);
+  ExtractNodeTypes({MakeCluster({}, {"b1", "b2"}, {1})}, {}, &schema);
+  ASSERT_EQ(schema.node_types.size(), 2u);
+  EXPECT_NE(schema.node_types[0].name, schema.node_types[1].name);
+}
+
+TEST(ExtractNodeTypesTest, AbstractNamesUniqueAfterTypeRetirement) {
+  // If ABSTRACT_0 is retired (e.g. by deletions) while ABSTRACT_1 survives,
+  // the next fresh abstract type must not reuse "ABSTRACT_1".
+  SchemaGraph schema;
+  ExtractNodeTypes({MakeCluster({}, {"a1"}, {0})}, {}, &schema);   // ABSTRACT_0
+  ExtractNodeTypes({MakeCluster({}, {"b1", "b2"}, {1})}, {}, &schema);  // _1
+  ASSERT_EQ(schema.node_types.size(), 2u);
+  schema.node_types.erase(schema.node_types.begin());  // retire ABSTRACT_0
+  ExtractNodeTypes({MakeCluster({}, {"c1", "c2", "c3"}, {2})}, {}, &schema);
+  ASSERT_EQ(schema.node_types.size(), 2u);
+  EXPECT_NE(schema.node_types[0].name, schema.node_types[1].name);
+  EXPECT_EQ(schema.node_types[1].name, "ABSTRACT_2");
+}
+
+// ---------- Algorithm 2: edge types ----------
+
+Cluster MakeEdgeCluster(std::set<std::string> labels,
+                        std::set<std::string> props,
+                        std::set<std::string> src, std::set<std::string> tgt,
+                        std::vector<size_t> members = {0}) {
+  Cluster c = MakeCluster(std::move(labels), std::move(props),
+                          std::move(members));
+  c.source_labels = std::move(src);
+  c.target_labels = std::move(tgt);
+  return c;
+}
+
+TEST(ExtractEdgeTypesTest, SameLabelSameEndpointsMerge) {
+  SchemaGraph schema;
+  std::vector<Cluster> clusters = {
+      MakeEdgeCluster({"KNOWS"}, {"since"}, {"Person"}, {"Person"}, {0}),
+      MakeEdgeCluster({"KNOWS"}, {}, {"Person"}, {"Person"}, {1}),
+  };
+  ExtractEdgeTypes(clusters, {}, &schema);
+  ASSERT_EQ(schema.edge_types.size(), 1u);
+  EXPECT_EQ(schema.edge_types[0].property_keys,
+            (std::set<std::string>{"since"}));
+}
+
+TEST(ExtractEdgeTypesTest, SameLabelDifferentEndpointsStaySeparate) {
+  // HAS_POSTCODE from Location vs from Area (POLE).
+  SchemaGraph schema;
+  std::vector<Cluster> clusters = {
+      MakeEdgeCluster({"HAS_POSTCODE"}, {}, {"Location"}, {"PostCode"}, {0}),
+      MakeEdgeCluster({"HAS_POSTCODE"}, {}, {"Area"}, {"PostCode"}, {1}),
+  };
+  ExtractEdgeTypes(clusters, {}, &schema);
+  ASSERT_EQ(schema.edge_types.size(), 2u);
+  EXPECT_NE(schema.edge_types[0].name, schema.edge_types[1].name);
+}
+
+TEST(ExtractEdgeTypesTest, NestedEndpointSetsAreCompatible) {
+  SchemaGraph schema;
+  std::vector<Cluster> clusters = {
+      MakeEdgeCluster({"R"}, {}, {"Person"}, {"Org"}, {0}),
+      MakeEdgeCluster({"R"}, {}, {"Person", "~ABSTRACT_0"}, {"Org"}, {1}),
+  };
+  ExtractEdgeTypes(clusters, {}, &schema);
+  ASSERT_EQ(schema.edge_types.size(), 1u);
+  EXPECT_EQ(schema.edge_types[0].source_labels,
+            (std::set<std::string>{"Person", "~ABSTRACT_0"}));
+}
+
+TEST(ExtractEdgeTypesTest, OverlappingButUnnestedEndpointsSeparate) {
+  // LDBC LIKES: {Message, Post} vs {Comment, Message} share Message only.
+  SchemaGraph schema;
+  std::vector<Cluster> clusters = {
+      MakeEdgeCluster({"LIKES"}, {}, {"Person"}, {"Message", "Post"}, {0}),
+      MakeEdgeCluster({"LIKES"}, {}, {"Person"}, {"Comment", "Message"}, {1}),
+  };
+  ExtractEdgeTypes(clusters, {}, &schema);
+  EXPECT_EQ(schema.edge_types.size(), 2u);
+}
+
+TEST(ExtractEdgeTypesTest, UnlabeledEdgeMergingUsesEndpoints) {
+  // Two property-less unlabeled edge clusters with different endpoints must
+  // NOT merge (J(∅,∅) = 1 would otherwise conflate them).
+  SchemaGraph schema;
+  std::vector<Cluster> clusters = {
+      MakeEdgeCluster({}, {}, {"A"}, {"B"}, {0}),
+      MakeEdgeCluster({}, {}, {"C"}, {"D"}, {1}),
+  };
+  ExtractEdgeTypes(clusters, {}, &schema);
+  EXPECT_EQ(schema.edge_types.size(), 2u);
+}
+
+TEST(ExtractEdgeTypesTest, UnlabeledEdgeMergesIntoMatchingLabeledType) {
+  SchemaGraph schema;
+  std::vector<Cluster> clusters = {
+      MakeEdgeCluster({"WORKS_AT"}, {"from"}, {"Person"}, {"Org"}, {0}),
+      MakeEdgeCluster({}, {"from"}, {"Person"}, {"Org"}, {1}),
+  };
+  ExtractEdgeTypes(clusters, {}, &schema);
+  ASSERT_EQ(schema.edge_types.size(), 1u);
+  EXPECT_EQ(schema.edge_types[0].instances.size(), 2u);
+}
+
+// ---------- Lemmas 1-2: merge monotonicity ----------
+
+TEST(MergeMonotonicityTest, NodeMergePreservesLabelsAndProperties) {
+  SchemaGraph schema;
+  ExtractNodeTypes({MakeCluster({"T"}, {"a", "b"}, {0})}, {}, &schema);
+  auto before_labels = schema.node_types[0].labels;
+  auto before_props = schema.node_types[0].property_keys;
+  ExtractNodeTypes({MakeCluster({"T"}, {"c"}, {1})}, {}, &schema);
+  ASSERT_EQ(schema.node_types.size(), 1u);
+  const auto& after = schema.node_types[0];
+  for (const auto& l : before_labels) EXPECT_TRUE(after.labels.count(l));
+  for (const auto& p : before_props) EXPECT_TRUE(after.property_keys.count(p));
+  EXPECT_TRUE(after.property_keys.count("c"));
+}
+
+TEST(MergeMonotonicityTest, EdgeMergePreservesEndpoints) {
+  SchemaGraph schema;
+  ExtractEdgeTypes({MakeEdgeCluster({"R"}, {"p"}, {"S1"}, {"T1"}, {0})}, {},
+                   &schema);
+  ExtractEdgeTypes({MakeEdgeCluster({"R"}, {"q"}, {"S1"}, {"T1"}, {1})}, {},
+                   &schema);
+  ASSERT_EQ(schema.edge_types.size(), 1u);
+  const auto& t = schema.edge_types[0];
+  EXPECT_TRUE(t.property_keys.count("p"));
+  EXPECT_TRUE(t.property_keys.count("q"));
+  EXPECT_TRUE(t.source_labels.count("S1"));
+  EXPECT_TRUE(t.target_labels.count("T1"));
+}
+
+}  // namespace
+}  // namespace pghive

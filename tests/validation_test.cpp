@@ -1,0 +1,251 @@
+// Tests for schema validation (LOOSE / STRICT modes).
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "core/validation.h"
+#include "datagen/datasets.h"
+#include "datagen/generator.h"
+#include "graph/graph_builder.h"
+
+namespace pghive {
+namespace {
+
+// A small hand-built schema to validate against.
+SchemaGraph PersonSchema() {
+  SchemaGraph s;
+  SchemaNodeType person;
+  person.name = "Person";
+  person.labels = {"Person"};
+  person.property_keys = {"name", "age", "email"};
+  person.constraints["name"] = {DataType::kString, true};
+  person.constraints["age"] = {DataType::kInt, true};
+  person.constraints["email"] = {DataType::kString, false};
+  s.node_types.push_back(person);
+
+  SchemaEdgeType knows;
+  knows.name = "KNOWS";
+  knows.labels = {"KNOWS"};
+  knows.property_keys = {"since"};
+  knows.constraints["since"] = {DataType::kDate, false};
+  knows.source_labels = {"Person"};
+  knows.target_labels = {"Person"};
+  knows.cardinality = SchemaCardinality::kManyToMany;
+  s.edge_types.push_back(knows);
+  return s;
+}
+
+TEST(ValidationTest, ConformingGraphIsValidStrict) {
+  GraphBuilder b;
+  auto p1 = b.Node({"Person"}, {{"name", Value::String("A")},
+                                {"age", Value::Int(30)}});
+  auto p2 = b.Node({"Person"}, {{"name", Value::String("B")},
+                                {"age", Value::Int(31)},
+                                {"email", Value::String("b@x")}});
+  b.Edge(p1, p2, "KNOWS", {{"since", Value::Date("2020-01-01")}});
+  PropertyGraph g = std::move(b).Build();
+
+  ValidationOptions opt;
+  opt.mode = ValidationMode::kStrict;
+  ValidationReport report = ValidateGraph(g, PersonSchema(), opt);
+  EXPECT_TRUE(report.valid()) << report.Summary();
+  EXPECT_EQ(report.elements_checked, 3u);
+  EXPECT_EQ(report.elements_valid, 3u);
+  EXPECT_DOUBLE_EQ(report.validity_ratio(), 1.0);
+}
+
+TEST(ValidationTest, UnknownLabelFailsBothModes) {
+  GraphBuilder b;
+  b.Node({"Robot"}, {{"name", Value::String("R2")}});
+  PropertyGraph g = std::move(b).Build();
+  for (ValidationMode mode :
+       {ValidationMode::kLoose, ValidationMode::kStrict}) {
+    ValidationOptions opt;
+    opt.mode = mode;
+    ValidationReport report = ValidateGraph(g, PersonSchema(), opt);
+    ASSERT_FALSE(report.valid());
+    EXPECT_EQ(report.violations[0].kind, ViolationKind::kNoMatchingType);
+  }
+}
+
+TEST(ValidationTest, MissingMandatoryOnlyStrict) {
+  GraphBuilder b;
+  b.Node({"Person"}, {{"name", Value::String("A")}});  // no age
+  PropertyGraph g = std::move(b).Build();
+
+  ValidationReport loose = ValidateGraph(g, PersonSchema(), {});
+  EXPECT_TRUE(loose.valid());
+
+  ValidationOptions strict;
+  strict.mode = ValidationMode::kStrict;
+  ValidationReport report = ValidateGraph(g, PersonSchema(), strict);
+  ASSERT_FALSE(report.valid());
+  EXPECT_EQ(report.violations[0].kind, ViolationKind::kMissingMandatory);
+  EXPECT_NE(report.violations[0].detail.find("age"), std::string::npos);
+}
+
+TEST(ValidationTest, DatatypeMismatchStrict) {
+  GraphBuilder b;
+  b.Node({"Person"}, {{"name", Value::String("A")},
+                      {"age", Value::String("thirty")}});
+  PropertyGraph g = std::move(b).Build();
+  ValidationOptions strict;
+  strict.mode = ValidationMode::kStrict;
+  ValidationReport report = ValidateGraph(g, PersonSchema(), strict);
+  ASSERT_FALSE(report.valid());
+  EXPECT_EQ(report.violations[0].kind, ViolationKind::kDatatypeMismatch);
+}
+
+TEST(ValidationTest, IntAcceptedWhereDoubleDeclared) {
+  SchemaGraph s = PersonSchema();
+  s.node_types[0].constraints["age"] = {DataType::kDouble, true};
+  GraphBuilder b;
+  b.Node({"Person"}, {{"name", Value::String("A")}, {"age", Value::Int(3)}});
+  PropertyGraph g = std::move(b).Build();
+  ValidationOptions strict;
+  strict.mode = ValidationMode::kStrict;
+  EXPECT_TRUE(ValidateGraph(g, s, strict).valid());
+}
+
+TEST(ValidationTest, UndeclaredPropertyFails) {
+  GraphBuilder b;
+  b.Node({"Person"}, {{"name", Value::String("A")},
+                      {"age", Value::Int(5)},
+                      {"shoe_size", Value::Int(44)}});
+  PropertyGraph g = std::move(b).Build();
+  // LOOSE already fails coverage (shoe_size not in the type's keys).
+  ValidationReport loose = ValidateGraph(g, PersonSchema(), {});
+  EXPECT_FALSE(loose.valid());
+  EXPECT_EQ(loose.violations[0].kind, ViolationKind::kNoMatchingType);
+}
+
+TEST(ValidationTest, EndpointMismatchReported) {
+  GraphBuilder b;
+  auto p = b.Node({"Person"}, {{"name", Value::String("A")},
+                               {"age", Value::Int(1)}});
+  auto r = b.Node({"Person"}, {{"name", Value::String("B")},
+                               {"age", Value::Int(2)}});
+  b.Edge(p, r, "KNOWS", {});
+  PropertyGraph g = std::move(b).Build();
+  SchemaGraph s = PersonSchema();
+  s.edge_types[0].target_labels = {"Organization"};  // wrong endpoint decl
+  ValidationReport report = ValidateGraph(g, s, {});
+  ASSERT_FALSE(report.valid());
+  EXPECT_EQ(report.violations[0].kind, ViolationKind::kEndpointMismatch);
+}
+
+TEST(ValidationTest, CardinalityViolationStrict) {
+  SchemaGraph s = PersonSchema();
+  s.edge_types[0].cardinality = SchemaCardinality::kZeroOrOne;
+  GraphBuilder b;
+  auto p1 = b.Node({"Person"}, {{"name", Value::String("A")},
+                                {"age", Value::Int(1)}});
+  auto p2 = b.Node({"Person"}, {{"name", Value::String("B")},
+                                {"age", Value::Int(2)}});
+  auto p3 = b.Node({"Person"}, {{"name", Value::String("C")},
+                                {"age", Value::Int(3)}});
+  b.Edge(p1, p2, "KNOWS", {});
+  b.Edge(p1, p3, "KNOWS", {});  // second distinct target: violates 0:1
+  PropertyGraph g = std::move(b).Build();
+  ValidationOptions strict;
+  strict.mode = ValidationMode::kStrict;
+  ValidationReport report = ValidateGraph(g, s, strict);
+  bool found = false;
+  for (const auto& v : report.violations) {
+    found |= v.kind == ViolationKind::kCardinalityExceeded;
+  }
+  EXPECT_TRUE(found) << report.Summary();
+}
+
+TEST(ValidationTest, MaxViolationsCapsOutput) {
+  GraphBuilder b;
+  for (int i = 0; i < 20; ++i) b.Node({"Robot"}, {});
+  PropertyGraph g = std::move(b).Build();
+  ValidationOptions opt;
+  opt.max_violations = 5;
+  ValidationReport report = ValidateGraph(g, PersonSchema(), opt);
+  EXPECT_EQ(report.violations.size(), 5u);
+  EXPECT_EQ(report.elements_checked, 20u);
+}
+
+TEST(ValidationTest, DiscoveredSchemaValidatesItsOwnGraphLoose) {
+  // Invariant: a schema discovered from a graph covers that graph.
+  for (const char* name : {"POLE", "MB6", "ICIJ", "LDBC"}) {
+    auto spec = DatasetSpecByName(name).value();
+    GenerateOptions gen;
+    gen.num_nodes = 600;
+    gen.num_edges = 1200;
+    auto g = GenerateGraph(spec, gen).value();
+    PgHivePipeline pipeline;
+    auto schema = pipeline.DiscoverSchema(g).value();
+    ValidationReport report = ValidateGraph(g, schema, {});
+    EXPECT_TRUE(report.valid()) << name << ": " << report.Summary();
+  }
+}
+
+TEST(ValidationTest, DiscoveredSchemaStrictSelfValidationMandatoryHolds) {
+  // STRICT self-validation: mandatory and datatype constraints are sound by
+  // §4.7, so the only possible strict violations on the originating graph
+  // are none at all.
+  auto g = GenerateGraph(MakePoleSpec(),
+                         GenerateOptions{.num_nodes = 500, .num_edges = 900})
+               .value();
+  PgHivePipeline pipeline;
+  auto schema = pipeline.DiscoverSchema(g).value();
+  ValidationOptions strict;
+  strict.mode = ValidationMode::kStrict;
+  ValidationReport report = ValidateGraph(g, schema, strict);
+  // Cardinality classes are derived from this very graph, so they hold;
+  // mandatory properties were observed in every instance.
+  size_t hard_violations = 0;
+  for (const auto& v : report.violations) {
+    if (v.kind == ViolationKind::kMissingMandatory ||
+        v.kind == ViolationKind::kDatatypeMismatch) {
+      ++hard_violations;
+    }
+  }
+  EXPECT_EQ(hard_violations, 0u) << report.Summary();
+}
+
+TEST(ValidationTest, NewDataScreening) {
+  // The downstream workflow: discover on today's graph, screen tomorrow's
+  // batch. A new property value type shows up as a STRICT violation.
+  GraphBuilder today;
+  for (int i = 0; i < 10; ++i) {
+    today.Node({"Person"}, {{"age", Value::Int(20 + i)}});
+  }
+  PropertyGraph g_today = std::move(today).Build();
+  PgHivePipeline pipeline;
+  auto schema = pipeline.DiscoverSchema(g_today).value();
+
+  GraphBuilder tomorrow;
+  tomorrow.Node({"Person"}, {{"age", Value::String("unknown")}});
+  PropertyGraph g_tomorrow = std::move(tomorrow).Build();
+  ValidationOptions strict;
+  strict.mode = ValidationMode::kStrict;
+  ValidationReport report = ValidateGraph(g_tomorrow, schema, strict);
+  ASSERT_FALSE(report.valid());
+  EXPECT_EQ(report.violations[0].kind, ViolationKind::kDatatypeMismatch);
+}
+
+TEST(ValidationTest, DataTypeAcceptsMatrix) {
+  EXPECT_TRUE(DataTypeAccepts(DataType::kString, DataType::kInt));
+  EXPECT_TRUE(DataTypeAccepts(DataType::kDouble, DataType::kInt));
+  EXPECT_TRUE(DataTypeAccepts(DataType::kTimestamp, DataType::kDate));
+  EXPECT_FALSE(DataTypeAccepts(DataType::kInt, DataType::kDouble));
+  EXPECT_FALSE(DataTypeAccepts(DataType::kDate, DataType::kTimestamp));
+  EXPECT_FALSE(DataTypeAccepts(DataType::kBool, DataType::kInt));
+}
+
+TEST(ValidationTest, ReportSummaryRendering) {
+  GraphBuilder b;
+  b.Node({"Robot"}, {});
+  PropertyGraph g = std::move(b).Build();
+  ValidationReport report = ValidateGraph(g, PersonSchema(), {});
+  std::string summary = report.Summary();
+  EXPECT_NE(summary.find("0/1 elements valid"), std::string::npos);
+  EXPECT_NE(summary.find("NoMatchingType"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pghive

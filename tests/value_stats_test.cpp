@@ -1,0 +1,132 @@
+// Tests for property value statistics and enumeration detection.
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "core/value_stats.h"
+#include "datagen/datasets.h"
+#include "datagen/generator.h"
+#include "graph/graph_builder.h"
+
+namespace pghive {
+namespace {
+
+// Builds a graph with one node type owning all nodes and computes its stats.
+TypeValueStats StatsOf(std::vector<std::map<std::string, Value>> props,
+                       const ValueStatsOptions& options = {}) {
+  PropertyGraph g;
+  SchemaGraph schema;
+  SchemaNodeType t;
+  t.name = "T";
+  t.labels = {"T"};
+  for (auto& p : props) {
+    for (const auto& [k, v] : p) t.property_keys.insert(k);
+    t.instances.push_back(g.AddNode({"T"}, std::move(p), "T"));
+  }
+  schema.node_types.push_back(std::move(t));
+  return ComputeValueStats(g, schema, options).node_types[0];
+}
+
+TEST(ValueStatsTest, CountsObservedAbsentDistinct) {
+  auto stats = StatsOf({{{"x", Value::Int(1)}},
+                        {{"x", Value::Int(1)}},
+                        {{"x", Value::Int(2)}},
+                        {}});
+  const PropertyStats& x = stats.at("x");
+  EXPECT_EQ(x.observed, 3u);
+  EXPECT_EQ(x.absent, 1u);
+  EXPECT_EQ(x.distinct, 2u);
+}
+
+TEST(ValueStatsTest, NumericRange) {
+  auto stats = StatsOf({{{"v", Value::Int(5)}},
+                        {{"v", Value::Double(-2.5)}},
+                        {{"v", Value::Int(100)}}});
+  const PropertyStats& v = stats.at("v");
+  EXPECT_EQ(v.numeric_count, 3u);
+  EXPECT_DOUBLE_EQ(v.numeric_min, -2.5);
+  EXPECT_DOUBLE_EQ(v.numeric_max, 100.0);
+}
+
+TEST(ValueStatsTest, LexicalRangeForStrings) {
+  auto stats = StatsOf({{{"s", Value::String("banana")}},
+                        {{"s", Value::String("apple")}},
+                        {{"s", Value::String("cherry")}}});
+  const PropertyStats& s = stats.at("s");
+  EXPECT_EQ(s.lexical_min, "apple");
+  EXPECT_EQ(s.lexical_max, "cherry");
+  EXPECT_EQ(s.numeric_count, 0u);
+}
+
+TEST(ValueStatsTest, TopValuesRankedByFrequency) {
+  std::vector<std::map<std::string, Value>> props;
+  for (int i = 0; i < 5; ++i) props.push_back({{"c", Value::String("hi")}});
+  for (int i = 0; i < 3; ++i) props.push_back({{"c", Value::String("mid")}});
+  props.push_back({{"c", Value::String("lo")}});
+  ValueStatsOptions opt;
+  opt.top_k = 2;
+  auto stats = StatsOf(std::move(props), opt);
+  const PropertyStats& c = stats.at("c");
+  ASSERT_EQ(c.top_values.size(), 2u);
+  EXPECT_EQ(c.top_values[0].first, "hi");
+  EXPECT_EQ(c.top_values[0].second, 5u);
+  EXPECT_EQ(c.top_values[1].first, "mid");
+}
+
+TEST(ValueStatsTest, EnumDetection) {
+  // 30 observations over 3 values -> enumeration.
+  std::vector<std::map<std::string, Value>> props;
+  const char* states[] = {"open", "closed", "pending"};
+  for (int i = 0; i < 30; ++i) {
+    props.push_back({{"state", Value::String(states[i % 3])},
+                     {"id", Value::Int(i)}});
+  }
+  auto stats = StatsOf(std::move(props));
+  const PropertyStats& state = stats.at("state");
+  EXPECT_TRUE(state.enum_candidate);
+  EXPECT_EQ(state.enum_domain,
+            (std::vector<std::string>{"closed", "open", "pending"}));
+  // A unique-per-instance id is not an enum.
+  EXPECT_FALSE(stats.at("id").enum_candidate);
+}
+
+TEST(ValueStatsTest, SmallSupportNotEnum) {
+  // 3 observations of 1 value: too few to call it an enumeration.
+  auto stats = StatsOf({{{"x", Value::String("a")}},
+                        {{"x", Value::String("a")}},
+                        {{"x", Value::String("a")}}});
+  EXPECT_FALSE(stats.at("x").enum_candidate);
+}
+
+TEST(ValueStatsTest, FormatRendering) {
+  std::vector<std::map<std::string, Value>> props;
+  for (int i = 0; i < 20; ++i) {
+    props.push_back({{"flag", Value::Bool(i % 2 == 0)}});
+  }
+  auto stats = StatsOf(std::move(props));
+  std::string line = FormatPropertyStats(stats.at("flag"));
+  EXPECT_NE(line.find("observed=20"), std::string::npos);
+  EXPECT_NE(line.find("distinct=2"), std::string::npos);
+  EXPECT_NE(line.find("ENUM{false, true}"), std::string::npos);
+}
+
+TEST(ValueStatsTest, WorksOnDiscoveredSchema) {
+  auto g = GenerateGraph(MakePoleSpec(),
+                         GenerateOptions{.num_nodes = 400, .num_edges = 700})
+               .value();
+  PgHivePipeline pipeline;
+  auto schema = pipeline.DiscoverSchema(g).value();
+  SchemaValueStats stats = ComputeValueStats(g, schema);
+  ASSERT_EQ(stats.node_types.size(), schema.node_types.size());
+  ASSERT_EQ(stats.edge_types.size(), schema.edge_types.size());
+  // Observed + absent always equals the type's instance count.
+  for (size_t t = 0; t < stats.node_types.size(); ++t) {
+    for (const auto& [key, s] : stats.node_types[t]) {
+      EXPECT_EQ(s.observed + s.absent,
+                schema.node_types[t].instances.size());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pghive

@@ -1,0 +1,112 @@
+// Scratch diagnostic: intra- vs inter-type distance / Jaccard distributions
+// of the encoded elements, for LSH parameter calibration. Not installed.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/feature_encoder.h"
+#include "core/pipeline.h"
+#include "datagen/datasets.h"
+#include "datagen/generator.h"
+#include "datagen/noise.h"
+
+using namespace pghive;
+
+namespace {
+
+double Dist(const std::vector<float>& a, const std::vector<float>& b) {
+  double sq = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    sq += d * d;
+  }
+  return std::sqrt(sq);
+}
+
+double Jac(const std::vector<std::string>& a,
+           const std::vector<std::string>& b) {
+  std::set<std::string> sa(a.begin(), a.end()), sb(b.begin(), b.end());
+  size_t inter = 0;
+  for (const auto& x : sa) inter += sb.count(x);
+  size_t uni = sa.size() + sb.size() - inter;
+  return uni ? double(inter) / uni : 1.0;
+}
+
+void Quantiles(const char* name, std::vector<double>& v) {
+  if (v.empty()) {
+    std::printf("  %-14s (empty)\n", name);
+    return;
+  }
+  std::sort(v.begin(), v.end());
+  auto q = [&](double p) { return v[size_t(p * (v.size() - 1))]; };
+  std::printf("  %-14s n=%6zu  p05=%.2f p25=%.2f p50=%.2f p75=%.2f p95=%.2f\n",
+              name, v.size(), q(.05), q(.25), q(.5), q(.75), q(.95));
+}
+
+void Analyze(const char* dsname, const PropertyGraph& g, double noise,
+             double avail) {
+  NoiseOptions nopt;
+  nopt.property_removal = noise;
+  nopt.label_availability = avail;
+  auto noisy = InjectNoise(g, nopt).value();
+
+  LabelEmbedderOptions eo;
+  LabelEmbedder emb(eo);
+  emb.Train(BuildBatchLabelCorpus(FullBatch(noisy))).ok();
+  FeatureEncoder enc(&emb);
+  auto nodes = enc.EncodeNodes(FullBatch(noisy));
+  auto edges = enc.EncodeEdges(FullBatch(noisy), {});
+
+  std::printf("%s noise=%.0f%% labels=%.0f%%\n", dsname, noise * 100,
+              avail * 100);
+  Rng rng(5);
+  for (int pass = 0; pass < 2; ++pass) {
+    const auto& enc_el = pass == 0 ? nodes : edges;
+    auto truth = [&](size_t pos) -> const std::string& {
+      return pass == 0 ? noisy.node(enc_el.ids[pos]).truth_type
+                       : noisy.edge(enc_el.ids[pos]).truth_type;
+    };
+    std::vector<double> intra_d, inter_d, intra_j, inter_j;
+    size_t n = enc_el.ids.size();
+    for (int s = 0; s < 20000; ++s) {
+      size_t i = rng.UniformU32(uint32_t(n));
+      size_t j = rng.UniformU32(uint32_t(n));
+      if (i == j) continue;
+      double d = Dist(enc_el.vectors[i], enc_el.vectors[j]);
+      double jc = Jac(enc_el.token_sets[i], enc_el.token_sets[j]);
+      if (truth(i) == truth(j)) {
+        intra_d.push_back(d);
+        intra_j.push_back(jc);
+      } else {
+        inter_d.push_back(d);
+        inter_j.push_back(jc);
+      }
+    }
+    std::printf(" %s:\n", pass == 0 ? "nodes" : "edges");
+    Quantiles("intra dist", intra_d);
+    Quantiles("inter dist", inter_d);
+    Quantiles("intra jacc", intra_j);
+    Quantiles("inter jacc", inter_j);
+  }
+}
+
+}  // namespace
+
+int main() {
+  for (const char* name : {"POLE", "ICIJ", "MB6", "LDBC"}) {
+    auto spec = DatasetSpecByName(name).value();
+    GenerateOptions gen;
+    gen.num_nodes = 3000;
+    gen.num_edges = 6000;
+    auto g = GenerateGraph(spec, gen).value();
+    Analyze(name, g, 0.0, 1.0);
+    Analyze(name, g, 0.4, 1.0);
+    Analyze(name, g, 0.4, 0.0);
+  }
+  return 0;
+}

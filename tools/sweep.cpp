@@ -1,0 +1,49 @@
+// Scratch: quick F1 sweep over all datasets / noise / label availability.
+
+#include <cstdio>
+
+#include "eval/experiment.h"
+
+using namespace pghive;
+
+int main(int argc, char** argv) {
+  double scale = argc > 1 ? std::atof(argv[1]) : 0.3;
+  ExperimentConfig config;
+  config.size_scale = scale;
+  for (const auto& spec : AllDatasetSpecs()) {
+    auto clean = GenerateForExperiment(spec, config);
+    if (!clean.ok()) {
+      std::printf("%s: generation failed: %s\n", spec.name.c_str(),
+                  clean.status().ToString().c_str());
+      continue;
+    }
+    for (double noise : {0.0, 0.4}) {
+      for (double avail : {1.0, 0.5, 0.0}) {
+        NoiseOptions nopt;
+        nopt.property_removal = noise;
+        nopt.label_availability = avail;
+        auto noisy = InjectNoise(*clean, nopt).value();
+        std::printf("%-7s N=%5zu E=%6zu noise=%.0f%% lab=%3.0f%% | ",
+                    spec.name.c_str(), noisy.num_nodes(), noisy.num_edges(),
+                    noise * 100, avail * 100);
+        for (Method m : AllMethods()) {
+          if (!MethodSupportsLabelAvailability(m, avail)) continue;
+          ExperimentResult r = RunMethod(noisy, m, config);
+          if (!r.ran) {
+            std::printf("%s=REFUSED ", MethodName(m));
+            continue;
+          }
+          if (r.has_edge_types) {
+            std::printf("%s n=%.2f e=%.2f t=%.1fs | ", MethodName(m),
+                        r.node_f1.f1, r.edge_f1.f1, r.seconds);
+          } else {
+            std::printf("%s n=%.2f t=%.1fs | ", MethodName(m), r.node_f1.f1,
+                        r.seconds);
+          }
+        }
+        std::printf("\n");
+      }
+    }
+  }
+  return 0;
+}
