@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pghive_app.dir/pghive.cpp.o"
+  "CMakeFiles/pghive_app.dir/pghive.cpp.o.d"
+  "pghive"
+  "pghive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pghive_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_nemenyi.dir/fig3_nemenyi.cpp.o"
+  "CMakeFiles/fig3_nemenyi.dir/fig3_nemenyi.cpp.o.d"
+  "fig3_nemenyi"
+  "fig3_nemenyi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_nemenyi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

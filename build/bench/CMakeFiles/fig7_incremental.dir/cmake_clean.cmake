@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_incremental.dir/fig7_incremental.cpp.o"
+  "CMakeFiles/fig7_incremental.dir/fig7_incremental.cpp.o.d"
+  "fig7_incremental"
+  "fig7_incremental.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_dtype_sampling.dir/fig8_dtype_sampling.cpp.o"
+  "CMakeFiles/fig8_dtype_sampling.dir/fig8_dtype_sampling.cpp.o.d"
+  "fig8_dtype_sampling"
+  "fig8_dtype_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_dtype_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_ablation.cpp" "bench/CMakeFiles/micro_ablation.dir/micro_ablation.cpp.o" "gcc" "bench/CMakeFiles/micro_ablation.dir/micro_ablation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pghive_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pghive_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pghive_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pghive_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pghive_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pghive_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pghive_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pghive_lsh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pghive_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pghive_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pghive_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_lsh.dir/micro_lsh.cpp.o"
+  "CMakeFiles/micro_lsh.dir/micro_lsh.cpp.o.d"
+  "micro_lsh"
+  "micro_lsh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_lsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noisy_integration.dir/noisy_integration.cpp.o"
+  "CMakeFiles/noisy_integration.dir/noisy_integration.cpp.o.d"
+  "noisy_integration"
+  "noisy_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noisy_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

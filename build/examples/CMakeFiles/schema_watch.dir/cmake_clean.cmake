@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_watch.dir/schema_watch.cpp.o"
+  "CMakeFiles/schema_watch.dir/schema_watch.cpp.o.d"
+  "schema_watch"
+  "schema_watch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_watch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

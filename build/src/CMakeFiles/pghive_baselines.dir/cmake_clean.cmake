@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pghive_baselines.dir/baselines/gmm_schema.cc.o"
+  "CMakeFiles/pghive_baselines.dir/baselines/gmm_schema.cc.o.d"
+  "CMakeFiles/pghive_baselines.dir/baselines/schemi.cc.o"
+  "CMakeFiles/pghive_baselines.dir/baselines/schemi.cc.o.d"
+  "libpghive_baselines.a"
+  "libpghive_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pghive_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pghive_cli.dir/cli/args.cc.o"
+  "CMakeFiles/pghive_cli.dir/cli/args.cc.o.d"
+  "CMakeFiles/pghive_cli.dir/cli/commands.cc.o"
+  "CMakeFiles/pghive_cli.dir/cli/commands.cc.o.d"
+  "libpghive_cli.a"
+  "libpghive_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pghive_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

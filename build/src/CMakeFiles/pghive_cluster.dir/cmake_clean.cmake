@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pghive_cluster.dir/cluster/cluster.cc.o"
+  "CMakeFiles/pghive_cluster.dir/cluster/cluster.cc.o.d"
+  "CMakeFiles/pghive_cluster.dir/cluster/lsh_clusterer.cc.o"
+  "CMakeFiles/pghive_cluster.dir/cluster/lsh_clusterer.cc.o.d"
+  "libpghive_cluster.a"
+  "libpghive_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pghive_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pghive_common.dir/common/csv.cc.o"
+  "CMakeFiles/pghive_common.dir/common/csv.cc.o.d"
+  "CMakeFiles/pghive_common.dir/common/json.cc.o"
+  "CMakeFiles/pghive_common.dir/common/json.cc.o.d"
+  "CMakeFiles/pghive_common.dir/common/logging.cc.o"
+  "CMakeFiles/pghive_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/pghive_common.dir/common/random.cc.o"
+  "CMakeFiles/pghive_common.dir/common/random.cc.o.d"
+  "CMakeFiles/pghive_common.dir/common/status.cc.o"
+  "CMakeFiles/pghive_common.dir/common/status.cc.o.d"
+  "CMakeFiles/pghive_common.dir/common/string_util.cc.o"
+  "CMakeFiles/pghive_common.dir/common/string_util.cc.o.d"
+  "CMakeFiles/pghive_common.dir/common/union_find.cc.o"
+  "CMakeFiles/pghive_common.dir/common/union_find.cc.o.d"
+  "libpghive_common.a"
+  "libpghive_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pghive_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cardinality.cc" "src/CMakeFiles/pghive_core.dir/core/cardinality.cc.o" "gcc" "src/CMakeFiles/pghive_core.dir/core/cardinality.cc.o.d"
+  "/root/repo/src/core/constraints.cc" "src/CMakeFiles/pghive_core.dir/core/constraints.cc.o" "gcc" "src/CMakeFiles/pghive_core.dir/core/constraints.cc.o.d"
+  "/root/repo/src/core/datatype_inference.cc" "src/CMakeFiles/pghive_core.dir/core/datatype_inference.cc.o" "gcc" "src/CMakeFiles/pghive_core.dir/core/datatype_inference.cc.o.d"
+  "/root/repo/src/core/deletions.cc" "src/CMakeFiles/pghive_core.dir/core/deletions.cc.o" "gcc" "src/CMakeFiles/pghive_core.dir/core/deletions.cc.o.d"
+  "/root/repo/src/core/feature_encoder.cc" "src/CMakeFiles/pghive_core.dir/core/feature_encoder.cc.o" "gcc" "src/CMakeFiles/pghive_core.dir/core/feature_encoder.cc.o.d"
+  "/root/repo/src/core/incremental.cc" "src/CMakeFiles/pghive_core.dir/core/incremental.cc.o" "gcc" "src/CMakeFiles/pghive_core.dir/core/incremental.cc.o.d"
+  "/root/repo/src/core/label_alias.cc" "src/CMakeFiles/pghive_core.dir/core/label_alias.cc.o" "gcc" "src/CMakeFiles/pghive_core.dir/core/label_alias.cc.o.d"
+  "/root/repo/src/core/pattern.cc" "src/CMakeFiles/pghive_core.dir/core/pattern.cc.o" "gcc" "src/CMakeFiles/pghive_core.dir/core/pattern.cc.o.d"
+  "/root/repo/src/core/pgschema_parser.cc" "src/CMakeFiles/pghive_core.dir/core/pgschema_parser.cc.o" "gcc" "src/CMakeFiles/pghive_core.dir/core/pgschema_parser.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/CMakeFiles/pghive_core.dir/core/pipeline.cc.o" "gcc" "src/CMakeFiles/pghive_core.dir/core/pipeline.cc.o.d"
+  "/root/repo/src/core/schema.cc" "src/CMakeFiles/pghive_core.dir/core/schema.cc.o" "gcc" "src/CMakeFiles/pghive_core.dir/core/schema.cc.o.d"
+  "/root/repo/src/core/schema_diff.cc" "src/CMakeFiles/pghive_core.dir/core/schema_diff.cc.o" "gcc" "src/CMakeFiles/pghive_core.dir/core/schema_diff.cc.o.d"
+  "/root/repo/src/core/schema_json.cc" "src/CMakeFiles/pghive_core.dir/core/schema_json.cc.o" "gcc" "src/CMakeFiles/pghive_core.dir/core/schema_json.cc.o.d"
+  "/root/repo/src/core/serialization.cc" "src/CMakeFiles/pghive_core.dir/core/serialization.cc.o" "gcc" "src/CMakeFiles/pghive_core.dir/core/serialization.cc.o.d"
+  "/root/repo/src/core/type_extraction.cc" "src/CMakeFiles/pghive_core.dir/core/type_extraction.cc.o" "gcc" "src/CMakeFiles/pghive_core.dir/core/type_extraction.cc.o.d"
+  "/root/repo/src/core/validation.cc" "src/CMakeFiles/pghive_core.dir/core/validation.cc.o" "gcc" "src/CMakeFiles/pghive_core.dir/core/validation.cc.o.d"
+  "/root/repo/src/core/value_stats.cc" "src/CMakeFiles/pghive_core.dir/core/value_stats.cc.o" "gcc" "src/CMakeFiles/pghive_core.dir/core/value_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pghive_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pghive_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pghive_lsh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pghive_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pghive_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

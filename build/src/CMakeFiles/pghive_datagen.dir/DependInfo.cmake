@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/dataset_spec.cc" "src/CMakeFiles/pghive_datagen.dir/datagen/dataset_spec.cc.o" "gcc" "src/CMakeFiles/pghive_datagen.dir/datagen/dataset_spec.cc.o.d"
+  "/root/repo/src/datagen/datasets.cc" "src/CMakeFiles/pghive_datagen.dir/datagen/datasets.cc.o" "gcc" "src/CMakeFiles/pghive_datagen.dir/datagen/datasets.cc.o.d"
+  "/root/repo/src/datagen/generator.cc" "src/CMakeFiles/pghive_datagen.dir/datagen/generator.cc.o" "gcc" "src/CMakeFiles/pghive_datagen.dir/datagen/generator.cc.o.d"
+  "/root/repo/src/datagen/noise.cc" "src/CMakeFiles/pghive_datagen.dir/datagen/noise.cc.o" "gcc" "src/CMakeFiles/pghive_datagen.dir/datagen/noise.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pghive_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pghive_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

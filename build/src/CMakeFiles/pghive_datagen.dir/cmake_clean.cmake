@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pghive_datagen.dir/datagen/dataset_spec.cc.o"
+  "CMakeFiles/pghive_datagen.dir/datagen/dataset_spec.cc.o.d"
+  "CMakeFiles/pghive_datagen.dir/datagen/datasets.cc.o"
+  "CMakeFiles/pghive_datagen.dir/datagen/datasets.cc.o.d"
+  "CMakeFiles/pghive_datagen.dir/datagen/generator.cc.o"
+  "CMakeFiles/pghive_datagen.dir/datagen/generator.cc.o.d"
+  "CMakeFiles/pghive_datagen.dir/datagen/noise.cc.o"
+  "CMakeFiles/pghive_datagen.dir/datagen/noise.cc.o.d"
+  "libpghive_datagen.a"
+  "libpghive_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pghive_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pghive_eval.dir/eval/experiment.cc.o"
+  "CMakeFiles/pghive_eval.dir/eval/experiment.cc.o.d"
+  "CMakeFiles/pghive_eval.dir/eval/f1.cc.o"
+  "CMakeFiles/pghive_eval.dir/eval/f1.cc.o.d"
+  "CMakeFiles/pghive_eval.dir/eval/ground_truth.cc.o"
+  "CMakeFiles/pghive_eval.dir/eval/ground_truth.cc.o.d"
+  "CMakeFiles/pghive_eval.dir/eval/ranking.cc.o"
+  "CMakeFiles/pghive_eval.dir/eval/ranking.cc.o.d"
+  "CMakeFiles/pghive_eval.dir/eval/report.cc.o"
+  "CMakeFiles/pghive_eval.dir/eval/report.cc.o.d"
+  "libpghive_eval.a"
+  "libpghive_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pghive_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

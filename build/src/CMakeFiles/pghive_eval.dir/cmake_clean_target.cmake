@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpghive_eval.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/csv_io.cc" "src/CMakeFiles/pghive_graph.dir/graph/csv_io.cc.o" "gcc" "src/CMakeFiles/pghive_graph.dir/graph/csv_io.cc.o.d"
+  "/root/repo/src/graph/graph_builder.cc" "src/CMakeFiles/pghive_graph.dir/graph/graph_builder.cc.o" "gcc" "src/CMakeFiles/pghive_graph.dir/graph/graph_builder.cc.o.d"
+  "/root/repo/src/graph/graph_stats.cc" "src/CMakeFiles/pghive_graph.dir/graph/graph_stats.cc.o" "gcc" "src/CMakeFiles/pghive_graph.dir/graph/graph_stats.cc.o.d"
+  "/root/repo/src/graph/property_graph.cc" "src/CMakeFiles/pghive_graph.dir/graph/property_graph.cc.o" "gcc" "src/CMakeFiles/pghive_graph.dir/graph/property_graph.cc.o.d"
+  "/root/repo/src/graph/value.cc" "src/CMakeFiles/pghive_graph.dir/graph/value.cc.o" "gcc" "src/CMakeFiles/pghive_graph.dir/graph/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pghive_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

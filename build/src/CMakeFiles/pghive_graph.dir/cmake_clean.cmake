@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pghive_graph.dir/graph/csv_io.cc.o"
+  "CMakeFiles/pghive_graph.dir/graph/csv_io.cc.o.d"
+  "CMakeFiles/pghive_graph.dir/graph/graph_builder.cc.o"
+  "CMakeFiles/pghive_graph.dir/graph/graph_builder.cc.o.d"
+  "CMakeFiles/pghive_graph.dir/graph/graph_stats.cc.o"
+  "CMakeFiles/pghive_graph.dir/graph/graph_stats.cc.o.d"
+  "CMakeFiles/pghive_graph.dir/graph/property_graph.cc.o"
+  "CMakeFiles/pghive_graph.dir/graph/property_graph.cc.o.d"
+  "CMakeFiles/pghive_graph.dir/graph/value.cc.o"
+  "CMakeFiles/pghive_graph.dir/graph/value.cc.o.d"
+  "libpghive_graph.a"
+  "libpghive_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pghive_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lsh/adaptive_params.cc" "src/CMakeFiles/pghive_lsh.dir/lsh/adaptive_params.cc.o" "gcc" "src/CMakeFiles/pghive_lsh.dir/lsh/adaptive_params.cc.o.d"
+  "/root/repo/src/lsh/collision_model.cc" "src/CMakeFiles/pghive_lsh.dir/lsh/collision_model.cc.o" "gcc" "src/CMakeFiles/pghive_lsh.dir/lsh/collision_model.cc.o.d"
+  "/root/repo/src/lsh/euclidean_lsh.cc" "src/CMakeFiles/pghive_lsh.dir/lsh/euclidean_lsh.cc.o" "gcc" "src/CMakeFiles/pghive_lsh.dir/lsh/euclidean_lsh.cc.o.d"
+  "/root/repo/src/lsh/minhash_lsh.cc" "src/CMakeFiles/pghive_lsh.dir/lsh/minhash_lsh.cc.o" "gcc" "src/CMakeFiles/pghive_lsh.dir/lsh/minhash_lsh.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pghive_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pghive_lsh.dir/lsh/adaptive_params.cc.o"
+  "CMakeFiles/pghive_lsh.dir/lsh/adaptive_params.cc.o.d"
+  "CMakeFiles/pghive_lsh.dir/lsh/collision_model.cc.o"
+  "CMakeFiles/pghive_lsh.dir/lsh/collision_model.cc.o.d"
+  "CMakeFiles/pghive_lsh.dir/lsh/euclidean_lsh.cc.o"
+  "CMakeFiles/pghive_lsh.dir/lsh/euclidean_lsh.cc.o.d"
+  "CMakeFiles/pghive_lsh.dir/lsh/minhash_lsh.cc.o"
+  "CMakeFiles/pghive_lsh.dir/lsh/minhash_lsh.cc.o.d"
+  "libpghive_lsh.a"
+  "libpghive_lsh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pghive_lsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

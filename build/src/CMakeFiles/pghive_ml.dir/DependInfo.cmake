@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/gmm.cc" "src/CMakeFiles/pghive_ml.dir/ml/gmm.cc.o" "gcc" "src/CMakeFiles/pghive_ml.dir/ml/gmm.cc.o.d"
+  "/root/repo/src/ml/kmeans.cc" "src/CMakeFiles/pghive_ml.dir/ml/kmeans.cc.o" "gcc" "src/CMakeFiles/pghive_ml.dir/ml/kmeans.cc.o.d"
+  "/root/repo/src/ml/stats.cc" "src/CMakeFiles/pghive_ml.dir/ml/stats.cc.o" "gcc" "src/CMakeFiles/pghive_ml.dir/ml/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pghive_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

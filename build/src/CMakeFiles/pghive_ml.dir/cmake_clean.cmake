@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pghive_ml.dir/ml/gmm.cc.o"
+  "CMakeFiles/pghive_ml.dir/ml/gmm.cc.o.d"
+  "CMakeFiles/pghive_ml.dir/ml/kmeans.cc.o"
+  "CMakeFiles/pghive_ml.dir/ml/kmeans.cc.o.d"
+  "CMakeFiles/pghive_ml.dir/ml/stats.cc.o"
+  "CMakeFiles/pghive_ml.dir/ml/stats.cc.o.d"
+  "libpghive_ml.a"
+  "libpghive_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pghive_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/hash_embedder.cc" "src/CMakeFiles/pghive_text.dir/text/hash_embedder.cc.o" "gcc" "src/CMakeFiles/pghive_text.dir/text/hash_embedder.cc.o.d"
+  "/root/repo/src/text/label_embedder.cc" "src/CMakeFiles/pghive_text.dir/text/label_embedder.cc.o" "gcc" "src/CMakeFiles/pghive_text.dir/text/label_embedder.cc.o.d"
+  "/root/repo/src/text/vocabulary.cc" "src/CMakeFiles/pghive_text.dir/text/vocabulary.cc.o" "gcc" "src/CMakeFiles/pghive_text.dir/text/vocabulary.cc.o.d"
+  "/root/repo/src/text/word2vec.cc" "src/CMakeFiles/pghive_text.dir/text/word2vec.cc.o" "gcc" "src/CMakeFiles/pghive_text.dir/text/word2vec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pghive_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pghive_text.dir/text/hash_embedder.cc.o"
+  "CMakeFiles/pghive_text.dir/text/hash_embedder.cc.o.d"
+  "CMakeFiles/pghive_text.dir/text/label_embedder.cc.o"
+  "CMakeFiles/pghive_text.dir/text/label_embedder.cc.o.d"
+  "CMakeFiles/pghive_text.dir/text/vocabulary.cc.o"
+  "CMakeFiles/pghive_text.dir/text/vocabulary.cc.o.d"
+  "CMakeFiles/pghive_text.dir/text/word2vec.cc.o"
+  "CMakeFiles/pghive_text.dir/text/word2vec.cc.o.d"
+  "libpghive_text.a"
+  "libpghive_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pghive_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgschema_parser_test.dir/pgschema_parser_test.cpp.o"
+  "CMakeFiles/pgschema_parser_test.dir/pgschema_parser_test.cpp.o.d"
+  "pgschema_parser_test"
+  "pgschema_parser_test.pdb"
+  "pgschema_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgschema_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_diff_test.dir/schema_diff_test.cpp.o"
+  "CMakeFiles/schema_diff_test.dir/schema_diff_test.cpp.o.d"
+  "schema_diff_test"
+  "schema_diff_test.pdb"
+  "schema_diff_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_diff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/type_extraction_test.dir/type_extraction_test.cpp.o"
+  "CMakeFiles/type_extraction_test.dir/type_extraction_test.cpp.o.d"
+  "type_extraction_test"
+  "type_extraction_test.pdb"
+  "type_extraction_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/type_extraction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
