@@ -1,14 +1,27 @@
 // Microbenchmarks (google-benchmark) for the pipeline and its design
 // ablations called out in DESIGN.md: encoding cost vs embedding dimension,
 // adaptive vs fixed parameters, Word2Vec vs hash embeddings, sampled vs
-// full datatype scans, and the label_weight knob.
+// full datatype scans, the label_weight knob, and the execution-runtime
+// thread sweep.
+//
+// Before the google-benchmark suite runs, main() records a per-stage
+// wall-clock baseline of the largest synthetic dataset at 1 thread and at
+// hardware concurrency, written to BENCH_pipeline.json (override the path
+// with PGHIVE_BENCH_OUT) so successive PRs accumulate a perf trajectory.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+
+#include "common/csv.h"
+#include "common/json.h"
+#include "common/timer.h"
 #include "core/feature_encoder.h"
 #include "core/pipeline.h"
 #include "datagen/datasets.h"
 #include "datagen/generator.h"
+#include "runtime/thread_pool.h"
 
 namespace pghive {
 namespace {
@@ -52,6 +65,30 @@ void BM_FullPipeline(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * g.num_nodes());
 }
 BENCHMARK(BM_FullPipeline)->Arg(0)->Arg(1);
+
+void BM_FullPipelineThreads(benchmark::State& state) {
+  // args: {method (0 = ELSH, 1 = MinHash), threads}
+  const PropertyGraph& g = PoleGraph();
+  PipelineOptions opt;
+  opt.method = state.range(0) == 0 ? ClusteringMethod::kElsh
+                                   : ClusteringMethod::kMinHash;
+  opt.num_threads = static_cast<int>(state.range(1));
+  opt.post_process = false;
+  for (auto _ : state) {
+    PgHivePipeline pipeline(opt);
+    benchmark::DoNotOptimize(pipeline.DiscoverSchema(g));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_nodes());
+}
+BENCHMARK(BM_FullPipelineThreads)
+    ->Args({0, 1})
+    ->Args({0, 2})
+    ->Args({0, 4})
+    ->Args({0, 8})
+    ->Args({1, 1})
+    ->Args({1, 2})
+    ->Args({1, 4})
+    ->Args({1, 8});
 
 void BM_AdaptiveVsFixed(benchmark::State& state) {
   // arg 0: adaptive (pays the mu-sampling pass), 1: fixed parameters.
@@ -115,7 +152,107 @@ void BM_LabelWeight(benchmark::State& state) {
 }
 BENCHMARK(BM_LabelWeight)->Arg(1)->Arg(2)->Arg(4);
 
+// --- Per-stage baseline recorder (BENCH_pipeline.json). ---
+
+JsonObject StagesToJson(const StageTimings& t) {
+  JsonObject stages;
+  stages.emplace("embed_train", t.embed_train);
+  stages.emplace("encode_nodes", t.encode_nodes);
+  stages.emplace("cluster_nodes", t.cluster_nodes);
+  stages.emplace("extract_nodes", t.extract_nodes);
+  stages.emplace("encode_edges", t.encode_edges);
+  stages.emplace("cluster_edges", t.cluster_edges);
+  stages.emplace("extract_edges", t.extract_edges);
+  stages.emplace("post_process", t.post_process);
+  return stages;
+}
+
+/// One timed DiscoverSchema (with post-processing) at `threads`; best of
+/// `reps` total wall-clocks, stages taken from the best run.
+JsonObject TimedRun(const PropertyGraph& g, int threads, int reps) {
+  double best = -1.0;
+  StageTimings best_stages;
+  for (int r = 0; r < reps; ++r) {
+    PipelineOptions opt;
+    opt.num_threads = threads;
+    PgHivePipeline pipeline(opt);
+    Timer timer;
+    auto schema = pipeline.DiscoverSchema(g);
+    double seconds = timer.ElapsedSeconds();
+    if (!schema.ok()) {
+      std::fprintf(stderr, "baseline run failed: %s\n",
+                   schema.status().ToString().c_str());
+      break;
+    }
+    if (best < 0.0 || seconds < best) {
+      best = seconds;
+      best_stages = pipeline.last_diagnostics().timings;
+    }
+  }
+  JsonObject run;
+  run.emplace("threads", threads);
+  run.emplace("total_seconds", best);
+  run.emplace("stages", StagesToJson(best_stages));
+  return run;
+}
+
+void WritePipelineBaseline() {
+  // Largest synthetic dataset by default size (the acceptance workload).
+  const std::vector<DatasetSpec> specs = AllDatasetSpecs();
+  const DatasetSpec* largest = nullptr;
+  for (const auto& spec : specs) {
+    if (!largest || spec.default_nodes > largest->default_nodes) {
+      largest = &spec;
+    }
+  }
+  auto g = GenerateGraph(*largest, {});
+  if (!g.ok()) {
+    std::fprintf(stderr, "baseline generation failed: %s\n",
+                 g.status().ToString().c_str());
+    return;
+  }
+  const int hw = ThreadPool::HardwareConcurrency();
+
+  JsonObject doc;
+  doc.emplace("bench", "micro_pipeline.baseline");
+  doc.emplace("dataset", largest->name);
+  doc.emplace("nodes", g->num_nodes());
+  doc.emplace("edges", g->num_edges());
+  doc.emplace("hardware_threads", hw);
+  // threads = 1 and hardware concurrency, plus 8 (the acceptance-criteria
+  // point) when the hardware count differs. On a single-core host the
+  // multi-thread runs measure pure runtime overhead, not speedup — the
+  // recorded hardware_threads field says which situation this file holds.
+  JsonArray runs;
+  runs.push_back(TimedRun(*g, 1, /*reps=*/3));
+  if (hw > 1) runs.push_back(TimedRun(*g, hw, /*reps=*/3));
+  if (hw != 8) runs.push_back(TimedRun(*g, 8, /*reps=*/3));
+  double t1 = runs[0].AsObject().at("total_seconds").AsDouble();
+  double tn = runs.back().AsObject().at("total_seconds").AsDouble();
+  doc.emplace("runs", std::move(runs));
+  if (t1 > 0.0 && tn > 0.0) {
+    doc.emplace("speedup_vs_1thread", t1 / tn);
+  }
+
+  const char* out = std::getenv("PGHIVE_BENCH_OUT");
+  const std::string path = out && *out ? out : "BENCH_pipeline.json";
+  Status s = WriteFile(path, JsonValue(std::move(doc)).Pretty() + "\n");
+  if (!s.ok()) {
+    std::fprintf(stderr, "cannot write %s: %s\n", path.c_str(),
+                 s.ToString().c_str());
+    return;
+  }
+  std::fprintf(stderr, "wrote per-stage baseline to %s\n", path.c_str());
+}
+
 }  // namespace
 }  // namespace pghive
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  pghive::WritePipelineBaseline();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

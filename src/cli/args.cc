@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "common/string_util.h"
+#include "runtime/thread_pool.h"
 
 namespace pghive {
 
@@ -50,6 +51,15 @@ bool Args::GetBool(const std::string& flag, bool fallback) const {
   auto it = flags_.find(flag);
   if (it == flags_.end()) return fallback;
   return it->second != "false" && it->second != "0" && it->second != "no";
+}
+
+Result<int> Args::GetThreads() const {
+  int64_t threads = GetInt("threads", ThreadCountFromEnv(/*fallback=*/1));
+  if (threads < 0) {
+    return Status::InvalidArgument(
+        "--threads must be >= 0 (0 = hardware concurrency)");
+  }
+  return static_cast<int>(threads);
 }
 
 std::vector<std::string> Args::UnknownFlags(

@@ -33,6 +33,12 @@ class Args {
   std::vector<std::string> UnknownFlags(
       const std::vector<std::string>& known) const;
 
+  /// Worker-thread count for the execution runtime: the --threads flag when
+  /// present, else the PGHIVE_THREADS environment variable, else 1
+  /// (sequential). 0 means "hardware concurrency"; negative values are
+  /// rejected as InvalidArgument.
+  Result<int> GetThreads() const;
+
  private:
   std::vector<std::string> positional_;
   std::map<std::string, std::string> flags_;

@@ -62,6 +62,7 @@ Result<PipelineOptions> PipelineOptionsFromArgs(const Args& args) {
   opt.post_process = !args.GetBool("no-post", false);
   opt.datatypes.sample = args.GetBool("sample-datatypes", false);
   opt.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  PGHIVE_ASSIGN_OR_RETURN(opt.num_threads, args.GetThreads());
   if (args.Has("bucket")) {
     opt.adaptive_parameters = false;
     opt.elsh.bucket_length = args.GetDouble("bucket", 1.0);
@@ -123,7 +124,8 @@ Status CmdDiscover(const Args& args, std::ostream& out) {
         "[--theta 0.9] [--incremental N] "
         "[--format summary|pgschema|xsd|json] [--mode strict|loose] "
         "[--save-schema file.json] [--aliases aliases.txt] [--no-post] "
-        "[--sample-datatypes] [--seed N] [--bucket B --tables T]");
+        "[--sample-datatypes] [--seed N] [--bucket B --tables T] "
+        "[--threads N (0 = all cores; PGHIVE_THREADS env fallback)]");
   }
   PGHIVE_ASSIGN_OR_RETURN(PropertyGraph g, LoadPrefix(args.positional()[1]));
   PGHIVE_ASSIGN_OR_RETURN(g, MaybeApplyAliases(args, std::move(g)));

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/random.h"
+#include "runtime/parallel.h"
 
 namespace pghive {
 
@@ -20,15 +21,26 @@ namespace {
 
 template <typename TypeT, typename GetElem>
 void InferForType(TypeT* t, const DataTypeInferenceOptions& options, Rng* rng,
-                  GetElem get) {
+                  GetElem get, ThreadPool* pool) {
   for (const auto& key : t->property_keys) {
-    // Collect (pointers to) all observed values of this property.
-    std::vector<const Value*> values;
-    for (auto id : t->instances) {
-      const auto& props = get(id).properties;
-      auto it = props.find(key);
-      if (it != props.end()) values.push_back(&it->second);
-    }
+    // Collect (pointers to) all observed values of this property. The scan
+    // over instances is chunked; concatenating the per-chunk lists in chunk
+    // order reproduces the sequential collection order exactly, which keeps
+    // the sample indices below meaningful at any thread count.
+    std::vector<const Value*> values = ParallelReduceOrdered(
+        pool, t->instances.size(), std::vector<const Value*>(),
+        [&](size_t begin, size_t end) {
+          std::vector<const Value*> chunk;
+          for (size_t i = begin; i < end; ++i) {
+            const auto& props = get(t->instances[i]).properties;
+            auto it = props.find(key);
+            if (it != props.end()) chunk.push_back(&it->second);
+          }
+          return chunk;
+        },
+        [](std::vector<const Value*>* acc, std::vector<const Value*>&& chunk) {
+          acc->insert(acc->end(), chunk.begin(), chunk.end());
+        });
     if (options.sample && values.size() > options.min_sample) {
       size_t want = std::max(
           options.min_sample,
@@ -50,15 +62,17 @@ void InferForType(TypeT* t, const DataTypeInferenceOptions& options, Rng* rng,
 
 void InferDataTypes(const PropertyGraph& g,
                     const DataTypeInferenceOptions& options,
-                    SchemaGraph* schema) {
+                    SchemaGraph* schema, ThreadPool* pool) {
   Rng rng(options.seed, 0xd7);
   for (auto& t : schema->node_types) {
-    InferForType(&t, options, &rng,
-                 [&](NodeId id) -> const Node& { return g.node(id); });
+    InferForType(
+        &t, options, &rng,
+        [&](NodeId id) -> const Node& { return g.node(id); }, pool);
   }
   for (auto& t : schema->edge_types) {
-    InferForType(&t, options, &rng,
-                 [&](EdgeId id) -> const Edge& { return g.edge(id); });
+    InferForType(
+        &t, options, &rng,
+        [&](EdgeId id) -> const Edge& { return g.edge(id); }, pool);
   }
 }
 

@@ -16,6 +16,7 @@
 
 #include "core/schema.h"
 #include "graph/property_graph.h"
+#include "runtime/thread_pool.h"
 
 namespace pghive {
 
@@ -30,10 +31,14 @@ struct DataTypeInferenceOptions {
 };
 
 /// Fills the `type` field of every property constraint of every schema type
-/// (creating entries where missing).
+/// (creating entries where missing). `pool` (optional) parallelizes the
+/// per-property value scans; the result is identical at any thread count —
+/// values are collected per instance-chunk and concatenated in chunk order,
+/// and the sampling RNG is only consumed on the calling thread, in the same
+/// (type, key) order as the sequential scan.
 void InferDataTypes(const PropertyGraph& g,
                     const DataTypeInferenceOptions& options,
-                    SchemaGraph* schema);
+                    SchemaGraph* schema, ThreadPool* pool = nullptr);
 
 /// Folds a list of runtime values into the most specific compatible
 /// DataType (String for an empty list). Exposed for tests / Figure 8.

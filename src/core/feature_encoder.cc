@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/string_util.h"
+#include "runtime/parallel.h"
 
 namespace pghive {
 
@@ -32,8 +33,8 @@ void AppendScaled(std::vector<float>* out, const std::vector<float>& block,
 }  // namespace
 
 FeatureEncoder::FeatureEncoder(const LabelEmbedder* embedder,
-                               FeatureEncoderOptions options)
-    : embedder_(embedder), options_(options) {}
+                               FeatureEncoderOptions options, ThreadPool* pool)
+    : embedder_(embedder), options_(options), pool_(pool) {}
 
 EncodedElements FeatureEncoder::EncodeNodes(const GraphBatch& batch) const {
   const PropertyGraph& g = *batch.graph;
@@ -44,13 +45,16 @@ EncodedElements FeatureEncoder::EncodeNodes(const GraphBatch& batch) const {
   const size_t K = key_index.size();
   const size_t d = static_cast<size_t>(embedder_->dimension());
 
+  // Every element writes only its own slot; the embedder and key index are
+  // read-only, so the parallel loop is race-free and order-independent.
   EncodedElements out;
-  out.ids.reserve(batch.num_nodes());
-  out.vectors.reserve(batch.num_nodes());
-  out.token_sets.reserve(batch.num_nodes());
-  for (size_t i = batch.node_begin; i < batch.node_end; ++i) {
+  out.ids.resize(batch.num_nodes());
+  out.vectors.resize(batch.num_nodes());
+  out.token_sets.resize(batch.num_nodes());
+  ParallelFor(pool_, batch.num_nodes(), [&](size_t slot) {
+    const size_t i = batch.node_begin + slot;
     const Node& n = g.node(i);
-    out.ids.push_back(i);
+    out.ids[slot] = i;
 
     std::vector<float> vec;
     vec.reserve(d + K);
@@ -68,9 +72,9 @@ EncodedElements FeatureEncoder::EncodeNodes(const GraphBatch& batch) const {
       vec[d + key_index.at(k)] = 1.0f;
       tokens.push_back("prop:" + k);
     }
-    out.vectors.push_back(std::move(vec));
-    out.token_sets.push_back(std::move(tokens));
-  }
+    out.vectors[slot] = std::move(vec);
+    out.token_sets[slot] = std::move(tokens);
+  });
   return out;
 }
 
@@ -93,16 +97,17 @@ EncodedElements FeatureEncoder::EncodeEdges(
   const size_t d = static_cast<size_t>(embedder_->dimension());
 
   EncodedElements out;
-  out.ids.reserve(batch.num_edges());
-  out.vectors.reserve(batch.num_edges());
-  out.token_sets.reserve(batch.num_edges());
-  for (size_t i = batch.edge_begin; i < batch.edge_end; ++i) {
+  out.ids.resize(batch.num_edges());
+  out.vectors.resize(batch.num_edges());
+  out.token_sets.resize(batch.num_edges());
+  ParallelFor(pool_, batch.num_edges(), [&](size_t slot) {
+    const size_t i = batch.edge_begin + slot;
     const Edge& e = g.edge(i);
     const Node& src = g.node(e.source);
     const Node& tgt = g.node(e.target);
     const std::string src_token = EndpointToken(src, endpoint_labels);
     const std::string tgt_token = EndpointToken(tgt, endpoint_labels);
-    out.ids.push_back(i);
+    out.ids[slot] = i;
 
     std::vector<float> vec;
     vec.reserve(3 * d + Q);
@@ -135,9 +140,9 @@ EncodedElements FeatureEncoder::EncodeEdges(
       vec[3 * d + key_index.at(k)] = 1.0f;
       tokens.push_back("prop:" + k);
     }
-    out.vectors.push_back(std::move(vec));
-    out.token_sets.push_back(std::move(tokens));
-  }
+    out.vectors[slot] = std::move(vec);
+    out.token_sets[slot] = std::move(tokens);
+  });
   return out;
 }
 

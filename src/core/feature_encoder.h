@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "graph/property_graph.h"
+#include "runtime/thread_pool.h"
 #include "text/label_embedder.h"
 
 namespace pghive {
@@ -48,8 +49,12 @@ struct FeatureEncoderOptions {
 /// clustering pass, so per-batch key spaces are sound).
 class FeatureEncoder {
  public:
+  /// `pool` (optional, not owned) parallelizes the per-element encoding
+  /// loops; elements are written to their own index slot, so the encoding
+  /// is bit-identical at any thread count. Null = sequential.
   FeatureEncoder(const LabelEmbedder* embedder,
-                 FeatureEncoderOptions options = {});
+                 FeatureEncoderOptions options = {},
+                 ThreadPool* pool = nullptr);
 
   /// Encodes nodes [batch.node_begin, batch.node_end).
   EncodedElements EncodeNodes(const GraphBatch& batch) const;
@@ -77,6 +82,7 @@ class FeatureEncoder {
  private:
   const LabelEmbedder* embedder_;  // not owned
   FeatureEncoderOptions options_;
+  ThreadPool* pool_;  // not owned; null = sequential
 };
 
 }  // namespace pghive

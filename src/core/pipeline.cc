@@ -4,8 +4,10 @@
 
 #include "cluster/lsh_clusterer.h"
 #include "common/string_util.h"
+#include "common/timer.h"
 #include "core/cardinality.h"
 #include "core/constraints.h"
+#include "runtime/parallel.h"
 
 namespace pghive {
 
@@ -76,16 +78,34 @@ size_t CountDistinctLabels(const GraphBatch& batch, ElementKind kind) {
 PgHivePipeline::PgHivePipeline(PipelineOptions options)
     : options_(options) {}
 
+ThreadPool* PgHivePipeline::EnsurePool() const {
+  if (pool_) return pool_.get();
+  const int threads = ResolveThreadCount(options_.num_threads);
+  // num_threads == 1 keeps the original sequential code paths: every
+  // parallel helper takes its inline branch on a null pool, so no pool (and
+  // no worker thread) is ever created.
+  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+  return pool_.get();
+}
+
 Status PgHivePipeline::ProcessBatch(const GraphBatch& batch,
                                     SchemaGraph* schema) {
   const PropertyGraph& g = *batch.graph;
+  ThreadPool* pool = EnsurePool();
+  StageTimings& timings = diagnostics_.timings;
+  timings = StageTimings();
+  Timer timer;
 
   // Preprocess: train the label embedder on the batch corpus, then encode.
+  // Word2Vec training stays sequential on purpose: its SGD updates are
+  // order-dependent, and sharding them across threads would make the
+  // embeddings (and thus the clustering) depend on the thread count.
   LabelEmbedderOptions embed_opt = options_.embedding;
   embed_opt.seed = options_.seed;
   LabelEmbedder embedder(embed_opt);
   PGHIVE_RETURN_NOT_OK(embedder.Train(BuildBatchLabelCorpus(batch)));
-  FeatureEncoder encoder(&embedder, options_.encoder);
+  FeatureEncoder encoder(&embedder, options_.encoder, pool);
+  timings.embed_train = timer.ElapsedSeconds();
 
   // Clusters one encoded population with the configured LSH backend.
   auto cluster_population =
@@ -111,9 +131,11 @@ Status PgHivePipeline::ProcessBatch(const GraphBatch& batch,
       PGHIVE_ASSIGN_OR_RETURN(
           EuclideanLsh lsh,
           EuclideanLsh::Create(enc.vectors[0].size(), lsh_opt));
-      std::vector<std::vector<uint64_t>> keys;
-      keys.reserve(enc.vectors.size());
-      for (const auto& v : enc.vectors) keys.push_back(lsh.Hash(v));
+      // Per-element hashing is pure (read-only LSH state), so the map is
+      // deterministic at any thread count; keys[i] lands at index i.
+      std::vector<std::vector<uint64_t>> keys = ParallelMap(
+          pool, enc.vectors.size(),
+          [&](size_t i) { return lsh.Hash(enc.vectors[i]); });
       return ClusterByBucketKeys(keys);
     }
     MinHashLshOptions mh_opt = options_.minhash;
@@ -129,23 +151,29 @@ Status PgHivePipeline::ProcessBatch(const GraphBatch& batch,
     // Clustering rule: two elements share a cluster seed iff their whole
     // signatures agree (probability J^T) — similar sets collide often,
     // dissimilar ones rarely (§4.2). Fragments are reunited by Algorithm 2.
-    std::vector<std::vector<uint64_t>> keys;
-    keys.reserve(enc.token_sets.size());
-    for (const auto& tokens : enc.token_sets) {
-      keys.push_back({lsh.SignatureKey(lsh.Signature(tokens))});
-    }
+    std::vector<std::vector<uint64_t>> keys = ParallelMap(
+        pool, enc.token_sets.size(), [&](size_t i) {
+          return std::vector<uint64_t>{
+              lsh.SignatureKey(lsh.Signature(enc.token_sets[i]))};
+        });
     return ClusterByBucketKeys(keys);
   };
 
   // --- Nodes first (edges consume the discovered node types). ---
+  timer.Reset();
   EncodedElements nodes = encoder.EncodeNodes(batch);
+  timings.encode_nodes = timer.ElapsedSeconds();
+  timer.Reset();
   PGHIVE_ASSIGN_OR_RETURN(
       auto node_groups,
       cluster_population(nodes, ElementKind::kNode,
                          &diagnostics_.node_params));
+  timings.cluster_nodes = timer.ElapsedSeconds();
   diagnostics_.node_clusters = node_groups.size();
+  timer.Reset();
   ExtractNodeTypes(BuildNodeClusters(g, nodes.ids, node_groups),
                    options_.extraction, schema);
+  timings.extract_nodes = timer.ElapsedSeconds();
 
   // Map this batch's unlabeled nodes to their discovered type's endpoint
   // label set so edges still see typed endpoints: a node that merged into a
@@ -165,23 +193,31 @@ Status PgHivePipeline::ProcessBatch(const GraphBatch& batch,
   }
 
   // --- Edges. ---
+  timer.Reset();
   EncodedElements edges = encoder.EncodeEdges(batch, endpoint_labels);
+  timings.encode_edges = timer.ElapsedSeconds();
+  timer.Reset();
   PGHIVE_ASSIGN_OR_RETURN(
       auto edge_groups,
       cluster_population(edges, ElementKind::kEdge,
                          &diagnostics_.edge_params));
+  timings.cluster_edges = timer.ElapsedSeconds();
   diagnostics_.edge_clusters = edge_groups.size();
+  timer.Reset();
   ExtractEdgeTypes(
       BuildEdgeClusters(g, edges.ids, edge_groups, endpoint_labels),
       options_.extraction, schema);
+  timings.extract_edges = timer.ElapsedSeconds();
   return Status::OK();
 }
 
 void PgHivePipeline::PostProcess(const PropertyGraph& g,
                                  SchemaGraph* schema) const {
+  Timer timer;
   InferPropertyConstraints(g, schema);
-  InferDataTypes(g, options_.datatypes, schema);
+  InferDataTypes(g, options_.datatypes, schema, EnsurePool());
   ComputeCardinalities(g, schema);
+  diagnostics_.timings.post_process = timer.ElapsedSeconds();
 }
 
 Result<SchemaGraph> PgHivePipeline::DiscoverSchema(const PropertyGraph& g) {

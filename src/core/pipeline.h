@@ -11,6 +11,7 @@
 #define PGHIVE_CORE_PIPELINE_H_
 
 #include <cstdint>
+#include <memory>
 
 #include "common/result.h"
 #include "core/feature_encoder.h"
@@ -21,6 +22,7 @@
 #include "lsh/adaptive_params.h"
 #include "lsh/euclidean_lsh.h"
 #include "lsh/minhash_lsh.h"
+#include "runtime/thread_pool.h"
 #include "text/label_embedder.h"
 
 namespace pghive {
@@ -53,7 +55,31 @@ struct PipelineOptions {
   bool post_process = true;
   DataTypeInferenceOptions datatypes;
 
+  /// Worker threads for the data-parallel stages (encoding, LSH hashing,
+  /// datatype scans): 0 = hardware concurrency, 1 (default) = the original
+  /// sequential loops, no pool created. Any value yields a bit-identical
+  /// SchemaGraph — the runtime's deterministic ordered reductions make the
+  /// output independent of the thread count (see runtime/parallel.h).
+  /// Word2Vec training is intentionally NOT parallelized: its SGD updates
+  /// are order-dependent, so sharding them would break seed-stable
+  /// embeddings.
+  int num_threads = 1;
+
   uint64_t seed = 42;
+};
+
+/// Wall-clock seconds per pipeline stage of the most recent batch (plus
+/// post-processing when it ran). Feeds the perf-trajectory baseline that
+/// bench/micro_pipeline writes to BENCH_pipeline.json.
+struct StageTimings {
+  double embed_train = 0.0;    // Word2Vec over the batch label corpus
+  double encode_nodes = 0.0;   // feature encoding, nodes
+  double cluster_nodes = 0.0;  // LSH keys + bucket clustering, nodes
+  double extract_nodes = 0.0;  // Algorithm 2 merge, nodes
+  double encode_edges = 0.0;
+  double cluster_edges = 0.0;
+  double extract_edges = 0.0;
+  double post_process = 0.0;   // constraints + datatypes + cardinalities
 };
 
 /// Diagnostics of the most recent batch (exposed for Figure 6 and tests).
@@ -62,6 +88,7 @@ struct BatchDiagnostics {
   AdaptiveLshParams edge_params;
   size_t node_clusters = 0;  // raw LSH clusters before merging
   size_t edge_clusters = 0;
+  StageTimings timings;
 };
 
 class PgHivePipeline {
@@ -85,9 +112,19 @@ class PgHivePipeline {
 
   const BatchDiagnostics& last_diagnostics() const { return diagnostics_; }
 
+  /// The worker pool behind the parallel stages; null while
+  /// options().num_threads resolves to 1 (sequential mode). Lazily created
+  /// on the first batch.
+  ThreadPool* thread_pool() const { return pool_.get(); }
+
  private:
+  /// Resolves options_.num_threads and creates the pool when > 1.
+  ThreadPool* EnsurePool() const;
+
   PipelineOptions options_;
-  BatchDiagnostics diagnostics_;
+  // mutable: the const PostProcess records its wall-clock in the timings.
+  mutable BatchDiagnostics diagnostics_;
+  mutable std::unique_ptr<ThreadPool> pool_;
 };
 
 /// Label corpus restricted to one batch (the incremental pipeline trains

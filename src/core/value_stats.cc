@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "common/string_util.h"
+#include "runtime/parallel.h"
 
 namespace pghive {
 
@@ -84,18 +85,19 @@ TypeValueStats StatsForType(const TypeT& t, GetElem get,
 
 SchemaValueStats ComputeValueStats(const PropertyGraph& g,
                                    const SchemaGraph& schema,
-                                   const ValueStatsOptions& options) {
+                                   const ValueStatsOptions& options,
+                                   ThreadPool* pool) {
   SchemaValueStats out;
-  out.node_types.reserve(schema.node_types.size());
-  for (const auto& t : schema.node_types) {
-    out.node_types.push_back(StatsForType(
-        t, [&](NodeId id) -> const Node& { return g.node(id); }, options));
-  }
-  out.edge_types.reserve(schema.edge_types.size());
-  for (const auto& t : schema.edge_types) {
-    out.edge_types.push_back(StatsForType(
-        t, [&](EdgeId id) -> const Edge& { return g.edge(id); }, options));
-  }
+  out.node_types = ParallelMap(pool, schema.node_types.size(), [&](size_t i) {
+    return StatsForType(
+        schema.node_types[i],
+        [&](NodeId id) -> const Node& { return g.node(id); }, options);
+  });
+  out.edge_types = ParallelMap(pool, schema.edge_types.size(), [&](size_t i) {
+    return StatsForType(
+        schema.edge_types[i],
+        [&](EdgeId id) -> const Edge& { return g.edge(id); }, options);
+  });
   return out;
 }
 

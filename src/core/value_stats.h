@@ -20,6 +20,7 @@
 
 #include "core/schema.h"
 #include "graph/property_graph.h"
+#include "runtime/thread_pool.h"
 
 namespace pghive {
 
@@ -66,10 +67,14 @@ struct SchemaValueStats {
 };
 
 /// Computes value statistics for every (type, property) of the schema over
-/// the instances assigned in it.
+/// the instances assigned in it. `pool` (optional) distributes the
+/// per-type scans across workers; each type's statistics are computed by
+/// exactly the sequential code, so the result does not depend on the
+/// thread count.
 SchemaValueStats ComputeValueStats(const PropertyGraph& g,
                                    const SchemaGraph& schema,
-                                   const ValueStatsOptions& options = {});
+                                   const ValueStatsOptions& options = {},
+                                   ThreadPool* pool = nullptr);
 
 /// Renders one property's statistics on a single line ("observed=40
 /// distinct=3 ENUM{a, b, c}").

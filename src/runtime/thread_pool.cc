@@ -1,0 +1,68 @@
+#include "runtime/thread_pool.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace pghive {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads < 1) num_threads = 1;
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      // Drain the queue before honouring shutdown so tasks submitted
+      // before the destructor never get dropped.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+int ThreadPool::HardwareConcurrency() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+int ResolveThreadCount(int requested) {
+  if (requested > 0) return requested;
+  return ThreadPool::HardwareConcurrency();
+}
+
+int ThreadCountFromEnv(int fallback) {
+  const char* env = std::getenv("PGHIVE_THREADS");
+  if (!env || *env == '\0') return fallback;
+  char* end = nullptr;
+  long v = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || v < 0) return fallback;
+  return static_cast<int>(v);
+}
+
+}  // namespace pghive

@@ -1,0 +1,70 @@
+// Fixed-size worker pool behind the task-parallel execution runtime.
+//
+// The pool owns N worker threads pulling std::function tasks off a single
+// locked queue. It is a deliberately small substrate: all scheduling policy
+// (chunking, ordering, exception routing, determinism) lives in the helpers
+// of runtime/parallel.h, which submit plain tasks here. The paper ran these
+// stages data-parallel on a 4-node Spark cluster; this pool is the
+// single-process stand-in for that substrate.
+//
+// Thread-count resolution convention used across the code base:
+//   n > 0   use exactly n threads,
+//   n == 0  use the hardware concurrency.
+// A resolved count of 1 means "sequential": callers skip pool creation
+// entirely and run the original loops, so seeded behaviour is preserved
+// bit-for-bit by construction.
+
+#ifndef PGHIVE_RUNTIME_THREAD_POOL_H_
+#define PGHIVE_RUNTIME_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pghive {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task. Tasks must not throw across this boundary: the
+  /// parallel helpers wrap user callables and capture exceptions into an
+  /// std::exception_ptr that is rethrown on the calling thread.
+  void Submit(std::function<void()> task);
+
+  /// Number of concurrent hardware threads (>= 1 even when unknown).
+  static int HardwareConcurrency();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Applies the thread-count convention: n > 0 -> n, n == 0 -> hardware.
+int ResolveThreadCount(int requested);
+
+/// Reads the PGHIVE_THREADS environment variable (the CLI fallback when no
+/// --threads flag is given). Returns `fallback` when unset or unparsable;
+/// "0" means hardware concurrency, as everywhere else.
+int ThreadCountFromEnv(int fallback);
+
+}  // namespace pghive
+
+#endif  // PGHIVE_RUNTIME_THREAD_POOL_H_

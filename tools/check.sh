@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus a ThreadSanitizer pass over the execution
+# runtime.
+#
+#   tools/check.sh           # normal build + full ctest, then TSan pass
+#   tools/check.sh --fast    # TSan pass only (runtime + pipeline tests)
+#
+# The TSan pass rebuilds runtime_test / pipeline_test / the pghive CLI in a
+# separate build-tsan/ tree with -DPGHIVE_SANITIZE=thread and runs a
+# --threads 4 discovery, so every parallelized stage executes under the
+# race detector.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+if [[ "${1:-}" != "--fast" ]]; then
+  echo "=== tier-1: normal build + ctest ==="
+  cmake -B build -S .
+  cmake --build build -j "${JOBS}"
+  (cd build && ctest --output-on-failure -j "${JOBS}")
+fi
+
+echo "=== TSan: runtime + pipeline tests, 4-thread discovery ==="
+cmake -B build-tsan -S . -DPGHIVE_SANITIZE=thread \
+  -DPGHIVE_BUILD_BENCHMARKS=OFF -DPGHIVE_BUILD_EXAMPLES=OFF \
+  -DPGHIVE_BUILD_TOOLS=OFF
+cmake --build build-tsan -j "${JOBS}" \
+  --target runtime_test pipeline_test pghive_app
+(cd build-tsan && ctest --output-on-failure -j "${JOBS}" \
+  -R 'ThreadPool|Parallel|Pipeline')
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "${tmpdir}"' EXIT
+./build-tsan/apps/pghive generate POLE "${tmpdir}/pole" --nodes 2000
+./build-tsan/apps/pghive discover "${tmpdir}/pole" --threads 4 > /dev/null
+./build-tsan/apps/pghive discover "${tmpdir}/pole" --threads 4 \
+  --method minhash --sample-datatypes > /dev/null
+
+echo "=== all checks passed ==="
