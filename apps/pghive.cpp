@@ -12,7 +12,16 @@ int main(int argc, char** argv) {
   pghive::Status status = pghive::RunCliCommand(args, std::cout);
   if (!status.ok()) {
     std::cerr << "pghive: " << status << "\n";
-    return status.code() == pghive::StatusCode::kInvalidArgument ? 2 : 1;
+    switch (status.code()) {
+      case pghive::StatusCode::kInvalidArgument:
+        return 2;
+      case pghive::StatusCode::kIoError:
+        // Distinct code so wrappers can tell "corrupt/unwritable state"
+        // (retry elsewhere, alert) from a plain failure.
+        return 3;
+      default:
+        return 1;
+    }
   }
   return 0;
 }

@@ -212,6 +212,12 @@ void WritePipelineBaseline() {
     return;
   }
   const int hw = ThreadPool::HardwareConcurrency();
+  if (hw <= 1) {
+    std::fprintf(stderr,
+                 "WARNING: hardware_concurrency() <= 1 — the multi-thread "
+                 "runs below measure pure runtime overhead, not speedup; "
+                 "treat speedup_vs_1thread in this baseline accordingly\n");
+  }
 
   JsonObject doc;
   doc.emplace("bench", "micro_pipeline.baseline");

@@ -18,6 +18,7 @@
 #include "eval/f1.h"
 #include "graph/csv_io.h"
 #include "graph/graph_stats.h"
+#include "store/state_store.h"
 
 namespace pghive {
 
@@ -34,12 +35,19 @@ Result<PropertyGraph> LoadPrefix(const std::string& prefix) {
 }
 
 // Applies a --aliases file (alias=canonical lines) to the loaded graph, so
-// inconsistent label vocabularies integrate before discovery.
-Result<PropertyGraph> MaybeApplyAliases(const Args& args, PropertyGraph g) {
+// inconsistent label vocabularies integrate before discovery. When
+// `applied` is non-null, the raw entries are recorded there (durable runs
+// persist them in snapshots for provenance).
+Result<PropertyGraph> MaybeApplyAliases(
+    const Args& args, PropertyGraph g,
+    std::vector<std::pair<std::string, std::string>>* applied = nullptr) {
   if (!args.Has("aliases")) return g;
   PGHIVE_ASSIGN_OR_RETURN(std::string text,
                           ReadFile(args.GetString("aliases")));
   PGHIVE_ASSIGN_OR_RETURN(AliasTable table, AliasTable::FromText(text));
+  if (applied != nullptr) {
+    applied->assign(table.entries().begin(), table.entries().end());
+  }
   return ApplyAliases(g, table);
 }
 
@@ -115,13 +123,65 @@ void PrintSchemaSummary(const SchemaGraph& schema, const PropertyGraph& g,
   }
 }
 
+/// Shared by `discover --state-dir` and `resume`: opens (recovering if
+/// needed) the durable store, feeds the graph's not-yet-applied stream
+/// batches, and finishes. The batch count must match across runs of the
+/// same state directory, or the stream slicing diverges.
+Result<SchemaGraph> DurableDiscoverFromArgs(const Args& args,
+                                            const PropertyGraph& g,
+                                            const std::string& state_dir,
+                                            std::ostream& out) {
+  store::StoreOptions sopt;
+  PGHIVE_ASSIGN_OR_RETURN(sopt.incremental.pipeline,
+                          PipelineOptionsFromArgs(args));
+  int64_t batches = args.GetInt("incremental", 10);
+  if (batches < 1) {
+    return Status::InvalidArgument(
+        "--state-dir requires --incremental N with N >= 1");
+  }
+  sopt.checkpoint_every_batches =
+      static_cast<uint64_t>(args.GetInt("checkpoint-every", 16));
+  sopt.fsync = !args.GetBool("no-fsync", false);
+  sopt.allow_options_mismatch = args.GetBool("force-options", false);
+  if (args.Has("aliases")) {
+    PGHIVE_ASSIGN_OR_RETURN(std::string text,
+                            ReadFile(args.GetString("aliases")));
+    PGHIVE_ASSIGN_OR_RETURN(AliasTable table, AliasTable::FromText(text));
+    sopt.aliases.assign(table.entries().begin(), table.entries().end());
+  }
+
+  store::RecoveryReport report;
+  PGHIVE_ASSIGN_OR_RETURN(
+      std::unique_ptr<store::DurableDiscoverer> store,
+      store::DurableDiscoverer::OpenOrRecover(state_dir, sopt, &report));
+  out << "state: " << report.ToString() << "\n";
+
+  std::vector<store::BatchPayload> payloads =
+      store::MakeStreamBatches(g, static_cast<size_t>(batches));
+  if (store->batches_applied() > payloads.size()) {
+    return Status::FailedPrecondition(
+        "state directory contains " +
+        std::to_string(store->batches_applied()) +
+        " applied batches but the input splits into only " +
+        std::to_string(payloads.size()) +
+        " — wrong graph or --incremental count?");
+  }
+  for (size_t i = store->batches_applied(); i < payloads.size(); ++i) {
+    PGHIVE_RETURN_NOT_OK(store->Feed(payloads[i]));
+  }
+  out << "applied " << store->batches_applied() << "/" << payloads.size()
+      << " batches, state in " << store->dir() << "\n";
+  return store->Finish();
+}
+
 }  // namespace
 
 Status CmdDiscover(const Args& args, std::ostream& out) {
   if (args.positional().size() < 2) {
     return Status::InvalidArgument(
         "usage: pghive discover <graph-prefix> [--method elsh|minhash] "
-        "[--theta 0.9] [--incremental N] "
+        "[--theta 0.9] [--incremental N] [--state-dir DIR] "
+        "[--checkpoint-every N] [--no-fsync] [--force-options] "
         "[--format summary|pgschema|xsd|json] [--mode strict|loose] "
         "[--save-schema file.json] [--aliases aliases.txt] [--no-post] "
         "[--sample-datatypes] [--seed N] [--bucket B --tables T] "
@@ -129,7 +189,14 @@ Status CmdDiscover(const Args& args, std::ostream& out) {
   }
   PGHIVE_ASSIGN_OR_RETURN(PropertyGraph g, LoadPrefix(args.positional()[1]));
   PGHIVE_ASSIGN_OR_RETURN(g, MaybeApplyAliases(args, std::move(g)));
-  PGHIVE_ASSIGN_OR_RETURN(SchemaGraph schema, DiscoverFromArgs(args, g));
+  SchemaGraph schema;
+  if (args.Has("state-dir")) {
+    PGHIVE_ASSIGN_OR_RETURN(
+        schema,
+        DurableDiscoverFromArgs(args, g, args.GetString("state-dir"), out));
+  } else {
+    PGHIVE_ASSIGN_OR_RETURN(schema, DiscoverFromArgs(args, g));
+  }
 
   if (args.Has("save-schema")) {
     const std::string path = args.GetString("save-schema");
@@ -152,6 +219,105 @@ Status CmdDiscover(const Args& args, std::ostream& out) {
   } else {
     return Status::InvalidArgument("unknown --format '" + format +
                                    "' (summary|pgschema|xsd|json)");
+  }
+  return Status::OK();
+}
+
+Status CmdResume(const Args& args, std::ostream& out) {
+  if (args.positional().size() < 2 || !args.Has("state-dir")) {
+    return Status::InvalidArgument(
+        "usage: pghive resume <graph-prefix> --state-dir DIR "
+        "[discovery flags as passed to the original `discover` run]\n"
+        "recovers the durable state (replaying any journaled batches a "
+        "crash left unapplied), feeds the remaining batches of the graph "
+        "and finishes the schema. Discovery options and --incremental "
+        "count must match the original run.");
+  }
+  PGHIVE_ASSIGN_OR_RETURN(PropertyGraph g, LoadPrefix(args.positional()[1]));
+  PGHIVE_ASSIGN_OR_RETURN(g, MaybeApplyAliases(args, std::move(g)));
+  PGHIVE_ASSIGN_OR_RETURN(
+      SchemaGraph schema,
+      DurableDiscoverFromArgs(args, g, args.GetString("state-dir"), out));
+
+  if (args.Has("save-schema")) {
+    const std::string path = args.GetString("save-schema");
+    PGHIVE_RETURN_NOT_OK(SaveSchemaJson(schema, path));
+    out << "saved schema to " << path << "\n";
+  }
+  std::string format = ToLower(args.GetString("format", "summary"));
+  if (format == "summary") {
+    PrintSchemaSummary(schema, g, out);
+  } else if (format == "json") {
+    out << SchemaToJson(schema);
+  } else if (format == "pgschema") {
+    out << ToPgSchema(schema, args.positional()[1], PgSchemaMode::kStrict);
+  } else {
+    return Status::InvalidArgument("unknown --format '" + format +
+                                   "' (summary|pgschema|json)");
+  }
+  return Status::OK();
+}
+
+Status CmdInspectState(const Args& args, std::ostream& out) {
+  if (args.positional().size() < 2) {
+    return Status::InvalidArgument(
+        "usage: pghive inspect-state <state-dir>\n"
+        "reports every snapshot (per-section sizes and CRC verdicts) and "
+        "journal segment (record counts, torn tails) of a durable state "
+        "directory without modifying it.");
+  }
+  const std::string& dir = args.positional()[1];
+  const std::vector<std::string> snapshots = store::ListSnapshotFiles(dir);
+  const std::vector<std::string> journals = store::ListJournalFiles(dir);
+  if (snapshots.empty() && journals.empty()) {
+    out << "no durable state in '" << dir << "'\n";
+    return Status::OK();
+  }
+
+  for (const std::string& path : snapshots) {
+    PGHIVE_ASSIGN_OR_RETURN(std::string bytes, ReadFile(path));
+    out << "snapshot " << path << "  (" << bytes.size() << " bytes)\n";
+    Result<store::SnapshotInfo> info = store::InspectSnapshot(bytes);
+    if (!info.ok()) {
+      out << "  unreadable: " << info.status().message() << "\n";
+      continue;
+    }
+    out << "  format version " << info->format_version << ", header "
+        << (info->header_ok ? "ok" : "CORRUPT") << "\n";
+    for (const auto& s : info->sections) {
+      out << "  section " << s.name << "  size=" << s.size << "  crc="
+          << (s.crc_ok ? "ok" : "MISMATCH") << "\n";
+    }
+    Result<store::StoreSnapshot> snap = store::DecodeSnapshot(bytes);
+    if (snap.ok()) {
+      out << "  applied_batches=" << snap->applied_batches << "  graph="
+          << snap->graph.num_nodes() << " nodes/" << snap->graph.num_edges()
+          << " edges  schema=" << snap->schema.node_types.size()
+          << " node types/" << snap->schema.edge_types.size()
+          << " edge types\n"
+          << "  options: " << snap->options_summary << "\n";
+    } else {
+      out << "  not loadable: " << snap.status().message() << "\n";
+    }
+  }
+
+  for (const std::string& path : journals) {
+    out << "journal " << path << "\n";
+    Result<store::JournalReadResult> read = store::ReadJournalSegment(path);
+    if (!read.ok()) {
+      out << "  unreadable: " << read.status().message() << "\n";
+      continue;
+    }
+    out << "  " << read->records.size() << " record(s)";
+    if (!read->records.empty()) {
+      out << "  batches " << read->records.front().batch_id << ".."
+          << read->records.back().batch_id;
+    }
+    out << "\n";
+    if (read->torn_tail) {
+      out << "  torn tail: " << read->tail_error
+          << " (recovery truncates to " << read->valid_bytes << " bytes)\n";
+    }
   }
   return Status::OK();
 }
@@ -272,6 +438,10 @@ std::string HelpText() {
       << "\n"
       << "commands:\n"
       << "  discover <prefix>            discover the schema of a CSV graph\n"
+      << "                               (--state-dir DIR = durable run)\n"
+      << "  resume <prefix>              continue a durable run after a\n"
+      << "                               stop or crash (--state-dir DIR)\n"
+      << "  inspect-state <dir>          report snapshots/journal health\n"
       << "  generate <dataset> <prefix>  generate a benchmark graph as CSV\n"
       << "  stats <prefix>               structural statistics (Table 2)\n"
       << "  validate <ref> <data>        validate data against ref's schema\n"
@@ -292,6 +462,8 @@ Status RunCliCommand(const Args& args, std::ostream& out) {
   }
   const std::string& cmd = args.positional()[0];
   if (cmd == "discover") return CmdDiscover(args, out);
+  if (cmd == "resume") return CmdResume(args, out);
+  if (cmd == "inspect-state") return CmdInspectState(args, out);
   if (cmd == "generate") return CmdGenerate(args, out);
   if (cmd == "stats") return CmdStats(args, out);
   if (cmd == "validate") return CmdValidate(args, out);

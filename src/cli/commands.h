@@ -1,12 +1,15 @@
 // The pghive command-line interface, as a testable library.
 //
 // Subcommands (see HelpText() for flags):
-//   discover   CSV graph -> discovered schema (summary / PG-Schema / XSD)
-//   generate   synthetic benchmark dataset -> CSV graph (+noise)
-//   stats      Table-2-style statistics of a CSV graph
-//   validate   validate one CSV graph against the schema of another
-//   diff       schema drift between two CSV graphs
-//   datasets   list the built-in benchmark dataset specs
+//   discover       CSV graph -> discovered schema (summary/PG-Schema/XSD);
+//                  --state-dir makes the incremental run durable
+//   resume         continue a durable run after a stop or crash
+//   inspect-state  report snapshots/journal of a state directory
+//   generate       synthetic benchmark dataset -> CSV graph (+noise)
+//   stats          Table-2-style statistics of a CSV graph
+//   validate       validate one CSV graph against the schema of another
+//   diff           schema drift between two CSV graphs
+//   datasets       list the built-in benchmark dataset specs
 //
 // Each command writes human-readable output to `out` and returns a Status;
 // main() maps that to exit codes. Graphs are read/written in the
@@ -32,6 +35,8 @@ std::string HelpText();
 
 // Individual commands (exposed for unit tests).
 Status CmdDiscover(const Args& args, std::ostream& out);
+Status CmdResume(const Args& args, std::ostream& out);
+Status CmdInspectState(const Args& args, std::ostream& out);
 Status CmdGenerate(const Args& args, std::ostream& out);
 Status CmdStats(const Args& args, std::ostream& out);
 Status CmdValidate(const Args& args, std::ostream& out);

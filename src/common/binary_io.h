@@ -1,0 +1,137 @@
+// Little-endian binary encoding primitives and CRC32 for the durable state
+// store (src/store/).
+//
+// BinaryWriter appends fixed-width scalars and length-prefixed strings to a
+// growing byte buffer; BinaryReader performs the bounds-checked inverse,
+// reporting malformed input as Status instead of crashing. Doubles are
+// stored as their raw IEEE-754 bit pattern, so every round-trip is
+// bit-identical — the property the snapshot format's "reload equals the
+// in-memory state exactly" guarantee rests on.
+
+#ifndef PGHIVE_COMMON_BINARY_IO_H_
+#define PGHIVE_COMMON_BINARY_IO_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace pghive {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `len` bytes.
+/// Pass a previous result as `seed` to checksum data incrementally.
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+
+inline uint32_t Crc32(std::string_view s, uint32_t seed = 0) {
+  return Crc32(s.data(), s.size(), seed);
+}
+
+/// Appends little-endian scalars and length-prefixed byte strings to an
+/// owned buffer.
+class BinaryWriter {
+ public:
+  void WriteU8(uint8_t v) { buffer_.push_back(static_cast<char>(v)); }
+  void WriteU32(uint32_t v) { WriteLittleEndian(v); }
+  void WriteU64(uint64_t v) { WriteLittleEndian(v); }
+
+  /// Raw IEEE-754 bit pattern; bit-identical on read-back.
+  void WriteDouble(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    WriteU64(bits);
+  }
+
+  /// u32 byte count + raw bytes.
+  void WriteString(std::string_view s) {
+    WriteU32(static_cast<uint32_t>(s.size()));
+    buffer_.append(s.data(), s.size());
+  }
+
+  /// Raw bytes with no length prefix (for magics and nested payloads).
+  void WriteBytes(std::string_view s) { buffer_.append(s.data(), s.size()); }
+
+  const std::string& buffer() const { return buffer_; }
+  std::string Take() && { return std::move(buffer_); }
+  size_t size() const { return buffer_.size(); }
+
+ private:
+  template <typename T>
+  void WriteLittleEndian(T v) {
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      buffer_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+
+  std::string buffer_;
+};
+
+/// Bounds-checked sequential reader over a byte view. Every accessor
+/// returns ParseError instead of reading past the end, so truncated or
+/// corrupt input degrades to a Status, never undefined behaviour.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : data_(data) {}
+
+  size_t position() const { return pos_; }
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+  Result<uint8_t> ReadU8() {
+    if (remaining() < 1) return Truncated("u8");
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+
+  Result<uint32_t> ReadU32() { return ReadLittleEndian<uint32_t>("u32"); }
+  Result<uint64_t> ReadU64() { return ReadLittleEndian<uint64_t>("u64"); }
+
+  Result<double> ReadDouble() {
+    PGHIVE_ASSIGN_OR_RETURN(uint64_t bits, ReadU64());
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  Result<std::string> ReadString() {
+    PGHIVE_ASSIGN_OR_RETURN(uint32_t n, ReadU32());
+    if (remaining() < n) return Truncated("string body");
+    std::string s(data_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+
+  /// A view of the next `n` raw bytes (no copy); valid while the underlying
+  /// buffer lives.
+  Result<std::string_view> ReadBytes(size_t n) {
+    if (remaining() < n) return Truncated("bytes");
+    std::string_view v = data_.substr(pos_, n);
+    pos_ += n;
+    return v;
+  }
+
+ private:
+  template <typename T>
+  Result<T> ReadLittleEndian(const char* what) {
+    if (remaining() < sizeof(T)) return Truncated(what);
+    T v = 0;
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  Status Truncated(const char* what) const {
+    return Status::ParseError(std::string("binary input truncated reading ") +
+                              what + " at offset " + std::to_string(pos_));
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace pghive
+
+#endif  // PGHIVE_COMMON_BINARY_IO_H_

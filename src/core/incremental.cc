@@ -17,6 +17,12 @@ Status IncrementalDiscoverer::Feed(const GraphBatch& batch) {
   return Status::OK();
 }
 
+void IncrementalDiscoverer::RestoreState(SchemaGraph schema,
+                                         std::vector<double> batch_seconds) {
+  schema_ = std::move(schema);
+  batch_seconds_ = std::move(batch_seconds);
+}
+
 const SchemaGraph& IncrementalDiscoverer::Finish(const PropertyGraph& g) {
   pipeline_.PostProcess(g, &schema_);
   return schema_;

@@ -29,6 +29,12 @@ class IncrementalDiscoverer {
   /// Processes one new batch and merges it into the running schema.
   Status Feed(const GraphBatch& batch);
 
+  /// Restores previously persisted state (schema + per-batch timings), so a
+  /// recovered process resumes exactly where it stopped: the next Feed()
+  /// merges into the restored schema as if this discoverer had processed
+  /// every earlier batch itself (src/store/ uses this on recovery).
+  void RestoreState(SchemaGraph schema, std::vector<double> batch_seconds);
+
   /// Number of batches processed so far.
   size_t batches_processed() const { return batch_seconds_.size(); }
 
@@ -42,6 +48,16 @@ class IncrementalDiscoverer {
   /// Final post-processing pass over everything fed so far; returns the
   /// completed schema. `g` must be the graph the batches sliced.
   const SchemaGraph& Finish(const PropertyGraph& g);
+
+  /// Diagnostics of the most recent batch (LSH parameters, cluster counts,
+  /// stage timings) — persisted by the durable store's snapshots.
+  const BatchDiagnostics& last_diagnostics() const {
+    return pipeline_.last_diagnostics();
+  }
+
+  /// The pipeline's worker pool (null in sequential mode); the durable
+  /// store reuses it for parallel snapshot encoding.
+  ThreadPool* thread_pool() const { return pipeline_.thread_pool(); }
 
  private:
   IncrementalOptions options_;

@@ -36,6 +36,12 @@ class AliasTable {
   size_t size() const { return aliases_.size(); }
   bool empty() const { return aliases_.empty(); }
 
+  /// The raw alias -> canonical entries (unresolved chains), e.g. for
+  /// recording provenance in durable-state snapshots.
+  const std::map<std::string, std::string>& entries() const {
+    return aliases_;
+  }
+
   /// Parses "alias=canonical" lines (comments with '#', blank lines
   /// skipped) — the file format the CLI accepts via --aliases.
   static Result<AliasTable> FromText(const std::string& text);

@@ -110,6 +110,34 @@ size_t PropertyGraph::CountEdgePatterns() const {
   return sigs.size();
 }
 
+namespace {
+
+template <typename Elem>
+bool ElementsEqual(const Elem& a, const Elem& b) {
+  return a.id == b.id && a.labels == b.labels &&
+         a.properties == b.properties && a.truth_type == b.truth_type;
+}
+
+}  // namespace
+
+bool GraphsEqual(const PropertyGraph& a, const PropertyGraph& b) {
+  if (a.num_nodes() != b.num_nodes() || a.num_edges() != b.num_edges()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.num_nodes(); ++i) {
+    if (!ElementsEqual(a.node(i), b.node(i))) return false;
+  }
+  for (size_t i = 0; i < a.num_edges(); ++i) {
+    const Edge& ea = a.edge(i);
+    const Edge& eb = b.edge(i);
+    if (ea.source != eb.source || ea.target != eb.target ||
+        !ElementsEqual(ea, eb)) {
+      return false;
+    }
+  }
+  return true;
+}
+
 GraphBatch FullBatch(const PropertyGraph& g) {
   return GraphBatch{&g, 0, g.num_nodes(), 0, g.num_edges()};
 }

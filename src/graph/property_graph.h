@@ -133,6 +133,11 @@ struct GraphBatch {
   size_t num_edges() const { return edge_end - edge_begin; }
 };
 
+/// Structural equality of two graphs: same node/edge sequences with equal
+/// ids, labels, properties (typed values) and ground-truth tags. Used by the
+/// CSV and binary-store round-trip guarantees.
+bool GraphsEqual(const PropertyGraph& a, const PropertyGraph& b);
+
 /// A batch covering the whole graph (the static, non-incremental case).
 GraphBatch FullBatch(const PropertyGraph& g);
 

@@ -1,0 +1,465 @@
+#include "store/codec.h"
+
+namespace pghive {
+namespace store {
+
+namespace {
+
+// Value wire tags. Stable on-disk numbers — append, never renumber.
+enum ValueTag : uint8_t {
+  kValNull = 0,
+  kValInt = 1,
+  kValDouble = 2,
+  kValBool = 3,
+  kValString = 4,
+  kValDate = 5,
+  kValTimestamp = 6,
+};
+
+Status BadTag(const char* what, unsigned tag) {
+  return Status::ParseError(std::string("unknown ") + what + " tag " +
+                            std::to_string(tag));
+}
+
+template <typename Elem>
+void EncodeElementCommon(const Elem& e, BinaryWriter* w) {
+  EncodeStringSet(e.labels, w);
+  w->WriteU32(static_cast<uint32_t>(e.properties.size()));
+  for (const auto& [key, value] : e.properties) {
+    w->WriteString(key);
+    EncodeValue(value, w);
+  }
+  w->WriteString(e.truth_type);
+}
+
+template <typename Elem>
+Status DecodeElementCommon(BinaryReader* r, Elem* e) {
+  PGHIVE_ASSIGN_OR_RETURN(e->labels, DecodeStringSet(r));
+  PGHIVE_ASSIGN_OR_RETURN(uint32_t num_props, r->ReadU32());
+  for (uint32_t i = 0; i < num_props; ++i) {
+    PGHIVE_ASSIGN_OR_RETURN(std::string key, r->ReadString());
+    PGHIVE_ASSIGN_OR_RETURN(Value value, DecodeValue(r));
+    e->properties.emplace(std::move(key), std::move(value));
+  }
+  PGHIVE_ASSIGN_OR_RETURN(e->truth_type, r->ReadString());
+  return Status::OK();
+}
+
+void EncodeIdVector(const std::vector<uint64_t>& ids, BinaryWriter* w) {
+  w->WriteU64(ids.size());
+  for (uint64_t id : ids) w->WriteU64(id);
+}
+
+Result<std::vector<uint64_t>> DecodeIdVector(BinaryReader* r) {
+  PGHIVE_ASSIGN_OR_RETURN(uint64_t n, r->ReadU64());
+  if (n > r->remaining() / sizeof(uint64_t)) {
+    return Status::ParseError("id vector length exceeds input size");
+  }
+  std::vector<uint64_t> ids;
+  ids.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    PGHIVE_ASSIGN_OR_RETURN(uint64_t id, r->ReadU64());
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+void EncodeConstraints(const std::map<std::string, PropertyConstraint>& cs,
+                       BinaryWriter* w) {
+  w->WriteU32(static_cast<uint32_t>(cs.size()));
+  for (const auto& [key, c] : cs) {
+    w->WriteString(key);
+    w->WriteU8(static_cast<uint8_t>(c.type));
+    w->WriteU8(c.mandatory ? 1 : 0);
+  }
+}
+
+Result<std::map<std::string, PropertyConstraint>> DecodeConstraints(
+    BinaryReader* r) {
+  PGHIVE_ASSIGN_OR_RETURN(uint32_t n, r->ReadU32());
+  std::map<std::string, PropertyConstraint> cs;
+  for (uint32_t i = 0; i < n; ++i) {
+    PGHIVE_ASSIGN_OR_RETURN(std::string key, r->ReadString());
+    PGHIVE_ASSIGN_OR_RETURN(uint8_t type, r->ReadU8());
+    PGHIVE_ASSIGN_OR_RETURN(uint8_t mandatory, r->ReadU8());
+    if (type > static_cast<uint8_t>(DataType::kString)) {
+      return BadTag("datatype", type);
+    }
+    PropertyConstraint c;
+    c.type = static_cast<DataType>(type);
+    c.mandatory = mandatory != 0;
+    cs.emplace(std::move(key), c);
+  }
+  return cs;
+}
+
+}  // namespace
+
+void EncodeStringSet(const std::set<std::string>& s, BinaryWriter* w) {
+  w->WriteU32(static_cast<uint32_t>(s.size()));
+  for (const auto& item : s) w->WriteString(item);
+}
+
+Result<std::set<std::string>> DecodeStringSet(BinaryReader* r) {
+  PGHIVE_ASSIGN_OR_RETURN(uint32_t n, r->ReadU32());
+  std::set<std::string> s;
+  for (uint32_t i = 0; i < n; ++i) {
+    PGHIVE_ASSIGN_OR_RETURN(std::string item, r->ReadString());
+    s.insert(std::move(item));
+  }
+  return s;
+}
+
+void EncodeDoubleVector(const std::vector<double>& v, BinaryWriter* w) {
+  w->WriteU64(v.size());
+  for (double d : v) w->WriteDouble(d);
+}
+
+Result<std::vector<double>> DecodeDoubleVector(BinaryReader* r) {
+  PGHIVE_ASSIGN_OR_RETURN(uint64_t n, r->ReadU64());
+  if (n > r->remaining() / sizeof(double)) {
+    return Status::ParseError("double vector length exceeds input size");
+  }
+  std::vector<double> v;
+  v.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    PGHIVE_ASSIGN_OR_RETURN(double d, r->ReadDouble());
+    v.push_back(d);
+  }
+  return v;
+}
+
+void EncodeValue(const Value& v, BinaryWriter* w) {
+  if (v.is_null()) {
+    w->WriteU8(kValNull);
+    return;
+  }
+  switch (v.type()) {
+    case DataType::kInt:
+      w->WriteU8(kValInt);
+      w->WriteU64(static_cast<uint64_t>(v.AsInt()));
+      return;
+    case DataType::kDouble:
+      w->WriteU8(kValDouble);
+      w->WriteDouble(v.AsDouble());
+      return;
+    case DataType::kBool:
+      w->WriteU8(kValBool);
+      w->WriteU8(v.AsBool() ? 1 : 0);
+      return;
+    case DataType::kDate:
+      w->WriteU8(kValDate);
+      w->WriteString(v.AsString());
+      return;
+    case DataType::kTimestamp:
+      w->WriteU8(kValTimestamp);
+      w->WriteString(v.AsString());
+      return;
+    case DataType::kString:
+      w->WriteU8(kValString);
+      w->WriteString(v.AsString());
+      return;
+  }
+}
+
+Result<Value> DecodeValue(BinaryReader* r) {
+  PGHIVE_ASSIGN_OR_RETURN(uint8_t tag, r->ReadU8());
+  switch (tag) {
+    case kValNull:
+      return Value();
+    case kValInt: {
+      PGHIVE_ASSIGN_OR_RETURN(uint64_t bits, r->ReadU64());
+      return Value::Int(static_cast<int64_t>(bits));
+    }
+    case kValDouble: {
+      PGHIVE_ASSIGN_OR_RETURN(double d, r->ReadDouble());
+      return Value::Double(d);
+    }
+    case kValBool: {
+      PGHIVE_ASSIGN_OR_RETURN(uint8_t b, r->ReadU8());
+      return Value::Bool(b != 0);
+    }
+    case kValString: {
+      PGHIVE_ASSIGN_OR_RETURN(std::string s, r->ReadString());
+      return Value::String(std::move(s));
+    }
+    case kValDate: {
+      PGHIVE_ASSIGN_OR_RETURN(std::string s, r->ReadString());
+      return Value::Date(std::move(s));
+    }
+    case kValTimestamp: {
+      PGHIVE_ASSIGN_OR_RETURN(std::string s, r->ReadString());
+      return Value::Timestamp(std::move(s));
+    }
+    default:
+      return BadTag("value", tag);
+  }
+}
+
+void EncodeNode(const Node& n, BinaryWriter* w) {
+  w->WriteU64(n.id);
+  EncodeElementCommon(n, w);
+}
+
+Result<Node> DecodeNode(BinaryReader* r) {
+  Node n;
+  PGHIVE_ASSIGN_OR_RETURN(n.id, r->ReadU64());
+  PGHIVE_RETURN_NOT_OK(DecodeElementCommon(r, &n));
+  return n;
+}
+
+void EncodeEdge(const Edge& e, BinaryWriter* w) {
+  w->WriteU64(e.id);
+  w->WriteU64(e.source);
+  w->WriteU64(e.target);
+  EncodeElementCommon(e, w);
+}
+
+Result<Edge> DecodeEdge(BinaryReader* r) {
+  Edge e;
+  PGHIVE_ASSIGN_OR_RETURN(e.id, r->ReadU64());
+  PGHIVE_ASSIGN_OR_RETURN(e.source, r->ReadU64());
+  PGHIVE_ASSIGN_OR_RETURN(e.target, r->ReadU64());
+  PGHIVE_RETURN_NOT_OK(DecodeElementCommon(r, &e));
+  return e;
+}
+
+void EncodeGraph(const PropertyGraph& g, BinaryWriter* w) {
+  w->WriteU64(g.num_nodes());
+  for (const auto& n : g.nodes()) EncodeNode(n, w);
+  w->WriteU64(g.num_edges());
+  for (const auto& e : g.edges()) EncodeEdge(e, w);
+}
+
+Result<PropertyGraph> DecodeGraph(BinaryReader* r) {
+  PropertyGraph g;
+  PGHIVE_ASSIGN_OR_RETURN(uint64_t num_nodes, r->ReadU64());
+  for (uint64_t i = 0; i < num_nodes; ++i) {
+    PGHIVE_ASSIGN_OR_RETURN(Node n, DecodeNode(r));
+    if (n.id != i) {
+      return Status::ParseError("graph node ids must be dense 0..n-1");
+    }
+    g.AddNode(std::move(n.labels), std::move(n.properties),
+              std::move(n.truth_type));
+  }
+  PGHIVE_ASSIGN_OR_RETURN(uint64_t num_edges, r->ReadU64());
+  for (uint64_t i = 0; i < num_edges; ++i) {
+    PGHIVE_ASSIGN_OR_RETURN(Edge e, DecodeEdge(r));
+    if (e.id != i) {
+      return Status::ParseError("graph edge ids must be dense 0..m-1");
+    }
+    auto added = g.AddEdge(e.source, e.target, std::move(e.labels),
+                           std::move(e.properties), std::move(e.truth_type));
+    if (!added.ok()) {
+      return Status::ParseError("graph edge references missing endpoint: " +
+                                added.status().message());
+    }
+  }
+  return g;
+}
+
+void EncodeBatchPayload(const std::vector<Node>& nodes,
+                        const std::vector<Edge>& edges, BinaryWriter* w) {
+  w->WriteU64(nodes.size());
+  for (const auto& n : nodes) EncodeNode(n, w);
+  w->WriteU64(edges.size());
+  for (const auto& e : edges) EncodeEdge(e, w);
+}
+
+Result<BatchPayload> DecodeBatchPayload(BinaryReader* r) {
+  BatchPayload p;
+  PGHIVE_ASSIGN_OR_RETURN(uint64_t num_nodes, r->ReadU64());
+  p.nodes.reserve(num_nodes < 4096 ? num_nodes : 4096);
+  for (uint64_t i = 0; i < num_nodes; ++i) {
+    PGHIVE_ASSIGN_OR_RETURN(Node n, DecodeNode(r));
+    p.nodes.push_back(std::move(n));
+  }
+  PGHIVE_ASSIGN_OR_RETURN(uint64_t num_edges, r->ReadU64());
+  p.edges.reserve(num_edges < 4096 ? num_edges : 4096);
+  for (uint64_t i = 0; i < num_edges; ++i) {
+    PGHIVE_ASSIGN_OR_RETURN(Edge e, DecodeEdge(r));
+    p.edges.push_back(std::move(e));
+  }
+  if (!r->AtEnd()) {
+    return Status::ParseError("trailing bytes after batch payload");
+  }
+  return p;
+}
+
+void EncodeSchema(const SchemaGraph& schema, BinaryWriter* w) {
+  w->WriteU32(static_cast<uint32_t>(schema.node_types.size()));
+  for (const auto& t : schema.node_types) {
+    w->WriteString(t.name);
+    EncodeStringSet(t.labels, w);
+    EncodeStringSet(t.property_keys, w);
+    EncodeConstraints(t.constraints, w);
+    w->WriteU8(t.is_abstract ? 1 : 0);
+    EncodeIdVector(t.instances, w);
+  }
+  w->WriteU32(static_cast<uint32_t>(schema.edge_types.size()));
+  for (const auto& t : schema.edge_types) {
+    w->WriteString(t.name);
+    EncodeStringSet(t.labels, w);
+    EncodeStringSet(t.property_keys, w);
+    EncodeConstraints(t.constraints, w);
+    EncodeStringSet(t.source_labels, w);
+    EncodeStringSet(t.target_labels, w);
+    w->WriteU8(static_cast<uint8_t>(t.cardinality));
+    w->WriteU64(t.max_out_degree);
+    w->WriteU64(t.max_in_degree);
+    w->WriteU8(t.is_abstract ? 1 : 0);
+    EncodeIdVector(t.instances, w);
+  }
+}
+
+Result<SchemaGraph> DecodeSchema(BinaryReader* r) {
+  SchemaGraph schema;
+  PGHIVE_ASSIGN_OR_RETURN(uint32_t num_node_types, r->ReadU32());
+  schema.node_types.reserve(num_node_types < 4096 ? num_node_types : 4096);
+  for (uint32_t i = 0; i < num_node_types; ++i) {
+    SchemaNodeType t;
+    PGHIVE_ASSIGN_OR_RETURN(t.name, r->ReadString());
+    PGHIVE_ASSIGN_OR_RETURN(t.labels, DecodeStringSet(r));
+    PGHIVE_ASSIGN_OR_RETURN(t.property_keys, DecodeStringSet(r));
+    PGHIVE_ASSIGN_OR_RETURN(t.constraints, DecodeConstraints(r));
+    PGHIVE_ASSIGN_OR_RETURN(uint8_t is_abstract, r->ReadU8());
+    t.is_abstract = is_abstract != 0;
+    PGHIVE_ASSIGN_OR_RETURN(t.instances, DecodeIdVector(r));
+    schema.node_types.push_back(std::move(t));
+  }
+  PGHIVE_ASSIGN_OR_RETURN(uint32_t num_edge_types, r->ReadU32());
+  schema.edge_types.reserve(num_edge_types < 4096 ? num_edge_types : 4096);
+  for (uint32_t i = 0; i < num_edge_types; ++i) {
+    SchemaEdgeType t;
+    PGHIVE_ASSIGN_OR_RETURN(t.name, r->ReadString());
+    PGHIVE_ASSIGN_OR_RETURN(t.labels, DecodeStringSet(r));
+    PGHIVE_ASSIGN_OR_RETURN(t.property_keys, DecodeStringSet(r));
+    PGHIVE_ASSIGN_OR_RETURN(t.constraints, DecodeConstraints(r));
+    PGHIVE_ASSIGN_OR_RETURN(t.source_labels, DecodeStringSet(r));
+    PGHIVE_ASSIGN_OR_RETURN(t.target_labels, DecodeStringSet(r));
+    PGHIVE_ASSIGN_OR_RETURN(uint8_t cardinality, r->ReadU8());
+    if (cardinality > static_cast<uint8_t>(SchemaCardinality::kManyToMany)) {
+      return BadTag("cardinality", cardinality);
+    }
+    t.cardinality = static_cast<SchemaCardinality>(cardinality);
+    PGHIVE_ASSIGN_OR_RETURN(t.max_out_degree, r->ReadU64());
+    PGHIVE_ASSIGN_OR_RETURN(t.max_in_degree, r->ReadU64());
+    PGHIVE_ASSIGN_OR_RETURN(uint8_t is_abstract, r->ReadU8());
+    t.is_abstract = is_abstract != 0;
+    PGHIVE_ASSIGN_OR_RETURN(t.instances, DecodeIdVector(r));
+    schema.edge_types.push_back(std::move(t));
+  }
+  return schema;
+}
+
+namespace {
+
+void EncodePropertyStats(const PropertyStats& s, BinaryWriter* w) {
+  w->WriteU64(s.observed);
+  w->WriteU64(s.absent);
+  w->WriteU64(s.distinct);
+  w->WriteU64(s.numeric_count);
+  w->WriteDouble(s.numeric_min);
+  w->WriteDouble(s.numeric_max);
+  w->WriteString(s.lexical_min);
+  w->WriteString(s.lexical_max);
+  w->WriteU32(static_cast<uint32_t>(s.top_values.size()));
+  for (const auto& [value, count] : s.top_values) {
+    w->WriteString(value);
+    w->WriteU64(count);
+  }
+  w->WriteU8(s.enum_candidate ? 1 : 0);
+  w->WriteU32(static_cast<uint32_t>(s.enum_domain.size()));
+  for (const auto& v : s.enum_domain) w->WriteString(v);
+}
+
+Result<PropertyStats> DecodePropertyStats(BinaryReader* r) {
+  PropertyStats s;
+  PGHIVE_ASSIGN_OR_RETURN(s.observed, r->ReadU64());
+  PGHIVE_ASSIGN_OR_RETURN(s.absent, r->ReadU64());
+  PGHIVE_ASSIGN_OR_RETURN(s.distinct, r->ReadU64());
+  PGHIVE_ASSIGN_OR_RETURN(s.numeric_count, r->ReadU64());
+  PGHIVE_ASSIGN_OR_RETURN(s.numeric_min, r->ReadDouble());
+  PGHIVE_ASSIGN_OR_RETURN(s.numeric_max, r->ReadDouble());
+  PGHIVE_ASSIGN_OR_RETURN(s.lexical_min, r->ReadString());
+  PGHIVE_ASSIGN_OR_RETURN(s.lexical_max, r->ReadString());
+  PGHIVE_ASSIGN_OR_RETURN(uint32_t num_top, r->ReadU32());
+  for (uint32_t i = 0; i < num_top; ++i) {
+    PGHIVE_ASSIGN_OR_RETURN(std::string value, r->ReadString());
+    PGHIVE_ASSIGN_OR_RETURN(uint64_t count, r->ReadU64());
+    s.top_values.emplace_back(std::move(value), count);
+  }
+  PGHIVE_ASSIGN_OR_RETURN(uint8_t enum_candidate, r->ReadU8());
+  s.enum_candidate = enum_candidate != 0;
+  PGHIVE_ASSIGN_OR_RETURN(uint32_t num_domain, r->ReadU32());
+  for (uint32_t i = 0; i < num_domain; ++i) {
+    PGHIVE_ASSIGN_OR_RETURN(std::string v, r->ReadString());
+    s.enum_domain.push_back(std::move(v));
+  }
+  return s;
+}
+
+void EncodeTypeStats(const std::vector<TypeValueStats>& types,
+                     BinaryWriter* w) {
+  w->WriteU32(static_cast<uint32_t>(types.size()));
+  for (const auto& type : types) {
+    w->WriteU32(static_cast<uint32_t>(type.size()));
+    for (const auto& [key, stats] : type) {
+      w->WriteString(key);
+      EncodePropertyStats(stats, w);
+    }
+  }
+}
+
+Result<std::vector<TypeValueStats>> DecodeTypeStats(BinaryReader* r) {
+  PGHIVE_ASSIGN_OR_RETURN(uint32_t num_types, r->ReadU32());
+  std::vector<TypeValueStats> types;
+  types.reserve(num_types < 4096 ? num_types : 4096);
+  for (uint32_t i = 0; i < num_types; ++i) {
+    PGHIVE_ASSIGN_OR_RETURN(uint32_t num_props, r->ReadU32());
+    TypeValueStats type;
+    for (uint32_t j = 0; j < num_props; ++j) {
+      PGHIVE_ASSIGN_OR_RETURN(std::string key, r->ReadString());
+      PGHIVE_ASSIGN_OR_RETURN(PropertyStats stats, DecodePropertyStats(r));
+      type.emplace(std::move(key), std::move(stats));
+    }
+    types.push_back(std::move(type));
+  }
+  return types;
+}
+
+}  // namespace
+
+void EncodeValueStats(const SchemaValueStats& stats, BinaryWriter* w) {
+  EncodeTypeStats(stats.node_types, w);
+  EncodeTypeStats(stats.edge_types, w);
+}
+
+Result<SchemaValueStats> DecodeValueStats(BinaryReader* r) {
+  SchemaValueStats stats;
+  PGHIVE_ASSIGN_OR_RETURN(stats.node_types, DecodeTypeStats(r));
+  PGHIVE_ASSIGN_OR_RETURN(stats.edge_types, DecodeTypeStats(r));
+  return stats;
+}
+
+void EncodeAdaptiveParams(const AdaptiveLshParams& p, BinaryWriter* w) {
+  w->WriteDouble(p.mu);
+  w->WriteDouble(p.b_base);
+  w->WriteDouble(p.alpha);
+  w->WriteDouble(p.bucket_length);
+  w->WriteU32(static_cast<uint32_t>(p.num_tables));
+}
+
+Result<AdaptiveLshParams> DecodeAdaptiveParams(BinaryReader* r) {
+  AdaptiveLshParams p;
+  PGHIVE_ASSIGN_OR_RETURN(p.mu, r->ReadDouble());
+  PGHIVE_ASSIGN_OR_RETURN(p.b_base, r->ReadDouble());
+  PGHIVE_ASSIGN_OR_RETURN(p.alpha, r->ReadDouble());
+  PGHIVE_ASSIGN_OR_RETURN(p.bucket_length, r->ReadDouble());
+  PGHIVE_ASSIGN_OR_RETURN(uint32_t tables, r->ReadU32());
+  p.num_tables = static_cast<int>(tables);
+  return p;
+}
+
+}  // namespace store
+}  // namespace pghive

@@ -1,0 +1,78 @@
+// Binary codecs for the durable-state snapshot and journal (src/store/).
+//
+// Each Encode*/Decode* pair round-trips one state component exactly:
+// re-encoding a decoded component yields byte-identical output (doubles are
+// stored as raw bit patterns, containers in their deterministic iteration
+// order). Decoders are bounds-checked and return ParseError on truncated or
+// malformed bytes — they never crash on corrupt input.
+
+#ifndef PGHIVE_STORE_CODEC_H_
+#define PGHIVE_STORE_CODEC_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "common/result.h"
+#include "core/schema.h"
+#include "core/value_stats.h"
+#include "graph/property_graph.h"
+#include "lsh/adaptive_params.h"
+
+namespace pghive {
+namespace store {
+
+// --- Property values and graph elements. ---
+
+void EncodeValue(const Value& v, BinaryWriter* w);
+Result<Value> DecodeValue(BinaryReader* r);
+
+void EncodeNode(const Node& n, BinaryWriter* w);
+Result<Node> DecodeNode(BinaryReader* r);
+
+void EncodeEdge(const Edge& e, BinaryWriter* w);
+Result<Edge> DecodeEdge(BinaryReader* r);
+
+/// Whole graph: node count + nodes, edge count + edges. Decoded elements are
+/// re-inserted through AddNode/AddEdge, so dense insertion-order ids are
+/// preserved (decode fails if the encoded ids were not dense).
+void EncodeGraph(const PropertyGraph& g, BinaryWriter* w);
+Result<PropertyGraph> DecodeGraph(BinaryReader* r);
+
+/// One journal batch payload: the node and edge rows of a single
+/// incremental batch, in insertion order. Edge endpoints are global NodeIds
+/// into the accumulated graph.
+void EncodeBatchPayload(const std::vector<Node>& nodes,
+                        const std::vector<Edge>& edges, BinaryWriter* w);
+struct BatchPayload {
+  std::vector<Node> nodes;
+  std::vector<Edge> edges;
+};
+Result<BatchPayload> DecodeBatchPayload(BinaryReader* r);
+
+// --- Discovered schema. ---
+
+void EncodeSchema(const SchemaGraph& schema, BinaryWriter* w);
+Result<SchemaGraph> DecodeSchema(BinaryReader* r);
+
+// --- Post-processing statistics and LSH diagnostics. ---
+
+void EncodeValueStats(const SchemaValueStats& stats, BinaryWriter* w);
+Result<SchemaValueStats> DecodeValueStats(BinaryReader* r);
+
+void EncodeAdaptiveParams(const AdaptiveLshParams& p, BinaryWriter* w);
+Result<AdaptiveLshParams> DecodeAdaptiveParams(BinaryReader* r);
+
+// --- Small shared helpers (exposed for tests). ---
+
+void EncodeStringSet(const std::set<std::string>& s, BinaryWriter* w);
+Result<std::set<std::string>> DecodeStringSet(BinaryReader* r);
+
+void EncodeDoubleVector(const std::vector<double>& v, BinaryWriter* w);
+Result<std::vector<double>> DecodeDoubleVector(BinaryReader* r);
+
+}  // namespace store
+}  // namespace pghive
+
+#endif  // PGHIVE_STORE_CODEC_H_

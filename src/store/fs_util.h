@@ -1,0 +1,29 @@
+// POSIX durability helpers for the state store: fsync'd writes, atomic
+// renames and directory syncs. Thin wrappers that turn errno into Status.
+
+#ifndef PGHIVE_STORE_FS_UTIL_H_
+#define PGHIVE_STORE_FS_UTIL_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace pghive {
+namespace store {
+
+/// Writes `bytes` to `path`.tmp, fsyncs it, renames over `path` and fsyncs
+/// the containing directory — after a crash either the old or the complete
+/// new file is visible, never a torn one.
+Status AtomicWriteFile(const std::string& path, std::string_view bytes);
+
+/// fsync(2) on the directory itself, making renames/creations durable.
+Status SyncDir(const std::string& dir);
+
+/// Shrinks a file to `size` bytes (used to discard a torn journal tail).
+Status TruncateFile(const std::string& path, uint64_t size);
+
+}  // namespace store
+}  // namespace pghive
+
+#endif  // PGHIVE_STORE_FS_UTIL_H_

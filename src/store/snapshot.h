@@ -1,0 +1,117 @@
+// Versioned binary snapshot of the full incremental-discovery state.
+//
+// File layout (all integers little-endian):
+//
+//   "PGHS" magic | u32 format_version | u32 section_count | u32 header_crc
+//   then section_count times:
+//     u32 section_id | u64 payload_size | u32 payload_crc | payload bytes
+//
+// Every section payload is CRC32-guarded independently, so corruption is
+// detected per section and reported with the section name. Unknown section
+// ids are skipped on read (older binaries open newer snapshots as long as
+// the sections they need are intact). Encoding a decoded snapshot yields the
+// byte-identical file: doubles round-trip as raw bit patterns and all
+// containers serialize in deterministic order.
+//
+// Section encoding (and CRC computation) fans out across the PR-1 execution
+// runtime when a ThreadPool is supplied; the assembled bytes are identical
+// at any thread count.
+
+#ifndef PGHIVE_STORE_SNAPSHOT_H_
+#define PGHIVE_STORE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/schema.h"
+#include "core/value_stats.h"
+#include "graph/property_graph.h"
+#include "lsh/adaptive_params.h"
+#include "runtime/thread_pool.h"
+
+namespace pghive {
+namespace store {
+
+inline constexpr char kSnapshotMagic[4] = {'P', 'G', 'H', 'S'};
+inline constexpr uint32_t kSnapshotFormatVersion = 1;
+
+/// Stable on-disk section identifiers — append, never renumber.
+enum class SnapshotSection : uint32_t {
+  kMeta = 1,        // counters, options fingerprint + summary
+  kGraph = 2,       // accumulated property graph (all batches fed so far)
+  kSchema = 3,      // discovered SchemaGraph incl. instance assignments
+  kTimings = 4,     // per-batch wall-clock seconds (Figure 7 series)
+  kAliases = 5,     // label-alias map in effect during discovery
+  kLshDiag = 6,     // adaptive LSH parameters + bucket/cluster counts
+  kValueStats = 7,  // value/datatype statistics of the discovered types
+};
+
+const char* SnapshotSectionName(SnapshotSection s);
+
+/// Everything the incremental engine needs to resume exactly where a
+/// stopped or crashed process left off.
+struct StoreSnapshot {
+  /// Number of batches whose effects this snapshot contains (also the id of
+  /// the next expected batch; journal records below this id are skipped on
+  /// recovery).
+  uint64_t applied_batches = 0;
+  /// Fingerprint of the discovery options that produced this state. Replay
+  /// under different options would diverge from the uninterrupted run, so
+  /// recovery refuses a mismatch.
+  uint64_t options_fingerprint = 0;
+  /// Human-readable options summary for `pghive inspect-state`.
+  std::string options_summary;
+
+  PropertyGraph graph;
+  SchemaGraph schema;
+  std::vector<double> batch_seconds;
+  std::vector<std::pair<std::string, std::string>> aliases;
+
+  // Last batch's LSH table state (adaptive parameters + raw bucket-cluster
+  // counts), persisted for diagnostics continuity across restarts.
+  AdaptiveLshParams node_lsh;
+  AdaptiveLshParams edge_lsh;
+  uint64_t node_clusters = 0;
+  uint64_t edge_clusters = 0;
+
+  SchemaValueStats value_stats;
+};
+
+/// Serializes the snapshot; per-section encode + CRC runs through `pool`
+/// (null = sequential, identical bytes either way).
+std::string EncodeSnapshot(const StoreSnapshot& snapshot,
+                           ThreadPool* pool = nullptr);
+
+/// Parses and validates a snapshot. Fails with ParseError on structural
+/// corruption and IoError on a CRC mismatch (naming the bad section);
+/// required sections (meta, graph, schema) must be present.
+Result<StoreSnapshot> DecodeSnapshot(const std::string& bytes);
+
+/// Durable write: <path>.tmp + fsync + rename + directory fsync, so a crash
+/// mid-write never leaves a half-written snapshot under the final name.
+Status WriteSnapshotFile(const std::string& path, const std::string& bytes);
+
+Result<StoreSnapshot> ReadSnapshotFile(const std::string& path);
+
+/// Non-validating structural probe for `pghive inspect-state`: reports each
+/// section's id, name, size and CRC verdict instead of failing on the first
+/// bad byte.
+struct SnapshotSectionInfo {
+  uint32_t id = 0;
+  std::string name;
+  uint64_t size = 0;
+  bool crc_ok = false;
+};
+struct SnapshotInfo {
+  uint32_t format_version = 0;
+  bool header_ok = false;
+  std::vector<SnapshotSectionInfo> sections;
+};
+Result<SnapshotInfo> InspectSnapshot(const std::string& bytes);
+
+}  // namespace store
+}  // namespace pghive
+
+#endif  // PGHIVE_STORE_SNAPSHOT_H_

@@ -1,0 +1,425 @@
+#include "store/state_store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "common/binary_io.h"
+#include "common/hash.h"
+#include "core/value_stats.h"
+#include "store/fs_util.h"
+
+namespace pghive {
+namespace store {
+
+namespace {
+
+constexpr char kSnapshotPrefix[] = "snapshot-";
+constexpr char kSnapshotSuffix[] = ".pghs";
+constexpr char kJournalPrefix[] = "journal-";
+constexpr char kJournalSuffix[] = ".wal";
+
+std::string NumberedFileName(const char* prefix, uint64_t n,
+                             const char* suffix) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s%020llu%s", prefix,
+                static_cast<unsigned long long>(n), suffix);
+  return buf;
+}
+
+/// Parses "<prefix><digits><suffix>" names; returns false for anything else.
+bool ParseNumberedFileName(const std::string& name, const char* prefix,
+                           const char* suffix, uint64_t* number) {
+  const size_t prefix_len = std::string_view(prefix).size();
+  const size_t suffix_len = std::string_view(suffix).size();
+  if (name.size() <= prefix_len + suffix_len) return false;
+  if (name.compare(0, prefix_len, prefix) != 0) return false;
+  if (name.compare(name.size() - suffix_len, suffix_len, suffix) != 0) {
+    return false;
+  }
+  const std::string digits =
+      name.substr(prefix_len, name.size() - prefix_len - suffix_len);
+  if (digits.empty() ||
+      digits.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  *number = std::strtoull(digits.c_str(), nullptr, 10);
+  return true;
+}
+
+std::vector<std::string> ListNumberedFiles(const std::string& dir,
+                                           const char* prefix,
+                                           const char* suffix,
+                                           bool newest_first) {
+  std::vector<std::pair<uint64_t, std::string>> found;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    uint64_t n = 0;
+    if (ParseNumberedFileName(entry.path().filename().string(), prefix,
+                              suffix, &n)) {
+      found.emplace_back(n, entry.path().string());
+    }
+  }
+  std::sort(found.begin(), found.end());
+  if (newest_first) std::reverse(found.begin(), found.end());
+  std::vector<std::string> paths;
+  paths.reserve(found.size());
+  for (auto& [n, path] : found) paths.push_back(std::move(path));
+  return paths;
+}
+
+}  // namespace
+
+std::vector<std::string> ListSnapshotFiles(const std::string& dir) {
+  return ListNumberedFiles(dir, kSnapshotPrefix, kSnapshotSuffix,
+                           /*newest_first=*/true);
+}
+
+std::vector<std::string> ListJournalFiles(const std::string& dir) {
+  return ListNumberedFiles(dir, kJournalPrefix, kJournalSuffix,
+                           /*newest_first=*/false);
+}
+
+uint64_t OptionsFingerprint(const IncrementalOptions& options) {
+  const PipelineOptions& p = options.pipeline;
+  // Serialize every option that changes discovery output — NOT num_threads
+  // (the runtime guarantees thread-count-independent results), so a machine
+  // with a different core count can resume the same state directory.
+  BinaryWriter w;
+  w.WriteU8(static_cast<uint8_t>(p.method));
+  w.WriteU8(static_cast<uint8_t>(p.embedding.backend));
+  w.WriteU32(static_cast<uint32_t>(p.embedding.dimension));
+  w.WriteU64(p.embedding.seed);
+  w.WriteU32(static_cast<uint32_t>(p.embedding.word2vec.window));
+  w.WriteU32(static_cast<uint32_t>(p.embedding.word2vec.negative_samples));
+  w.WriteDouble(p.embedding.word2vec.learning_rate);
+  w.WriteU32(static_cast<uint32_t>(p.embedding.word2vec.epochs));
+  w.WriteDouble(p.encoder.label_weight);
+  w.WriteU32(static_cast<uint32_t>(p.encoder.minhash_label_copies));
+  w.WriteDouble(p.extraction.jaccard_threshold);
+  w.WriteU8(p.adaptive_parameters ? 1 : 0);
+  w.WriteDouble(p.adaptive_tuning.bucket_factor);
+  w.WriteDouble(p.adaptive_tuning.node_alpha_cap);
+  w.WriteDouble(p.adaptive_tuning.edge_alpha_cap);
+  w.WriteDouble(p.adaptive_tuning.alpha_override);
+  w.WriteU32(static_cast<uint32_t>(p.adaptive_tuning.tables_override));
+  w.WriteDouble(p.elsh.bucket_length);
+  w.WriteU32(static_cast<uint32_t>(p.elsh.num_tables));
+  w.WriteU32(static_cast<uint32_t>(p.elsh.hashes_per_table));
+  w.WriteU64(p.elsh.seed);
+  w.WriteU32(static_cast<uint32_t>(p.minhash.num_hashes));
+  w.WriteU32(static_cast<uint32_t>(p.minhash.rows_per_band));
+  w.WriteU64(p.minhash.seed);
+  w.WriteU8(p.post_process ? 1 : 0);
+  w.WriteU8(p.datatypes.sample ? 1 : 0);
+  w.WriteDouble(p.datatypes.sample_fraction);
+  w.WriteU64(p.datatypes.min_sample);
+  w.WriteU64(p.datatypes.seed);
+  w.WriteU64(p.seed);
+  w.WriteU8(options.post_process_each_batch ? 1 : 0);
+  return Fnv1a64(w.buffer().data(), w.buffer().size());
+}
+
+std::string OptionsSummary(const IncrementalOptions& options) {
+  const PipelineOptions& p = options.pipeline;
+  char buf[160];
+  std::snprintf(
+      buf, sizeof(buf),
+      "method=%s theta=%.3f seed=%llu adaptive=%d backend=%s dim=%d "
+      "post_each_batch=%d",
+      ClusteringMethodName(p.method), p.extraction.jaccard_threshold,
+      static_cast<unsigned long long>(p.seed), p.adaptive_parameters ? 1 : 0,
+      p.embedding.backend == EmbeddingBackend::kWord2Vec ? "word2vec"
+                                                         : "hash",
+      p.embedding.dimension, options.post_process_each_batch ? 1 : 0);
+  return buf;
+}
+
+std::vector<BatchPayload> MakeStreamBatches(const PropertyGraph& g,
+                                            size_t num_batches) {
+  std::vector<GraphBatch> splits = SplitIntoBatches(g, num_batches);
+  std::vector<size_t> node_batch(g.num_nodes(), 0);
+  for (size_t b = 0; b < splits.size(); ++b) {
+    for (size_t i = splits[b].node_begin; i < splits[b].node_end; ++i) {
+      node_batch[i] = b;
+    }
+  }
+  std::vector<BatchPayload> out(splits.size());
+  for (size_t b = 0; b < splits.size(); ++b) {
+    out[b].nodes.assign(g.nodes().begin() + splits[b].node_begin,
+                        g.nodes().begin() + splits[b].node_end);
+  }
+  // An edge becomes streamable once both endpoints have been delivered, so
+  // it rides with the later of its endpoints' batches. Iterating edges in id
+  // order keeps the within-batch order ascending.
+  for (const Edge& e : g.edges()) {
+    out[std::max(node_batch[e.source], node_batch[e.target])]
+        .edges.push_back(e);
+  }
+  return out;
+}
+
+std::string RecoveryReport::ToString() const {
+  if (fresh) return "fresh state directory (no prior state)";
+  std::string s = "recovered";
+  if (!snapshot_path.empty()) {
+    s += " from snapshot '" + snapshot_path + "' (" +
+         std::to_string(snapshot_batches) + " batches)";
+  } else {
+    s += " without a snapshot";
+  }
+  s += ", replayed " + std::to_string(replayed_batches) +
+       " journal record(s)";
+  if (skipped_records > 0) {
+    s += ", skipped " + std::to_string(skipped_records) +
+         " already-applied record(s)";
+  }
+  if (truncated_torn_tail) {
+    s += ", truncated torn journal tail (" + torn_tail_error + ")";
+  }
+  if (!corrupt_snapshots.empty()) {
+    s += ", skipped " + std::to_string(corrupt_snapshots.size()) +
+         " corrupt snapshot(s)";
+  }
+  return s;
+}
+
+DurableDiscoverer::DurableDiscoverer(std::string dir, StoreOptions options)
+    : dir_(std::move(dir)),
+      options_(std::move(options)),
+      engine_(options_.incremental) {}
+
+DurableDiscoverer::~DurableDiscoverer() = default;
+
+Result<std::unique_ptr<DurableDiscoverer>> DurableDiscoverer::OpenOrRecover(
+    const std::string& dir, StoreOptions options, RecoveryReport* report) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create state directory '" + dir +
+                           "': " + ec.message());
+  }
+  RecoveryReport local;
+  std::unique_ptr<DurableDiscoverer> store(
+      new DurableDiscoverer(dir, std::move(options)));
+  PGHIVE_RETURN_NOT_OK(store->Recover(&local));
+  if (report != nullptr) *report = std::move(local);
+  return store;
+}
+
+Status DurableDiscoverer::Recover(RecoveryReport* report) {
+  fingerprint_ = OptionsFingerprint(options_.incremental);
+
+  for (const std::string& path : ListSnapshotFiles(dir_)) {
+    Result<StoreSnapshot> snap = ReadSnapshotFile(path);
+    if (!snap.ok()) {
+      report->corrupt_snapshots.push_back(path + ": " +
+                                          snap.status().message());
+      continue;
+    }
+    if (snap->options_fingerprint != fingerprint_ &&
+        !options_.allow_options_mismatch) {
+      return Status::FailedPrecondition(
+          "state in '" + dir_ +
+          "' was produced under different discovery options (" +
+          snap->options_summary +
+          "); replaying it under the current options would diverge from "
+          "the original run");
+    }
+    report->snapshot_path = path;
+    report->snapshot_batches = snap->applied_batches;
+    applied_batches_ = snap->applied_batches;
+    graph_ = std::move(snap->graph);
+    engine_.RestoreState(std::move(snap->schema),
+                         std::move(snap->batch_seconds));
+    break;
+  }
+
+  const std::vector<std::string> segments = ListJournalFiles(dir_);
+  for (size_t i = 0; i < segments.size(); ++i) {
+    PGHIVE_ASSIGN_OR_RETURN(JournalReadResult read,
+                            ReadJournalSegment(segments[i]));
+    if (read.torn_tail) {
+      if (i + 1 != segments.size()) {
+        // A bad record followed by a newer segment is not a crash signature
+        // (the writer only ever appends to the newest file) — refuse rather
+        // than silently drop acknowledged batches.
+        return Status::IoError("corrupt journal record mid-stream in '" +
+                               segments[i] + "': " + read.tail_error);
+      }
+      PGHIVE_RETURN_NOT_OK(TruncateFile(segments[i], read.valid_bytes));
+      report->truncated_torn_tail = true;
+      report->torn_tail_error = read.tail_error;
+    }
+    for (const JournalRecord& record : read.records) {
+      if (record.batch_id < applied_batches_) {
+        ++report->skipped_records;
+        continue;
+      }
+      if (record.batch_id > applied_batches_) {
+        return Status::IoError(
+            "journal gap in '" + segments[i] + "': expected batch " +
+            std::to_string(applied_batches_) + ", found batch " +
+            std::to_string(record.batch_id));
+      }
+      PGHIVE_RETURN_NOT_OK(ApplyPayload(record.payload));
+      ++report->replayed_batches;
+    }
+  }
+  journaled_batches_ = applied_batches_;
+
+  report->fresh = report->snapshot_path.empty() &&
+                  report->corrupt_snapshots.empty() && segments.empty();
+  return Status::OK();
+}
+
+Status DurableDiscoverer::Feed(const BatchPayload& batch) {
+  if (journaled_batches_ != applied_batches_) {
+    return Status::FailedPrecondition(
+        "journaled-but-unapplied batches pending; reopen the store to "
+        "recover them");
+  }
+  PGHIVE_RETURN_NOT_OK(AppendToJournal(batch));
+  // Crash window: the batch is durable but not applied. A kill here is what
+  // the recovery path (and FeedJournalOnly-based tests) exercise.
+  PGHIVE_RETURN_NOT_OK(ApplyPayload(batch));
+  return MaybeCheckpoint();
+}
+
+Status DurableDiscoverer::FeedJournalOnly(const BatchPayload& batch) {
+  if (journaled_batches_ != applied_batches_) {
+    return Status::FailedPrecondition(
+        "journaled-but-unapplied batches pending; reopen the store to "
+        "recover them");
+  }
+  return AppendToJournal(batch);
+}
+
+Status DurableDiscoverer::AppendToJournal(const BatchPayload& batch) {
+  PGHIVE_RETURN_NOT_OK(EnsureJournalOpen());
+  BinaryWriter payload;
+  EncodeBatchPayload(batch.nodes, batch.edges, &payload);
+  PGHIVE_RETURN_NOT_OK(
+      journal_.Append(journaled_batches_, payload.buffer()));
+  journal_bytes_since_checkpoint_ += payload.size();
+  ++journaled_batches_;
+  return Status::OK();
+}
+
+Status DurableDiscoverer::EnsureJournalOpen() {
+  if (journal_.is_open()) return Status::OK();
+  const std::string path =
+      dir_ + "/" +
+      NumberedFileName(kJournalPrefix, journaled_batches_, kJournalSuffix);
+  return journal_.Open(path, options_.fsync);
+}
+
+Status DurableDiscoverer::ApplyPayload(const BatchPayload& batch) {
+  const size_t node_begin = graph_.num_nodes();
+  const size_t edge_begin = graph_.num_edges();
+  for (const Node& n : batch.nodes) {
+    graph_.AddNode(n.labels, n.properties, n.truth_type);
+  }
+  for (const Edge& e : batch.edges) {
+    Result<EdgeId> added =
+        graph_.AddEdge(e.source, e.target, e.labels, e.properties,
+                       e.truth_type);
+    if (!added.ok()) {
+      return Status::InvalidArgument(
+          "batch edge references an unknown node (stream batches must be "
+          "endpoint-closed): " +
+          added.status().message());
+    }
+  }
+  GraphBatch slice{&graph_, node_begin, graph_.num_nodes(), edge_begin,
+                   graph_.num_edges()};
+  PGHIVE_RETURN_NOT_OK(engine_.Feed(slice));
+  ++applied_batches_;
+  ++batches_since_checkpoint_;
+  return Status::OK();
+}
+
+StoreSnapshot DurableDiscoverer::BuildSnapshot() const {
+  StoreSnapshot snap;
+  snap.applied_batches = applied_batches_;
+  snap.options_fingerprint = fingerprint_;
+  snap.options_summary = OptionsSummary(options_.incremental);
+  snap.graph = graph_;
+  snap.schema = engine_.schema();
+  snap.batch_seconds = engine_.batch_seconds();
+  snap.aliases = options_.aliases;
+  const BatchDiagnostics& diag = engine_.last_diagnostics();
+  snap.node_lsh = diag.node_params;
+  snap.edge_lsh = diag.edge_params;
+  snap.node_clusters = diag.node_clusters;
+  snap.edge_clusters = diag.edge_clusters;
+  if (options_.snapshot_value_stats && applied_batches_ > 0) {
+    snap.value_stats = ComputeValueStats(graph_, snap.schema, {},
+                                         engine_.thread_pool());
+  }
+  return snap;
+}
+
+Status DurableDiscoverer::MaybeCheckpoint() {
+  const bool batches_due =
+      options_.checkpoint_every_batches > 0 &&
+      batches_since_checkpoint_ >= options_.checkpoint_every_batches;
+  const bool bytes_due =
+      options_.checkpoint_every_bytes > 0 &&
+      journal_bytes_since_checkpoint_ >= options_.checkpoint_every_bytes;
+  if (!batches_due && !bytes_due) return Status::OK();
+  return Checkpoint();
+}
+
+Status DurableDiscoverer::Checkpoint() {
+  if (journaled_batches_ != applied_batches_) {
+    return Status::FailedPrecondition(
+        "cannot checkpoint with journaled-but-unapplied batches pending");
+  }
+  const StoreSnapshot snap = BuildSnapshot();
+  const std::string bytes = EncodeSnapshot(snap, engine_.thread_pool());
+  const std::string path =
+      dir_ + "/" +
+      NumberedFileName(kSnapshotPrefix, applied_batches_, kSnapshotSuffix);
+  PGHIVE_RETURN_NOT_OK(WriteSnapshotFile(path, bytes));
+  return PruneAfterCheckpoint();
+}
+
+Status DurableDiscoverer::PruneAfterCheckpoint() {
+  // The snapshot just written covers every journaled batch, so all segments
+  // (including the open one) are dead weight; the next Feed starts a fresh
+  // segment named after the next batch id.
+  PGHIVE_RETURN_NOT_OK(journal_.Close());
+  std::error_code ec;
+  for (const std::string& path : ListJournalFiles(dir_)) {
+    std::filesystem::remove(path, ec);
+    if (ec) {
+      return Status::IoError("cannot remove applied journal segment '" +
+                             path + "': " + ec.message());
+    }
+  }
+  const std::vector<std::string> snapshots = ListSnapshotFiles(dir_);
+  for (size_t i = 1 + options_.keep_extra_snapshots; i < snapshots.size();
+       ++i) {
+    std::filesystem::remove(snapshots[i], ec);
+    if (ec) {
+      return Status::IoError("cannot remove stale snapshot '" +
+                             snapshots[i] + "': " + ec.message());
+    }
+  }
+  PGHIVE_RETURN_NOT_OK(SyncDir(dir_));
+  batches_since_checkpoint_ = 0;
+  journal_bytes_since_checkpoint_ = 0;
+  return Status::OK();
+}
+
+Result<SchemaGraph> DurableDiscoverer::Finish() {
+  SchemaGraph schema = engine_.Finish(graph_);
+  PGHIVE_RETURN_NOT_OK(Checkpoint());
+  return schema;
+}
+
+}  // namespace store
+}  // namespace pghive

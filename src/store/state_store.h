@@ -1,0 +1,175 @@
+// Durable incremental schema discovery: snapshot + write-ahead journal +
+// checkpoint/resume over a state directory.
+//
+// Directory layout:
+//
+//   <dir>/snapshot-<applied>.pghs   versioned binary snapshot (snapshot.h)
+//   <dir>/journal-<first>.wal       WAL segments (journal.h)
+//
+// Write path per batch (DurableDiscoverer::Feed):
+//   1. append the batch payload to the journal, fsync   (durable intent)
+//   2. apply: extend the accumulated graph, run the incremental engine
+//   3. checkpoint when the policy fires (every N batches or M journal
+//      bytes): write snapshot-<applied>.pghs atomically, then delete the
+//      applied journal segments and older snapshots
+//
+// Recovery (OpenOrRecover): load the newest snapshot that validates
+// (corrupt ones are skipped and reported), restore the engine through
+// IncrementalDiscoverer::RestoreState, then replay journal records with
+// batch_id >= the snapshot's applied count, truncating a torn tail on the
+// newest segment. Because the pipeline is deterministic in its options and
+// seed, a recovered process converges to the exact schema an uninterrupted
+// run produces.
+
+#ifndef PGHIVE_STORE_STATE_STORE_H_
+#define PGHIVE_STORE_STATE_STORE_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/incremental.h"
+#include "store/journal.h"
+#include "store/snapshot.h"
+
+namespace pghive {
+namespace store {
+
+struct StoreOptions {
+  IncrementalOptions incremental;
+
+  /// Checkpointer policy: snapshot + journal truncation after this many
+  /// applied batches since the last checkpoint (0 disables this trigger)...
+  uint64_t checkpoint_every_batches = 16;
+  /// ...or after this many journal bytes since the last checkpoint,
+  /// whichever fires first. 0 disables the byte trigger.
+  uint64_t checkpoint_every_bytes = 8ull << 20;
+
+  /// fsync journal appends (snapshots are always written durably: tmp +
+  /// fsync + rename + dir sync). Disable only where durability does not
+  /// matter (benchmarks).
+  bool fsync = true;
+
+  /// Older snapshots kept after a checkpoint, beyond the newest one (a
+  /// paranoia margin against a latent bad write).
+  size_t keep_extra_snapshots = 1;
+
+  /// Recompute value/datatype statistics into each snapshot (one extra scan
+  /// per checkpoint).
+  bool snapshot_value_stats = true;
+
+  /// Open even when the stored options fingerprint differs from
+  /// `incremental` (replay may then diverge from the original run).
+  bool allow_options_mismatch = false;
+
+  /// Label aliases recorded in snapshots for provenance (the discovery
+  /// input was rewritten through these before feeding).
+  std::vector<std::pair<std::string, std::string>> aliases;
+};
+
+/// What OpenOrRecover found and did.
+struct RecoveryReport {
+  bool fresh = false;               // no prior state in the directory
+  std::string snapshot_path;        // snapshot loaded (empty if none)
+  uint64_t snapshot_batches = 0;    // batches contained in that snapshot
+  uint64_t replayed_batches = 0;    // journal records re-applied
+  uint64_t skipped_records = 0;     // records already covered by the snapshot
+  bool truncated_torn_tail = false;
+  std::string torn_tail_error;
+  std::vector<std::string> corrupt_snapshots;  // skipped as invalid
+
+  std::string ToString() const;
+};
+
+/// Fingerprint of every option that affects discovery output (method,
+/// thresholds, seeds, embedding and LSH parameters — not thread counts).
+/// Stored in snapshots; recovery under a different fingerprint is refused.
+uint64_t OptionsFingerprint(const IncrementalOptions& options);
+
+/// One-line human-readable options summary stored alongside.
+std::string OptionsSummary(const IncrementalOptions& options);
+
+/// Splits a static graph into `num_batches` streamable payloads: nodes are
+/// cut contiguously exactly like SplitIntoBatches; each edge is assigned to
+/// the first batch where both endpoints exist (ascending id order within a
+/// batch). A durable feed never references a node from a later batch.
+std::vector<BatchPayload> MakeStreamBatches(const PropertyGraph& g,
+                                            size_t num_batches);
+
+/// Incremental discovery with crash-consistent persistence.
+class DurableDiscoverer {
+ public:
+  /// Opens `dir` (created if missing), recovering any prior state found
+  /// there. Fails with FailedPrecondition when the stored options
+  /// fingerprint differs from `options.incremental` (unless
+  /// allow_options_mismatch), and with IoError on unrecoverable corruption.
+  static Result<std::unique_ptr<DurableDiscoverer>> OpenOrRecover(
+      const std::string& dir, StoreOptions options,
+      RecoveryReport* report = nullptr);
+
+  ~DurableDiscoverer();
+  DurableDiscoverer(const DurableDiscoverer&) = delete;
+  DurableDiscoverer& operator=(const DurableDiscoverer&) = delete;
+
+  /// Journals, then applies one batch. Node ids are reassigned densely in
+  /// feed order; edge endpoints are global node ids and must already exist
+  /// (MakeStreamBatches produces payloads satisfying this).
+  Status Feed(const BatchPayload& batch);
+
+  /// Test hook for the crash window between journal append and apply: the
+  /// batch becomes durable in the journal but is NOT applied — exactly the
+  /// state a process killed mid-Feed leaves behind. Recovery replays it.
+  Status FeedJournalOnly(const BatchPayload& batch);
+
+  /// Forces a checkpoint now: snapshot written, applied journal segments
+  /// and stale snapshots deleted.
+  Status Checkpoint();
+
+  /// Final post-processing over everything applied (constraints, datatypes,
+  /// cardinalities), then a checkpoint so the completed schema is durable.
+  Result<SchemaGraph> Finish();
+
+  const SchemaGraph& schema() const { return engine_.schema(); }
+  const PropertyGraph& graph() const { return graph_; }
+  const std::vector<double>& batch_seconds() const {
+    return engine_.batch_seconds();
+  }
+  uint64_t batches_applied() const { return applied_batches_; }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  DurableDiscoverer(std::string dir, StoreOptions options);
+
+  Status Recover(RecoveryReport* report);
+  Status ApplyPayload(const BatchPayload& batch);
+  Status AppendToJournal(const BatchPayload& batch);
+  Status EnsureJournalOpen();
+  StoreSnapshot BuildSnapshot() const;
+  Status MaybeCheckpoint();
+  Status PruneAfterCheckpoint();
+
+  std::string dir_;
+  StoreOptions options_;
+  uint64_t fingerprint_ = 0;
+
+  IncrementalDiscoverer engine_;
+  PropertyGraph graph_;
+
+  JournalWriter journal_;
+  uint64_t applied_batches_ = 0;
+  uint64_t journaled_batches_ = 0;  // >= applied when a crash test is staged
+  uint64_t batches_since_checkpoint_ = 0;
+  uint64_t journal_bytes_since_checkpoint_ = 0;
+};
+
+/// Lists the snapshot files of a state directory, newest first.
+std::vector<std::string> ListSnapshotFiles(const std::string& dir);
+
+/// Lists the journal segment files of a state directory, oldest first.
+std::vector<std::string> ListJournalFiles(const std::string& dir);
+
+}  // namespace store
+}  // namespace pghive
+
+#endif  // PGHIVE_STORE_STATE_STORE_H_

@@ -161,6 +161,52 @@ TEST(PgSchemaRoundTripTest, Figure1Loose) {
   ExpectSchemaEquivalent(schema, parsed->schema, /*with_constraints=*/false);
 }
 
+// Malformed inputs must produce clean errors — never a crash, hang or
+// false accept. Exercises truncations of a valid document at every byte,
+// plus a corpus of structurally broken and garbage documents.
+TEST(PgSchemaParserTest, TruncatedDocumentsAlwaysError) {
+  const std::string valid =
+      "CREATE GRAPH TYPE Social STRICT {\n"
+      "  (PersonType: Person {name STRING, email OPTIONAL STRING}),\n"
+      "  (: Person)-[KnowsType: KNOWS {since OPTIONAL DATE}]->(: Person)"
+      " /* cardinality M:N */\n"
+      "}\n";
+  ASSERT_TRUE(ParsePgSchema(valid).ok());
+  for (size_t len = 0; len + 2 < valid.size(); ++len) {
+    auto parsed = ParsePgSchema(valid.substr(0, len));
+    EXPECT_FALSE(parsed.ok()) << "prefix of length " << len << " accepted";
+  }
+}
+
+TEST(PgSchemaParserTest, MalformedDocumentsError) {
+  const char* corpus[] = {
+      "",
+      "   \n\t  ",
+      "CREATE",
+      "CREATE GRAPH TYPE",
+      "CREATE GRAPH TYPE G STRICT",
+      "CREATE GRAPH TYPE G BOGUSMODE { (T: A) }",
+      "CREATE GRAPH TYPE G STRICT { (T: A) ",      // unclosed body
+      "CREATE GRAPH TYPE G STRICT { (T: A {p NOTATYPE}) }",
+      "CREATE GRAPH TYPE G STRICT { (T: A {p STRING,}) }",  // dangling comma
+      "CREATE GRAPH TYPE G STRICT { (: A)-[E: R]-(: B) }",  // bad arrow
+      "CREATE GRAPH TYPE G STRICT { ,, }",
+      "DROP GRAPH TYPE G STRICT { (T: A) }",
+      "CREATE GRAPH TYPE G STRICT { (T: A) } trailing garbage",
+      "{}",
+      "\x00\x01\x02\x03",
+      "CREATE GRAPH TYPE G STRICT { (((((((((( }",
+      "/* comment that never ends",
+  };
+  for (const char* doc : corpus) {
+    auto parsed = ParsePgSchema(doc);
+    EXPECT_FALSE(parsed.ok()) << "accepted: " << doc;
+  }
+  // 1 MiB of noise: must error in reasonable time, not crash or OOM.
+  std::string big(1 << 20, '(');
+  EXPECT_FALSE(ParsePgSchema(big).ok());
+}
+
 class PgSchemaDatasetRoundTrip : public testing::TestWithParam<std::string> {};
 
 TEST_P(PgSchemaDatasetRoundTrip, DiscoveredSchemaRoundTrips) {

@@ -1,0 +1,473 @@
+// Durable state store (src/store/): binary io, codecs, snapshot format,
+// write-ahead journal, and the checkpoint/recovery path — including the
+// crash-consistency guarantee that a run killed between journal append and
+// apply converges to the exact schema of an uninterrupted run.
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/binary_io.h"
+#include "common/csv.h"
+#include "core/schema_json.h"
+#include "datagen/datasets.h"
+#include "datagen/generator.h"
+#include "store/journal.h"
+#include "store/snapshot.h"
+#include "store/state_store.h"
+
+namespace pghive {
+namespace store {
+namespace {
+
+PropertyGraph MakeTestGraph() {
+  auto spec = DatasetSpecByName("POLE").value();
+  GenerateOptions gen;
+  gen.num_nodes = 240;
+  gen.num_edges = 480;
+  gen.seed = 99;
+  return GenerateGraph(spec, gen).value();
+}
+
+StoreOptions FastOptions() {
+  StoreOptions opt;
+  // Hash embeddings keep the per-batch pipeline cheap, and no fsync keeps
+  // the many small appends fast; neither affects the determinism under test.
+  opt.incremental.pipeline.embedding.backend = EmbeddingBackend::kHash;
+  opt.fsync = false;
+  opt.checkpoint_every_batches = 2;
+  return opt;
+}
+
+std::string TestDir(const std::string& name) {
+  std::string dir = testing::TempDir() + "/pghive_store_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+void CorruptByteAt(const std::string& path, size_t offset_from_end) {
+  std::string bytes = ReadFile(path).value();
+  ASSERT_GT(bytes.size(), offset_from_end);
+  bytes[bytes.size() - 1 - offset_from_end] ^= 0x5a;
+  ASSERT_TRUE(WriteFile(path, bytes).ok());
+}
+
+// --- Binary primitives. ---
+
+TEST(BinaryIoTest, RoundTripsScalars) {
+  BinaryWriter w;
+  w.WriteU8(7);
+  w.WriteU32(0xdeadbeef);
+  w.WriteU64(1ull << 63);
+  w.WriteDouble(-0.1);
+  w.WriteString("hello");
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(r.ReadU8().value(), 7);
+  EXPECT_EQ(r.ReadU32().value(), 0xdeadbeefu);
+  EXPECT_EQ(r.ReadU64().value(), 1ull << 63);
+  EXPECT_EQ(r.ReadDouble().value(), -0.1);
+  EXPECT_EQ(r.ReadString().value(), "hello");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BinaryIoTest, TruncatedReadsFailWithoutCrashing) {
+  BinaryWriter w;
+  w.WriteU64(42);
+  for (size_t len = 0; len < 8; ++len) {
+    BinaryReader r(std::string_view(w.buffer()).substr(0, len));
+    EXPECT_FALSE(r.ReadU64().ok()) << len;
+  }
+  BinaryReader r(w.buffer());
+  EXPECT_FALSE(r.ReadString().ok());  // 42-byte string declared, 0 present
+}
+
+TEST(BinaryIoTest, Crc32MatchesKnownVector) {
+  // The canonical CRC-32/IEEE check value.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_NE(Crc32("123456789"), Crc32("123456780"));
+}
+
+// --- Codecs. ---
+
+TEST(CodecTest, GraphRoundTripsExactly) {
+  PropertyGraph g = MakeTestGraph();
+  BinaryWriter w;
+  EncodeGraph(g, &w);
+  BinaryReader r(w.buffer());
+  auto decoded = DecodeGraph(&r);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_TRUE(GraphsEqual(g, *decoded));
+
+  BinaryWriter again;
+  EncodeGraph(*decoded, &again);
+  EXPECT_EQ(w.buffer(), again.buffer());  // bit-identical re-encode
+}
+
+TEST(CodecTest, BatchPayloadRejectsTrailingBytes) {
+  BinaryWriter w;
+  EncodeBatchPayload({}, {}, &w);
+  w.WriteU8(0);
+  BinaryReader r(w.buffer());
+  auto decoded = DecodeBatchPayload(&r);
+  EXPECT_FALSE(decoded.ok());
+}
+
+TEST(CodecTest, GraphDecodeNeverCrashesOnGarbage) {
+  BinaryWriter w;
+  EncodeGraph(MakeTestGraph(), &w);
+  const std::string& good = w.buffer();
+  for (size_t len : {0ul, 1ul, 5ul, good.size() / 2, good.size() - 1}) {
+    BinaryReader r(std::string_view(good).substr(0, len));
+    EXPECT_FALSE(DecodeGraph(&r).ok()) << "prefix " << len;
+  }
+  std::string garbage(200, '\xff');
+  BinaryReader r(garbage);
+  EXPECT_FALSE(DecodeGraph(&r).ok());
+}
+
+// --- Snapshot format. ---
+
+StoreSnapshot MakeSnapshot() {
+  StoreSnapshot snap;
+  snap.applied_batches = 3;
+  snap.options_fingerprint = 0x1234;
+  snap.options_summary = "test";
+  snap.graph = MakeTestGraph();
+  snap.batch_seconds = {0.5, 0.25, 0.125};
+  snap.aliases = {{"Firm", "Organisation"}, {"Org", "Organisation"}};
+  snap.node_lsh.mu = 1.5;
+  snap.node_lsh.num_tables = 12;
+  snap.node_clusters = 9;
+  return snap;
+}
+
+TEST(SnapshotTest, RoundTripsBitIdentically) {
+  StoreSnapshot snap = MakeSnapshot();
+  std::string bytes = EncodeSnapshot(snap);
+  auto decoded = DecodeSnapshot(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->applied_batches, snap.applied_batches);
+  EXPECT_EQ(decoded->options_summary, snap.options_summary);
+  EXPECT_EQ(decoded->batch_seconds, snap.batch_seconds);
+  EXPECT_EQ(decoded->aliases, snap.aliases);
+  EXPECT_EQ(decoded->node_lsh.num_tables, 12);
+  EXPECT_TRUE(GraphsEqual(decoded->graph, snap.graph));
+  EXPECT_EQ(EncodeSnapshot(*decoded), bytes);
+}
+
+TEST(SnapshotTest, ParallelEncodeMatchesSequential) {
+  StoreSnapshot snap = MakeSnapshot();
+  ThreadPool pool(4);
+  EXPECT_EQ(EncodeSnapshot(snap, &pool), EncodeSnapshot(snap, nullptr));
+}
+
+TEST(SnapshotTest, CorruptedSectionIsDetectedByName) {
+  std::string bytes = EncodeSnapshot(MakeSnapshot());
+  bytes[bytes.size() / 2] ^= 0x01;  // lands inside the large graph section
+  auto decoded = DecodeSnapshot(bytes);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("CRC mismatch"),
+            std::string::npos)
+      << decoded.status();
+
+  auto info = InspectSnapshot(bytes);
+  ASSERT_TRUE(info.ok()) << info.status();
+  bool some_bad = false, some_good = false;
+  for (const auto& s : info->sections) {
+    (s.crc_ok ? some_good : some_bad) = true;
+  }
+  EXPECT_TRUE(some_bad);
+  EXPECT_TRUE(some_good);  // corruption is pinned to one section
+}
+
+TEST(SnapshotTest, FileRoundTripAndTruncationRejection) {
+  std::string dir = TestDir("snapfile");
+  std::filesystem::create_directories(dir);
+  std::string path = dir + "/snap.pghs";
+  std::string bytes = EncodeSnapshot(MakeSnapshot());
+  ASSERT_TRUE(WriteSnapshotFile(path, bytes).ok());
+  auto loaded = ReadSnapshotFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(EncodeSnapshot(*loaded), bytes);
+
+  ASSERT_TRUE(WriteFile(path, bytes.substr(0, bytes.size() / 3)).ok());
+  EXPECT_FALSE(ReadSnapshotFile(path).ok());
+}
+
+// --- Journal. ---
+
+TEST(JournalTest, AppendsAndReadsBack) {
+  std::string dir = TestDir("journal");
+  std::filesystem::create_directories(dir);
+  std::string path = dir + "/journal-0.wal";
+  PropertyGraph g = MakeTestGraph();
+  std::vector<BatchPayload> batches = MakeStreamBatches(g, 3);
+
+  JournalWriter writer;
+  ASSERT_TRUE(writer.Open(path, /*fsync=*/false).ok());
+  for (size_t i = 0; i < batches.size(); ++i) {
+    BinaryWriter payload;
+    EncodeBatchPayload(batches[i].nodes, batches[i].edges, &payload);
+    ASSERT_TRUE(writer.Append(i, payload.buffer()).ok());
+  }
+  ASSERT_TRUE(writer.Close().ok());
+
+  auto read = ReadJournalSegment(path);
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_FALSE(read->torn_tail);
+  ASSERT_EQ(read->records.size(), batches.size());
+  for (size_t i = 0; i < batches.size(); ++i) {
+    EXPECT_EQ(read->records[i].batch_id, i);
+    EXPECT_EQ(read->records[i].payload.nodes.size(), batches[i].nodes.size());
+    EXPECT_EQ(read->records[i].payload.edges.size(), batches[i].edges.size());
+  }
+}
+
+TEST(JournalTest, TornTailIsDetectedAndEarlierRecordsSurvive) {
+  std::string dir = TestDir("torn");
+  std::filesystem::create_directories(dir);
+  std::string path = dir + "/journal-0.wal";
+  JournalWriter writer;
+  ASSERT_TRUE(writer.Open(path, /*fsync=*/false).ok());
+  BinaryWriter payload;
+  EncodeBatchPayload({}, {}, &payload);
+  ASSERT_TRUE(writer.Append(0, payload.buffer()).ok());
+  ASSERT_TRUE(writer.Append(1, payload.buffer()).ok());
+  ASSERT_TRUE(writer.Close().ok());
+
+  std::string full = ReadFile(path).value();
+  const uint64_t full_size = full.size();
+  // Cut the file anywhere inside the last record: the first record must
+  // survive, the tail must be flagged, valid_bytes must point at the cut.
+  for (size_t cut = 1; cut < 12; ++cut) {
+    ASSERT_TRUE(WriteFile(path, full.substr(0, full.size() - cut)).ok());
+    auto read = ReadJournalSegment(path);
+    ASSERT_TRUE(read.ok()) << read.status();
+    EXPECT_TRUE(read->torn_tail) << cut;
+    ASSERT_EQ(read->records.size(), 1u) << cut;
+    EXPECT_EQ(read->records[0].batch_id, 0u);
+    EXPECT_LT(read->valid_bytes, full_size - cut);
+  }
+
+  // A flipped byte inside the last record body is caught by the CRC.
+  ASSERT_TRUE(WriteFile(path, full).ok());
+  CorruptByteAt(path, 2);
+  auto read = ReadJournalSegment(path);
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_TRUE(read->torn_tail);
+  EXPECT_EQ(read->records.size(), 1u);
+}
+
+// --- Stream batching. ---
+
+TEST(StreamBatchesTest, EndpointClosedAndCoversGraph) {
+  PropertyGraph g = MakeTestGraph();
+  for (size_t nb : {1u, 3u, 7u}) {
+    std::vector<BatchPayload> batches = MakeStreamBatches(g, nb);
+    size_t nodes_seen = 0, edges_seen = 0;
+    for (const BatchPayload& b : batches) {
+      nodes_seen += b.nodes.size();
+      for (const Edge& e : b.edges) {
+        // Both endpoints must already be delivered once this batch lands.
+        EXPECT_LT(e.source, nodes_seen);
+        EXPECT_LT(e.target, nodes_seen);
+      }
+      edges_seen += b.edges.size();
+    }
+    EXPECT_EQ(nodes_seen, g.num_nodes());
+    EXPECT_EQ(edges_seen, g.num_edges());
+  }
+}
+
+// --- Fingerprint. ---
+
+TEST(FingerprintTest, SensitiveToOutputAffectingOptionsOnly) {
+  IncrementalOptions a;
+  IncrementalOptions b = a;
+  EXPECT_EQ(OptionsFingerprint(a), OptionsFingerprint(b));
+  b.pipeline.num_threads = 8;  // thread count never affects the output
+  EXPECT_EQ(OptionsFingerprint(a), OptionsFingerprint(b));
+  b.pipeline.seed = 43;
+  EXPECT_NE(OptionsFingerprint(a), OptionsFingerprint(b));
+  b = a;
+  b.pipeline.extraction.jaccard_threshold = 0.8;
+  EXPECT_NE(OptionsFingerprint(a), OptionsFingerprint(b));
+}
+
+// --- Durable discovery end to end. ---
+
+/// Runs an uninterrupted durable discovery over `batches` and returns the
+/// final schema as canonical JSON.
+std::string UninterruptedRun(const std::string& dir,
+                             const std::vector<BatchPayload>& batches) {
+  RecoveryReport report;
+  auto store = DurableDiscoverer::OpenOrRecover(dir, FastOptions(), &report);
+  EXPECT_TRUE(store.ok()) << store.status();
+  EXPECT_TRUE(report.fresh);
+  for (const BatchPayload& b : batches) {
+    EXPECT_TRUE((*store)->Feed(b).ok());
+  }
+  auto schema = (*store)->Finish();
+  EXPECT_TRUE(schema.ok()) << schema.status();
+  return SchemaToJson(*schema);
+}
+
+TEST(DurableDiscovererTest, MatchesUninterruptedRunAfterCrashAtEveryPoint) {
+  PropertyGraph g = MakeTestGraph();
+  const size_t kBatches = 6;
+  std::vector<BatchPayload> batches = MakeStreamBatches(g, kBatches);
+  ASSERT_EQ(batches.size(), kBatches);
+
+  const std::string reference =
+      UninterruptedRun(TestDir("reference"), batches);
+
+  // Kill the process in the crash window (journal append done, apply not)
+  // after every possible prefix and check recovery converges exactly.
+  for (size_t cut = 0; cut < kBatches; ++cut) {
+    std::string dir = TestDir("crash_" + std::to_string(cut));
+    {
+      auto store =
+          DurableDiscoverer::OpenOrRecover(dir, FastOptions()).value();
+      for (size_t i = 0; i < cut; ++i) {
+        ASSERT_TRUE(store->Feed(batches[i]).ok());
+      }
+      ASSERT_TRUE(store->FeedJournalOnly(batches[cut]).ok());
+      // The store object dies here — the batch exists only in the journal,
+      // exactly like a process killed between append and apply.
+    }
+    RecoveryReport report;
+    auto recovered =
+        DurableDiscoverer::OpenOrRecover(dir, FastOptions(), &report);
+    ASSERT_TRUE(recovered.ok()) << recovered.status();
+    EXPECT_FALSE(report.fresh);
+    EXPECT_EQ((*recovered)->batches_applied(), cut + 1)
+        << report.ToString();
+    EXPECT_GE(report.replayed_batches, 1u) << report.ToString();
+    for (size_t i = cut + 1; i < kBatches; ++i) {
+      ASSERT_TRUE((*recovered)->Feed(batches[i]).ok());
+    }
+    auto schema = (*recovered)->Finish();
+    ASSERT_TRUE(schema.ok()) << schema.status();
+    EXPECT_EQ(SchemaToJson(*schema), reference) << "crash after batch "
+                                                << cut;
+  }
+}
+
+TEST(DurableDiscovererTest, TornJournalTailIsTruncatedAndRefed) {
+  PropertyGraph g = MakeTestGraph();
+  std::vector<BatchPayload> batches = MakeStreamBatches(g, 6);
+  const std::string reference = UninterruptedRun(TestDir("ref2"), batches);
+
+  std::string dir = TestDir("torn_tail");
+  {
+    StoreOptions opt = FastOptions();
+    opt.checkpoint_every_batches = 0;  // keep everything in the journal
+    auto store = DurableDiscoverer::OpenOrRecover(dir, opt).value();
+    for (size_t i = 0; i < 4; ++i) {
+      ASSERT_TRUE(store->Feed(batches[i]).ok());
+    }
+  }
+  // Chop bytes off the newest segment: batch 3's record becomes torn.
+  std::vector<std::string> journals = ListJournalFiles(dir);
+  ASSERT_EQ(journals.size(), 1u);
+  std::string bytes = ReadFile(journals[0]).value();
+  ASSERT_TRUE(WriteFile(journals[0], bytes.substr(0, bytes.size() - 7)).ok());
+
+  RecoveryReport report;
+  auto recovered =
+      DurableDiscoverer::OpenOrRecover(dir, FastOptions(), &report);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_TRUE(report.truncated_torn_tail);
+  EXPECT_EQ((*recovered)->batches_applied(), 3u);  // batch 3 was discarded
+  for (size_t i = 3; i < batches.size(); ++i) {
+    ASSERT_TRUE((*recovered)->Feed(batches[i]).ok());
+  }
+  auto schema = (*recovered)->Finish();
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  EXPECT_EQ(SchemaToJson(*schema), reference);
+}
+
+TEST(DurableDiscovererTest, CorruptNewestSnapshotFallsBackToOlder) {
+  PropertyGraph g = MakeTestGraph();
+  std::vector<BatchPayload> batches = MakeStreamBatches(g, 6);
+  const std::string reference = UninterruptedRun(TestDir("ref3"), batches);
+
+  std::string dir = TestDir("bad_snap");
+  {
+    auto store = DurableDiscoverer::OpenOrRecover(dir, FastOptions()).value();
+    for (const BatchPayload& b : batches) {
+      ASSERT_TRUE(store->Feed(b).ok());
+    }
+    ASSERT_TRUE(store->Finish().ok());
+  }
+  std::vector<std::string> snapshots = ListSnapshotFiles(dir);
+  ASSERT_GE(snapshots.size(), 2u);  // keep_extra_snapshots retains one
+  CorruptByteAt(snapshots[0], 10);
+
+  RecoveryReport report;
+  auto recovered =
+      DurableDiscoverer::OpenOrRecover(dir, FastOptions(), &report);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  ASSERT_EQ(report.corrupt_snapshots.size(), 1u);
+  EXPECT_EQ(report.snapshot_path, snapshots[1]);
+  // The older snapshot is behind; re-feeding from its applied count
+  // converges to the same schema.
+  for (size_t i = (*recovered)->batches_applied(); i < batches.size(); ++i) {
+    ASSERT_TRUE((*recovered)->Feed(batches[i]).ok());
+  }
+  auto schema = (*recovered)->Finish();
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  EXPECT_EQ(SchemaToJson(*schema), reference);
+}
+
+TEST(DurableDiscovererTest, CheckpointPolicyPrunesJournalAndSnapshots) {
+  PropertyGraph g = MakeTestGraph();
+  std::vector<BatchPayload> batches = MakeStreamBatches(g, 6);
+  std::string dir = TestDir("policy");
+  StoreOptions opt = FastOptions();
+  opt.checkpoint_every_batches = 2;
+  opt.keep_extra_snapshots = 0;
+  auto store = DurableDiscoverer::OpenOrRecover(dir, opt).value();
+  for (size_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(store->Feed(batches[i]).ok());
+  }
+  // Two checkpoints fired; only the newest snapshot and no journal remain.
+  EXPECT_EQ(ListSnapshotFiles(dir).size(), 1u);
+  EXPECT_TRUE(ListJournalFiles(dir).empty());
+
+  ASSERT_TRUE(store->Feed(batches[4]).ok());
+  EXPECT_EQ(ListJournalFiles(dir).size(), 1u);  // one unapplied-side segment
+}
+
+TEST(DurableDiscovererTest, RefusesStateFromDifferentOptions) {
+  PropertyGraph g = MakeTestGraph();
+  std::vector<BatchPayload> batches = MakeStreamBatches(g, 3);
+  std::string dir = TestDir("mismatch");
+  {
+    auto store = DurableDiscoverer::OpenOrRecover(dir, FastOptions()).value();
+    for (const BatchPayload& b : batches) {
+      ASSERT_TRUE(store->Feed(b).ok());
+    }
+    ASSERT_TRUE(store->Checkpoint().ok());
+  }
+  StoreOptions other = FastOptions();
+  other.incremental.pipeline.seed = 1;
+  auto refused = DurableDiscoverer::OpenOrRecover(dir, other);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kFailedPrecondition);
+
+  other.allow_options_mismatch = true;
+  EXPECT_TRUE(DurableDiscoverer::OpenOrRecover(dir, other).ok());
+
+  // num_threads is not part of the fingerprint: resuming on a different
+  // machine shape is always allowed.
+  StoreOptions threads = FastOptions();
+  threads.incremental.pipeline.num_threads = 4;
+  EXPECT_TRUE(DurableDiscoverer::OpenOrRecover(dir, threads).ok());
+}
+
+}  // namespace
+}  // namespace store
+}  // namespace pghive

@@ -1,14 +1,20 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus a ThreadSanitizer pass over the execution
-# runtime.
+# Tier-1 verification plus sanitizer passes: ThreadSanitizer over the
+# execution runtime, ASan/UBSan over the durable state store.
 #
-#   tools/check.sh           # normal build + full ctest, then TSan pass
-#   tools/check.sh --fast    # TSan pass only (runtime + pipeline tests)
+#   tools/check.sh           # normal build + full ctest, then both legs
+#   tools/check.sh --fast    # sanitizer legs only
 #
-# The TSan pass rebuilds runtime_test / pipeline_test / the pghive CLI in a
-# separate build-tsan/ tree with -DPGHIVE_SANITIZE=thread and runs a
-# --threads 4 discovery, so every parallelized stage executes under the
-# race detector.
+# The TSan leg rebuilds runtime_test / pipeline_test / store_test / the
+# pghive CLI in build-tsan/ with -DPGHIVE_SANITIZE=thread and runs a
+# --threads 4 discovery, so every parallelized stage (including the
+# parallel snapshot encode) executes under the race detector.
+#
+# The ASan/UBSan leg rebuilds the store, csv and parser tests in
+# build-asan/ with -DPGHIVE_SANITIZE=address,undefined and drives a durable
+# discover -> crash-free resume -> inspect-state cycle through the CLI, so
+# the binary-format decoders run their corrupt-input paths under the memory
+# and UB detectors.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -22,14 +28,14 @@ if [[ "${1:-}" != "--fast" ]]; then
   (cd build && ctest --output-on-failure -j "${JOBS}")
 fi
 
-echo "=== TSan: runtime + pipeline tests, 4-thread discovery ==="
+echo "=== TSan: runtime + pipeline + store tests, 4-thread discovery ==="
 cmake -B build-tsan -S . -DPGHIVE_SANITIZE=thread \
   -DPGHIVE_BUILD_BENCHMARKS=OFF -DPGHIVE_BUILD_EXAMPLES=OFF \
   -DPGHIVE_BUILD_TOOLS=OFF
 cmake --build build-tsan -j "${JOBS}" \
-  --target runtime_test pipeline_test pghive_app
+  --target runtime_test pipeline_test store_test pghive_app
 (cd build-tsan && ctest --output-on-failure -j "${JOBS}" \
-  -R 'ThreadPool|Parallel|Pipeline')
+  -R 'ThreadPool|Parallel|Pipeline|Snapshot|Journal|Durable')
 
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "${tmpdir}"' EXIT
@@ -37,5 +43,23 @@ trap 'rm -rf "${tmpdir}"' EXIT
 ./build-tsan/apps/pghive discover "${tmpdir}/pole" --threads 4 > /dev/null
 ./build-tsan/apps/pghive discover "${tmpdir}/pole" --threads 4 \
   --method minhash --sample-datatypes > /dev/null
+./build-tsan/apps/pghive discover "${tmpdir}/pole" --threads 4 \
+  --incremental 5 --state-dir "${tmpdir}/state-tsan" > /dev/null
+
+echo "=== ASan/UBSan: store + csv + parser tests, durable CLI cycle ==="
+cmake -B build-asan -S . -DPGHIVE_SANITIZE=address,undefined \
+  -DPGHIVE_BUILD_BENCHMARKS=OFF -DPGHIVE_BUILD_EXAMPLES=OFF \
+  -DPGHIVE_BUILD_TOOLS=OFF
+cmake --build build-asan -j "${JOBS}" \
+  --target store_test csv_io_test pgschema_parser_test pghive_app
+(cd build-asan && ctest --output-on-failure -j "${JOBS}" \
+  -R 'BinaryIo|Codec|Snapshot|Journal|StreamBatches|Fingerprint|Durable|CsvIo|PgSchemaParser')
+
+./build-asan/apps/pghive generate POLE "${tmpdir}/pole2" --nodes 1000
+./build-asan/apps/pghive discover "${tmpdir}/pole2" --incremental 4 \
+  --state-dir "${tmpdir}/state" --checkpoint-every 2 > /dev/null
+./build-asan/apps/pghive resume "${tmpdir}/pole2" --incremental 4 \
+  --state-dir "${tmpdir}/state" > /dev/null
+./build-asan/apps/pghive inspect-state "${tmpdir}/state" > /dev/null
 
 echo "=== all checks passed ==="
