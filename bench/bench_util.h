@@ -16,6 +16,9 @@
 #include "common/string_util.h"
 #include "eval/experiment.h"
 #include "eval/report.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace pghive {
 namespace bench {
@@ -54,6 +57,52 @@ inline std::string Secs(double v) {
   char buf[24];
   std::snprintf(buf, sizeof(buf), "%.3fs", v);
   return buf;
+}
+
+// --- Observability plumbing shared by the bench binaries. ---
+
+/// One bench result rendered in the shared observability JSONL schema
+/// (obs/export.h): {"type":"bench","name":<name>, ...fields}. Using the
+/// same line shape as --metrics-out means one parser handles CLI exports,
+/// bench outputs and test fixtures alike.
+inline std::string BenchJsonl(const std::string& name, JsonObject fields) {
+  return obs::JsonlLine("bench", name, std::move(fields));
+}
+
+/// Turns full metric + span collection on (benches that derive timings
+/// from the registry/tracer call this before their measured section).
+inline void EnableObservability() {
+  obs::SetMetricsEnabled(true);
+  obs::Tracer::Global().SetEnabled(true);
+}
+
+/// Turns collection back off and drops buffered spans, so code measured
+/// afterwards (the google-benchmark loops) pays only the disabled-path
+/// branch per span.
+inline void DisableObservability() {
+  obs::SetMetricsEnabled(false);
+  obs::Tracer::Global().SetEnabled(false);
+  obs::Tracer::Global().Clear();
+}
+
+/// Honors the same PGHIVE_METRICS / PGHIVE_TRACE environment variables as
+/// the CLI: when set, exports the global registry / tracer there. Benches
+/// call this once at exit; failures are reported but never fatal.
+inline void ExportObsFromEnv() {
+  if (const char* path = std::getenv("PGHIVE_METRICS")) {
+    Status s = obs::WriteMetricsJsonl(path);
+    if (!s.ok()) {
+      std::fprintf(stderr, "cannot write %s: %s\n", path,
+                   s.ToString().c_str());
+    }
+  }
+  if (const char* path = std::getenv("PGHIVE_TRACE")) {
+    Status s = obs::WriteChromeTrace(path);
+    if (!s.ok()) {
+      std::fprintf(stderr, "cannot write %s: %s\n", path,
+                   s.ToString().c_str());
+    }
+  }
 }
 
 }  // namespace bench

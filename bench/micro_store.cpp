@@ -8,6 +8,7 @@
 #include <filesystem>
 #include <string>
 
+#include "bench_util.h"
 #include "common/binary_io.h"
 #include "datagen/datasets.h"
 #include "datagen/generator.h"
@@ -161,4 +162,13 @@ BENCHMARK(BM_OpenOrRecover)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 }  // namespace store
 }  // namespace pghive
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  // The store counters (journal_records/bytes, fsync latency when metrics
+  // are on) accumulate during the runs; honor the CLI's env vars on exit.
+  pghive::bench::ExportObsFromEnv();
+  return 0;
+}

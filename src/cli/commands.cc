@@ -1,8 +1,11 @@
 #include "cli/commands.h"
 
+#include <cstdlib>
+#include <iostream>
 #include <sstream>
 
 #include "common/csv.h"
+#include "common/logging.h"
 #include "common/string_util.h"
 #include "core/incremental.h"
 #include "core/label_alias.h"
@@ -18,11 +21,73 @@
 #include "eval/f1.h"
 #include "graph/csv_io.h"
 #include "graph/graph_stats.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "store/state_store.h"
 
 namespace pghive {
 
 namespace {
+
+/// Where to export observability data after the command ran. Resolved from
+/// --metrics-out / --trace-out, falling back to the PGHIVE_METRICS /
+/// PGHIVE_TRACE environment variables (same meaning, for wrappers that
+/// cannot edit the argv).
+struct ObsConfig {
+  std::string metrics_out;
+  std::string trace_out;
+};
+
+Result<ObsConfig> ConfigureObservability(const Args& args) {
+  if (args.Has("log-level")) {
+    LogLevel level = LogLevel::kWarning;
+    const std::string name = args.GetString("log-level");
+    if (!ParseLogLevel(name, &level)) {
+      return Status::InvalidArgument("unknown --log-level '" + name +
+                                     "' (debug|info|warning|error)");
+    }
+    SetLogLevel(level);
+  }
+  if (args.GetBool("log-json", false)) SetLogFormat(LogFormat::kJson);
+
+  ObsConfig config;
+  config.metrics_out = args.GetString("metrics-out");
+  config.trace_out = args.GetString("trace-out");
+  if (config.metrics_out.empty()) {
+    if (const char* env = std::getenv("PGHIVE_METRICS")) {
+      config.metrics_out = env;
+    }
+  }
+  if (config.trace_out.empty()) {
+    if (const char* env = std::getenv("PGHIVE_TRACE")) {
+      config.trace_out = env;
+    }
+  }
+  // Either output turns full collection on: the metrics JSONL embeds
+  // span_stats lines, so metrics-only still needs spans recorded.
+  if (!config.metrics_out.empty() || !config.trace_out.empty()) {
+    obs::SetMetricsEnabled(true);
+    obs::Tracer::Global().SetEnabled(true);
+  }
+  return config;
+}
+
+/// Runs after the command, even when it failed (a trace of a failed run is
+/// exactly what one wants to look at). The command's status wins; export
+/// failures surface only when the command itself succeeded.
+Status ExportObservability(const ObsConfig& config) {
+  Status status = Status::OK();
+  if (!config.metrics_out.empty()) {
+    Status s = obs::WriteMetricsJsonl(config.metrics_out);
+    if (status.ok()) status = s;
+  }
+  if (!config.trace_out.empty()) {
+    Status s = obs::WriteChromeTrace(config.trace_out);
+    if (status.ok()) status = s;
+  }
+  return status;
+}
 
 Result<PropertyGraph> LoadPrefix(const std::string& prefix) {
   auto g = LoadGraphCsv(prefix);
@@ -83,13 +148,25 @@ Result<SchemaGraph> DiscoverFromArgs(const Args& args,
                                      const PropertyGraph& g) {
   PGHIVE_ASSIGN_OR_RETURN(PipelineOptions opt, PipelineOptionsFromArgs(args));
   int64_t batches = args.GetInt("incremental", 0);
+  const bool progress = args.GetBool("progress", false);
   if (batches > 1) {
     IncrementalOptions inc;
     inc.pipeline = opt;
     IncrementalDiscoverer discoverer(inc);
-    for (const auto& batch :
-         SplitIntoBatches(g, static_cast<size_t>(batches))) {
+    const auto splits = SplitIntoBatches(g, static_cast<size_t>(batches));
+    size_t fed = 0;
+    for (const auto& batch : splits) {
       PGHIVE_RETURN_NOT_OK(discoverer.Feed(batch));
+      ++fed;
+      if (progress) {
+        // Progress goes to stderr so --format json on stdout stays clean.
+        std::cerr << "batch " << fed << "/" << splits.size() << "  nodes="
+                  << batch.num_nodes() << " edges=" << batch.num_edges()
+                  << "  types=" << discoverer.schema().node_types.size()
+                  << "n/" << discoverer.schema().edge_types.size() << "e  "
+                  << FormatDouble(discoverer.batch_seconds().back(), 3)
+                  << "s\n";
+      }
     }
     return discoverer.Finish(g);
   }
@@ -166,8 +243,16 @@ Result<SchemaGraph> DurableDiscoverFromArgs(const Args& args,
         std::to_string(payloads.size()) +
         " — wrong graph or --incremental count?");
   }
+  const bool progress = args.GetBool("progress", false);
   for (size_t i = store->batches_applied(); i < payloads.size(); ++i) {
     PGHIVE_RETURN_NOT_OK(store->Feed(payloads[i]));
+    if (progress) {
+      std::cerr << "batch " << store->batches_applied() << "/"
+                << payloads.size() << "  types="
+                << store->schema().node_types.size() << "n/"
+                << store->schema().edge_types.size() << "e  "
+                << FormatDouble(store->batch_seconds().back(), 3) << "s\n";
+    }
   }
   out << "applied " << store->batches_applied() << "/" << payloads.size()
       << " batches, state in " << store->dir() << "\n";
@@ -185,7 +270,9 @@ Status CmdDiscover(const Args& args, std::ostream& out) {
         "[--format summary|pgschema|xsd|json] [--mode strict|loose] "
         "[--save-schema file.json] [--aliases aliases.txt] [--no-post] "
         "[--sample-datatypes] [--seed N] [--bucket B --tables T] "
-        "[--threads N (0 = all cores; PGHIVE_THREADS env fallback)]");
+        "[--threads N (0 = all cores; PGHIVE_THREADS env fallback)] "
+        "[--metrics-out m.jsonl] [--trace-out trace.json] [--progress] "
+        "[--log-level debug|info|warning|error] [--log-json]");
   }
   PGHIVE_ASSIGN_OR_RETURN(PropertyGraph g, LoadPrefix(args.positional()[1]));
   PGHIVE_ASSIGN_OR_RETURN(g, MaybeApplyAliases(args, std::move(g)));
@@ -273,6 +360,12 @@ Status CmdInspectState(const Args& args, std::ostream& out) {
     out << "no durable state in '" << dir << "'\n";
     return Status::OK();
   }
+
+  // One scan feeds both the report and the metrics registry, so this text
+  // and a --metrics-out export of the same invocation cannot disagree.
+  const store::StateDirMetrics metrics = store::CollectStateDirMetrics(dir);
+  store::PublishStateDirMetrics(metrics);
+  out << metrics.ToString() << "\n";
 
   for (const std::string& path : snapshots) {
     PGHIVE_ASSIGN_OR_RETURN(std::string bytes, ReadFile(path));
@@ -451,15 +544,22 @@ std::string HelpText() {
       << "\n"
       << "graphs are stored as <prefix>.nodes.csv / <prefix>.edges.csv\n"
       << "(see graph/csv_io.h for the dialect). Run a command without\n"
-      << "arguments for its flags.\n";
+      << "arguments for its flags.\n"
+      << "\n"
+      << "observability (every command):\n"
+      << "  --metrics-out FILE   write metrics + span aggregates as JSONL\n"
+      << "  --trace-out FILE     write a Chrome trace (chrome://tracing,\n"
+      << "                       https://ui.perfetto.dev)\n"
+      << "  --progress           per-batch progress lines on stderr\n"
+      << "  --log-level LEVEL    debug|info|warning|error (default warning)\n"
+      << "  --log-json           log records as JSON lines\n"
+      << "  PGHIVE_METRICS / PGHIVE_TRACE env vars = the two --*-out flags\n";
   return out.str();
 }
 
-Status RunCliCommand(const Args& args, std::ostream& out) {
-  if (args.positional().empty()) {
-    out << HelpText();
-    return Status::OK();
-  }
+namespace {
+
+Status DispatchCommand(const Args& args, std::ostream& out) {
   const std::string& cmd = args.positional()[0];
   if (cmd == "discover") return CmdDiscover(args, out);
   if (cmd == "resume") return CmdResume(args, out);
@@ -475,6 +575,21 @@ Status RunCliCommand(const Args& args, std::ostream& out) {
   }
   return Status::InvalidArgument("unknown command '" + cmd +
                                  "'; run `pghive help`");
+}
+
+}  // namespace
+
+Status RunCliCommand(const Args& args, std::ostream& out) {
+  if (args.positional().empty()) {
+    out << HelpText();
+    return Status::OK();
+  }
+  ObsConfig obs_config;
+  PGHIVE_ASSIGN_OR_RETURN(obs_config, ConfigureObservability(args));
+  Status status = DispatchCommand(args, out);
+  Status exported = ExportObservability(obs_config);
+  if (status.ok()) status = exported;
+  return status;
 }
 
 }  // namespace pghive

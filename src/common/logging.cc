@@ -2,13 +2,49 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
+
+#include "common/json.h"
 
 namespace pghive {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kWarning};
 
-const char* LevelName(LogLevel l) {
+std::atomic<LogLevel> g_level{LogLevel::kWarning};
+std::atomic<LogFormat> g_format{LogFormat::kText};
+
+// The sink is read on every emitted record but replaced rarely; a mutex
+// around a shared std::function keeps replacement race-free without an
+// atomic shared_ptr dance (logging is not on any hot path).
+std::mutex g_sink_mutex;
+LogSink g_sink;  // empty = default stderr sink
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level); }
+LogLevel GetLogLevel() { return g_level.load(); }
+
+bool ParseLogLevel(const std::string& name, LogLevel* level) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower += (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+  }
+  if (lower == "debug") {
+    *level = LogLevel::kDebug;
+  } else if (lower == "info") {
+    *level = LogLevel::kInfo;
+  } else if (lower == "warning" || lower == "warn") {
+    *level = LogLevel::kWarning;
+  } else if (lower == "error") {
+    *level = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* LogLevelName(LogLevel l) {
   switch (l) {
     case LogLevel::kDebug:
       return "DEBUG";
@@ -21,25 +57,63 @@ const char* LevelName(LogLevel l) {
   }
   return "?";
 }
-}  // namespace
 
-void SetLogLevel(LogLevel level) { g_level.store(level); }
-LogLevel GetLogLevel() { return g_level.load(); }
+void SetLogFormat(LogFormat format) { g_format.store(format); }
+LogFormat GetLogFormat() { return g_format.load(); }
+
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  g_sink = std::move(sink);
+}
+
+std::string FormatLogRecord(LogFormat format, LogLevel level,
+                            const char* file, int line,
+                            const std::string& message) {
+  if (format == LogFormat::kJson) {
+    std::string out = "{\"level\":\"";
+    out += LogLevelName(level);
+    out += "\",\"file\":\"";
+    out += JsonEscape(file);
+    out += "\",\"line\":";
+    out += std::to_string(line);
+    out += ",\"msg\":\"";
+    out += JsonEscape(message);
+    out += "\"}";
+    return out;
+  }
+  std::string out = "[";
+  out += LogLevelName(level);
+  out += " ";
+  out += file;
+  out += ":";
+  out += std::to_string(line);
+  out += "] ";
+  out += message;
+  return out;
+}
 
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : level_(level) {
+    : level_(level), file_(file), line_(line) {
   // Keep only the basename to reduce noise.
-  const char* base = file;
   for (const char* p = file; *p; ++p) {
-    if (*p == '/') base = p + 1;
+    if (*p == '/') file_ = p + 1;
   }
-  stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {
-  std::fputs(stream_.str().c_str(), stderr);
+  const std::string message = stream_.str();
+  {
+    std::lock_guard<std::mutex> lock(g_sink_mutex);
+    if (g_sink) {
+      g_sink(level_, file_, line_, message);
+      return;
+    }
+  }
+  const std::string record =
+      FormatLogRecord(GetLogFormat(), level_, file_, line_, message);
+  std::fputs(record.c_str(), stderr);
   std::fputc('\n', stderr);
 }
 

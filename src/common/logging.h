@@ -3,10 +3,17 @@
 // PG-HIVE library code logs sparingly (pipeline phase boundaries at INFO,
 // diagnostics at DEBUG). The level is process-global and defaults to WARNING
 // so library consumers see nothing unless they opt in.
+//
+// Output is either human-readable text (default) or one JSON object per
+// line (SetLogFormat(LogFormat::kJson), CLI --log-json) with keys
+// level/file/line/msg — the same line-oriented shape as the observability
+// JSONL export, so both can be tailed by the same tooling. Embedders can
+// divert records entirely with SetLogSink.
 
 #ifndef PGHIVE_COMMON_LOGGING_H_
 #define PGHIVE_COMMON_LOGGING_H_
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -18,9 +25,36 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// Parses "debug"/"info"/"warning"/"warn"/"error" (case-insensitive);
+/// returns false and leaves `*level` untouched on anything else.
+bool ParseLogLevel(const std::string& name, LogLevel* level);
+
+const char* LogLevelName(LogLevel level);
+
+enum class LogFormat { kText = 0, kJson = 1 };
+
+/// Sets the process-global record format used by the default stderr sink.
+void SetLogFormat(LogFormat format);
+LogFormat GetLogFormat();
+
+/// Receives every emitted record (already level-filtered). `file` is the
+/// basename of the source file. Installing an empty function restores the
+/// default stderr sink.
+using LogSink =
+    std::function<void(LogLevel level, const char* file, int line,
+                       const std::string& message)>;
+void SetLogSink(LogSink sink);
+
+/// Renders one record in the given format, without a trailing newline
+/// (what the default sink prints; exposed so custom sinks and tests can
+/// reuse the exact formatting).
+std::string FormatLogRecord(LogFormat format, LogLevel level,
+                            const char* file, int line,
+                            const std::string& message);
+
 namespace internal {
 
-/// Accumulates one log line and emits it to stderr on destruction.
+/// Accumulates one log line and routes it to the active sink on destruction.
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);
@@ -37,6 +71,8 @@ class LogMessage {
 
  private:
   LogLevel level_;
+  const char* file_;  // basename
+  int line_;
   std::ostringstream stream_;
 };
 

@@ -1,6 +1,7 @@
 #include "core/incremental.h"
 
-#include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace pghive {
 
@@ -8,12 +9,39 @@ IncrementalDiscoverer::IncrementalDiscoverer(IncrementalOptions options)
     : options_(options), pipeline_(options.pipeline) {}
 
 Status IncrementalDiscoverer::Feed(const GraphBatch& batch) {
-  Timer timer;
-  PGHIVE_RETURN_NOT_OK(pipeline_.ProcessBatch(batch, &schema_));
-  if (options_.post_process_each_batch) {
-    pipeline_.PostProcess(*batch.graph, &schema_);
+  // Schema-delta counters: how many types each batch contributed
+  // (pghive.incremental.*). The chain is monotone (S_i ⊑ S_{i+1}), so the
+  // after-minus-before difference is the batch's contribution.
+  static obs::Counter* batches_total = obs::MetricsRegistry::Global()
+      .GetCounter("pghive.incremental.batches");
+  static obs::Counter* node_types_added = obs::MetricsRegistry::Global()
+      .GetCounter("pghive.incremental.node_types_added");
+  static obs::Counter* edge_types_added = obs::MetricsRegistry::Global()
+      .GetCounter("pghive.incremental.edge_types_added");
+
+  double seconds = 0.0;
+  const size_t node_types_before = schema_.node_types.size();
+  const size_t edge_types_before = schema_.edge_types.size();
+  {
+    obs::ScopedSpan span("incremental.batch", &seconds);
+    if (span.recording()) {
+      span.AddAttr("batch", static_cast<uint64_t>(batch_seconds_.size()));
+      span.AddAttr("nodes", static_cast<uint64_t>(batch.num_nodes()));
+      span.AddAttr("edges", static_cast<uint64_t>(batch.num_edges()));
+    }
+    PGHIVE_RETURN_NOT_OK(pipeline_.ProcessBatch(batch, &schema_));
+    if (options_.post_process_each_batch) {
+      pipeline_.PostProcess(*batch.graph, &schema_);
+    }
   }
-  batch_seconds_.push_back(timer.ElapsedSeconds());
+  batches_total->Add(1);
+  if (schema_.node_types.size() > node_types_before) {
+    node_types_added->Add(schema_.node_types.size() - node_types_before);
+  }
+  if (schema_.edge_types.size() > edge_types_before) {
+    edge_types_added->Add(schema_.edge_types.size() - edge_types_before);
+  }
+  batch_seconds_.push_back(seconds);
   return Status::OK();
 }
 

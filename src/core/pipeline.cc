@@ -4,9 +4,10 @@
 
 #include "cluster/lsh_clusterer.h"
 #include "common/string_util.h"
-#include "common/timer.h"
 #include "core/cardinality.h"
 #include "core/constraints.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/parallel.h"
 
 namespace pghive {
@@ -94,7 +95,32 @@ Status PgHivePipeline::ProcessBatch(const GraphBatch& batch,
   ThreadPool* pool = EnsurePool();
   StageTimings& timings = diagnostics_.timings;
   timings = StageTimings();
-  Timer timer;
+
+  // pghive.pipeline.* instruments (pointers cached once per process).
+  static obs::Counter* batches_total =
+      obs::MetricsRegistry::Global().GetCounter("pghive.pipeline.batches");
+  static obs::Counter* nodes_processed =
+      obs::MetricsRegistry::Global().GetCounter(
+          "pghive.pipeline.nodes_processed");
+  static obs::Counter* edges_processed =
+      obs::MetricsRegistry::Global().GetCounter(
+          "pghive.pipeline.edges_processed");
+  static obs::Counter* node_cluster_count =
+      obs::MetricsRegistry::Global().GetCounter(
+          "pghive.pipeline.node_clusters");
+  static obs::Counter* edge_cluster_count =
+      obs::MetricsRegistry::Global().GetCounter(
+          "pghive.pipeline.edge_clusters");
+  batches_total->Add(1);
+  nodes_processed->Add(batch.num_nodes());
+  edges_processed->Add(batch.num_edges());
+
+  obs::ScopedSpan batch_span("pipeline.batch");
+  if (batch_span.recording()) {
+    batch_span.AddAttr("nodes", static_cast<uint64_t>(batch.num_nodes()));
+    batch_span.AddAttr("edges", static_cast<uint64_t>(batch.num_edges()));
+    batch_span.AddAttr("method", ClusteringMethodName(options_.method));
+  }
 
   // Preprocess: train the label embedder on the batch corpus, then encode.
   // Word2Vec training stays sequential on purpose: its SGD updates are
@@ -103,9 +129,11 @@ Status PgHivePipeline::ProcessBatch(const GraphBatch& batch,
   LabelEmbedderOptions embed_opt = options_.embedding;
   embed_opt.seed = options_.seed;
   LabelEmbedder embedder(embed_opt);
-  PGHIVE_RETURN_NOT_OK(embedder.Train(BuildBatchLabelCorpus(batch)));
+  {
+    obs::ScopedSpan span("pipeline.embed_train", &timings.embed_train);
+    PGHIVE_RETURN_NOT_OK(embedder.Train(BuildBatchLabelCorpus(batch)));
+  }
   FeatureEncoder encoder(&embedder, options_.encoder, pool);
-  timings.embed_train = timer.ElapsedSeconds();
 
   // Clusters one encoded population with the configured LSH backend.
   auto cluster_population =
@@ -160,20 +188,26 @@ Status PgHivePipeline::ProcessBatch(const GraphBatch& batch,
   };
 
   // --- Nodes first (edges consume the discovered node types). ---
-  timer.Reset();
-  EncodedElements nodes = encoder.EncodeNodes(batch);
-  timings.encode_nodes = timer.ElapsedSeconds();
-  timer.Reset();
-  PGHIVE_ASSIGN_OR_RETURN(
-      auto node_groups,
-      cluster_population(nodes, ElementKind::kNode,
-                         &diagnostics_.node_params));
-  timings.cluster_nodes = timer.ElapsedSeconds();
+  EncodedElements nodes;
+  {
+    obs::ScopedSpan span("pipeline.encode_nodes", &timings.encode_nodes);
+    nodes = encoder.EncodeNodes(batch);
+  }
+  std::vector<std::vector<size_t>> node_groups;
+  {
+    obs::ScopedSpan span("pipeline.cluster_nodes", &timings.cluster_nodes);
+    PGHIVE_ASSIGN_OR_RETURN(
+        node_groups,
+        cluster_population(nodes, ElementKind::kNode,
+                           &diagnostics_.node_params));
+  }
   diagnostics_.node_clusters = node_groups.size();
-  timer.Reset();
-  ExtractNodeTypes(BuildNodeClusters(g, nodes.ids, node_groups),
-                   options_.extraction, schema);
-  timings.extract_nodes = timer.ElapsedSeconds();
+  node_cluster_count->Add(node_groups.size());
+  {
+    obs::ScopedSpan span("pipeline.extract_nodes", &timings.extract_nodes);
+    ExtractNodeTypes(BuildNodeClusters(g, nodes.ids, node_groups),
+                     options_.extraction, schema);
+  }
 
   // Map this batch's unlabeled nodes to their discovered type's endpoint
   // label set so edges still see typed endpoints: a node that merged into a
@@ -193,34 +227,45 @@ Status PgHivePipeline::ProcessBatch(const GraphBatch& batch,
   }
 
   // --- Edges. ---
-  timer.Reset();
-  EncodedElements edges = encoder.EncodeEdges(batch, endpoint_labels);
-  timings.encode_edges = timer.ElapsedSeconds();
-  timer.Reset();
-  PGHIVE_ASSIGN_OR_RETURN(
-      auto edge_groups,
-      cluster_population(edges, ElementKind::kEdge,
-                         &diagnostics_.edge_params));
-  timings.cluster_edges = timer.ElapsedSeconds();
+  EncodedElements edges;
+  {
+    obs::ScopedSpan span("pipeline.encode_edges", &timings.encode_edges);
+    edges = encoder.EncodeEdges(batch, endpoint_labels);
+  }
+  std::vector<std::vector<size_t>> edge_groups;
+  {
+    obs::ScopedSpan span("pipeline.cluster_edges", &timings.cluster_edges);
+    PGHIVE_ASSIGN_OR_RETURN(
+        edge_groups,
+        cluster_population(edges, ElementKind::kEdge,
+                           &diagnostics_.edge_params));
+  }
   diagnostics_.edge_clusters = edge_groups.size();
-  timer.Reset();
-  ExtractEdgeTypes(
-      BuildEdgeClusters(g, edges.ids, edge_groups, endpoint_labels),
-      options_.extraction, schema);
-  timings.extract_edges = timer.ElapsedSeconds();
+  edge_cluster_count->Add(edge_groups.size());
+  {
+    obs::ScopedSpan span("pipeline.extract_edges", &timings.extract_edges);
+    ExtractEdgeTypes(
+        BuildEdgeClusters(g, edges.ids, edge_groups, endpoint_labels),
+        options_.extraction, schema);
+  }
   return Status::OK();
 }
 
 void PgHivePipeline::PostProcess(const PropertyGraph& g,
                                  SchemaGraph* schema) const {
-  Timer timer;
+  obs::ScopedSpan span("pipeline.post_process",
+                       &diagnostics_.timings.post_process);
   InferPropertyConstraints(g, schema);
   InferDataTypes(g, options_.datatypes, schema, EnsurePool());
   ComputeCardinalities(g, schema);
-  diagnostics_.timings.post_process = timer.ElapsedSeconds();
 }
 
 Result<SchemaGraph> PgHivePipeline::DiscoverSchema(const PropertyGraph& g) {
+  obs::ScopedSpan span("pipeline.discover");
+  if (span.recording()) {
+    span.AddAttr("nodes", static_cast<uint64_t>(g.num_nodes()));
+    span.AddAttr("edges", static_cast<uint64_t>(g.num_edges()));
+  }
   SchemaGraph schema;
   PGHIVE_RETURN_NOT_OK(ProcessBatch(FullBatch(g), &schema));
   if (options_.post_process) PostProcess(g, &schema);

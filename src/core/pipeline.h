@@ -69,8 +69,12 @@ struct PipelineOptions {
 };
 
 /// Wall-clock seconds per pipeline stage of the most recent batch (plus
-/// post-processing when it ran). Feeds the perf-trajectory baseline that
-/// bench/micro_pipeline writes to BENCH_pipeline.json.
+/// post-processing when it ran). Since the observability layer landed this
+/// is a thin view over the pipeline.* spans (obs/trace.h): each field is
+/// filled by the matching stage span's duration, so the struct, the JSONL
+/// span_stats and the Chrome trace can never disagree. Feeds the
+/// perf-trajectory baseline that bench/micro_pipeline writes to
+/// BENCH_pipeline.json.
 struct StageTimings {
   double embed_train = 0.0;    // Word2Vec over the batch label corpus
   double encode_nodes = 0.0;   // feature encoding, nodes

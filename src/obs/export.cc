@@ -1,0 +1,119 @@
+#include "obs/export.h"
+
+#include <map>
+
+#include "common/csv.h"
+
+namespace pghive {
+namespace obs {
+
+namespace {
+
+double NsToUs(uint64_t ns) { return static_cast<double>(ns) * 1e-3; }
+
+JsonObject AttrsToJson(
+    const std::vector<std::pair<std::string, std::string>>& attrs) {
+  JsonObject args;
+  for (const auto& [key, value] : attrs) args.emplace(key, value);
+  return args;
+}
+
+}  // namespace
+
+std::string JsonlLine(const std::string& type, const std::string& name,
+                      JsonObject fields) {
+  fields.emplace("type", type);
+  fields.emplace("name", name);
+  return JsonValue(std::move(fields)).Dump();
+}
+
+std::string MetricsToJsonl(const MetricsSnapshot& metrics,
+                           const std::vector<SpanEvent>& spans) {
+  std::string out;
+  for (const auto& [name, value] : metrics.counters) {
+    JsonObject fields;
+    fields.emplace("value", static_cast<int64_t>(value));
+    out += JsonlLine("counter", name, std::move(fields));
+    out += '\n';
+  }
+  for (const auto& [name, value] : metrics.gauges) {
+    JsonObject fields;
+    fields.emplace("value", value);
+    out += JsonlLine("gauge", name, std::move(fields));
+    out += '\n';
+  }
+  for (const auto& [name, h] : metrics.histograms) {
+    JsonObject fields;
+    fields.emplace("count", static_cast<int64_t>(h.count));
+    fields.emplace("sum", h.sum);
+    fields.emplace("min", h.min);
+    fields.emplace("max", h.max);
+    fields.emplace("mean",
+                   h.count > 0 ? h.sum / static_cast<double>(h.count) : 0.0);
+    fields.emplace("p50", h.p50());
+    fields.emplace("p95", h.p95());
+    fields.emplace("p99", h.p99());
+    out += JsonlLine("histogram", name, std::move(fields));
+    out += '\n';
+  }
+  // Per-name aggregates first (what benches and the acceptance check read),
+  // then the raw events.
+  std::map<std::string, std::pair<uint64_t, uint64_t>> by_name;  // count, ns
+  for (const SpanEvent& s : spans) {
+    auto& [count, total_ns] = by_name[s.name];
+    ++count;
+    total_ns += s.dur_ns;
+  }
+  for (const auto& [name, agg] : by_name) {
+    JsonObject fields;
+    fields.emplace("count", static_cast<int64_t>(agg.first));
+    fields.emplace("total_seconds", static_cast<double>(agg.second) * 1e-9);
+    out += JsonlLine("span_stats", name, std::move(fields));
+    out += '\n';
+  }
+  for (const SpanEvent& s : spans) {
+    JsonObject fields;
+    fields.emplace("id", static_cast<int64_t>(s.id));
+    fields.emplace("parent", static_cast<int64_t>(s.parent));
+    fields.emplace("tid", static_cast<int64_t>(s.thread));
+    fields.emplace("depth", static_cast<int64_t>(s.depth));
+    fields.emplace("ts_us", NsToUs(s.start_ns));
+    fields.emplace("dur_us", NsToUs(s.dur_ns));
+    if (!s.attrs.empty()) fields.emplace("args", AttrsToJson(s.attrs));
+    out += JsonlLine("span", s.name, std::move(fields));
+    out += '\n';
+  }
+  return out;
+}
+
+std::string SpansToChromeTrace(const std::vector<SpanEvent>& spans) {
+  JsonArray events;
+  events.reserve(spans.size());
+  for (const SpanEvent& s : spans) {
+    JsonObject event;
+    event.emplace("name", s.name);
+    event.emplace("cat", "pghive");
+    event.emplace("ph", "X");
+    event.emplace("ts", NsToUs(s.start_ns));
+    event.emplace("dur", NsToUs(s.dur_ns));
+    event.emplace("pid", 1);
+    event.emplace("tid", static_cast<int64_t>(s.thread));
+    if (!s.attrs.empty()) event.emplace("args", AttrsToJson(s.attrs));
+    events.push_back(JsonValue(std::move(event)));
+  }
+  return JsonValue(std::move(events)).Dump();
+}
+
+Status WriteMetricsJsonl(const std::string& path) {
+  return WriteFile(path,
+                   MetricsToJsonl(MetricsRegistry::Global().Snapshot(),
+                                  Tracer::Global().CollectSpans()));
+}
+
+Status WriteChromeTrace(const std::string& path) {
+  return WriteFile(path,
+                   SpansToChromeTrace(Tracer::Global().CollectSpans()) + "\n");
+}
+
+}  // namespace obs
+}  // namespace pghive

@@ -1,0 +1,53 @@
+// Exporters for the observability layer.
+//
+// Two formats, one source of truth:
+//
+//  * JSONL — one JSON object per line, machine-diffable, the schema shared
+//    by the CLI (--metrics-out), the bench harnesses and tests. Line kinds
+//    (discriminated by "type"): "counter", "gauge", "histogram" (count /
+//    sum / min / max / mean / p50 / p95 / p99), "span_stats" (per-span-name
+//    count + total_seconds aggregates) and "span" (raw events).
+//
+//  * Chrome trace-event JSON — an array of complete ("ph":"X") duration
+//    events, loadable in chrome://tracing or https://ui.perfetto.dev
+//    (--trace-out).
+
+#ifndef PGHIVE_OBS_EXPORT_H_
+#define PGHIVE_OBS_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace pghive {
+namespace obs {
+
+/// One JSONL line in the shared metric schema: `fields` plus
+/// "type": `type` and "name": `name`, keys sorted, no trailing newline.
+/// Benches use this directly so every produced file diffs uniformly.
+std::string JsonlLine(const std::string& type, const std::string& name,
+                      JsonObject fields);
+
+/// Renders a metrics snapshot plus span aggregates/events as JSONL
+/// (counters, gauges, histograms, span_stats, then spans; each group
+/// name-sorted or time-ordered). Deterministic given its inputs.
+std::string MetricsToJsonl(const MetricsSnapshot& metrics,
+                           const std::vector<SpanEvent>& spans);
+
+/// Renders spans as a Chrome trace-event JSON array of "ph":"X" events.
+std::string SpansToChromeTrace(const std::vector<SpanEvent>& spans);
+
+/// Snapshot the global registry + tracer and write the JSONL file.
+Status WriteMetricsJsonl(const std::string& path);
+
+/// Collect the global tracer's spans and write the Chrome trace file.
+Status WriteChromeTrace(const std::string& path);
+
+}  // namespace obs
+}  // namespace pghive
+
+#endif  // PGHIVE_OBS_EXPORT_H_

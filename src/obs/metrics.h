@@ -1,0 +1,192 @@
+// Process-wide, thread-safe metrics registry: counters, gauges and
+// fixed-boundary histograms.
+//
+// Hot-path writes are lock-free: counters and histograms keep per-thread
+// shards (cache-line-padded relaxed atomics, threads hash onto a fixed
+// shard array), merged only when a snapshot is read. Registration hands out
+// stable pointers, so call sites cache them in a function-local static and
+// pay one relaxed atomic add per update.
+//
+// Naming convention (enforced by review, not code): `pghive.<layer>.<name>`
+// with `<layer>` in {runtime, pipeline, incremental, store, cli} and
+// seconds/bytes suffixes spelled out (`fsync_seconds`, `journal_bytes`).
+//
+// MetricsEnabled() gates only the instruments whose *measurement* costs
+// something (clock reads around task execution, fsync latency); plain
+// counter/gauge updates are cheap enough to stay always-on.
+
+#ifndef PGHIVE_OBS_METRICS_H_
+#define PGHIVE_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pghive {
+namespace obs {
+
+/// Number of write shards per counter/histogram. Threads map onto shards by
+/// a sequential thread index, so up to kShards writers never contend.
+inline constexpr size_t kMetricShards = 16;
+
+namespace internal {
+
+/// Sequential per-thread index (assigned on first use), folded onto the
+/// shard array.
+size_t ShardIndex();
+
+/// fetch_add for atomic<double> via CAS (portable across libstdc++ levels).
+inline void AtomicAddDouble(std::atomic<double>* a, double delta) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (!a->compare_exchange_weak(cur, cur + delta,
+                                   std::memory_order_relaxed)) {
+  }
+}
+
+inline void AtomicMinDouble(std::atomic<double>* a, double v) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+inline void AtomicMaxDouble(std::atomic<double>* a, double v) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace internal
+
+/// Gates measurement-bearing instrumentation (clock reads). Single relaxed
+/// atomic load; set by the CLI when --metrics-out/--trace-out (or the
+/// PGHIVE_METRICS/PGHIVE_TRACE environment variables) are present.
+extern std::atomic<bool> g_metrics_enabled;
+inline bool MetricsEnabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+void SetMetricsEnabled(bool enabled);
+
+/// Monotonically increasing event count (sharded, merged on read).
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) {
+    shards_[internal::ShardIndex() % kMetricShards].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+  uint64_t Value() const;
+  void Reset();
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+  Shard shards_[kMetricShards];
+};
+
+/// Point-in-time signed value (queue depth, bytes on disk).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Merged view of a histogram at one instant; quantiles are interpolated
+/// within the containing bucket.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  // 0 when count == 0
+  double max = 0.0;
+  std::vector<double> bounds;     // upper bounds, ascending
+  std::vector<uint64_t> buckets;  // bounds.size() + 1 (last = overflow)
+
+  double Quantile(double q) const;
+  double p50() const { return Quantile(0.50); }
+  double p95() const { return Quantile(0.95); }
+  double p99() const { return Quantile(0.99); }
+};
+
+/// Fixed-boundary histogram (sharded bucket counts, merged on read).
+class Histogram {
+ public:
+  /// `bounds` are ascending upper bucket boundaries; a value lands in the
+  /// first bucket whose bound is >= value, or the overflow bucket.
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+  HistogramSnapshot Snapshot() const;
+  void Reset();
+
+ private:
+  struct alignas(64) Shard {
+    std::vector<std::atomic<uint64_t>> buckets;
+    std::atomic<uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> min{0.0};  // re-initialized to +inf in ctor
+    std::atomic<double> max{0.0};  // re-initialized to -inf in ctor
+  };
+
+  std::vector<double> bounds_;
+  std::vector<Shard> shards_;
+};
+
+/// 1-2-5 decades from 1us to 10s — the default for latency-in-seconds
+/// histograms (task execution, fsync).
+const std::vector<double>& DefaultLatencyBoundsSeconds();
+
+/// Everything the registry holds, merged, name-sorted (deterministic).
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+};
+
+/// Name -> metric registry. Get* registers on first use and returns a
+/// pointer that stays valid for the process lifetime, so call sites do:
+///
+///   static obs::Counter* c =
+///       obs::MetricsRegistry::Global().GetCounter("pghive.layer.name");
+///   c->Add(n);
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// Empty `bounds` selects DefaultLatencyBoundsSeconds(). The bounds of
+  /// the first registration win.
+  Histogram* GetHistogram(const std::string& name,
+                          const std::vector<double>& bounds = {});
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every registered metric without invalidating handed-out
+  /// pointers (tests and bench reruns).
+  void ResetAll();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace pghive
+
+#endif  // PGHIVE_OBS_METRICS_H_

@@ -1,0 +1,151 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+namespace pghive {
+namespace obs {
+
+std::atomic<bool> g_trace_enabled{false};
+
+namespace {
+
+// Per-thread nesting state. parent/depth describe the innermost *recording*
+// span open on this thread.
+thread_local uint64_t tls_current_span = 0;
+thread_local uint32_t tls_depth = 0;
+
+// The buffer this thread records into; registered with the tracer on first
+// use and kept alive by the registry after thread exit.
+std::shared_ptr<internal::ThreadSpanBuffer>& ThisThreadBuffer() {
+  thread_local std::shared_ptr<internal::ThreadSpanBuffer> buffer =
+      Tracer::Global().RegisterThreadBuffer();
+  return buffer;
+}
+
+}  // namespace
+
+uint64_t TraceNowNs() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           epoch)
+          .count());
+}
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::SetEnabled(bool enabled) {
+  g_trace_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+std::shared_ptr<internal::ThreadSpanBuffer> Tracer::RegisterThreadBuffer() {
+  auto buffer = std::make_shared<internal::ThreadSpanBuffer>();
+  std::lock_guard<std::mutex> lock(mu_);
+  buffer->thread_index = next_thread_index_++;
+  buffers_.push_back(buffer);
+  return buffer;
+}
+
+std::vector<SpanEvent> Tracer::CollectSpans() const {
+  std::vector<std::shared_ptr<internal::ThreadSpanBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers = buffers_;
+  }
+  std::vector<SpanEvent> all;
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    all.insert(all.end(), buffer->events.begin(), buffer->events.end());
+  }
+  std::sort(all.begin(), all.end(),
+            [](const SpanEvent& a, const SpanEvent& b) {
+              return a.start_ns != b.start_ns ? a.start_ns < b.start_ns
+                                              : a.id < b.id;
+            });
+  return all;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->events.clear();
+  }
+  next_id_.store(1, std::memory_order_relaxed);
+}
+
+size_t Tracer::SpanCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    n += buffer->events.size();
+  }
+  return n;
+}
+
+void ScopedSpan::Begin(const char* name, double* out_seconds) {
+  armed_ = true;
+  name_ = name;
+  out_seconds_ = out_seconds;
+  recording_ = TraceEnabled();
+  if (recording_) {
+    id_ = Tracer::Global().NextSpanId();
+    parent_ = tls_current_span;
+    depth_ = tls_depth;
+    tls_current_span = id_;
+    ++tls_depth;
+  }
+  // Clock read last, so setup cost is excluded from the measured region.
+  start_ns_ = TraceNowNs();
+}
+
+void ScopedSpan::End() {
+  const uint64_t end_ns = TraceNowNs();
+  const uint64_t dur_ns = end_ns > start_ns_ ? end_ns - start_ns_ : 0;
+  if (out_seconds_ != nullptr) {
+    *out_seconds_ = static_cast<double>(dur_ns) * 1e-9;
+  }
+  if (recording_) {
+    tls_current_span = parent_;
+    if (tls_depth > 0) --tls_depth;
+    SpanEvent event;
+    event.name = name_;
+    event.id = id_;
+    event.parent = parent_;
+    event.depth = depth_;
+    event.start_ns = start_ns_;
+    event.dur_ns = dur_ns;
+    event.attrs = std::move(attrs_);
+    auto& buffer = ThisThreadBuffer();
+    event.thread = buffer->thread_index;
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    buffer->events.push_back(std::move(event));
+  }
+}
+
+void ScopedSpan::AddAttr(const char* key, std::string value) {
+  if (!recording_) return;
+  attrs_.emplace_back(key, std::move(value));
+}
+
+void ScopedSpan::AddAttr(const char* key, uint64_t value) {
+  if (!recording_) return;
+  attrs_.emplace_back(key, std::to_string(value));
+}
+
+void ScopedSpan::AddAttr(const char* key, double value) {
+  if (!recording_) return;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  attrs_.emplace_back(key, buf);
+}
+
+}  // namespace obs
+}  // namespace pghive

@@ -1,0 +1,139 @@
+// Hierarchical span tracing with RAII scopes and per-thread buffers.
+//
+// A ScopedSpan measures one region on one thread: monotonic-clock start +
+// duration, a parent/child chain tracked through a thread-local stack (so
+// nesting is per-thread, matching how Chrome's trace viewer renders rows),
+// and optional key=value attributes. Finished spans are appended to the
+// recording thread's buffer (uncontended mutex per push); exporters merge
+// all buffers under the tracer's registry lock.
+//
+// Overhead when tracing is disabled is ONE relaxed atomic load and branch
+// per span — the constructor bails before touching the clock. The only
+// exception is the `out_seconds` form used to keep StageTimings /
+// BatchDiagnostics populated: that variant must measure time regardless,
+// exactly what the Timer it replaced cost.
+
+#ifndef PGHIVE_OBS_TRACE_H_
+#define PGHIVE_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pghive {
+namespace obs {
+
+/// One finished span. Timestamps are nanoseconds on the steady clock,
+/// relative to the tracer's process-wide epoch (first instrumented event).
+struct SpanEvent {
+  std::string name;
+  uint64_t id = 0;
+  uint64_t parent = 0;  // 0 = no parent (root on its thread)
+  uint32_t thread = 0;  // sequential tracer thread index
+  uint32_t depth = 0;   // nesting depth on the recording thread
+  uint64_t start_ns = 0;
+  uint64_t dur_ns = 0;
+  std::vector<std::pair<std::string, std::string>> attrs;
+};
+
+namespace internal {
+
+/// Per-thread buffer of finished spans. Owned jointly by the recording
+/// thread (thread_local) and the tracer's registry, so spans survive worker
+/// threads that exit before export.
+struct ThreadSpanBuffer {
+  std::mutex mu;
+  uint32_t thread_index = 0;
+  std::vector<SpanEvent> events;
+};
+
+}  // namespace internal
+
+extern std::atomic<bool> g_trace_enabled;
+/// The single relaxed load every disabled span pays.
+inline bool TraceEnabled() {
+  return g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// Process-wide tracer: owns the thread-buffer registry and the span id
+/// counter. Spans are recorded through ScopedSpan, never directly.
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  void SetEnabled(bool enabled);
+
+  /// Merges every thread buffer into one list sorted by (start_ns, id).
+  /// Does not clear; spans recorded while this runs may or may not appear.
+  std::vector<SpanEvent> CollectSpans() const;
+
+  /// Drops all recorded spans and restarts span ids from 1 (tests, bench
+  /// reruns). Must not race with active spans.
+  void Clear();
+
+  size_t SpanCount() const;
+
+  // Internal: registry access for the thread-local buffer holder.
+  std::shared_ptr<internal::ThreadSpanBuffer> RegisterThreadBuffer();
+  uint64_t NextSpanId() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<internal::ThreadSpanBuffer>> buffers_;
+  std::atomic<uint64_t> next_id_{1};
+  uint32_t next_thread_index_ = 0;
+};
+
+/// RAII span. The plain form costs one relaxed branch when tracing is
+/// disabled; the `out_seconds` form additionally writes its wall-clock
+/// duration (in seconds) on destruction whether or not tracing is on,
+/// replacing the hand-rolled Timer reads that used to fill StageTimings.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, double* out_seconds = nullptr) {
+    if (out_seconds == nullptr && !TraceEnabled()) return;
+    Begin(name, out_seconds);
+  }
+  ~ScopedSpan() {
+    if (armed_) End();
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// True when this span will be emitted to the trace buffer (lets callers
+  /// skip attribute formatting work entirely when not recording).
+  bool recording() const { return recording_; }
+
+  void AddAttr(const char* key, std::string value);
+  void AddAttr(const char* key, uint64_t value);
+  void AddAttr(const char* key, double value);
+
+ private:
+  void Begin(const char* name, double* out_seconds);
+  void End();
+
+  bool armed_ = false;      // destructor has work (recording or out_seconds)
+  bool recording_ = false;  // a SpanEvent will be emitted
+  const char* name_ = nullptr;
+  double* out_seconds_ = nullptr;
+  uint64_t id_ = 0;
+  uint64_t parent_ = 0;
+  uint32_t depth_ = 0;
+  uint64_t start_ns_ = 0;
+  std::vector<std::pair<std::string, std::string>> attrs_;
+};
+
+/// Nanoseconds since the tracer epoch (monotonic).
+uint64_t TraceNowNs();
+
+}  // namespace obs
+}  // namespace pghive
+
+#endif  // PGHIVE_OBS_TRACE_H_

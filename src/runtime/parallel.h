@@ -30,6 +30,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.h"
 #include "runtime/thread_pool.h"
 
 namespace pghive {
@@ -40,6 +41,19 @@ namespace pghive {
 inline constexpr size_t kDefaultGrain = 256;
 
 namespace runtime_internal {
+
+/// Traced invocation of one chunk. The span costs one relaxed atomic
+/// branch when tracing is off; attributes are only materialized when a
+/// trace is actually being recorded.
+template <typename Fn>
+void RunChunk(Fn& fn, size_t chunk, size_t begin, size_t end) {
+  obs::ScopedSpan span("runtime.chunk");
+  if (span.recording()) {
+    span.AddAttr("chunk", static_cast<uint64_t>(chunk));
+    span.AddAttr("items", static_cast<uint64_t>(end - begin));
+  }
+  fn(chunk, begin, end);
+}
 
 /// Completion latch for one batch of chunk tasks; keeps the exception of
 /// the lowest-indexed failing chunk so the rethrow is deterministic.
@@ -85,7 +99,8 @@ void ParallelForChunks(ThreadPool* pool, size_t n, size_t grain, Fn&& fn) {
   const size_t num_chunks = (n + grain - 1) / grain;
   if (pool == nullptr || pool->num_threads() <= 1 || num_chunks == 1) {
     for (size_t c = 0; c < num_chunks; ++c) {
-      fn(c, c * grain, std::min(n, (c + 1) * grain));
+      runtime_internal::RunChunk(fn, c, c * grain,
+                                 std::min(n, (c + 1) * grain));
     }
     return;
   }
@@ -94,7 +109,8 @@ void ParallelForChunks(ThreadPool* pool, size_t n, size_t grain, Fn&& fn) {
     pool->Submit([&fn, &group, c, grain, n] {
       std::exception_ptr error;
       try {
-        fn(c, c * grain, std::min(n, (c + 1) * grain));
+        runtime_internal::RunChunk(fn, c, c * grain,
+                                   std::min(n, (c + 1) * grain));
       } catch (...) {
         error = std::current_exception();
       }

@@ -3,9 +3,17 @@
 #include <cstdlib>
 #include <string>
 
+#include "obs/trace.h"
+
 namespace pghive {
 
-ThreadPool::ThreadPool(int num_threads) {
+ThreadPool::ThreadPool(int num_threads)
+    : queue_depth_(obs::MetricsRegistry::Global().GetGauge(
+          "pghive.runtime.queue_depth")),
+      tasks_total_(obs::MetricsRegistry::Global().GetCounter(
+          "pghive.runtime.tasks_total")),
+      task_seconds_(obs::MetricsRegistry::Global().GetHistogram(
+          "pghive.runtime.task_seconds")) {
   if (num_threads < 1) num_threads = 1;
   workers_.reserve(static_cast<size_t>(num_threads));
   for (int i = 0; i < num_threads; ++i) {
@@ -27,6 +35,7 @@ void ThreadPool::Submit(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
   }
+  queue_depth_->Add(1);
   cv_.notify_one();
 }
 
@@ -42,7 +51,16 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    queue_depth_->Add(-1);
+    tasks_total_->Add(1);
+    if (obs::MetricsEnabled()) {
+      const uint64_t start_ns = obs::TraceNowNs();
+      task();
+      task_seconds_->Observe(
+          static_cast<double>(obs::TraceNowNs() - start_ns) * 1e-9);
+    } else {
+      task();
+    }
   }
 }
 

@@ -24,6 +24,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace pghive {
 
 class ThreadPool {
@@ -55,6 +57,13 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   bool stop_ = false;
   std::vector<std::thread> workers_;
+
+  // Registry-owned instruments (pghive.runtime.*): queue depth tracks
+  // submitted-but-not-started tasks; the latency histogram is only fed when
+  // obs::MetricsEnabled() (it needs two clock reads per task).
+  obs::Gauge* queue_depth_;
+  obs::Counter* tasks_total_;
+  obs::Histogram* task_seconds_;
 };
 
 /// Applies the thread-count convention: n > 0 -> n, n == 0 -> hardware.

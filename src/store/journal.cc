@@ -9,6 +9,8 @@
 
 #include "common/binary_io.h"
 #include "common/csv.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace pghive {
 namespace store {
@@ -77,9 +79,23 @@ Status JournalWriter::Append(uint64_t batch_id,
     record.WriteBytes(body);
   }
   PGHIVE_RETURN_NOT_OK(WriteAll(fd_, path_, record.buffer()));
-  if (fsync_ && ::fdatasync(fd_) != 0) {
-    return Errno("fdatasync failed on", path_);
+  static obs::Counter* journal_records = obs::MetricsRegistry::Global()
+      .GetCounter("pghive.store.journal_records");
+  static obs::Counter* journal_bytes = obs::MetricsRegistry::Global()
+      .GetCounter("pghive.store.journal_bytes");
+  static obs::Histogram* fsync_seconds = obs::MetricsRegistry::Global()
+      .GetHistogram("pghive.store.fsync_seconds");
+  if (fsync_) {
+    const bool timed = obs::MetricsEnabled();
+    const uint64_t start_ns = timed ? obs::TraceNowNs() : 0;
+    if (::fdatasync(fd_) != 0) return Errno("fdatasync failed on", path_);
+    if (timed) {
+      fsync_seconds->Observe(
+          static_cast<double>(obs::TraceNowNs() - start_ns) * 1e-9);
+    }
   }
+  journal_records->Add(1);
+  journal_bytes->Add(record.size());
   bytes_written_ += record.size();
   return Status::OK();
 }

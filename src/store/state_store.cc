@@ -8,6 +8,8 @@
 #include "common/binary_io.h"
 #include "common/hash.h"
 #include "core/value_stats.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "store/fs_util.h"
 
 namespace pghive {
@@ -210,6 +212,7 @@ Result<std::unique_ptr<DurableDiscoverer>> DurableDiscoverer::OpenOrRecover(
 }
 
 Status DurableDiscoverer::Recover(RecoveryReport* report) {
+  obs::ScopedSpan span("store.recover");
   fingerprint_ = OptionsFingerprint(options_.incremental);
 
   for (const std::string& path : ListSnapshotFiles(dir_)) {
@@ -264,11 +267,21 @@ Status DurableDiscoverer::Recover(RecoveryReport* report) {
             std::to_string(applied_batches_) + ", found batch " +
             std::to_string(record.batch_id));
       }
-      PGHIVE_RETURN_NOT_OK(ApplyPayload(record.payload));
+      {
+        obs::ScopedSpan replay_span("store.replay_batch");
+        if (replay_span.recording()) {
+          replay_span.AddAttr("batch", record.batch_id);
+        }
+        PGHIVE_RETURN_NOT_OK(ApplyPayload(record.payload));
+      }
       ++report->replayed_batches;
     }
   }
   journaled_batches_ = applied_batches_;
+  if (span.recording()) {
+    span.AddAttr("replayed", report->replayed_batches);
+    span.AddAttr("snapshot_batches", report->snapshot_batches);
+  }
 
   report->fresh = report->snapshot_path.empty() &&
                   report->corrupt_snapshots.empty() && segments.empty();
@@ -281,6 +294,8 @@ Status DurableDiscoverer::Feed(const BatchPayload& batch) {
         "journaled-but-unapplied batches pending; reopen the store to "
         "recover them");
   }
+  obs::ScopedSpan span("store.feed");
+  if (span.recording()) span.AddAttr("batch", journaled_batches_);
   PGHIVE_RETURN_NOT_OK(AppendToJournal(batch));
   // Crash window: the batch is durable but not applied. A kill here is what
   // the recovery path (and FeedJournalOnly-based tests) exercise.
@@ -378,12 +393,20 @@ Status DurableDiscoverer::Checkpoint() {
     return Status::FailedPrecondition(
         "cannot checkpoint with journaled-but-unapplied batches pending");
   }
+  static obs::Counter* snapshots_written = obs::MetricsRegistry::Global()
+      .GetCounter("pghive.store.snapshots_written");
+  static obs::Counter* snapshot_bytes = obs::MetricsRegistry::Global()
+      .GetCounter("pghive.store.snapshot_bytes");
+  obs::ScopedSpan span("store.checkpoint");
+  if (span.recording()) span.AddAttr("applied_batches", applied_batches_);
   const StoreSnapshot snap = BuildSnapshot();
   const std::string bytes = EncodeSnapshot(snap, engine_.thread_pool());
   const std::string path =
       dir_ + "/" +
       NumberedFileName(kSnapshotPrefix, applied_batches_, kSnapshotSuffix);
   PGHIVE_RETURN_NOT_OK(WriteSnapshotFile(path, bytes));
+  snapshots_written->Add(1);
+  snapshot_bytes->Add(bytes.size());
   return PruneAfterCheckpoint();
 }
 
@@ -419,6 +442,67 @@ Result<SchemaGraph> DurableDiscoverer::Finish() {
   SchemaGraph schema = engine_.Finish(graph_);
   PGHIVE_RETURN_NOT_OK(Checkpoint());
   return schema;
+}
+
+std::string StateDirMetrics::ToString() const {
+  std::string s;
+  s += "snapshots:        " + std::to_string(snapshot_count) + " (" +
+       std::to_string(snapshot_bytes) + " bytes)\n";
+  s += "newest snapshot:  " + std::to_string(newest_snapshot_batches) +
+       " batches applied\n";
+  s += "journal segments: " + std::to_string(journal_segments) + " (" +
+       std::to_string(journal_bytes) + " bytes, " +
+       std::to_string(journal_records) + " records)\n";
+  if (torn_tail) s += "journal tail:     TORN (truncated on next recovery)\n";
+  return s;
+}
+
+StateDirMetrics CollectStateDirMetrics(const std::string& dir) {
+  StateDirMetrics m;
+  std::error_code ec;
+  const std::vector<std::string> snapshots = ListSnapshotFiles(dir);
+  m.snapshot_count = snapshots.size();
+  for (const std::string& path : snapshots) {
+    const uint64_t size = std::filesystem::file_size(path, ec);
+    if (!ec) m.snapshot_bytes += size;
+  }
+  if (!snapshots.empty()) {
+    // The applied count is encoded in the name (snapshot-<applied>.pghs);
+    // reading it from there avoids decoding the whole snapshot.
+    uint64_t applied = 0;
+    if (ParseNumberedFileName(
+            std::filesystem::path(snapshots.front()).filename().string(),
+            kSnapshotPrefix, kSnapshotSuffix, &applied)) {
+      m.newest_snapshot_batches = applied;
+    }
+  }
+  for (const std::string& path : ListJournalFiles(dir)) {
+    ++m.journal_segments;
+    const uint64_t size = std::filesystem::file_size(path, ec);
+    if (!ec) m.journal_bytes += size;
+    Result<JournalReadResult> read = ReadJournalSegment(path);
+    if (!read.ok()) continue;  // unreadable: bytes counted, no records
+    m.journal_records += read->records.size();
+    if (read->torn_tail) m.torn_tail = true;
+  }
+  return m;
+}
+
+void PublishStateDirMetrics(const StateDirMetrics& m) {
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.GetGauge("pghive.store.state_snapshot_count")
+      ->Set(static_cast<int64_t>(m.snapshot_count));
+  reg.GetGauge("pghive.store.state_snapshot_bytes")
+      ->Set(static_cast<int64_t>(m.snapshot_bytes));
+  reg.GetGauge("pghive.store.state_newest_snapshot_batches")
+      ->Set(static_cast<int64_t>(m.newest_snapshot_batches));
+  reg.GetGauge("pghive.store.state_journal_segments")
+      ->Set(static_cast<int64_t>(m.journal_segments));
+  reg.GetGauge("pghive.store.state_journal_bytes")
+      ->Set(static_cast<int64_t>(m.journal_bytes));
+  reg.GetGauge("pghive.store.state_journal_records")
+      ->Set(static_cast<int64_t>(m.journal_records));
+  reg.GetGauge("pghive.store.state_torn_tail")->Set(m.torn_tail ? 1 : 0);
 }
 
 }  // namespace store

@@ -169,6 +169,28 @@ std::vector<std::string> ListSnapshotFiles(const std::string& dir);
 /// Lists the journal segment files of a state directory, oldest first.
 std::vector<std::string> ListJournalFiles(const std::string& dir);
 
+/// Size/record accounting of a state directory. The single definition both
+/// `pghive inspect-state` prints and PublishStateDirMetrics feeds into the
+/// metrics registry, so the CLI and --metrics-out can never disagree.
+struct StateDirMetrics {
+  uint64_t snapshot_count = 0;
+  uint64_t snapshot_bytes = 0;          // all snapshot files on disk
+  uint64_t newest_snapshot_batches = 0; // applied count of the newest one
+  uint64_t journal_segments = 0;
+  uint64_t journal_bytes = 0;           // all segment files on disk
+  uint64_t journal_records = 0;         // valid records across segments
+  bool torn_tail = false;               // any segment ends in a torn tail
+
+  std::string ToString() const;
+};
+
+/// Scans `dir` without modifying it. Unreadable files count toward sizes
+/// but contribute no records.
+StateDirMetrics CollectStateDirMetrics(const std::string& dir);
+
+/// Mirrors the struct into pghive.store.state_* registry gauges.
+void PublishStateDirMetrics(const StateDirMetrics& m);
+
 }  // namespace store
 }  // namespace pghive
 

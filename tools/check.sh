@@ -5,8 +5,8 @@
 #   tools/check.sh           # normal build + full ctest, then both legs
 #   tools/check.sh --fast    # sanitizer legs only
 #
-# The TSan leg rebuilds runtime_test / pipeline_test / store_test / the
-# pghive CLI in build-tsan/ with -DPGHIVE_SANITIZE=thread and runs a
+# The TSan leg rebuilds runtime_test / pipeline_test / store_test /
+# obs_test / the pghive CLI in build-tsan/ with -DPGHIVE_SANITIZE=thread and runs a
 # --threads 4 discovery, so every parallelized stage (including the
 # parallel snapshot encode) executes under the race detector.
 #
@@ -33,9 +33,9 @@ cmake -B build-tsan -S . -DPGHIVE_SANITIZE=thread \
   -DPGHIVE_BUILD_BENCHMARKS=OFF -DPGHIVE_BUILD_EXAMPLES=OFF \
   -DPGHIVE_BUILD_TOOLS=OFF
 cmake --build build-tsan -j "${JOBS}" \
-  --target runtime_test pipeline_test store_test pghive_app
+  --target runtime_test pipeline_test store_test obs_test pghive_app
 (cd build-tsan && ctest --output-on-failure -j "${JOBS}" \
-  -R 'ThreadPool|Parallel|Pipeline|Snapshot|Journal|Durable')
+  -R 'ThreadPool|Parallel|Pipeline|Snapshot|Journal|Durable|Obs')
 
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "${tmpdir}"' EXIT
@@ -61,5 +61,48 @@ cmake --build build-asan -j "${JOBS}" \
 ./build-asan/apps/pghive resume "${tmpdir}/pole2" --incremental 4 \
   --state-dir "${tmpdir}/state" > /dev/null
 ./build-asan/apps/pghive inspect-state "${tmpdir}/state" > /dev/null
+
+echo "=== observability: metrics + trace export sanity ==="
+./build-asan/apps/pghive discover "${tmpdir}/pole2" --incremental 4 \
+  --threads 2 --progress \
+  --metrics-out "${tmpdir}/metrics.jsonl" \
+  --trace-out "${tmpdir}/trace.json" > /dev/null
+if command -v python3 > /dev/null; then
+  python3 - "${tmpdir}/metrics.jsonl" "${tmpdir}/trace.json" <<'PYEOF'
+import json, sys
+
+metrics_path, trace_path = sys.argv[1], sys.argv[2]
+
+# Metrics JSONL: every line valid JSON with type+name; span_stats present.
+types = set()
+with open(metrics_path) as f:
+    for line in f:
+        line = line.strip()
+        if not line:
+            continue
+        obj = json.loads(line)
+        assert "type" in obj and "name" in obj, obj
+        types.add(obj["type"])
+for required in ("counter", "span_stats", "span"):
+    assert required in types, f"missing {required} lines, got {types}"
+
+# Chrome trace: a JSON array of complete events, non-empty, all ph == "X",
+# containing the per-batch pipeline spans.
+with open(trace_path) as f:
+    events = json.load(f)
+assert isinstance(events, list) and events, "empty trace"
+assert all(e["ph"] == "X" for e in events)
+for key in ("name", "ts", "dur", "pid", "tid"):
+    assert all(key in e for e in events), f"missing {key}"
+names = {e["name"] for e in events}
+assert "pipeline.batch" in names, names
+print(f"observability export ok: {len(events)} spans, "
+      f"{sorted(types)} metric line types")
+PYEOF
+else
+  # No python3: at least require non-empty outputs with the magic markers.
+  grep -q '"type":"span_stats"' "${tmpdir}/metrics.jsonl"
+  grep -q '"ph":"X"' "${tmpdir}/trace.json"
+fi
 
 echo "=== all checks passed ==="
