@@ -1,0 +1,222 @@
+// Microbenchmarks for the interned graph core (graph/symbols.h +
+// graph/property_graph.h): build throughput through the string-based and
+// interned insert paths, full property-scan iteration, signature-index
+// lookup, and graph copies (which share the symbol context and value rows).
+//
+// Before the google-benchmark loops, main() publishes the pghive.graph.*
+// gauges for the workload graph and prints one JSONL line per headline
+// statistic (distinct signatures, interned symbols, approximate heap bytes,
+// peak RSS) in the shared bench/metrics schema, so CI can archive them next
+// to the micro_pipeline baseline.
+
+#include <benchmark/benchmark.h>
+
+#include <sys/resource.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/json.h"
+#include "datagen/datasets.h"
+#include "datagen/generator.h"
+#include "graph/graph_stats.h"
+#include "graph/property_graph.h"
+
+namespace pghive {
+namespace {
+
+/// The acceptance workload: the largest synthetic dataset at default scale.
+const PropertyGraph& WorkloadGraph() {
+  static const PropertyGraph* g = [] {
+    const std::vector<DatasetSpec> specs = AllDatasetSpecs();
+    const DatasetSpec* largest = nullptr;
+    for (const auto& spec : specs) {
+      if (!largest || spec.default_nodes > largest->default_nodes) {
+        largest = &spec;
+      }
+    }
+    return new PropertyGraph(GenerateGraph(*largest, {}).value());
+  }();
+  return *g;
+}
+
+/// Element data extracted once, so the build benchmarks measure insertion
+/// (interning + row construction), not dataset generation.
+struct WorkloadData {
+  std::vector<NodeData> nodes;
+  std::vector<EdgeData> edges;
+};
+
+const WorkloadData& ExtractedData() {
+  static const WorkloadData* data = [] {
+    auto* d = new WorkloadData();
+    const PropertyGraph& g = WorkloadGraph();
+    d->nodes.reserve(g.num_nodes());
+    for (const auto& n : g.nodes()) d->nodes.push_back(ToData(n));
+    d->edges.reserve(g.num_edges());
+    for (const auto& e : g.edges()) d->edges.push_back(ToData(e));
+    return d;
+  }();
+  return *data;
+}
+
+/// String-based insert path: every AddNode/AddEdge interns label/key strings
+/// against the growing symbol context.
+void BM_BuildFromStrings(benchmark::State& state) {
+  const WorkloadData& data = ExtractedData();
+  for (auto _ : state) {
+    PropertyGraph g;
+    for (const auto& n : data.nodes) {
+      g.AddNode(n.labels, n.properties, n.truth_type);
+    }
+    for (const auto& e : data.edges) {
+      benchmark::DoNotOptimize(
+          g.AddEdge(e.source, e.target, e.labels, e.properties, e.truth_type));
+    }
+    benchmark::DoNotOptimize(g.num_nodes());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          (data.nodes.size() + data.edges.size()));
+}
+BENCHMARK(BM_BuildFromStrings);
+
+/// Interned insert path (the snapshot/journal decode fast path): label and
+/// key sets intern to pooled ids (a hash hit after first sight), element
+/// insertion is id validation + row append.
+void BM_BuildInterned(benchmark::State& state) {
+  const PropertyGraph& src = WorkloadGraph();
+  // Canonical sets and value rows extracted once; the timed loop measures
+  // interning + insertion against a fresh symbol context.
+  struct Prepared {
+    const std::set<std::string>* labels;
+    std::set<std::string> keys;
+    std::vector<Value> row;
+  };
+  std::vector<Prepared> prepared;
+  prepared.reserve(src.num_nodes());
+  for (const auto& n : src.nodes()) {
+    Prepared p;
+    p.labels = &n.labels.get();
+    p.row.reserve(n.properties.size());
+    for (size_t i = 0; i < n.properties.size(); ++i) {
+      p.keys.insert(n.properties.key_at(i));
+      p.row.push_back(n.properties.value_at(i));
+    }
+    prepared.push_back(std::move(p));
+  }
+  for (auto _ : state) {
+    auto symbols = std::make_shared<GraphSymbols>();
+    PropertyGraph g(symbols);
+    for (const auto& p : prepared) {
+      LabelSetId ls = symbols->label_sets.Intern(*p.labels);
+      KeySetId ks = symbols->key_sets.Intern(p.keys);
+      benchmark::DoNotOptimize(g.AddNodeInterned(ls, ks, p.row));
+    }
+    benchmark::DoNotOptimize(g.num_nodes());
+  }
+  state.SetItemsProcessed(state.iterations() * src.num_nodes());
+}
+BENCHMARK(BM_BuildInterned);
+
+/// Full property scan through the views — the shape every pipeline stage
+/// (corpus build, encoding, datatype inference) reads the graph in.
+void BM_IterateProperties(benchmark::State& state) {
+  const PropertyGraph& g = WorkloadGraph();
+  for (auto _ : state) {
+    size_t labels = 0, values = 0;
+    for (const auto& n : g.nodes()) {
+      labels += n.labels.size();
+      for (const auto& [key, value] : n.properties) {
+        values += key.size();
+        benchmark::DoNotOptimize(value);
+      }
+    }
+    for (const auto& e : g.edges()) {
+      labels += e.labels.size();
+      for (const auto& [key, value] : e.properties) {
+        values += key.size();
+        benchmark::DoNotOptimize(value);
+      }
+    }
+    benchmark::DoNotOptimize(labels);
+    benchmark::DoNotOptimize(values);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          (g.num_nodes() + g.num_edges()));
+}
+BENCHMARK(BM_IterateProperties);
+
+/// Signature-index lookup: distinct (label-set, key-set) groups with their
+/// members — the unit the deduplicated encoder and LSH fan-out work on.
+void BM_SignatureLookup(benchmark::State& state) {
+  const PropertyGraph& g = WorkloadGraph();
+  (void)g.NodeSignatureGroups();  // build outside the timed loop
+  for (auto _ : state) {
+    size_t members = 0;
+    for (const auto& group : g.NodeSignatureGroups()) {
+      members += group.members.size();
+    }
+    for (const auto& group : g.EdgeSignatureGroups()) {
+      members += group.members.size();
+    }
+    benchmark::DoNotOptimize(members);
+  }
+  state.SetItemsProcessed(state.iterations() * (g.num_nodes() + g.num_edges()));
+}
+BENCHMARK(BM_SignatureLookup);
+
+/// Graph copy: shares the symbol context and value rows, so the cost is the
+/// element spines, not the strings.
+void BM_CopyGraph(benchmark::State& state) {
+  const PropertyGraph& g = WorkloadGraph();
+  for (auto _ : state) {
+    PropertyGraph copy = g;
+    benchmark::DoNotOptimize(copy.num_nodes());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          (g.num_nodes() + g.num_edges()));
+}
+BENCHMARK(BM_CopyGraph);
+
+long PeakRssKb() {
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return -1;
+  return ru.ru_maxrss;  // kilobytes on Linux
+}
+
+/// Publishes pghive.graph.* gauges for the workload and prints the headline
+/// statistics as shared-schema JSONL lines (stderr, like the other benches).
+void ReportGraphStats() {
+  bench::EnableObservability();
+  const PropertyGraph& g = WorkloadGraph();
+  PublishGraphGauges(g);
+
+  JsonObject fields;
+  fields.emplace("nodes", g.num_nodes());
+  fields.emplace("edges", g.num_edges());
+  fields.emplace("node_signatures", g.NodeSignatureGroups().size());
+  fields.emplace("edge_signatures", g.EdgeSignatureGroups().size());
+  fields.emplace("interned_labels", g.symbols().labels.size());
+  fields.emplace("interned_keys", g.symbols().keys.size());
+  fields.emplace("label_sets", g.symbols().label_sets.size());
+  fields.emplace("key_sets", g.symbols().key_sets.size());
+  fields.emplace("approx_bytes", g.ApproxBytes());
+  fields.emplace("peak_rss_kb", PeakRssKb());
+  std::fprintf(stderr, "%s\n",
+               bench::BenchJsonl("micro_graph.stats", fields).c_str());
+  bench::DisableObservability();
+}
+
+}  // namespace
+}  // namespace pghive
+
+int main(int argc, char** argv) {
+  pghive::ReportGraphStats();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  pghive::bench::ExportObsFromEnv();
+  return 0;
+}

@@ -103,17 +103,19 @@ Result<PropertyGraph> LoadPrefix(const std::string& prefix) {
 // inconsistent label vocabularies integrate before discovery. When
 // `applied` is non-null, the raw entries are recorded there (durable runs
 // persist them in snapshots for provenance).
-Result<PropertyGraph> MaybeApplyAliases(
-    const Args& args, PropertyGraph g,
+Status MaybeApplyAliases(
+    const Args& args, PropertyGraph* g,
     std::vector<std::pair<std::string, std::string>>* applied = nullptr) {
-  if (!args.Has("aliases")) return g;
+  if (!args.Has("aliases")) return Status::OK();
   PGHIVE_ASSIGN_OR_RETURN(std::string text,
                           ReadFile(args.GetString("aliases")));
   PGHIVE_ASSIGN_OR_RETURN(AliasTable table, AliasTable::FromText(text));
   if (applied != nullptr) {
     applied->assign(table.entries().begin(), table.entries().end());
   }
-  return ApplyAliases(g, table);
+  PGHIVE_ASSIGN_OR_RETURN(PropertyGraph aliased, ApplyAliases(*g, table));
+  *g = std::move(aliased);
+  return Status::OK();
 }
 
 Result<PipelineOptions> PipelineOptionsFromArgs(const Args& args) {
@@ -275,7 +277,7 @@ Status CmdDiscover(const Args& args, std::ostream& out) {
         "[--log-level debug|info|warning|error] [--log-json]");
   }
   PGHIVE_ASSIGN_OR_RETURN(PropertyGraph g, LoadPrefix(args.positional()[1]));
-  PGHIVE_ASSIGN_OR_RETURN(g, MaybeApplyAliases(args, std::move(g)));
+  PGHIVE_RETURN_NOT_OK(MaybeApplyAliases(args, &g));
   SchemaGraph schema;
   if (args.Has("state-dir")) {
     PGHIVE_ASSIGN_OR_RETURN(
@@ -321,7 +323,7 @@ Status CmdResume(const Args& args, std::ostream& out) {
         "count must match the original run.");
   }
   PGHIVE_ASSIGN_OR_RETURN(PropertyGraph g, LoadPrefix(args.positional()[1]));
-  PGHIVE_ASSIGN_OR_RETURN(g, MaybeApplyAliases(args, std::move(g)));
+  PGHIVE_RETURN_NOT_OK(MaybeApplyAliases(args, &g));
   PGHIVE_ASSIGN_OR_RETURN(
       SchemaGraph schema,
       DurableDiscoverFromArgs(args, g, args.GetString("state-dir"), out));

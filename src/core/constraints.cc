@@ -6,54 +6,70 @@ namespace pghive {
 
 namespace {
 
-// Counts key occurrences over instances and flips the mandatory bit for
-// keys present in all of them.
-template <typename TypeT, typename GetElem>
-void InferForType(TypeT* t, GetElem get) {
-  std::unordered_map<std::string, size_t> counts;
-  for (auto id : t->instances) {
-    for (const auto& [k, v] : get(id).properties) ++counts[k];
+// Histogram of interned key-set ids over a type's instances. All
+// key-presence questions reduce to "does key k appear in key set ks",
+// answered once per distinct set instead of once per instance.
+template <typename GetKeySet>
+std::unordered_map<KeySetId, size_t> KeySetCounts(
+    const std::vector<size_t>& instances, GetKeySet get_ks) {
+  std::unordered_map<KeySetId, size_t> counts;
+  for (auto id : instances) ++counts[get_ks(id)];
+  return counts;
+}
+
+size_t CountWithKey(const GraphSymbols& sym,
+                    const std::unordered_map<KeySetId, size_t>& ks_counts,
+                    const std::string& key) {
+  size_t count = 0;
+  for (const auto& [ks, n] : ks_counts) {
+    if (sym.key_sets.strings(ks).count(key)) count += n;
   }
+  return count;
+}
+
+// Flips the mandatory bit for keys present in every instance.
+template <typename TypeT, typename GetKeySet>
+void InferForType(const GraphSymbols& sym, TypeT* t, GetKeySet get_ks) {
+  auto ks_counts = KeySetCounts(t->instances, get_ks);
   for (const auto& key : t->property_keys) {
     PropertyConstraint& c = t->constraints[key];  // default-insert
-    auto it = counts.find(key);
-    c.mandatory = !t->instances.empty() && it != counts.end() &&
-                  it->second == t->instances.size();
+    c.mandatory = !t->instances.empty() &&
+                  CountWithKey(sym, ks_counts, key) == t->instances.size();
   }
 }
 
-template <typename TypeT, typename GetElem>
-double Frequency(const PropertyGraph&, const TypeT& t, const std::string& key,
-                 GetElem get) {
+template <typename TypeT, typename GetKeySet>
+double Frequency(const GraphSymbols& sym, const TypeT& t,
+                 const std::string& key, GetKeySet get_ks) {
   if (t.instances.empty()) return 0.0;
-  size_t count = 0;
-  for (auto id : t.instances) {
-    if (get(id).properties.count(key)) ++count;
-  }
-  return static_cast<double>(count) / static_cast<double>(t.instances.size());
+  auto ks_counts = KeySetCounts(t.instances, get_ks);
+  return static_cast<double>(CountWithKey(sym, ks_counts, key)) /
+         static_cast<double>(t.instances.size());
 }
 
 }  // namespace
 
 void InferPropertyConstraints(const PropertyGraph& g, SchemaGraph* schema) {
   for (auto& t : schema->node_types) {
-    InferForType(&t, [&](NodeId id) -> const Node& { return g.node(id); });
+    InferForType(g.symbols(), &t,
+                 [&](NodeId id) { return g.node(id).key_set; });
   }
   for (auto& t : schema->edge_types) {
-    InferForType(&t, [&](EdgeId id) -> const Edge& { return g.edge(id); });
+    InferForType(g.symbols(), &t,
+                 [&](EdgeId id) { return g.edge(id).key_set; });
   }
 }
 
 double NodePropertyFrequency(const PropertyGraph& g, const SchemaNodeType& t,
                              const std::string& key) {
-  return Frequency(g, t, key,
-                   [&](NodeId id) -> const Node& { return g.node(id); });
+  return Frequency(g.symbols(), t, key,
+                   [&](NodeId id) { return g.node(id).key_set; });
 }
 
 double EdgePropertyFrequency(const PropertyGraph& g, const SchemaEdgeType& t,
                              const std::string& key) {
-  return Frequency(g, t, key,
-                   [&](EdgeId id) -> const Edge& { return g.edge(id); });
+  return Frequency(g.symbols(), t, key,
+                   [&](EdgeId id) { return g.edge(id).key_set; });
 }
 
 }  // namespace pghive

@@ -20,9 +20,19 @@ DataType FoldValueTypes(const std::vector<const Value*>& values) {
 namespace {
 
 template <typename TypeT, typename GetElem>
-void InferForType(TypeT* t, const DataTypeInferenceOptions& options, Rng* rng,
+void InferForType(const GraphSymbols& sym, TypeT* t,
+                  const DataTypeInferenceOptions& options, Rng* rng,
                   GetElem get, ThreadPool* pool) {
   for (const auto& key : t->property_keys) {
+    // Key presence is a function of the interned key set, so resolve it
+    // once per distinct set; the per-instance scan then tests one byte
+    // before touching the property row. Filled before the parallel loop —
+    // chunks only read it.
+    std::vector<char> has(sym.key_sets.size(), 0);
+    for (size_t ks = 0; ks < has.size(); ++ks) {
+      has[ks] =
+          sym.key_sets.strings(static_cast<KeySetId>(ks)).count(key) ? 1 : 0;
+    }
     // Collect (pointers to) all observed values of this property. The scan
     // over instances is chunked; concatenating the per-chunk lists in chunk
     // order reproduces the sequential collection order exactly, which keeps
@@ -32,9 +42,9 @@ void InferForType(TypeT* t, const DataTypeInferenceOptions& options, Rng* rng,
         [&](size_t begin, size_t end) {
           std::vector<const Value*> chunk;
           for (size_t i = begin; i < end; ++i) {
-            const auto& props = get(t->instances[i]).properties;
-            auto it = props.find(key);
-            if (it != props.end()) chunk.push_back(&it->second);
+            const auto& elem = get(t->instances[i]);
+            if (!has[elem.key_set]) continue;
+            chunk.push_back(elem.properties.FindValue(key));
           }
           return chunk;
         },
@@ -66,12 +76,12 @@ void InferDataTypes(const PropertyGraph& g,
   Rng rng(options.seed, 0xd7);
   for (auto& t : schema->node_types) {
     InferForType(
-        &t, options, &rng,
+        g.symbols(), &t, options, &rng,
         [&](NodeId id) -> const Node& { return g.node(id); }, pool);
   }
   for (auto& t : schema->edge_types) {
     InferForType(
-        &t, options, &rng,
+        g.symbols(), &t, options, &rng,
         [&](EdgeId id) -> const Edge& { return g.edge(id); }, pool);
   }
 }

@@ -1,5 +1,6 @@
 #include "core/feature_encoder.h"
 
+#include <array>
 #include <map>
 #include <set>
 
@@ -10,13 +11,20 @@ namespace pghive {
 
 namespace {
 
-/// Dense index over the distinct property keys of a batch slice.
-template <typename GetElem>
-std::unordered_map<std::string, size_t> BuildKeyIndex(size_t begin, size_t end,
-                                                      GetElem get) {
+/// Dense index over the distinct property keys of a batch slice. Visits
+/// each distinct interned key set once instead of every element's map.
+template <typename GetKeySet>
+std::unordered_map<std::string, size_t> BuildKeyIndex(const SymbolSetPool& pool,
+                                                      size_t begin, size_t end,
+                                                      GetKeySet get) {
+  std::vector<char> seen(pool.size(), 0);
   std::set<std::string> keys;
   for (size_t i = begin; i < end; ++i) {
-    for (const auto& [k, v] : get(i).properties) keys.insert(k);
+    const KeySetId ks = get(i);
+    if (seen[ks]) continue;
+    seen[ks] = 1;
+    const std::set<std::string>& s = pool.strings(ks);
+    keys.insert(s.begin(), s.end());
   }
   std::unordered_map<std::string, size_t> index;
   index.reserve(keys.size());
@@ -38,23 +46,41 @@ FeatureEncoder::FeatureEncoder(const LabelEmbedder* embedder,
 
 EncodedElements FeatureEncoder::EncodeNodes(const GraphBatch& batch) const {
   const PropertyGraph& g = *batch.graph;
-  auto key_index = BuildKeyIndex(batch.node_begin, batch.node_end,
-                                 [&](size_t i) -> const Node& {
-                                   return g.node(i);
-                                 });
+  auto key_index =
+      BuildKeyIndex(g.symbols().key_sets, batch.node_begin, batch.node_end,
+                    [&](size_t i) { return g.node(i).key_set; });
   const size_t K = key_index.size();
   const size_t d = static_cast<size_t>(embedder_->dimension());
 
-  // Every element writes only its own slot; the embedder and key index are
-  // read-only, so the parallel loop is race-free and order-independent.
+  // A node's encoding is a pure function of its (label-set, key-set)
+  // signature (plus the shared key index), so each distinct signature is
+  // encoded once and fanned out to its members — value-identical to
+  // per-element encoding, so everything downstream is bit-identical.
   EncodedElements out;
-  out.ids.resize(batch.num_nodes());
-  out.vectors.resize(batch.num_nodes());
-  out.token_sets.resize(batch.num_nodes());
-  ParallelFor(pool_, batch.num_nodes(), [&](size_t slot) {
+  const size_t count = batch.num_nodes();
+  out.ids.resize(count);
+  out.vectors.resize(count);
+  out.token_sets.resize(count);
+  out.sig_of.resize(count);
+  std::vector<int32_t> pos(g.symbols().node_signatures.size(), -1);
+  for (size_t slot = 0; slot < count; ++slot) {
     const size_t i = batch.node_begin + slot;
-    const Node& n = g.node(i);
     out.ids[slot] = i;
+    int32_t& p = pos[g.node(i).signature];
+    if (p < 0) {
+      p = static_cast<int32_t>(out.reps.size());
+      out.reps.push_back(slot);
+    }
+    out.sig_of[slot] = static_cast<size_t>(p);
+  }
+
+  // Representatives write only their own slot; the embedder and key index
+  // are read-only, so the parallel loops are race-free and
+  // order-independent.
+  std::vector<std::vector<float>> rep_vecs(out.reps.size());
+  std::vector<std::vector<std::string>> rep_tokens(out.reps.size());
+  ParallelFor(pool_, out.reps.size(), [&](size_t r) {
+    const Node& n = g.node(batch.node_begin + out.reps[r]);
 
     std::vector<float> vec;
     vec.reserve(d + K);
@@ -72,8 +98,13 @@ EncodedElements FeatureEncoder::EncodeNodes(const GraphBatch& batch) const {
       vec[d + key_index.at(k)] = 1.0f;
       tokens.push_back("prop:" + k);
     }
-    out.vectors[slot] = std::move(vec);
-    out.token_sets[slot] = std::move(tokens);
+    rep_vecs[r] = std::move(vec);
+    rep_tokens[r] = std::move(tokens);
+  });
+  ParallelFor(pool_, count, [&](size_t slot) {
+    const size_t r = out.sig_of[slot];
+    out.vectors[slot] = rep_vecs[r];
+    out.token_sets[slot] = rep_tokens[r];
   });
   return out;
 }
@@ -89,25 +120,66 @@ std::string FeatureEncoder::EndpointToken(
 EncodedElements FeatureEncoder::EncodeEdges(
     const GraphBatch& batch, const EndpointLabelMap& endpoint_labels) const {
   const PropertyGraph& g = *batch.graph;
-  auto key_index = BuildKeyIndex(batch.edge_begin, batch.edge_end,
-                                 [&](size_t i) -> const Edge& {
-                                   return g.edge(i);
-                                 });
+  auto key_index =
+      BuildKeyIndex(g.symbols().key_sets, batch.edge_begin, batch.edge_end,
+                    [&](size_t i) { return g.edge(i).key_set; });
   const size_t Q = key_index.size();
   const size_t d = static_cast<size_t>(embedder_->dimension());
 
+  // An edge's encoding is a pure function of (label-set, key-set, source
+  // token, target token). Labeled endpoints read their canonical token from
+  // the pool (precomputed once per distinct label set); unlabeled ones are
+  // memoized per node id.
+  const SymbolSetPool& label_pool = g.symbols().label_sets;
+  std::unordered_map<NodeId, std::string> unlabeled_memo;
+  auto token_ref = [&](const Node& n) -> const std::string& {
+    if (!n.labels.empty()) return label_pool.token(n.label_set);
+    auto it = unlabeled_memo.find(n.id);
+    if (it == unlabeled_memo.end()) {
+      it = unlabeled_memo.emplace(n.id, EndpointToken(n, endpoint_labels))
+               .first;
+    }
+    return it->second;
+  };
+  // Token CONTENT keys the grouping (views point into the pool and memo,
+  // both address-stable).
+  std::unordered_map<std::string_view, uint32_t> token_ids;
+  auto token_id = [&](const std::string& s) -> uint32_t {
+    return token_ids.emplace(s, static_cast<uint32_t>(token_ids.size()))
+        .first->second;
+  };
+
   EncodedElements out;
-  out.ids.resize(batch.num_edges());
-  out.vectors.resize(batch.num_edges());
-  out.token_sets.resize(batch.num_edges());
-  ParallelFor(pool_, batch.num_edges(), [&](size_t slot) {
+  const size_t count = batch.num_edges();
+  out.ids.resize(count);
+  out.vectors.resize(count);
+  out.token_sets.resize(count);
+  out.sig_of.resize(count);
+  std::map<std::array<uint32_t, 3>, int32_t> group_pos;
+  std::vector<const std::string*> rep_src, rep_tgt;
+  for (size_t slot = 0; slot < count; ++slot) {
     const size_t i = batch.edge_begin + slot;
-    const Edge& e = g.edge(i);
-    const Node& src = g.node(e.source);
-    const Node& tgt = g.node(e.target);
-    const std::string src_token = EndpointToken(src, endpoint_labels);
-    const std::string tgt_token = EndpointToken(tgt, endpoint_labels);
     out.ids[slot] = i;
+    const Edge& e = g.edge(i);
+    const std::string& src_token = token_ref(g.node(e.source));
+    const std::string& tgt_token = token_ref(g.node(e.target));
+    auto [it, fresh] = group_pos.try_emplace(
+        {e.signature, token_id(src_token), token_id(tgt_token)},
+        static_cast<int32_t>(out.reps.size()));
+    if (fresh) {
+      out.reps.push_back(slot);
+      rep_src.push_back(&src_token);
+      rep_tgt.push_back(&tgt_token);
+    }
+    out.sig_of[slot] = static_cast<size_t>(it->second);
+  }
+
+  std::vector<std::vector<float>> rep_vecs(out.reps.size());
+  std::vector<std::vector<std::string>> rep_tokens(out.reps.size());
+  ParallelFor(pool_, out.reps.size(), [&](size_t r) {
+    const Edge& e = g.edge(batch.edge_begin + out.reps[r]);
+    const std::string& src_token = *rep_src[r];
+    const std::string& tgt_token = *rep_tgt[r];
 
     std::vector<float> vec;
     vec.reserve(3 * d + Q);
@@ -140,8 +212,13 @@ EncodedElements FeatureEncoder::EncodeEdges(
       vec[3 * d + key_index.at(k)] = 1.0f;
       tokens.push_back("prop:" + k);
     }
-    out.vectors[slot] = std::move(vec);
-    out.token_sets[slot] = std::move(tokens);
+    rep_vecs[r] = std::move(vec);
+    rep_tokens[r] = std::move(tokens);
+  });
+  ParallelFor(pool_, count, [&](size_t slot) {
+    const size_t r = out.sig_of[slot];
+    out.vectors[slot] = rep_vecs[r];
+    out.token_sets[slot] = rep_tokens[r];
   });
   return out;
 }

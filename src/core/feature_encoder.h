@@ -31,6 +31,16 @@ struct EncodedElements {
   std::vector<std::vector<float>> vectors;
   /// Token sets for MinHash.
   std::vector<std::vector<std::string>> token_sets;
+  /// Signature fan-out. An element's encoding is a pure function of its
+  /// signature — nodes: the interned (label-set, key-set); edges: that plus
+  /// both endpoint tokens — so each distinct signature is encoded once.
+  /// sig_of[slot] is the element's dense signature-group index within this
+  /// batch; reps[group] is the slot of the group's first member (the one
+  /// actually encoded). vectors/token_sets are fully fanned out, so
+  /// consumers may ignore these fields; hashing-heavy consumers hash
+  /// reps only and fan the keys out (same bytes, far fewer hashes).
+  std::vector<size_t> sig_of;
+  std::vector<size_t> reps;
 };
 
 struct FeatureEncoderOptions {

@@ -63,12 +63,14 @@ Result<PropertyGraph> ApplyAliases(const PropertyGraph& g,
   PropertyGraph out = g;
   if (table.empty()) return out;
   for (size_t i = 0; i < out.num_nodes(); ++i) {
-    PGHIVE_ASSIGN_OR_RETURN(out.mutable_node(i).labels,
+    PGHIVE_ASSIGN_OR_RETURN(std::set<std::string> resolved,
                             ResolveSet(out.node(i).labels, table));
+    out.SetNodeLabels(i, resolved);
   }
   for (size_t i = 0; i < out.num_edges(); ++i) {
-    PGHIVE_ASSIGN_OR_RETURN(out.mutable_edge(i).labels,
+    PGHIVE_ASSIGN_OR_RETURN(std::set<std::string> resolved,
                             ResolveSet(out.edge(i).labels, table));
+    out.SetEdgeLabels(i, resolved);
   }
   return out;
 }

@@ -6,6 +6,7 @@
 #include "common/string_util.h"
 #include "core/cardinality.h"
 #include "core/constraints.h"
+#include "graph/graph_stats.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/parallel.h"
@@ -33,19 +34,28 @@ std::vector<std::vector<std::string>> BuildBatchLabelCorpus(
   // very separation the encoding needs (§4.1: the representation "prevents
   // semantically different nodes, or edges, from being merged due to their
   // same structure").
+  // Interned pass: collect the distinct label-set ids present, then insert
+  // their pooled canonical tokens into a sorted set. Deduplication is by
+  // token STRING (two distinct sets can join to the same token, e.g.
+  // {"A&B"} vs {"A","B"}), exactly as the string-based scan did.
   const PropertyGraph& g = *batch.graph;
-  std::set<std::string> tokens;
+  const SymbolSetPool& pool = g.symbols().label_sets;
+  std::vector<char> seen(pool.size(), 0);
+  auto add = [&](LabelSetId ls) {
+    if (ls != SymbolSetPool::kEmpty) seen[ls] = 1;
+  };
   for (size_t i = batch.node_begin; i < batch.node_end; ++i) {
-    const Node& n = g.node(i);
-    if (!n.labels.empty()) tokens.insert(CanonicalLabelToken(n.labels));
+    add(g.node(i).label_set);
   }
   for (size_t i = batch.edge_begin; i < batch.edge_end; ++i) {
     const Edge& e = g.edge(i);
-    if (!e.labels.empty()) tokens.insert(CanonicalLabelToken(e.labels));
-    const Node& src = g.node(e.source);
-    const Node& tgt = g.node(e.target);
-    if (!src.labels.empty()) tokens.insert(CanonicalLabelToken(src.labels));
-    if (!tgt.labels.empty()) tokens.insert(CanonicalLabelToken(tgt.labels));
+    add(e.label_set);
+    add(g.node(e.source).label_set);
+    add(g.node(e.target).label_set);
+  }
+  std::set<std::string> tokens;
+  for (size_t ls = 0; ls < seen.size(); ++ls) {
+    if (seen[ls]) tokens.insert(pool.token(static_cast<LabelSetId>(ls)));
   }
   std::vector<std::vector<std::string>> corpus;
   corpus.reserve(tokens.size());
@@ -58,20 +68,34 @@ namespace {
 // Distinct individual labels over a batch slice (the L of the alpha(L)
 // heuristic).
 size_t CountDistinctLabels(const GraphBatch& batch, ElementKind kind) {
+  // Interned ids are bijective with distinct label strings, so counting
+  // distinct SymbolIds over the distinct label sets present equals the old
+  // distinct-string count — without touching a single string.
   const PropertyGraph& g = *batch.graph;
-  std::set<std::string> labels;
+  const GraphSymbols& sym = g.symbols();
+  std::vector<char> set_seen(sym.label_sets.size(), 0);
+  std::vector<char> label_seen(sym.labels.size(), 0);
+  size_t count = 0;
+  auto add_set = [&](LabelSetId ls) {
+    if (set_seen[ls]) return;
+    set_seen[ls] = 1;
+    for (SymbolId sid : sym.label_sets.ids(ls)) {
+      if (!label_seen[sid]) {
+        label_seen[sid] = 1;
+        ++count;
+      }
+    }
+  };
   if (kind == ElementKind::kNode) {
     for (size_t i = batch.node_begin; i < batch.node_end; ++i) {
-      const auto& ls = g.node(i).labels;
-      labels.insert(ls.begin(), ls.end());
+      add_set(g.node(i).label_set);
     }
   } else {
     for (size_t i = batch.edge_begin; i < batch.edge_end; ++i) {
-      const auto& ls = g.edge(i).labels;
-      labels.insert(ls.begin(), ls.end());
+      add_set(g.edge(i).label_set);
     }
   }
-  return labels.size();
+  return count;
 }
 
 }  // namespace
@@ -159,11 +183,17 @@ Status PgHivePipeline::ProcessBatch(const GraphBatch& batch,
       PGHIVE_ASSIGN_OR_RETURN(
           EuclideanLsh lsh,
           EuclideanLsh::Create(enc.vectors[0].size(), lsh_opt));
-      // Per-element hashing is pure (read-only LSH state), so the map is
-      // deterministic at any thread count; keys[i] lands at index i.
-      std::vector<std::vector<uint64_t>> keys = ParallelMap(
-          pool, enc.vectors.size(),
-          [&](size_t i) { return lsh.Hash(enc.vectors[i]); });
+      // Hashing is pure (read-only LSH state) and members of a signature
+      // group share identical vectors, so only each group's representative
+      // is hashed and its keys fan out — byte-identical to hashing every
+      // element, at any thread count.
+      std::vector<std::vector<uint64_t>> rep_keys = ParallelMap(
+          pool, enc.reps.size(),
+          [&](size_t r) { return lsh.Hash(enc.vectors[enc.reps[r]]); });
+      std::vector<std::vector<uint64_t>> keys(enc.vectors.size());
+      for (size_t i = 0; i < keys.size(); ++i) {
+        keys[i] = rep_keys[enc.sig_of[i]];
+      }
       return ClusterByBucketKeys(keys);
     }
     MinHashLshOptions mh_opt = options_.minhash;
@@ -179,11 +209,16 @@ Status PgHivePipeline::ProcessBatch(const GraphBatch& batch,
     // Clustering rule: two elements share a cluster seed iff their whole
     // signatures agree (probability J^T) — similar sets collide often,
     // dissimilar ones rarely (§4.2). Fragments are reunited by Algorithm 2.
-    std::vector<std::vector<uint64_t>> keys = ParallelMap(
-        pool, enc.token_sets.size(), [&](size_t i) {
-          return std::vector<uint64_t>{
-              lsh.SignatureKey(lsh.Signature(enc.token_sets[i]))};
+    // Group members share identical token sets, so only representatives are
+    // MinHashed and the key fans out.
+    std::vector<uint64_t> rep_keys = ParallelMap(
+        pool, enc.reps.size(), [&](size_t r) {
+          return lsh.SignatureKey(lsh.Signature(enc.token_sets[enc.reps[r]]));
         });
+    std::vector<std::vector<uint64_t>> keys(enc.token_sets.size());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      keys[i] = {rep_keys[enc.sig_of[i]]};
+    }
     return ClusterByBucketKeys(keys);
   };
 
@@ -266,6 +301,7 @@ Result<SchemaGraph> PgHivePipeline::DiscoverSchema(const PropertyGraph& g) {
     span.AddAttr("nodes", static_cast<uint64_t>(g.num_nodes()));
     span.AddAttr("edges", static_cast<uint64_t>(g.num_edges()));
   }
+  if (obs::MetricsEnabled()) PublishGraphGauges(g);
   SchemaGraph schema;
   PGHIVE_RETURN_NOT_OK(ProcessBatch(FullBatch(g), &schema));
   if (options_.post_process) PostProcess(g, &schema);

@@ -44,17 +44,28 @@ size_t NextAbstractOrdinal(const TypeVec& types) {
 std::vector<Cluster> BuildNodeClusters(
     const PropertyGraph& g, const std::vector<size_t>& ids,
     const std::vector<std::vector<size_t>>& groups) {
+  // Members sharing an interned set contribute identical strings, so the
+  // union runs once per distinct set id instead of once per member.
+  const GraphSymbols& sym = g.symbols();
   std::vector<Cluster> clusters;
   clusters.reserve(groups.size());
   for (const auto& group : groups) {
     Cluster c;
     c.members.reserve(group.size());
+    std::set<LabelSetId> label_sets;
+    std::set<KeySetId> key_sets;
     for (size_t local : group) {
       size_t id = ids[local];
       c.members.push_back(id);
       const Node& n = g.node(id);
-      UnionInto(&c.labels, n.labels);
-      for (const auto& [k, v] : n.properties) c.property_keys.insert(k);
+      label_sets.insert(n.label_set);
+      key_sets.insert(n.key_set);
+    }
+    for (LabelSetId ls : label_sets) {
+      UnionInto(&c.labels, sym.label_sets.strings(ls));
+    }
+    for (KeySetId ks : key_sets) {
+      UnionInto(&c.property_keys, sym.key_sets.strings(ks));
     }
     clusters.push_back(std::move(c));
   }
@@ -66,30 +77,51 @@ std::vector<Cluster> BuildEdgeClusters(
     const std::vector<std::vector<size_t>>& groups,
     const std::unordered_map<size_t, std::set<std::string>>&
         endpoint_labels) {
+  const GraphSymbols& sym = g.symbols();
   std::vector<Cluster> clusters;
   clusters.reserve(groups.size());
-  auto endpoint_tokens = [&](const Node& n, std::set<std::string>* out) {
+  // Labeled endpoints dedupe by interned label-set id; unlabeled ones by
+  // node id (their tokens come from the discovered-type map).
+  auto endpoint_sets = [&](const Node& n, std::set<LabelSetId>* set_ids,
+                           std::set<size_t>* unlabeled) {
     if (!n.labels.empty()) {
-      out->insert(n.labels.begin(), n.labels.end());
-      return;
+      set_ids->insert(n.label_set);
+    } else {
+      unlabeled->insert(n.id);
     }
-    auto it = endpoint_labels.find(n.id);
-    if (it != endpoint_labels.end()) {
-      out->insert(it->second.begin(), it->second.end());
+  };
+  auto union_endpoints = [&](const std::set<LabelSetId>& set_ids,
+                             const std::set<size_t>& unlabeled,
+                             std::set<std::string>* out) {
+    for (LabelSetId ls : set_ids) UnionInto(out, sym.label_sets.strings(ls));
+    for (size_t id : unlabeled) {
+      auto it = endpoint_labels.find(id);
+      if (it != endpoint_labels.end()) UnionInto(out, it->second);
     }
   };
   for (const auto& group : groups) {
     Cluster c;
     c.members.reserve(group.size());
+    std::set<LabelSetId> label_sets, src_sets, tgt_sets;
+    std::set<KeySetId> key_sets;
+    std::set<size_t> src_unlabeled, tgt_unlabeled;
     for (size_t local : group) {
       size_t id = ids[local];
       c.members.push_back(id);
       const Edge& e = g.edge(id);
-      UnionInto(&c.labels, e.labels);
-      for (const auto& [k, v] : e.properties) c.property_keys.insert(k);
-      endpoint_tokens(g.node(e.source), &c.source_labels);
-      endpoint_tokens(g.node(e.target), &c.target_labels);
+      label_sets.insert(e.label_set);
+      key_sets.insert(e.key_set);
+      endpoint_sets(g.node(e.source), &src_sets, &src_unlabeled);
+      endpoint_sets(g.node(e.target), &tgt_sets, &tgt_unlabeled);
     }
+    for (LabelSetId ls : label_sets) {
+      UnionInto(&c.labels, sym.label_sets.strings(ls));
+    }
+    for (KeySetId ks : key_sets) {
+      UnionInto(&c.property_keys, sym.key_sets.strings(ks));
+    }
+    union_endpoints(src_sets, src_unlabeled, &c.source_labels);
+    union_endpoints(tgt_sets, tgt_unlabeled, &c.target_labels);
     clusters.push_back(std::move(c));
   }
   return clusters;

@@ -1,25 +1,42 @@
 #include "datagen/noise.h"
 
+#include <map>
+#include <set>
+#include <string>
+
 #include "common/random.h"
 
 namespace pghive {
 
 namespace {
 
+// One Bernoulli draw per property key in canonical (lexicographic) order,
+// then one draw for label availability — the exact RNG call sequence of the
+// pre-interning implementation, so noisy graphs are bit-identical.
 template <typename Elem>
-void ApplyNoiseToElement(Elem* e, const NoiseOptions& options, Rng* rng) {
-  if (options.property_removal > 0.0 && !e->properties.empty()) {
-    for (auto it = e->properties.begin(); it != e->properties.end();) {
+struct NoiseDecision {
+  bool drop_properties = false;
+  bool clear_labels = false;
+  std::map<std::string, Value> kept;
+};
+
+template <typename Elem>
+NoiseDecision<Elem> DecideNoise(const Elem& e, const NoiseOptions& options,
+                                Rng* rng) {
+  NoiseDecision<Elem> d;
+  if (options.property_removal > 0.0 && !e.properties.empty()) {
+    for (const auto& [k, v] : e.properties) {
       if (rng->Bernoulli(options.property_removal)) {
-        it = e->properties.erase(it);
+        d.drop_properties = true;
       } else {
-        ++it;
+        d.kept.emplace_hint(d.kept.end(), k, v);
       }
     }
   }
-  if (options.label_availability < 1.0 && !e->labels.empty()) {
-    if (!rng->Bernoulli(options.label_availability)) e->labels.clear();
+  if (options.label_availability < 1.0 && !e.labels.empty()) {
+    if (!rng->Bernoulli(options.label_availability)) d.clear_labels = true;
   }
+  return d;
 }
 
 }  // namespace
@@ -34,11 +51,16 @@ Result<PropertyGraph> InjectNoise(const PropertyGraph& g,
   }
   PropertyGraph noisy = g;
   Rng rng(options.seed, 0x401);
+  const std::set<std::string> no_labels;
   for (size_t i = 0; i < noisy.num_nodes(); ++i) {
-    ApplyNoiseToElement(&noisy.mutable_node(i), options, &rng);
+    auto d = DecideNoise(noisy.node(i), options, &rng);
+    if (d.drop_properties) noisy.SetNodeProperties(i, d.kept);
+    if (d.clear_labels) noisy.SetNodeLabels(i, no_labels);
   }
   for (size_t i = 0; i < noisy.num_edges(); ++i) {
-    ApplyNoiseToElement(&noisy.mutable_edge(i), options, &rng);
+    auto d = DecideNoise(noisy.edge(i), options, &rng);
+    if (d.drop_properties) noisy.SetEdgeProperties(i, d.kept);
+    if (d.clear_labels) noisy.SetEdgeLabels(i, no_labels);
   }
   return noisy;
 }

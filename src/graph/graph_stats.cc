@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <set>
 
+#include "obs/metrics.h"
+
 namespace pghive {
 
 GraphStats ComputeGraphStats(const PropertyGraph& g, const std::string& name) {
@@ -33,6 +35,25 @@ std::string FormatStatsHeader() {
                 "Dataset", "Nodes", "Edges", "NTyp", "ETyp", "NLab", "ELab",
                 "NPat", "EPat");
   return buf;
+}
+
+void PublishGraphGauges(const PropertyGraph& g) {
+  auto& reg = obs::MetricsRegistry::Global();
+  const GraphSymbols& sym = g.symbols();
+  reg.GetGauge("pghive.graph.node_signatures")
+      ->Set(static_cast<int64_t>(g.NodeSignatureGroups().size()));
+  reg.GetGauge("pghive.graph.edge_signatures")
+      ->Set(static_cast<int64_t>(g.EdgeSignatureGroups().size()));
+  reg.GetGauge("pghive.graph.interned_labels")
+      ->Set(static_cast<int64_t>(sym.labels.size()));
+  reg.GetGauge("pghive.graph.interned_keys")
+      ->Set(static_cast<int64_t>(sym.keys.size()));
+  reg.GetGauge("pghive.graph.label_sets")
+      ->Set(static_cast<int64_t>(sym.label_sets.size()));
+  reg.GetGauge("pghive.graph.key_sets")
+      ->Set(static_cast<int64_t>(sym.key_sets.size()));
+  reg.GetGauge("pghive.graph.approx_bytes")
+      ->Set(static_cast<int64_t>(g.ApproxBytes()));
 }
 
 std::string FormatStatsRow(const GraphStats& s) {

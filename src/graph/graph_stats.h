@@ -32,6 +32,12 @@ GraphStats ComputeGraphStats(const PropertyGraph& g, const std::string& name);
 std::string FormatStatsHeader();
 std::string FormatStatsRow(const GraphStats& s);
 
+/// Publishes the interned-core gauges for `g` to the global metrics
+/// registry (pghive.graph.*): distinct node/edge signatures, interned
+/// symbol and canonical-set counts, and the approximate heap footprint.
+/// Point-in-time values — the last published graph wins.
+void PublishGraphGauges(const PropertyGraph& g);
+
 }  // namespace pghive
 
 #endif  // PGHIVE_GRAPH_GRAPH_STATS_H_

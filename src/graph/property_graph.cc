@@ -1,21 +1,145 @@
 #include "graph/property_graph.h"
 
 #include <algorithm>
-#include <unordered_set>
-
-#include "common/hash.h"
-#include "common/string_util.h"
+#include <stdexcept>
+#include <tuple>
 
 namespace pghive {
+
+const std::set<std::string>& LabelSetView::EmptySet() {
+  static const std::set<std::string> empty;
+  return empty;
+}
+
+size_t PropertyMapView::FindIndex(const std::string& key) const {
+  if (keys_ == nullptr) return kNotFound;
+  // Key ids are ordered by name; binary search on the names.
+  size_t lo = 0, hi = keys_->size();
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    const std::string& name = table_->name((*keys_)[mid]);
+    if (name < key) {
+      lo = mid + 1;
+    } else if (key < name) {
+      hi = mid;
+    } else {
+      return mid;
+    }
+  }
+  return kNotFound;
+}
+
+PropertyMapView::iterator PropertyMapView::find(const std::string& key) const {
+  size_t i = FindIndex(key);
+  return {table_, keys_, values_, i == kNotFound ? size() : i};
+}
+
+const Value& PropertyMapView::at(const std::string& key) const {
+  size_t i = FindIndex(key);
+  if (i == kNotFound) {
+    throw std::out_of_range("PropertyMapView::at: no key '" + key + "'");
+  }
+  return (*values_)[i];
+}
+
+std::map<std::string, Value> PropertyMapView::ToMap() const {
+  std::map<std::string, Value> out;
+  for (size_t i = 0; i < size(); ++i) {
+    out.emplace_hint(out.end(), key_at(i), value_at(i));
+  }
+  return out;
+}
+
+bool operator==(const PropertyMapView& a,
+                const std::map<std::string, Value>& b) {
+  if (a.size() != b.size()) return false;
+  size_t i = 0;
+  for (const auto& [k, v] : b) {
+    if (a.key_at(i) != k || !(a.value_at(i) == v)) return false;
+    ++i;
+  }
+  return true;
+}
+
+bool operator==(const PropertyMapView& a, const PropertyMapView& b) {
+  const size_t n = a.size();
+  if (n != b.size()) return false;
+  // Same table + same canonical key-id vector => identical keys.
+  const bool same_keys = a.keys_ == b.keys_ && a.table_ == b.table_;
+  for (size_t i = 0; i < n; ++i) {
+    if (!same_keys && a.key_at(i) != b.key_at(i)) return false;
+    if (!(a.value_at(i) == b.value_at(i))) return false;
+  }
+  return true;
+}
+
+PropertyGraph::PropertyGraph() : symbols_(std::make_shared<GraphSymbols>()) {}
+
+PropertyGraph::PropertyGraph(std::shared_ptr<GraphSymbols> symbols)
+    : symbols_(std::move(symbols)) {}
+
+void PropertyGraph::InternNode(Node* n, const std::set<std::string>& labels,
+                               const std::map<std::string, Value>& properties) {
+  n->label_set = symbols_->label_sets.Intern(labels);
+  std::vector<std::string_view> keys;
+  keys.reserve(properties.size());
+  for (const auto& [k, v] : properties) keys.push_back(k);
+  n->key_set = symbols_->key_sets.InternSorted(keys);
+  n->signature = symbols_->node_signatures.Intern(n->label_set, n->key_set);
+
+  auto row = std::make_shared<std::vector<Value>>();
+  row->reserve(properties.size());
+  for (const auto& [k, v] : properties) row->push_back(v);
+  n->values_ = std::move(row);
+
+  n->labels = LabelSetView(&symbols_->label_sets.strings(n->label_set));
+  n->properties = PropertyMapView(&symbols_->keys,
+                                  &symbols_->key_sets.ids(n->key_set),
+                                  n->values_.get());
+}
+
+void PropertyGraph::InternEdge(Edge* e, const std::set<std::string>& labels,
+                               const std::map<std::string, Value>& properties) {
+  e->label_set = symbols_->label_sets.Intern(labels);
+  std::vector<std::string_view> keys;
+  keys.reserve(properties.size());
+  for (const auto& [k, v] : properties) keys.push_back(k);
+  e->key_set = symbols_->key_sets.InternSorted(keys);
+  e->signature = symbols_->edge_signatures.Intern(e->label_set, e->key_set);
+
+  auto row = std::make_shared<std::vector<Value>>();
+  row->reserve(properties.size());
+  for (const auto& [k, v] : properties) row->push_back(v);
+  e->values_ = std::move(row);
+
+  e->labels = LabelSetView(&symbols_->label_sets.strings(e->label_set));
+  e->properties = PropertyMapView(&symbols_->keys,
+                                  &symbols_->key_sets.ids(e->key_set),
+                                  e->values_.get());
+}
+
+void PropertyGraph::AppendToIndex(std::vector<SignatureGroup>* groups,
+                                  std::vector<int32_t>* pos, SignatureId sig,
+                                  uint64_t member) {
+  if (sig >= pos->size()) pos->resize(sig + 1, -1);
+  int32_t& p = (*pos)[sig];
+  if (p < 0) {
+    p = static_cast<int32_t>(groups->size());
+    groups->push_back(SignatureGroup{sig, {}});
+  }
+  (*groups)[p].members.push_back(member);
+}
 
 NodeId PropertyGraph::AddNode(std::set<std::string> labels,
                               std::map<std::string, Value> properties,
                               std::string truth_type) {
   Node n;
   n.id = nodes_.size();
-  n.labels = std::move(labels);
-  n.properties = std::move(properties);
   n.truth_type = std::move(truth_type);
+  InternNode(&n, labels, properties);
+  if (!sig_index_dirty_) {
+    AppendToIndex(&node_sig_groups_, &node_sig_pos_, n.signature, n.id);
+  }
   nodes_.push_back(std::move(n));
   return nodes_.back().id;
 }
@@ -31,91 +155,268 @@ Result<EdgeId> PropertyGraph::AddEdge(NodeId source, NodeId target,
   e.id = edges_.size();
   e.source = source;
   e.target = target;
-  e.labels = std::move(labels);
-  e.properties = std::move(properties);
   e.truth_type = std::move(truth_type);
+  InternEdge(&e, labels, properties);
+  if (!sig_index_dirty_) {
+    AppendToIndex(&edge_sig_groups_, &edge_sig_pos_, e.signature, e.id);
+  }
   edges_.push_back(std::move(e));
   return edges_.back().id;
 }
 
+Result<NodeId> PropertyGraph::AddNodeInterned(LabelSetId label_set,
+                                              KeySetId key_set,
+                                              std::vector<Value> values,
+                                              std::string truth_type) {
+  if (label_set >= symbols_->label_sets.size() ||
+      key_set >= symbols_->key_sets.size()) {
+    return Status::InvalidArgument("interned set id out of range");
+  }
+  if (values.size() != symbols_->key_sets.set_size(key_set)) {
+    return Status::InvalidArgument(
+        "value row length does not match the key set");
+  }
+  Node n;
+  n.id = nodes_.size();
+  n.truth_type = std::move(truth_type);
+  n.label_set = label_set;
+  n.key_set = key_set;
+  n.signature = symbols_->node_signatures.Intern(label_set, key_set);
+  n.values_ = std::make_shared<std::vector<Value>>(std::move(values));
+  n.labels = LabelSetView(&symbols_->label_sets.strings(label_set));
+  n.properties = PropertyMapView(&symbols_->keys,
+                                 &symbols_->key_sets.ids(key_set),
+                                 n.values_.get());
+  if (!sig_index_dirty_) {
+    AppendToIndex(&node_sig_groups_, &node_sig_pos_, n.signature, n.id);
+  }
+  nodes_.push_back(std::move(n));
+  return nodes_.back().id;
+}
+
+Result<EdgeId> PropertyGraph::AddEdgeInterned(NodeId source, NodeId target,
+                                              LabelSetId label_set,
+                                              KeySetId key_set,
+                                              std::vector<Value> values,
+                                              std::string truth_type) {
+  if (source >= nodes_.size() || target >= nodes_.size()) {
+    return Status::InvalidArgument("edge endpoint does not exist");
+  }
+  if (label_set >= symbols_->label_sets.size() ||
+      key_set >= symbols_->key_sets.size()) {
+    return Status::InvalidArgument("interned set id out of range");
+  }
+  if (values.size() != symbols_->key_sets.set_size(key_set)) {
+    return Status::InvalidArgument(
+        "value row length does not match the key set");
+  }
+  Edge e;
+  e.id = edges_.size();
+  e.source = source;
+  e.target = target;
+  e.truth_type = std::move(truth_type);
+  e.label_set = label_set;
+  e.key_set = key_set;
+  e.signature = symbols_->edge_signatures.Intern(label_set, key_set);
+  e.values_ = std::make_shared<std::vector<Value>>(std::move(values));
+  e.labels = LabelSetView(&symbols_->label_sets.strings(label_set));
+  e.properties = PropertyMapView(&symbols_->keys,
+                                 &symbols_->key_sets.ids(key_set),
+                                 e.values_.get());
+  if (!sig_index_dirty_) {
+    AppendToIndex(&edge_sig_groups_, &edge_sig_pos_, e.signature, e.id);
+  }
+  edges_.push_back(std::move(e));
+  return edges_.back().id;
+}
+
+void PropertyGraph::SetNodeLabels(NodeId id, const std::set<std::string>& labels) {
+  Node& n = nodes_[id];
+  n.label_set = symbols_->label_sets.Intern(labels);
+  n.signature = symbols_->node_signatures.Intern(n.label_set, n.key_set);
+  n.labels = LabelSetView(&symbols_->label_sets.strings(n.label_set));
+  sig_index_dirty_ = true;
+}
+
+void PropertyGraph::SetEdgeLabels(EdgeId id, const std::set<std::string>& labels) {
+  Edge& e = edges_[id];
+  e.label_set = symbols_->label_sets.Intern(labels);
+  e.signature = symbols_->edge_signatures.Intern(e.label_set, e.key_set);
+  e.labels = LabelSetView(&symbols_->label_sets.strings(e.label_set));
+  sig_index_dirty_ = true;
+}
+
+void PropertyGraph::SetNodeProperties(NodeId id,
+                                      const std::map<std::string, Value>& props) {
+  Node& n = nodes_[id];
+  std::vector<std::string_view> keys;
+  keys.reserve(props.size());
+  for (const auto& [k, v] : props) keys.push_back(k);
+  n.key_set = symbols_->key_sets.InternSorted(keys);
+  n.signature = symbols_->node_signatures.Intern(n.label_set, n.key_set);
+  auto row = std::make_shared<std::vector<Value>>();
+  row->reserve(props.size());
+  for (const auto& [k, v] : props) row->push_back(v);
+  n.values_ = std::move(row);
+  n.properties = PropertyMapView(&symbols_->keys,
+                                 &symbols_->key_sets.ids(n.key_set),
+                                 n.values_.get());
+  sig_index_dirty_ = true;
+}
+
+void PropertyGraph::SetEdgeProperties(EdgeId id,
+                                      const std::map<std::string, Value>& props) {
+  Edge& e = edges_[id];
+  std::vector<std::string_view> keys;
+  keys.reserve(props.size());
+  for (const auto& [k, v] : props) keys.push_back(k);
+  e.key_set = symbols_->key_sets.InternSorted(keys);
+  e.signature = symbols_->edge_signatures.Intern(e.label_set, e.key_set);
+  auto row = std::make_shared<std::vector<Value>>();
+  row->reserve(props.size());
+  for (const auto& [k, v] : props) row->push_back(v);
+  e.values_ = std::move(row);
+  e.properties = PropertyMapView(&symbols_->keys,
+                                 &symbols_->key_sets.ids(e.key_set),
+                                 e.values_.get());
+  sig_index_dirty_ = true;
+}
+
+void PropertyGraph::RebuildSignatureIndex() const {
+  node_sig_groups_.clear();
+  edge_sig_groups_.clear();
+  node_sig_pos_.assign(symbols_->node_signatures.size(), -1);
+  edge_sig_pos_.assign(symbols_->edge_signatures.size(), -1);
+  for (const Node& n : nodes_) {
+    AppendToIndex(&node_sig_groups_, &node_sig_pos_, n.signature, n.id);
+  }
+  for (const Edge& e : edges_) {
+    AppendToIndex(&edge_sig_groups_, &edge_sig_pos_, e.signature, e.id);
+  }
+  sig_index_dirty_ = false;
+}
+
+const std::vector<PropertyGraph::SignatureGroup>&
+PropertyGraph::NodeSignatureGroups() const {
+  if (sig_index_dirty_) RebuildSignatureIndex();
+  return node_sig_groups_;
+}
+
+const std::vector<PropertyGraph::SignatureGroup>&
+PropertyGraph::EdgeSignatureGroups() const {
+  if (sig_index_dirty_) RebuildSignatureIndex();
+  return edge_sig_groups_;
+}
+
 namespace {
 
-template <typename Elems>
-std::vector<std::string> CollectPropertyKeys(const Elems& elems) {
-  std::set<std::string> keys;
+// Collects the union of pooled sets over the distinct set ids present,
+// visiting each distinct set once.
+template <typename Elems, typename GetSetId>
+std::vector<std::string> CollectDistinct(const Elems& elems,
+                                         const SymbolSetPool& pool,
+                                         GetSetId get) {
+  std::vector<char> seen(pool.size(), 0);
+  std::set<std::string> out;
   for (const auto& e : elems) {
-    for (const auto& [k, v] : e.properties) keys.insert(k);
+    SymbolSetId id = get(e);
+    if (seen[id]) continue;
+    seen[id] = 1;
+    const std::set<std::string>& s = pool.strings(id);
+    out.insert(s.begin(), s.end());
   }
-  return {keys.begin(), keys.end()};
-}
-
-template <typename Elems>
-std::vector<std::string> CollectLabels(const Elems& elems) {
-  std::set<std::string> labels;
-  for (const auto& e : elems) {
-    labels.insert(e.labels.begin(), e.labels.end());
-  }
-  return {labels.begin(), labels.end()};
-}
-
-template <typename Elem>
-uint64_t PatternSignature(const Elem& e) {
-  uint64_t h = 0x12345;
-  for (const auto& l : e.labels) h = HashCombine(h, HashString(l));
-  h = HashCombine(h, 0xdeadbeefULL);
-  for (const auto& [k, v] : e.properties) h = HashCombine(h, HashString(k));
-  return h;
+  return {out.begin(), out.end()};
 }
 
 }  // namespace
 
 std::vector<std::string> PropertyGraph::NodePropertyKeys() const {
-  return CollectPropertyKeys(nodes_);
+  return CollectDistinct(nodes_, symbols_->key_sets,
+                         [](const Node& n) { return n.key_set; });
 }
 
 std::vector<std::string> PropertyGraph::EdgePropertyKeys() const {
-  return CollectPropertyKeys(edges_);
+  return CollectDistinct(edges_, symbols_->key_sets,
+                         [](const Edge& e) { return e.key_set; });
 }
 
 std::vector<std::string> PropertyGraph::NodeLabels() const {
-  return CollectLabels(nodes_);
+  return CollectDistinct(nodes_, symbols_->label_sets,
+                         [](const Node& n) { return n.label_set; });
 }
 
 std::vector<std::string> PropertyGraph::EdgeLabels() const {
-  return CollectLabels(edges_);
+  return CollectDistinct(edges_, symbols_->label_sets,
+                         [](const Edge& e) { return e.label_set; });
 }
 
 size_t PropertyGraph::CountNodePatterns() const {
-  std::unordered_set<uint64_t> sigs;
-  sigs.reserve(nodes_.size());
-  for (const auto& n : nodes_) sigs.insert(PatternSignature(n));
-  return sigs.size();
+  return NodeSignatureGroups().size();
 }
 
 size_t PropertyGraph::CountEdgePatterns() const {
-  std::unordered_set<uint64_t> sigs;
-  sigs.reserve(edges_.size());
-  for (const auto& e : edges_) {
-    uint64_t h = PatternSignature(e);
-    // Edge patterns additionally include source/target label sets (Def 3.6).
-    for (const auto& l : nodes_[e.source].labels) {
-      h = HashCombine(h, HashString(l) ^ 0x1111);
-    }
-    h = HashCombine(h, 0x2222ULL);
-    for (const auto& l : nodes_[e.target].labels) {
-      h = HashCombine(h, HashString(l) ^ 0x3333);
-    }
-    sigs.insert(h);
+  // Edge patterns additionally include source/target label sets (Def 3.6);
+  // interned ids make the count exact (no hashing).
+  std::set<std::tuple<SignatureId, LabelSetId, LabelSetId>> distinct;
+  for (const Edge& e : edges_) {
+    distinct.emplace(e.signature, nodes_[e.source].label_set,
+                     nodes_[e.target].label_set);
   }
-  return sigs.size();
+  return distinct.size();
+}
+
+size_t PropertyGraph::ApproxBytes() const {
+  size_t bytes = symbols_->ApproxBytes();
+  bytes += nodes_.capacity() * sizeof(Node);
+  bytes += edges_.capacity() * sizeof(Edge);
+  for (const Node& n : nodes_) {
+    bytes += n.truth_type.capacity();
+    if (n.values_) bytes += n.values_->capacity() * sizeof(Value);
+  }
+  for (const Edge& e : edges_) {
+    bytes += e.truth_type.capacity();
+    if (e.values_) bytes += e.values_->capacity() * sizeof(Value);
+  }
+  return bytes;
+}
+
+NodeData ToData(const Node& n) {
+  NodeData d;
+  d.id = n.id;
+  d.labels = n.labels;
+  d.properties = n.properties.ToMap();
+  d.truth_type = n.truth_type;
+  return d;
+}
+
+EdgeData ToData(const Edge& e) {
+  EdgeData d;
+  d.id = e.id;
+  d.source = e.source;
+  d.target = e.target;
+  d.labels = e.labels;
+  d.properties = e.properties.ToMap();
+  d.truth_type = e.truth_type;
+  return d;
 }
 
 namespace {
 
+// Shared-context fast path: identical interned ids => identical label/key
+// sets; only rows and truth tags need comparing.
+bool SameContext(const PropertyGraph& a, const PropertyGraph& b) {
+  return &a.symbols() == &b.symbols();
+}
+
 template <typename Elem>
-bool ElementsEqual(const Elem& a, const Elem& b) {
-  return a.id == b.id && a.labels == b.labels &&
-         a.properties == b.properties && a.truth_type == b.truth_type;
+bool ElementsEqual(const Elem& a, const Elem& b, bool same_context) {
+  if (a.id != b.id || a.truth_type != b.truth_type) return false;
+  if (same_context) {
+    if (a.label_set != b.label_set || a.key_set != b.key_set) return false;
+  } else {
+    if (!(a.labels == b.labels)) return false;
+  }
+  return a.properties == b.properties;
 }
 
 }  // namespace
@@ -124,14 +425,15 @@ bool GraphsEqual(const PropertyGraph& a, const PropertyGraph& b) {
   if (a.num_nodes() != b.num_nodes() || a.num_edges() != b.num_edges()) {
     return false;
   }
+  const bool same = SameContext(a, b);
   for (size_t i = 0; i < a.num_nodes(); ++i) {
-    if (!ElementsEqual(a.node(i), b.node(i))) return false;
+    if (!ElementsEqual(a.node(i), b.node(i), same)) return false;
   }
   for (size_t i = 0; i < a.num_edges(); ++i) {
     const Edge& ea = a.edge(i);
     const Edge& eb = b.edge(i);
     if (ea.source != eb.source || ea.target != eb.target ||
-        !ElementsEqual(ea, eb)) {
+        !ElementsEqual(ea, eb, same)) {
       return false;
     }
   }

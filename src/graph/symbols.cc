@@ -1,0 +1,115 @@
+#include "graph/symbols.h"
+
+#include "common/hash.h"
+#include "common/string_util.h"
+
+namespace pghive {
+
+SymbolId SymbolTable::Intern(std::string_view s) {
+  auto it = index_.find(s);
+  if (it != index_.end()) return it->second;
+  SymbolId id = static_cast<SymbolId>(names_.size());
+  names_.emplace_back(s);
+  index_.emplace(std::string_view(names_.back()), id);
+  return id;
+}
+
+const SymbolId* SymbolTable::Find(std::string_view s) const {
+  auto it = index_.find(s);
+  return it == index_.end() ? nullptr : &it->second;
+}
+
+size_t SymbolTable::ApproxBytes() const {
+  size_t bytes = names_.size() * sizeof(std::string);
+  for (const std::string& s : names_) bytes += s.capacity();
+  bytes += index_.size() *
+           (sizeof(std::string_view) + sizeof(SymbolId) + sizeof(void*));
+  return bytes;
+}
+
+SymbolSetPool::SymbolSetPool(SymbolTable* symbols) : symbols_(symbols) {
+  // Pre-intern the empty set as id 0 so "no labels" / "no properties" never
+  // needs a lookup.
+  ids_.emplace_back();
+  strings_.emplace_back();
+  tokens_.emplace_back();
+  index_[HashSequence({})].push_back(kEmpty);
+}
+
+namespace {
+
+uint64_t HashIdSequence(const std::vector<SymbolId>& ids) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (SymbolId id : ids) h = HashCombine(h, id);
+  return h;
+}
+
+}  // namespace
+
+SymbolSetId SymbolSetPool::Intern(const std::set<std::string>& strings) {
+  std::vector<std::string_view> sorted;
+  sorted.reserve(strings.size());
+  for (const std::string& s : strings) sorted.push_back(s);
+  return InternSorted(sorted);
+}
+
+SymbolSetId SymbolSetPool::InternSorted(
+    const std::vector<std::string_view>& sorted) {
+  // The input is in lexicographic (canonical) order, so the id vector below
+  // is the canonical name-ordered form by construction.
+  std::vector<SymbolId> ids;
+  ids.reserve(sorted.size());
+  for (std::string_view s : sorted) ids.push_back(symbols_->Intern(s));
+
+  const uint64_t h = HashIdSequence(ids);
+  std::vector<SymbolSetId>& bucket = index_[h];
+  for (SymbolSetId candidate : bucket) {
+    if (ids_[candidate] == ids) return candidate;
+  }
+  SymbolSetId id = static_cast<SymbolSetId>(ids_.size());
+  std::set<std::string> materialized;
+  for (std::string_view s : sorted) materialized.emplace_hint(
+      materialized.end(), s);
+  tokens_.push_back(CanonicalLabelToken(materialized));
+  ids_.push_back(std::move(ids));
+  strings_.push_back(std::move(materialized));
+  bucket.push_back(id);
+  return id;
+}
+
+size_t SymbolSetPool::ApproxBytes() const {
+  size_t bytes = 0;
+  for (const auto& v : ids_) bytes += sizeof(v) + v.capacity() * sizeof(SymbolId);
+  for (const auto& s : strings_) {
+    bytes += sizeof(s);
+    for (const std::string& m : s) bytes += sizeof(m) + m.capacity() + 32;
+  }
+  for (const std::string& t : tokens_) bytes += sizeof(t) + t.capacity();
+  bytes += index_.size() * (sizeof(uint64_t) + sizeof(std::vector<SymbolSetId>) +
+                            sizeof(void*));
+  return bytes;
+}
+
+SignatureId SignaturePool::Intern(SymbolSetId label_set, SymbolSetId key_set) {
+  const uint64_t key =
+      (static_cast<uint64_t>(label_set) << 32) | static_cast<uint64_t>(key_set);
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  SignatureId id = static_cast<SignatureId>(sigs_.size());
+  sigs_.emplace_back(label_set, key_set);
+  index_.emplace(key, id);
+  return id;
+}
+
+size_t SignaturePool::ApproxBytes() const {
+  return sigs_.capacity() * sizeof(sigs_[0]) +
+         index_.size() * (sizeof(uint64_t) + sizeof(SignatureId) + sizeof(void*));
+}
+
+size_t GraphSymbols::ApproxBytes() const {
+  return labels.ApproxBytes() + keys.ApproxBytes() + label_sets.ApproxBytes() +
+         key_sets.ApproxBytes() + node_signatures.ApproxBytes() +
+         edge_signatures.ApproxBytes();
+}
+
+}  // namespace pghive

@@ -1,5 +1,8 @@
 #include "store/codec.h"
 
+#include <map>
+#include <unordered_map>
+
 namespace pghive {
 namespace store {
 
@@ -201,8 +204,13 @@ void EncodeNode(const Node& n, BinaryWriter* w) {
   EncodeElementCommon(n, w);
 }
 
-Result<Node> DecodeNode(BinaryReader* r) {
-  Node n;
+void EncodeNode(const NodeData& n, BinaryWriter* w) {
+  w->WriteU64(n.id);
+  EncodeElementCommon(n, w);
+}
+
+Result<NodeData> DecodeNode(BinaryReader* r) {
+  NodeData n;
   PGHIVE_ASSIGN_OR_RETURN(n.id, r->ReadU64());
   PGHIVE_RETURN_NOT_OK(DecodeElementCommon(r, &n));
   return n;
@@ -215,8 +223,15 @@ void EncodeEdge(const Edge& e, BinaryWriter* w) {
   EncodeElementCommon(e, w);
 }
 
-Result<Edge> DecodeEdge(BinaryReader* r) {
-  Edge e;
+void EncodeEdge(const EdgeData& e, BinaryWriter* w) {
+  w->WriteU64(e.id);
+  w->WriteU64(e.source);
+  w->WriteU64(e.target);
+  EncodeElementCommon(e, w);
+}
+
+Result<EdgeData> DecodeEdge(BinaryReader* r) {
+  EdgeData e;
   PGHIVE_ASSIGN_OR_RETURN(e.id, r->ReadU64());
   PGHIVE_ASSIGN_OR_RETURN(e.source, r->ReadU64());
   PGHIVE_ASSIGN_OR_RETURN(e.target, r->ReadU64());
@@ -235,7 +250,7 @@ Result<PropertyGraph> DecodeGraph(BinaryReader* r) {
   PropertyGraph g;
   PGHIVE_ASSIGN_OR_RETURN(uint64_t num_nodes, r->ReadU64());
   for (uint64_t i = 0; i < num_nodes; ++i) {
-    PGHIVE_ASSIGN_OR_RETURN(Node n, DecodeNode(r));
+    PGHIVE_ASSIGN_OR_RETURN(NodeData n, DecodeNode(r));
     if (n.id != i) {
       return Status::ParseError("graph node ids must be dense 0..n-1");
     }
@@ -244,7 +259,7 @@ Result<PropertyGraph> DecodeGraph(BinaryReader* r) {
   }
   PGHIVE_ASSIGN_OR_RETURN(uint64_t num_edges, r->ReadU64());
   for (uint64_t i = 0; i < num_edges; ++i) {
-    PGHIVE_ASSIGN_OR_RETURN(Edge e, DecodeEdge(r));
+    PGHIVE_ASSIGN_OR_RETURN(EdgeData e, DecodeEdge(r));
     if (e.id != i) {
       return Status::ParseError("graph edge ids must be dense 0..m-1");
     }
@@ -258,8 +273,160 @@ Result<PropertyGraph> DecodeGraph(BinaryReader* r) {
   return g;
 }
 
-void EncodeBatchPayload(const std::vector<Node>& nodes,
-                        const std::vector<Edge>& edges, BinaryWriter* w) {
+namespace {
+
+void EncodeStringTable(const SymbolTable& table, BinaryWriter* w) {
+  w->WriteU32(static_cast<uint32_t>(table.size()));
+  for (size_t i = 0; i < table.size(); ++i) {
+    w->WriteString(table.name(static_cast<SymbolId>(i)));
+  }
+}
+
+Status DecodeStringTable(BinaryReader* r, SymbolTable* table) {
+  PGHIVE_ASSIGN_OR_RETURN(uint32_t n, r->ReadU32());
+  for (uint32_t i = 0; i < n; ++i) {
+    PGHIVE_ASSIGN_OR_RETURN(std::string name, r->ReadString());
+    if (table->Intern(name) != i) {
+      return Status::ParseError("symbol table contains a duplicate string");
+    }
+  }
+  return Status::OK();
+}
+
+void EncodeSetPool(const SymbolSetPool& pool, BinaryWriter* w) {
+  w->WriteU32(static_cast<uint32_t>(pool.size()));
+  for (size_t s = 0; s < pool.size(); ++s) {
+    const auto& ids = pool.ids(static_cast<SymbolSetId>(s));
+    w->WriteU32(static_cast<uint32_t>(ids.size()));
+    for (SymbolId id : ids) w->WriteU32(id);
+  }
+}
+
+Status DecodeSetPool(BinaryReader* r, const SymbolTable& table,
+                     SymbolSetPool* pool) {
+  PGHIVE_ASSIGN_OR_RETURN(uint32_t num_sets, r->ReadU32());
+  std::vector<std::string_view> members;
+  for (uint32_t s = 0; s < num_sets; ++s) {
+    PGHIVE_ASSIGN_OR_RETURN(uint32_t n, r->ReadU32());
+    members.clear();
+    members.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      PGHIVE_ASSIGN_OR_RETURN(uint32_t id, r->ReadU32());
+      if (id >= table.size()) {
+        return Status::ParseError("symbol set references an unknown symbol");
+      }
+      std::string_view name = table.name(id);
+      if (!members.empty() && members.back() >= name) {
+        return Status::ParseError("symbol set is not in canonical order");
+      }
+      members.push_back(name);
+    }
+    // Re-interning in file order must reproduce the dense id sequence; the
+    // pre-interned empty set at id 0 lines up because every writer context
+    // starts with it too.
+    if (pool->InternSorted(members) != s) {
+      return Status::ParseError("symbol set pool is not canonical");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void EncodeSymbols(const GraphSymbols& sym, BinaryWriter* w) {
+  EncodeStringTable(sym.labels, w);
+  EncodeStringTable(sym.keys, w);
+  EncodeSetPool(sym.label_sets, w);
+  EncodeSetPool(sym.key_sets, w);
+}
+
+Result<std::shared_ptr<GraphSymbols>> DecodeSymbols(BinaryReader* r) {
+  auto sym = std::make_shared<GraphSymbols>();
+  PGHIVE_RETURN_NOT_OK(DecodeStringTable(r, &sym->labels));
+  PGHIVE_RETURN_NOT_OK(DecodeStringTable(r, &sym->keys));
+  PGHIVE_RETURN_NOT_OK(DecodeSetPool(r, sym->labels, &sym->label_sets));
+  PGHIVE_RETURN_NOT_OK(DecodeSetPool(r, sym->keys, &sym->key_sets));
+  return sym;
+}
+
+void EncodeGraphColumnar(const PropertyGraph& g, BinaryWriter* w) {
+  w->WriteU64(g.num_nodes());
+  for (const Node& n : g.nodes()) {
+    w->WriteU32(n.label_set);
+    w->WriteU32(n.key_set);
+    for (size_t i = 0; i < n.properties.size(); ++i) {
+      EncodeValue(n.properties.value_at(i), w);
+    }
+    w->WriteString(n.truth_type);
+  }
+  w->WriteU64(g.num_edges());
+  for (const Edge& e : g.edges()) {
+    w->WriteU64(e.source);
+    w->WriteU64(e.target);
+    w->WriteU32(e.label_set);
+    w->WriteU32(e.key_set);
+    for (size_t i = 0; i < e.properties.size(); ++i) {
+      EncodeValue(e.properties.value_at(i), w);
+    }
+    w->WriteString(e.truth_type);
+  }
+}
+
+Result<PropertyGraph> DecodeGraphColumnar(
+    BinaryReader* r, std::shared_ptr<GraphSymbols> symbols) {
+  const GraphSymbols& sym = *symbols;
+  PropertyGraph g(std::move(symbols));
+  PGHIVE_ASSIGN_OR_RETURN(uint64_t num_nodes, r->ReadU64());
+  for (uint64_t i = 0; i < num_nodes; ++i) {
+    PGHIVE_ASSIGN_OR_RETURN(uint32_t label_set, r->ReadU32());
+    PGHIVE_ASSIGN_OR_RETURN(uint32_t key_set, r->ReadU32());
+    if (key_set >= sym.key_sets.size()) {
+      return Status::ParseError("node references an unknown key set");
+    }
+    std::vector<Value> values;
+    values.reserve(sym.key_sets.set_size(key_set));
+    for (size_t v = 0; v < sym.key_sets.set_size(key_set); ++v) {
+      PGHIVE_ASSIGN_OR_RETURN(Value value, DecodeValue(r));
+      values.push_back(std::move(value));
+    }
+    PGHIVE_ASSIGN_OR_RETURN(std::string truth, r->ReadString());
+    Result<NodeId> added = g.AddNodeInterned(label_set, key_set,
+                                             std::move(values),
+                                             std::move(truth));
+    if (!added.ok()) {
+      return Status::ParseError("columnar node invalid: " +
+                                added.status().message());
+    }
+  }
+  PGHIVE_ASSIGN_OR_RETURN(uint64_t num_edges, r->ReadU64());
+  for (uint64_t i = 0; i < num_edges; ++i) {
+    PGHIVE_ASSIGN_OR_RETURN(uint64_t source, r->ReadU64());
+    PGHIVE_ASSIGN_OR_RETURN(uint64_t target, r->ReadU64());
+    PGHIVE_ASSIGN_OR_RETURN(uint32_t label_set, r->ReadU32());
+    PGHIVE_ASSIGN_OR_RETURN(uint32_t key_set, r->ReadU32());
+    if (key_set >= sym.key_sets.size()) {
+      return Status::ParseError("edge references an unknown key set");
+    }
+    std::vector<Value> values;
+    values.reserve(sym.key_sets.set_size(key_set));
+    for (size_t v = 0; v < sym.key_sets.set_size(key_set); ++v) {
+      PGHIVE_ASSIGN_OR_RETURN(Value value, DecodeValue(r));
+      values.push_back(std::move(value));
+    }
+    PGHIVE_ASSIGN_OR_RETURN(std::string truth, r->ReadString());
+    Result<EdgeId> added =
+        g.AddEdgeInterned(source, target, label_set, key_set,
+                          std::move(values), std::move(truth));
+    if (!added.ok()) {
+      return Status::ParseError("columnar edge invalid: " +
+                                added.status().message());
+    }
+  }
+  return g;
+}
+
+void EncodeBatchPayload(const std::vector<NodeData>& nodes,
+                        const std::vector<EdgeData>& edges, BinaryWriter* w) {
   w->WriteU64(nodes.size());
   for (const auto& n : nodes) EncodeNode(n, w);
   w->WriteU64(edges.size());
@@ -271,13 +438,198 @@ Result<BatchPayload> DecodeBatchPayload(BinaryReader* r) {
   PGHIVE_ASSIGN_OR_RETURN(uint64_t num_nodes, r->ReadU64());
   p.nodes.reserve(num_nodes < 4096 ? num_nodes : 4096);
   for (uint64_t i = 0; i < num_nodes; ++i) {
-    PGHIVE_ASSIGN_OR_RETURN(Node n, DecodeNode(r));
+    PGHIVE_ASSIGN_OR_RETURN(NodeData n, DecodeNode(r));
     p.nodes.push_back(std::move(n));
   }
   PGHIVE_ASSIGN_OR_RETURN(uint64_t num_edges, r->ReadU64());
   p.edges.reserve(num_edges < 4096 ? num_edges : 4096);
   for (uint64_t i = 0; i < num_edges; ++i) {
-    PGHIVE_ASSIGN_OR_RETURN(Edge e, DecodeEdge(r));
+    PGHIVE_ASSIGN_OR_RETURN(EdgeData e, DecodeEdge(r));
+    p.edges.push_back(std::move(e));
+  }
+  if (!r->AtEnd()) {
+    return Status::ParseError("trailing bytes after batch payload");
+  }
+  return p;
+}
+
+namespace {
+
+/// Batch-local dictionary for the v2 journal payload: distinct strings and
+/// distinct (sorted) string sets in first-seen order.
+class BatchDict {
+ public:
+  uint32_t StringRef(const std::string& s) {
+    auto [it, fresh] =
+        string_ids_.emplace(s, static_cast<uint32_t>(strings_.size()));
+    if (fresh) strings_.push_back(&it->first);
+    return it->second;
+  }
+
+  /// `strings` iterates in canonical (sorted) order; member refs are stored
+  /// in that order so decoded sets/maps rebuild positionally.
+  template <typename Strings>
+  uint32_t SetRef(const Strings& strings) {
+    std::vector<uint32_t> refs;
+    for (const auto& s : strings) refs.push_back(StringRef(s));
+    auto [it, fresh] =
+        set_ids_.emplace(std::move(refs), static_cast<uint32_t>(sets_.size()));
+    if (fresh) sets_.push_back(&it->first);
+    return it->second;
+  }
+
+  void Encode(BinaryWriter* w) const {
+    w->WriteU32(static_cast<uint32_t>(strings_.size()));
+    for (const std::string* s : strings_) w->WriteString(*s);
+    w->WriteU32(static_cast<uint32_t>(sets_.size()));
+    for (const std::vector<uint32_t>* set : sets_) {
+      w->WriteU32(static_cast<uint32_t>(set->size()));
+      for (uint32_t ref : *set) w->WriteU32(ref);
+    }
+  }
+
+ private:
+  // Pointers into the maps' own keys (node-based containers: stable).
+  std::vector<const std::string*> strings_;
+  std::unordered_map<std::string, uint32_t> string_ids_;
+  std::vector<const std::vector<uint32_t>*> sets_;
+  std::map<std::vector<uint32_t>, uint32_t> set_ids_;
+};
+
+struct BatchDictDecoded {
+  std::vector<std::string> strings;
+  std::vector<std::vector<uint32_t>> sets;
+};
+
+Result<BatchDictDecoded> DecodeBatchDict(BinaryReader* r) {
+  BatchDictDecoded d;
+  PGHIVE_ASSIGN_OR_RETURN(uint32_t num_strings, r->ReadU32());
+  d.strings.reserve(num_strings < 65536 ? num_strings : 65536);
+  for (uint32_t i = 0; i < num_strings; ++i) {
+    PGHIVE_ASSIGN_OR_RETURN(std::string s, r->ReadString());
+    d.strings.push_back(std::move(s));
+  }
+  PGHIVE_ASSIGN_OR_RETURN(uint32_t num_sets, r->ReadU32());
+  d.sets.reserve(num_sets < 65536 ? num_sets : 65536);
+  for (uint32_t i = 0; i < num_sets; ++i) {
+    PGHIVE_ASSIGN_OR_RETURN(uint32_t n, r->ReadU32());
+    std::vector<uint32_t> refs;
+    refs.reserve(n < 65536 ? n : 65536);
+    for (uint32_t j = 0; j < n; ++j) {
+      PGHIVE_ASSIGN_OR_RETURN(uint32_t ref, r->ReadU32());
+      if (ref >= d.strings.size()) {
+        return Status::ParseError("batch set references an unknown string");
+      }
+      refs.push_back(ref);
+    }
+    d.sets.push_back(std::move(refs));
+  }
+  return d;
+}
+
+Status RebuildLabels(const BatchDictDecoded& d, uint32_t set_ref,
+                     std::set<std::string>* labels) {
+  if (set_ref >= d.sets.size()) {
+    return Status::ParseError("batch element references an unknown set");
+  }
+  for (uint32_t ref : d.sets[set_ref]) labels->insert(d.strings[ref]);
+  return Status::OK();
+}
+
+Status RebuildProperties(const BatchDictDecoded& d, uint32_t set_ref,
+                         BinaryReader* r,
+                         std::map<std::string, Value>* props) {
+  if (set_ref >= d.sets.size()) {
+    return Status::ParseError("batch element references an unknown set");
+  }
+  for (uint32_t ref : d.sets[set_ref]) {
+    PGHIVE_ASSIGN_OR_RETURN(Value v, DecodeValue(r));
+    props->emplace(d.strings[ref], std::move(v));
+  }
+  return Status::OK();
+}
+
+struct PropertyKeysOf {
+  const std::map<std::string, Value>& props;
+  struct iterator {
+    std::map<std::string, Value>::const_iterator it;
+    const std::string& operator*() const { return it->first; }
+    iterator& operator++() { ++it; return *this; }
+    bool operator!=(const iterator& o) const { return it != o.it; }
+  };
+  iterator begin() const { return {props.begin()}; }
+  iterator end() const { return {props.end()}; }
+};
+
+}  // namespace
+
+void EncodeBatchPayloadV2(const std::vector<NodeData>& nodes,
+                          const std::vector<EdgeData>& edges,
+                          BinaryWriter* w) {
+  // Pass 1: build the batch-local dictionary and each element's set refs.
+  BatchDict dict;
+  std::vector<std::pair<uint32_t, uint32_t>> node_refs, edge_refs;
+  node_refs.reserve(nodes.size());
+  for (const NodeData& n : nodes) {
+    node_refs.emplace_back(dict.SetRef(n.labels),
+                           dict.SetRef(PropertyKeysOf{n.properties}));
+  }
+  edge_refs.reserve(edges.size());
+  for (const EdgeData& e : edges) {
+    edge_refs.emplace_back(dict.SetRef(e.labels),
+                           dict.SetRef(PropertyKeysOf{e.properties}));
+  }
+  // Pass 2: dictionary, then the interned element rows.
+  dict.Encode(w);
+  w->WriteU64(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const NodeData& n = nodes[i];
+    w->WriteU64(n.id);
+    w->WriteU32(node_refs[i].first);
+    w->WriteU32(node_refs[i].second);
+    for (const auto& [k, v] : n.properties) EncodeValue(v, w);
+    w->WriteString(n.truth_type);
+  }
+  w->WriteU64(edges.size());
+  for (size_t i = 0; i < edges.size(); ++i) {
+    const EdgeData& e = edges[i];
+    w->WriteU64(e.id);
+    w->WriteU64(e.source);
+    w->WriteU64(e.target);
+    w->WriteU32(edge_refs[i].first);
+    w->WriteU32(edge_refs[i].second);
+    for (const auto& [k, v] : e.properties) EncodeValue(v, w);
+    w->WriteString(e.truth_type);
+  }
+}
+
+Result<BatchPayload> DecodeBatchPayloadV2(BinaryReader* r) {
+  PGHIVE_ASSIGN_OR_RETURN(BatchDictDecoded dict, DecodeBatchDict(r));
+  BatchPayload p;
+  PGHIVE_ASSIGN_OR_RETURN(uint64_t num_nodes, r->ReadU64());
+  p.nodes.reserve(num_nodes < 4096 ? num_nodes : 4096);
+  for (uint64_t i = 0; i < num_nodes; ++i) {
+    NodeData n;
+    PGHIVE_ASSIGN_OR_RETURN(n.id, r->ReadU64());
+    PGHIVE_ASSIGN_OR_RETURN(uint32_t labels_ref, r->ReadU32());
+    PGHIVE_ASSIGN_OR_RETURN(uint32_t keys_ref, r->ReadU32());
+    PGHIVE_RETURN_NOT_OK(RebuildLabels(dict, labels_ref, &n.labels));
+    PGHIVE_RETURN_NOT_OK(RebuildProperties(dict, keys_ref, r, &n.properties));
+    PGHIVE_ASSIGN_OR_RETURN(n.truth_type, r->ReadString());
+    p.nodes.push_back(std::move(n));
+  }
+  PGHIVE_ASSIGN_OR_RETURN(uint64_t num_edges, r->ReadU64());
+  p.edges.reserve(num_edges < 4096 ? num_edges : 4096);
+  for (uint64_t i = 0; i < num_edges; ++i) {
+    EdgeData e;
+    PGHIVE_ASSIGN_OR_RETURN(e.id, r->ReadU64());
+    PGHIVE_ASSIGN_OR_RETURN(e.source, r->ReadU64());
+    PGHIVE_ASSIGN_OR_RETURN(e.target, r->ReadU64());
+    PGHIVE_ASSIGN_OR_RETURN(uint32_t labels_ref, r->ReadU32());
+    PGHIVE_ASSIGN_OR_RETURN(uint32_t keys_ref, r->ReadU32());
+    PGHIVE_RETURN_NOT_OK(RebuildLabels(dict, labels_ref, &e.labels));
+    PGHIVE_RETURN_NOT_OK(RebuildProperties(dict, keys_ref, r, &e.properties));
+    PGHIVE_ASSIGN_OR_RETURN(e.truth_type, r->ReadString());
     p.edges.push_back(std::move(e));
   }
   if (!r->AtEnd()) {

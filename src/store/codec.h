@@ -9,6 +9,7 @@
 #ifndef PGHIVE_STORE_CODEC_H_
 #define PGHIVE_STORE_CODEC_H_
 
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -28,28 +29,60 @@ namespace store {
 void EncodeValue(const Value& v, BinaryWriter* w);
 Result<Value> DecodeValue(BinaryReader* r);
 
+// Elements encode from either the graph's interned Node/Edge or the owning
+// NodeData/EdgeData transit structs (identical wire bytes); decode always
+// produces the transit structs, which are re-interned on insertion.
 void EncodeNode(const Node& n, BinaryWriter* w);
-Result<Node> DecodeNode(BinaryReader* r);
+void EncodeNode(const NodeData& n, BinaryWriter* w);
+Result<NodeData> DecodeNode(BinaryReader* r);
 
 void EncodeEdge(const Edge& e, BinaryWriter* w);
-Result<Edge> DecodeEdge(BinaryReader* r);
+void EncodeEdge(const EdgeData& e, BinaryWriter* w);
+Result<EdgeData> DecodeEdge(BinaryReader* r);
 
-/// Whole graph: node count + nodes, edge count + edges. Decoded elements are
-/// re-inserted through AddNode/AddEdge, so dense insertion-order ids are
-/// preserved (decode fails if the encoded ids were not dense).
+/// Whole graph, v1 layout: node count + nodes, edge count + edges, every
+/// element spelling its strings out. Decoded elements are re-inserted
+/// through AddNode/AddEdge, so dense insertion-order ids are preserved
+/// (decode fails if the encoded ids were not dense). Kept for reading v1
+/// snapshots; v2 writes the symbols + columnar pair below.
 void EncodeGraph(const PropertyGraph& g, BinaryWriter* w);
 Result<PropertyGraph> DecodeGraph(BinaryReader* r);
+
+/// v2 symbol-table section: label/key string tables + canonical set pools,
+/// in interning order. Decoding re-interns everything into a fresh context,
+/// reproducing the exact same dense ids (fails if the encoded tables are
+/// not canonical: duplicate strings, unsorted or duplicate sets).
+void EncodeSymbols(const GraphSymbols& sym, BinaryWriter* w);
+Result<std::shared_ptr<GraphSymbols>> DecodeSymbols(BinaryReader* r);
+
+/// v2 columnar graph section: per element only the interned label-set /
+/// key-set ids, the value row (aligned with the key set's canonical key
+/// order) and the truth tag — each distinct string and set is stored once,
+/// in the symbols section. `symbols` must be the context decoded from the
+/// same snapshot.
+void EncodeGraphColumnar(const PropertyGraph& g, BinaryWriter* w);
+Result<PropertyGraph> DecodeGraphColumnar(
+    BinaryReader* r, std::shared_ptr<GraphSymbols> symbols);
 
 /// One journal batch payload: the node and edge rows of a single
 /// incremental batch, in insertion order. Edge endpoints are global NodeIds
 /// into the accumulated graph.
-void EncodeBatchPayload(const std::vector<Node>& nodes,
-                        const std::vector<Edge>& edges, BinaryWriter* w);
+void EncodeBatchPayload(const std::vector<NodeData>& nodes,
+                        const std::vector<EdgeData>& edges, BinaryWriter* w);
 struct BatchPayload {
-  std::vector<Node> nodes;
-  std::vector<Edge> edges;
+  std::vector<NodeData> nodes;
+  std::vector<EdgeData> edges;
 };
 Result<BatchPayload> DecodeBatchPayload(BinaryReader* r);
+
+/// Journal-v2 batch payload: a batch-local string dictionary + set table,
+/// then per-element set references — each distinct label/key string is
+/// written once per batch instead of once per element. Decodes to the same
+/// BatchPayload as v1 (replay re-interns through AddNode/AddEdge).
+void EncodeBatchPayloadV2(const std::vector<NodeData>& nodes,
+                          const std::vector<EdgeData>& edges,
+                          BinaryWriter* w);
+Result<BatchPayload> DecodeBatchPayloadV2(BinaryReader* r);
 
 // --- Discovered schema. ---
 

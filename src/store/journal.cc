@@ -47,7 +47,9 @@ Status JournalWriter::Open(const std::string& path, bool fsync) {
   if (fd_ >= 0) return Status::FailedPrecondition("journal already open");
   fsync_ = fsync;
   path_ = path;
-  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  // O_RDWR (not O_WRONLY): reopening an existing segment reads its header
+  // version back, so appended records stay in the segment's own format.
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
   if (fd_ < 0) return Errno("cannot open journal", path);
   struct stat st;
   if (::fstat(fd_, &st) != 0) {
@@ -56,11 +58,30 @@ Status JournalWriter::Open(const std::string& path, bool fsync) {
     return s;
   }
   if (st.st_size == 0) {
+    format_version_ = kJournalFormatVersion;
     BinaryWriter header;
     header.WriteBytes(std::string_view(kJournalMagic, 4));
-    header.WriteU32(kJournalFormatVersion);
+    header.WriteU32(format_version_);
     PGHIVE_RETURN_NOT_OK(WriteAll(fd_, path_, header.buffer()));
     if (fsync_ && ::fsync(fd_) != 0) return Errno("fsync failed on", path_);
+  } else {
+    char header[kSegmentHeaderSize];
+    ssize_t n = ::pread(fd_, header, sizeof(header), 0);
+    if (n != static_cast<ssize_t>(sizeof(header)) ||
+        std::string_view(header, 4) != std::string_view(kJournalMagic, 4)) {
+      (void)Close();
+      return Status::ParseError("'" + path +
+                                "' is not a PG-HIVE journal (bad magic)");
+    }
+    uint32_t version = 0;
+    std::memcpy(&version, header + 4, sizeof(version));
+    if (version == 0 || version > kJournalFormatVersion) {
+      (void)Close();
+      return Status::ParseError("unsupported journal format version " +
+                                std::to_string(version) + " in '" + path +
+                                "'");
+    }
+    format_version_ = version;
   }
   return Status::OK();
 }
@@ -111,13 +132,14 @@ Status JournalWriter::Close() {
 Result<JournalReadResult> ReadJournalSegment(const std::string& path) {
   PGHIVE_ASSIGN_OR_RETURN(std::string bytes, ReadFile(path));
   BinaryReader r(bytes);
+  uint32_t version = 0;
   {
     auto magic = r.ReadBytes(4);
     if (!magic.ok() || *magic != std::string_view(kJournalMagic, 4)) {
       return Status::ParseError("'" + path +
                                 "' is not a PG-HIVE journal (bad magic)");
     }
-    PGHIVE_ASSIGN_OR_RETURN(uint32_t version, r.ReadU32());
+    PGHIVE_ASSIGN_OR_RETURN(version, r.ReadU32());
     if (version == 0 || version > kJournalFormatVersion) {
       return Status::ParseError("unsupported journal format version " +
                                 std::to_string(version) + " in '" + path +
@@ -161,7 +183,8 @@ Result<JournalReadResult> ReadJournalSegment(const std::string& path) {
       break;
     }
     record.batch_id = *batch_id;
-    auto payload = DecodeBatchPayload(&body_reader);
+    auto payload = version >= 2 ? DecodeBatchPayloadV2(&body_reader)
+                                : DecodeBatchPayload(&body_reader);
     if (!payload.ok()) {
       result.torn_tail = true;
       result.tail_error = "record payload undecodable: " +

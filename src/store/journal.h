@@ -34,7 +34,12 @@ namespace pghive {
 namespace store {
 
 inline constexpr char kJournalMagic[4] = {'P', 'G', 'H', 'J'};
-inline constexpr uint32_t kJournalFormatVersion = 1;
+/// v1 payloads spell every element's strings out (EncodeBatchPayload); v2
+/// payloads carry a batch-local dictionary (EncodeBatchPayloadV2). The
+/// segment header version decides the payload codec for the whole segment:
+/// new segments are written v2, existing v1 segments keep receiving v1
+/// records and still replay.
+inline constexpr uint32_t kJournalFormatVersion = 2;
 
 /// Appends length-prefixed, CRC-guarded batch records to one segment file.
 class JournalWriter {
@@ -59,12 +64,17 @@ class JournalWriter {
   const std::string& path() const { return path_; }
   /// Bytes appended through this writer (excluding the segment header).
   uint64_t bytes_written() const { return bytes_written_; }
+  /// The open segment's header version — appended record payloads must be
+  /// encoded in this version's batch-payload format (readers decode the
+  /// whole segment uniformly).
+  uint32_t format_version() const { return format_version_; }
 
  private:
   int fd_ = -1;
   bool fsync_ = true;
   std::string path_;
   uint64_t bytes_written_ = 0;
+  uint32_t format_version_ = kJournalFormatVersion;
 };
 
 /// One decoded journal record.

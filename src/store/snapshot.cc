@@ -97,6 +97,10 @@ const char* SnapshotSectionName(SnapshotSection s) {
       return "lsh-diag";
     case SnapshotSection::kValueStats:
       return "value-stats";
+    case SnapshotSection::kSymbols:
+      return "symbols";
+    case SnapshotSection::kGraphColumnar:
+      return "graph-columnar";
   }
   return "unknown";
 }
@@ -109,8 +113,17 @@ std::string EncodeSnapshot(const StoreSnapshot& snapshot, ThreadPool* pool) {
   const StoreSnapshot& s = snapshot;
   const std::vector<SectionSpec> specs = {
       {SnapshotSection::kMeta, [&s] { return EncodeMeta(s); }},
-      {SnapshotSection::kGraph,
-       [&s] { return EncodeWith([&s](BinaryWriter* w) { EncodeGraph(s.graph, w); }); }},
+      // v2 graph layout: the symbol context once, then columnar elements.
+      {SnapshotSection::kSymbols,
+       [&s] {
+         return EncodeWith(
+             [&s](BinaryWriter* w) { EncodeSymbols(s.graph.symbols(), w); });
+       }},
+      {SnapshotSection::kGraphColumnar,
+       [&s] {
+         return EncodeWith(
+             [&s](BinaryWriter* w) { EncodeGraphColumnar(s.graph, w); });
+       }},
       {SnapshotSection::kSchema,
        [&s] { return EncodeWith([&s](BinaryWriter* w) { EncodeSchema(s.schema, w); }); }},
       {SnapshotSection::kTimings,
@@ -213,6 +226,10 @@ Result<StoreSnapshot> DecodeSnapshot(const std::string& bytes) {
                           ParseSections(bytes, &version));
   StoreSnapshot snapshot;
   bool have_meta = false, have_graph = false, have_schema = false;
+  // v2 graph sections: decoded together after the loop (the columnar
+  // section needs the symbol context, whatever the file order).
+  std::string symbols_payload, columnar_payload;
+  bool have_symbols = false, have_columnar = false;
   for (const RawSection& sec : sections) {
     if (Crc32(sec.payload) != sec.crc) {
       return Status::IoError(
@@ -254,11 +271,41 @@ Result<StoreSnapshot> DecodeSnapshot(const std::string& bytes) {
         PGHIVE_ASSIGN_OR_RETURN(snapshot.value_stats, DecodeValueStats(&r));
         break;
       }
+      case SnapshotSection::kSymbols:
+        symbols_payload = payload;
+        have_symbols = true;
+        break;
+      case SnapshotSection::kGraphColumnar:
+        columnar_payload = payload;
+        have_columnar = true;
+        break;
       default:
         // Forward compatibility: an unknown (guarded, length-prefixed)
         // section from a newer writer is skipped.
         break;
     }
+  }
+  if (have_columnar != have_symbols) {
+    return Status::ParseError(
+        "snapshot has only one of the symbols/graph-columnar section pair");
+  }
+  if (have_columnar && !have_graph) {
+    std::shared_ptr<GraphSymbols> symbols;
+    {
+      BinaryReader r(symbols_payload);
+      PGHIVE_ASSIGN_OR_RETURN(symbols, DecodeSymbols(&r));
+      if (!r.AtEnd()) {
+        return Status::ParseError("trailing bytes after symbols section");
+      }
+    }
+    BinaryReader r(columnar_payload);
+    PGHIVE_ASSIGN_OR_RETURN(snapshot.graph,
+                            DecodeGraphColumnar(&r, std::move(symbols)));
+    if (!r.AtEnd()) {
+      return Status::ParseError(
+          "trailing bytes after graph-columnar section");
+    }
+    have_graph = true;
   }
   if (!have_meta || !have_graph || !have_schema) {
     return Status::ParseError(

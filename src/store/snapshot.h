@@ -35,17 +35,23 @@ namespace pghive {
 namespace store {
 
 inline constexpr char kSnapshotMagic[4] = {'P', 'G', 'H', 'S'};
-inline constexpr uint32_t kSnapshotFormatVersion = 1;
+/// v1 stored the graph as one string-heavy section (kGraph); v2 splits it
+/// into the interned symbol tables (kSymbols) + a columnar element section
+/// (kGraphColumnar) — each distinct string and set written once. v1 files
+/// still load; the writer always emits v2.
+inline constexpr uint32_t kSnapshotFormatVersion = 2;
 
 /// Stable on-disk section identifiers — append, never renumber.
 enum class SnapshotSection : uint32_t {
   kMeta = 1,        // counters, options fingerprint + summary
-  kGraph = 2,       // accumulated property graph (all batches fed so far)
+  kGraph = 2,       // v1 only: string-heavy accumulated property graph
   kSchema = 3,      // discovered SchemaGraph incl. instance assignments
   kTimings = 4,     // per-batch wall-clock seconds (Figure 7 series)
   kAliases = 5,     // label-alias map in effect during discovery
   kLshDiag = 6,     // adaptive LSH parameters + bucket/cluster counts
   kValueStats = 7,  // value/datatype statistics of the discovered types
+  kSymbols = 8,     // v2: interned symbol tables + canonical set pools
+  kGraphColumnar = 9,  // v2: columnar elements over kSymbols ids
 };
 
 const char* SnapshotSectionName(SnapshotSection s);

@@ -150,15 +150,17 @@ std::vector<BatchPayload> MakeStreamBatches(const PropertyGraph& g,
   }
   std::vector<BatchPayload> out(splits.size());
   for (size_t b = 0; b < splits.size(); ++b) {
-    out[b].nodes.assign(g.nodes().begin() + splits[b].node_begin,
-                        g.nodes().begin() + splits[b].node_end);
+    out[b].nodes.reserve(splits[b].num_nodes());
+    for (size_t i = splits[b].node_begin; i < splits[b].node_end; ++i) {
+      out[b].nodes.push_back(ToData(g.node(i)));
+    }
   }
   // An edge becomes streamable once both endpoints have been delivered, so
   // it rides with the later of its endpoints' batches. Iterating edges in id
   // order keeps the within-batch order ascending.
   for (const Edge& e : g.edges()) {
     out[std::max(node_batch[e.source], node_batch[e.target])]
-        .edges.push_back(e);
+        .edges.push_back(ToData(e));
   }
   return out;
 }
@@ -315,7 +317,13 @@ Status DurableDiscoverer::FeedJournalOnly(const BatchPayload& batch) {
 Status DurableDiscoverer::AppendToJournal(const BatchPayload& batch) {
   PGHIVE_RETURN_NOT_OK(EnsureJournalOpen());
   BinaryWriter payload;
-  EncodeBatchPayload(batch.nodes, batch.edges, &payload);
+  // Records match the segment's header version (a reopened v1 segment keeps
+  // receiving v1 records; fresh segments are v2/interned).
+  if (journal_.format_version() >= 2) {
+    EncodeBatchPayloadV2(batch.nodes, batch.edges, &payload);
+  } else {
+    EncodeBatchPayload(batch.nodes, batch.edges, &payload);
+  }
   PGHIVE_RETURN_NOT_OK(
       journal_.Append(journaled_batches_, payload.buffer()));
   journal_bytes_since_checkpoint_ += payload.size();
@@ -334,10 +342,10 @@ Status DurableDiscoverer::EnsureJournalOpen() {
 Status DurableDiscoverer::ApplyPayload(const BatchPayload& batch) {
   const size_t node_begin = graph_.num_nodes();
   const size_t edge_begin = graph_.num_edges();
-  for (const Node& n : batch.nodes) {
+  for (const NodeData& n : batch.nodes) {
     graph_.AddNode(n.labels, n.properties, n.truth_type);
   }
-  for (const Edge& e : batch.edges) {
+  for (const EdgeData& e : batch.edges) {
     Result<EdgeId> added =
         graph_.AddEdge(e.source, e.target, e.labels, e.properties,
                        e.truth_type);

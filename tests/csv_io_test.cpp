@@ -78,11 +78,15 @@ TEST(CsvIoTest, GraphsEqualDetectsDifferences) {
   EXPECT_TRUE(GraphsEqual(a, a));
 
   PropertyGraph b = MakeTrickyGraph();
-  b.mutable_node(0).properties["age"] = Value::Int(42);
+  std::map<std::string, Value> props = b.node(0).properties;
+  props["age"] = Value::Int(42);
+  b.SetNodeProperties(0, props);
   EXPECT_FALSE(GraphsEqual(a, b));
 
   PropertyGraph c = MakeTrickyGraph();
-  c.mutable_edge(0).labels.insert("EXTRA");
+  std::set<std::string> labels = c.edge(0).labels;
+  labels.insert("EXTRA");
+  c.SetEdgeLabels(0, labels);
   EXPECT_FALSE(GraphsEqual(a, c));
 
   PropertyGraph d = MakeTrickyGraph();

@@ -1,0 +1,150 @@
+// Backward-compatibility suite for the durable state formats.
+//
+// The fixture under tests/golden/v1_state/ is a complete state directory
+// written by the PGHS/PGHJ **version-1** code (the pre-interning seed): a
+// v1 snapshot covering 4 applied batches plus a v1 journal segment holding
+// 2 more batches. Current code must (a) load the v1 snapshot file directly
+// and (b) recover the whole directory — replaying the v1 journal records —
+// to the exact schema the original run produced (committed as
+// v1_state.expected.json).
+//
+// Regenerate ONLY from a build that still writes the old formats:
+//   PGHIVE_REGEN_GOLDEN=1 ./store_compat_test
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/schema_json.h"
+#include "datagen/datasets.h"
+#include "datagen/generator.h"
+#include "store/state_store.h"
+
+namespace pghive {
+namespace store {
+namespace {
+
+#ifndef PGHIVE_GOLDEN_DIR
+#error "PGHIVE_GOLDEN_DIR must be defined by the build"
+#endif
+
+const char* kFixtureDir = PGHIVE_GOLDEN_DIR "/v1_state";
+const char* kExpectedJson = PGHIVE_GOLDEN_DIR "/v1_state.expected.json";
+
+bool RegenMode() {
+  const char* v = std::getenv("PGHIVE_REGEN_GOLDEN");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// The deterministic workload the fixture holds: POLE at a small scale,
+// streamed as 6 endpoint-closed batches, checkpoint every 4.
+PropertyGraph FixtureGraph() {
+  GenerateOptions gen;
+  gen.num_nodes = 600;
+  gen.num_edges = 1100;
+  return GenerateGraph(MakePoleSpec(), gen).value();
+}
+
+StoreOptions FixtureOptions() {
+  StoreOptions opt;
+  opt.checkpoint_every_batches = 4;
+  opt.checkpoint_every_bytes = 0;
+  opt.fsync = false;
+  return opt;
+}
+
+std::string SchemaJsonWithInstances(const SchemaGraph& s) {
+  SchemaJsonOptions opt;
+  opt.include_instances = true;
+  opt.pretty = true;
+  return SchemaToJson(s, opt);
+}
+
+// Copies the committed fixture into a scratch dir (recovery truncates torn
+// tails and may write snapshots; the fixture itself must stay pristine).
+std::string CopyFixtureToTemp() {
+  namespace fs = std::filesystem;
+  fs::path dst =
+      fs::temp_directory_path() /
+      ("pghive_v1_state_" + std::to_string(::getpid()));
+  fs::remove_all(dst);
+  fs::create_directories(dst);
+  for (const auto& entry : fs::directory_iterator(kFixtureDir)) {
+    fs::copy_file(entry.path(), dst / entry.path().filename());
+  }
+  return dst.string();
+}
+
+TEST(StoreCompatTest, V1StateFixture) {
+  namespace fs = std::filesystem;
+  if (RegenMode()) {
+    fs::remove_all(kFixtureDir);
+    fs::create_directories(kFixtureDir);
+    PropertyGraph g = FixtureGraph();
+    std::vector<BatchPayload> batches = MakeStreamBatches(g, 6);
+    ASSERT_EQ(batches.size(), 6u);
+    auto st = DurableDiscoverer::OpenOrRecover(kFixtureDir, FixtureOptions());
+    ASSERT_TRUE(st.ok()) << st.status().ToString();
+    for (const auto& b : batches) {
+      ASSERT_TRUE((*st)->Feed(b).ok());
+    }
+    // 6 feeds with checkpoint_every_batches=4: snapshot at batch 4, journal
+    // records 4 and 5 left pending for replay.
+    std::ofstream(kExpectedJson, std::ios::binary)
+        << SchemaJsonWithInstances((*st)->schema());
+    ASSERT_FALSE(ListSnapshotFiles(kFixtureDir).empty());
+    ASSERT_FALSE(ListJournalFiles(kFixtureDir).empty());
+    return;
+  }
+
+  ASSERT_TRUE(fs::exists(kFixtureDir))
+      << "missing fixture; regenerate from a v1 build";
+  const std::string expected = ReadFileOrDie(kExpectedJson);
+
+  // (a) The v1 snapshot file alone must decode.
+  std::vector<std::string> snapshots = ListSnapshotFiles(kFixtureDir);
+  ASSERT_FALSE(snapshots.empty());
+  auto snap = ReadSnapshotFile(snapshots.front());
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  EXPECT_EQ(snap->applied_batches, 4u);
+  EXPECT_GT(snap->graph.num_nodes(), 0u);
+
+  // (b) Full recovery: v1 snapshot + v1 journal replay converge to the
+  // exact schema of the original uninterrupted run.
+  const std::string dir = CopyFixtureToTemp();
+  RecoveryReport report;
+  auto st = DurableDiscoverer::OpenOrRecover(dir, FixtureOptions(), &report);
+  ASSERT_TRUE(st.ok()) << st.status().ToString();
+  EXPECT_EQ(report.replayed_batches, 2u) << report.ToString();
+  EXPECT_EQ((*st)->batches_applied(), 6u);
+  EXPECT_EQ(SchemaJsonWithInstances((*st)->schema()), expected);
+
+  // The recovered graph must equal the graph a fresh, uninterrupted feed of
+  // the same batches accumulates (current formats end-to-end).
+  const std::string fresh_dir = dir + ".fresh";
+  fs::remove_all(fresh_dir);
+  auto fresh = DurableDiscoverer::OpenOrRecover(fresh_dir, FixtureOptions());
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  for (const auto& b : MakeStreamBatches(FixtureGraph(), 6)) {
+    ASSERT_TRUE((*fresh)->Feed(b).ok());
+  }
+  EXPECT_TRUE(GraphsEqual((*st)->graph(), (*fresh)->graph()));
+  EXPECT_EQ(SchemaJsonWithInstances((*fresh)->schema()), expected);
+  fs::remove_all(dir);
+  fs::remove_all(fresh_dir);
+}
+
+}  // namespace
+}  // namespace store
+}  // namespace pghive

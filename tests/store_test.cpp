@@ -207,9 +207,11 @@ TEST(JournalTest, AppendsAndReadsBack) {
 
   JournalWriter writer;
   ASSERT_TRUE(writer.Open(path, /*fsync=*/false).ok());
+  // Fresh segments carry the v2 header, so records use the v2 payload codec.
+  EXPECT_EQ(writer.format_version(), kJournalFormatVersion);
   for (size_t i = 0; i < batches.size(); ++i) {
     BinaryWriter payload;
-    EncodeBatchPayload(batches[i].nodes, batches[i].edges, &payload);
+    EncodeBatchPayloadV2(batches[i].nodes, batches[i].edges, &payload);
     ASSERT_TRUE(writer.Append(i, payload.buffer()).ok());
   }
   ASSERT_TRUE(writer.Close().ok());
@@ -232,7 +234,7 @@ TEST(JournalTest, TornTailIsDetectedAndEarlierRecordsSurvive) {
   JournalWriter writer;
   ASSERT_TRUE(writer.Open(path, /*fsync=*/false).ok());
   BinaryWriter payload;
-  EncodeBatchPayload({}, {}, &payload);
+  EncodeBatchPayloadV2({}, {}, &payload);
   ASSERT_TRUE(writer.Append(0, payload.buffer()).ok());
   ASSERT_TRUE(writer.Append(1, payload.buffer()).ok());
   ASSERT_TRUE(writer.Close().ok());
@@ -269,7 +271,7 @@ TEST(StreamBatchesTest, EndpointClosedAndCoversGraph) {
     size_t nodes_seen = 0, edges_seen = 0;
     for (const BatchPayload& b : batches) {
       nodes_seen += b.nodes.size();
-      for (const Edge& e : b.edges) {
+      for (const EdgeData& e : b.edges) {
         // Both endpoints must already be delivered once this batch lands.
         EXPECT_LT(e.source, nodes_seen);
         EXPECT_LT(e.target, nodes_seen);

@@ -10,11 +10,17 @@
 # --threads 4 discovery, so every parallelized stage (including the
 # parallel snapshot encode) executes under the race detector.
 #
-# The ASan/UBSan leg rebuilds the store, csv and parser tests in
-# build-asan/ with -DPGHIVE_SANITIZE=address,undefined and drives a durable
+# The ASan/UBSan leg rebuilds the store, csv, parser, golden-equivalence
+# and snapshot-compat tests in build-asan/ with
+# -DPGHIVE_SANITIZE=address,undefined and drives a durable
 # discover -> crash-free resume -> inspect-state cycle through the CLI, so
 # the binary-format decoders run their corrupt-input paths under the memory
-# and UB detectors.
+# and UB detectors and the interned-core refactor is re-verified against
+# the pre-refactor golden schemas under ASan.
+#
+# The full run additionally re-records the micro_pipeline per-stage
+# baseline and fails when 1-thread encode+cluster regresses more than 10%
+# against the committed BENCH_pipeline.json.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -26,6 +32,43 @@ if [[ "${1:-}" != "--fast" ]]; then
   cmake -B build -S .
   cmake --build build -j "${JOBS}"
   (cd build && ctest --output-on-failure -j "${JOBS}")
+
+  echo "=== perf guard: encode+cluster vs committed BENCH_pipeline.json ==="
+  # Re-record the per-stage baseline (benchmark loops filtered out) and
+  # fail when the 1-thread encode+cluster total regresses more than 10%
+  # against the committed trajectory file.
+  if command -v python3 > /dev/null && [[ -x build/bench/micro_pipeline ]]; then
+    perf_tmp="$(mktemp -d)"
+    PGHIVE_BENCH_OUT="${perf_tmp}/BENCH_pipeline.json" \
+      ./build/bench/micro_pipeline --benchmark_filter='^$' > /dev/null 2>&1
+    python3 - BENCH_pipeline.json "${perf_tmp}/BENCH_pipeline.json" <<'PYEOF'
+import json, sys
+
+def encode_cluster_1thread(path):
+    with open(path) as f:
+        doc = json.load(f)
+    for run in doc["runs"]:
+        if run["threads"] == 1:
+            s = run["stages"]
+            return (s["encode_nodes"] + s["cluster_nodes"] +
+                    s["encode_edges"] + s["cluster_edges"])
+    raise SystemExit(f"no 1-thread run in {path}")
+
+committed = encode_cluster_1thread(sys.argv[1])
+current = encode_cluster_1thread(sys.argv[2])
+print(f"encode+cluster 1-thread: committed {committed:.4f}s, "
+      f"current {current:.4f}s")
+if current > committed * 1.10:
+    raise SystemExit(
+        f"PERF REGRESSION: encode+cluster {current:.4f}s is more than 10% "
+        f"slower than the committed baseline {committed:.4f}s "
+        f"(BENCH_pipeline.json)")
+print("perf guard ok")
+PYEOF
+    rm -rf "${perf_tmp}"
+  else
+    echo "skipping perf guard (python3 or build/bench/micro_pipeline missing)"
+  fi
 fi
 
 echo "=== TSan: runtime + pipeline + store tests, 4-thread discovery ==="
@@ -51,9 +94,10 @@ cmake -B build-asan -S . -DPGHIVE_SANITIZE=address,undefined \
   -DPGHIVE_BUILD_BENCHMARKS=OFF -DPGHIVE_BUILD_EXAMPLES=OFF \
   -DPGHIVE_BUILD_TOOLS=OFF
 cmake --build build-asan -j "${JOBS}" \
-  --target store_test csv_io_test pgschema_parser_test pghive_app
+  --target store_test csv_io_test pgschema_parser_test \
+  golden_equivalence_test store_compat_test pghive_app
 (cd build-asan && ctest --output-on-failure -j "${JOBS}" \
-  -R 'BinaryIo|Codec|Snapshot|Journal|StreamBatches|Fingerprint|Durable|CsvIo|PgSchemaParser')
+  -R 'BinaryIo|Codec|Snapshot|Journal|StreamBatches|Fingerprint|Durable|CsvIo|PgSchemaParser|GoldenEquivalence|StoreCompat')
 
 ./build-asan/apps/pghive generate POLE "${tmpdir}/pole2" --nodes 1000
 ./build-asan/apps/pghive discover "${tmpdir}/pole2" --incremental 4 \
