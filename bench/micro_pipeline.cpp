@@ -22,6 +22,7 @@
 #include "common/csv.h"
 #include "common/json.h"
 #include "core/feature_encoder.h"
+#include "core/incremental.h"
 #include "core/pipeline.h"
 #include "datagen/datasets.h"
 #include "datagen/generator.h"
@@ -169,6 +170,12 @@ JsonObject StagesToJson(const StageTimings& t) {
   stages.emplace("cluster_edges", t.cluster_edges);
   stages.emplace("extract_edges", t.extract_edges);
   stages.emplace("post_process", t.post_process);
+  // post_process sub-timings: aggregate build/fold + the three per-pass
+  // finalizations (they sum to ~post_process; the rest is dispatch).
+  stages.emplace("post_fold", t.post_fold);
+  stages.emplace("post_constraints", t.post_constraints);
+  stages.emplace("post_datatypes", t.post_datatypes);
+  stages.emplace("post_cardinalities", t.post_cardinalities);
   return stages;
 }
 
@@ -192,6 +199,10 @@ StageTimings StagesFromSpans(const std::vector<obs::SpanEvent>& spans) {
   t.cluster_edges = SpanSeconds(spans, "pipeline.cluster_edges");
   t.extract_edges = SpanSeconds(spans, "pipeline.extract_edges");
   t.post_process = SpanSeconds(spans, "pipeline.post_process");
+  t.post_fold = SpanSeconds(spans, "pipeline.post_fold");
+  t.post_constraints = SpanSeconds(spans, "pipeline.post_constraints");
+  t.post_datatypes = SpanSeconds(spans, "pipeline.post_datatypes");
+  t.post_cardinalities = SpanSeconds(spans, "pipeline.post_cardinalities");
   return t;
 }
 
@@ -226,6 +237,86 @@ JsonObject TimedRun(const PropertyGraph& g, int threads, int reps) {
   run.emplace("total_seconds", best);
   run.emplace("stages", StagesToJson(best_stages));
   return run;
+}
+
+/// Streams `g` as `num_batches` batches with per-batch post-processing and
+/// returns the per-batch post-process seconds (delta aggregates on or off).
+std::vector<double> IncrementalPostSeconds(const PropertyGraph& g,
+                                           size_t num_batches,
+                                           bool delta_aggregates) {
+  IncrementalOptions opt;
+  opt.post_process_each_batch = true;
+  opt.pipeline.aggregate_post_process = delta_aggregates;
+  IncrementalDiscoverer disc(opt);
+  for (const GraphBatch& batch : SplitIntoBatches(g, num_batches)) {
+    Status s = disc.Feed(batch);
+    if (!s.ok()) {
+      std::fprintf(stderr, "incremental feed failed: %s\n",
+                   s.ToString().c_str());
+      return {};
+    }
+  }
+  return disc.post_process_seconds();
+}
+
+double Sum(const std::vector<double>& v) {
+  double total = 0.0;
+  for (double x : v) total += x;
+  return total;
+}
+
+/// Incremental-scaling record: per-batch post-processing cost of a 32-batch
+/// stream of the largest dataset, delta aggregates vs the O(accumulated)
+/// rescan. The delta series must stay flat (tools/check.sh gates last-batch
+/// vs first-batch growth on this data).
+JsonObject IncrementalScalingToJson(const PropertyGraph& g,
+                                    const std::string& dataset) {
+  constexpr size_t kBatches = 32;
+  const std::vector<double> delta =
+      IncrementalPostSeconds(g, kBatches, /*delta_aggregates=*/true);
+  const std::vector<double> rescan =
+      IncrementalPostSeconds(g, kBatches, /*delta_aggregates=*/false);
+
+  JsonObject doc;
+  doc.emplace("dataset", dataset);
+  doc.emplace("batches", static_cast<uint64_t>(kBatches));
+  JsonArray delta_arr, rescan_arr;
+  for (double s : delta) delta_arr.push_back(s);
+  for (double s : rescan) rescan_arr.push_back(s);
+  doc.emplace("post_seconds_delta", std::move(delta_arr));
+  doc.emplace("post_seconds_rescan", std::move(rescan_arr));
+  const double delta_total = Sum(delta);
+  const double rescan_total = Sum(rescan);
+  doc.emplace("total_delta_seconds", delta_total);
+  doc.emplace("total_rescan_seconds", rescan_total);
+  if (delta_total > 0.0) {
+    doc.emplace("speedup_vs_rescan", rescan_total / delta_total);
+  }
+
+  // JSONL mirror for the CI artifact: one line per batch and mode, plus a
+  // summary line, all in the shared bench metric schema.
+  for (const auto& [mode, series] :
+       {std::pair<const char*, const std::vector<double>&>{"delta", delta},
+        {"rescan", rescan}}) {
+    for (size_t i = 0; i < series.size(); ++i) {
+      JsonObject fields;
+      fields.emplace("dataset", dataset);
+      fields.emplace("mode", mode);
+      fields.emplace("batch", static_cast<uint64_t>(i));
+      fields.emplace("post_seconds", series[i]);
+      std::fprintf(
+          stderr, "%s\n",
+          bench::BenchJsonl("micro_pipeline.incremental", fields).c_str());
+    }
+  }
+  JsonObject summary;
+  summary.emplace("dataset", dataset);
+  summary.emplace("total_delta_seconds", delta_total);
+  summary.emplace("total_rescan_seconds", rescan_total);
+  std::fprintf(stderr, "%s\n",
+               bench::BenchJsonl("micro_pipeline.incremental_total", summary)
+                   .c_str());
+  return doc;
 }
 
 void WritePipelineBaseline() {
@@ -271,6 +362,7 @@ void WritePipelineBaseline() {
   if (t1 > 0.0 && tn > 0.0) {
     doc.emplace("speedup_vs_1thread", t1 / tn);
   }
+  doc.emplace("incremental", IncrementalScalingToJson(*g, largest->name));
 
   // The same runs once more in the shared JSONL metric schema, so the
   // perf trajectory can be tailed/joined with --metrics-out exports.

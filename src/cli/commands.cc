@@ -135,6 +135,7 @@ Result<PipelineOptions> PipelineOptionsFromArgs(const Args& args) {
   }
   opt.extraction.jaccard_threshold = theta;
   opt.post_process = !args.GetBool("no-post", false);
+  opt.aggregate_post_process = !args.GetBool("no-aggregates", false);
   opt.datatypes.sample = args.GetBool("sample-datatypes", false);
   opt.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
   PGHIVE_ASSIGN_OR_RETURN(opt.num_threads, args.GetThreads());
@@ -271,6 +272,8 @@ Status CmdDiscover(const Args& args, std::ostream& out) {
         "[--checkpoint-every N] [--no-fsync] [--force-options] "
         "[--format summary|pgschema|xsd|json] [--mode strict|loose] "
         "[--save-schema file.json] [--aliases aliases.txt] [--no-post] "
+        "[--no-aggregates (rescan post-processing instead of delta "
+        "aggregates)] "
         "[--sample-datatypes] [--seed N] [--bucket B --tables T] "
         "[--threads N (0 = all cores; PGHIVE_THREADS env fallback)] "
         "[--metrics-out m.jsonl] [--trace-out trace.json] [--progress] "

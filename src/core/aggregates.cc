@@ -1,0 +1,366 @@
+#include "core/aggregates.h"
+
+#include <algorithm>
+
+#include "core/cardinality.h"
+#include "obs/metrics.h"
+#include "runtime/parallel.h"
+
+namespace pghive {
+
+namespace {
+
+/// Folds one element (node or edge) into its type's accumulator: key-set
+/// histogram, per-key datatype tally + numeric partials. The element's value
+/// row is aligned with its key set's canonical (lexicographic) key order, so
+/// the key ids and values pair up positionally — no per-key lookup.
+template <typename Elem>
+void FoldElement(const GraphSymbols& sym, const Elem& el, TypeAggregate* agg) {
+  ++agg->folded;
+  ++agg->key_set_counts[el.key_set];
+  const std::vector<SymbolId>& key_ids = sym.key_sets.ids(el.key_set);
+  for (size_t i = 0; i < key_ids.size(); ++i) {
+    PropertyAggregate& pa = agg->keys[key_ids[i]];
+    ++pa.present;
+    const Value& v = el.properties.value_at(i);
+    const DataType dt = v.type();
+    ++pa.type_counts[static_cast<size_t>(dt)];
+    if (dt == DataType::kInt || dt == DataType::kDouble) {
+      const double x = dt == DataType::kInt ? static_cast<double>(v.AsInt())
+                                            : v.AsDouble();
+      if (pa.numeric_count == 0 || x < pa.numeric_min) pa.numeric_min = x;
+      if (pa.numeric_count == 0 || x > pa.numeric_max) pa.numeric_max = x;
+      ++pa.numeric_count;
+    }
+  }
+}
+
+/// Folds an edge's endpoints into the distinct-degree state. The maxima
+/// update on every set growth; growth is monotone, so the running maximum
+/// equals the maximum over final set sizes.
+void FoldEdgeEndpoints(const Edge& e, TypeAggregate* agg) {
+  auto& targets = agg->out_sets[e.source];
+  if (targets.insert(e.target).second && targets.size() > agg->max_out) {
+    agg->max_out = targets.size();
+  }
+  auto& sources = agg->in_sets[e.target];
+  if (sources.insert(e.source).second && sources.size() > agg->max_in) {
+    agg->max_in = sources.size();
+  }
+}
+
+void MergeDegreeMap(
+    std::unordered_map<NodeId, std::unordered_set<NodeId>>* into,
+    const std::unordered_map<NodeId, std::unordered_set<NodeId>>& from,
+    uint64_t* max_degree) {
+  for (const auto& [endpoint, others] : from) {
+    auto& mine = (*into)[endpoint];
+    for (NodeId other : others) {
+      if (mine.insert(other).second && mine.size() > *max_degree) {
+        *max_degree = mine.size();
+      }
+    }
+  }
+}
+
+/// Joins the distinct observed datatypes of a tally in enum order. Equal to
+/// the sequential FoldValueTypes left fold because GeneralizeDataType is a
+/// semilattice join (order-independent); an empty tally is String, matching
+/// FoldValueTypes({}).
+DataType JoinTally(const std::array<uint64_t, kNumDataTypes>& counts) {
+  bool any = false;
+  DataType acc = DataType::kString;
+  for (size_t d = 0; d < kNumDataTypes; ++d) {
+    if (counts[d] == 0) continue;
+    const DataType dt = static_cast<DataType>(d);
+    acc = any ? GeneralizeDataType(acc, dt) : dt;
+    any = true;
+  }
+  return acc;
+}
+
+uint64_t PresentCount(const GraphSymbols& sym, const TypeAggregate& agg,
+                      const std::string& key,
+                      const PropertyAggregate** out_pa) {
+  *out_pa = nullptr;
+  const SymbolId* sid = sym.keys.Find(key);
+  if (sid == nullptr) return 0;
+  auto it = agg.keys.find(*sid);
+  if (it == agg.keys.end()) return 0;
+  *out_pa = &it->second;
+  return it->second.present;
+}
+
+}  // namespace
+
+void PropertyAggregate::Merge(const PropertyAggregate& other) {
+  present += other.present;
+  for (size_t d = 0; d < kNumDataTypes; ++d) {
+    type_counts[d] += other.type_counts[d];
+  }
+  if (other.numeric_count > 0) {
+    if (numeric_count == 0 || other.numeric_min < numeric_min) {
+      numeric_min = other.numeric_min;
+    }
+    if (numeric_count == 0 || other.numeric_max > numeric_max) {
+      numeric_max = other.numeric_max;
+    }
+    numeric_count += other.numeric_count;
+  }
+}
+
+void TypeAggregate::Merge(const TypeAggregate& other) {
+  folded += other.folded;
+  for (const auto& [ks, n] : other.key_set_counts) key_set_counts[ks] += n;
+  for (const auto& [sid, pa] : other.keys) keys[sid].Merge(pa);
+  MergeDegreeMap(&out_sets, other.out_sets, &max_out);
+  MergeDegreeMap(&in_sets, other.in_sets, &max_in);
+  // The insertion-driven updates above already cover other's maxima (every
+  // set of `other` is touched and ends at least as large); the explicit max
+  // is a free invariant restatement.
+  max_out = std::max(max_out, other.max_out);
+  max_in = std::max(max_in, other.max_in);
+}
+
+bool SchemaAggregates::ConsistentWith(const SchemaGraph& schema) const {
+  if (node_types.size() != schema.node_types.size() ||
+      edge_types.size() != schema.edge_types.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < node_types.size(); ++i) {
+    if (node_types[i].folded != schema.node_types[i].instances.size()) {
+      return false;
+    }
+  }
+  for (size_t i = 0; i < edge_types.size(); ++i) {
+    if (edge_types[i].folded != schema.edge_types[i].instances.size()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool SchemaAggregates::FoldNew(const PropertyGraph& g,
+                               const SchemaGraph& schema) {
+  bool ok = node_types.size() <= schema.node_types.size() &&
+            edge_types.size() <= schema.edge_types.size();
+  node_types.resize(schema.node_types.size());
+  edge_types.resize(schema.edge_types.size());
+  const GraphSymbols& sym = g.symbols();
+  for (size_t i = 0; i < node_types.size(); ++i) {
+    const SchemaNodeType& t = schema.node_types[i];
+    TypeAggregate& a = node_types[i];
+    if (a.folded > t.instances.size()) {
+      ok = false;  // instance list shrank below the watermark
+      continue;
+    }
+    for (size_t j = a.folded; j < t.instances.size(); ++j) {
+      FoldElement(sym, g.node(t.instances[j]), &a);
+    }
+  }
+  for (size_t i = 0; i < edge_types.size(); ++i) {
+    const SchemaEdgeType& t = schema.edge_types[i];
+    TypeAggregate& a = edge_types[i];
+    if (a.folded > t.instances.size()) {
+      ok = false;
+      continue;
+    }
+    for (size_t j = a.folded; j < t.instances.size(); ++j) {
+      const Edge& e = g.edge(t.instances[j]);
+      FoldElement(sym, e, &a);
+      FoldEdgeEndpoints(e, &a);
+    }
+  }
+  return ok;
+}
+
+void SchemaAggregates::Merge(const SchemaAggregates& other) {
+  if (node_types.size() < other.node_types.size()) {
+    node_types.resize(other.node_types.size());
+  }
+  if (edge_types.size() < other.edge_types.size()) {
+    edge_types.resize(other.edge_types.size());
+  }
+  for (size_t i = 0; i < other.node_types.size(); ++i) {
+    node_types[i].Merge(other.node_types[i]);
+  }
+  for (size_t i = 0; i < other.edge_types.size(); ++i) {
+    edge_types[i].Merge(other.edge_types[i]);
+  }
+}
+
+void SchemaAggregates::Clear() {
+  node_types.clear();
+  edge_types.clear();
+}
+
+uint64_t SchemaAggregates::FoldedInstances() const {
+  uint64_t total = 0;
+  for (const auto& a : node_types) total += a.folded;
+  for (const auto& a : edge_types) total += a.folded;
+  return total;
+}
+
+uint64_t SchemaAggregates::KeyEntries() const {
+  uint64_t total = 0;
+  for (const auto& a : node_types) total += a.keys.size();
+  for (const auto& a : edge_types) total += a.keys.size();
+  return total;
+}
+
+uint64_t SchemaAggregates::DegreeEntries() const {
+  uint64_t total = 0;
+  for (const auto& a : edge_types) {
+    total += a.out_sets.size() + a.in_sets.size();
+  }
+  return total;
+}
+
+uint64_t SchemaAggregates::ApproxBytes() const {
+  // Rough heap accounting: per-entry node overhead for the tree maps, bucket
+  // + element cost for the hash containers.
+  constexpr uint64_t kMapNode = 48;
+  constexpr uint64_t kHashEntry = 32;
+  uint64_t bytes = 0;
+  auto type_bytes = [&](const TypeAggregate& a) {
+    bytes += sizeof(TypeAggregate);
+    bytes += a.key_set_counts.size() * (kMapNode + sizeof(uint64_t) * 2);
+    bytes += a.keys.size() * (kMapNode + sizeof(PropertyAggregate));
+    for (const auto* m : {&a.out_sets, &a.in_sets}) {
+      bytes += m->size() * (kHashEntry + sizeof(std::unordered_set<NodeId>));
+      for (const auto& [k, s] : *m) bytes += s.size() * kHashEntry;
+    }
+  };
+  for (const auto& a : node_types) type_bytes(a);
+  for (const auto& a : edge_types) type_bytes(a);
+  return bytes;
+}
+
+SchemaAggregates BuildAggregates(const PropertyGraph& g,
+                                 const SchemaGraph& schema,
+                                 ThreadPool* pool) {
+  SchemaAggregates agg;
+  const GraphSymbols& sym = g.symbols();
+
+  // One chunked reduction per element kind over the flattened
+  // (type, instance) index space: chunk boundaries depend only on the total
+  // instance count, partials merge in ascending chunk order, and every
+  // component (counts, map unions, growth-driven maxima) is exact under
+  // merging — so the merged content is independent of the chunking.
+  auto build = [&](const auto& types, std::vector<TypeAggregate>* out,
+                   auto fold_one) {
+    std::vector<size_t> offset(types.size() + 1, 0);
+    for (size_t i = 0; i < types.size(); ++i) {
+      offset[i + 1] = offset[i] + types[i].instances.size();
+    }
+    const size_t total = offset.back();
+    using Partial = std::vector<TypeAggregate>;
+    *out = ParallelReduceOrdered(
+        pool, total, Partial(types.size()),
+        [&](size_t begin, size_t end) {
+          Partial partial(types.size());
+          size_t t = static_cast<size_t>(
+              std::upper_bound(offset.begin(), offset.end(), begin) -
+              offset.begin() - 1);
+          for (size_t idx = begin; idx < end;) {
+            while (idx >= offset[t + 1]) ++t;
+            const size_t stop = std::min(end, offset[t + 1]);
+            for (; idx < stop; ++idx) {
+              fold_one(types[t], idx - offset[t], &partial[t]);
+            }
+          }
+          return partial;
+        },
+        [](Partial* acc, Partial&& partial) {
+          for (size_t i = 0; i < partial.size(); ++i) {
+            (*acc)[i].Merge(partial[i]);
+          }
+        });
+  };
+
+  build(schema.node_types, &agg.node_types,
+        [&](const SchemaNodeType& t, size_t j, TypeAggregate* a) {
+          FoldElement(sym, g.node(t.instances[j]), a);
+        });
+  build(schema.edge_types, &agg.edge_types,
+        [&](const SchemaEdgeType& t, size_t j, TypeAggregate* a) {
+          const Edge& e = g.edge(t.instances[j]);
+          FoldElement(sym, e, a);
+          FoldEdgeEndpoints(e, a);
+        });
+  return agg;
+}
+
+void FinalizeConstraints(const GraphSymbols& sym, const SchemaAggregates& agg,
+                         SchemaGraph* schema, ThreadPool* pool) {
+  auto run = [&](auto* types, const std::vector<TypeAggregate>& aggs) {
+    ParallelFor(
+        pool, types->size(),
+        [&](size_t i) {
+          auto& t = (*types)[i];
+          const TypeAggregate& a = aggs[i];
+          for (const auto& key : t.property_keys) {
+            PropertyConstraint& c = t.constraints[key];  // default-insert
+            const PropertyAggregate* pa = nullptr;
+            const uint64_t present = PresentCount(sym, a, key, &pa);
+            c.mandatory = a.folded > 0 && present == a.folded;
+          }
+        },
+        /*grain=*/1);
+  };
+  run(&schema->node_types, agg.node_types);
+  run(&schema->edge_types, agg.edge_types);
+}
+
+void FinalizeDataTypes(const GraphSymbols& sym, const SchemaAggregates& agg,
+                       SchemaGraph* schema, ThreadPool* pool) {
+  auto run = [&](auto* types, const std::vector<TypeAggregate>& aggs) {
+    ParallelFor(
+        pool, types->size(),
+        [&](size_t i) {
+          auto& t = (*types)[i];
+          const TypeAggregate& a = aggs[i];
+          for (const auto& key : t.property_keys) {
+            const PropertyAggregate* pa = nullptr;
+            PresentCount(sym, a, key, &pa);
+            t.constraints[key].type =
+                pa == nullptr ? DataType::kString : JoinTally(pa->type_counts);
+          }
+        },
+        /*grain=*/1);
+  };
+  run(&schema->node_types, agg.node_types);
+  run(&schema->edge_types, agg.edge_types);
+}
+
+void FinalizeCardinalities(const SchemaAggregates& agg, SchemaGraph* schema,
+                           ThreadPool* pool) {
+  ParallelFor(
+      pool, schema->edge_types.size(),
+      [&](size_t i) {
+        SchemaEdgeType& t = schema->edge_types[i];
+        const TypeAggregate& a = agg.edge_types[i];
+        t.max_out_degree = static_cast<size_t>(a.max_out);
+        t.max_in_degree = static_cast<size_t>(a.max_in);
+        t.cardinality = ClassifyCardinality(t.max_out_degree, t.max_in_degree);
+      },
+      /*grain=*/1);
+}
+
+void PublishAggregateGauges(const SchemaAggregates& agg) {
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.GetGauge("pghive.aggregates.node_types")
+      ->Set(static_cast<int64_t>(agg.node_types.size()));
+  reg.GetGauge("pghive.aggregates.edge_types")
+      ->Set(static_cast<int64_t>(agg.edge_types.size()));
+  reg.GetGauge("pghive.aggregates.folded_instances")
+      ->Set(static_cast<int64_t>(agg.FoldedInstances()));
+  reg.GetGauge("pghive.aggregates.key_entries")
+      ->Set(static_cast<int64_t>(agg.KeyEntries()));
+  reg.GetGauge("pghive.aggregates.degree_entries")
+      ->Set(static_cast<int64_t>(agg.DegreeEntries()));
+  reg.GetGauge("pghive.aggregates.approx_bytes")
+      ->Set(static_cast<int64_t>(agg.ApproxBytes()));
+}
+
+}  // namespace pghive

@@ -1,0 +1,174 @@
+// Delta-maintained post-processing aggregates (paper §4.4 made incremental).
+//
+// Every output of the post-processing passes — MANDATORY/OPTIONAL property
+// constraints, property datatypes and edge cardinalities — is a *mergeable
+// aggregate* over a type's assigned instances:
+//
+//   constraints    key-presence histogram per interned key set: the count of
+//                  instances carrying key k is the sum of the histogram over
+//                  the key sets containing k, and k is MANDATORY iff that sum
+//                  equals the instance count.
+//   datatypes      per-(type, key) tally over the six DataTypes. The
+//                  sequential pass folds observed value types with
+//                  GeneralizeDataType, which is the join of a semilattice
+//                  (commutative, associative, idempotent: Int⊔Double=Double,
+//                  Date⊔Timestamp=Timestamp, mixed=String), so joining the
+//                  DISTINCT observed types from the tally reproduces the
+//                  sequential left fold exactly. Numeric value-stats partials
+//                  (count/min/max) ride along for the snapshot statistics.
+//   cardinalities  per-(edge type, endpoint) distinct-neighbour sets with a
+//                  running maximum, updated whenever a set grows. Set growth
+//                  is monotone, so the running maximum equals the maximum
+//                  over the final set sizes — exact, not approximate.
+//
+// Because type extraction only ever APPENDS instances to a type (stable type
+// indices, each instance assigned exactly once — see core/type_extraction.h),
+// the incremental pipeline folds just the instances appended since the last
+// fold: O(batch) per batch instead of the O(accumulated graph) rescan, which
+// turned a k-batch stream into O(k·N). Finalization (writing constraints /
+// datatypes / cardinalities into the schema) is then independent of the
+// number of instances.
+//
+// The one-shot pipeline builds the same aggregates in a single chunked
+// ParallelReduceOrdered pass. All components are integer counts, map unions
+// and monotone maxima, so the merged aggregate content — and therefore the
+// finalized schema — is bit-identical at any thread count and identical to
+// the sequential rescan passes (guarded by tests/golden_equivalence_test).
+//
+// NOT delta-maintainable: the datatype sampling mode (the RNG consumes draws
+// in (type, key) order over the concrete value list, which the tally cannot
+// reproduce) and the full value statistics (top-k values, distinct counts,
+// enum domains). Both fall back to their rescan implementations.
+//
+// Contract: aggregates assume append-only instance lists. External schema
+// surgery (core/deletions.h) invalidates them; ConsistentWith detects the
+// mismatch and callers fall back to the rescan passes.
+
+#ifndef PGHIVE_CORE_AGGREGATES_H_
+#define PGHIVE_CORE_AGGREGATES_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/schema.h"
+#include "graph/property_graph.h"
+#include "runtime/thread_pool.h"
+
+namespace pghive {
+
+/// Number of DataType enum values (tally array width).
+inline constexpr size_t kNumDataTypes = 6;
+
+/// Mergeable accumulator for one (type, property key) pair.
+struct PropertyAggregate {
+  /// Instances of the type whose key set contains the key (== the
+  /// CountWithKey sum of the rescan pass).
+  uint64_t present = 0;
+  /// Observed value count per DataType (indexed by the enum value).
+  std::array<uint64_t, kNumDataTypes> type_counts{};
+  /// Numeric value-stats partials: count/min/max over Int and Double values.
+  uint64_t numeric_count = 0;
+  double numeric_min = 0.0;
+  double numeric_max = 0.0;
+
+  void Merge(const PropertyAggregate& other);
+
+  bool operator==(const PropertyAggregate&) const = default;
+};
+
+/// Mergeable accumulator for one schema type (node or edge; the degree
+/// state stays empty for node types).
+struct TypeAggregate {
+  /// Instances folded so far — the delta-fold watermark into the type's
+  /// append-only instance list, and the denominator of the MANDATORY test.
+  uint64_t folded = 0;
+  /// Key-presence histogram: interned key set -> instance count. Ordered
+  /// map so serialization is canonical without a sort.
+  std::map<KeySetId, uint64_t> key_set_counts;
+  /// Per-key tallies, keyed by interned key symbol.
+  std::map<SymbolId, PropertyAggregate> keys;
+
+  // Edge-only distinct-degree state: distinct targets per source, distinct
+  // sources per target, with running maxima (exact; see file comment).
+  std::unordered_map<NodeId, std::unordered_set<NodeId>> out_sets;
+  std::unordered_map<NodeId, std::unordered_set<NodeId>> in_sets;
+  uint64_t max_out = 0;
+  uint64_t max_in = 0;
+
+  void Merge(const TypeAggregate& other);
+
+  bool operator==(const TypeAggregate&) const = default;
+};
+
+/// Aggregate state for a whole schema: one TypeAggregate per schema type,
+/// parallel to schema.node_types / schema.edge_types by index (extraction
+/// keeps type indices stable).
+struct SchemaAggregates {
+  std::vector<TypeAggregate> node_types;
+  std::vector<TypeAggregate> edge_types;
+
+  /// True when every type's folded count matches its instance count (so
+  /// finalization from this state equals the rescan passes). False after
+  /// external instance-list surgery or for a freshly restored schema whose
+  /// aggregates were never built.
+  bool ConsistentWith(const SchemaGraph& schema) const;
+
+  /// Folds every instance appended to `schema`'s types since the last fold
+  /// (all of them, for a fresh aggregate). O(new instances). Returns false
+  /// when an instance list SHRANK below its watermark (external deletion) —
+  /// the aggregates are then unusable until rebuilt.
+  bool FoldNew(const PropertyGraph& g, const SchemaGraph& schema);
+
+  /// Index-wise merge for the parallel one-shot build (counts add, maps
+  /// union, maxima update on set growth).
+  void Merge(const SchemaAggregates& other);
+
+  void Clear();
+
+  uint64_t FoldedInstances() const;
+  /// Distinct (type, key) tally entries / degree-map endpoint entries —
+  /// the pghive.aggregates.* gauge sources.
+  uint64_t KeyEntries() const;
+  uint64_t DegreeEntries() const;
+  /// Approximate heap footprint for the obs gauges.
+  uint64_t ApproxBytes() const;
+
+  bool operator==(const SchemaAggregates&) const = default;
+};
+
+/// Builds aggregates for `schema`'s current instance assignment in one
+/// chunked pass over the flattened (type, instance) space; per-chunk
+/// partials merge in ascending chunk order (deterministic content at any
+/// thread count). Null pool = sequential.
+SchemaAggregates BuildAggregates(const PropertyGraph& g,
+                                 const SchemaGraph& schema,
+                                 ThreadPool* pool = nullptr);
+
+// --- Finalization: write aggregate state into the schema. Each function
+// reproduces its rescan counterpart bit-for-bit (given ConsistentWith);
+// `pool` parallelizes over types. ---
+
+/// InferPropertyConstraints from the key-set histograms.
+void FinalizeConstraints(const GraphSymbols& sym, const SchemaAggregates& agg,
+                         SchemaGraph* schema, ThreadPool* pool = nullptr);
+
+/// InferDataTypes (full-scan semantics) from the datatype tallies. The
+/// sampling mode is NOT reproducible from tallies — callers must use
+/// InferDataTypes when options.sample is set.
+void FinalizeDataTypes(const GraphSymbols& sym, const SchemaAggregates& agg,
+                       SchemaGraph* schema, ThreadPool* pool = nullptr);
+
+/// ComputeCardinalities from the degree maxima.
+void FinalizeCardinalities(const SchemaAggregates& agg, SchemaGraph* schema,
+                           ThreadPool* pool = nullptr);
+
+/// Mirrors the aggregate footprint into the pghive.aggregates.* gauges.
+void PublishAggregateGauges(const SchemaAggregates& agg);
+
+}  // namespace pghive
+
+#endif  // PGHIVE_CORE_AGGREGATES_H_

@@ -14,11 +14,15 @@
 
 #include "core/schema.h"
 #include "graph/property_graph.h"
+#include "runtime/thread_pool.h"
 
 namespace pghive {
 
 /// Fills cardinality / max_out_degree / max_in_degree of every edge type.
-void ComputeCardinalities(const PropertyGraph& g, SchemaGraph* schema);
+/// Edge types are independent, so `pool` fans the per-type degree scans out
+/// (null = sequential; output identical either way).
+void ComputeCardinalities(const PropertyGraph& g, SchemaGraph* schema,
+                          ThreadPool* pool = nullptr);
 
 /// Classifies a (max_out, max_in) pair. Exposed for tests.
 SchemaCardinality ClassifyCardinality(size_t max_out, size_t max_in);

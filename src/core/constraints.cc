@@ -2,6 +2,8 @@
 
 #include <unordered_map>
 
+#include "runtime/parallel.h"
+
 namespace pghive {
 
 namespace {
@@ -49,15 +51,24 @@ double Frequency(const GraphSymbols& sym, const TypeT& t,
 
 }  // namespace
 
-void InferPropertyConstraints(const PropertyGraph& g, SchemaGraph* schema) {
-  for (auto& t : schema->node_types) {
-    InferForType(g.symbols(), &t,
-                 [&](NodeId id) { return g.node(id).key_set; });
-  }
-  for (auto& t : schema->edge_types) {
-    InferForType(g.symbols(), &t,
-                 [&](EdgeId id) { return g.edge(id).key_set; });
-  }
+void InferPropertyConstraints(const PropertyGraph& g, SchemaGraph* schema,
+                              ThreadPool* pool) {
+  // Each type only touches its own constraint map, so the per-type scans
+  // run independently (grain 1: instance counts vary wildly across types).
+  ParallelFor(
+      pool, schema->node_types.size(),
+      [&](size_t i) {
+        InferForType(g.symbols(), &schema->node_types[i],
+                     [&](NodeId id) { return g.node(id).key_set; });
+      },
+      /*grain=*/1);
+  ParallelFor(
+      pool, schema->edge_types.size(),
+      [&](size_t i) {
+        InferForType(g.symbols(), &schema->edge_types[i],
+                     [&](EdgeId id) { return g.edge(id).key_set; });
+      },
+      /*grain=*/1);
 }
 
 double NodePropertyFrequency(const PropertyGraph& g, const SchemaNodeType& t,

@@ -9,14 +9,17 @@
 
 #include "core/schema.h"
 #include "graph/property_graph.h"
+#include "runtime/thread_pool.h"
 
 namespace pghive {
 
 /// Fills the `mandatory` flag of every property constraint of every type in
 /// `schema`, creating constraint entries (with default String datatype) for
 /// properties that do not have one yet. Types without instances keep all
-/// properties optional.
-void InferPropertyConstraints(const PropertyGraph& g, SchemaGraph* schema);
+/// properties optional. Types are independent, so `pool` fans the per-type
+/// scans out (null = sequential; output identical either way).
+void InferPropertyConstraints(const PropertyGraph& g, SchemaGraph* schema,
+                              ThreadPool* pool = nullptr);
 
 /// Frequency f_T(p): fraction of the type's instances carrying property p.
 /// Exposed for tests. Returns 0 for an instance-less type.

@@ -30,8 +30,22 @@ Status IncrementalDiscoverer::Feed(const GraphBatch& batch) {
       span.AddAttr("edges", static_cast<uint64_t>(batch.num_edges()));
     }
     PGHIVE_RETURN_NOT_OK(pipeline_.ProcessBatch(batch, &schema_));
+    if (options_.pipeline.aggregate_post_process) {
+      // O(batch): folds only the instances this batch appended. A fresh
+      // discoverer (or one restored without aggregates) folds everything
+      // assigned so far on its first call.
+      if (!aggregates_.FoldNew(*batch.graph, schema_)) {
+        aggregates_valid_ = false;
+      }
+      if (obs::MetricsEnabled()) PublishAggregateGauges(aggregates_);
+    }
     if (options_.post_process_each_batch) {
-      pipeline_.PostProcess(*batch.graph, &schema_);
+      pipeline_.PostProcessWithAggregates(*batch.graph, AggregatesOrNull(),
+                                          &schema_);
+      post_process_seconds_.push_back(
+          pipeline_.last_diagnostics().timings.post_process);
+    } else {
+      post_process_seconds_.push_back(0.0);
     }
   }
   batches_total->Add(1);
@@ -46,13 +60,31 @@ Status IncrementalDiscoverer::Feed(const GraphBatch& batch) {
 }
 
 void IncrementalDiscoverer::RestoreState(SchemaGraph schema,
-                                         std::vector<double> batch_seconds) {
+                                         std::vector<double> batch_seconds,
+                                         SchemaAggregates aggregates) {
   schema_ = std::move(schema);
   batch_seconds_ = std::move(batch_seconds);
+  post_process_seconds_.assign(batch_seconds_.size(), 0.0);
+  aggregates_valid_ = true;
+  if (aggregates.ConsistentWith(schema_)) {
+    aggregates_ = std::move(aggregates);
+  } else {
+    // Stale or absent: the next Feed's FoldNew (watermark 0) rebuilds them
+    // from the restored schema's instance lists.
+    aggregates_.Clear();
+  }
+}
+
+const SchemaAggregates* IncrementalDiscoverer::AggregatesOrNull() const {
+  return options_.pipeline.aggregate_post_process && aggregates_valid_
+             ? &aggregates_
+             : nullptr;
 }
 
 const SchemaGraph& IncrementalDiscoverer::Finish(const PropertyGraph& g) {
-  pipeline_.PostProcess(g, &schema_);
+  // With maintained aggregates this is pure finalization — no rescan, and
+  // no repeat of work already done by per-batch post-processing.
+  pipeline_.PostProcessWithAggregates(g, AggregatesOrNull(), &schema_);
   return schema_;
 }
 

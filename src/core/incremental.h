@@ -29,11 +29,15 @@ class IncrementalDiscoverer {
   /// Processes one new batch and merges it into the running schema.
   Status Feed(const GraphBatch& batch);
 
-  /// Restores previously persisted state (schema + per-batch timings), so a
-  /// recovered process resumes exactly where it stopped: the next Feed()
-  /// merges into the restored schema as if this discoverer had processed
-  /// every earlier batch itself (src/store/ uses this on recovery).
-  void RestoreState(SchemaGraph schema, std::vector<double> batch_seconds);
+  /// Restores previously persisted state (schema + per-batch timings +
+  /// optionally the delta-maintained aggregates), so a recovered process
+  /// resumes exactly where it stopped: the next Feed() merges into the
+  /// restored schema as if this discoverer had processed every earlier
+  /// batch itself (src/store/ uses this on recovery). Aggregates that don't
+  /// match the schema (or an empty default) are discarded — the next fold
+  /// rebuilds them from the schema's instance lists.
+  void RestoreState(SchemaGraph schema, std::vector<double> batch_seconds,
+                    SchemaAggregates aggregates = {});
 
   /// Number of batches processed so far.
   size_t batches_processed() const { return batch_seconds_.size(); }
@@ -59,11 +63,34 @@ class IncrementalDiscoverer {
   /// store reuses it for parallel snapshot encoding.
   ThreadPool* thread_pool() const { return pipeline_.thread_pool(); }
 
+  /// The delta-maintained post-processing aggregates, folded forward on
+  /// every Feed (meaningful only while aggregates_valid()). The durable
+  /// store persists them so recovery skips the rebuild.
+  const SchemaAggregates& aggregates() const { return aggregates_; }
+
+  /// False after an instance list shrank under the aggregates (external
+  /// schema surgery) — post-processing then rebuilds transient aggregates
+  /// until RestoreState resets the discoverer.
+  bool aggregates_valid() const { return aggregates_valid_; }
+
+  /// Wall-clock seconds the post-processing of each Feed() took (0 when
+  /// post_process_each_batch is off) — the incremental-scaling bench series.
+  const std::vector<double>& post_process_seconds() const {
+    return post_process_seconds_;
+  }
+
  private:
+  /// The maintained aggregates when they are usable, else null (the
+  /// pipeline then rebuilds transiently).
+  const SchemaAggregates* AggregatesOrNull() const;
+
   IncrementalOptions options_;
   PgHivePipeline pipeline_;
   SchemaGraph schema_;
+  SchemaAggregates aggregates_;
+  bool aggregates_valid_ = true;
   std::vector<double> batch_seconds_;
+  std::vector<double> post_process_seconds_;
 };
 
 /// Merges two independently discovered schemas into the least general

@@ -288,11 +288,64 @@ Status PgHivePipeline::ProcessBatch(const GraphBatch& batch,
 
 void PgHivePipeline::PostProcess(const PropertyGraph& g,
                                  SchemaGraph* schema) const {
-  obs::ScopedSpan span("pipeline.post_process",
-                       &diagnostics_.timings.post_process);
-  InferPropertyConstraints(g, schema);
-  InferDataTypes(g, options_.datatypes, schema, EnsurePool());
-  ComputeCardinalities(g, schema);
+  PostProcessWithAggregates(g, nullptr, schema);
+}
+
+void PgHivePipeline::PostProcessWithAggregates(
+    const PropertyGraph& g, const SchemaAggregates* aggregates,
+    SchemaGraph* schema) const {
+  StageTimings& timings = diagnostics_.timings;
+  obs::ScopedSpan span("pipeline.post_process", &timings.post_process);
+  ThreadPool* pool = EnsurePool();
+
+  if (!options_.aggregate_post_process) {
+    // Legacy rescan passes (A/B escape hatch) — same outputs, O(instances)
+    // per call.
+    {
+      obs::ScopedSpan s("pipeline.post_constraints", &timings.post_constraints);
+      InferPropertyConstraints(g, schema, pool);
+    }
+    {
+      obs::ScopedSpan s("pipeline.post_datatypes", &timings.post_datatypes);
+      InferDataTypes(g, options_.datatypes, schema, pool);
+    }
+    {
+      obs::ScopedSpan s("pipeline.post_cardinalities",
+                        &timings.post_cardinalities);
+      ComputeCardinalities(g, schema, pool);
+    }
+    return;
+  }
+
+  // Finalize from aggregates: the caller's maintained state when it matches
+  // the schema's instance assignment, otherwise a transient build in one
+  // chunked parallel pass over the assigned instances.
+  SchemaAggregates local;
+  if (aggregates == nullptr || !aggregates->ConsistentWith(*schema)) {
+    obs::ScopedSpan s("pipeline.post_fold", &timings.post_fold);
+    local = BuildAggregates(g, *schema, pool);
+    aggregates = &local;
+  }
+  const GraphSymbols& sym = g.symbols();
+  {
+    obs::ScopedSpan s("pipeline.post_constraints", &timings.post_constraints);
+    FinalizeConstraints(sym, *aggregates, schema, pool);
+  }
+  {
+    obs::ScopedSpan s("pipeline.post_datatypes", &timings.post_datatypes);
+    // The sampling mode draws from the concrete value lists in an
+    // RNG-consumption order the tallies cannot reproduce — rescan for it.
+    if (options_.datatypes.sample) {
+      InferDataTypes(g, options_.datatypes, schema, pool);
+    } else {
+      FinalizeDataTypes(sym, *aggregates, schema, pool);
+    }
+  }
+  {
+    obs::ScopedSpan s("pipeline.post_cardinalities",
+                      &timings.post_cardinalities);
+    FinalizeCardinalities(*aggregates, schema, pool);
+  }
 }
 
 Result<SchemaGraph> PgHivePipeline::DiscoverSchema(const PropertyGraph& g) {

@@ -1,5 +1,6 @@
 #include "store/codec.h"
 
+#include <algorithm>
 #include <map>
 #include <unordered_map>
 
@@ -792,6 +793,119 @@ Result<SchemaValueStats> DecodeValueStats(BinaryReader* r) {
   PGHIVE_ASSIGN_OR_RETURN(stats.node_types, DecodeTypeStats(r));
   PGHIVE_ASSIGN_OR_RETURN(stats.edge_types, DecodeTypeStats(r));
   return stats;
+}
+
+namespace {
+
+void EncodeDegreeMap(
+    const std::unordered_map<NodeId, std::unordered_set<NodeId>>& m,
+    BinaryWriter* w) {
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(m.size());
+  for (const auto& [endpoint, others] : m) endpoints.push_back(endpoint);
+  std::sort(endpoints.begin(), endpoints.end());
+  w->WriteU32(static_cast<uint32_t>(endpoints.size()));
+  for (NodeId endpoint : endpoints) {
+    const auto& others = m.at(endpoint);
+    std::vector<NodeId> sorted(others.begin(), others.end());
+    std::sort(sorted.begin(), sorted.end());
+    w->WriteU64(endpoint);
+    w->WriteU32(static_cast<uint32_t>(sorted.size()));
+    for (NodeId other : sorted) w->WriteU64(other);
+  }
+}
+
+Result<std::unordered_map<NodeId, std::unordered_set<NodeId>>>
+DecodeDegreeMap(BinaryReader* r) {
+  std::unordered_map<NodeId, std::unordered_set<NodeId>> m;
+  PGHIVE_ASSIGN_OR_RETURN(uint32_t num_endpoints, r->ReadU32());
+  for (uint32_t i = 0; i < num_endpoints; ++i) {
+    PGHIVE_ASSIGN_OR_RETURN(uint64_t endpoint, r->ReadU64());
+    PGHIVE_ASSIGN_OR_RETURN(uint32_t num_others, r->ReadU32());
+    auto& others = m[static_cast<NodeId>(endpoint)];
+    for (uint32_t j = 0; j < num_others; ++j) {
+      PGHIVE_ASSIGN_OR_RETURN(uint64_t other, r->ReadU64());
+      others.insert(static_cast<NodeId>(other));
+    }
+  }
+  return m;
+}
+
+void EncodeTypeAggregate(const TypeAggregate& a, BinaryWriter* w) {
+  w->WriteU64(a.folded);
+  w->WriteU32(static_cast<uint32_t>(a.key_set_counts.size()));
+  for (const auto& [ks, n] : a.key_set_counts) {
+    w->WriteU32(ks);
+    w->WriteU64(n);
+  }
+  w->WriteU32(static_cast<uint32_t>(a.keys.size()));
+  for (const auto& [sid, pa] : a.keys) {
+    w->WriteU32(sid);
+    w->WriteU64(pa.present);
+    for (uint64_t c : pa.type_counts) w->WriteU64(c);
+    w->WriteU64(pa.numeric_count);
+    w->WriteDouble(pa.numeric_min);
+    w->WriteDouble(pa.numeric_max);
+  }
+  EncodeDegreeMap(a.out_sets, w);
+  EncodeDegreeMap(a.in_sets, w);
+  w->WriteU64(a.max_out);
+  w->WriteU64(a.max_in);
+}
+
+Result<TypeAggregate> DecodeTypeAggregate(BinaryReader* r) {
+  TypeAggregate a;
+  PGHIVE_ASSIGN_OR_RETURN(a.folded, r->ReadU64());
+  PGHIVE_ASSIGN_OR_RETURN(uint32_t num_key_sets, r->ReadU32());
+  for (uint32_t i = 0; i < num_key_sets; ++i) {
+    PGHIVE_ASSIGN_OR_RETURN(uint32_t ks, r->ReadU32());
+    PGHIVE_ASSIGN_OR_RETURN(uint64_t n, r->ReadU64());
+    a.key_set_counts[static_cast<KeySetId>(ks)] = n;
+  }
+  PGHIVE_ASSIGN_OR_RETURN(uint32_t num_keys, r->ReadU32());
+  for (uint32_t i = 0; i < num_keys; ++i) {
+    PGHIVE_ASSIGN_OR_RETURN(uint32_t sid, r->ReadU32());
+    PropertyAggregate pa;
+    PGHIVE_ASSIGN_OR_RETURN(pa.present, r->ReadU64());
+    for (size_t d = 0; d < kNumDataTypes; ++d) {
+      PGHIVE_ASSIGN_OR_RETURN(pa.type_counts[d], r->ReadU64());
+    }
+    PGHIVE_ASSIGN_OR_RETURN(pa.numeric_count, r->ReadU64());
+    PGHIVE_ASSIGN_OR_RETURN(pa.numeric_min, r->ReadDouble());
+    PGHIVE_ASSIGN_OR_RETURN(pa.numeric_max, r->ReadDouble());
+    a.keys[static_cast<SymbolId>(sid)] = pa;
+  }
+  PGHIVE_ASSIGN_OR_RETURN(a.out_sets, DecodeDegreeMap(r));
+  PGHIVE_ASSIGN_OR_RETURN(a.in_sets, DecodeDegreeMap(r));
+  PGHIVE_ASSIGN_OR_RETURN(a.max_out, r->ReadU64());
+  PGHIVE_ASSIGN_OR_RETURN(a.max_in, r->ReadU64());
+  return a;
+}
+
+}  // namespace
+
+void EncodeAggregates(const SchemaAggregates& agg, BinaryWriter* w) {
+  w->WriteU32(static_cast<uint32_t>(agg.node_types.size()));
+  for (const auto& a : agg.node_types) EncodeTypeAggregate(a, w);
+  w->WriteU32(static_cast<uint32_t>(agg.edge_types.size()));
+  for (const auto& a : agg.edge_types) EncodeTypeAggregate(a, w);
+}
+
+Result<SchemaAggregates> DecodeAggregates(BinaryReader* r) {
+  SchemaAggregates agg;
+  PGHIVE_ASSIGN_OR_RETURN(uint32_t num_node_types, r->ReadU32());
+  agg.node_types.reserve(num_node_types < 4096 ? num_node_types : 4096);
+  for (uint32_t i = 0; i < num_node_types; ++i) {
+    PGHIVE_ASSIGN_OR_RETURN(TypeAggregate a, DecodeTypeAggregate(r));
+    agg.node_types.push_back(std::move(a));
+  }
+  PGHIVE_ASSIGN_OR_RETURN(uint32_t num_edge_types, r->ReadU32());
+  agg.edge_types.reserve(num_edge_types < 4096 ? num_edge_types : 4096);
+  for (uint32_t i = 0; i < num_edge_types; ++i) {
+    PGHIVE_ASSIGN_OR_RETURN(TypeAggregate a, DecodeTypeAggregate(r));
+    agg.edge_types.push_back(std::move(a));
+  }
+  return agg;
 }
 
 void EncodeAdaptiveParams(const AdaptiveLshParams& p, BinaryWriter* w) {

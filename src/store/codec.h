@@ -16,6 +16,7 @@
 
 #include "common/binary_io.h"
 #include "common/result.h"
+#include "core/aggregates.h"
 #include "core/schema.h"
 #include "core/value_stats.h"
 #include "graph/property_graph.h"
@@ -93,6 +94,12 @@ Result<SchemaGraph> DecodeSchema(BinaryReader* r);
 
 void EncodeValueStats(const SchemaValueStats& stats, BinaryWriter* w);
 Result<SchemaValueStats> DecodeValueStats(BinaryReader* r);
+
+/// Delta-maintained post-processing aggregates (snapshot v3 section). The
+/// unordered degree maps serialize with sorted endpoint / neighbour ids, so
+/// equal aggregate content always yields identical bytes.
+void EncodeAggregates(const SchemaAggregates& agg, BinaryWriter* w);
+Result<SchemaAggregates> DecodeAggregates(BinaryReader* r);
 
 void EncodeAdaptiveParams(const AdaptiveLshParams& p, BinaryWriter* w);
 Result<AdaptiveLshParams> DecodeAdaptiveParams(BinaryReader* r);

@@ -101,6 +101,8 @@ const char* SnapshotSectionName(SnapshotSection s) {
       return "symbols";
     case SnapshotSection::kGraphColumnar:
       return "graph-columnar";
+    case SnapshotSection::kAggregates:
+      return "aggregates";
   }
   return "unknown";
 }
@@ -111,7 +113,7 @@ std::string EncodeSnapshot(const StoreSnapshot& snapshot, ThreadPool* pool) {
     std::function<std::string()> encode;
   };
   const StoreSnapshot& s = snapshot;
-  const std::vector<SectionSpec> specs = {
+  std::vector<SectionSpec> specs = {
       {SnapshotSection::kMeta, [&s] { return EncodeMeta(s); }},
       // v2 graph layout: the symbol context once, then columnar elements.
       {SnapshotSection::kSymbols,
@@ -139,6 +141,16 @@ std::string EncodeSnapshot(const StoreSnapshot& snapshot, ThreadPool* pool) {
              [&s](BinaryWriter* w) { EncodeValueStats(s.value_stats, w); });
        }},
   };
+  // v3: the aggregates section is optional — written only when the engine
+  // had usable aggregates, so a snapshot without them stays byte-identical
+  // to one that never carried any.
+  if (s.has_aggregates) {
+    specs.push_back({SnapshotSection::kAggregates, [&s] {
+                       return EncodeWith([&s](BinaryWriter* w) {
+                         EncodeAggregates(s.aggregates, w);
+                       });
+                     }});
+  }
 
   // Per-section payload + CRC in parallel; assembly below is sequential, so
   // the emitted bytes are identical at any thread count.
@@ -279,6 +291,15 @@ Result<StoreSnapshot> DecodeSnapshot(const std::string& bytes) {
         columnar_payload = payload;
         have_columnar = true;
         break;
+      case SnapshotSection::kAggregates: {
+        BinaryReader r(payload);
+        PGHIVE_ASSIGN_OR_RETURN(snapshot.aggregates, DecodeAggregates(&r));
+        if (!r.AtEnd()) {
+          return Status::ParseError("trailing bytes after aggregates section");
+        }
+        snapshot.has_aggregates = true;
+        break;
+      }
       default:
         // Forward compatibility: an unknown (guarded, length-prefixed)
         // section from a newer writer is skipped.

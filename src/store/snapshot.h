@@ -25,6 +25,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/aggregates.h"
 #include "core/schema.h"
 #include "core/value_stats.h"
 #include "graph/property_graph.h"
@@ -37,9 +38,11 @@ namespace store {
 inline constexpr char kSnapshotMagic[4] = {'P', 'G', 'H', 'S'};
 /// v1 stored the graph as one string-heavy section (kGraph); v2 splits it
 /// into the interned symbol tables (kSymbols) + a columnar element section
-/// (kGraphColumnar) — each distinct string and set written once. v1 files
-/// still load; the writer always emits v2.
-inline constexpr uint32_t kSnapshotFormatVersion = 2;
+/// (kGraphColumnar) — each distinct string and set written once; v3 adds
+/// the optional kAggregates section carrying the delta-maintained
+/// post-processing aggregates so recovery resumes without rebuilding them.
+/// v1 and v2 files still load; the writer always emits v3.
+inline constexpr uint32_t kSnapshotFormatVersion = 3;
 
 /// Stable on-disk section identifiers — append, never renumber.
 enum class SnapshotSection : uint32_t {
@@ -52,6 +55,7 @@ enum class SnapshotSection : uint32_t {
   kValueStats = 7,  // value/datatype statistics of the discovered types
   kSymbols = 8,     // v2: interned symbol tables + canonical set pools
   kGraphColumnar = 9,  // v2: columnar elements over kSymbols ids
+  kAggregates = 10,    // v3: delta-maintained post-processing aggregates
 };
 
 const char* SnapshotSectionName(SnapshotSection s);
@@ -83,6 +87,13 @@ struct StoreSnapshot {
   uint64_t edge_clusters = 0;
 
   SchemaValueStats value_stats;
+
+  /// Delta-maintained post-processing aggregates (core/aggregates.h),
+  /// present (has_aggregates) when the engine had usable aggregates at
+  /// checkpoint time. Absent in v1/v2 files and when the engine ran with
+  /// aggregate post-processing off — recovery then rebuilds them.
+  SchemaAggregates aggregates;
+  bool has_aggregates = false;
 };
 
 /// Serializes the snapshot; per-section encode + CRC runs through `pool`

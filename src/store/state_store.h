@@ -138,6 +138,10 @@ class DurableDiscoverer {
   uint64_t batches_applied() const { return applied_batches_; }
   const std::string& dir() const { return dir_; }
 
+  /// The wrapped incremental engine (read-only: aggregate state, timings,
+  /// diagnostics — exposed for the compat tests and `inspect-state`).
+  const IncrementalDiscoverer& engine() const { return engine_; }
+
  private:
   DurableDiscoverer(std::string dir, StoreOptions options);
 

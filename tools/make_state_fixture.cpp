@@ -1,0 +1,75 @@
+// Writes a pinned state-directory fixture for the store backward-compat
+// suite (tests/store_compat_test.cpp).
+//
+// The workload matches the committed v1 fixture exactly: POLE at 600 nodes /
+// 1100 edges streamed as 6 endpoint-closed batches with a checkpoint after
+// batch 4, and NO Finish() — so the directory holds a snapshot covering 4
+// batches plus a journal segment with 2 pending records for recovery to
+// replay. Alongside the directory the tool writes <dir>.expected.json, the
+// schema (with instances) of the uninterrupted run.
+//
+// Run this from a build at the OLD format version right before bumping
+// kSnapshotFormatVersion, and commit the output under tests/golden/:
+//
+//   make_state_fixture tests/golden/v2_state
+//
+// The tool always emits whatever version the linked code writes; the
+// compat tests then pin that directory forever.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "core/schema_json.h"
+#include "datagen/datasets.h"
+#include "datagen/generator.h"
+#include "store/state_store.h"
+
+using namespace pghive;
+using namespace pghive::store;
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <output-state-dir>\n", argv[0]);
+    return 2;
+  }
+  const std::string dir = argv[1];
+  namespace fs = std::filesystem;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  GenerateOptions gen;
+  gen.num_nodes = 600;
+  gen.num_edges = 1100;
+  PropertyGraph g = GenerateGraph(MakePoleSpec(), gen).value();
+
+  StoreOptions opt;
+  opt.checkpoint_every_batches = 4;
+  opt.checkpoint_every_bytes = 0;
+  opt.fsync = false;
+
+  auto st = DurableDiscoverer::OpenOrRecover(dir, opt);
+  if (!st.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", st.status().ToString().c_str());
+    return 1;
+  }
+  for (const auto& b : MakeStreamBatches(g, 6)) {
+    Status s = (*st)->Feed(b);
+    if (!s.ok()) {
+      std::fprintf(stderr, "feed failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  SchemaJsonOptions json_opt;
+  json_opt.include_instances = true;
+  json_opt.pretty = true;
+  std::ofstream(dir + ".expected.json", std::ios::binary)
+      << SchemaToJson((*st)->schema(), json_opt);
+
+  if (ListSnapshotFiles(dir).empty() || ListJournalFiles(dir).empty()) {
+    std::fprintf(stderr, "fixture incomplete: missing snapshot or journal\n");
+    return 1;
+  }
+  std::printf("wrote %s (+ %s.expected.json)\n", dir.c_str(), dir.c_str());
+  return 0;
+}
