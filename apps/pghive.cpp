@@ -19,6 +19,10 @@ int main(int argc, char** argv) {
         // Distinct code so wrappers can tell "corrupt/unwritable state"
         // (retry elsewhere, alert) from a plain failure.
         return 3;
+      case pghive::StatusCode::kAlreadyExists:
+        // A live process holds the state directory's LOCK: the caller can
+        // wait and retry, unlike the failures above.
+        return 4;
       default:
         return 1;
     }

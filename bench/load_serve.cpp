@@ -1,0 +1,248 @@
+// Closed-loop load bench for the schema-serving daemon (src/serve/).
+//
+// Measures reader-path latency isolation: N closed-loop readers hammer
+// GET /v1/graphs/g/schema over persistent keep-alive connections against an
+// in-process SchemaServer, first while the daemon is idle, then while an
+// ingest client streams the full batch sequence through
+// POST /v1/graphs/g/batches (honouring 429 backpressure). Because readers
+// only ever copy the published epoch-snapshot pointer, ingestion must not
+// meaningfully move read tail latency: the run FAILS when the ingest-phase
+// p99 exceeds PGHIVE_SERVE_P99_FACTOR (default 2.0) times the idle p99
+// (with a 1 ms floor on the baseline, so micro-jitter on sub-millisecond
+// p99s cannot flake the gate).
+//
+// Output: shared-schema JSONL lines on stdout —
+//   {"type":"bench","name":"load_serve.read_idle",  count/p50/p95/p99 ...}
+//   {"type":"bench","name":"load_serve.read_ingest", ...}
+//   {"type":"bench","name":"load_serve.ingest", batches/seconds/throughput}
+//
+// Knobs (environment): PGHIVE_SERVE_READERS (default 4),
+// PGHIVE_SERVE_IDLE_SECONDS (default 2), PGHIVE_SERVE_BATCHES (default 48),
+// PGHIVE_SERVE_P99_FACTOR (default 2.0), PGHIVE_SCALE (graph size).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "datagen/datasets.h"
+#include "datagen/generator.h"
+#include "serve/http.h"
+#include "serve/server.h"
+#include "serve/wire.h"
+#include "store/state_store.h"
+
+namespace pghive {
+namespace {
+
+int EnvInt(const char* name, int fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return fallback;
+  const int v = std::atoi(env);
+  return v > 0 ? v : fallback;
+}
+
+double EnvDouble(const char* name, double fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return fallback;
+  const double v = std::atof(env);
+  return v > 0 ? v : fallback;
+}
+
+double Quantile(std::vector<double>* sorted, double q) {
+  if (sorted->empty()) return 0.0;
+  std::sort(sorted->begin(), sorted->end());
+  const size_t idx = static_cast<size_t>(q * (sorted->size() - 1));
+  return (*sorted)[idx];
+}
+
+/// One closed-loop reader: a persistent connection issuing GET schema
+/// requests back to back until `stop`, recording each round trip.
+void ReaderLoop(uint16_t port, std::atomic<bool>* stop,
+                std::vector<double>* latencies) {
+  std::unique_ptr<serve::HttpConnection> conn;
+  while (!stop->load(std::memory_order_relaxed)) {
+    if (conn == nullptr) {
+      auto fd = serve::DialTcp("127.0.0.1", port);
+      if (!fd.ok()) break;
+      conn = std::make_unique<serve::HttpConnection>(*fd);
+      conn->SetTimeouts(10000);
+    }
+    const Timer timer;
+    if (!conn->WriteRequest("GET", "/v1/graphs/g/schema", "", "").ok()) {
+      conn.reset();  // server restarted the connection; redial
+      continue;
+    }
+    auto resp = conn->ReadResponse(64ull << 20);
+    if (!resp.ok() || resp->status != 200) {
+      conn.reset();
+      continue;
+    }
+    latencies->push_back(timer.ElapsedSeconds());
+  }
+}
+
+struct PhaseStats {
+  size_t count = 0;
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+};
+
+PhaseStats Collect(std::vector<std::vector<double>>* per_reader) {
+  std::vector<double> all;
+  for (auto& v : *per_reader) {
+    all.insert(all.end(), v.begin(), v.end());
+    v.clear();
+  }
+  PhaseStats stats;
+  stats.count = all.size();
+  stats.p50 = Quantile(&all, 0.50);
+  stats.p95 = Quantile(&all, 0.95);
+  stats.p99 = Quantile(&all, 0.99);
+  return stats;
+}
+
+void PrintPhase(const std::string& name, const PhaseStats& s) {
+  JsonObject fields;
+  fields["count"] = s.count;
+  fields["p50_seconds"] = s.p50;
+  fields["p95_seconds"] = s.p95;
+  fields["p99_seconds"] = s.p99;
+  std::printf("%s\n", bench::BenchJsonl(name, std::move(fields)).c_str());
+}
+
+int Run() {
+  const int readers = EnvInt("PGHIVE_SERVE_READERS", 4);
+  const double idle_seconds = EnvDouble("PGHIVE_SERVE_IDLE_SECONDS", 2.0);
+  const size_t num_batches =
+      static_cast<size_t>(EnvInt("PGHIVE_SERVE_BATCHES", 48));
+  const double factor = EnvDouble("PGHIVE_SERVE_P99_FACTOR", 2.0);
+  const double scale = bench::ScaleFromEnv(1.0);
+
+  auto spec = DatasetSpecByName("POLE").value();
+  GenerateOptions gen;
+  gen.num_nodes = static_cast<size_t>(1500 * scale);
+  gen.num_edges = static_cast<size_t>(2600 * scale);
+  gen.seed = 7;
+  const PropertyGraph g = GenerateGraph(spec, gen).value();
+  const auto payloads = store::MakeStreamBatches(g, num_batches);
+
+  const std::string state_dir =
+      std::filesystem::temp_directory_path() / "pghive_load_serve_state";
+  std::filesystem::remove_all(state_dir);
+
+  serve::ServeOptions options;
+  options.port = 0;
+  options.num_workers = readers + 2;  // readers + ingest + slack
+  options.graph.store.incremental.pipeline.embedding.backend =
+      EmbeddingBackend::kHash;
+  options.graph.store.fsync = false;
+  options.graph.queue_capacity = 8;  // small queue: backpressure is exercised
+  serve::SchemaServer server(options);
+  if (Status s = server.AddGraph("g", state_dir); !s.ok()) {
+    std::fprintf(stderr, "AddGraph: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  if (Status s = server.Start(); !s.ok()) {
+    std::fprintf(stderr, "Start: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  const uint16_t port = server.port();
+
+  std::atomic<bool> stop{false};
+  std::vector<std::vector<double>> latencies(readers);
+  std::vector<std::thread> reader_threads;
+  reader_threads.reserve(readers);
+  for (int r = 0; r < readers; ++r) {
+    reader_threads.emplace_back(
+        [&, r] { ReaderLoop(port, &stop, &latencies[r]); });
+  }
+
+  // Phase 1: idle daemon (epoch 0 snapshot only).
+  std::this_thread::sleep_for(std::chrono::duration<double>(idle_seconds));
+  stop.store(true);
+  for (auto& t : reader_threads) t.join();
+  const PhaseStats idle = Collect(&latencies);
+  PrintPhase("load_serve.read_idle", idle);
+
+  // Phase 2: the same closed loops while the full stream is ingested.
+  stop.store(false);
+  reader_threads.clear();
+  for (int r = 0; r < readers; ++r) {
+    reader_threads.emplace_back(
+        [&, r] { ReaderLoop(port, &stop, &latencies[r]); });
+  }
+  const Timer ingest_timer;
+  size_t rejected = 0;
+  for (const auto& payload : payloads) {
+    const std::string body = serve::BatchToJson(payload).Dump();
+    for (;;) {
+      auto resp = serve::HttpCall("127.0.0.1", port, "POST",
+                                  "/v1/graphs/g/batches", body,
+                                  "application/json");
+      if (!resp.ok()) {
+        std::fprintf(stderr, "ingest: %s\n", resp.status().ToString().c_str());
+        return 1;
+      }
+      if (resp->status == 202) break;
+      if (resp->status == 429) {
+        ++rejected;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        continue;
+      }
+      std::fprintf(stderr, "ingest: HTTP %d %s\n", resp->status,
+                   resp->body.c_str());
+      return 1;
+    }
+  }
+  // Readers keep running until the writer has applied everything.
+  while (server.FindGraph("g")->Current()->epoch < payloads.size()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const double ingest_seconds = ingest_timer.ElapsedSeconds();
+  stop.store(true);
+  for (auto& t : reader_threads) t.join();
+  const PhaseStats ingest = Collect(&latencies);
+  PrintPhase("load_serve.read_ingest", ingest);
+
+  JsonObject fields;
+  fields["batches"] = payloads.size();
+  fields["rejected_429"] = rejected;
+  fields["seconds"] = ingest_seconds;
+  fields["batches_per_second"] =
+      ingest_seconds > 0 ? payloads.size() / ingest_seconds : 0.0;
+  std::printf("%s\n",
+              bench::BenchJsonl("load_serve.ingest", std::move(fields)).c_str());
+
+  if (Status s = server.Stop(); !s.ok()) {
+    std::fprintf(stderr, "Stop: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::filesystem::remove_all(state_dir);
+
+  // The gate: epoch-snapshot reads must stay isolated from ingestion.
+  const double baseline = std::max(idle.p99, 0.001);
+  if (ingest.p99 > baseline * factor) {
+    std::fprintf(stderr,
+                 "READER LATENCY REGRESSION: ingest-phase p99 %.6fs exceeds "
+                 "%.1fx the idle p99 %.6fs (floor 1ms)\n",
+                 ingest.p99, factor, idle.p99);
+    return 1;
+  }
+  std::printf("reader p99 isolation ok: idle %.6fs -> ingest %.6fs "
+              "(factor %.2f, limit %.1fx)\n",
+              idle.p99, ingest.p99,
+              baseline > 0 ? ingest.p99 / baseline : 0.0, factor);
+  return 0;
+}
+
+}  // namespace
+}  // namespace pghive
+
+int main() { return pghive::Run(); }

@@ -1,12 +1,16 @@
 #include "cli/commands.h"
 
+#include <csignal>
 #include <cstdlib>
+#include <chrono>
 #include <iostream>
 #include <sstream>
+#include <thread>
 
 #include "common/csv.h"
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "common/timer.h"
 #include "core/incremental.h"
 #include "core/label_alias.h"
 #include "core/pipeline.h"
@@ -24,6 +28,8 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/server.h"
+#include "serve/wire.h"
 #include "store/state_store.h"
 
 namespace pghive {
@@ -530,6 +536,208 @@ Status CmdDatasets(const Args&, std::ostream& out) {
   return Status::OK();
 }
 
+namespace {
+
+// The serving daemon stop hook: SIGINT/SIGTERM handlers may only touch
+// async-signal-safe state, and SchemaServer::RequestStop is a single
+// write(2) to its self-pipe, so a plain global pointer suffices.
+serve::SchemaServer* g_serving = nullptr;
+
+void ServeSignalHandler(int) {
+  if (g_serving != nullptr) g_serving->RequestStop();
+}
+
+Result<store::StoreOptions> StoreOptionsFromArgs(const Args& args) {
+  store::StoreOptions sopt;
+  PGHIVE_ASSIGN_OR_RETURN(sopt.incremental.pipeline,
+                          PipelineOptionsFromArgs(args));
+  sopt.checkpoint_every_batches =
+      static_cast<uint64_t>(args.GetInt("checkpoint-every", 16));
+  sopt.fsync = !args.GetBool("no-fsync", false);
+  sopt.allow_options_mismatch = args.GetBool("force-options", false);
+  return sopt;
+}
+
+/// Resolves the daemon port for the ingest client: --port wins, else
+/// --port-file (written by `serve` — the rendezvous for --port 0 runs).
+Result<uint16_t> IngestPortFromArgs(const Args& args) {
+  if (args.Has("port")) {
+    return static_cast<uint16_t>(args.GetInt("port", 0));
+  }
+  if (!args.Has("port-file")) {
+    return Status::InvalidArgument("need --port or --port-file");
+  }
+  PGHIVE_ASSIGN_OR_RETURN(std::string text,
+                          ReadFile(args.GetString("port-file")));
+  const long port = std::strtol(std::string(Trim(text)).c_str(), nullptr, 10);
+  if (port <= 0 || port > 65535) {
+    return Status::InvalidArgument("port file '" +
+                                   args.GetString("port-file") +
+                                   "' does not contain a port");
+  }
+  return static_cast<uint16_t>(port);
+}
+
+}  // namespace
+
+Status CmdServe(const Args& args, std::ostream& out) {
+  if (args.positional().size() < 2) {
+    return Status::InvalidArgument(
+        "usage: pghive serve <name>=<state-dir> [<name2>=<dir2> ...] "
+        "[--host 127.0.0.1] [--port 8090 (0 = ephemeral)] "
+        "[--port-file FILE (write the bound port)] "
+        "[--workers N (0 = all cores)] [--queue-capacity 64] "
+        "[--retain-epochs 8] [--checkpoint-every N] [--no-fsync] "
+        "[--force-options] [discovery flags as for `discover`]\n"
+        "hosts each state directory as /v1/graphs/<name>, ingesting batches "
+        "over HTTP and serving epoch-snapshot schema reads until SIGINT/"
+        "SIGTERM, then drains and checkpoints every graph.");
+  }
+  serve::ServeOptions sopt;
+  sopt.host = args.GetString("host", "127.0.0.1");
+  sopt.port = static_cast<uint16_t>(args.GetInt("port", 8090));
+  sopt.num_workers = static_cast<int>(args.GetInt("workers", 0));
+  sopt.graph.queue_capacity =
+      static_cast<size_t>(args.GetInt("queue-capacity", 64));
+  sopt.graph.retain_epochs =
+      static_cast<size_t>(args.GetInt("retain-epochs", 8));
+  PGHIVE_ASSIGN_OR_RETURN(sopt.graph.store, StoreOptionsFromArgs(args));
+
+  serve::SchemaServer server(std::move(sopt));
+  for (size_t i = 1; i < args.positional().size(); ++i) {
+    const std::string& spec = args.positional()[i];
+    const size_t eq = spec.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == spec.size()) {
+      return Status::InvalidArgument("graph spec '" + spec +
+                                     "' must be <name>=<state-dir>");
+    }
+    PGHIVE_RETURN_NOT_OK(
+        server.AddGraph(spec.substr(0, eq), spec.substr(eq + 1)));
+  }
+  PGHIVE_RETURN_NOT_OK(server.Start());
+  if (args.Has("port-file")) {
+    PGHIVE_RETURN_NOT_OK(WriteFile(args.GetString("port-file"),
+                                   std::to_string(server.port()) + "\n"));
+  }
+  out << "serving " << (args.positional().size() - 1) << " graph(s) on "
+      << server.options().host << ":" << server.port() << "\n";
+  out.flush();
+
+  g_serving = &server;
+  auto prev_int = std::signal(SIGINT, ServeSignalHandler);
+  auto prev_term = std::signal(SIGTERM, ServeSignalHandler);
+  const Status status = server.Wait();
+  std::signal(SIGINT, prev_int);
+  std::signal(SIGTERM, prev_term);
+  g_serving = nullptr;
+
+  out << "drained and checkpointed, exiting\n";
+  return status;
+}
+
+Status CmdIngest(const Args& args, std::ostream& out) {
+  if (args.positional().size() < 2 || !args.Has("graph")) {
+    return Status::InvalidArgument(
+        "usage: pghive ingest <graph-prefix> --graph NAME "
+        "(--port P | --port-file FILE) [--host 127.0.0.1] "
+        "[--incremental N (default 10; must match the discover run being "
+        "compared against)] [--schema-out FILE (save the served schema "
+        "body verbatim once every batch is applied)] "
+        "[--timeout-seconds 120] [--aliases aliases.txt]\n"
+        "slices the CSV graph with the same endpoint-closed stream slicing "
+        "as `discover --incremental N --state-dir` and POSTs each batch to "
+        "a running `pghive serve`, honouring 429 backpressure.");
+  }
+  const std::string graph_name = args.GetString("graph");
+  const std::string host = args.GetString("host", "127.0.0.1");
+  PGHIVE_ASSIGN_OR_RETURN(uint16_t port, IngestPortFromArgs(args));
+  const int64_t batches = args.GetInt("incremental", 10);
+  if (batches < 1) {
+    return Status::InvalidArgument("--incremental must be >= 1");
+  }
+  const double timeout_seconds =
+      args.GetDouble("timeout-seconds", 120.0);
+
+  PGHIVE_ASSIGN_OR_RETURN(PropertyGraph g, LoadPrefix(args.positional()[1]));
+  PGHIVE_RETURN_NOT_OK(MaybeApplyAliases(args, &g));
+  const std::vector<store::BatchPayload> payloads =
+      store::MakeStreamBatches(g, static_cast<size_t>(batches));
+
+  const std::string target = "/v1/graphs/" + graph_name + "/batches";
+  const Timer deadline;
+  uint64_t last_batch_id = 0;
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    const std::string body = serve::BatchToJson(payloads[i]).Dump();
+    for (;;) {
+      if (deadline.ElapsedSeconds() > timeout_seconds) {
+        return Status::IoError("ingest timed out after " +
+                               FormatDouble(timeout_seconds, 1) + "s");
+      }
+      PGHIVE_ASSIGN_OR_RETURN(
+          serve::HttpResponse resp,
+          serve::HttpCall(host, port, "POST", target, body,
+                          "application/json"));
+      if (resp.status == 202) {
+        PGHIVE_ASSIGN_OR_RETURN(JsonValue doc, ParseJson(resp.body));
+        PGHIVE_ASSIGN_OR_RETURN(int64_t id, doc.GetInt("batch_id"));
+        last_batch_id = static_cast<uint64_t>(id);
+        break;
+      }
+      if (resp.status == 429) {
+        // Backpressure: the daemon's queue is full. Retry-After is in
+        // seconds but the writer drains in fractions of one, so poll at
+        // 50ms against the overall deadline instead of sleeping it out.
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        continue;
+      }
+      return Status::IoError("batch " + std::to_string(i + 1) + "/" +
+                             std::to_string(payloads.size()) +
+                             " rejected: HTTP " +
+                             std::to_string(resp.status) + " " + resp.body);
+    }
+  }
+
+  // Admission is asynchronous; wait until the served epoch covers the last
+  // admitted batch before declaring the stream applied.
+  const std::string detail = "/v1/graphs/" + graph_name;
+  uint64_t epoch = 0;
+  for (;;) {
+    PGHIVE_ASSIGN_OR_RETURN(serve::HttpResponse resp,
+                            serve::HttpCall(host, port, "GET", detail));
+    if (resp.status != 200) {
+      return Status::IoError("GET " + detail + " failed: HTTP " +
+                             std::to_string(resp.status));
+    }
+    PGHIVE_ASSIGN_OR_RETURN(JsonValue doc, ParseJson(resp.body));
+    PGHIVE_ASSIGN_OR_RETURN(int64_t e, doc.GetInt("epoch"));
+    epoch = static_cast<uint64_t>(e);
+    if (epoch >= last_batch_id) break;
+    if (deadline.ElapsedSeconds() > timeout_seconds) {
+      return Status::IoError("daemon did not apply batch " +
+                             std::to_string(last_batch_id) + " within " +
+                             FormatDouble(timeout_seconds, 1) + "s");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  out << "ingested " << payloads.size() << " batch(es) into '" << graph_name
+      << "', epoch " << epoch << "\n";
+
+  if (args.Has("schema-out")) {
+    PGHIVE_ASSIGN_OR_RETURN(
+        serve::HttpResponse resp,
+        serve::HttpCall(host, port, "GET", detail + "/schema"));
+    if (resp.status != 200) {
+      return Status::IoError("GET " + detail + "/schema failed: HTTP " +
+                             std::to_string(resp.status));
+    }
+    const std::string path = args.GetString("schema-out");
+    PGHIVE_RETURN_NOT_OK(WriteFile(path, resp.body));
+    out << "saved served schema (epoch " << resp.headers["x-pghive-epoch"]
+        << ") to " << path << "\n";
+  }
+  return Status::OK();
+}
+
 std::string HelpText() {
   std::ostringstream out;
   out << "pghive — hybrid incremental schema discovery for property graphs\n"
@@ -545,6 +753,9 @@ std::string HelpText() {
       << "  validate <ref> <data>        validate data against ref's schema\n"
       << "  diff <a> <b>                 schema drift between two graphs\n"
       << "  datasets                     list built-in dataset specs\n"
+      << "  serve <name>=<state-dir>...  HTTP daemon: epoch-snapshot schema\n"
+      << "                               reads + backpressured batch ingest\n"
+      << "  ingest <prefix> --graph G    stream a CSV graph into a daemon\n"
       << "  help                         this text\n"
       << "\n"
       << "graphs are stored as <prefix>.nodes.csv / <prefix>.edges.csv\n"
@@ -574,6 +785,8 @@ Status DispatchCommand(const Args& args, std::ostream& out) {
   if (cmd == "validate") return CmdValidate(args, out);
   if (cmd == "diff") return CmdDiff(args, out);
   if (cmd == "datasets") return CmdDatasets(args, out);
+  if (cmd == "serve") return CmdServe(args, out);
+  if (cmd == "ingest") return CmdIngest(args, out);
   if (cmd == "help" || cmd == "--help") {
     out << HelpText();
     return Status::OK();

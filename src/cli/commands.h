@@ -10,6 +10,8 @@
 //   validate       validate one CSV graph against the schema of another
 //   diff           schema drift between two CSV graphs
 //   datasets       list the built-in benchmark dataset specs
+//   serve          long-lived multi-graph schema-serving HTTP daemon
+//   ingest         HTTP client: stream a CSV graph into a serving daemon
 //
 // Each command writes human-readable output to `out` and returns a Status;
 // main() maps that to exit codes. Graphs are read/written in the
@@ -42,6 +44,8 @@ Status CmdStats(const Args& args, std::ostream& out);
 Status CmdValidate(const Args& args, std::ostream& out);
 Status CmdDiff(const Args& args, std::ostream& out);
 Status CmdDatasets(const Args& args, std::ostream& out);
+Status CmdServe(const Args& args, std::ostream& out);
+Status CmdIngest(const Args& args, std::ostream& out);
 
 }  // namespace pghive
 

@@ -88,6 +88,12 @@ const SchemaGraph& IncrementalDiscoverer::Finish(const PropertyGraph& g) {
   return schema_;
 }
 
+SchemaGraph IncrementalDiscoverer::FinishedCopy(const PropertyGraph& g) const {
+  SchemaGraph copy = schema_;
+  pipeline_.PostProcessWithAggregates(g, AggregatesOrNull(), &copy);
+  return copy;
+}
+
 namespace {
 
 /// Reinterprets a schema type as a cluster so schema-with-schema merging

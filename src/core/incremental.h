@@ -53,6 +53,12 @@ class IncrementalDiscoverer {
   /// completed schema. `g` must be the graph the batches sliced.
   const SchemaGraph& Finish(const PropertyGraph& g);
 
+  /// What Finish(g) would return, computed on a copy — the engine's own
+  /// schema, aggregates and timings are untouched, so feeding can continue
+  /// on the exact path an uninterrupted one-shot run takes. The serving
+  /// daemon publishes one of these per applied batch as an epoch snapshot.
+  SchemaGraph FinishedCopy(const PropertyGraph& g) const;
+
   /// Diagnostics of the most recent batch (LSH parameters, cluster counts,
   /// stage timings) — persisted by the durable store's snapshots.
   const BatchDiagnostics& last_diagnostics() const {

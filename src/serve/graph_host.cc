@@ -1,0 +1,210 @@
+#include "serve/graph_host.h"
+
+#include <utility>
+
+#include "common/json.h"
+#include "core/schema_json.h"
+#include "obs/metrics.h"
+
+namespace pghive {
+namespace serve {
+
+namespace {
+
+obs::Counter* AdmittedCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "pghive.serve.batches_admitted");
+  return c;
+}
+
+obs::Counter* RejectedCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "pghive.serve.batches_rejected");
+  return c;
+}
+
+obs::Counter* EpochsCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "pghive.serve.epochs_published");
+  return c;
+}
+
+}  // namespace
+
+GraphHost::GraphHost(std::string name, std::string state_dir,
+                     GraphHostOptions options)
+    : name_(std::move(name)),
+      state_dir_(std::move(state_dir)),
+      options_(std::move(options)),
+      queue_depth_gauge_(obs::MetricsRegistry::Global().GetGauge(
+          "pghive.serve.queue_depth." + name_)) {}
+
+Result<std::unique_ptr<GraphHost>> GraphHost::Open(const std::string& name,
+                                                   const std::string& state_dir,
+                                                   GraphHostOptions options) {
+  std::unique_ptr<GraphHost> host(
+      new GraphHost(name, state_dir, std::move(options)));
+  PGHIVE_ASSIGN_OR_RETURN(
+      host->store_,
+      store::DurableDiscoverer::OpenOrRecover(state_dir, host->options_.store));
+  host->next_batch_id_ = host->store_->batches_applied() + 1;
+  // Publish the recovered (or empty) state before any reader or writer can
+  // run: Current() is total from the first instant.
+  host->PublishSnapshot();
+  host->writer_ = std::thread([h = host.get()] { h->WriterLoop(); });
+  return host;
+}
+
+GraphHost::~GraphHost() { Drain(); }
+
+GraphHost::SubmitResult GraphHost::Submit(store::BatchPayload batch) {
+  SubmitResult result;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    result.queue_depth = queue_.size();
+    if (stopping_) {
+      result.admission = Admission::kStopping;
+    } else if (!writer_status_.ok()) {
+      result.admission = Admission::kWriterFailed;
+    } else if (queue_.size() >= options_.queue_capacity) {
+      result.admission = Admission::kQueueFull;
+    } else {
+      queue_.push_back(std::move(batch));
+      result.admission = Admission::kAccepted;
+      result.batch_id = next_batch_id_++;
+      result.queue_depth = queue_.size();
+    }
+  }
+  if (result.admission == Admission::kAccepted) {
+    AdmittedCounter()->Add(1);
+    queue_depth_gauge_->Set(static_cast<int64_t>(result.queue_depth));
+    queue_cv_.notify_all();
+  } else {
+    RejectedCounter()->Add(1);
+  }
+  return result;
+}
+
+std::shared_ptr<const EpochSnapshot> GraphHost::Current() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return current_;
+}
+
+std::shared_ptr<const EpochSnapshot> GraphHost::AtEpoch(uint64_t epoch) const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  for (const auto& snap : recent_) {
+    if (snap->epoch == epoch) return snap;
+  }
+  return nullptr;
+}
+
+size_t GraphHost::queue_depth() const {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  return queue_.size();
+}
+
+Status GraphHost::writer_status() const {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  return writer_status_;
+}
+
+void GraphHost::PauseWriterForTest(bool paused) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    paused_ = paused;
+  }
+  queue_cv_.notify_all();
+}
+
+Status GraphHost::Drain() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (drained_) return writer_status_;
+    drained_ = true;
+    stopping_ = true;
+    paused_ = false;  // a paused writer must still finish its queue
+  }
+  queue_cv_.notify_all();
+  if (writer_.joinable()) writer_.join();
+  Status status;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    status = writer_status_;
+  }
+  if (status.ok() && store_ != nullptr) {
+    status = store_->Checkpoint();
+    if (!status.ok()) {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      writer_status_ = status;
+    }
+  }
+  return status;
+}
+
+void GraphHost::WriterLoop() {
+  for (;;) {
+    store::BatchPayload batch;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] {
+        return (!queue_.empty() && !paused_) || (stopping_ && queue_.empty());
+      });
+      if (queue_.empty()) return;  // stopping_ && drained queue
+      if (!writer_status_.ok()) {
+        // A failed store must not see further batches; drop the backlog so
+        // Drain() can join without applying on top of an error.
+        queue_.clear();
+        queue_depth_gauge_->Set(0);
+        return;
+      }
+      batch = std::move(queue_.front());
+      queue_.pop_front();
+      queue_depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
+    }
+    const Status status = store_->Feed(batch);
+    if (!status.ok()) {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      writer_status_ = status;
+      queue_.clear();
+      queue_depth_gauge_->Set(0);
+      return;
+    }
+    PublishSnapshot();
+  }
+}
+
+void GraphHost::PublishSnapshot() {
+  auto snap = std::make_shared<EpochSnapshot>();
+  snap->epoch = store_->batches_applied();
+  snap->schema_json = SchemaToJson(store_->PostProcessedSchema());
+  const SchemaGraph& schema = store_->schema();
+  snap->node_types = schema.node_types.size();
+  snap->edge_types = schema.edge_types.size();
+  snap->graph_nodes = store_->graph().num_nodes();
+  snap->graph_edges = store_->graph().num_edges();
+  {
+    const BatchDiagnostics& d = store_->engine().last_diagnostics();
+    JsonObject diag;
+    diag["epoch"] = static_cast<int64_t>(snap->epoch);
+    diag["graph_nodes"] = snap->graph_nodes;
+    diag["graph_edges"] = snap->graph_edges;
+    diag["node_clusters"] = d.node_clusters;
+    diag["edge_clusters"] = d.edge_clusters;
+    const std::vector<double>& seconds = store_->batch_seconds();
+    diag["last_batch_seconds"] = seconds.empty() ? 0.0 : seconds.back();
+    snap->diagnostics_json = JsonValue(std::move(diag)).Dump();
+  }
+  std::shared_ptr<const EpochSnapshot> published = std::move(snap);
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    current_ = published;
+    recent_.push_back(published);
+    while (recent_.size() > options_.retain_epochs + 1) {
+      recent_.pop_front();
+    }
+  }
+  EpochsCounter()->Add(1);
+}
+
+}  // namespace serve
+}  // namespace pghive

@@ -1,0 +1,159 @@
+// One served graph: a DurableDiscoverer behind a bounded ingest queue and a
+// single writer thread, publishing immutable epoch snapshots after every
+// applied batch.
+//
+// Threading model (RCU-flavored):
+//
+//   * Exactly one writer thread per host pops batches off the queue, feeds
+//     them through the durable store (journal-then-apply), renders the
+//     post-processed schema of the new state, and publishes it as an
+//     EpochSnapshot by swapping a shared_ptr under a mutex held only for
+//     the pointer assignment.
+//   * Any number of reader threads call Current()/AtEpoch(); they copy the
+//     shared_ptr under that same tiny mutex and then read the immutable
+//     snapshot without any lock. Readers never wait on ingestion — the
+//     snapshot mutex is never held across Feed, journal I/O or
+//     post-processing.
+//   * Producers call Submit(); admission is O(1) against the bounded queue
+//     and never blocks: a full queue is reported as kQueueFull so the HTTP
+//     layer can answer 429 + Retry-After (backpressure by rejection, not by
+//     holding connections hostage).
+//
+// Epochs are the store's applied-batch count, so they are monotone and every
+// published snapshot equals the schema a one-shot run over the same batch
+// prefix would produce (IncrementalDiscoverer::FinishedCopy — the engine
+// itself is never post-processed in place, keeping the durable state on the
+// exact uninterrupted-run path).
+
+#ifndef PGHIVE_SERVE_GRAPH_HOST_H_
+#define PGHIVE_SERVE_GRAPH_HOST_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "store/state_store.h"
+
+namespace pghive {
+namespace serve {
+
+/// Immutable view of one graph's discovery state at a batch boundary.
+/// Published once, never mutated — safe to read from any thread without
+/// synchronization once obtained.
+struct EpochSnapshot {
+  uint64_t epoch = 0;        // durable store's applied-batch count
+  std::string schema_json;   // SchemaToJson of the post-processed schema
+  size_t node_types = 0;
+  size_t edge_types = 0;
+  size_t graph_nodes = 0;    // accumulated graph size at this epoch
+  size_t graph_edges = 0;
+  std::string diagnostics_json;  // compact JSON: last-batch pipeline stats
+};
+
+struct GraphHostOptions {
+  store::StoreOptions store;
+  /// Submitted-but-not-applied batches the queue admits before rejecting.
+  size_t queue_capacity = 64;
+  /// Recent epochs kept addressable via AtEpoch() beyond the current one.
+  size_t retain_epochs = 8;
+};
+
+class GraphHost {
+ public:
+  enum class Admission {
+    kAccepted,      // queued; will be applied in submission order
+    kQueueFull,     // backpressure: retry after the writer catches up
+    kStopping,      // host is draining, no new work
+    kWriterFailed,  // writer thread hit a persistent store error
+  };
+
+  struct SubmitResult {
+    Admission admission = Admission::kAccepted;
+    uint64_t batch_id = 0;    // epoch this batch will publish once applied
+    size_t queue_depth = 0;   // depth after this submission attempt
+  };
+
+  /// Opens (or recovers) the state directory and starts the writer thread.
+  /// The initial epoch — whatever recovery restored, possibly 0 — is
+  /// published before this returns, so readers never observe "no snapshot".
+  static Result<std::unique_ptr<GraphHost>> Open(const std::string& name,
+                                                 const std::string& state_dir,
+                                                 GraphHostOptions options);
+
+  /// Drains and joins the writer (see Drain()).
+  ~GraphHost();
+  GraphHost(const GraphHost&) = delete;
+  GraphHost& operator=(const GraphHost&) = delete;
+
+  const std::string& graph_name() const { return name_; }
+  const std::string& state_dir() const { return state_dir_; }
+
+  /// Non-blocking admission into the writer queue.
+  SubmitResult Submit(store::BatchPayload batch);
+
+  /// The newest published snapshot. Never null after Open().
+  std::shared_ptr<const EpochSnapshot> Current() const;
+
+  /// A retained snapshot by exact epoch; null when that epoch has been
+  /// evicted from the retention ring (or never existed yet).
+  std::shared_ptr<const EpochSnapshot> AtEpoch(uint64_t epoch) const;
+
+  /// Stops admission, lets the writer apply everything already queued,
+  /// joins it, and checkpoints the store so restart recovers instantly.
+  /// Idempotent; returns the writer's terminal status.
+  Status Drain();
+
+  size_t queue_depth() const;
+
+  /// OK while the writer is healthy; the store error that stopped it
+  /// otherwise (subsequent Submits return kWriterFailed).
+  Status writer_status() const;
+
+  /// Epoch of the newest published snapshot.
+  uint64_t current_epoch() const { return Current()->epoch; }
+
+  /// Test hook: freezes the writer between batches so tests can fill the
+  /// queue deterministically and observe 429s.
+  void PauseWriterForTest(bool paused);
+
+ private:
+  GraphHost(std::string name, std::string state_dir, GraphHostOptions options);
+
+  void WriterLoop();
+  /// Renders and publishes the store's current state as a new snapshot.
+  void PublishSnapshot();
+
+  const std::string name_;
+  const std::string state_dir_;
+  const GraphHostOptions options_;
+  std::unique_ptr<store::DurableDiscoverer> store_;  // writer thread only
+                                                     // (after Open publishes
+                                                     // the initial epoch)
+
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<store::BatchPayload> queue_;
+  bool stopping_ = false;
+  bool paused_ = false;
+  Status writer_status_;          // guarded by queue_mu_
+  uint64_t next_batch_id_ = 0;    // store epoch the next admitted batch gets
+
+  mutable std::mutex snapshot_mu_;  // held only for shared_ptr copy/swap
+  std::shared_ptr<const EpochSnapshot> current_;
+  std::deque<std::shared_ptr<const EpochSnapshot>> recent_;
+
+  std::thread writer_;
+  bool drained_ = false;  // guarded by queue_mu_
+
+  obs::Gauge* queue_depth_gauge_;  // pghive.serve.queue_depth.<name>
+};
+
+}  // namespace serve
+}  // namespace pghive
+
+#endif  // PGHIVE_SERVE_GRAPH_HOST_H_

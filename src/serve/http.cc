@@ -1,0 +1,380 @@
+#include "serve/http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace pghive {
+namespace serve {
+
+namespace {
+
+constexpr size_t kMaxHeaderBytes = 64 * 1024;
+constexpr size_t kReadChunk = 16 * 1024;
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+std::string ToUpperAscii(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::toupper(c));
+  return out;
+}
+
+std::string PercentDecode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '+') {
+      out.push_back(' ');
+    } else if (s[i] == '%' && i + 2 < s.size() && std::isxdigit(s[i + 1]) &&
+               std::isxdigit(s[i + 2])) {
+      auto hex = [](char c) {
+        return c <= '9' ? c - '0' : (std::tolower(c) - 'a' + 10);
+      };
+      out.push_back(static_cast<char>(hex(s[i + 1]) * 16 + hex(s[i + 2])));
+      i += 2;
+    } else {
+      out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+/// Parses "Key: Value" header lines into a lowercased-key map.
+Status ParseHeaderBlock(const std::string& block,
+                        std::map<std::string, std::string>* headers) {
+  size_t start = 0;
+  while (start < block.size()) {
+    size_t end = block.find("\r\n", start);
+    if (end == std::string::npos) end = block.size();
+    std::string_view line(block.data() + start, end - start);
+    start = end + (end < block.size() ? 2 : 0);
+    if (line.empty()) continue;
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      return Status::ParseError("malformed header line");
+    }
+    std::string key = ToLower(Trim(line.substr(0, colon)));
+    std::string value(Trim(line.substr(colon + 1)));
+    (*headers)[std::move(key)] = std::move(value);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+const char* HttpStatusReason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 202: return "Accepted";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default:  return "Unknown";
+  }
+}
+
+void SplitTarget(const std::string& target, std::string* path,
+                 std::map<std::string, std::string>* query) {
+  const size_t q = target.find('?');
+  *path = PercentDecode(target.substr(0, q));
+  query->clear();
+  if (q == std::string::npos) return;
+  std::string_view rest(target.data() + q + 1, target.size() - q - 1);
+  while (!rest.empty()) {
+    const size_t amp = rest.find('&');
+    std::string_view pair = rest.substr(0, amp);
+    rest = amp == std::string_view::npos ? std::string_view()
+                                         : rest.substr(amp + 1);
+    if (pair.empty()) continue;
+    const size_t eq = pair.find('=');
+    std::string key = PercentDecode(pair.substr(0, eq));
+    std::string value =
+        eq == std::string_view::npos ? "" : PercentDecode(pair.substr(eq + 1));
+    (*query)[std::move(key)] = std::move(value);
+  }
+}
+
+HttpConnection::~HttpConnection() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status HttpConnection::SetTimeouts(int timeout_ms) {
+  struct timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0 ||
+      ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+    return Errno("setsockopt(SO_RCVTIMEO)");
+  }
+  return Status::OK();
+}
+
+Result<size_t> HttpConnection::Fill() {
+  // Compact the consumed prefix before growing the buffer.
+  if (pos_ > 0) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  char chunk[kReadChunk];
+  for (;;) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buf_.append(chunk, static_cast<size_t>(n));
+      return static_cast<size_t>(n);
+    }
+    if (n == 0) return size_t{0};
+    if (errno == EINTR) continue;
+    return Errno("recv");
+  }
+}
+
+Result<std::string> HttpConnection::ReadUntil(const std::string& delim,
+                                              size_t max_bytes, bool eof_ok) {
+  for (;;) {
+    const size_t found = buf_.find(delim, pos_);
+    if (found != std::string::npos) {
+      std::string out = buf_.substr(pos_, found - pos_);
+      pos_ = found + delim.size();
+      return out;
+    }
+    if (buf_.size() - pos_ > max_bytes) {
+      return Status::ParseError("header block exceeds " +
+                                std::to_string(max_bytes) + " bytes");
+    }
+    PGHIVE_ASSIGN_OR_RETURN(size_t n, Fill());
+    if (n == 0) {
+      if (eof_ok && pos_ == buf_.size()) {
+        return Status::NotFound("connection closed");
+      }
+      return Status::ParseError("connection closed mid-message");
+    }
+  }
+}
+
+Result<std::string> HttpConnection::ReadExactly(size_t n) {
+  while (buf_.size() - pos_ < n) {
+    PGHIVE_ASSIGN_OR_RETURN(size_t got, Fill());
+    if (got == 0) return Status::ParseError("connection closed mid-body");
+  }
+  std::string out = buf_.substr(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+Status HttpConnection::WriteAll(const std::string& bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<HttpRequest> HttpConnection::ReadRequest(size_t max_body_bytes) {
+  PGHIVE_ASSIGN_OR_RETURN(
+      std::string head,
+      ReadUntil("\r\n\r\n", kMaxHeaderBytes, /*eof_ok=*/true));
+  const size_t line_end = head.find("\r\n");
+  const std::string request_line =
+      line_end == std::string::npos ? head : head.substr(0, line_end);
+
+  HttpRequest req;
+  {
+    const size_t sp1 = request_line.find(' ');
+    const size_t sp2 =
+        sp1 == std::string::npos ? sp1 : request_line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos) {
+      return Status::ParseError("malformed request line '" + request_line +
+                                "'");
+    }
+    req.method = ToUpperAscii(request_line.substr(0, sp1));
+    req.target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const std::string version = request_line.substr(sp2 + 1);
+    if (version.rfind("HTTP/1.", 0) != 0) {
+      return Status::ParseError("unsupported protocol '" + version + "'");
+    }
+  }
+  SplitTarget(req.target, &req.path, &req.query);
+  PGHIVE_RETURN_NOT_OK(ParseHeaderBlock(
+      line_end == std::string::npos ? "" : head.substr(line_end + 2),
+      &req.headers));
+
+  auto it = req.headers.find("content-length");
+  if (it != req.headers.end()) {
+    char* end = nullptr;
+    const unsigned long long len = std::strtoull(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0') {
+      return Status::ParseError("bad Content-Length '" + it->second + "'");
+    }
+    if (len > max_body_bytes) {
+      return Status::OutOfRange("request body of " + it->second +
+                                " bytes exceeds the " +
+                                std::to_string(max_body_bytes) +
+                                "-byte limit");
+    }
+    PGHIVE_ASSIGN_OR_RETURN(req.body, ReadExactly(static_cast<size_t>(len)));
+  }
+  return req;
+}
+
+Status HttpConnection::WriteResponse(const HttpResponse& response,
+                                     bool close_connection) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    HttpStatusReason(response.status) + "\r\n";
+  for (const auto& [key, value] : response.headers) {
+    out += key + ": " + value + "\r\n";
+  }
+  out += "content-length: " + std::to_string(response.body.size()) + "\r\n";
+  out += close_connection ? "connection: close\r\n"
+                          : "connection: keep-alive\r\n";
+  out += "\r\n";
+  out += response.body;
+  return WriteAll(out);
+}
+
+Status HttpConnection::WriteRequest(const std::string& method,
+                                    const std::string& target,
+                                    const std::string& body,
+                                    const std::string& content_type) {
+  std::string out = method + " " + target + " HTTP/1.1\r\n";
+  out += "host: pghive\r\n";
+  if (!content_type.empty()) out += "content-type: " + content_type + "\r\n";
+  out += "content-length: " + std::to_string(body.size()) + "\r\n\r\n";
+  out += body;
+  return WriteAll(out);
+}
+
+Result<HttpResponse> HttpConnection::ReadResponse(size_t max_body_bytes) {
+  PGHIVE_ASSIGN_OR_RETURN(
+      std::string head,
+      ReadUntil("\r\n\r\n", kMaxHeaderBytes, /*eof_ok=*/false));
+  const size_t line_end = head.find("\r\n");
+  const std::string status_line =
+      line_end == std::string::npos ? head : head.substr(0, line_end);
+
+  HttpResponse resp;
+  {
+    const size_t sp1 = status_line.find(' ');
+    if (sp1 == std::string::npos ||
+        status_line.rfind("HTTP/1.", 0) != 0) {
+      return Status::ParseError("malformed status line '" + status_line +
+                                "'");
+    }
+    resp.status = std::atoi(status_line.c_str() + sp1 + 1);
+    if (resp.status < 100 || resp.status > 599) {
+      return Status::ParseError("bad status in '" + status_line + "'");
+    }
+  }
+  PGHIVE_RETURN_NOT_OK(ParseHeaderBlock(
+      line_end == std::string::npos ? "" : head.substr(line_end + 2),
+      &resp.headers));
+  auto it = resp.headers.find("content-length");
+  if (it != resp.headers.end()) {
+    const unsigned long long len = std::strtoull(it->second.c_str(), nullptr,
+                                                 10);
+    if (len > max_body_bytes) {
+      return Status::OutOfRange("response body exceeds limit");
+    }
+    PGHIVE_ASSIGN_OR_RETURN(resp.body, ReadExactly(static_cast<size_t>(len)));
+  }
+  return resp;
+}
+
+Result<int> ListenTcp(const std::string& host, uint16_t port,
+                      uint16_t* bound_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("not an IPv4 address: '" + host + "'");
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s = Errno("bind " + host + ":" + std::to_string(port));
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, 128) != 0) {
+    Status s = Errno("listen");
+    ::close(fd);
+    return s;
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+      Status s = Errno("getsockname");
+      ::close(fd);
+      return s;
+    }
+    *bound_port = ntohs(bound.sin_port);
+  }
+  return fd;
+}
+
+Result<int> DialTcp(const std::string& host, uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("not an IPv4 address: '" + host + "'");
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    Status s = Errno("connect " + host + ":" + std::to_string(port));
+    ::close(fd);
+    return s;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+Result<HttpResponse> HttpCall(const std::string& host, uint16_t port,
+                              const std::string& method,
+                              const std::string& target,
+                              const std::string& body,
+                              const std::string& content_type) {
+  PGHIVE_ASSIGN_OR_RETURN(int fd, DialTcp(host, port));
+  HttpConnection conn(fd);
+  PGHIVE_RETURN_NOT_OK(conn.SetTimeouts(30000));
+  PGHIVE_RETURN_NOT_OK(conn.WriteRequest(method, target, body, content_type));
+  return conn.ReadResponse(/*max_body_bytes=*/256 * 1024 * 1024);
+}
+
+}  // namespace serve
+}  // namespace pghive

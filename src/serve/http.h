@@ -1,0 +1,117 @@
+// Minimal blocking HTTP/1.1 over POSIX sockets for the schema-serving
+// daemon (serve/server.h) and its clients (bench/load_serve, pghive
+// ingest). Hand-rolled on purpose: the repo takes no network dependencies,
+// and the daemon's needs are small — request/response framing with
+// Content-Length bodies, keep-alive connections, and loopback TCP.
+//
+// Scope (deliberate non-goals): no TLS, no chunked transfer encoding, no
+// pipelining, no HTTP/2. Requests without a Content-Length have an empty
+// body. Header keys are case-insensitive (stored lowercased).
+
+#ifndef PGHIVE_SERVE_HTTP_H_
+#define PGHIVE_SERVE_HTTP_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace pghive {
+namespace serve {
+
+struct HttpRequest {
+  std::string method;  // uppercased: GET, POST, ...
+  std::string target;  // raw request target, e.g. /v1/graphs/g/schema?epoch=3
+  std::string path;    // target up to '?'
+  std::map<std::string, std::string> query;    // decoded query parameters
+  std::map<std::string, std::string> headers;  // keys lowercased
+  std::string body;
+};
+
+struct HttpResponse {
+  int status = 0;
+  std::map<std::string, std::string> headers;  // keys lowercased
+  std::string body;
+};
+
+/// Canonical reason phrase ("OK", "Too Many Requests", ...).
+const char* HttpStatusReason(int status);
+
+/// Splits a request target into path + decoded query map (exposed for
+/// tests). Percent-decoding covers %XX and '+' in query values.
+void SplitTarget(const std::string& target, std::string* path,
+                 std::map<std::string, std::string>* query);
+
+/// One connected socket with a read buffer that carries leftover bytes
+/// across keep-alive requests. Owns the fd (closed on destruction). Used on
+/// both sides: the server reads requests and writes responses, the client
+/// writes requests and reads responses.
+class HttpConnection {
+ public:
+  /// Takes ownership of a connected socket.
+  explicit HttpConnection(int fd) : fd_(fd) {}
+  ~HttpConnection();
+  HttpConnection(const HttpConnection&) = delete;
+  HttpConnection& operator=(const HttpConnection&) = delete;
+
+  int fd() const { return fd_; }
+  bool ok() const { return fd_ >= 0; }
+
+  /// Reads one full request. A connection closed cleanly before the first
+  /// byte of a request returns NotFound (the keep-alive loop's normal exit);
+  /// malformed framing returns ParseError (answer 400), an over-limit body
+  /// returns OutOfRange (answer 413), socket errors return IoError.
+  Result<HttpRequest> ReadRequest(size_t max_body_bytes);
+
+  /// Writes a response. Content-Length and the reason phrase are filled in;
+  /// `close_connection` adds "Connection: close" (else keep-alive).
+  Status WriteResponse(const HttpResponse& response, bool close_connection);
+
+  /// Client side: writes one request (Content-Length filled in)...
+  Status WriteRequest(const std::string& method, const std::string& target,
+                      const std::string& body,
+                      const std::string& content_type);
+
+  /// ...and reads the matching response.
+  Result<HttpResponse> ReadResponse(size_t max_body_bytes);
+
+  /// SO_RCVTIMEO/SO_SNDTIMEO, so a dead peer cannot wedge a worker forever.
+  Status SetTimeouts(int timeout_ms);
+
+ private:
+  /// recv()s more bytes into buf_. Returns the byte count, 0 on orderly
+  /// shutdown, or IoError.
+  Result<size_t> Fill();
+  /// Reads until `delim` is buffered; returns the bytes before it and
+  /// consumes through it. `eof_ok` controls the empty-at-EOF result.
+  Result<std::string> ReadUntil(const std::string& delim, size_t max_bytes,
+                                bool eof_ok);
+  Result<std::string> ReadExactly(size_t n);
+  Status WriteAll(const std::string& bytes);
+
+  int fd_ = -1;
+  std::string buf_;   // bytes received but not yet consumed
+  size_t pos_ = 0;    // consumed prefix of buf_
+};
+
+/// Binds and listens on host:port (port 0 = ephemeral). Returns the
+/// listening fd and stores the actually bound port in `bound_port`.
+Result<int> ListenTcp(const std::string& host, uint16_t port,
+                      uint16_t* bound_port);
+
+/// Connects to host:port.
+Result<int> DialTcp(const std::string& host, uint16_t port);
+
+/// One-shot convenience: dial, send one request, read the response, close.
+Result<HttpResponse> HttpCall(const std::string& host, uint16_t port,
+                              const std::string& method,
+                              const std::string& target,
+                              const std::string& body = "",
+                              const std::string& content_type = "");
+
+}  // namespace serve
+}  // namespace pghive
+
+#endif  // PGHIVE_SERVE_HTTP_H_

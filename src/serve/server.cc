@@ -1,0 +1,394 @@
+#include "serve/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+#include "common/timer.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "serve/wire.h"
+
+namespace pghive {
+namespace serve {
+
+namespace {
+
+constexpr const char* kJsonType = "application/json";
+
+HttpResponse JsonResponse(int status, const JsonValue& doc) {
+  HttpResponse resp;
+  resp.status = status;
+  resp.headers["content-type"] = kJsonType;
+  resp.body = doc.Dump();
+  resp.body.push_back('\n');
+  return resp;
+}
+
+HttpResponse ErrorResponse(int status, const std::string& message) {
+  JsonObject doc;
+  doc["error"] = message;
+  return JsonResponse(status, JsonValue(std::move(doc)));
+}
+
+/// Splits "/v1/graphs/g/schema" into {"v1", "graphs", "g", "schema"}.
+std::vector<std::string> PathSegments(const std::string& path) {
+  std::vector<std::string> segments;
+  size_t pos = 0;
+  while (pos < path.size()) {
+    if (path[pos] == '/') {
+      ++pos;
+      continue;
+    }
+    const size_t next = path.find('/', pos);
+    const size_t end = next == std::string::npos ? path.size() : next;
+    segments.push_back(path.substr(pos, end - pos));
+    pos = end;
+  }
+  return segments;
+}
+
+obs::Histogram* ReadLatency() {
+  static obs::Histogram* h = obs::MetricsRegistry::Global().GetHistogram(
+      "pghive.serve.read_seconds");
+  return h;
+}
+
+obs::Histogram* IngestLatency() {
+  static obs::Histogram* h = obs::MetricsRegistry::Global().GetHistogram(
+      "pghive.serve.ingest_seconds");
+  return h;
+}
+
+obs::Counter* RequestsCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "pghive.serve.requests");
+  return c;
+}
+
+}  // namespace
+
+SchemaServer::SchemaServer(ServeOptions options)
+    : options_(std::move(options)) {}
+
+SchemaServer::~SchemaServer() { Stop(); }
+
+Status SchemaServer::AddGraph(const std::string& name,
+                              const std::string& state_dir) {
+  if (started_) {
+    return Status::FailedPrecondition(
+        "AddGraph must be called before Start()");
+  }
+  if (name.empty() || name.find('/') != std::string::npos) {
+    return Status::InvalidArgument("graph name '" + name +
+                                   "' must be non-empty and '/'-free");
+  }
+  if (hosts_.count(name) != 0) {
+    return Status::AlreadyExists("graph '" + name + "' is already hosted");
+  }
+  PGHIVE_ASSIGN_OR_RETURN(std::unique_ptr<GraphHost> host,
+                          GraphHost::Open(name, state_dir, options_.graph));
+  hosts_.emplace(name, std::move(host));
+  return Status::OK();
+}
+
+Status SchemaServer::Start() {
+  if (started_) return Status::FailedPrecondition("server already started");
+  if (::pipe(stop_pipe_) != 0) {
+    return Status::IoError("cannot create stop pipe");
+  }
+  PGHIVE_ASSIGN_OR_RETURN(listen_fd_,
+                          ListenTcp(options_.host, options_.port, &port_));
+  workers_ = std::make_unique<ThreadPool>(
+      ResolveThreadCount(options_.num_workers));
+  started_ = true;
+  acceptor_ = std::thread([this] { AcceptorLoop(); });
+  return Status::OK();
+}
+
+void SchemaServer::RequestStop() {
+  // Only a single write(2) — safe from signal handlers.
+  if (stop_pipe_[1] >= 0) {
+    const char byte = 's';
+    [[maybe_unused]] ssize_t n = ::write(stop_pipe_[1], &byte, 1);
+  }
+}
+
+Status SchemaServer::Wait() {
+  if (acceptor_.joinable()) acceptor_.join();
+  return Stop();
+}
+
+Status SchemaServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (!started_ || stopped_) return Status::OK();
+    stopped_ = true;
+    stopping_ = true;
+  }
+  RequestStop();
+  if (acceptor_.joinable()) acceptor_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  {
+    // Wake every worker blocked in recv(2); their keep-alive loops exit on
+    // the resulting EOF/error and the pool can join.
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  workers_.reset();
+  Status first_error;
+  for (auto& [name, host] : hosts_) {
+    const Status drained = host->Drain();
+    if (!drained.ok() && first_error.ok()) first_error = drained;
+  }
+  for (int i = 0; i < 2; ++i) {
+    if (stop_pipe_[i] >= 0) {
+      ::close(stop_pipe_[i]);
+      stop_pipe_[i] = -1;
+    }
+  }
+  return first_error;
+}
+
+GraphHost* SchemaServer::FindGraph(const std::string& name) {
+  auto it = hosts_.find(name);
+  return it == hosts_.end() ? nullptr : it->second.get();
+}
+
+void SchemaServer::AcceptorLoop() {
+  for (;;) {
+    struct pollfd fds[2];
+    fds[0].fd = listen_fd_;
+    fds[0].events = POLLIN;
+    fds[1].fd = stop_pipe_[0];
+    fds[1].events = POLLIN;
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (fds[1].revents != 0) return;  // RequestStop
+    if (fds[0].revents == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      if (stopping_) {
+        ::close(fd);
+        continue;
+      }
+      active_fds_.insert(fd);
+    }
+    workers_->Submit([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void SchemaServer::ServeConnection(int fd) {
+  {
+    HttpConnection conn(fd);
+    conn.SetTimeouts(options_.connection_timeout_ms);
+    for (;;) {
+      Result<HttpRequest> request = conn.ReadRequest(options_.max_body_bytes);
+      if (!request.ok()) {
+        const StatusCode code = request.status().code();
+        if (code == StatusCode::kParseError) {
+          conn.WriteResponse(ErrorResponse(400, request.status().message()),
+                             /*close_connection=*/true);
+        } else if (code == StatusCode::kOutOfRange) {
+          conn.WriteResponse(ErrorResponse(413, request.status().message()),
+                             /*close_connection=*/true);
+        }
+        break;  // NotFound = clean peer close; IoError = broken socket
+      }
+      RequestsCounter()->Add(1);
+      const HttpResponse response = Route(*request);
+      bool close = false;
+      {
+        std::lock_guard<std::mutex> lock(conn_mu_);
+        close = stopping_;
+      }
+      auto it = request->headers.find("connection");
+      if (it != request->headers.end() && it->second == "close") close = true;
+      if (!conn.WriteResponse(response, close).ok() || close) break;
+    }
+  }  // fd closed here
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  active_fds_.erase(fd);
+}
+
+HttpResponse SchemaServer::Route(const HttpRequest& request) {
+  const Timer timer;
+  const bool is_ingest = request.method == "POST";
+  HttpResponse response;
+  const std::vector<std::string> seg = PathSegments(request.path);
+  if (request.path == "/healthz") {
+    if (request.method != "GET") {
+      response = ErrorResponse(405, "method not allowed");
+    } else {
+      JsonObject doc;
+      doc["status"] = "ok";
+      response = JsonResponse(200, JsonValue(std::move(doc)));
+    }
+  } else if (request.path == "/metrics") {
+    response = request.method == "GET"
+                   ? HandleMetrics()
+                   : ErrorResponse(405, "method not allowed");
+  } else if (seg.size() >= 2 && seg[0] == "v1" && seg[1] == "graphs") {
+    if (seg.size() == 2) {
+      response = request.method == "GET"
+                     ? HandleListGraphs()
+                     : ErrorResponse(405, "method not allowed");
+    } else {
+      GraphHost* host = FindGraph(seg[2]);
+      if (host == nullptr) {
+        response = ErrorResponse(404, "unknown graph '" + seg[2] + "'");
+      } else if (seg.size() == 3) {
+        response = request.method == "GET"
+                       ? HandleGraphDetail(*host)
+                       : ErrorResponse(405, "method not allowed");
+      } else if (seg.size() == 4 && seg[3] == "schema") {
+        response = request.method == "GET"
+                       ? HandleSchema(*host, request.query)
+                       : ErrorResponse(405, "method not allowed");
+      } else if (seg.size() == 4 && seg[3] == "batches") {
+        response = request.method == "POST"
+                       ? HandleIngest(host, request)
+                       : ErrorResponse(405, "method not allowed");
+      } else {
+        response = ErrorResponse(404, "no route for " + request.path);
+      }
+    }
+  } else {
+    response = ErrorResponse(404, "no route for " + request.path);
+  }
+  (is_ingest ? IngestLatency() : ReadLatency())
+      ->Observe(timer.ElapsedSeconds());
+  return response;
+}
+
+HttpResponse SchemaServer::HandleListGraphs() const {
+  JsonArray graphs;
+  for (const auto& [name, host] : hosts_) {
+    const std::shared_ptr<const EpochSnapshot> snap = host->Current();
+    JsonObject g;
+    g["name"] = name;
+    g["epoch"] = static_cast<int64_t>(snap->epoch);
+    g["node_types"] = snap->node_types;
+    g["edge_types"] = snap->edge_types;
+    graphs.emplace_back(std::move(g));
+  }
+  JsonObject doc;
+  doc["graphs"] = std::move(graphs);
+  return JsonResponse(200, JsonValue(std::move(doc)));
+}
+
+HttpResponse SchemaServer::HandleGraphDetail(const GraphHost& host) const {
+  const std::shared_ptr<const EpochSnapshot> snap = host.Current();
+  JsonObject doc;
+  doc["name"] = host.graph_name();
+  doc["state_dir"] = host.state_dir();
+  doc["epoch"] = static_cast<int64_t>(snap->epoch);
+  doc["node_types"] = snap->node_types;
+  doc["edge_types"] = snap->edge_types;
+  doc["graph_nodes"] = snap->graph_nodes;
+  doc["graph_edges"] = snap->graph_edges;
+  doc["queue_depth"] = host.queue_depth();
+  const Status writer = host.writer_status();
+  doc["writer_ok"] = writer.ok();
+  if (!writer.ok()) doc["writer_error"] = writer.ToString();
+  Result<JsonValue> diag = ParseJson(snap->diagnostics_json);
+  doc["diagnostics"] = diag.ok() ? std::move(*diag) : JsonValue();
+  return JsonResponse(200, JsonValue(std::move(doc)));
+}
+
+HttpResponse SchemaServer::HandleSchema(
+    const GraphHost& host, const std::map<std::string, std::string>& query) {
+  std::shared_ptr<const EpochSnapshot> snap;
+  const auto it = query.find("epoch");
+  if (it != query.end()) {
+    char* end = nullptr;
+    const unsigned long long epoch = std::strtoull(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0') {
+      return ErrorResponse(400, "epoch must be a non-negative integer");
+    }
+    snap = host.AtEpoch(epoch);
+    if (snap == nullptr) {
+      return ErrorResponse(404, "epoch " + it->second +
+                                    " is not retained (current is " +
+                                    std::to_string(host.Current()->epoch) +
+                                    ")");
+    }
+  } else {
+    snap = host.Current();
+  }
+  HttpResponse resp;
+  resp.status = 200;
+  resp.headers["content-type"] = kJsonType;
+  resp.headers["x-pghive-epoch"] = std::to_string(snap->epoch);
+  resp.body = snap->schema_json;  // verbatim: the discover --format json bytes
+  return resp;
+}
+
+HttpResponse SchemaServer::HandleIngest(GraphHost* host,
+                                        const HttpRequest& request) {
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (stopping_) return ErrorResponse(503, "server is draining");
+  }
+  Result<JsonValue> doc = ParseJson(request.body);
+  if (!doc.ok()) {
+    return ErrorResponse(400, "invalid JSON body: " + doc.status().message());
+  }
+  Result<store::BatchPayload> batch = BatchFromJson(*doc);
+  if (!batch.ok()) {
+    return ErrorResponse(400, batch.status().message());
+  }
+  const GraphHost::SubmitResult submitted = host->Submit(std::move(*batch));
+  switch (submitted.admission) {
+    case GraphHost::Admission::kAccepted: {
+      JsonObject out;
+      out["graph"] = host->graph_name();
+      out["batch_id"] = static_cast<int64_t>(submitted.batch_id);
+      out["queue_depth"] = submitted.queue_depth;
+      return JsonResponse(202, JsonValue(std::move(out)));
+    }
+    case GraphHost::Admission::kQueueFull: {
+      HttpResponse resp = ErrorResponse(
+          429, "ingest queue full (depth " +
+                   std::to_string(submitted.queue_depth) + "); retry later");
+      resp.headers["retry-after"] =
+          std::to_string(options_.retry_after_seconds);
+      return resp;
+    }
+    case GraphHost::Admission::kStopping:
+      return ErrorResponse(503, "graph is draining");
+    case GraphHost::Admission::kWriterFailed:
+      return ErrorResponse(500,
+                           "writer failed: " + host->writer_status().ToString());
+  }
+  return ErrorResponse(500, "unreachable");
+}
+
+HttpResponse SchemaServer::HandleMetrics() const {
+  HttpResponse resp;
+  resp.status = 200;
+  resp.headers["content-type"] = "text/plain; charset=utf-8";
+  resp.body =
+      obs::MetricsToJsonl(obs::MetricsRegistry::Global().Snapshot(), {});
+  return resp;
+}
+
+}  // namespace serve
+}  // namespace pghive

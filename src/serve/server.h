@@ -1,0 +1,141 @@
+// Multi-tenant schema-serving daemon: many named GraphHosts behind one
+// HTTP/1.1 listener.
+//
+// Endpoints (JSON unless noted):
+//
+//   GET  /healthz                      liveness: {"status":"ok"}
+//   GET  /metrics                      registry snapshot as JSONL
+//                                      (text/plain; the --metrics-out schema)
+//   GET  /v1/graphs                    every graph's name + current epoch
+//   GET  /v1/graphs/{g}                one graph: epoch, type/graph counts,
+//                                      queue depth, last-batch diagnostics
+//   GET  /v1/graphs/{g}/schema         current epoch's schema JSON, byte-for-
+//                                      byte what `pghive discover --format
+//                                      json` prints for the same batches;
+//                                      ?epoch=N serves a retained epoch
+//                                      (404 once evicted). The served epoch
+//                                      is echoed in `x-pghive-epoch`.
+//   POST /v1/graphs/{g}/batches        ingest one batch (serve/wire.h shape)
+//                                      202 {"batch_id","queue_depth"} on
+//                                      admission; 429 + Retry-After when the
+//                                      bounded queue is full; 503 while
+//                                      draining; 500 after a writer failure
+//
+// Concurrency: one acceptor thread multiplexes accept(2) with a self-pipe
+// (RequestStop writes one byte — a single async-signal-safe write(2), so
+// SIGINT/SIGTERM handlers may call it directly). Each accepted connection
+// becomes a keep-alive loop task on a runtime ThreadPool worker. Reads hit
+// only GraphHost epoch snapshots (shared_ptr copy under a mutex held for
+// nanoseconds); ingest only enqueues — neither ever waits on the writer
+// threads, so reader latency is isolated from ingestion by construction.
+//
+// Shutdown (Stop, also run by Wait after RequestStop): stop accepting, wake
+// workers by shutting down their sockets, join the pool, then Drain every
+// host — each applies its queued batches and checkpoints, so a restart
+// recovers without journal replay.
+
+#ifndef PGHIVE_SERVE_SERVER_H_
+#define PGHIVE_SERVE_SERVER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/thread_pool.h"
+#include "serve/graph_host.h"
+#include "serve/http.h"
+
+namespace pghive {
+namespace serve {
+
+struct ServeOptions {
+  std::string host = "127.0.0.1";
+  /// 0 picks an ephemeral port (the bound one is readable via port()).
+  uint16_t port = 8090;
+  /// HTTP worker threads; 0 = hardware concurrency.
+  int num_workers = 0;
+  /// Request bodies above this are answered 413.
+  size_t max_body_bytes = 64ull << 20;
+  /// Per-connection socket timeout; a dead peer frees its worker after this.
+  int connection_timeout_ms = 30000;
+  /// Seconds clients are told to wait after a 429.
+  int retry_after_seconds = 1;
+  /// Template for every hosted graph's queue/retention/store settings.
+  GraphHostOptions graph;
+};
+
+class SchemaServer {
+ public:
+  explicit SchemaServer(ServeOptions options);
+  /// Stops and drains if still running.
+  ~SchemaServer();
+  SchemaServer(const SchemaServer&) = delete;
+  SchemaServer& operator=(const SchemaServer&) = delete;
+
+  /// Opens (or recovers) `state_dir` and hosts it as /v1/graphs/{name}.
+  /// Callable only before Start(). Fails with AlreadyExists on a duplicate
+  /// name or a LOCK held by another live process.
+  Status AddGraph(const std::string& name, const std::string& state_dir);
+
+  /// Binds, starts the acceptor and the worker pool. Fails with IoError
+  /// when the address is unavailable.
+  Status Start();
+
+  /// The bound port (after Start); useful with options.port == 0.
+  uint16_t port() const { return port_; }
+
+  /// Async-signal-safe stop trigger: one write(2) to the self-pipe. The
+  /// actual teardown happens in Wait()/Stop() on a normal thread.
+  void RequestStop();
+
+  /// Blocks until RequestStop (or a fatal acceptor error), then runs the
+  /// full Stop() sequence. Returns the first error seen during drain.
+  Status Wait();
+
+  /// Idempotent full shutdown: acceptor joined, connections shut down,
+  /// workers joined, every host drained + checkpointed.
+  Status Stop();
+
+  /// Host lookup for tests and the in-process bench (null if unknown).
+  GraphHost* FindGraph(const std::string& name);
+
+  const ServeOptions& options() const { return options_; }
+
+ private:
+  void AcceptorLoop();
+  void ServeConnection(int fd);
+  HttpResponse Route(const HttpRequest& request);
+
+  HttpResponse HandleListGraphs() const;
+  HttpResponse HandleGraphDetail(const GraphHost& host) const;
+  HttpResponse HandleSchema(const GraphHost& host,
+                            const std::map<std::string, std::string>& query);
+  HttpResponse HandleIngest(GraphHost* host, const HttpRequest& request);
+  HttpResponse HandleMetrics() const;
+
+  ServeOptions options_;
+  std::map<std::string, std::unique_ptr<GraphHost>> hosts_;  // name-sorted
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  int stop_pipe_[2] = {-1, -1};  // [0] polled by acceptor, [1] RequestStop
+  std::thread acceptor_;
+  std::unique_ptr<ThreadPool> workers_;
+
+  std::mutex conn_mu_;
+  std::set<int> active_fds_;  // connections workers are currently serving
+  bool started_ = false;
+  bool stopped_ = false;
+  bool stopping_ = false;  // set before sockets are shut down (guarded by
+                           // conn_mu_; workers answer 503 past this point)
+};
+
+}  // namespace serve
+}  // namespace pghive
+
+#endif  // PGHIVE_SERVE_SERVER_H_

@@ -1,0 +1,180 @@
+#include "serve/wire.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace pghive {
+namespace serve {
+
+namespace {
+
+Result<Value> TypedValueFromJson(const JsonValue& j) {
+  PGHIVE_ASSIGN_OR_RETURN(std::string type, j.GetString("type"));
+  PGHIVE_ASSIGN_OR_RETURN(std::string text, j.GetString("text"));
+  if (type == DataTypeGqlName(DataType::kInt)) {
+    return Value::Int(std::strtoll(text.c_str(), nullptr, 10));
+  }
+  if (type == DataTypeGqlName(DataType::kDouble)) {
+    return Value::Double(std::strtod(text.c_str(), nullptr));
+  }
+  if (type == DataTypeGqlName(DataType::kBool)) {
+    return Value::Bool(text == "true");
+  }
+  if (type == DataTypeGqlName(DataType::kDate)) {
+    return Value::Date(std::move(text));
+  }
+  if (type == DataTypeGqlName(DataType::kTimestamp)) {
+    return Value::Timestamp(std::move(text));
+  }
+  if (type == DataTypeGqlName(DataType::kString)) {
+    return Value::String(std::move(text));
+  }
+  return Status::InvalidArgument("unknown value type '" + type + "'");
+}
+
+Result<std::set<std::string>> LabelsFromJson(const JsonValue& element) {
+  std::set<std::string> labels;
+  const JsonValue& arr = element["labels"];
+  if (arr.is_null()) return labels;  // unlabeled elements are legal
+  if (!arr.is_array()) {
+    return Status::InvalidArgument("'labels' must be an array of strings");
+  }
+  for (const JsonValue& l : arr.AsArray()) {
+    if (!l.is_string()) {
+      return Status::InvalidArgument("'labels' must be an array of strings");
+    }
+    labels.insert(l.AsString());
+  }
+  return labels;
+}
+
+Result<std::map<std::string, Value>> PropertiesFromJson(
+    const JsonValue& element) {
+  std::map<std::string, Value> properties;
+  const JsonValue& obj = element["properties"];
+  if (obj.is_null()) return properties;
+  if (!obj.is_object()) {
+    return Status::InvalidArgument("'properties' must be an object");
+  }
+  for (const auto& [key, value] : obj.AsObject()) {
+    PGHIVE_ASSIGN_OR_RETURN(Value v, ValueFromJson(value));
+    properties.emplace(key, std::move(v));
+  }
+  return properties;
+}
+
+JsonObject ElementToJson(const std::set<std::string>& labels,
+                         const std::map<std::string, Value>& properties,
+                         const std::string& truth_type) {
+  JsonObject out;
+  JsonArray label_arr;
+  for (const std::string& l : labels) label_arr.emplace_back(l);
+  out["labels"] = std::move(label_arr);
+  JsonObject props;
+  for (const auto& [key, value] : properties) {
+    props[key] = ValueToJson(value);
+  }
+  out["properties"] = std::move(props);
+  if (!truth_type.empty()) out["truth"] = truth_type;
+  return out;
+}
+
+}  // namespace
+
+JsonValue ValueToJson(const Value& v) {
+  JsonObject out;
+  out["type"] = DataTypeGqlName(v.type());
+  out["text"] = v.ToText();
+  return JsonValue(std::move(out));
+}
+
+Result<Value> ValueFromJson(const JsonValue& j) {
+  switch (j.kind()) {
+    case JsonValue::Kind::kObject:
+      return TypedValueFromJson(j);
+    case JsonValue::Kind::kString:
+      // Same lexical typing as a CSV cell.
+      return ParseValue(j.AsString());
+    case JsonValue::Kind::kNumber: {
+      const double d = j.AsDouble();
+      if (std::nearbyint(d) == d && std::abs(d) < 9.0e15) {
+        return Value::Int(static_cast<int64_t>(d));
+      }
+      return Value::Double(d);
+    }
+    case JsonValue::Kind::kBool:
+      return Value::Bool(j.AsBool());
+    case JsonValue::Kind::kNull:
+      return Value();
+    case JsonValue::Kind::kArray:
+      break;
+  }
+  return Status::InvalidArgument("property values must be scalars or the "
+                                 "typed {\"type\":..,\"text\":..} form");
+}
+
+JsonValue BatchToJson(const store::BatchPayload& batch) {
+  JsonObject doc;
+  JsonArray nodes;
+  nodes.reserve(batch.nodes.size());
+  for (const NodeData& n : batch.nodes) {
+    nodes.emplace_back(ElementToJson(n.labels, n.properties, n.truth_type));
+  }
+  doc["nodes"] = std::move(nodes);
+  JsonArray edges;
+  edges.reserve(batch.edges.size());
+  for (const EdgeData& e : batch.edges) {
+    JsonObject obj = ElementToJson(e.labels, e.properties, e.truth_type);
+    obj["source"] = static_cast<int64_t>(e.source);
+    obj["target"] = static_cast<int64_t>(e.target);
+    edges.emplace_back(std::move(obj));
+  }
+  doc["edges"] = std::move(edges);
+  return JsonValue(std::move(doc));
+}
+
+Result<store::BatchPayload> BatchFromJson(const JsonValue& doc) {
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("batch body must be a JSON object");
+  }
+  store::BatchPayload batch;
+  const JsonValue& nodes = doc["nodes"];
+  if (!nodes.is_null()) {
+    if (!nodes.is_array()) {
+      return Status::InvalidArgument("'nodes' must be an array");
+    }
+    batch.nodes.reserve(nodes.AsArray().size());
+    for (const JsonValue& n : nodes.AsArray()) {
+      NodeData node;
+      PGHIVE_ASSIGN_OR_RETURN(node.labels, LabelsFromJson(n));
+      PGHIVE_ASSIGN_OR_RETURN(node.properties, PropertiesFromJson(n));
+      if (n["truth"].is_string()) node.truth_type = n["truth"].AsString();
+      batch.nodes.push_back(std::move(node));
+    }
+  }
+  const JsonValue& edges = doc["edges"];
+  if (!edges.is_null()) {
+    if (!edges.is_array()) {
+      return Status::InvalidArgument("'edges' must be an array");
+    }
+    batch.edges.reserve(edges.AsArray().size());
+    for (const JsonValue& e : edges.AsArray()) {
+      EdgeData edge;
+      PGHIVE_ASSIGN_OR_RETURN(int64_t source, e.GetInt("source"));
+      PGHIVE_ASSIGN_OR_RETURN(int64_t target, e.GetInt("target"));
+      if (source < 0 || target < 0) {
+        return Status::InvalidArgument("edge endpoints must be >= 0");
+      }
+      edge.source = static_cast<NodeId>(source);
+      edge.target = static_cast<NodeId>(target);
+      PGHIVE_ASSIGN_OR_RETURN(edge.labels, LabelsFromJson(e));
+      PGHIVE_ASSIGN_OR_RETURN(edge.properties, PropertiesFromJson(e));
+      if (e["truth"].is_string()) edge.truth_type = e["truth"].AsString();
+      batch.edges.push_back(std::move(edge));
+    }
+  }
+  return batch;
+}
+
+}  // namespace serve
+}  // namespace pghive

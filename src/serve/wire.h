@@ -1,0 +1,47 @@
+// JSON wire forms for the serving daemon's ingest path: BatchPayload (the
+// journal's batch unit, store/codec.h) <-> the request body of
+// POST /v1/graphs/{g}/batches.
+//
+// Two value spellings are accepted, so the wire is both curl-friendly and
+// exact:
+//
+//  * plain JSON scalars — a string is typed by the same lexical inference
+//    the CSV loader applies (graph/value.h::ParseValue, so "123" ingests as
+//    INT exactly like a CSV cell would); a number is INT when integral else
+//    DOUBLE; booleans map to BOOL.
+//  * the typed object form {"type":"DOUBLE","text":"1.5"} — type tag plus
+//    lexical form, round-tripping any Value bit-exactly (doubles print as
+//    %.17g). BatchToJson always emits this form, so a batch sliced from a
+//    CSV graph and pushed over HTTP reproduces the CSV ingest byte-for-byte.
+//
+// Batch shape:
+//   {"nodes":[{"labels":["A"],"properties":{"k":v},"truth":"T"?}, ...],
+//    "edges":[{"source":0,"target":1,"labels":[...],"properties":{...}},..]}
+// Node ids are assigned by the server in feed order; edge endpoints are
+// global node ids into the accumulated graph (the same endpoint-closed
+// contract MakeStreamBatches satisfies).
+
+#ifndef PGHIVE_SERVE_WIRE_H_
+#define PGHIVE_SERVE_WIRE_H_
+
+#include "common/json.h"
+#include "common/result.h"
+#include "graph/value.h"
+#include "store/codec.h"
+
+namespace pghive {
+namespace serve {
+
+/// Typed object form, exact round-trip.
+JsonValue ValueToJson(const Value& v);
+
+/// Accepts both spellings (see file comment).
+Result<Value> ValueFromJson(const JsonValue& j);
+
+JsonValue BatchToJson(const store::BatchPayload& batch);
+Result<store::BatchPayload> BatchFromJson(const JsonValue& doc);
+
+}  // namespace serve
+}  // namespace pghive
+
+#endif  // PGHIVE_SERVE_WIRE_H_

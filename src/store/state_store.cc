@@ -1,8 +1,14 @@
 #include "store/state_store.h"
 
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 
 #include "common/binary_io.h"
@@ -195,7 +201,64 @@ DurableDiscoverer::DurableDiscoverer(std::string dir, StoreOptions options)
       options_(std::move(options)),
       engine_(options_.incremental) {}
 
-DurableDiscoverer::~DurableDiscoverer() = default;
+DurableDiscoverer::~DurableDiscoverer() { ReleaseLock(); }
+
+Status DurableDiscoverer::AcquireLock() {
+  const std::string path = dir_ + "/LOCK";
+  // Two attempts: the second one races for the lock after breaking a stale
+  // file. If another opener wins that race, the verdict is AlreadyExists —
+  // exactly as if it had held the lock all along.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const int fd = ::open(path.c_str(),
+                          O_CREAT | O_EXCL | O_WRONLY | O_CLOEXEC, 0644);
+    if (fd >= 0) {
+      const std::string pid = std::to_string(::getpid()) + "\n";
+      if (::write(fd, pid.data(), pid.size()) !=
+          static_cast<ssize_t>(pid.size())) {
+        const int err = errno;
+        ::close(fd);
+        ::unlink(path.c_str());
+        return Status::IoError("cannot write lock file '" + path +
+                               "': " + std::strerror(err));
+      }
+      lock_fd_ = fd;
+      return Status::OK();
+    }
+    if (errno != EEXIST) {
+      return Status::IoError("cannot create lock file '" + path +
+                             "': " + std::strerror(errno));
+    }
+    // Held by someone. Stale (holder dead) => break it and retry; a live
+    // holder — including another instance in this very process — wins.
+    long holder = 0;
+    {
+      std::FILE* f = std::fopen(path.c_str(), "r");
+      if (f != nullptr) {
+        if (std::fscanf(f, "%ld", &holder) != 1) holder = 0;
+        std::fclose(f);
+      }
+    }
+    if (holder > 0 && holder != ::getpid() &&
+        ::kill(static_cast<pid_t>(holder), 0) != 0 && errno == ESRCH) {
+      ::unlink(path.c_str());
+      continue;  // stale: the recorded process no longer exists
+    }
+    return Status::AlreadyExists(
+        "state directory '" + dir_ + "' is locked by process " +
+        (holder > 0 ? std::to_string(holder) : "?") +
+        " (another daemon or CLI run; remove '" + path +
+        "' only if that process is gone)");
+  }
+  return Status::AlreadyExists("state directory '" + dir_ +
+                               "' was locked by a concurrent opener");
+}
+
+void DurableDiscoverer::ReleaseLock() {
+  if (lock_fd_ < 0) return;
+  ::close(lock_fd_);
+  lock_fd_ = -1;
+  ::unlink((dir_ + "/LOCK").c_str());
+}
 
 Result<std::unique_ptr<DurableDiscoverer>> DurableDiscoverer::OpenOrRecover(
     const std::string& dir, StoreOptions options, RecoveryReport* report) {
@@ -208,6 +271,7 @@ Result<std::unique_ptr<DurableDiscoverer>> DurableDiscoverer::OpenOrRecover(
   RecoveryReport local;
   std::unique_ptr<DurableDiscoverer> store(
       new DurableDiscoverer(dir, std::move(options)));
+  PGHIVE_RETURN_NOT_OK(store->AcquireLock());
   PGHIVE_RETURN_NOT_OK(store->Recover(&local));
   if (report != nullptr) *report = std::move(local);
   return store;

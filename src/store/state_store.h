@@ -98,12 +98,21 @@ std::vector<BatchPayload> MakeStreamBatches(const PropertyGraph& g,
                                             size_t num_batches);
 
 /// Incremental discovery with crash-consistent persistence.
+///
+/// Single-writer: opening takes an exclusive `<dir>/LOCK` pidfile
+/// (O_CREAT|O_EXCL), so a daemon and a one-shot CLI run can never interleave
+/// appends into the same journal. A lock left behind by a dead process
+/// (crash) is detected via kill(pid, 0) and broken automatically; a live
+/// holder makes OpenOrRecover fail with AlreadyExists, which the CLI maps
+/// to its own exit code (4).
 class DurableDiscoverer {
  public:
   /// Opens `dir` (created if missing), recovering any prior state found
-  /// there. Fails with FailedPrecondition when the stored options
-  /// fingerprint differs from `options.incremental` (unless
-  /// allow_options_mismatch), and with IoError on unrecoverable corruption.
+  /// there. Fails with AlreadyExists when another live process (or another
+  /// instance in this process) holds the directory's LOCK, with
+  /// FailedPrecondition when the stored options fingerprint differs from
+  /// `options.incremental` (unless allow_options_mismatch), and with
+  /// IoError on unrecoverable corruption.
   static Result<std::unique_ptr<DurableDiscoverer>> OpenOrRecover(
       const std::string& dir, StoreOptions options,
       RecoveryReport* report = nullptr);
@@ -131,6 +140,13 @@ class DurableDiscoverer {
   Result<SchemaGraph> Finish();
 
   const SchemaGraph& schema() const { return engine_.schema(); }
+
+  /// The schema Finish() would produce right now, computed on a copy: the
+  /// engine keeps feeding on the exact uninterrupted-run path. The serving
+  /// daemon renders one of these per applied batch into an epoch snapshot.
+  SchemaGraph PostProcessedSchema() const {
+    return engine_.FinishedCopy(graph_);
+  }
   const PropertyGraph& graph() const { return graph_; }
   const std::vector<double>& batch_seconds() const {
     return engine_.batch_seconds();
@@ -145,6 +161,8 @@ class DurableDiscoverer {
  private:
   DurableDiscoverer(std::string dir, StoreOptions options);
 
+  Status AcquireLock();
+  void ReleaseLock();
   Status Recover(RecoveryReport* report);
   Status ApplyPayload(const BatchPayload& batch);
   Status AppendToJournal(const BatchPayload& batch);
@@ -156,6 +174,7 @@ class DurableDiscoverer {
   std::string dir_;
   StoreOptions options_;
   uint64_t fingerprint_ = 0;
+  int lock_fd_ = -1;  // exclusive LOCK pidfile (released in the destructor)
 
   IncrementalDiscoverer engine_;
   PropertyGraph graph_;

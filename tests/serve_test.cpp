@@ -1,0 +1,541 @@
+// The schema-serving subsystem (src/serve/): HTTP framing, the JSON batch
+// wire format, epoch-snapshot publication under concurrent readers (the
+// TSan target), backpressure, the state-directory LOCK, graceful drain, and
+// the end-to-end guarantee that a daemon-served schema is byte-identical to
+// a one-shot durable run over the same batches.
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/csv.h"
+#include "common/json.h"
+#include "core/schema_json.h"
+#include "datagen/datasets.h"
+#include "datagen/generator.h"
+#include "serve/graph_host.h"
+#include "serve/http.h"
+#include "serve/server.h"
+#include "serve/wire.h"
+#include "store/state_store.h"
+
+namespace pghive {
+namespace serve {
+namespace {
+
+PropertyGraph MakeTestGraph(size_t nodes = 240, size_t edges = 480) {
+  auto spec = DatasetSpecByName("POLE").value();
+  GenerateOptions gen;
+  gen.num_nodes = nodes;
+  gen.num_edges = edges;
+  gen.seed = 99;
+  return GenerateGraph(spec, gen).value();
+}
+
+store::StoreOptions FastStoreOptions() {
+  store::StoreOptions opt;
+  opt.incremental.pipeline.embedding.backend = EmbeddingBackend::kHash;
+  opt.fsync = false;
+  return opt;
+}
+
+GraphHostOptions FastHostOptions() {
+  GraphHostOptions opt;
+  opt.store = FastStoreOptions();
+  return opt;
+}
+
+std::string TestDir(const std::string& name) {
+  std::string dir = testing::TempDir() + "/pghive_serve_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+/// The post-processed schema JSON a sequential durable run shows after each
+/// batch prefix — the golden set every served epoch must come from.
+std::vector<std::string> GoldenEpochSchemas(
+    const std::vector<store::BatchPayload>& payloads, const std::string& dir) {
+  auto store =
+      store::DurableDiscoverer::OpenOrRecover(dir, FastStoreOptions()).value();
+  std::vector<std::string> golden;
+  golden.push_back(SchemaToJson(store->PostProcessedSchema()));  // epoch 0
+  for (const auto& payload : payloads) {
+    EXPECT_TRUE(store->Feed(payload).ok());
+    golden.push_back(SchemaToJson(store->PostProcessedSchema()));
+  }
+  return golden;
+}
+
+// --- HTTP framing. ---
+
+TEST(ServeHttpTest, SplitTargetDecodesQueries) {
+  std::string path;
+  std::map<std::string, std::string> query;
+  SplitTarget("/v1/graphs/g/schema?epoch=3&name=a%20b+c", &path, &query);
+  EXPECT_EQ(path, "/v1/graphs/g/schema");
+  EXPECT_EQ(query["epoch"], "3");
+  EXPECT_EQ(query["name"], "a b c");
+
+  SplitTarget("/healthz", &path, &query);
+  EXPECT_EQ(path, "/healthz");
+  EXPECT_TRUE(query.empty());
+}
+
+TEST(ServeHttpTest, KeepAliveRoundTripOverLoopback) {
+  uint16_t port = 0;
+  auto listen_fd = ListenTcp("127.0.0.1", 0, &port);
+  ASSERT_TRUE(listen_fd.ok()) << listen_fd.status();
+  ASSERT_GT(port, 0);
+
+  Result<HttpRequest> first = Status::Internal("not read");
+  Result<HttpRequest> second = Status::Internal("not read");
+  std::thread server([&] {
+    const int fd = ::accept(*listen_fd, nullptr, nullptr);
+    HttpConnection conn(fd);
+    first = conn.ReadRequest(1 << 20);
+    if (!first.ok()) return;
+    HttpResponse resp;
+    resp.status = 200;
+    resp.headers["content-type"] = "text/plain";
+    resp.body = "pong";
+    conn.WriteResponse(resp, /*close_connection=*/false);
+    second = conn.ReadRequest(1 << 20);  // same connection, kept alive
+    if (!second.ok()) return;
+    resp.status = 202;
+    resp.body = "done";
+    conn.WriteResponse(resp, /*close_connection=*/true);
+  });
+
+  auto dial = DialTcp("127.0.0.1", port);
+  ASSERT_TRUE(dial.ok()) << dial.status();
+  HttpConnection client(*dial);
+  ASSERT_TRUE(
+      client.WriteRequest("GET", "/ping?x=1", "", "").ok());
+  auto resp1 = client.ReadResponse(1 << 20);
+  ASSERT_TRUE(resp1.ok()) << resp1.status();
+  EXPECT_EQ(resp1->status, 200);
+  EXPECT_EQ(resp1->body, "pong");
+  EXPECT_EQ(resp1->headers["content-type"], "text/plain");
+
+  ASSERT_TRUE(client.WriteRequest("POST", "/data", "{\"a\":1}",
+                                  "application/json")
+                  .ok());
+  auto resp2 = client.ReadResponse(1 << 20);
+  ASSERT_TRUE(resp2.ok()) << resp2.status();
+  EXPECT_EQ(resp2->status, 202);
+  EXPECT_EQ(resp2->body, "done");
+
+  server.join();
+  ::close(*listen_fd);
+
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_EQ(first->method, "GET");
+  EXPECT_EQ(first->path, "/ping");
+  EXPECT_EQ(first->query.at("x"), "1");
+  EXPECT_EQ(first->body, "");
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(second->method, "POST");
+  EXPECT_EQ(second->body, "{\"a\":1}");
+  EXPECT_EQ(second->headers.at("content-type"), "application/json");
+}
+
+// --- JSON batch wire format. ---
+
+TEST(ServeWireTest, TypedValuesRoundTripExactly) {
+  const std::vector<Value> values = {
+      Value::Int(-9007199254740993ll),  // beyond double's exact-int range
+      Value::Double(0.1),
+      Value::Double(1.0 / 3.0),
+      Value::Bool(true),
+      Value::Date("2024-02-29"),
+      Value::Timestamp("2024-02-29T12:34:56Z"),
+      Value::String("hello \"world\"\n"),
+  };
+  for (const Value& v : values) {
+    const JsonValue j = ValueToJson(v);
+    // Through a serialize/parse cycle, as over the wire.
+    auto reparsed = ParseJson(j.Dump());
+    ASSERT_TRUE(reparsed.ok());
+    auto round = ValueFromJson(*reparsed);
+    ASSERT_TRUE(round.ok()) << round.status();
+    EXPECT_EQ(round->type(), v.type());
+    EXPECT_EQ(round->ToText(), v.ToText());
+  }
+}
+
+TEST(ServeWireTest, PlainJsonScalarsAreTyped) {
+  auto parsed = ParseJson(
+      R"({"i": 42, "d": 1.5, "b": false, "s": "plain", "n": null})");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(ValueFromJson((*parsed)["i"])->type(), DataType::kInt);
+  EXPECT_EQ(ValueFromJson((*parsed)["d"])->type(), DataType::kDouble);
+  EXPECT_EQ(ValueFromJson((*parsed)["b"])->type(), DataType::kBool);
+  EXPECT_EQ(ValueFromJson((*parsed)["s"])->type(), DataType::kString);
+  EXPECT_FALSE(ValueFromJson(JsonValue(JsonArray{})).ok());
+}
+
+TEST(ServeWireTest, BatchRoundTripsThroughJson) {
+  const PropertyGraph g = MakeTestGraph(60, 120);
+  const auto payloads = store::MakeStreamBatches(g, 3);
+  for (const auto& payload : payloads) {
+    const std::string wire = BatchToJson(payload).Dump();
+    auto parsed = ParseJson(wire);
+    ASSERT_TRUE(parsed.ok());
+    auto decoded = BatchFromJson(*parsed);
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    ASSERT_EQ(decoded->nodes.size(), payload.nodes.size());
+    ASSERT_EQ(decoded->edges.size(), payload.edges.size());
+    // Re-encoding must reproduce the exact wire bytes: the decoded batch is
+    // semantically identical, element by element.
+    EXPECT_EQ(BatchToJson(*decoded).Dump(), wire);
+  }
+}
+
+TEST(ServeWireTest, MalformedBatchesAreRejected) {
+  const auto bad = {
+      std::string(R"([1,2,3])"),                         // not an object
+      std::string(R"({"nodes": 5})"),                    // nodes not array
+      std::string(R"({"nodes": [{"labels": "X"}]})"),    // labels not array
+      std::string(R"({"edges": [{"source": 0}]})"),      // missing target
+      std::string(R"({"edges": [{"source": -1, "target": 0}]})"),
+  };
+  for (const std::string& body : bad) {
+    auto parsed = ParseJson(body);
+    ASSERT_TRUE(parsed.ok()) << body;
+    EXPECT_FALSE(BatchFromJson(*parsed).ok()) << body;
+  }
+}
+
+// --- Epoch snapshots under concurrent readers (the TSan target). ---
+
+TEST(ServeEpochTest, ConcurrentReadersOnlySeeBatchBoundarySchemas) {
+  constexpr size_t kBatches = 32;
+  constexpr int kReaders = 8;
+  const PropertyGraph g = MakeTestGraph();
+  const auto payloads = store::MakeStreamBatches(g, kBatches);
+  ASSERT_EQ(payloads.size(), kBatches);
+  const std::vector<std::string> golden =
+      GoldenEpochSchemas(payloads, TestDir("epoch_golden"));
+
+  GraphHostOptions options = FastHostOptions();
+  options.retain_epochs = kBatches + 1;  // every epoch stays addressable
+  auto host = GraphHost::Open("g", TestDir("epoch_host"), options);
+  ASSERT_TRUE(host.ok()) << host.status();
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> mismatches{0};
+  std::atomic<int> epoch_regressions{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      uint64_t last_epoch = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::shared_ptr<const EpochSnapshot> snap = (*host)->Current();
+        // Epochs are monotone per reader: a published pointer never goes
+        // backwards.
+        if (snap->epoch < last_epoch) epoch_regressions.fetch_add(1);
+        last_epoch = snap->epoch;
+        // Every observed schema is exactly the golden one of its epoch —
+        // never a torn intermediate.
+        if (snap->epoch >= golden.size() ||
+            snap->schema_json != golden[snap->epoch]) {
+          mismatches.fetch_add(1);
+        }
+        std::this_thread::yield();
+      }
+    });
+  }
+
+  // Feed while the readers hammer. The default queue (64) never fills for
+  // 32 batches, so every submission is admitted.
+  for (const auto& payload : payloads) {
+    const auto submitted = (*host)->Submit(payload);
+    ASSERT_EQ(submitted.admission, GraphHost::Admission::kAccepted);
+  }
+  while ((*host)->Current()->epoch < kBatches) {
+    std::this_thread::yield();
+  }
+  stop.store(true);
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(epoch_regressions.load(), 0);
+  EXPECT_EQ((*host)->Current()->epoch, kBatches);
+  EXPECT_EQ((*host)->Current()->schema_json, golden[kBatches]);
+  // Retained epochs resolve to their exact golden snapshot.
+  for (uint64_t e = 0; e <= kBatches; ++e) {
+    const auto snap = (*host)->AtEpoch(e);
+    ASSERT_NE(snap, nullptr) << "epoch " << e;
+    EXPECT_EQ(snap->schema_json, golden[e]);
+  }
+  EXPECT_TRUE((*host)->Drain().ok());
+}
+
+TEST(ServeEpochTest, RetentionEvictsOldEpochs) {
+  const PropertyGraph g = MakeTestGraph(60, 120);
+  const auto payloads = store::MakeStreamBatches(g, 6);
+  GraphHostOptions options = FastHostOptions();
+  options.retain_epochs = 2;
+  auto host = GraphHost::Open("g", TestDir("retention"), options);
+  ASSERT_TRUE(host.ok()) << host.status();
+  for (const auto& payload : payloads) {
+    ASSERT_EQ((*host)->Submit(payload).admission,
+              GraphHost::Admission::kAccepted);
+  }
+  ASSERT_TRUE((*host)->Drain().ok());
+  EXPECT_EQ((*host)->Current()->epoch, 6u);
+  EXPECT_NE((*host)->AtEpoch(6), nullptr);
+  EXPECT_NE((*host)->AtEpoch(4), nullptr);
+  EXPECT_EQ((*host)->AtEpoch(3), nullptr);  // evicted
+  EXPECT_EQ((*host)->AtEpoch(0), nullptr);
+}
+
+// --- Backpressure. ---
+
+TEST(ServeBackpressureTest, FullQueueRejectsUntilWriterCatchesUp) {
+  const PropertyGraph g = MakeTestGraph(60, 120);
+  const auto payloads = store::MakeStreamBatches(g, 4);
+  GraphHostOptions options = FastHostOptions();
+  options.queue_capacity = 1;
+  auto host = GraphHost::Open("g", TestDir("backpressure"), options);
+  ASSERT_TRUE(host.ok()) << host.status();
+
+  (*host)->PauseWriterForTest(true);
+  EXPECT_EQ((*host)->Submit(payloads[0]).admission,
+            GraphHost::Admission::kAccepted);
+  const auto rejected = (*host)->Submit(payloads[1]);
+  EXPECT_EQ(rejected.admission, GraphHost::Admission::kQueueFull);
+  EXPECT_EQ(rejected.queue_depth, 1u);
+
+  (*host)->PauseWriterForTest(false);
+  // The writer drains; the rejected batch is eventually admitted on retry.
+  for (;;) {
+    const auto retried = (*host)->Submit(payloads[1]);
+    if (retried.admission == GraphHost::Admission::kAccepted) break;
+    ASSERT_EQ(retried.admission, GraphHost::Admission::kQueueFull);
+    std::this_thread::yield();
+  }
+  ASSERT_TRUE((*host)->Drain().ok());
+  EXPECT_EQ((*host)->Current()->epoch, 2u);
+}
+
+// --- Graceful drain. ---
+
+TEST(ServeDrainTest, DrainAppliesBacklogAndCheckpoints) {
+  const PropertyGraph g = MakeTestGraph(60, 120);
+  const auto payloads = store::MakeStreamBatches(g, 5);
+  const std::string dir = TestDir("drain");
+  {
+    auto host = GraphHost::Open("g", dir, FastHostOptions());
+    ASSERT_TRUE(host.ok()) << host.status();
+    (*host)->PauseWriterForTest(true);  // force a real backlog
+    for (const auto& payload : payloads) {
+      ASSERT_EQ((*host)->Submit(payload).admission,
+                GraphHost::Admission::kAccepted);
+    }
+    ASSERT_TRUE((*host)->Drain().ok());
+    // Everything admitted was applied before the writer stopped...
+    EXPECT_EQ((*host)->Current()->epoch, 5u);
+    EXPECT_EQ((*host)->queue_depth(), 0u);
+    // ...and a post-drain submission is refused, not silently dropped.
+    EXPECT_EQ((*host)->Submit(payloads[0]).admission,
+              GraphHost::Admission::kStopping);
+  }
+  // The drain checkpointed: restart recovers all 5 batches without replay.
+  EXPECT_FALSE(store::ListSnapshotFiles(dir).empty());
+  store::RecoveryReport report;
+  auto store = store::DurableDiscoverer::OpenOrRecover(dir, FastStoreOptions(),
+                                                       &report);
+  ASSERT_TRUE(store.ok()) << store.status();
+  EXPECT_EQ((*store)->batches_applied(), 5u);
+  EXPECT_EQ(report.replayed_batches, 0u);
+}
+
+// --- State-directory LOCK. ---
+
+TEST(ServeLockTest, SecondOpenerIsRefusedWhileLockIsHeld) {
+  const std::string dir = TestDir("lock");
+  auto first = store::DurableDiscoverer::OpenOrRecover(dir, FastStoreOptions());
+  ASSERT_TRUE(first.ok()) << first.status();
+  auto second =
+      store::DurableDiscoverer::OpenOrRecover(dir, FastStoreOptions());
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kAlreadyExists);
+  EXPECT_NE(second.status().message().find("LOCK"), std::string::npos);
+
+  // Releasing (destroying) the holder frees the directory.
+  first = Status::Internal("released");
+  auto third = store::DurableDiscoverer::OpenOrRecover(dir, FastStoreOptions());
+  EXPECT_TRUE(third.ok()) << third.status();
+}
+
+TEST(ServeLockTest, StaleLockOfDeadProcessIsBroken) {
+  const std::string dir = TestDir("stale_lock");
+  std::filesystem::create_directories(dir);
+  // No live process has this pid (pid_max is far below it).
+  ASSERT_TRUE(WriteFile(dir + "/LOCK", "999999999\n").ok());
+  auto opened = store::DurableDiscoverer::OpenOrRecover(dir, FastStoreOptions());
+  EXPECT_TRUE(opened.ok()) << opened.status();
+}
+
+// --- End-to-end over loopback HTTP. ---
+
+class ServeEndToEndTest : public ::testing::Test {
+ protected:
+  void StartServer(GraphHostOptions host_options) {
+    ServeOptions options;
+    options.port = 0;
+    options.num_workers = 4;
+    options.graph = std::move(host_options);
+    server_ = std::make_unique<SchemaServer>(options);
+    ASSERT_TRUE(server_->AddGraph("g", TestDir("e2e_state")).ok());
+    ASSERT_TRUE(server_->Start().ok());
+    port_ = server_->port();
+  }
+
+  Result<HttpResponse> Get(const std::string& target) {
+    return HttpCall("127.0.0.1", port_, "GET", target);
+  }
+  Result<HttpResponse> Post(const std::string& target,
+                            const std::string& body) {
+    return HttpCall("127.0.0.1", port_, "POST", target, body,
+                    "application/json");
+  }
+
+  std::unique_ptr<SchemaServer> server_;
+  uint16_t port_ = 0;
+};
+
+TEST_F(ServeEndToEndTest, IngestedSchemaIsByteIdenticalToOneShot) {
+  constexpr size_t kBatches = 6;
+  const PropertyGraph g = MakeTestGraph();
+  const auto payloads = store::MakeStreamBatches(g, kBatches);
+  const std::vector<std::string> golden =
+      GoldenEpochSchemas(payloads, TestDir("e2e_golden"));
+
+  StartServer(FastHostOptions());
+
+  auto health = Get("/healthz");
+  ASSERT_TRUE(health.ok()) << health.status();
+  EXPECT_EQ(health->status, 200);
+
+  for (const auto& payload : payloads) {
+    auto resp = Post("/v1/graphs/g/batches", BatchToJson(payload).Dump());
+    ASSERT_TRUE(resp.ok()) << resp.status();
+    ASSERT_EQ(resp->status, 202) << resp->body;
+  }
+  // Poll until the writer applied everything.
+  for (;;) {
+    auto detail = Get("/v1/graphs/g");
+    ASSERT_TRUE(detail.ok()) << detail.status();
+    ASSERT_EQ(detail->status, 200);
+    auto doc = ParseJson(detail->body);
+    ASSERT_TRUE(doc.ok());
+    if (static_cast<size_t>(doc->GetInt("epoch").value()) == kBatches) break;
+    std::this_thread::yield();
+  }
+
+  auto schema = Get("/v1/graphs/g/schema");
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  ASSERT_EQ(schema->status, 200);
+  EXPECT_EQ(schema->headers["x-pghive-epoch"], std::to_string(kBatches));
+  EXPECT_EQ(schema->body, golden[kBatches]);  // byte-identical
+
+  // Historical epochs within retention serve their exact golden bytes.
+  auto old_schema = Get("/v1/graphs/g/schema?epoch=5");
+  ASSERT_TRUE(old_schema.ok());
+  ASSERT_EQ(old_schema->status, 200);
+  EXPECT_EQ(old_schema->body, golden[5]);
+
+  auto list = Get("/v1/graphs");
+  ASSERT_TRUE(list.ok());
+  EXPECT_NE(list->body.find("\"name\":\"g\""), std::string::npos);
+
+  auto metrics = Get("/metrics");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->status, 200);
+  EXPECT_NE(metrics->body.find("pghive.serve.batches_admitted"),
+            std::string::npos);
+  EXPECT_NE(metrics->body.find("pghive.serve.epochs_published"),
+            std::string::npos);
+
+  EXPECT_TRUE(server_->Stop().ok());
+}
+
+TEST_F(ServeEndToEndTest, ErrorPathsAnswerTheRightStatusCodes) {
+  StartServer(FastHostOptions());
+
+  auto unknown_graph = Get("/v1/graphs/nope/schema");
+  ASSERT_TRUE(unknown_graph.ok());
+  EXPECT_EQ(unknown_graph->status, 404);
+
+  auto unknown_route = Get("/v2/everything");
+  ASSERT_TRUE(unknown_route.ok());
+  EXPECT_EQ(unknown_route->status, 404);
+
+  auto wrong_method = Post("/v1/graphs", "{}");
+  ASSERT_TRUE(wrong_method.ok());
+  EXPECT_EQ(wrong_method->status, 405);
+
+  auto bad_json = Post("/v1/graphs/g/batches", "{not json");
+  ASSERT_TRUE(bad_json.ok());
+  EXPECT_EQ(bad_json->status, 400);
+
+  auto bad_batch = Post("/v1/graphs/g/batches", R"({"nodes": 7})");
+  ASSERT_TRUE(bad_batch.ok());
+  EXPECT_EQ(bad_batch->status, 400);
+
+  auto bad_epoch = Get("/v1/graphs/g/schema?epoch=abc");
+  ASSERT_TRUE(bad_epoch.ok());
+  EXPECT_EQ(bad_epoch->status, 400);
+
+  auto unretained_epoch = Get("/v1/graphs/g/schema?epoch=7");
+  ASSERT_TRUE(unretained_epoch.ok());
+  EXPECT_EQ(unretained_epoch->status, 404);
+
+  EXPECT_TRUE(server_->Stop().ok());
+}
+
+TEST_F(ServeEndToEndTest, FullQueueAnswers429WithRetryAfter) {
+  const PropertyGraph g = MakeTestGraph(60, 120);
+  const auto payloads = store::MakeStreamBatches(g, 3);
+  GraphHostOptions options = FastHostOptions();
+  options.queue_capacity = 1;
+  StartServer(std::move(options));
+  server_->FindGraph("g")->PauseWriterForTest(true);
+
+  auto first = Post("/v1/graphs/g/batches", BatchToJson(payloads[0]).Dump());
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(first->status, 202) << first->body;
+
+  auto second = Post("/v1/graphs/g/batches", BatchToJson(payloads[1]).Dump());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->status, 429);
+  EXPECT_FALSE(second->headers["retry-after"].empty());
+
+  server_->FindGraph("g")->PauseWriterForTest(false);
+  // After the writer catches up the same batch is admitted.
+  for (;;) {
+    auto retried =
+        Post("/v1/graphs/g/batches", BatchToJson(payloads[1]).Dump());
+    ASSERT_TRUE(retried.ok());
+    if (retried->status == 202) break;
+    ASSERT_EQ(retried->status, 429);
+    std::this_thread::yield();
+  }
+  EXPECT_TRUE(server_->Stop().ok());
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace pghive

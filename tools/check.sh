@@ -110,14 +110,15 @@ PYEOF
   fi
 fi
 
-echo "=== TSan: runtime + pipeline + store tests, 4-thread discovery ==="
+echo "=== TSan: runtime + pipeline + store + serve tests, 4-thread discovery ==="
 cmake -B build-tsan -S . -DPGHIVE_SANITIZE=thread \
   -DPGHIVE_BUILD_BENCHMARKS=OFF -DPGHIVE_BUILD_EXAMPLES=OFF \
   -DPGHIVE_BUILD_TOOLS=OFF
 cmake --build build-tsan -j "${JOBS}" \
-  --target runtime_test pipeline_test store_test obs_test pghive_app
+  --target runtime_test pipeline_test store_test obs_test serve_test \
+  pghive_app
 (cd build-tsan && ctest --output-on-failure -j "${JOBS}" \
-  -R 'ThreadPool|Parallel|Pipeline|Snapshot|Journal|Durable|Obs')
+  -R 'ThreadPool|Parallel|Pipeline|Snapshot|Journal|Durable|Obs|Serve')
 
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "${tmpdir}"' EXIT
@@ -144,6 +145,45 @@ cmake --build build-asan -j "${JOBS}" \
 ./build-asan/apps/pghive resume "${tmpdir}/pole2" --incremental 4 \
   --state-dir "${tmpdir}/state" > /dev/null
 ./build-asan/apps/pghive inspect-state "${tmpdir}/state" > /dev/null
+
+echo "=== serve smoke: daemon schema byte-identical to one-shot discover ==="
+# Start the daemon (under ASan) on an ephemeral port, HTTP-ingest the same
+# endpoint-closed batch stream `discover --incremental 6` feeds, and require
+# the served schema JSON to equal the one-shot output byte for byte. Then
+# prove the LOCK pidfile (exit 4 for a second opener of a live directory)
+# and a clean SIGTERM drain (exit 0, checkpoint on disk).
+./build-asan/apps/pghive generate POLE "${tmpdir}/pole3" --nodes 1500
+./build-asan/apps/pghive serve smoke="${tmpdir}/serve-state" --port 0 \
+  --port-file "${tmpdir}/port.txt" > "${tmpdir}/serve.log" 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 100); do
+  [[ -s "${tmpdir}/port.txt" ]] && break
+  sleep 0.1
+done
+[[ -s "${tmpdir}/port.txt" ]] || {
+  echo "serve daemon never wrote its port file"; cat "${tmpdir}/serve.log"
+  exit 1
+}
+./build-asan/apps/pghive ingest "${tmpdir}/pole3" --graph smoke \
+  --port-file "${tmpdir}/port.txt" --incremental 6 \
+  --schema-out "${tmpdir}/served.json" > /dev/null
+./build-asan/apps/pghive discover "${tmpdir}/pole3" --incremental 6 \
+  --state-dir "${tmpdir}/oneshot-state" \
+  --save-schema "${tmpdir}/oneshot.json" > /dev/null
+cmp "${tmpdir}/served.json" "${tmpdir}/oneshot.json"
+set +e
+./build-asan/apps/pghive discover "${tmpdir}/pole3" --incremental 6 \
+  --state-dir "${tmpdir}/serve-state" > /dev/null 2>&1
+lock_rc=$?
+set -e
+if [[ "${lock_rc}" -ne 4 ]]; then
+  echo "expected exit 4 opening the live daemon's state dir, got ${lock_rc}"
+  exit 1
+fi
+kill -TERM "${serve_pid}"
+wait "${serve_pid}"  # non-zero (under set -e) = drain/checkpoint failed
+./build-asan/apps/pghive inspect-state "${tmpdir}/serve-state" > /dev/null
+echo "serve smoke ok"
 
 echo "=== observability: metrics + trace export sanity ==="
 ./build-asan/apps/pghive discover "${tmpdir}/pole2" --incremental 4 \
