@@ -1,0 +1,223 @@
+// Mutation-batch cost trajectory (the drift subsystem's O(batch) claim).
+//
+// Before the google-benchmark loops, main() feeds the 32-batch steady-state
+// mutation stream (datagen/evolution.h) through the engine's retraction
+// path and records every batch's wall-clock cost, plus the cost of the
+// rescan alternative (one-shot rediscovery of the accumulated graph) at the
+// end of the stream. Per-batch work is constant by construction, so the
+// mean cost of the last four batches must stay within 2x the first four —
+// the check.sh gate over the emitted document. Written to BENCH_drift.json
+// (override with PGHIVE_BENCH_OUT) in the same JSON shape as the
+// micro_pipeline baseline, one JSONL summary line on stderr.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/csv.h"
+#include "common/json.h"
+#include "core/incremental.h"
+#include "datagen/evolution.h"
+#include "drift/replay.h"
+#include "graph/mutations.h"
+#include "store/state_store.h"
+
+namespace pghive {
+namespace {
+
+constexpr size_t kNumBatches = 32;
+
+size_t PerBatchFromEnv() {
+  const double scale = bench::ScaleFromEnv(1.0);
+  const size_t per_batch = static_cast<size_t>(48 * scale);
+  return per_batch < 4 ? 4 : per_batch;
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Feeds `stream` through ApplyMutationBatch + Feed/FeedMutations and
+/// returns the per-batch wall-clock seconds (apply + engine).
+std::vector<double> TimeMutationStream(const std::vector<MutationBatch>& stream,
+                                       PropertyGraph* g,
+                                       IncrementalDiscoverer* engine) {
+  std::vector<double> seconds;
+  seconds.reserve(stream.size());
+  for (const MutationBatch& mb : stream) {
+    const auto start = std::chrono::steady_clock::now();
+    auto applied = drift::ApplyMutationBatch(g, mb);
+    if (!applied.ok()) {
+      std::fprintf(stderr, "apply failed: %s\n",
+                   applied.status().ToString().c_str());
+      break;
+    }
+    Status s;
+    if (applied->deleted_nodes.empty() && applied->deleted_edges.empty()) {
+      s = engine->Feed(applied->batch);
+    } else {
+      s = engine->FeedMutations(applied->batch, applied->deleted_nodes,
+                                applied->deleted_edges);
+    }
+    if (!s.ok()) {
+      std::fprintf(stderr, "feed failed: %s\n", s.ToString().c_str());
+      break;
+    }
+    seconds.push_back(SecondsSince(start));
+  }
+  return seconds;
+}
+
+double MeanOf(const std::vector<double>& v, size_t begin, size_t end) {
+  if (begin >= end || end > v.size()) return 0.0;
+  return std::accumulate(v.begin() + begin, v.begin() + end, 0.0) /
+         static_cast<double>(end - begin);
+}
+
+void WriteDriftBaseline() {
+  const size_t per_batch = PerBatchFromEnv();
+  const std::vector<MutationBatch> stream =
+      MakeSteadyMutationStream(kNumBatches, per_batch);
+
+  // Engine path: the O(batch) retraction series the gate bounds.
+  PropertyGraph g;
+  IncrementalDiscoverer engine;
+  const std::vector<double> batch_seconds =
+      TimeMutationStream(stream, &g, &engine);
+  if (batch_seconds.size() != stream.size()) return;
+
+  // The rescan alternative: rediscovering the accumulated graph from
+  // scratch, what every mutation batch would cost without retractable
+  // aggregates.
+  const auto rescan_start = std::chrono::steady_clock::now();
+  PgHivePipeline rescan_pipeline;
+  auto rescanned = rescan_pipeline.DiscoverSchema(g);
+  const double rescan_seconds = SecondsSince(rescan_start);
+  if (!rescanned.ok()) {
+    std::fprintf(stderr, "rescan failed: %s\n",
+                 rescanned.status().ToString().c_str());
+    return;
+  }
+
+  // Durable path for context: journal + apply + per-epoch drift tracking.
+  const std::string dir = "/tmp/pghive_bench_micro_drift";
+  (void)std::system(("rm -rf " + dir).c_str());
+  std::vector<double> durable_seconds;
+  {
+    store::StoreOptions opt;
+    opt.fsync = false;
+    auto opened = store::DurableDiscoverer::OpenOrRecover(dir, opt);
+    if (opened.ok()) {
+      durable_seconds.reserve(stream.size());
+      for (const MutationBatch& mb : stream) {
+        const auto start = std::chrono::steady_clock::now();
+        Status s = (*opened)->Feed(mb);
+        if (!s.ok()) {
+          std::fprintf(stderr, "durable feed failed: %s\n",
+                       s.ToString().c_str());
+          break;
+        }
+        durable_seconds.push_back(SecondsSince(start));
+      }
+    } else {
+      std::fprintf(stderr, "durable open failed: %s\n",
+                   opened.status().ToString().c_str());
+    }
+  }
+  (void)std::system(("rm -rf " + dir).c_str());
+
+  const double first4 = MeanOf(batch_seconds, 0, 4);
+  const double last4 =
+      MeanOf(batch_seconds, batch_seconds.size() - 4, batch_seconds.size());
+
+  JsonObject doc;
+  doc.emplace("bench", "micro_drift");
+  doc.emplace("num_batches", kNumBatches);
+  doc.emplace("per_batch", per_batch);
+  doc.emplace("final_nodes", g.num_nodes());
+  doc.emplace("final_edges", g.num_edges());
+  JsonArray series;
+  for (double s : batch_seconds) series.emplace_back(s);
+  doc.emplace("batch_seconds", std::move(series));
+  JsonArray durable;
+  for (double s : durable_seconds) durable.emplace_back(s);
+  doc.emplace("durable_batch_seconds", std::move(durable));
+  doc.emplace("first4_mean_seconds", first4);
+  doc.emplace("last4_mean_seconds", last4);
+  doc.emplace("last4_over_first4", first4 > 0 ? last4 / first4 : 0.0);
+  doc.emplace("rescan_seconds", rescan_seconds);
+
+  JsonObject fields;
+  fields.emplace("first4_mean_seconds", first4);
+  fields.emplace("last4_mean_seconds", last4);
+  fields.emplace("rescan_seconds", rescan_seconds);
+  std::fprintf(stderr, "%s\n",
+               bench::BenchJsonl("micro_drift.steady_stream", fields).c_str());
+
+  const char* out = std::getenv("PGHIVE_BENCH_OUT");
+  const std::string path = out && *out ? out : "BENCH_drift.json";
+  Status s = WriteFile(path, JsonValue(std::move(doc)).Pretty() + "\n");
+  if (!s.ok()) {
+    std::fprintf(stderr, "cannot write %s: %s\n", path.c_str(),
+                 s.ToString().c_str());
+    return;
+  }
+  std::fprintf(stderr, "wrote mutation-batch cost series to %s\n",
+               path.c_str());
+}
+
+// --- google-benchmark loops. ---
+
+void BM_SteadyMutationStream(benchmark::State& state) {
+  const size_t per_batch = static_cast<size_t>(state.range(0));
+  const std::vector<MutationBatch> stream =
+      MakeSteadyMutationStream(8, per_batch);
+  for (auto _ : state) {
+    PropertyGraph g;
+    IncrementalDiscoverer engine;
+    for (const MutationBatch& mb : stream) {
+      auto applied = drift::ApplyMutationBatch(&g, mb);
+      if (!applied.ok()) state.SkipWithError("apply failed");
+      Status s;
+      if (applied->deleted_nodes.empty() && applied->deleted_edges.empty()) {
+        s = engine.Feed(applied->batch);
+      } else {
+        s = engine.FeedMutations(applied->batch, applied->deleted_nodes,
+                                 applied->deleted_edges);
+      }
+      if (!s.ok()) state.SkipWithError("feed failed");
+    }
+    benchmark::DoNotOptimize(engine.schema());
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * per_batch);
+}
+BENCHMARK(BM_SteadyMutationStream)->Arg(8)->Arg(32);
+
+void BM_NetSurvivingStream(benchmark::State& state) {
+  const std::vector<MutationBatch> stream =
+      MakeSteadyMutationStream(16, static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(drift::NetSurvivingStream(stream));
+  }
+}
+BENCHMARK(BM_NetSurvivingStream)->Arg(32);
+
+}  // namespace
+}  // namespace pghive
+
+int main(int argc, char** argv) {
+  pghive::WriteDriftBaseline();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  pghive::bench::ExportObsFromEnv();
+  return 0;
+}

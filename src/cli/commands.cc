@@ -7,11 +7,15 @@
 #include <sstream>
 #include <thread>
 
+#include <unordered_set>
+
 #include "common/csv.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "common/timer.h"
+#include "core/deletions.h"
 #include "core/incremental.h"
+#include "drift/drift_tracker.h"
 #include "core/label_alias.h"
 #include "core/pipeline.h"
 #include "core/schema_diff.h"
@@ -268,6 +272,33 @@ Result<SchemaGraph> DurableDiscoverFromArgs(const Args& args,
   return store->Finish();
 }
 
+/// Parses a --deletions file: one `node <id>` or `edge <id>` per line,
+/// blank lines and `#` comments ignored.
+Status ParseDeletionsFile(const std::string& path,
+                          std::unordered_set<NodeId>* nodes,
+                          std::unordered_set<EdgeId>* edges) {
+  PGHIVE_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  std::istringstream in(text);
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    std::string kind;
+    if (!(fields >> kind)) continue;  // blank / comment-only line
+    uint64_t id = 0;
+    if ((kind != "node" && kind != "edge") || !(fields >> id)) {
+      return Status::InvalidArgument(
+          path + ":" + std::to_string(lineno) +
+          ": expected 'node <id>' or 'edge <id>', got '" + line + "'");
+    }
+    (kind == "node" ? nodes : edges)->insert(id);
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Status CmdDiscover(const Args& args, std::ostream& out) {
@@ -277,6 +308,8 @@ Status CmdDiscover(const Args& args, std::ostream& out) {
         "[--theta 0.9] [--incremental N] [--state-dir DIR] "
         "[--checkpoint-every N] [--no-fsync] [--force-options] "
         "[--format summary|pgschema|xsd|json] [--mode strict|loose] "
+        "[--deletions file (post-hoc `node <id>`/`edge <id>` lines; not "
+        "with --state-dir)] "
         "[--save-schema file.json] [--aliases aliases.txt] [--no-post] "
         "[--no-aggregates (rescan post-processing instead of delta "
         "aggregates)] "
@@ -289,11 +322,34 @@ Status CmdDiscover(const Args& args, std::ostream& out) {
   PGHIVE_RETURN_NOT_OK(MaybeApplyAliases(args, &g));
   SchemaGraph schema;
   if (args.Has("state-dir")) {
+    if (args.Has("deletions")) {
+      // Durable feeds reorder edges into stream batches, so the schema's
+      // edge ids no longer match the input CSV's — a post-hoc deletion file
+      // would name the wrong elements. Durable runs retract through the
+      // journaled mutation path instead.
+      return Status::InvalidArgument(
+          "--deletions does not combine with --state-dir; durable runs "
+          "apply deletions as journaled mutation batches (see src/drift/)");
+    }
     PGHIVE_ASSIGN_OR_RETURN(
         schema,
         DurableDiscoverFromArgs(args, g, args.GetString("state-dir"), out));
   } else {
     PGHIVE_ASSIGN_OR_RETURN(schema, DiscoverFromArgs(args, g));
+  }
+
+  if (args.Has("deletions")) {
+    std::unordered_set<NodeId> del_nodes;
+    std::unordered_set<EdgeId> del_edges;
+    PGHIVE_RETURN_NOT_OK(ParseDeletionsFile(args.GetString("deletions"),
+                                            &del_nodes, &del_edges));
+    const DeletionStats stats =
+        ApplyDeletions(g, del_nodes, del_edges, DeletionOptions{}, &schema);
+    out << "deletions: removed " << stats.nodes_removed << " node(s)/"
+        << stats.edges_removed << " edge(s), dropped "
+        << stats.node_types_dropped << " node type(s)/"
+        << stats.edge_types_dropped << " edge type(s), retired "
+        << stats.properties_retired << " property key(s)\n";
   }
 
   if (args.Has("save-schema")) {
@@ -423,6 +479,69 @@ Status CmdInspectState(const Args& args, std::ostream& out) {
           << " (recovery truncates to " << read->valid_bytes << " bytes)\n";
     }
   }
+  return Status::OK();
+}
+
+Status CmdDrift(const Args& args, std::ostream& out) {
+  if (args.positional().size() < 2) {
+    return Status::InvalidArgument(
+        "usage: pghive drift <state-dir> [--since N] [--format summary|json]\n"
+        "reports the versioned schema-drift history of a durable state\n"
+        "directory as of its newest checkpoint: cumulative counters plus\n"
+        "the per-epoch diff records a mutation stream produced. --since N\n"
+        "filters the history to epochs > N. Read-only (batches journaled\n"
+        "after the last checkpoint are not included — a live daemon serves\n"
+        "them at GET /v1/graphs/{g}/drift).");
+  }
+  const std::string& dir = args.positional()[1];
+  const std::vector<std::string> snapshots = store::ListSnapshotFiles(dir);
+  if (snapshots.empty()) {
+    return Status::NotFound("no snapshot in '" + dir + "'");
+  }
+  PGHIVE_ASSIGN_OR_RETURN(std::string bytes, ReadFile(snapshots.front()));
+  PGHIVE_ASSIGN_OR_RETURN(store::StoreSnapshot snap,
+                          store::DecodeSnapshot(bytes));
+  if (!snap.has_drift) {
+    return Status::NotFound(
+        "'" + snapshots.front() +
+        "' carries no drift history (pre-v4 snapshot, or the run had drift "
+        "tracking off)");
+  }
+  drift::DriftTracker tracker;
+  PGHIVE_RETURN_NOT_OK(tracker.Restore(snap.drift_history));
+  const auto since = static_cast<uint64_t>(args.GetInt("since", 0));
+  const std::string format = ToLower(args.GetString("format", "summary"));
+  if (format == "json") {
+    out << drift::DriftToJson(tracker, since).Dump() << "\n";
+    return Status::OK();
+  }
+  if (format != "summary") {
+    return Status::InvalidArgument("unknown --format '" + format +
+                                   "' (summary|json)");
+  }
+  const drift::DriftCounters& c = tracker.counters();
+  out << "drift history of " << snapshots.front() << " (epoch "
+      << tracker.last_epoch() << ")\n"
+      << "epochs observed:  " << c.epochs_observed << " (" << c.epochs_changed
+      << " with schema changes)\n"
+      << "node types:       +" << c.node_types_added << " / -"
+      << c.node_types_retired << "\n"
+      << "edge types:       +" << c.edge_types_added << " / -"
+      << c.edge_types_retired << "\n"
+      << "properties:       +" << c.properties_added << " / -"
+      << c.properties_removed << "\n"
+      << "constraints:      " << c.properties_became_mandatory
+      << " became mandatory, " << c.properties_became_optional
+      << " became optional\n"
+      << "datatype changes: " << c.datatypes_changed << "\n"
+      << "cardinality:      " << c.cardinality_changes << " change(s)\n";
+  size_t shown = 0;
+  for (const drift::DriftRecord& rec : tracker.history()) {
+    if (rec.epoch <= since) continue;
+    out << "\nepoch " << rec.epoch << ":\n" << rec.diff.ToString();
+    ++shown;
+  }
+  if (shown == 0) out << "\nno recorded diffs after epoch " << since << "\n";
   return Status::OK();
 }
 
@@ -748,6 +867,8 @@ std::string HelpText() {
       << "  resume <prefix>              continue a durable run after a\n"
       << "                               stop or crash (--state-dir DIR)\n"
       << "  inspect-state <dir>          report snapshots/journal health\n"
+      << "  drift <dir>                  schema-drift history of a durable\n"
+      << "                               run (counters + per-epoch diffs)\n"
       << "  generate <dataset> <prefix>  generate a benchmark graph as CSV\n"
       << "  stats <prefix>               structural statistics (Table 2)\n"
       << "  validate <ref> <data>        validate data against ref's schema\n"
@@ -780,6 +901,7 @@ Status DispatchCommand(const Args& args, std::ostream& out) {
   if (cmd == "discover") return CmdDiscover(args, out);
   if (cmd == "resume") return CmdResume(args, out);
   if (cmd == "inspect-state") return CmdInspectState(args, out);
+  if (cmd == "drift") return CmdDrift(args, out);
   if (cmd == "generate") return CmdGenerate(args, out);
   if (cmd == "stats") return CmdStats(args, out);
   if (cmd == "validate") return CmdValidate(args, out);

@@ -2,9 +2,12 @@
 //
 // Subcommands (see HelpText() for flags):
 //   discover       CSV graph -> discovered schema (summary/PG-Schema/XSD);
-//                  --state-dir makes the incremental run durable
+//                  --state-dir makes the incremental run durable;
+//                  --deletions applies a post-hoc deletion file (superseded
+//                  by mutation streams for durable runs — see src/drift/)
 //   resume         continue a durable run after a stop or crash
 //   inspect-state  report snapshots/journal of a state directory
+//   drift          report the schema-drift history of a state directory
 //   generate       synthetic benchmark dataset -> CSV graph (+noise)
 //   stats          Table-2-style statistics of a CSV graph
 //   validate       validate one CSV graph against the schema of another
@@ -39,6 +42,7 @@ std::string HelpText();
 Status CmdDiscover(const Args& args, std::ostream& out);
 Status CmdResume(const Args& args, std::ostream& out);
 Status CmdInspectState(const Args& args, std::ostream& out);
+Status CmdDrift(const Args& args, std::ostream& out);
 Status CmdGenerate(const Args& args, std::ostream& out);
 Status CmdStats(const Args& args, std::ostream& out);
 Status CmdValidate(const Args& args, std::ostream& out);

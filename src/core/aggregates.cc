@@ -10,14 +10,28 @@ namespace pghive {
 
 namespace {
 
-/// Folds one element (node or edge) into its type's accumulator: key-set
-/// histogram, per-key datatype tally + numeric partials. The element's value
-/// row is aligned with its key set's canonical (lexicographic) key order, so
-/// the key ids and values pair up positionally — no per-key lookup.
+/// Moves one endpoint between degree-histogram buckets (its distinct degree
+/// changed from `from` to `to`; 0 means "no bucket").
+void HistShift(std::map<uint64_t, uint64_t>* hist, uint64_t from,
+               uint64_t to) {
+  if (from == to) return;
+  if (from > 0) {
+    auto it = hist->find(from);
+    if (it != hist->end() && --it->second == 0) hist->erase(it);
+  }
+  if (to > 0) ++(*hist)[to];
+}
+
+/// Folds one element (node or edge) into its type's accumulator: key-set +
+/// label-set histograms, per-key datatype tally + numeric partials. The
+/// element's value row is aligned with its key set's canonical
+/// (lexicographic) key order, so the key ids and values pair up
+/// positionally — no per-key lookup.
 template <typename Elem>
 void FoldElement(const GraphSymbols& sym, const Elem& el, TypeAggregate* agg) {
   ++agg->folded;
   ++agg->key_set_counts[el.key_set];
+  ++agg->label_set_counts[el.label_set];
   const std::vector<SymbolId>& key_ids = sym.key_sets.ids(el.key_set);
   for (size_t i = 0; i < key_ids.size(); ++i) {
     PropertyAggregate& pa = agg->keys[key_ids[i]];
@@ -35,32 +49,159 @@ void FoldElement(const GraphSymbols& sym, const Elem& el, TypeAggregate* agg) {
   }
 }
 
-/// Folds an edge's endpoints into the distinct-degree state. The maxima
-/// update on every set growth; growth is monotone, so the running maximum
-/// equals the maximum over final set sizes.
-void FoldEdgeEndpoints(const Edge& e, TypeAggregate* agg) {
-  auto& targets = agg->out_sets[e.source];
-  if (targets.insert(e.target).second && targets.size() > agg->max_out) {
-    agg->max_out = targets.size();
+/// Folds an edge's endpoints: endpoint label-set histograms plus the counted
+/// degree maps and their degree histograms.
+void FoldEdgeEndpoints(const PropertyGraph& g, const Edge& e,
+                       TypeAggregate* agg) {
+  ++agg->src_set_counts[g.node(e.source).label_set];
+  ++agg->tgt_set_counts[g.node(e.target).label_set];
+  auto& targets = agg->out_counts[e.source];
+  if (++targets[e.target] == 1) {
+    HistShift(&agg->out_degree_hist, targets.size() - 1, targets.size());
   }
-  auto& sources = agg->in_sets[e.target];
-  if (sources.insert(e.source).second && sources.size() > agg->max_in) {
-    agg->max_in = sources.size();
+  auto& sources = agg->in_counts[e.target];
+  if (++sources[e.source] == 1) {
+    HistShift(&agg->in_degree_hist, sources.size() - 1, sources.size());
   }
 }
 
-void MergeDegreeMap(
-    std::unordered_map<NodeId, std::unordered_set<NodeId>>* into,
-    const std::unordered_map<NodeId, std::unordered_set<NodeId>>& from,
-    uint64_t* max_degree) {
+void MergeCountedDegreeMap(
+    std::unordered_map<NodeId, std::unordered_map<NodeId, uint64_t>>* into,
+    const std::unordered_map<NodeId, std::unordered_map<NodeId, uint64_t>>&
+        from,
+    std::map<uint64_t, uint64_t>* hist) {
   for (const auto& [endpoint, others] : from) {
     auto& mine = (*into)[endpoint];
-    for (NodeId other : others) {
-      if (mine.insert(other).second && mine.size() > *max_degree) {
-        *max_degree = mine.size();
-      }
+    for (const auto& [other, n] : others) {
+      uint64_t& c = mine[other];
+      if (c == 0) HistShift(hist, mine.size() - 1, mine.size());
+      c += n;
     }
   }
+}
+
+/// Decrements a counted-histogram entry, erasing it at zero. False when the
+/// entry is missing (underflow).
+template <typename Map, typename Key>
+bool DecrementCount(Map* map, const Key& key) {
+  auto it = map->find(key);
+  if (it == map->end() || it->second == 0) return false;
+  if (--it->second == 0) map->erase(it);
+  return true;
+}
+
+/// Inverse of FoldElement. Map entries are erased at count zero so the
+/// retracted state matches a fresh fold of the survivors bit-for-bit.
+template <typename Elem>
+void RetractElement(const GraphSymbols& sym, const Elem& el,
+                    TypeAggregate* agg, RetractOutcome* out) {
+  if (agg->folded == 0) {
+    out->ok = false;
+    return;
+  }
+  --agg->folded;
+  if (!DecrementCount(&agg->key_set_counts, el.key_set)) out->ok = false;
+  if (!DecrementCount(&agg->label_set_counts, el.label_set)) out->ok = false;
+  const std::vector<SymbolId>& key_ids = sym.key_sets.ids(el.key_set);
+  for (size_t i = 0; i < key_ids.size(); ++i) {
+    auto kit = agg->keys.find(key_ids[i]);
+    if (kit == agg->keys.end()) {
+      out->ok = false;
+      continue;
+    }
+    PropertyAggregate& pa = kit->second;
+    const Value& v = el.properties.value_at(i);
+    const DataType dt = v.type();
+    const size_t d = static_cast<size_t>(dt);
+    if (pa.present == 0 || pa.type_counts[d] == 0) {
+      out->ok = false;
+      continue;
+    }
+    --pa.present;
+    --pa.type_counts[d];
+    if (dt == DataType::kInt || dt == DataType::kDouble) {
+      if (pa.numeric_count == 0) {
+        out->ok = false;
+      } else {
+        --pa.numeric_count;
+        const double x = dt == DataType::kInt ? static_cast<double>(v.AsInt())
+                                              : v.AsDouble();
+        if (pa.numeric_count == 0) {
+          // Back to the fresh-accumulator state (matters for operator==
+          // against a rebuild).
+          pa.numeric_min = 0.0;
+          pa.numeric_max = 0.0;
+        } else if (x <= pa.numeric_min || x >= pa.numeric_max) {
+          out->rescan_keys.push_back(key_ids[i]);
+        }
+      }
+    }
+    if (pa.present == 0) agg->keys.erase(kit);
+  }
+}
+
+/// Inverse of FoldEdgeEndpoints.
+void RetractEdgeEndpoints(const PropertyGraph& g, const Edge& e,
+                          TypeAggregate* agg, RetractOutcome* out) {
+  if (!DecrementCount(&agg->src_set_counts, g.node(e.source).label_set)) {
+    out->ok = false;
+  }
+  if (!DecrementCount(&agg->tgt_set_counts, g.node(e.target).label_set)) {
+    out->ok = false;
+  }
+  auto retract_one =
+      [&](std::unordered_map<NodeId, std::unordered_map<NodeId, uint64_t>>*
+              counts,
+          std::map<uint64_t, uint64_t>* hist, NodeId endpoint, NodeId other) {
+        auto it = counts->find(endpoint);
+        if (it == counts->end()) {
+          out->ok = false;
+          return;
+        }
+        auto jt = it->second.find(other);
+        if (jt == it->second.end() || jt->second == 0) {
+          out->ok = false;
+          return;
+        }
+        if (--jt->second == 0) {
+          const uint64_t degree = it->second.size();
+          it->second.erase(jt);
+          HistShift(hist, degree, degree - 1);
+          if (it->second.empty()) counts->erase(it);
+        }
+      };
+  retract_one(&agg->out_counts, &agg->out_degree_hist, e.source, e.target);
+  retract_one(&agg->in_counts, &agg->in_degree_hist, e.target, e.source);
+}
+
+/// Recomputes min/max over the surviving instances carrying `key` (numeric
+/// values only). Shared by the node/edge rescan entry points.
+template <typename GetElem>
+void RescanNumericExtrema(const GraphSymbols& sym,
+                          const std::vector<size_t>& instances, GetElem get,
+                          SymbolId key, PropertyAggregate* pa) {
+  bool any = false;
+  double lo = 0.0, hi = 0.0;
+  for (size_t id : instances) {
+    const auto& el = get(id);
+    const std::vector<SymbolId>& key_ids = sym.key_sets.ids(el.key_set);
+    for (size_t i = 0; i < key_ids.size(); ++i) {
+      if (key_ids[i] != key) continue;
+      const Value& v = el.properties.value_at(i);
+      const DataType dt = v.type();
+      if (dt == DataType::kInt || dt == DataType::kDouble) {
+        const double x = dt == DataType::kInt
+                             ? static_cast<double>(v.AsInt())
+                             : v.AsDouble();
+        if (!any || x < lo) lo = x;
+        if (!any || x > hi) hi = x;
+        any = true;
+      }
+      break;
+    }
+  }
+  pa->numeric_min = any ? lo : 0.0;
+  pa->numeric_max = any ? hi : 0.0;
 }
 
 /// Joins the distinct observed datatypes of a tally in enum order. Equal to
@@ -112,14 +253,12 @@ void PropertyAggregate::Merge(const PropertyAggregate& other) {
 void TypeAggregate::Merge(const TypeAggregate& other) {
   folded += other.folded;
   for (const auto& [ks, n] : other.key_set_counts) key_set_counts[ks] += n;
+  for (const auto& [ls, n] : other.label_set_counts) label_set_counts[ls] += n;
   for (const auto& [sid, pa] : other.keys) keys[sid].Merge(pa);
-  MergeDegreeMap(&out_sets, other.out_sets, &max_out);
-  MergeDegreeMap(&in_sets, other.in_sets, &max_in);
-  // The insertion-driven updates above already cover other's maxima (every
-  // set of `other` is touched and ends at least as large); the explicit max
-  // is a free invariant restatement.
-  max_out = std::max(max_out, other.max_out);
-  max_in = std::max(max_in, other.max_in);
+  for (const auto& [ls, n] : other.src_set_counts) src_set_counts[ls] += n;
+  for (const auto& [ls, n] : other.tgt_set_counts) tgt_set_counts[ls] += n;
+  MergeCountedDegreeMap(&out_counts, other.out_counts, &out_degree_hist);
+  MergeCountedDegreeMap(&in_counts, other.in_counts, &in_degree_hist);
 }
 
 bool SchemaAggregates::ConsistentWith(const SchemaGraph& schema) const {
@@ -168,7 +307,7 @@ bool SchemaAggregates::FoldNew(const PropertyGraph& g,
     for (size_t j = a.folded; j < t.instances.size(); ++j) {
       const Edge& e = g.edge(t.instances[j]);
       FoldElement(sym, e, &a);
-      FoldEdgeEndpoints(e, &a);
+      FoldEdgeEndpoints(g, e, &a);
     }
   }
   return ok;
@@ -211,7 +350,7 @@ uint64_t SchemaAggregates::KeyEntries() const {
 uint64_t SchemaAggregates::DegreeEntries() const {
   uint64_t total = 0;
   for (const auto& a : edge_types) {
-    total += a.out_sets.size() + a.in_sets.size();
+    total += a.out_counts.size() + a.in_counts.size();
   }
   return total;
 }
@@ -224,10 +363,17 @@ uint64_t SchemaAggregates::ApproxBytes() const {
   uint64_t bytes = 0;
   auto type_bytes = [&](const TypeAggregate& a) {
     bytes += sizeof(TypeAggregate);
-    bytes += a.key_set_counts.size() * (kMapNode + sizeof(uint64_t) * 2);
+    const uint64_t count_maps = a.key_set_counts.size() +
+                                a.label_set_counts.size() +
+                                a.src_set_counts.size() +
+                                a.tgt_set_counts.size() +
+                                a.out_degree_hist.size() +
+                                a.in_degree_hist.size();
+    bytes += count_maps * (kMapNode + sizeof(uint64_t) * 2);
     bytes += a.keys.size() * (kMapNode + sizeof(PropertyAggregate));
-    for (const auto* m : {&a.out_sets, &a.in_sets}) {
-      bytes += m->size() * (kHashEntry + sizeof(std::unordered_set<NodeId>));
+    for (const auto* m : {&a.out_counts, &a.in_counts}) {
+      bytes += m->size() *
+               (kHashEntry + sizeof(std::unordered_map<NodeId, uint64_t>));
       for (const auto& [k, s] : *m) bytes += s.size() * kHashEntry;
     }
   };
@@ -286,8 +432,63 @@ SchemaAggregates BuildAggregates(const PropertyGraph& g,
         [&](const SchemaEdgeType& t, size_t j, TypeAggregate* a) {
           const Edge& e = g.edge(t.instances[j]);
           FoldElement(sym, e, a);
-          FoldEdgeEndpoints(e, a);
+          FoldEdgeEndpoints(g, e, a);
         });
+  return agg;
+}
+
+void FoldNodeElement(const GraphSymbols& sym, const Node& n,
+                     TypeAggregate* agg) {
+  FoldElement(sym, n, agg);
+}
+
+void FoldEdgeElement(const PropertyGraph& g, const Edge& e,
+                     TypeAggregate* agg) {
+  FoldElement(g.symbols(), e, agg);
+  FoldEdgeEndpoints(g, e, agg);
+}
+
+void RetractNodeElement(const GraphSymbols& sym, const Node& n,
+                        TypeAggregate* agg, RetractOutcome* out) {
+  RetractElement(sym, n, agg, out);
+}
+
+void RetractEdgeElement(const PropertyGraph& g, const Edge& e,
+                        TypeAggregate* agg, RetractOutcome* out) {
+  RetractElement(g.symbols(), e, agg, out);
+  RetractEdgeEndpoints(g, e, agg, out);
+}
+
+void RescanNodeNumericExtrema(const PropertyGraph& g, const SchemaNodeType& t,
+                              SymbolId key, PropertyAggregate* pa) {
+  RescanNumericExtrema(
+      g.symbols(), t.instances, [&](size_t id) -> const Node& {
+        return g.node(id);
+      },
+      key, pa);
+}
+
+void RescanEdgeNumericExtrema(const PropertyGraph& g, const SchemaEdgeType& t,
+                              SymbolId key, PropertyAggregate* pa) {
+  RescanNumericExtrema(
+      g.symbols(), t.instances, [&](size_t id) -> const Edge& {
+        return g.edge(id);
+      },
+      key, pa);
+}
+
+TypeAggregate RebuildNodeAggregate(const PropertyGraph& g,
+                                   const SchemaNodeType& t) {
+  TypeAggregate agg;
+  const GraphSymbols& sym = g.symbols();
+  for (size_t id : t.instances) FoldElement(sym, g.node(id), &agg);
+  return agg;
+}
+
+TypeAggregate RebuildEdgeAggregate(const PropertyGraph& g,
+                                   const SchemaEdgeType& t) {
+  TypeAggregate agg;
+  for (size_t id : t.instances) FoldEdgeElement(g, g.edge(id), &agg);
   return agg;
 }
 
@@ -340,8 +541,8 @@ void FinalizeCardinalities(const SchemaAggregates& agg, SchemaGraph* schema,
       [&](size_t i) {
         SchemaEdgeType& t = schema->edge_types[i];
         const TypeAggregate& a = agg.edge_types[i];
-        t.max_out_degree = static_cast<size_t>(a.max_out);
-        t.max_in_degree = static_cast<size_t>(a.max_in);
+        t.max_out_degree = static_cast<size_t>(a.max_out());
+        t.max_in_degree = static_cast<size_t>(a.max_in());
         t.cardinality = ClassifyCardinality(t.max_out_degree, t.max_in_degree);
       },
       /*grain=*/1);

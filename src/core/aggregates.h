@@ -40,9 +40,31 @@
 // reproduce) and the full value statistics (top-k values, distinct counts,
 // enum domains). Both fall back to their rescan implementations.
 //
-// Contract: aggregates assume append-only instance lists. External schema
-// surgery (core/deletions.h) invalidates them; ConsistentWith detects the
-// mismatch and callers fall back to the rescan passes.
+// Retraction (mutation streams): every component is a counted histogram, so
+// elements SUBTRACT as cleanly as they add — key-set counts, per-key
+// presence, datatype tallies and the counted degree maps all decrement, and
+// map entries are erased when their count reaches zero (so retracted state
+// is bit-identical to a fresh fold of the survivors). Two components are
+// not directly invertible and carry explicit recovery paths:
+//
+//   * numeric min/max partials — retracting a value equal to the running
+//     extremum invalidates it; Retract*Element reports the affected keys
+//     and the caller rescans the type's surviving instances for just those
+//     keys (Rescan*NumericExtrema).
+//   * datatype joins — the JOIN itself is not invertible, but the TALLY is:
+//     FinalizeDataTypes re-joins the distinct surviving datatypes through
+//     the GeneralizeDataType semilattice, so narrowing (e.g. the last
+//     Double retires and the key becomes Int again) falls out for free.
+//
+// Any underflow (retracting something never folded) flips RetractOutcome::ok
+// to false; the caller rebuilds the whole type accumulator from its
+// surviving instances (Rebuild*Aggregate).
+//
+// Contract: aggregates track the schema's instance lists exactly — grow via
+// FoldNew, shrink ONLY through the Retract*Element path (core/retraction.h
+// drives it). External schema surgery (core/deletions.h) invalidates them;
+// ConsistentWith detects the mismatch and callers fall back to the rescan
+// passes.
 
 #ifndef PGHIVE_CORE_AGGREGATES_H_
 #define PGHIVE_CORE_AGGREGATES_H_
@@ -80,24 +102,45 @@ struct PropertyAggregate {
   bool operator==(const PropertyAggregate&) const = default;
 };
 
-/// Mergeable accumulator for one schema type (node or edge; the degree
-/// state stays empty for node types).
+/// Mergeable, retractable accumulator for one schema type (node or edge;
+/// the endpoint/degree state stays empty for node types).
 struct TypeAggregate {
   /// Instances folded so far — the delta-fold watermark into the type's
-  /// append-only instance list, and the denominator of the MANDATORY test.
+  /// instance list, and the denominator of the MANDATORY test.
   uint64_t folded = 0;
   /// Key-presence histogram: interned key set -> instance count. Ordered
   /// map so serialization is canonical without a sort.
   std::map<KeySetId, uint64_t> key_set_counts;
+  /// Label-set histogram: interned label set -> instance count. The
+  /// retraction path recomputes the type's `labels` from the sets still
+  /// carrying a nonzero count.
+  std::map<LabelSetId, uint64_t> label_set_counts;
   /// Per-key tallies, keyed by interned key symbol.
   std::map<SymbolId, PropertyAggregate> keys;
 
-  // Edge-only distinct-degree state: distinct targets per source, distinct
-  // sources per target, with running maxima (exact; see file comment).
-  std::unordered_map<NodeId, std::unordered_set<NodeId>> out_sets;
-  std::unordered_map<NodeId, std::unordered_set<NodeId>> in_sets;
-  uint64_t max_out = 0;
-  uint64_t max_in = 0;
+  // Edge-only endpoint state. src/tgt label-set histograms back the
+  // recomputation of source_labels/target_labels on retraction (unlabeled
+  // endpoints count under the empty label set and contribute no strings).
+  std::map<LabelSetId, uint64_t> src_set_counts;
+  std::map<LabelSetId, uint64_t> tgt_set_counts;
+  // Counted degree maps: edge multiplicity per (source, target) — distinct
+  // neighbour degree is the inner map's size, and an entry only disappears
+  // when its LAST parallel edge retracts. The degree histograms (distinct
+  // degree -> endpoint count) are maintained alongside so the maxima stay
+  // exact under retraction (the new max is the histogram's last key).
+  std::unordered_map<NodeId, std::unordered_map<NodeId, uint64_t>> out_counts;
+  std::unordered_map<NodeId, std::unordered_map<NodeId, uint64_t>> in_counts;
+  std::map<uint64_t, uint64_t> out_degree_hist;
+  std::map<uint64_t, uint64_t> in_degree_hist;
+
+  /// Exact maximum distinct out-/in-degree over the CURRENT edge multiset
+  /// (not a running high-water mark — retraction lowers it).
+  uint64_t max_out() const {
+    return out_degree_hist.empty() ? 0 : out_degree_hist.rbegin()->first;
+  }
+  uint64_t max_in() const {
+    return in_degree_hist.empty() ? 0 : in_degree_hist.rbegin()->first;
+  }
 
   void Merge(const TypeAggregate& other);
 
@@ -147,6 +190,48 @@ struct SchemaAggregates {
 SchemaAggregates BuildAggregates(const PropertyGraph& g,
                                  const SchemaGraph& schema,
                                  ThreadPool* pool = nullptr);
+
+// --- Per-element fold/retract primitives (the mutation path,
+// core/retraction.h, drives these; FoldNew/BuildAggregates fold through the
+// same code). ---
+
+/// Folds one element into its type accumulator. The edge variant also folds
+/// endpoint label sets and the counted degree state (hence the graph).
+void FoldNodeElement(const GraphSymbols& sym, const Node& n,
+                     TypeAggregate* agg);
+void FoldEdgeElement(const PropertyGraph& g, const Edge& e,
+                     TypeAggregate* agg);
+
+/// What a retraction could not undo exactly.
+struct RetractOutcome {
+  /// False when any count underflowed — the element was never folded into
+  /// this accumulator, so its state is unusable until rebuilt.
+  bool ok = true;
+  /// Keys whose retracted numeric value equalled the running min or max;
+  /// the caller must Rescan*NumericExtrema them over the survivors.
+  std::vector<SymbolId> rescan_keys;
+};
+
+/// Retracts one previously folded element (inverse of Fold*Element).
+void RetractNodeElement(const GraphSymbols& sym, const Node& n,
+                        TypeAggregate* agg, RetractOutcome* out);
+void RetractEdgeElement(const PropertyGraph& g, const Edge& e,
+                        TypeAggregate* agg, RetractOutcome* out);
+
+/// Recomputes the numeric min/max partials of (type, key) over the type's
+/// CURRENT instance list (call after the list has been compacted to the
+/// survivors). numeric_count is maintained by retraction and untouched.
+void RescanNodeNumericExtrema(const PropertyGraph& g, const SchemaNodeType& t,
+                              SymbolId key, PropertyAggregate* pa);
+void RescanEdgeNumericExtrema(const PropertyGraph& g, const SchemaEdgeType& t,
+                              SymbolId key, PropertyAggregate* pa);
+
+/// Fresh fold of a single type's surviving instances — the rebuild path for
+/// retraction underflow.
+TypeAggregate RebuildNodeAggregate(const PropertyGraph& g,
+                                   const SchemaNodeType& t);
+TypeAggregate RebuildEdgeAggregate(const PropertyGraph& g,
+                                   const SchemaEdgeType& t);
 
 // --- Finalization: write aggregate state into the schema. Each function
 // reproduces its rescan counterpart bit-for-bit (given ConsistentWith);

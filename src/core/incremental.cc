@@ -59,6 +59,79 @@ Status IncrementalDiscoverer::Feed(const GraphBatch& batch) {
   return Status::OK();
 }
 
+Status IncrementalDiscoverer::FeedMutations(
+    const GraphBatch& batch, const std::vector<NodeId>& deleted_nodes,
+    const std::vector<EdgeId>& deleted_edges) {
+  if (!options_.pipeline.aggregate_post_process) {
+    return Status::FailedPrecondition(
+        "mutation batches require aggregate post-processing "
+        "(retraction subtracts from the delta-maintained aggregates)");
+  }
+  if (!aggregates_valid_) {
+    return Status::FailedPrecondition(
+        "aggregates were invalidated by external schema surgery; "
+        "mutation batches cannot retract from them");
+  }
+  static obs::Counter* mutation_batches = obs::MetricsRegistry::Global()
+      .GetCounter("pghive.incremental.mutation_batches");
+  static obs::Counter* nodes_retracted = obs::MetricsRegistry::Global()
+      .GetCounter("pghive.incremental.nodes_retracted");
+  static obs::Counter* edges_retracted = obs::MetricsRegistry::Global()
+      .GetCounter("pghive.incremental.edges_retracted");
+  static obs::Counter* types_retired = obs::MetricsRegistry::Global()
+      .GetCounter("pghive.incremental.types_retired");
+  static obs::Counter* aggregate_rebuilds = obs::MetricsRegistry::Global()
+      .GetCounter("pghive.incremental.aggregate_rebuilds");
+
+  double seconds = 0.0;
+  RetractionStats rstats;
+  {
+    obs::ScopedSpan span("incremental.mutation_batch", &seconds);
+    if (span.recording()) {
+      span.AddAttr("batch", static_cast<uint64_t>(batch_seconds_.size()));
+      span.AddAttr("nodes", static_cast<uint64_t>(batch.num_nodes()));
+      span.AddAttr("edges", static_cast<uint64_t>(batch.num_edges()));
+      span.AddAttr("deleted_nodes",
+                   static_cast<uint64_t>(deleted_nodes.size()));
+      span.AddAttr("deleted_edges",
+                   static_cast<uint64_t>(deleted_edges.size()));
+    }
+    if (!mutations_seen_) {
+      retraction_index_.Rebuild(schema_);
+      mutations_seen_ = true;
+    } else {
+      retraction_index_.Sync(schema_);
+    }
+    PGHIVE_RETURN_NOT_OK(RetractInstances(*batch.graph, deleted_nodes,
+                                          deleted_edges, &schema_,
+                                          &aggregates_, &retraction_index_,
+                                          &rstats));
+    // A pure-deletion batch has nothing to embed or cluster.
+    if (batch.num_nodes() > 0 || batch.num_edges() > 0) {
+      PGHIVE_RETURN_NOT_OK(pipeline_.ProcessBatch(batch, &schema_));
+      if (!aggregates_.FoldNew(*batch.graph, schema_)) {
+        aggregates_valid_ = false;
+      }
+    }
+    if (obs::MetricsEnabled()) PublishAggregateGauges(aggregates_);
+    if (options_.post_process_each_batch) {
+      pipeline_.PostProcessWithAggregates(*batch.graph, AggregatesOrNull(),
+                                          &schema_);
+      post_process_seconds_.push_back(
+          pipeline_.last_diagnostics().timings.post_process);
+    } else {
+      post_process_seconds_.push_back(0.0);
+    }
+  }
+  mutation_batches->Add(1);
+  nodes_retracted->Add(rstats.nodes_retracted);
+  edges_retracted->Add(rstats.edges_retracted);
+  types_retired->Add(rstats.node_types_retired + rstats.edge_types_retired);
+  aggregate_rebuilds->Add(rstats.aggregate_rebuilds);
+  batch_seconds_.push_back(seconds);
+  return Status::OK();
+}
+
 void IncrementalDiscoverer::RestoreState(SchemaGraph schema,
                                          std::vector<double> batch_seconds,
                                          SchemaAggregates aggregates) {
@@ -66,6 +139,10 @@ void IncrementalDiscoverer::RestoreState(SchemaGraph schema,
   batch_seconds_ = std::move(batch_seconds);
   post_process_seconds_.assign(batch_seconds_.size(), 0.0);
   aggregates_valid_ = true;
+  // The retraction index points into the replaced schema; rebuild lazily on
+  // the next FeedMutations.
+  retraction_index_ = RetractionIndex();
+  mutations_seen_ = false;
   if (aggregates.ConsistentWith(schema_)) {
     aggregates_ = std::move(aggregates);
   } else {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/pipeline.h"
+#include "core/retraction.h"
 
 namespace pghive {
 
@@ -28,6 +29,21 @@ class IncrementalDiscoverer {
 
   /// Processes one new batch and merges it into the running schema.
   Status Feed(const GraphBatch& batch);
+
+  /// Processes one MUTATION batch: first retracts `deleted_nodes` /
+  /// `deleted_edges` from the evolving schema and its aggregates
+  /// (core/retraction.h — instance lists compact, derived sets shrink,
+  /// empty types retire), then merges `batch`'s appended elements exactly
+  /// like Feed(). O(batch) amortized — no rescan of the accumulated graph.
+  /// Updates are delete-then-reinsert: the caller tombstones the old id in
+  /// the deletion lists and appends the replacement to `batch` (see
+  /// graph/mutations.h for the canonical order and the endpoint-closure
+  /// contract). Requires aggregate_post_process (retraction is
+  /// aggregate-based); fails with FailedPrecondition otherwise, and with
+  /// InvalidArgument on an unknown or double-deleted id.
+  Status FeedMutations(const GraphBatch& batch,
+                       const std::vector<NodeId>& deleted_nodes,
+                       const std::vector<EdgeId>& deleted_edges);
 
   /// Restores previously persisted state (schema + per-batch timings +
   /// optionally the delta-maintained aggregates), so a recovered process
@@ -97,6 +113,11 @@ class IncrementalDiscoverer {
   bool aggregates_valid_ = true;
   std::vector<double> batch_seconds_;
   std::vector<double> post_process_seconds_;
+  /// Element->type index for retraction; built lazily on the first
+  /// FeedMutations and re-synced (from per-type watermarks) before each
+  /// retraction, so insert-only streams pay nothing for it.
+  RetractionIndex retraction_index_;
+  bool mutations_seen_ = false;
 };
 
 /// Merges two independently discovered schemas into the least general

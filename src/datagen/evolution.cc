@@ -1,0 +1,402 @@
+#include "datagen/evolution.h"
+
+#include <cassert>
+#include <utility>
+
+#include "graph/value.h"
+
+namespace pghive {
+
+namespace {
+
+/// Builds a mutation stream batch by batch, tracking the stream ids the
+/// canonical apply order (drift::ApplyMutationBatch) will assign.
+///
+/// Discipline: within one batch, Update* calls must precede Add* calls of
+/// the same kind — replacement elements are appended before plain inserts,
+/// so ids are only predictable in that order (asserted).
+class StreamBuilder {
+ public:
+  NodeId AddNode(std::set<std::string> labels,
+                 std::map<std::string, Value> props) {
+    added_nodes_ = true;
+    NodeData d;
+    d.labels = std::move(labels);
+    d.properties = std::move(props);
+    cur_.nodes.push_back(std::move(d));
+    return next_node_++;
+  }
+
+  NodeId UpdateNode(NodeId old_id, std::set<std::string> labels,
+                    std::map<std::string, Value> props) {
+    assert(!added_nodes_ && "updates must precede adds within a batch");
+    NodeUpdate u;
+    u.id = old_id;
+    u.data.labels = std::move(labels);
+    u.data.properties = std::move(props);
+    cur_.mutations.update_nodes.push_back(std::move(u));
+    return next_node_++;
+  }
+
+  void DeleteNode(NodeId id) { cur_.mutations.delete_nodes.push_back(id); }
+
+  EdgeId AddEdge(NodeId source, NodeId target, std::set<std::string> labels,
+                 std::map<std::string, Value> props) {
+    added_edges_ = true;
+    EdgeData d;
+    d.source = source;
+    d.target = target;
+    d.labels = std::move(labels);
+    d.properties = std::move(props);
+    cur_.edges.push_back(std::move(d));
+    return next_edge_++;
+  }
+
+  EdgeId UpdateEdge(EdgeId old_id, NodeId source, NodeId target,
+                    std::set<std::string> labels,
+                    std::map<std::string, Value> props) {
+    assert(!added_edges_ && "updates must precede adds within a batch");
+    EdgeUpdate u;
+    u.id = old_id;
+    u.data.source = source;
+    u.data.target = target;
+    u.data.labels = std::move(labels);
+    u.data.properties = std::move(props);
+    cur_.mutations.update_edges.push_back(std::move(u));
+    return next_edge_++;
+  }
+
+  void DeleteEdge(EdgeId id) { cur_.mutations.delete_edges.push_back(id); }
+
+  void EndBatch() {
+    stream_.push_back(std::move(cur_));
+    cur_ = MutationBatch();
+    added_nodes_ = added_edges_ = false;
+  }
+
+  std::vector<MutationBatch> Take() { return std::move(stream_); }
+
+ private:
+  MutationBatch cur_;
+  std::vector<MutationBatch> stream_;
+  NodeId next_node_ = 0;
+  EdgeId next_edge_ = 0;
+  bool added_nodes_ = false;
+  bool added_edges_ = false;
+};
+
+using Props = std::map<std::string, Value>;
+
+Props Person(int i) {
+  return {{"p_name", Value::String("person-" + std::to_string(i))},
+          {"p_age", Value::Int(20 + i % 50)}};
+}
+
+Props Device(int i) {
+  return {{"d_mac", Value::String("mac-" + std::to_string(i))},
+          {"d_os", Value::String(i % 2 == 0 ? "linux" : "bsd")}};
+}
+
+std::vector<MutationBatch> LabelChurnStream() {
+  StreamBuilder b;
+  // b0: steady Person/Device population + the doomed Legacy cohort.
+  std::vector<NodeId> persons, legacy;
+  for (int i = 0; i < 4; ++i) persons.push_back(b.AddNode({"Person"}, Person(i)));
+  for (int i = 0; i < 3; ++i) b.AddNode({"Device"}, Device(i));
+  for (int i = 0; i < 4; ++i) {
+    legacy.push_back(
+        b.AddNode({"Legacy"}, {{"lg_tag", Value::String("t" + std::to_string(i))},
+                               {"lg_val", Value::Int(i)}}));
+  }
+  b.AddEdge(persons[0], persons[1], {"KNOWS"}, {{"k_since", Value::Int(2019)}});
+  b.AddEdge(persons[2], persons[3], {"KNOWS"}, {{"k_since", Value::Int(2021)}});
+  b.EndBatch();
+  // b1: growth on every type.
+  for (int i = 4; i < 6; ++i) persons.push_back(b.AddNode({"Person"}, Person(i)));
+  std::vector<NodeId> legacy2;
+  for (int i = 4; i < 6; ++i) {
+    legacy2.push_back(
+        b.AddNode({"Legacy"}, {{"lg_tag", Value::String("t" + std::to_string(i))},
+                               {"lg_val", Value::Int(i)}}));
+  }
+  b.AddNode({"Device"}, Device(3));
+  b.AddEdge(persons[4], persons[0], {"KNOWS"}, {{"k_since", Value::Int(2023)}});
+  b.EndBatch();
+  // b2: the newest Legacy members churn out first...
+  for (NodeId id : legacy2) b.DeleteNode(id);
+  b.EndBatch();
+  // b3: ...then the whole cohort retires; Person keeps growing.
+  for (NodeId id : legacy) b.DeleteNode(id);
+  persons.push_back(b.AddNode({"Person"}, Person(6)));
+  b.EndBatch();
+  // b4: a new cohort appears.
+  std::vector<NodeId> gadgets;
+  for (int i = 0; i < 3; ++i) {
+    gadgets.push_back(
+        b.AddNode({"Gadget"}, {{"g_sku", Value::String("sku" + std::to_string(i))},
+                               {"g_ver", Value::Int(i + 1)}}));
+  }
+  b.EndBatch();
+  // b5: steady growth.
+  NodeId transient = b.AddNode({"Person"}, Person(7));
+  b.AddNode({"Gadget"}, {{"g_sku", Value::String("sku3")},
+                         {"g_ver", Value::Int(4)}});
+  b.AddEdge(persons[5], persons[1], {"KNOWS"}, {{"k_since", Value::Int(2024)}});
+  b.EndBatch();
+  // b6: an edge-free member churns (Person survives via its b0 members).
+  b.DeleteNode(transient);
+  b.EndBatch();
+  // b7: quiet tail batch.
+  b.AddNode({"Device"}, Device(4));
+  b.EndBatch();
+  return b.Take();
+}
+
+std::vector<MutationBatch> PropertyDeprecationStream() {
+  StreamBuilder b;
+  auto article = [](int i, bool views, bool legacy) {
+    Props p{{"a_title", Value::String("a" + std::to_string(i))}};
+    if (views) p["a_views"] = Value::Int(100 * i);
+    if (legacy) p["a_legacy"] = Value::String("old" + std::to_string(i));
+    return p;
+  };
+  // b0: a0 is the never-touched survivor carrying the final shape; a3 has
+  // no a_views (so a_views starts OPTIONAL and later becomes MANDATORY).
+  NodeId a0 = b.AddNode({"Article"}, article(0, true, false));
+  NodeId a1 = b.AddNode({"Article"}, article(1, true, true));
+  NodeId a2 = b.AddNode({"Article"}, article(2, true, true));
+  NodeId a3 = b.AddNode({"Article"}, article(3, false, false));
+  (void)a0;
+  b.EndBatch();
+  // b1: the deprecated shape still trickles in.
+  NodeId a4 = b.AddNode({"Article"}, article(4, true, true));
+  b.EndBatch();
+  // b2-b4: update waves strip a_legacy; the no-views straggler churns out.
+  b.UpdateNode(a1, {"Article"}, article(1, true, false));
+  b.EndBatch();
+  b.UpdateNode(a2, {"Article"}, article(2, true, false));
+  b.DeleteNode(a3);
+  b.EndBatch();
+  b.UpdateNode(a4, {"Article"}, article(4, true, false));
+  b.EndBatch();
+  // b5: new members arrive already in the final shape.
+  b.AddNode({"Article"}, article(5, true, false));
+  b.EndBatch();
+  return b.Take();
+}
+
+std::vector<MutationBatch> TypeSplitStream() {
+  StreamBuilder b;
+  auto media = [](int i) {
+    return Props{{"m_title", Value::String("m" + std::to_string(i))},
+                 {"m_format", Value::String(i % 2 == 0 ? "print" : "reel")}};
+  };
+  auto book = [](int i) {
+    return Props{{"b_isbn", Value::String("isbn-" + std::to_string(i))},
+                 {"b_pages", Value::Int(100 + i)}};
+  };
+  auto film = [](int i) {
+    return Props{{"f_runtime", Value::Int(90 + i)},
+                 {"f_rating", Value::Double(6.5 + 0.1 * i)}};
+  };
+  // b0: anchor population + the type that will split.
+  b.AddNode({"Person"}, Person(0));
+  b.AddNode({"Person"}, Person(1));
+  std::vector<NodeId> medias;
+  for (int i = 0; i < 6; ++i) medias.push_back(b.AddNode({"Media"}, media(i)));
+  b.EndBatch();
+  // b1: growth before the split.
+  for (int i = 6; i < 8; ++i) medias.push_back(b.AddNode({"Media"}, media(i)));
+  b.EndBatch();
+  // b2: first half becomes Book.
+  for (int i = 0; i < 4; ++i) b.UpdateNode(medias[i], {"Book"}, book(i));
+  b.EndBatch();
+  // b3: second half becomes Film — Media retires here.
+  for (int i = 4; i < 8; ++i) b.UpdateNode(medias[i], {"Film"}, film(i));
+  b.EndBatch();
+  // b4: the successors keep growing.
+  b.AddNode({"Book"}, book(8));
+  b.AddNode({"Film"}, film(9));
+  b.EndBatch();
+  return b.Take();
+}
+
+std::vector<MutationBatch> TypeMergeStream() {
+  StreamBuilder b;
+  auto car = [](int i) {
+    return Props{{"c_plate", Value::String("c" + std::to_string(i))},
+                 {"c_seats", Value::Int(4 + i % 3)}};
+  };
+  auto truck = [](int i) {
+    return Props{{"t_load", Value::Int(1000 * (i + 1))},
+                 {"t_axles", Value::Int(2 + i % 2)}};
+  };
+  auto vehicle = [](int i) {
+    return Props{{"v_vin", Value::String("vin-" + std::to_string(i))},
+                 {"v_wheels", Value::Int(4 + 2 * (i % 3))}};
+  };
+  b.AddNode({"Person"}, Person(0));
+  b.AddNode({"Person"}, Person(1));
+  std::vector<NodeId> cars, trucks;
+  for (int i = 0; i < 4; ++i) cars.push_back(b.AddNode({"Car"}, car(i)));
+  for (int i = 0; i < 4; ++i) trucks.push_back(b.AddNode({"Truck"}, truck(i)));
+  b.EndBatch();
+  cars.push_back(b.AddNode({"Car"}, car(4)));
+  trucks.push_back(b.AddNode({"Truck"}, truck(4)));
+  b.EndBatch();
+  // b2/b3: both types collapse into Vehicle, one wave each.
+  for (size_t i = 0; i < cars.size(); ++i) {
+    b.UpdateNode(cars[i], {"Vehicle"}, vehicle(static_cast<int>(i)));
+  }
+  b.EndBatch();
+  for (size_t i = 0; i < trucks.size(); ++i) {
+    b.UpdateNode(trucks[i], {"Vehicle"}, vehicle(static_cast<int>(10 + i)));
+  }
+  b.EndBatch();
+  b.AddNode({"Vehicle"}, vehicle(20));
+  b.EndBatch();
+  return b.Take();
+}
+
+std::vector<MutationBatch> MixedStream() {
+  StreamBuilder b;
+  auto mixed = [](int i, bool dbl) {
+    return Props{{"mx_key", Value::String("k" + std::to_string(i))},
+                 {"mx_score", dbl ? Value::Double(0.5 + i)
+                                  : Value::Int(10 * i)}};
+  };
+  // b0: Person anchors with KNOWS edges, a Mixed population (all-Int
+  // scores) and the doomed Relic cohort.
+  std::vector<NodeId> persons;
+  for (int i = 0; i < 4; ++i) persons.push_back(b.AddNode({"Person"}, Person(i)));
+  std::vector<NodeId> mixeds;
+  for (int i = 0; i < 3; ++i) {
+    mixeds.push_back(b.AddNode({"Mixed"}, mixed(i, false)));
+  }
+  std::vector<NodeId> relics;
+  for (int i = 0; i < 3; ++i) {
+    relics.push_back(
+        b.AddNode({"Relic"}, {{"r_tag", Value::String("r" + std::to_string(i))}}));
+  }
+  b.AddEdge(persons[0], persons[1], {"KNOWS"}, {{"k_since", Value::Int(2018)}});
+  b.AddEdge(persons[2], persons[3], {"KNOWS"}, {{"k_since", Value::Int(2020)}});
+  b.EndBatch();
+  // b1: a Double score widens mx_score; extra KNOWS edges push max_out to 3.
+  NodeId dbl_node = b.AddNode({"Mixed"}, mixed(3, true));
+  NodeId spare = b.AddNode({"Person"}, Person(4));
+  EdgeId extra1 =
+      b.AddEdge(persons[0], persons[2], {"KNOWS"}, {{"k_since", Value::Int(2022)}});
+  EdgeId extra2 =
+      b.AddEdge(persons[0], persons[3], {"KNOWS"}, {{"k_since", Value::Int(2023)}});
+  b.EndBatch();
+  // b2: the extra edges retract — cardinality downgrades.
+  b.DeleteEdge(extra1);
+  b.DeleteEdge(extra2);
+  b.EndBatch();
+  // b3: the only Double carrier retires — mx_score narrows back to Int.
+  b.DeleteNode(dbl_node);
+  b.EndBatch();
+  // b4: the Relic cohort retires wholesale.
+  for (NodeId id : relics) b.DeleteNode(id);
+  b.EndBatch();
+  // b5: an edge-free Person gains a new property via update.
+  Props enriched = Person(4);
+  enriched["p_email"] = Value::String("p4@example.org");
+  b.UpdateNode(spare, {"Person"}, std::move(enriched));
+  b.EndBatch();
+  // b6: growth.
+  NodeId p5 = b.AddNode({"Person"}, Person(5));
+  b.AddEdge(p5, persons[0], {"KNOWS"}, {{"k_since", Value::Int(2025)}});
+  b.EndBatch();
+  // b7: quiet tail.
+  b.AddNode({"Mixed"}, mixed(6, false));
+  b.EndBatch();
+  return b.Take();
+}
+
+}  // namespace
+
+std::vector<std::string> EvolutionScenarioNames() {
+  return {"label-churn", "property-deprecation", "type-split", "type-merge",
+          "mixed"};
+}
+
+Result<EvolutionScenario> MakeEvolutionScenario(const std::string& name) {
+  EvolutionScenario s;
+  s.name = name;
+  if (name == "label-churn") {
+    s.stream = LabelChurnStream();
+  } else if (name == "property-deprecation") {
+    s.stream = PropertyDeprecationStream();
+  } else if (name == "type-split") {
+    s.stream = TypeSplitStream();
+  } else if (name == "type-merge") {
+    s.stream = TypeMergeStream();
+  } else if (name == "mixed") {
+    s.stream = MixedStream();
+  } else {
+    return Status::InvalidArgument("unknown evolution scenario '" + name +
+                                   "' (try: label-churn, "
+                                   "property-deprecation, type-split, "
+                                   "type-merge, mixed)");
+  }
+  return s;
+}
+
+std::vector<EvolutionScenario> AllEvolutionScenarios() {
+  std::vector<EvolutionScenario> all;
+  for (const std::string& name : EvolutionScenarioNames()) {
+    all.push_back(std::move(MakeEvolutionScenario(name)).value());
+  }
+  return all;
+}
+
+std::vector<MutationBatch> MakeSteadyMutationStream(size_t num_batches,
+                                                    size_t per_batch) {
+  StreamBuilder b;
+  struct Pair {
+    NodeId person;
+    NodeId device;
+    EdgeId owns;
+  };
+  std::vector<Pair> prev;
+  int serial = 0;
+  for (size_t batch = 0; batch < num_batches; ++batch) {
+    // Mutate the PREVIOUS batch's inserts only (constant work per batch;
+    // first-batch members are permanent, keeping every type alive).
+    std::vector<Pair> kept;
+    if (batch > 1) {
+      for (size_t j = 0; j < prev.size(); ++j) {
+        if (j % 2 == 0) {
+          b.DeleteEdge(prev[j].owns);
+          b.DeleteNode(prev[j].person);
+          b.DeleteNode(prev[j].device);
+        } else if (j % 4 == 1) {
+          Props p{{"k_year", Value::Int(2000 + static_cast<int>(batch))}};
+          prev[j].owns = b.UpdateEdge(prev[j].owns, prev[j].person,
+                                      prev[j].device, {"OWNS"}, std::move(p));
+          kept.push_back(prev[j]);
+        } else {
+          kept.push_back(prev[j]);
+        }
+      }
+    } else if (batch == 1) {
+      kept = prev;
+    }
+    std::vector<Pair> fresh;
+    for (size_t j = 0; j < per_batch; ++j) {
+      Pair p;
+      p.person = b.AddNode({"Person"}, Person(serial));
+      p.device = b.AddNode({"Device"}, Device(serial));
+      p.owns = b.AddEdge(p.person, p.device, {"OWNS"},
+                         {{"k_year", Value::Int(1990 + serial % 30)}});
+      ++serial;
+      fresh.push_back(p);
+    }
+    b.EndBatch();
+    prev = std::move(fresh);
+  }
+  return b.Take();
+}
+
+}  // namespace pghive

@@ -1,0 +1,68 @@
+// Evolution scenarios: deterministic mutation streams for drift testing.
+//
+// Each scenario is a hand-shaped stream of MutationBatch-es exercising one
+// drift pattern a live graph produces — and that the monotone insert-only
+// chain never could:
+//
+//   label-churn            a whole labeled cohort appears, lives for a few
+//                          batches and is retired wholesale; a new cohort
+//                          takes its place (types added AND removed).
+//   property-deprecation   a property is phased out via update waves until
+//                          no survivor carries it (removed_properties), and
+//                          another becomes universal (became_mandatory).
+//   type-split             every member of one type is re-labeled into two
+//                          successor types via a full-update wave (the old
+//                          type retires, two appear).
+//   type-merge             two types collapse into one the same way.
+//   mixed                  churn + deprecation + a cardinality downgrade
+//                          (parallel edges added then deleted) + a datatype
+//                          narrowing (the only Double value retires).
+//
+// Shape rules (why discovery of a stream equals discovery of its survivors,
+// the drift_equivalence_test invariant):
+//   * every surviving type keeps >=1 never-deleted member from its first
+//     batch, so the type exists on both sides with a sticky name;
+//   * each intended type carries exactly ONE label set and a property-key
+//     vocabulary unique to it (no cross-type containment), so clustering
+//     resolves identically stream-side and replay-side;
+//   * node deletions/updates take their incident edges along in the same
+//     batch (the endpoint-closure contract of graph/mutations.h).
+//
+// Everything is deterministic — no RNG — so failures reproduce exactly.
+
+#ifndef PGHIVE_DATAGEN_EVOLUTION_H_
+#define PGHIVE_DATAGEN_EVOLUTION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/mutations.h"
+
+namespace pghive {
+
+struct EvolutionScenario {
+  std::string name;
+  std::vector<MutationBatch> stream;
+};
+
+/// The scenario names above, in a stable order.
+std::vector<std::string> EvolutionScenarioNames();
+
+/// Builds one scenario by name; InvalidArgument for an unknown name.
+Result<EvolutionScenario> MakeEvolutionScenario(const std::string& name);
+
+/// All scenarios, in EvolutionScenarioNames() order.
+std::vector<EvolutionScenario> AllEvolutionScenarios();
+
+/// A steady-state mutation stream for benchmarking: `num_batches` batches
+/// over a fixed type population; each batch inserts ~`per_batch` elements
+/// and deletes/updates a slice of the PREVIOUS batch's inserts (first-batch
+/// members are never touched). Per-batch work is constant, so mutation-
+/// batch cost must stay flat as the stream grows — the micro_drift gate.
+std::vector<MutationBatch> MakeSteadyMutationStream(size_t num_batches,
+                                                    size_t per_batch);
+
+}  // namespace pghive
+
+#endif  // PGHIVE_DATAGEN_EVOLUTION_H_

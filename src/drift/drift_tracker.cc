@@ -1,0 +1,349 @@
+#include "drift/drift_tracker.h"
+
+#include <utility>
+
+#include "common/binary_io.h"
+#include "obs/metrics.h"
+
+namespace pghive {
+namespace drift {
+
+namespace {
+
+void CountChange(const TypeChange& c, DriftCounters* counters) {
+  counters->properties_added += c.added_properties.size();
+  counters->properties_removed += c.removed_properties.size();
+  counters->properties_became_optional += c.became_optional.size();
+  counters->properties_became_mandatory += c.became_mandatory.size();
+  counters->datatypes_changed += c.datatype_changes.size();
+  if (!c.cardinality_change.empty()) ++counters->cardinality_changes;
+}
+
+}  // namespace
+
+void DriftTracker::Observe(uint64_t epoch, const SchemaGraph& schema) {
+  SchemaDiff diff = DiffSchemas(baseline_, schema);
+  ++counters_.epochs_observed;
+  if (!diff.Empty()) {
+    ++counters_.epochs_changed;
+    counters_.node_types_added += diff.added_node_types.size();
+    counters_.node_types_retired += diff.removed_node_types.size();
+    counters_.edge_types_added += diff.added_edge_types.size();
+    counters_.edge_types_retired += diff.removed_edge_types.size();
+    for (const TypeChange& c : diff.changed_types) {
+      CountChange(c, &counters_);
+    }
+    history_.push_back({epoch, std::move(diff)});
+    while (history_.size() > max_history_) history_.pop_front();
+  }
+  baseline_ = schema;
+  last_epoch_ = epoch;
+}
+
+void DriftTracker::ResetBaseline(uint64_t epoch, const SchemaGraph& schema) {
+  baseline_ = schema;
+  last_epoch_ = epoch;
+}
+
+void DriftTracker::PublishGauges() const {
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.GetGauge("pghive.drift.epoch")->Set(static_cast<int64_t>(last_epoch_));
+  reg.GetGauge("pghive.drift.history_size")
+      ->Set(static_cast<int64_t>(history_.size()));
+  reg.GetGauge("pghive.drift.epochs_changed")
+      ->Set(static_cast<int64_t>(counters_.epochs_changed));
+  reg.GetGauge("pghive.drift.node_types_added")
+      ->Set(static_cast<int64_t>(counters_.node_types_added));
+  reg.GetGauge("pghive.drift.node_types_retired")
+      ->Set(static_cast<int64_t>(counters_.node_types_retired));
+  reg.GetGauge("pghive.drift.edge_types_added")
+      ->Set(static_cast<int64_t>(counters_.edge_types_added));
+  reg.GetGauge("pghive.drift.edge_types_retired")
+      ->Set(static_cast<int64_t>(counters_.edge_types_retired));
+  reg.GetGauge("pghive.drift.properties_added")
+      ->Set(static_cast<int64_t>(counters_.properties_added));
+  reg.GetGauge("pghive.drift.properties_removed")
+      ->Set(static_cast<int64_t>(counters_.properties_removed));
+  reg.GetGauge("pghive.drift.became_mandatory")
+      ->Set(static_cast<int64_t>(counters_.properties_became_mandatory));
+  reg.GetGauge("pghive.drift.became_optional")
+      ->Set(static_cast<int64_t>(counters_.properties_became_optional));
+  reg.GetGauge("pghive.drift.datatypes_changed")
+      ->Set(static_cast<int64_t>(counters_.datatypes_changed));
+  reg.GetGauge("pghive.drift.cardinality_changes")
+      ->Set(static_cast<int64_t>(counters_.cardinality_changes));
+}
+
+// --- Binary serde -----------------------------------------------------------
+
+namespace {
+
+constexpr uint32_t kDriftSerdeVersion = 1;
+
+void WriteStringVec(const std::vector<std::string>& v, BinaryWriter* w) {
+  w->WriteU32(static_cast<uint32_t>(v.size()));
+  for (const std::string& s : v) w->WriteString(s);
+}
+
+void WriteStringSet(const std::set<std::string>& v, BinaryWriter* w) {
+  w->WriteU32(static_cast<uint32_t>(v.size()));
+  for (const std::string& s : v) w->WriteString(s);
+}
+
+Result<std::vector<std::string>> ReadStringVec(BinaryReader* r) {
+  PGHIVE_ASSIGN_OR_RETURN(uint32_t n, r->ReadU32());
+  std::vector<std::string> v;
+  v.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    PGHIVE_ASSIGN_OR_RETURN(std::string s, r->ReadString());
+    v.push_back(std::move(s));
+  }
+  return v;
+}
+
+Result<std::set<std::string>> ReadStringSet(BinaryReader* r) {
+  PGHIVE_ASSIGN_OR_RETURN(uint32_t n, r->ReadU32());
+  std::set<std::string> v;
+  for (uint32_t i = 0; i < n; ++i) {
+    PGHIVE_ASSIGN_OR_RETURN(std::string s, r->ReadString());
+    v.insert(std::move(s));
+  }
+  return v;
+}
+
+void WriteTypeChange(const TypeChange& c, BinaryWriter* w) {
+  w->WriteString(c.name);
+  w->WriteU8(c.is_edge ? 1 : 0);
+  WriteStringSet(c.added_labels, w);
+  WriteStringSet(c.removed_labels, w);
+  WriteStringSet(c.added_properties, w);
+  WriteStringSet(c.removed_properties, w);
+  WriteStringVec(c.became_optional, w);
+  WriteStringVec(c.became_mandatory, w);
+  WriteStringVec(c.datatype_changes, w);
+  w->WriteString(c.cardinality_change);
+  WriteStringSet(c.added_source_labels, w);
+  WriteStringSet(c.added_target_labels, w);
+}
+
+Result<TypeChange> ReadTypeChange(BinaryReader* r) {
+  TypeChange c;
+  PGHIVE_ASSIGN_OR_RETURN(c.name, r->ReadString());
+  PGHIVE_ASSIGN_OR_RETURN(uint8_t is_edge, r->ReadU8());
+  c.is_edge = is_edge != 0;
+  PGHIVE_ASSIGN_OR_RETURN(c.added_labels, ReadStringSet(r));
+  PGHIVE_ASSIGN_OR_RETURN(c.removed_labels, ReadStringSet(r));
+  PGHIVE_ASSIGN_OR_RETURN(c.added_properties, ReadStringSet(r));
+  PGHIVE_ASSIGN_OR_RETURN(c.removed_properties, ReadStringSet(r));
+  PGHIVE_ASSIGN_OR_RETURN(c.became_optional, ReadStringVec(r));
+  PGHIVE_ASSIGN_OR_RETURN(c.became_mandatory, ReadStringVec(r));
+  PGHIVE_ASSIGN_OR_RETURN(c.datatype_changes, ReadStringVec(r));
+  PGHIVE_ASSIGN_OR_RETURN(c.cardinality_change, r->ReadString());
+  PGHIVE_ASSIGN_OR_RETURN(c.added_source_labels, ReadStringSet(r));
+  PGHIVE_ASSIGN_OR_RETURN(c.added_target_labels, ReadStringSet(r));
+  return c;
+}
+
+}  // namespace
+
+std::string DriftTracker::Serialize() const {
+  BinaryWriter w;
+  w.WriteU32(kDriftSerdeVersion);
+  w.WriteU64(last_epoch_);
+  w.WriteU64(counters_.epochs_observed);
+  w.WriteU64(counters_.epochs_changed);
+  w.WriteU64(counters_.node_types_added);
+  w.WriteU64(counters_.node_types_retired);
+  w.WriteU64(counters_.edge_types_added);
+  w.WriteU64(counters_.edge_types_retired);
+  w.WriteU64(counters_.properties_added);
+  w.WriteU64(counters_.properties_removed);
+  w.WriteU64(counters_.properties_became_optional);
+  w.WriteU64(counters_.properties_became_mandatory);
+  w.WriteU64(counters_.datatypes_changed);
+  w.WriteU64(counters_.cardinality_changes);
+  w.WriteU32(static_cast<uint32_t>(history_.size()));
+  for (const DriftRecord& rec : history_) {
+    w.WriteU64(rec.epoch);
+    WriteStringVec(rec.diff.added_node_types, &w);
+    WriteStringVec(rec.diff.removed_node_types, &w);
+    WriteStringVec(rec.diff.added_edge_types, &w);
+    WriteStringVec(rec.diff.removed_edge_types, &w);
+    w.WriteU32(static_cast<uint32_t>(rec.diff.changed_types.size()));
+    for (const TypeChange& c : rec.diff.changed_types) WriteTypeChange(c, &w);
+  }
+  return std::move(w).Take();
+}
+
+Status DriftTracker::Restore(std::string_view bytes) {
+  BinaryReader r(bytes);
+  PGHIVE_ASSIGN_OR_RETURN(uint32_t version, r.ReadU32());
+  if (version != kDriftSerdeVersion) {
+    return Status::ParseError("unsupported drift-history version " +
+                              std::to_string(version));
+  }
+  DriftCounters c;
+  uint64_t last_epoch = 0;
+  PGHIVE_ASSIGN_OR_RETURN(last_epoch, r.ReadU64());
+  PGHIVE_ASSIGN_OR_RETURN(c.epochs_observed, r.ReadU64());
+  PGHIVE_ASSIGN_OR_RETURN(c.epochs_changed, r.ReadU64());
+  PGHIVE_ASSIGN_OR_RETURN(c.node_types_added, r.ReadU64());
+  PGHIVE_ASSIGN_OR_RETURN(c.node_types_retired, r.ReadU64());
+  PGHIVE_ASSIGN_OR_RETURN(c.edge_types_added, r.ReadU64());
+  PGHIVE_ASSIGN_OR_RETURN(c.edge_types_retired, r.ReadU64());
+  PGHIVE_ASSIGN_OR_RETURN(c.properties_added, r.ReadU64());
+  PGHIVE_ASSIGN_OR_RETURN(c.properties_removed, r.ReadU64());
+  PGHIVE_ASSIGN_OR_RETURN(c.properties_became_optional, r.ReadU64());
+  PGHIVE_ASSIGN_OR_RETURN(c.properties_became_mandatory, r.ReadU64());
+  PGHIVE_ASSIGN_OR_RETURN(c.datatypes_changed, r.ReadU64());
+  PGHIVE_ASSIGN_OR_RETURN(c.cardinality_changes, r.ReadU64());
+  PGHIVE_ASSIGN_OR_RETURN(uint32_t n, r.ReadU32());
+  std::deque<DriftRecord> history;
+  for (uint32_t i = 0; i < n; ++i) {
+    DriftRecord rec;
+    PGHIVE_ASSIGN_OR_RETURN(rec.epoch, r.ReadU64());
+    PGHIVE_ASSIGN_OR_RETURN(rec.diff.added_node_types, ReadStringVec(&r));
+    PGHIVE_ASSIGN_OR_RETURN(rec.diff.removed_node_types, ReadStringVec(&r));
+    PGHIVE_ASSIGN_OR_RETURN(rec.diff.added_edge_types, ReadStringVec(&r));
+    PGHIVE_ASSIGN_OR_RETURN(rec.diff.removed_edge_types, ReadStringVec(&r));
+    PGHIVE_ASSIGN_OR_RETURN(uint32_t num_changed, r.ReadU32());
+    for (uint32_t j = 0; j < num_changed; ++j) {
+      PGHIVE_ASSIGN_OR_RETURN(TypeChange tc, ReadTypeChange(&r));
+      rec.diff.changed_types.push_back(std::move(tc));
+    }
+    history.push_back(std::move(rec));
+  }
+  if (!r.AtEnd()) {
+    return Status::ParseError("trailing bytes after drift history");
+  }
+  counters_ = c;
+  history_ = std::move(history);
+  last_epoch_ = last_epoch;
+  return Status::OK();
+}
+
+// --- JSON -------------------------------------------------------------------
+
+namespace {
+
+JsonValue StringsJson(const std::vector<std::string>& v) {
+  JsonArray a;
+  a.reserve(v.size());
+  for (const std::string& s : v) a.emplace_back(s);
+  return JsonValue(std::move(a));
+}
+
+JsonValue StringsJson(const std::set<std::string>& v) {
+  JsonArray a;
+  a.reserve(v.size());
+  for (const std::string& s : v) a.emplace_back(s);
+  return JsonValue(std::move(a));
+}
+
+}  // namespace
+
+JsonValue CountersToJson(const DriftCounters& c) {
+  JsonObject o;
+  o["epochs_observed"] = JsonValue(static_cast<int64_t>(c.epochs_observed));
+  o["epochs_changed"] = JsonValue(static_cast<int64_t>(c.epochs_changed));
+  o["node_types_added"] =
+      JsonValue(static_cast<int64_t>(c.node_types_added));
+  o["node_types_retired"] =
+      JsonValue(static_cast<int64_t>(c.node_types_retired));
+  o["edge_types_added"] =
+      JsonValue(static_cast<int64_t>(c.edge_types_added));
+  o["edge_types_retired"] =
+      JsonValue(static_cast<int64_t>(c.edge_types_retired));
+  o["properties_added"] =
+      JsonValue(static_cast<int64_t>(c.properties_added));
+  o["properties_removed"] =
+      JsonValue(static_cast<int64_t>(c.properties_removed));
+  o["became_optional"] =
+      JsonValue(static_cast<int64_t>(c.properties_became_optional));
+  o["became_mandatory"] =
+      JsonValue(static_cast<int64_t>(c.properties_became_mandatory));
+  o["datatypes_changed"] =
+      JsonValue(static_cast<int64_t>(c.datatypes_changed));
+  o["cardinality_changes"] =
+      JsonValue(static_cast<int64_t>(c.cardinality_changes));
+  return JsonValue(std::move(o));
+}
+
+JsonValue DiffToJson(const SchemaDiff& diff) {
+  JsonObject o;
+  if (!diff.added_node_types.empty()) {
+    o["added_node_types"] = StringsJson(diff.added_node_types);
+  }
+  if (!diff.removed_node_types.empty()) {
+    o["removed_node_types"] = StringsJson(diff.removed_node_types);
+  }
+  if (!diff.added_edge_types.empty()) {
+    o["added_edge_types"] = StringsJson(diff.added_edge_types);
+  }
+  if (!diff.removed_edge_types.empty()) {
+    o["removed_edge_types"] = StringsJson(diff.removed_edge_types);
+  }
+  if (!diff.changed_types.empty()) {
+    JsonArray changed;
+    changed.reserve(diff.changed_types.size());
+    for (const TypeChange& c : diff.changed_types) {
+      JsonObject t;
+      t["name"] = JsonValue(c.name);
+      t["is_edge"] = JsonValue(c.is_edge);
+      if (!c.added_labels.empty()) {
+        t["added_labels"] = StringsJson(c.added_labels);
+      }
+      if (!c.removed_labels.empty()) {
+        t["removed_labels"] = StringsJson(c.removed_labels);
+      }
+      if (!c.added_properties.empty()) {
+        t["added_properties"] = StringsJson(c.added_properties);
+      }
+      if (!c.removed_properties.empty()) {
+        t["removed_properties"] = StringsJson(c.removed_properties);
+      }
+      if (!c.became_optional.empty()) {
+        t["became_optional"] = StringsJson(c.became_optional);
+      }
+      if (!c.became_mandatory.empty()) {
+        t["became_mandatory"] = StringsJson(c.became_mandatory);
+      }
+      if (!c.datatype_changes.empty()) {
+        t["datatype_changes"] = StringsJson(c.datatype_changes);
+      }
+      if (!c.cardinality_change.empty()) {
+        t["cardinality_change"] = JsonValue(c.cardinality_change);
+      }
+      if (!c.added_source_labels.empty()) {
+        t["added_source_labels"] = StringsJson(c.added_source_labels);
+      }
+      if (!c.added_target_labels.empty()) {
+        t["added_target_labels"] = StringsJson(c.added_target_labels);
+      }
+      changed.emplace_back(std::move(t));
+    }
+    o["changed_types"] = JsonValue(std::move(changed));
+  }
+  return JsonValue(std::move(o));
+}
+
+JsonValue DriftToJson(const DriftTracker& tracker, uint64_t since) {
+  JsonObject o;
+  o["epoch"] = JsonValue(static_cast<int64_t>(tracker.last_epoch()));
+  o["since"] = JsonValue(static_cast<int64_t>(since));
+  o["max_history"] = JsonValue(static_cast<int64_t>(tracker.max_history()));
+  o["counters"] = CountersToJson(tracker.counters());
+  JsonArray history;
+  for (const DriftRecord& rec : tracker.history()) {
+    if (rec.epoch <= since) continue;
+    JsonObject h;
+    h["epoch"] = JsonValue(static_cast<int64_t>(rec.epoch));
+    h["diff"] = DiffToJson(rec.diff);
+    history.emplace_back(std::move(h));
+  }
+  o["history"] = JsonValue(std::move(history));
+  return JsonValue(std::move(o));
+}
+
+}  // namespace drift
+}  // namespace pghive

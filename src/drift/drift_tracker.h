@@ -1,0 +1,120 @@
+// Versioned schema-drift history (the mutation-stream observability layer).
+//
+// A DriftTracker watches the post-processed schema at every batch boundary
+// ("epoch" = number of batches applied) and maintains:
+//
+//   * a bounded, versioned HISTORY of per-epoch SchemaDiff records — only
+//     epochs whose diff is non-empty are recorded, oldest records fall off
+//     once the bound is reached (the cumulative counters never forget);
+//   * cumulative DRIFT COUNTERS over the whole stream — types added and
+//     retired, properties added/removed, constraints that tightened or
+//     relaxed, datatype and cardinality changes — mirrored into the
+//     pghive.drift.* gauges;
+//   * the BASELINE schema the next observation diffs against.
+//
+// Unlike the monotone incremental chain (S_i ⊑ S_{i+1}), mutation streams
+// drift in BOTH directions: DiffSchemas already reports removals,
+// became_mandatory and cardinality downgrades, and this layer is where they
+// become visible end-to-end (CLI `pghive drift`, serve
+// GET /v1/graphs/{g}/drift).
+//
+// Persistence: Serialize() captures history + counters + last epoch (NOT
+// the baseline schema — recovery re-derives the baseline from the restored
+// store's post-processed schema BEFORE journal replay, so replayed batches
+// re-observe against exactly the state they originally diffed from).
+
+#ifndef PGHIVE_DRIFT_DRIFT_TRACKER_H_
+#define PGHIVE_DRIFT_DRIFT_TRACKER_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "core/schema.h"
+#include "core/schema_diff.h"
+
+namespace pghive {
+namespace drift {
+
+/// Cumulative drift totals since the stream began (never truncated, unlike
+/// the bounded history).
+struct DriftCounters {
+  /// Epochs observed / epochs whose diff was non-empty.
+  uint64_t epochs_observed = 0;
+  uint64_t epochs_changed = 0;
+  uint64_t node_types_added = 0;
+  uint64_t node_types_retired = 0;
+  uint64_t edge_types_added = 0;
+  uint64_t edge_types_retired = 0;
+  uint64_t properties_added = 0;
+  uint64_t properties_removed = 0;
+  uint64_t properties_became_optional = 0;
+  uint64_t properties_became_mandatory = 0;
+  /// Datatype transitions (widened or narrowed).
+  uint64_t datatypes_changed = 0;
+  /// Cardinality transitions (upgrades and downgrades).
+  uint64_t cardinality_changes = 0;
+
+  bool operator==(const DriftCounters&) const = default;
+};
+
+/// One recorded drift event: the diff from the previous observation to
+/// `epoch`'s schema.
+struct DriftRecord {
+  uint64_t epoch = 0;
+  SchemaDiff diff;
+};
+
+class DriftTracker {
+ public:
+  static constexpr size_t kDefaultMaxHistory = 256;
+
+  explicit DriftTracker(size_t max_history = kDefaultMaxHistory)
+      : max_history_(max_history == 0 ? 1 : max_history) {}
+
+  /// Diffs `schema` against the baseline, records the result when
+  /// non-empty, updates counters and advances the baseline. Epochs must be
+  /// observed in increasing order.
+  void Observe(uint64_t epoch, const SchemaGraph& schema);
+
+  /// Sets the baseline without recording anything (recovery: the restored
+  /// schema at `epoch`, before journal replay re-observes newer batches).
+  void ResetBaseline(uint64_t epoch, const SchemaGraph& schema);
+
+  const std::deque<DriftRecord>& history() const { return history_; }
+  const DriftCounters& counters() const { return counters_; }
+  uint64_t last_epoch() const { return last_epoch_; }
+  size_t max_history() const { return max_history_; }
+
+  /// Mirrors the cumulative counters + history size + last epoch into the
+  /// pghive.drift.* gauges.
+  void PublishGauges() const;
+
+  /// Binary round-trip of history + counters + last epoch (the snapshot
+  /// "drift-history" section payload). Restore REPLACES history/counters;
+  /// the baseline must be supplied separately via ResetBaseline.
+  std::string Serialize() const;
+  Status Restore(std::string_view bytes);
+
+ private:
+  size_t max_history_;
+  SchemaGraph baseline_;
+  std::deque<DriftRecord> history_;
+  DriftCounters counters_;
+  uint64_t last_epoch_ = 0;
+};
+
+/// JSON renderings shared by the CLI and the serve endpoint.
+JsonValue CountersToJson(const DriftCounters& c);
+JsonValue DiffToJson(const SchemaDiff& diff);
+/// {"epoch":E,"counters":{...},"history":[{"epoch":N,"diff":{...}},...]}
+/// with history filtered to records with epoch > `since`.
+JsonValue DriftToJson(const DriftTracker& tracker, uint64_t since);
+
+}  // namespace drift
+}  // namespace pghive
+
+#endif  // PGHIVE_DRIFT_DRIFT_TRACKER_H_

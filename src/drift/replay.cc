@@ -1,0 +1,140 @@
+#include "drift/replay.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace pghive {
+namespace drift {
+
+Result<AppliedBatch> ApplyMutationBatch(PropertyGraph* g,
+                                        const MutationBatch& payload) {
+  const GraphMutations& m = payload.mutations;
+  AppliedBatch out;
+  out.batch.graph = g;
+  out.batch.node_begin = g->num_nodes();
+  out.batch.edge_begin = g->num_edges();
+
+  std::unordered_set<NodeId> deleted_here;
+  deleted_here.reserve(m.delete_nodes.size() + m.update_nodes.size());
+  auto check_node = [&](NodeId id, const char* what) -> Status {
+    if (id >= g->num_nodes()) {
+      return Status::InvalidArgument(std::string(what) + " " +
+                                     std::to_string(id) + " does not exist");
+    }
+    if (!deleted_here.insert(id).second) {
+      return Status::InvalidArgument(std::string(what) + " " +
+                                     std::to_string(id) +
+                                     " deleted twice in one batch");
+    }
+    return Status::OK();
+  };
+  for (NodeId id : m.delete_nodes) {
+    PGHIVE_RETURN_NOT_OK(check_node(id, "deleted node"));
+    out.deleted_nodes.push_back(id);
+  }
+  for (const NodeUpdate& u : m.update_nodes) {
+    PGHIVE_RETURN_NOT_OK(check_node(u.id, "updated node"));
+    out.deleted_nodes.push_back(u.id);
+  }
+  std::unordered_set<EdgeId> edge_dupes;
+  auto check_edge = [&](EdgeId id, const char* what) -> Status {
+    if (id >= g->num_edges()) {
+      return Status::InvalidArgument(std::string(what) + " " +
+                                     std::to_string(id) + " does not exist");
+    }
+    if (!edge_dupes.insert(id).second) {
+      return Status::InvalidArgument(std::string(what) + " " +
+                                     std::to_string(id) +
+                                     " deleted twice in one batch");
+    }
+    return Status::OK();
+  };
+  for (EdgeId id : m.delete_edges) {
+    PGHIVE_RETURN_NOT_OK(check_edge(id, "deleted edge"));
+    out.deleted_edges.push_back(id);
+  }
+  for (const EdgeUpdate& u : m.update_edges) {
+    PGHIVE_RETURN_NOT_OK(check_edge(u.id, "updated edge"));
+    out.deleted_edges.push_back(u.id);
+  }
+
+  // Appends, canonical order. Updates are delete-then-reinsert: the
+  // replacement gets a FRESH id (never in-place — in-place mutation would
+  // desynchronize signature indices and break replay equivalence).
+  auto add_node = [&](const NodeData& d) {
+    out.appended_nodes.push_back(
+        g->AddNode(d.labels, d.properties, d.truth_type));
+  };
+  auto add_edge = [&](const EdgeData& d, const char* what) -> Status {
+    if (deleted_here.count(d.source) || deleted_here.count(d.target)) {
+      return Status::InvalidArgument(
+          std::string(what) + " references node deleted in the same batch");
+    }
+    PGHIVE_ASSIGN_OR_RETURN(
+        EdgeId id, g->AddEdge(d.source, d.target, d.labels, d.properties,
+                              d.truth_type));
+    out.appended_edges.push_back(id);
+    return Status::OK();
+  };
+  for (const NodeUpdate& u : m.update_nodes) add_node(u.data);
+  for (const NodeData& d : payload.nodes) add_node(d);
+  for (const EdgeUpdate& u : m.update_edges) {
+    PGHIVE_RETURN_NOT_OK(add_edge(u.data, "updated edge replacement"));
+  }
+  for (const EdgeData& d : payload.edges) {
+    PGHIVE_RETURN_NOT_OK(add_edge(d, "appended edge"));
+  }
+
+  out.batch.node_end = g->num_nodes();
+  out.batch.edge_end = g->num_edges();
+  return out;
+}
+
+Result<std::vector<MutationBatch>> NetSurvivingStream(
+    const std::vector<MutationBatch>& stream) {
+  // Pass 1: apply the whole stream to a scratch graph, recording each
+  // batch's appended ids and the stream-wide death sets.
+  PropertyGraph g;
+  std::vector<AppliedBatch> applied;
+  applied.reserve(stream.size());
+  std::unordered_set<NodeId> dead_nodes;
+  std::unordered_set<EdgeId> dead_edges;
+  for (const MutationBatch& b : stream) {
+    PGHIVE_ASSIGN_OR_RETURN(AppliedBatch a, ApplyMutationBatch(&g, b));
+    dead_nodes.insert(a.deleted_nodes.begin(), a.deleted_nodes.end());
+    dead_edges.insert(a.deleted_edges.begin(), a.deleted_edges.end());
+    applied.push_back(std::move(a));
+  }
+
+  // Pass 2: emit survivors per batch, remapping node ids into the
+  // compacted space (survivor order == original append order).
+  std::unordered_map<NodeId, NodeId> remap;
+  remap.reserve(g.num_nodes() - dead_nodes.size());
+  NodeId next_id = 0;
+  std::vector<MutationBatch> out(stream.size());
+  for (size_t i = 0; i < applied.size(); ++i) {
+    for (NodeId id : applied[i].appended_nodes) {
+      if (dead_nodes.count(id)) continue;
+      remap[id] = next_id++;
+      out[i].nodes.push_back(ToData(g.node(id)));
+    }
+    for (EdgeId id : applied[i].appended_edges) {
+      if (dead_edges.count(id)) continue;
+      EdgeData d = ToData(g.edge(id));
+      auto s = remap.find(d.source);
+      auto t = remap.find(d.target);
+      if (s == remap.end() || t == remap.end()) {
+        return Status::InvalidArgument(
+            "surviving edge " + std::to_string(id) +
+            " references a deleted node (endpoint-closure violation)");
+      }
+      d.source = s->second;
+      d.target = t->second;
+      out[i].edges.push_back(std::move(d));
+    }
+  }
+  return out;
+}
+
+}  // namespace drift
+}  // namespace pghive

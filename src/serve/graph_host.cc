@@ -98,6 +98,15 @@ std::shared_ptr<const EpochSnapshot> GraphHost::AtEpoch(uint64_t epoch) const {
   return nullptr;
 }
 
+std::shared_ptr<const EpochSnapshot> GraphHost::WaitForEpochAbove(
+    uint64_t epoch, std::chrono::milliseconds timeout) const {
+  std::unique_lock<std::mutex> lock(snapshot_mu_);
+  snapshot_cv_.wait_for(lock, timeout, [&] {
+    return current_ != nullptr && current_->epoch > epoch;
+  });
+  return current_;
+}
+
 size_t GraphHost::queue_depth() const {
   std::lock_guard<std::mutex> lock(queue_mu_);
   return queue_.size();
@@ -182,6 +191,10 @@ void GraphHost::PublishSnapshot() {
   snap->edge_types = schema.edge_types.size();
   snap->graph_nodes = store_->graph().num_nodes();
   snap->graph_edges = store_->graph().num_edges();
+  if (options_.store.track_drift) {
+    snap->drift =
+        std::make_shared<const drift::DriftTracker>(store_->drift_tracker());
+  }
   {
     const BatchDiagnostics& d = store_->engine().last_diagnostics();
     JsonObject diag;
@@ -203,6 +216,7 @@ void GraphHost::PublishSnapshot() {
       recent_.pop_front();
     }
   }
+  snapshot_cv_.notify_all();
   EpochsCounter()->Add(1);
 }
 

@@ -28,6 +28,7 @@
 #ifndef PGHIVE_SERVE_GRAPH_HOST_H_
 #define PGHIVE_SERVE_GRAPH_HOST_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -36,6 +37,7 @@
 #include <string>
 #include <thread>
 
+#include "drift/drift_tracker.h"
 #include "obs/metrics.h"
 #include "store/state_store.h"
 
@@ -53,6 +55,10 @@ struct EpochSnapshot {
   size_t graph_nodes = 0;    // accumulated graph size at this epoch
   size_t graph_edges = 0;
   std::string diagnostics_json;  // compact JSON: last-batch pipeline stats
+  /// Drift state frozen at this epoch (copy of the store's tracker; null
+  /// when the store runs with drift tracking off). Immutable like the rest
+  /// of the snapshot — the /drift endpoint renders it with any `since`.
+  std::shared_ptr<const drift::DriftTracker> drift;
 };
 
 struct GraphHostOptions {
@@ -103,6 +109,13 @@ class GraphHost {
   /// evicted from the retention ring (or never existed yet).
   std::shared_ptr<const EpochSnapshot> AtEpoch(uint64_t epoch) const;
 
+  /// Long-poll primitive: blocks until a snapshot with epoch > `epoch` is
+  /// published or `timeout` elapses, then returns the newest snapshot
+  /// (which may still be at `epoch` on timeout). Never returns null after
+  /// Open().
+  std::shared_ptr<const EpochSnapshot> WaitForEpochAbove(
+      uint64_t epoch, std::chrono::milliseconds timeout) const;
+
   /// Stops admission, lets the writer apply everything already queued,
   /// joins it, and checkpoints the store so restart recovers instantly.
   /// Idempotent; returns the writer's terminal status.
@@ -144,6 +157,7 @@ class GraphHost {
   uint64_t next_batch_id_ = 0;    // store epoch the next admitted batch gets
 
   mutable std::mutex snapshot_mu_;  // held only for shared_ptr copy/swap
+  mutable std::condition_variable snapshot_cv_;  // signaled per publish
   std::shared_ptr<const EpochSnapshot> current_;
   std::deque<std::shared_ptr<const EpochSnapshot>> recent_;
 

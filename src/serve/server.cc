@@ -9,8 +9,11 @@
 #include <utility>
 #include <vector>
 
+#include <chrono>
+
 #include "common/json.h"
 #include "common/timer.h"
+#include "drift/drift_tracker.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "serve/wire.h"
@@ -262,6 +265,10 @@ HttpResponse SchemaServer::Route(const HttpRequest& request) {
         response = request.method == "GET"
                        ? HandleSchema(*host, request.query)
                        : ErrorResponse(405, "method not allowed");
+      } else if (seg.size() == 4 && seg[3] == "drift") {
+        response = request.method == "GET"
+                       ? HandleDrift(*host, request.query)
+                       : ErrorResponse(405, "method not allowed");
       } else if (seg.size() == 4 && seg[3] == "batches") {
         response = request.method == "POST"
                        ? HandleIngest(host, request)
@@ -338,6 +345,37 @@ HttpResponse SchemaServer::HandleSchema(
   resp.headers["content-type"] = kJsonType;
   resp.headers["x-pghive-epoch"] = std::to_string(snap->epoch);
   resp.body = snap->schema_json;  // verbatim: the discover --format json bytes
+  return resp;
+}
+
+HttpResponse SchemaServer::HandleDrift(
+    const GraphHost& host, const std::map<std::string, std::string>& query) {
+  uint64_t since = 0;
+  const auto since_it = query.find("since");
+  if (since_it != query.end()) {
+    char* end = nullptr;
+    since = std::strtoull(since_it->second.c_str(), &end, 10);
+    if (end == since_it->second.c_str() || *end != '\0') {
+      return ErrorResponse(400, "since must be a non-negative integer");
+    }
+  }
+  std::shared_ptr<const EpochSnapshot> snap;
+  const auto wait_it = query.find("wait");
+  if (wait_it != query.end() && wait_it->second != "0") {
+    // Long-poll: block until an epoch above `since` publishes, capped so a
+    // quiet graph answers (unchanged) instead of tying the worker up.
+    snap = host.WaitForEpochAbove(
+        since, std::chrono::milliseconds(options_.long_poll_timeout_ms));
+  } else {
+    snap = host.Current();
+  }
+  if (snap->drift == nullptr) {
+    return ErrorResponse(404, "graph '" + host.graph_name() +
+                                  "' runs with drift tracking off");
+  }
+  HttpResponse resp =
+      JsonResponse(200, drift::DriftToJson(*snap->drift, since));
+  resp.headers["x-pghive-epoch"] = std::to_string(snap->epoch);
   return resp;
 }
 

@@ -15,7 +15,19 @@
 //                                      ?epoch=N serves a retained epoch
 //                                      (404 once evicted). The served epoch
 //                                      is echoed in `x-pghive-epoch`.
-//   POST /v1/graphs/{g}/batches        ingest one batch (serve/wire.h shape)
+//   GET  /v1/graphs/{g}/drift          versioned schema-drift history at the
+//                                      current epoch: cumulative counters +
+//                                      per-epoch diff records. ?since=N
+//                                      filters the history to epochs > N;
+//                                      ?wait=1 long-polls until an epoch
+//                                      above `since` publishes (or a capped
+//                                      timeout elapses — poll again). The
+//                                      served epoch is echoed in
+//                                      `x-pghive-epoch`; 404 when the store
+//                                      runs with drift tracking off
+//   POST /v1/graphs/{g}/batches        ingest one batch (serve/wire.h shape,
+//                                      including delete_nodes/delete_edges/
+//                                      update_nodes/update_edges mutations)
 //                                      202 {"batch_id","queue_depth"} on
 //                                      admission; 429 + Retry-After when the
 //                                      bounded queue is full; 503 while
@@ -65,6 +77,10 @@ struct ServeOptions {
   int connection_timeout_ms = 30000;
   /// Seconds clients are told to wait after a 429.
   int retry_after_seconds = 1;
+  /// Cap on a /drift?wait=1 long-poll; on expiry the current (unchanged)
+  /// state is served and the client polls again. Kept well under the
+  /// connection timeout so a waiting request never looks like a dead peer.
+  int long_poll_timeout_ms = 10000;
   /// Template for every hosted graph's queue/retention/store settings.
   GraphHostOptions graph;
 };
@@ -115,6 +131,8 @@ class SchemaServer {
   HttpResponse HandleGraphDetail(const GraphHost& host) const;
   HttpResponse HandleSchema(const GraphHost& host,
                             const std::map<std::string, std::string>& query);
+  HttpResponse HandleDrift(const GraphHost& host,
+                           const std::map<std::string, std::string>& query);
   HttpResponse HandleIngest(GraphHost* host, const HttpRequest& request);
   HttpResponse HandleMetrics() const;
 

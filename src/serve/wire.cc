@@ -130,6 +130,43 @@ JsonValue BatchToJson(const store::BatchPayload& batch) {
     edges.emplace_back(std::move(obj));
   }
   doc["edges"] = std::move(edges);
+  const GraphMutations& m = batch.mutations;
+  if (!m.delete_nodes.empty()) {
+    JsonArray ids;
+    ids.reserve(m.delete_nodes.size());
+    for (NodeId id : m.delete_nodes) ids.emplace_back(static_cast<int64_t>(id));
+    doc["delete_nodes"] = std::move(ids);
+  }
+  if (!m.delete_edges.empty()) {
+    JsonArray ids;
+    ids.reserve(m.delete_edges.size());
+    for (EdgeId id : m.delete_edges) ids.emplace_back(static_cast<int64_t>(id));
+    doc["delete_edges"] = std::move(ids);
+  }
+  if (!m.update_nodes.empty()) {
+    JsonArray updates;
+    updates.reserve(m.update_nodes.size());
+    for (const NodeUpdate& u : m.update_nodes) {
+      JsonObject obj = ElementToJson(u.data.labels, u.data.properties,
+                                     u.data.truth_type);
+      obj["id"] = static_cast<int64_t>(u.id);
+      updates.emplace_back(std::move(obj));
+    }
+    doc["update_nodes"] = std::move(updates);
+  }
+  if (!m.update_edges.empty()) {
+    JsonArray updates;
+    updates.reserve(m.update_edges.size());
+    for (const EdgeUpdate& u : m.update_edges) {
+      JsonObject obj = ElementToJson(u.data.labels, u.data.properties,
+                                     u.data.truth_type);
+      obj["id"] = static_cast<int64_t>(u.id);
+      obj["source"] = static_cast<int64_t>(u.data.source);
+      obj["target"] = static_cast<int64_t>(u.data.target);
+      updates.emplace_back(std::move(obj));
+    }
+    doc["update_edges"] = std::move(updates);
+  }
   return JsonValue(std::move(doc));
 }
 
@@ -171,6 +208,72 @@ Result<store::BatchPayload> BatchFromJson(const JsonValue& doc) {
       PGHIVE_ASSIGN_OR_RETURN(edge.properties, PropertiesFromJson(e));
       if (e["truth"].is_string()) edge.truth_type = e["truth"].AsString();
       batch.edges.push_back(std::move(edge));
+    }
+  }
+  auto parse_ids = [&doc](const char* field,
+                          std::vector<uint64_t>* out) -> Status {
+    const JsonValue& arr = doc[field];
+    if (arr.is_null()) return Status::OK();
+    if (!arr.is_array()) {
+      return Status::InvalidArgument(std::string("'") + field +
+                                     "' must be an array of ids");
+    }
+    out->reserve(arr.AsArray().size());
+    for (const JsonValue& v : arr.AsArray()) {
+      if (!v.is_number() || v.AsDouble() < 0 ||
+          std::nearbyint(v.AsDouble()) != v.AsDouble()) {
+        return Status::InvalidArgument(std::string("'") + field +
+                                       "' entries must be non-negative ids");
+      }
+      out->push_back(static_cast<uint64_t>(v.AsDouble()));
+    }
+    return Status::OK();
+  };
+  PGHIVE_RETURN_NOT_OK(
+      parse_ids("delete_nodes", &batch.mutations.delete_nodes));
+  PGHIVE_RETURN_NOT_OK(
+      parse_ids("delete_edges", &batch.mutations.delete_edges));
+  const JsonValue& node_updates = doc["update_nodes"];
+  if (!node_updates.is_null()) {
+    if (!node_updates.is_array()) {
+      return Status::InvalidArgument("'update_nodes' must be an array");
+    }
+    batch.mutations.update_nodes.reserve(node_updates.AsArray().size());
+    for (const JsonValue& n : node_updates.AsArray()) {
+      NodeUpdate u;
+      PGHIVE_ASSIGN_OR_RETURN(int64_t id, n.GetInt("id"));
+      if (id < 0) {
+        return Status::InvalidArgument("'update_nodes' ids must be >= 0");
+      }
+      u.id = static_cast<NodeId>(id);
+      PGHIVE_ASSIGN_OR_RETURN(u.data.labels, LabelsFromJson(n));
+      PGHIVE_ASSIGN_OR_RETURN(u.data.properties, PropertiesFromJson(n));
+      if (n["truth"].is_string()) u.data.truth_type = n["truth"].AsString();
+      batch.mutations.update_nodes.push_back(std::move(u));
+    }
+  }
+  const JsonValue& edge_updates = doc["update_edges"];
+  if (!edge_updates.is_null()) {
+    if (!edge_updates.is_array()) {
+      return Status::InvalidArgument("'update_edges' must be an array");
+    }
+    batch.mutations.update_edges.reserve(edge_updates.AsArray().size());
+    for (const JsonValue& e : edge_updates.AsArray()) {
+      EdgeUpdate u;
+      PGHIVE_ASSIGN_OR_RETURN(int64_t id, e.GetInt("id"));
+      PGHIVE_ASSIGN_OR_RETURN(int64_t source, e.GetInt("source"));
+      PGHIVE_ASSIGN_OR_RETURN(int64_t target, e.GetInt("target"));
+      if (id < 0 || source < 0 || target < 0) {
+        return Status::InvalidArgument(
+            "'update_edges' ids and endpoints must be >= 0");
+      }
+      u.id = static_cast<EdgeId>(id);
+      u.data.source = static_cast<NodeId>(source);
+      u.data.target = static_cast<NodeId>(target);
+      PGHIVE_ASSIGN_OR_RETURN(u.data.labels, LabelsFromJson(e));
+      PGHIVE_ASSIGN_OR_RETURN(u.data.properties, PropertiesFromJson(e));
+      if (e["truth"].is_string()) u.data.truth_type = e["truth"].AsString();
+      batch.mutations.update_edges.push_back(std::move(u));
     }
   }
   return batch;

@@ -16,10 +16,15 @@
 //
 // Batch shape:
 //   {"nodes":[{"labels":["A"],"properties":{"k":v},"truth":"T"?}, ...],
-//    "edges":[{"source":0,"target":1,"labels":[...],"properties":{...}},..]}
+//    "edges":[{"source":0,"target":1,"labels":[...],"properties":{...}},..],
+//    "delete_nodes":[id,...]?, "delete_edges":[id,...]?,
+//    "update_nodes":[{"id":N,"labels":[...],"properties":{...}},...]?,
+//    "update_edges":[{"id":N,"source":0,"target":1,...},...]?}
 // Node ids are assigned by the server in feed order; edge endpoints are
 // global node ids into the accumulated graph (the same endpoint-closed
-// contract MakeStreamBatches satisfies).
+// contract MakeStreamBatches satisfies). The optional mutation arrays carry
+// the graph/mutations.h vocabulary: deletions name server-assigned ids,
+// updates are delete-then-reinsert (the replacement gets a fresh id).
 
 #ifndef PGHIVE_SERVE_WIRE_H_
 #define PGHIVE_SERVE_WIRE_H_

@@ -604,7 +604,11 @@ void EncodeBatchPayloadV2(const std::vector<NodeData>& nodes,
   }
 }
 
-Result<BatchPayload> DecodeBatchPayloadV2(BinaryReader* r) {
+namespace {
+
+/// The v2 insert half without the trailing-bytes check — v2 payloads end
+/// here, v3 payloads continue with the mutation arrays.
+Result<BatchPayload> DecodeBatchPayloadV2Body(BinaryReader* r) {
   PGHIVE_ASSIGN_OR_RETURN(BatchDictDecoded dict, DecodeBatchDict(r));
   BatchPayload p;
   PGHIVE_ASSIGN_OR_RETURN(uint64_t num_nodes, r->ReadU64());
@@ -632,6 +636,57 @@ Result<BatchPayload> DecodeBatchPayloadV2(BinaryReader* r) {
     PGHIVE_RETURN_NOT_OK(RebuildProperties(dict, keys_ref, r, &e.properties));
     PGHIVE_ASSIGN_OR_RETURN(e.truth_type, r->ReadString());
     p.edges.push_back(std::move(e));
+  }
+  return p;
+}
+
+}  // namespace
+
+Result<BatchPayload> DecodeBatchPayloadV2(BinaryReader* r) {
+  PGHIVE_ASSIGN_OR_RETURN(BatchPayload p, DecodeBatchPayloadV2Body(r));
+  if (!r->AtEnd()) {
+    return Status::ParseError("trailing bytes after batch payload");
+  }
+  return p;
+}
+
+void EncodeBatchPayloadV3(const BatchPayload& payload, BinaryWriter* w) {
+  EncodeBatchPayloadV2(payload.nodes, payload.edges, w);
+  const GraphMutations& m = payload.mutations;
+  EncodeIdVector(m.delete_nodes, w);
+  EncodeIdVector(m.delete_edges, w);
+  w->WriteU32(static_cast<uint32_t>(m.update_nodes.size()));
+  for (const NodeUpdate& u : m.update_nodes) {
+    w->WriteU64(u.id);
+    EncodeNode(u.data, w);
+  }
+  w->WriteU32(static_cast<uint32_t>(m.update_edges.size()));
+  for (const EdgeUpdate& u : m.update_edges) {
+    w->WriteU64(u.id);
+    EncodeEdge(u.data, w);
+  }
+}
+
+Result<BatchPayload> DecodeBatchPayloadV3(BinaryReader* r) {
+  PGHIVE_ASSIGN_OR_RETURN(BatchPayload p, DecodeBatchPayloadV2Body(r));
+  GraphMutations& m = p.mutations;
+  PGHIVE_ASSIGN_OR_RETURN(m.delete_nodes, DecodeIdVector(r));
+  PGHIVE_ASSIGN_OR_RETURN(m.delete_edges, DecodeIdVector(r));
+  PGHIVE_ASSIGN_OR_RETURN(uint32_t num_node_updates, r->ReadU32());
+  m.update_nodes.reserve(num_node_updates < 4096 ? num_node_updates : 4096);
+  for (uint32_t i = 0; i < num_node_updates; ++i) {
+    NodeUpdate u;
+    PGHIVE_ASSIGN_OR_RETURN(u.id, r->ReadU64());
+    PGHIVE_ASSIGN_OR_RETURN(u.data, DecodeNode(r));
+    m.update_nodes.push_back(std::move(u));
+  }
+  PGHIVE_ASSIGN_OR_RETURN(uint32_t num_edge_updates, r->ReadU32());
+  m.update_edges.reserve(num_edge_updates < 4096 ? num_edge_updates : 4096);
+  for (uint32_t i = 0; i < num_edge_updates; ++i) {
+    EdgeUpdate u;
+    PGHIVE_ASSIGN_OR_RETURN(u.id, r->ReadU64());
+    PGHIVE_ASSIGN_OR_RETURN(u.data, DecodeEdge(r));
+    m.update_edges.push_back(std::move(u));
   }
   if (!r->AtEnd()) {
     return Status::ParseError("trailing bytes after batch payload");
@@ -797,8 +852,11 @@ Result<SchemaValueStats> DecodeValueStats(BinaryReader* r) {
 
 namespace {
 
-void EncodeDegreeMap(
-    const std::unordered_map<NodeId, std::unordered_set<NodeId>>& m,
+/// Counted degree map (snapshot v4): sorted endpoints, per endpoint the
+/// sorted (neighbour, multiplicity) pairs. The degree histograms are a pure
+/// function of this map, so they are rebuilt on decode rather than stored.
+void EncodeCountedDegreeMap(
+    const std::unordered_map<NodeId, std::unordered_map<NodeId, uint64_t>>& m,
     BinaryWriter* w) {
   std::vector<NodeId> endpoints;
   endpoints.reserve(m.size());
@@ -807,17 +865,22 @@ void EncodeDegreeMap(
   w->WriteU32(static_cast<uint32_t>(endpoints.size()));
   for (NodeId endpoint : endpoints) {
     const auto& others = m.at(endpoint);
-    std::vector<NodeId> sorted(others.begin(), others.end());
+    std::vector<std::pair<NodeId, uint64_t>> sorted(others.begin(),
+                                                    others.end());
     std::sort(sorted.begin(), sorted.end());
     w->WriteU64(endpoint);
     w->WriteU32(static_cast<uint32_t>(sorted.size()));
-    for (NodeId other : sorted) w->WriteU64(other);
+    for (const auto& [other, count] : sorted) {
+      w->WriteU64(other);
+      w->WriteU64(count);
+    }
   }
 }
 
-Result<std::unordered_map<NodeId, std::unordered_set<NodeId>>>
-DecodeDegreeMap(BinaryReader* r) {
-  std::unordered_map<NodeId, std::unordered_set<NodeId>> m;
+Result<std::unordered_map<NodeId, std::unordered_map<NodeId, uint64_t>>>
+DecodeCountedDegreeMap(BinaryReader* r,
+                       std::map<uint64_t, uint64_t>* degree_hist) {
+  std::unordered_map<NodeId, std::unordered_map<NodeId, uint64_t>> m;
   PGHIVE_ASSIGN_OR_RETURN(uint32_t num_endpoints, r->ReadU32());
   for (uint32_t i = 0; i < num_endpoints; ++i) {
     PGHIVE_ASSIGN_OR_RETURN(uint64_t endpoint, r->ReadU64());
@@ -825,19 +888,39 @@ DecodeDegreeMap(BinaryReader* r) {
     auto& others = m[static_cast<NodeId>(endpoint)];
     for (uint32_t j = 0; j < num_others; ++j) {
       PGHIVE_ASSIGN_OR_RETURN(uint64_t other, r->ReadU64());
-      others.insert(static_cast<NodeId>(other));
+      PGHIVE_ASSIGN_OR_RETURN(uint64_t count, r->ReadU64());
+      if (count == 0) return Status::ParseError("zero-count degree entry");
+      others[static_cast<NodeId>(other)] = count;
     }
+    if (num_others > 0) ++(*degree_hist)[num_others];
   }
   return m;
 }
 
-void EncodeTypeAggregate(const TypeAggregate& a, BinaryWriter* w) {
-  w->WriteU64(a.folded);
-  w->WriteU32(static_cast<uint32_t>(a.key_set_counts.size()));
-  for (const auto& [ks, n] : a.key_set_counts) {
-    w->WriteU32(ks);
+template <typename Id>
+void EncodeCountMap(const std::map<Id, uint64_t>& m, BinaryWriter* w) {
+  w->WriteU32(static_cast<uint32_t>(m.size()));
+  for (const auto& [id, n] : m) {
+    w->WriteU32(static_cast<uint32_t>(id));
     w->WriteU64(n);
   }
+}
+
+template <typename Id>
+Status DecodeCountMap(BinaryReader* r, std::map<Id, uint64_t>* m) {
+  PGHIVE_ASSIGN_OR_RETURN(uint32_t entries, r->ReadU32());
+  for (uint32_t i = 0; i < entries; ++i) {
+    PGHIVE_ASSIGN_OR_RETURN(uint32_t id, r->ReadU32());
+    PGHIVE_ASSIGN_OR_RETURN(uint64_t n, r->ReadU64());
+    (*m)[static_cast<Id>(id)] = n;
+  }
+  return Status::OK();
+}
+
+void EncodeTypeAggregate(const TypeAggregate& a, BinaryWriter* w) {
+  w->WriteU64(a.folded);
+  EncodeCountMap(a.key_set_counts, w);
+  EncodeCountMap(a.label_set_counts, w);
   w->WriteU32(static_cast<uint32_t>(a.keys.size()));
   for (const auto& [sid, pa] : a.keys) {
     w->WriteU32(sid);
@@ -847,21 +930,17 @@ void EncodeTypeAggregate(const TypeAggregate& a, BinaryWriter* w) {
     w->WriteDouble(pa.numeric_min);
     w->WriteDouble(pa.numeric_max);
   }
-  EncodeDegreeMap(a.out_sets, w);
-  EncodeDegreeMap(a.in_sets, w);
-  w->WriteU64(a.max_out);
-  w->WriteU64(a.max_in);
+  EncodeCountMap(a.src_set_counts, w);
+  EncodeCountMap(a.tgt_set_counts, w);
+  EncodeCountedDegreeMap(a.out_counts, w);
+  EncodeCountedDegreeMap(a.in_counts, w);
 }
 
 Result<TypeAggregate> DecodeTypeAggregate(BinaryReader* r) {
   TypeAggregate a;
   PGHIVE_ASSIGN_OR_RETURN(a.folded, r->ReadU64());
-  PGHIVE_ASSIGN_OR_RETURN(uint32_t num_key_sets, r->ReadU32());
-  for (uint32_t i = 0; i < num_key_sets; ++i) {
-    PGHIVE_ASSIGN_OR_RETURN(uint32_t ks, r->ReadU32());
-    PGHIVE_ASSIGN_OR_RETURN(uint64_t n, r->ReadU64());
-    a.key_set_counts[static_cast<KeySetId>(ks)] = n;
-  }
+  PGHIVE_RETURN_NOT_OK(DecodeCountMap(r, &a.key_set_counts));
+  PGHIVE_RETURN_NOT_OK(DecodeCountMap(r, &a.label_set_counts));
   PGHIVE_ASSIGN_OR_RETURN(uint32_t num_keys, r->ReadU32());
   for (uint32_t i = 0; i < num_keys; ++i) {
     PGHIVE_ASSIGN_OR_RETURN(uint32_t sid, r->ReadU32());
@@ -875,10 +954,12 @@ Result<TypeAggregate> DecodeTypeAggregate(BinaryReader* r) {
     PGHIVE_ASSIGN_OR_RETURN(pa.numeric_max, r->ReadDouble());
     a.keys[static_cast<SymbolId>(sid)] = pa;
   }
-  PGHIVE_ASSIGN_OR_RETURN(a.out_sets, DecodeDegreeMap(r));
-  PGHIVE_ASSIGN_OR_RETURN(a.in_sets, DecodeDegreeMap(r));
-  PGHIVE_ASSIGN_OR_RETURN(a.max_out, r->ReadU64());
-  PGHIVE_ASSIGN_OR_RETURN(a.max_in, r->ReadU64());
+  PGHIVE_RETURN_NOT_OK(DecodeCountMap(r, &a.src_set_counts));
+  PGHIVE_RETURN_NOT_OK(DecodeCountMap(r, &a.tgt_set_counts));
+  PGHIVE_ASSIGN_OR_RETURN(a.out_counts,
+                          DecodeCountedDegreeMap(r, &a.out_degree_hist));
+  PGHIVE_ASSIGN_OR_RETURN(a.in_counts,
+                          DecodeCountedDegreeMap(r, &a.in_degree_hist));
   return a;
 }
 

@@ -19,6 +19,7 @@
 #include "core/aggregates.h"
 #include "core/schema.h"
 #include "core/value_stats.h"
+#include "graph/mutations.h"
 #include "graph/property_graph.h"
 #include "lsh/adaptive_params.h"
 
@@ -66,14 +67,13 @@ Result<PropertyGraph> DecodeGraphColumnar(
     BinaryReader* r, std::shared_ptr<GraphSymbols> symbols);
 
 /// One journal batch payload: the node and edge rows of a single
-/// incremental batch, in insertion order. Edge endpoints are global NodeIds
-/// into the accumulated graph.
+/// incremental batch, in insertion order, plus (v3 segments onward) the
+/// batch's mutation half. Edge endpoints are global NodeIds into the
+/// accumulated graph. v1/v2 codecs only carry the insert half — a payload
+/// with mutations forces a v3 segment (state_store rotates).
+using BatchPayload = MutationBatch;
 void EncodeBatchPayload(const std::vector<NodeData>& nodes,
                         const std::vector<EdgeData>& edges, BinaryWriter* w);
-struct BatchPayload {
-  std::vector<NodeData> nodes;
-  std::vector<EdgeData> edges;
-};
 Result<BatchPayload> DecodeBatchPayload(BinaryReader* r);
 
 /// Journal-v2 batch payload: a batch-local string dictionary + set table,
@@ -85,6 +85,12 @@ void EncodeBatchPayloadV2(const std::vector<NodeData>& nodes,
                           BinaryWriter* w);
 Result<BatchPayload> DecodeBatchPayloadV2(BinaryReader* r);
 
+/// Journal-v3 batch payload: the v2 dictionary body for the insert half,
+/// followed by delete-node / delete-edge id vectors and update records
+/// (old id + replacement element). Round-trips the full MutationBatch.
+void EncodeBatchPayloadV3(const BatchPayload& payload, BinaryWriter* w);
+Result<BatchPayload> DecodeBatchPayloadV3(BinaryReader* r);
+
 // --- Discovered schema. ---
 
 void EncodeSchema(const SchemaGraph& schema, BinaryWriter* w);
@@ -95,9 +101,14 @@ Result<SchemaGraph> DecodeSchema(BinaryReader* r);
 void EncodeValueStats(const SchemaValueStats& stats, BinaryWriter* w);
 Result<SchemaValueStats> DecodeValueStats(BinaryReader* r);
 
-/// Delta-maintained post-processing aggregates (snapshot v3 section). The
-/// unordered degree maps serialize with sorted endpoint / neighbour ids, so
-/// equal aggregate content always yields identical bytes.
+/// Delta-maintained post-processing aggregates (snapshot v4 layout: counted
+/// label-set / endpoint-set histograms and counted degree maps, so the
+/// retraction-capable accumulators round-trip). The unordered degree maps
+/// serialize with sorted endpoint / neighbour ids, so equal aggregate
+/// content always yields identical bytes. Derived members (degree
+/// histograms, running maxima) are not stored — the decoder rebuilds them.
+/// The v3 layout is not decodable; snapshot.cc discards pre-v4 aggregate
+/// sections and recovery rebuilds from the graph.
 void EncodeAggregates(const SchemaAggregates& agg, BinaryWriter* w);
 Result<SchemaAggregates> DecodeAggregates(BinaryReader* r);
 

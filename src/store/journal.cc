@@ -183,8 +183,9 @@ Result<JournalReadResult> ReadJournalSegment(const std::string& path) {
       break;
     }
     record.batch_id = *batch_id;
-    auto payload = version >= 2 ? DecodeBatchPayloadV2(&body_reader)
-                                : DecodeBatchPayload(&body_reader);
+    auto payload = version >= 3   ? DecodeBatchPayloadV3(&body_reader)
+                   : version >= 2 ? DecodeBatchPayloadV2(&body_reader)
+                                  : DecodeBatchPayload(&body_reader);
     if (!payload.ok()) {
       result.torn_tail = true;
       result.tail_error = "record payload undecodable: " +

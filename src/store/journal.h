@@ -35,11 +35,15 @@ namespace store {
 
 inline constexpr char kJournalMagic[4] = {'P', 'G', 'H', 'J'};
 /// v1 payloads spell every element's strings out (EncodeBatchPayload); v2
-/// payloads carry a batch-local dictionary (EncodeBatchPayloadV2). The
+/// payloads carry a batch-local dictionary (EncodeBatchPayloadV2); v3
+/// payloads extend v2 with the batch's mutation half — delete-node /
+/// delete-edge id vectors and update records (EncodeBatchPayloadV3). The
 /// segment header version decides the payload codec for the whole segment:
-/// new segments are written v2, existing v1 segments keep receiving v1
-/// records and still replay.
-inline constexpr uint32_t kJournalFormatVersion = 2;
+/// new segments are written v3, existing v1/v2 segments keep receiving
+/// records in their own format and still replay. A mutation-carrying batch
+/// cannot be appended to a pre-v3 segment — the store rotates to a fresh
+/// segment first.
+inline constexpr uint32_t kJournalFormatVersion = 3;
 
 /// Appends length-prefixed, CRC-guarded batch records to one segment file.
 class JournalWriter {

@@ -103,6 +103,8 @@ const char* SnapshotSectionName(SnapshotSection s) {
       return "graph-columnar";
     case SnapshotSection::kAggregates:
       return "aggregates";
+    case SnapshotSection::kDriftHistory:
+      return "drift-history";
   }
   return "unknown";
 }
@@ -150,6 +152,12 @@ std::string EncodeSnapshot(const StoreSnapshot& snapshot, ThreadPool* pool) {
                          EncodeAggregates(s.aggregates, w);
                        });
                      }});
+  }
+  // v4: the drift-history section is opaque tracker bytes, present only for
+  // drift-tracking stores.
+  if (s.has_drift) {
+    specs.push_back(
+        {SnapshotSection::kDriftHistory, [&s] { return s.drift_history; }});
   }
 
   // Per-section payload + CRC in parallel; assembly below is sequential, so
@@ -292,6 +300,10 @@ Result<StoreSnapshot> DecodeSnapshot(const std::string& bytes) {
         have_columnar = true;
         break;
       case SnapshotSection::kAggregates: {
+        // The v3 aggregates layout predates retraction and is not decodable
+        // here; discard it so recovery's first fold rebuilds the aggregates
+        // from the schema's instance lists (slower, never wrong).
+        if (version < 4) break;
         BinaryReader r(payload);
         PGHIVE_ASSIGN_OR_RETURN(snapshot.aggregates, DecodeAggregates(&r));
         if (!r.AtEnd()) {
@@ -300,6 +312,10 @@ Result<StoreSnapshot> DecodeSnapshot(const std::string& bytes) {
         snapshot.has_aggregates = true;
         break;
       }
+      case SnapshotSection::kDriftHistory:
+        snapshot.drift_history = payload;
+        snapshot.has_drift = true;
+        break;
       default:
         // Forward compatibility: an unknown (guarded, length-prefixed)
         // section from a newer writer is skipped.

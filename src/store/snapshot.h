@@ -40,9 +40,13 @@ inline constexpr char kSnapshotMagic[4] = {'P', 'G', 'H', 'S'};
 /// into the interned symbol tables (kSymbols) + a columnar element section
 /// (kGraphColumnar) — each distinct string and set written once; v3 adds
 /// the optional kAggregates section carrying the delta-maintained
-/// post-processing aggregates so recovery resumes without rebuilding them.
-/// v1 and v2 files still load; the writer always emits v3.
-inline constexpr uint32_t kSnapshotFormatVersion = 3;
+/// post-processing aggregates so recovery resumes without rebuilding them;
+/// v4 re-encodes the aggregates in the RETRACTABLE counted layout (mutation
+/// streams) and adds the optional kDriftHistory section. A v3 file's
+/// aggregates section uses the old layout and is DISCARDED on load (the
+/// next fold rebuilds the aggregates — correctness is unaffected). v1-v3
+/// files still load; the writer always emits v4.
+inline constexpr uint32_t kSnapshotFormatVersion = 4;
 
 /// Stable on-disk section identifiers — append, never renumber.
 enum class SnapshotSection : uint32_t {
@@ -55,7 +59,9 @@ enum class SnapshotSection : uint32_t {
   kValueStats = 7,  // value/datatype statistics of the discovered types
   kSymbols = 8,     // v2: interned symbol tables + canonical set pools
   kGraphColumnar = 9,  // v2: columnar elements over kSymbols ids
-  kAggregates = 10,    // v3: delta-maintained post-processing aggregates
+  kAggregates = 10,    // v3+: delta-maintained post-processing aggregates
+                       // (layout changed in v4; pre-v4 payloads discarded)
+  kDriftHistory = 11,  // v4: serialized drift tracker (history + counters)
 };
 
 const char* SnapshotSectionName(SnapshotSection s);
@@ -94,6 +100,12 @@ struct StoreSnapshot {
   /// aggregate post-processing off — recovery then rebuilds them.
   SchemaAggregates aggregates;
   bool has_aggregates = false;
+
+  /// Serialized drift tracker (drift::DriftTracker::Serialize bytes),
+  /// present (has_drift) when the store tracks schema drift. The snapshot
+  /// layer treats it as opaque — the store layer owns the tracker.
+  std::string drift_history;
+  bool has_drift = false;
 };
 
 /// Serializes the snapshot; per-section encode + CRC runs through `pool`

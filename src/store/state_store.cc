@@ -12,8 +12,10 @@
 #include <filesystem>
 
 #include "common/binary_io.h"
+#include "common/csv.h"
 #include "common/hash.h"
 #include "core/value_stats.h"
+#include "drift/replay.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "store/fs_util.h"
@@ -199,7 +201,8 @@ std::string RecoveryReport::ToString() const {
 DurableDiscoverer::DurableDiscoverer(std::string dir, StoreOptions options)
     : dir_(std::move(dir)),
       options_(std::move(options)),
-      engine_(options_.incremental) {}
+      engine_(options_.incremental),
+      drift_(options_.drift_max_history) {}
 
 DurableDiscoverer::~DurableDiscoverer() { ReleaseLock(); }
 
@@ -314,7 +317,16 @@ Status DurableDiscoverer::Recover(RecoveryReport* report) {
     engine_.RestoreState(std::move(snap->schema),
                          std::move(snap->batch_seconds),
                          std::move(aggregates));
+    if (snap->has_drift) {
+      PGHIVE_RETURN_NOT_OK(drift_.Restore(snap->drift_history));
+    }
     break;
+  }
+  if (options_.track_drift) {
+    // The baseline is not serialized: re-derive it from the restored state
+    // BEFORE journal replay, so replayed batches re-observe against exactly
+    // the schema they originally diffed from.
+    drift_.ResetBaseline(applied_batches_, PostProcessedSchema());
   }
 
   const std::vector<std::string> segments = ListJournalFiles(dir_);
@@ -391,10 +403,25 @@ Status DurableDiscoverer::FeedJournalOnly(const BatchPayload& batch) {
 
 Status DurableDiscoverer::AppendToJournal(const BatchPayload& batch) {
   PGHIVE_RETURN_NOT_OK(EnsureJournalOpen());
+  if (!batch.mutations.empty() && journal_.format_version() < 3) {
+    // Mutations only encode as v3 records. An inherited pre-v3 segment is
+    // rotated out: close it and start a fresh segment at the current
+    // version. The stale name can only collide when the old segment held
+    // zero records — removing an empty segment loses nothing.
+    PGHIVE_RETURN_NOT_OK(journal_.Close());
+    const std::string next =
+        dir_ + "/" +
+        NumberedFileName(kJournalPrefix, journaled_batches_, kJournalSuffix);
+    std::error_code ec;
+    std::filesystem::remove(next, ec);
+    PGHIVE_RETURN_NOT_OK(EnsureJournalOpen());
+  }
   BinaryWriter payload;
   // Records match the segment's header version (a reopened v1 segment keeps
-  // receiving v1 records; fresh segments are v2/interned).
-  if (journal_.format_version() >= 2) {
+  // receiving v1 records; fresh segments are v3/mutation-capable).
+  if (journal_.format_version() >= 3) {
+    EncodeBatchPayloadV3(batch, &payload);
+  } else if (journal_.format_version() >= 2) {
     EncodeBatchPayloadV2(batch.nodes, batch.edges, &payload);
   } else {
     EncodeBatchPayload(batch.nodes, batch.edges, &payload);
@@ -415,28 +442,30 @@ Status DurableDiscoverer::EnsureJournalOpen() {
 }
 
 Status DurableDiscoverer::ApplyPayload(const BatchPayload& batch) {
-  const size_t node_begin = graph_.num_nodes();
-  const size_t edge_begin = graph_.num_edges();
-  for (const NodeData& n : batch.nodes) {
-    graph_.AddNode(n.labels, n.properties, n.truth_type);
+  PGHIVE_ASSIGN_OR_RETURN(drift::AppliedBatch applied,
+                          drift::ApplyMutationBatch(&graph_, batch));
+  if (applied.deleted_nodes.empty() && applied.deleted_edges.empty()) {
+    PGHIVE_RETURN_NOT_OK(engine_.Feed(applied.batch));
+  } else {
+    PGHIVE_RETURN_NOT_OK(engine_.FeedMutations(
+        applied.batch, applied.deleted_nodes, applied.deleted_edges));
   }
-  for (const EdgeData& e : batch.edges) {
-    Result<EdgeId> added =
-        graph_.AddEdge(e.source, e.target, e.labels, e.properties,
-                       e.truth_type);
-    if (!added.ok()) {
-      return Status::InvalidArgument(
-          "batch edge references an unknown node (stream batches must be "
-          "endpoint-closed): " +
-          added.status().message());
-    }
-  }
-  GraphBatch slice{&graph_, node_begin, graph_.num_nodes(), edge_begin,
-                   graph_.num_edges()};
-  PGHIVE_RETURN_NOT_OK(engine_.Feed(slice));
   ++applied_batches_;
   ++batches_since_checkpoint_;
+  if (options_.track_drift) {
+    post_schema_cache_ = engine_.FinishedCopy(graph_);
+    post_schema_epoch_ = applied_batches_;
+    post_schema_valid_ = true;
+    drift_.Observe(applied_batches_, post_schema_cache_);
+  }
   return Status::OK();
+}
+
+SchemaGraph DurableDiscoverer::PostProcessedSchema() const {
+  if (post_schema_valid_ && post_schema_epoch_ == applied_batches_) {
+    return post_schema_cache_;
+  }
+  return engine_.FinishedCopy(graph_);
 }
 
 StoreSnapshot DurableDiscoverer::BuildSnapshot() const {
@@ -462,6 +491,10 @@ StoreSnapshot DurableDiscoverer::BuildSnapshot() const {
       engine_.aggregates().ConsistentWith(snap.schema)) {
     snap.aggregates = engine_.aggregates();
     snap.has_aggregates = true;
+  }
+  if (options_.track_drift) {
+    snap.drift_history = drift_.Serialize();
+    snap.has_drift = true;
   }
   return snap;
 }
@@ -542,6 +575,14 @@ std::string StateDirMetrics::ToString() const {
   s += "journal segments: " + std::to_string(journal_segments) + " (" +
        std::to_string(journal_bytes) + " bytes, " +
        std::to_string(journal_records) + " records)\n";
+  s += "journal ops:      " + std::to_string(journal_insert_ops) +
+       " insert / " + std::to_string(journal_delete_ops) + " delete / " +
+       std::to_string(journal_update_ops) + " update\n";
+  s += "drift history:    " +
+       (drift_history_bytes > 0
+            ? std::to_string(drift_history_bytes) + " bytes (newest snapshot)"
+            : std::string("none")) +
+       "\n";
   if (torn_tail) s += "journal tail:     TORN (truncated on next recovery)\n";
   return s;
 }
@@ -572,7 +613,30 @@ StateDirMetrics CollectStateDirMetrics(const std::string& dir) {
     Result<JournalReadResult> read = ReadJournalSegment(path);
     if (!read.ok()) continue;  // unreadable: bytes counted, no records
     m.journal_records += read->records.size();
+    for (const JournalRecord& rec : read->records) {
+      m.journal_insert_ops +=
+          rec.payload.nodes.size() + rec.payload.edges.size();
+      m.journal_delete_ops += rec.payload.mutations.delete_nodes.size() +
+                              rec.payload.mutations.delete_edges.size();
+      m.journal_update_ops += rec.payload.mutations.update_nodes.size() +
+                              rec.payload.mutations.update_edges.size();
+    }
     if (read->torn_tail) m.torn_tail = true;
+  }
+  if (!snapshots.empty()) {
+    // Probe (don't fully decode) the newest snapshot for its drift-history
+    // section size.
+    Result<std::string> bytes = ReadFile(snapshots.front());
+    if (bytes.ok()) {
+      Result<SnapshotInfo> info = InspectSnapshot(*bytes);
+      if (info.ok()) {
+        for (const SnapshotSectionInfo& sec : info->sections) {
+          if (sec.id == static_cast<uint32_t>(SnapshotSection::kDriftHistory)) {
+            m.drift_history_bytes = sec.size;
+          }
+        }
+      }
+    }
   }
   return m;
 }
@@ -591,6 +655,14 @@ void PublishStateDirMetrics(const StateDirMetrics& m) {
       ->Set(static_cast<int64_t>(m.journal_bytes));
   reg.GetGauge("pghive.store.state_journal_records")
       ->Set(static_cast<int64_t>(m.journal_records));
+  reg.GetGauge("pghive.store.state_journal_insert_ops")
+      ->Set(static_cast<int64_t>(m.journal_insert_ops));
+  reg.GetGauge("pghive.store.state_journal_delete_ops")
+      ->Set(static_cast<int64_t>(m.journal_delete_ops));
+  reg.GetGauge("pghive.store.state_journal_update_ops")
+      ->Set(static_cast<int64_t>(m.journal_update_ops));
+  reg.GetGauge("pghive.store.state_drift_history_bytes")
+      ->Set(static_cast<int64_t>(m.drift_history_bytes));
   reg.GetGauge("pghive.store.state_torn_tail")->Set(m.torn_tail ? 1 : 0);
 }
 

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "core/incremental.h"
+#include "drift/drift_tracker.h"
 #include "store/journal.h"
 #include "store/snapshot.h"
 
@@ -62,6 +63,17 @@ struct StoreOptions {
   /// Open even when the stored options fingerprint differs from
   /// `incremental` (replay may then diverge from the original run).
   bool allow_options_mismatch = false;
+
+  /// Maintain a schema-drift history (drift/drift_tracker.h): after every
+  /// applied batch the post-processed schema is diffed against the previous
+  /// epoch's and the result recorded. The history rides in snapshots
+  /// (kDriftHistory) and is served via `pghive drift` and the daemon's
+  /// /drift endpoint. Costs one FinishedCopy per batch — O(schema) with
+  /// aggregate post-processing on, a full post-process scan otherwise.
+  bool track_drift = true;
+  /// Bound on retained per-epoch diff records (cumulative counters are
+  /// never truncated).
+  size_t drift_max_history = drift::DriftTracker::kDefaultMaxHistory;
 
   /// Label aliases recorded in snapshots for provenance (the discovery
   /// input was rewritten through these before feeding).
@@ -123,7 +135,10 @@ class DurableDiscoverer {
 
   /// Journals, then applies one batch. Node ids are reassigned densely in
   /// feed order; edge endpoints are global node ids and must already exist
-  /// (MakeStreamBatches produces payloads satisfying this).
+  /// (MakeStreamBatches produces payloads satisfying this). The payload may
+  /// carry mutations (graph/mutations.h): deletions/updates are journaled
+  /// as v3 records (an inherited pre-v3 segment is rotated first) and
+  /// applied through the engine's retraction path in O(batch).
   Status Feed(const BatchPayload& batch);
 
   /// Test hook for the crash window between journal append and apply: the
@@ -144,9 +159,13 @@ class DurableDiscoverer {
   /// The schema Finish() would produce right now, computed on a copy: the
   /// engine keeps feeding on the exact uninterrupted-run path. The serving
   /// daemon renders one of these per applied batch into an epoch snapshot.
-  SchemaGraph PostProcessedSchema() const {
-    return engine_.FinishedCopy(graph_);
-  }
+  /// With drift tracking on, the copy computed for the current epoch's
+  /// drift observation is reused instead of recomputed.
+  SchemaGraph PostProcessedSchema() const;
+
+  /// The drift history maintained across applied batches (empty when
+  /// options.track_drift is off).
+  const drift::DriftTracker& drift_tracker() const { return drift_; }
   const PropertyGraph& graph() const { return graph_; }
   const std::vector<double>& batch_seconds() const {
     return engine_.batch_seconds();
@@ -179,6 +198,11 @@ class DurableDiscoverer {
   IncrementalDiscoverer engine_;
   PropertyGraph graph_;
 
+  drift::DriftTracker drift_;
+  SchemaGraph post_schema_cache_;
+  uint64_t post_schema_epoch_ = 0;
+  bool post_schema_valid_ = false;
+
   JournalWriter journal_;
   uint64_t applied_batches_ = 0;
   uint64_t journaled_batches_ = 0;  // >= applied when a crash test is staged
@@ -203,6 +227,16 @@ struct StateDirMetrics {
   uint64_t journal_bytes = 0;           // all segment files on disk
   uint64_t journal_records = 0;         // valid records across segments
   bool torn_tail = false;               // any segment ends in a torn tail
+
+  // Per-operation accounting across the journal's valid records: inserted
+  // node/edge rows, delete-by-id operations and update (delete-then-
+  // reinsert) operations. Inserts count the replacement rows of updates
+  // only under journal_update_ops.
+  uint64_t journal_insert_ops = 0;
+  uint64_t journal_delete_ops = 0;
+  uint64_t journal_update_ops = 0;
+  /// Size of the newest snapshot's drift-history section (0 when absent).
+  uint64_t drift_history_bytes = 0;
 
   std::string ToString() const;
 };

@@ -22,6 +22,8 @@
 #include "core/schema_json.h"
 #include "datagen/datasets.h"
 #include "datagen/generator.h"
+#include "drift/drift_tracker.h"
+#include "graph/mutations.h"
 #include "serve/graph_host.h"
 #include "serve/http.h"
 #include "serve/server.h"
@@ -533,6 +535,162 @@ TEST_F(ServeEndToEndTest, FullQueueAnswers429WithRetryAfter) {
     ASSERT_EQ(retried->status, 429);
     std::this_thread::yield();
   }
+  EXPECT_TRUE(server_->Stop().ok());
+}
+
+// --- Schema drift over HTTP. ---
+
+/// Three batches with inserts, deletions and an update: enough to retire a
+/// type (Legacy) and produce a multi-epoch drift history.
+std::vector<store::BatchPayload> MutationPayloads() {
+  auto node = [](const std::string& label, const std::string& key,
+                 const std::string& value) {
+    NodeData n;
+    n.labels = {label};
+    n.properties[key] = Value::String(value);
+    return n;
+  };
+  std::vector<store::BatchPayload> payloads(3);
+  for (int i = 0; i < 4; ++i) {
+    payloads[0].nodes.push_back(
+        node("Person", "p_name", "p" + std::to_string(i)));
+  }
+  payloads[0].nodes.push_back(node("Legacy", "l_tag", "a"));
+  payloads[0].nodes.push_back(node("Legacy", "l_tag", "b"));
+  EdgeData knows;
+  knows.source = 0;
+  knows.target = 1;
+  knows.labels = {"KNOWS"};
+  payloads[0].edges.push_back(knows);
+
+  payloads[1].mutations.delete_nodes = {4, 5};  // Legacy retires
+  payloads[1].mutations.delete_edges = {0};
+  NodeUpdate nu;
+  nu.id = 0;
+  nu.data = node("Person", "p_name", "p0b");
+  payloads[1].mutations.update_nodes = {nu};
+
+  payloads[2].nodes.push_back(node("Person", "p_name", "p9"));
+  return payloads;
+}
+
+TEST(ServeWireTest, MutationBatchRoundTripsThroughJson) {
+  const std::vector<store::BatchPayload> payloads = MutationPayloads();
+  const store::BatchPayload& payload = payloads[1];
+  auto round = BatchFromJson(BatchToJson(payload));
+  ASSERT_TRUE(round.ok()) << round.status();
+  EXPECT_EQ(round->mutations.delete_nodes, payload.mutations.delete_nodes);
+  EXPECT_EQ(round->mutations.delete_edges, payload.mutations.delete_edges);
+  ASSERT_EQ(round->mutations.update_nodes.size(), 1u);
+  EXPECT_EQ(round->mutations.update_nodes[0].id, 0u);
+  EXPECT_EQ(round->mutations.update_nodes[0].data.properties.at("p_name"),
+            Value::String("p0b"));
+
+  // Curl-style plain JSON spelling.
+  auto parsed = BatchFromJson(
+      ParseJson(R"({"delete_nodes":[1,2],"update_edges":[
+        {"id":0,"source":3,"target":4,"labels":["KNOWS"]}]})")
+          .value());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->mutations.delete_nodes, (std::vector<NodeId>{1, 2}));
+  ASSERT_EQ(parsed->mutations.update_edges.size(), 1u);
+  EXPECT_EQ(parsed->mutations.update_edges[0].data.source, 3u);
+
+  // Malformed mutation members are rejected.
+  EXPECT_FALSE(
+      BatchFromJson(ParseJson(R"({"delete_nodes":["x"]})").value()).ok());
+  EXPECT_FALSE(
+      BatchFromJson(ParseJson(R"({"delete_nodes":[-1]})").value()).ok());
+  EXPECT_FALSE(
+      BatchFromJson(ParseJson(R"({"update_nodes":[{"labels":["A"]}]})").value())
+          .ok());
+  EXPECT_FALSE(
+      BatchFromJson(ParseJson(R"({"update_edges":[{"id":0}]})").value()).ok());
+}
+
+TEST_F(ServeEndToEndTest, DriftEndpointServesExactDiffSequence) {
+  const std::vector<store::BatchPayload> payloads = MutationPayloads();
+
+  // Golden: the drift JSON a sequential durable run over the same batches
+  // produces.
+  std::string golden_all;
+  std::string golden_tail;
+  {
+    auto store = store::DurableDiscoverer::OpenOrRecover(
+                     TestDir("drift_golden"), FastStoreOptions())
+                     .value();
+    for (const auto& payload : payloads) {
+      ASSERT_TRUE(store->Feed(payload).ok());
+    }
+    golden_all = drift::DriftToJson(store->drift_tracker(), 0).Dump() + "\n";
+    golden_tail = drift::DriftToJson(store->drift_tracker(), 1).Dump() + "\n";
+  }
+
+  StartServer(FastHostOptions());
+  for (const auto& payload : payloads) {
+    auto resp = Post("/v1/graphs/g/batches", BatchToJson(payload).Dump());
+    ASSERT_TRUE(resp.ok()) << resp.status();
+    ASSERT_EQ(resp->status, 202) << resp->body;
+  }
+  for (;;) {
+    auto detail = Get("/v1/graphs/g");
+    ASSERT_TRUE(detail.ok()) << detail.status();
+    auto doc = ParseJson(detail->body);
+    ASSERT_TRUE(doc.ok());
+    if (static_cast<size_t>(doc->GetInt("epoch").value()) == payloads.size())
+      break;
+    std::this_thread::yield();
+  }
+
+  auto drift = Get("/v1/graphs/g/drift");
+  ASSERT_TRUE(drift.ok()) << drift.status();
+  ASSERT_EQ(drift->status, 200) << drift->body;
+  EXPECT_EQ(drift->headers["x-pghive-epoch"], std::to_string(payloads.size()));
+  EXPECT_EQ(drift->body, golden_all);  // exact per-epoch diff sequence
+
+  auto tail = Get("/v1/graphs/g/drift?since=1");
+  ASSERT_TRUE(tail.ok());
+  ASSERT_EQ(tail->status, 200);
+  EXPECT_EQ(tail->body, golden_tail);
+
+  auto bad = Get("/v1/graphs/g/drift?since=abc");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_EQ(bad->status, 400);
+
+  auto wrong_method = Post("/v1/graphs/g/drift", "{}");
+  ASSERT_TRUE(wrong_method.ok());
+  EXPECT_EQ(wrong_method->status, 405);
+
+  EXPECT_TRUE(server_->Stop().ok());
+}
+
+TEST_F(ServeEndToEndTest, DriftLongPollWakesWhenTheNextEpochPublishes) {
+  const std::vector<store::BatchPayload> payloads = MutationPayloads();
+  StartServer(FastHostOptions());
+
+  Result<HttpResponse> polled = Status::Internal("not run");
+  std::thread poller([&] {
+    polled = HttpCall("127.0.0.1", port_, "GET",
+                      "/v1/graphs/g/drift?since=0&wait=1");
+  });
+  auto resp = Post("/v1/graphs/g/batches", BatchToJson(payloads[0]).Dump());
+  ASSERT_TRUE(resp.ok()) << resp.status();
+  ASSERT_EQ(resp->status, 202);
+  poller.join();
+
+  ASSERT_TRUE(polled.ok()) << polled.status();
+  ASSERT_EQ(polled->status, 200);
+  EXPECT_GE(std::stoull(polled->headers["x-pghive-epoch"]), 1u);
+  EXPECT_TRUE(server_->Stop().ok());
+}
+
+TEST_F(ServeEndToEndTest, DriftEndpointAnswers404WhenTrackingIsOff) {
+  GraphHostOptions options = FastHostOptions();
+  options.store.track_drift = false;
+  StartServer(std::move(options));
+  auto resp = Get("/v1/graphs/g/drift");
+  ASSERT_TRUE(resp.ok()) << resp.status();
+  EXPECT_EQ(resp->status, 404);
   EXPECT_TRUE(server_->Stop().ok());
 }
 

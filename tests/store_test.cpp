@@ -207,11 +207,11 @@ TEST(JournalTest, AppendsAndReadsBack) {
 
   JournalWriter writer;
   ASSERT_TRUE(writer.Open(path, /*fsync=*/false).ok());
-  // Fresh segments carry the v2 header, so records use the v2 payload codec.
+  // Fresh segments carry the v3 header, so records use the v3 payload codec.
   EXPECT_EQ(writer.format_version(), kJournalFormatVersion);
   for (size_t i = 0; i < batches.size(); ++i) {
     BinaryWriter payload;
-    EncodeBatchPayloadV2(batches[i].nodes, batches[i].edges, &payload);
+    EncodeBatchPayloadV3(batches[i], &payload);
     ASSERT_TRUE(writer.Append(i, payload.buffer()).ok());
   }
   ASSERT_TRUE(writer.Close().ok());
@@ -234,7 +234,7 @@ TEST(JournalTest, TornTailIsDetectedAndEarlierRecordsSurvive) {
   JournalWriter writer;
   ASSERT_TRUE(writer.Open(path, /*fsync=*/false).ok());
   BinaryWriter payload;
-  EncodeBatchPayloadV2({}, {}, &payload);
+  EncodeBatchPayloadV3(BatchPayload{}, &payload);
   ASSERT_TRUE(writer.Append(0, payload.buffer()).ok());
   ASSERT_TRUE(writer.Append(1, payload.buffer()).ok());
   ASSERT_TRUE(writer.Close().ok());

@@ -20,7 +20,9 @@
 #
 # The full run additionally re-records the micro_pipeline per-stage
 # baseline and fails when 1-thread encode+cluster regresses more than 10%
-# against the committed BENCH_pipeline.json.
+# against the committed BENCH_pipeline.json, and gates the micro_drift
+# mutation-batch series on last-4 <= 2x first-4 flatness (retractable
+# aggregates must keep mutation batches O(batch)).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -108,6 +110,49 @@ PYEOF
   else
     echo "skipping perf guard (python3 or build/bench/micro_pipeline missing)"
   fi
+
+  echo "=== perf guard: mutation-batch cost flatness (bench/micro_drift) ==="
+  # Same elementwise-min idiom over the 32-batch steady mutation stream:
+  # with retractable aggregates every batch retires as much as it inserts,
+  # so per-batch cost must stay flat. A rebuild-per-retraction regression
+  # grows with the accumulated graph and trips the 2x gate.
+  if command -v python3 > /dev/null && [[ -x build/bench/micro_drift ]]; then
+    drift_tmp="$(mktemp -d)"
+    for i in 1 2 3; do
+      PGHIVE_BENCH_OUT="${drift_tmp}/run${i}.json" \
+        ./build/bench/micro_drift --benchmark_filter='^$' > /dev/null 2>&1
+    done
+    python3 - "${drift_tmp}/run1.json" "${drift_tmp}/run2.json" \
+      "${drift_tmp}/run3.json" <<'PYEOF'
+import json, sys
+
+series = []
+rescans = []
+for path in sys.argv[1:]:
+    with open(path) as f:
+        doc = json.load(f)
+    series.append(doc["batch_seconds"])
+    rescans.append(doc["rescan_seconds"])
+if min(len(s) for s in series) < 8:
+    raise SystemExit("mutation-batch series too short")
+batch = [min(vals) for vals in zip(*series)]
+head = sum(batch[:4]) / 4
+tail = sum(batch[-4:]) / 4
+floor = 0.002
+print(f"mutation batches ({len(batch)}): first-4 mean {head * 1e3:.3f} ms, "
+      f"last-4 mean {tail * 1e3:.3f} ms, "
+      f"rescan alternative {min(rescans) * 1e3:.3f} ms")
+if tail > max(head, floor) * 2.0:
+    raise SystemExit(
+        f"RETRACTION GROWTH: per-batch mutation cost rose from "
+        f"{head * 1e3:.3f} ms to {tail * 1e3:.3f} ms across the steady "
+        f"stream — retractable aggregates are no longer O(batch)")
+print("drift flatness ok")
+PYEOF
+    rm -rf "${drift_tmp}"
+  else
+    echo "skipping drift flatness gate (python3 or build/bench/micro_drift missing)"
+  fi
 fi
 
 echo "=== TSan: runtime + pipeline + store + serve tests, 4-thread discovery ==="
@@ -116,9 +161,9 @@ cmake -B build-tsan -S . -DPGHIVE_SANITIZE=thread \
   -DPGHIVE_BUILD_TOOLS=OFF
 cmake --build build-tsan -j "${JOBS}" \
   --target runtime_test pipeline_test store_test obs_test serve_test \
-  pghive_app
+  drift_equivalence_test pghive_app
 (cd build-tsan && ctest --output-on-failure -j "${JOBS}" \
-  -R 'ThreadPool|Parallel|Pipeline|Snapshot|Journal|Durable|Obs|Serve')
+  -R 'ThreadPool|Parallel|Pipeline|Snapshot|Journal|Durable|Obs|Serve|Drift')
 
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "${tmpdir}"' EXIT
@@ -135,9 +180,10 @@ cmake -B build-asan -S . -DPGHIVE_SANITIZE=address,undefined \
   -DPGHIVE_BUILD_TOOLS=OFF
 cmake --build build-asan -j "${JOBS}" \
   --target store_test csv_io_test pgschema_parser_test \
-  golden_equivalence_test store_compat_test pghive_app
+  golden_equivalence_test store_compat_test drift_test \
+  drift_equivalence_test pghive_app
 (cd build-asan && ctest --output-on-failure -j "${JOBS}" \
-  -R 'BinaryIo|Codec|Snapshot|Journal|StreamBatches|Fingerprint|Durable|CsvIo|PgSchemaParser|GoldenEquivalence|StoreCompat')
+  -R 'BinaryIo|Codec|Snapshot|Journal|StreamBatches|Fingerprint|Durable|CsvIo|PgSchemaParser|GoldenEquivalence|StoreCompat|Drift|Mutation|Evolution|NetSurviving')
 
 ./build-asan/apps/pghive generate POLE "${tmpdir}/pole2" --nodes 1000
 ./build-asan/apps/pghive discover "${tmpdir}/pole2" --incremental 4 \
@@ -171,6 +217,30 @@ done
   --state-dir "${tmpdir}/oneshot-state" \
   --save-schema "${tmpdir}/oneshot.json" > /dev/null
 cmp "${tmpdir}/served.json" "${tmpdir}/oneshot.json"
+# The drift endpoint on the live daemon: the ingested epochs must have
+# produced a non-empty versioned history, and ?since=<last epoch> must
+# filter it down to nothing.
+if command -v python3 > /dev/null; then
+  python3 - "$(cat "${tmpdir}/port.txt")" <<'PYEOF'
+import json, sys, urllib.request
+
+port = sys.argv[1]
+url = f"http://127.0.0.1:{port}/v1/graphs/smoke/drift"
+with urllib.request.urlopen(url, timeout=10) as resp:
+    assert resp.status == 200, resp.status
+    epoch_hdr = resp.headers.get("x-pghive-epoch")
+    doc = json.loads(resp.read().decode())
+assert epoch_hdr is not None and int(epoch_hdr) >= 1, epoch_hdr
+assert doc["epoch"] >= 1, doc
+assert doc["counters"]["epochs_observed"] >= 1, doc
+assert isinstance(doc["history"], list) and doc["history"], doc
+with urllib.request.urlopen(f"{url}?since={doc['epoch']}", timeout=10) as r:
+    tail = json.loads(r.read().decode())
+assert tail["history"] == [], tail
+print(f"drift endpoint ok: epoch {doc['epoch']}, "
+      f"{len(doc['history'])} recorded diffs")
+PYEOF
+fi
 set +e
 ./build-asan/apps/pghive discover "${tmpdir}/pole3" --incremental 6 \
   --state-dir "${tmpdir}/serve-state" > /dev/null 2>&1
@@ -183,6 +253,7 @@ fi
 kill -TERM "${serve_pid}"
 wait "${serve_pid}"  # non-zero (under set -e) = drain/checkpoint failed
 ./build-asan/apps/pghive inspect-state "${tmpdir}/serve-state" > /dev/null
+./build-asan/apps/pghive drift "${tmpdir}/serve-state" > /dev/null
 echo "serve smoke ok"
 
 echo "=== observability: metrics + trace export sanity ==="
