@@ -11,14 +11,22 @@
 // (with a 1 ms floor on the baseline, so micro-jitter on sub-millisecond
 // p99s cannot flake the gate).
 //
+// A second gate covers the tracing overhead claim: the same idle read loop
+// re-runs with request tracing enabled (serve.request spans + per-route
+// histograms), and the traced p99 must stay within
+// PGHIVE_SERVE_TRACE_FACTOR (default 1.10, i.e. 10%) of the untraced idle
+// p99 (same 1 ms baseline floor).
+//
 // Output: shared-schema JSONL lines on stdout —
 //   {"type":"bench","name":"load_serve.read_idle",  count/p50/p95/p99 ...}
+//   {"type":"bench","name":"load_serve.read_traced", ...}
 //   {"type":"bench","name":"load_serve.read_ingest", ...}
 //   {"type":"bench","name":"load_serve.ingest", batches/seconds/throughput}
 //
 // Knobs (environment): PGHIVE_SERVE_READERS (default 4),
 // PGHIVE_SERVE_IDLE_SECONDS (default 2), PGHIVE_SERVE_BATCHES (default 48),
-// PGHIVE_SERVE_P99_FACTOR (default 2.0), PGHIVE_SCALE (graph size).
+// PGHIVE_SERVE_P99_FACTOR (default 2.0), PGHIVE_SERVE_TRACE_FACTOR
+// (default 1.10), PGHIVE_SCALE (graph size).
 
 #include <algorithm>
 #include <atomic>
@@ -32,6 +40,7 @@
 
 #include "bench_util.h"
 #include "common/timer.h"
+#include "obs/trace.h"
 #include "datagen/datasets.h"
 #include "datagen/generator.h"
 #include "serve/http.h"
@@ -171,6 +180,24 @@ int Run() {
   const PhaseStats idle = Collect(&latencies);
   PrintPhase("load_serve.read_idle", idle);
 
+  // Phase 1b: the identical idle loop with request tracing on, for the
+  // tracing-overhead gate. Spans are dropped afterwards — this measures the
+  // recording cost on the serve path, not export.
+  obs::Tracer::Global().SetEnabled(true);
+  stop.store(false);
+  reader_threads.clear();
+  for (int r = 0; r < readers; ++r) {
+    reader_threads.emplace_back(
+        [&, r] { ReaderLoop(port, &stop, &latencies[r]); });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(idle_seconds));
+  stop.store(true);
+  for (auto& t : reader_threads) t.join();
+  obs::Tracer::Global().SetEnabled(false);
+  obs::Tracer::Global().Clear();
+  const PhaseStats traced = Collect(&latencies);
+  PrintPhase("load_serve.read_traced", traced);
+
   // Phase 2: the same closed loops while the full stream is ingested.
   stop.store(false);
   reader_threads.clear();
@@ -239,6 +266,21 @@ int Run() {
               "(factor %.2f, limit %.1fx)\n",
               idle.p99, ingest.p99,
               baseline > 0 ? ingest.p99 / baseline : 0.0, factor);
+
+  // The tracing-overhead gate: request spans must be cheap enough that the
+  // traced read p99 stays within PGHIVE_SERVE_TRACE_FACTOR of untraced.
+  const double trace_factor = EnvDouble("PGHIVE_SERVE_TRACE_FACTOR", 1.10);
+  if (traced.p99 > baseline * trace_factor) {
+    std::fprintf(stderr,
+                 "TRACING OVERHEAD REGRESSION: traced read p99 %.6fs exceeds "
+                 "%.2fx the untraced idle p99 %.6fs (floor 1ms)\n",
+                 traced.p99, trace_factor, idle.p99);
+    return 1;
+  }
+  std::printf("tracing overhead ok: untraced %.6fs -> traced %.6fs "
+              "(factor %.2f, limit %.2fx)\n",
+              idle.p99, traced.p99,
+              baseline > 0 ? traced.p99 / baseline : 0.0, trace_factor);
   return 0;
 }
 

@@ -47,6 +47,7 @@ namespace {
 struct ObsConfig {
   std::string metrics_out;
   std::string trace_out;
+  obs::MetricsFormat metrics_format = obs::MetricsFormat::kJsonl;
 };
 
 Result<ObsConfig> ConfigureObservability(const Args& args) {
@@ -74,6 +75,11 @@ Result<ObsConfig> ConfigureObservability(const Args& args) {
       config.trace_out = env;
     }
   }
+  if (args.Has("metrics-format")) {
+    PGHIVE_ASSIGN_OR_RETURN(
+        config.metrics_format,
+        obs::ParseMetricsFormat(args.GetString("metrics-format")));
+  }
   // Either output turns full collection on: the metrics JSONL embeds
   // span_stats lines, so metrics-only still needs spans recorded.
   if (!config.metrics_out.empty() || !config.trace_out.empty()) {
@@ -89,7 +95,8 @@ Result<ObsConfig> ConfigureObservability(const Args& args) {
 Status ExportObservability(const ObsConfig& config) {
   Status status = Status::OK();
   if (!config.metrics_out.empty()) {
-    Status s = obs::WriteMetricsJsonl(config.metrics_out);
+    Status s = obs::WriteMetricsFile(config.metrics_out,
+                                     config.metrics_format);
     if (status.ok()) status = s;
   }
   if (!config.trace_out.empty()) {
@@ -707,6 +714,10 @@ Status CmdServe(const Args& args, std::ostream& out) {
         "[--port-file FILE (write the bound port)] "
         "[--workers N (0 = all cores)] [--queue-capacity 64] "
         "[--retain-epochs 8] [--checkpoint-every N] [--no-fsync] "
+        "[--alert-rules FILE (drift/metric alert rules, served at "
+        "/v1/graphs/<name>/alerts)] "
+        "[--access-log FILE (per-request JSONL)] "
+        "[--metrics-format jsonl|prometheus (default GET /metrics format)] "
         "[--force-options] [discovery flags as for `discover`]\n"
         "hosts each state directory as /v1/graphs/<name>, ingesting batches "
         "over HTTP and serving epoch-snapshot schema reads until SIGINT/"
@@ -720,6 +731,13 @@ Status CmdServe(const Args& args, std::ostream& out) {
       static_cast<size_t>(args.GetInt("queue-capacity", 64));
   sopt.graph.retain_epochs =
       static_cast<size_t>(args.GetInt("retain-epochs", 8));
+  sopt.graph.alert_rules_path = args.GetString("alert-rules");
+  sopt.access_log_path = args.GetString("access-log");
+  if (args.Has("metrics-format")) {
+    PGHIVE_ASSIGN_OR_RETURN(
+        sopt.metrics_format,
+        obs::ParseMetricsFormat(args.GetString("metrics-format")));
+  }
   PGHIVE_ASSIGN_OR_RETURN(sopt.graph.store, StoreOptionsFromArgs(args));
 
   serve::SchemaServer server(std::move(sopt));
@@ -884,7 +902,10 @@ std::string HelpText() {
       << "arguments for its flags.\n"
       << "\n"
       << "observability (every command):\n"
-      << "  --metrics-out FILE   write metrics + span aggregates as JSONL\n"
+      << "  --metrics-out FILE   write metrics + span aggregates\n"
+      << "  --metrics-format F   jsonl (default) | prometheus — wire format\n"
+      << "                       of --metrics-out and of the daemon's\n"
+      << "                       GET /metrics\n"
       << "  --trace-out FILE     write a Chrome trace (chrome://tracing,\n"
       << "                       https://ui.perfetto.dev)\n"
       << "  --progress           per-batch progress lines on stderr\n"

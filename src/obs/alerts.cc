@@ -1,0 +1,504 @@
+#include "obs/alerts.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/csv.h"
+
+namespace pghive {
+namespace obs {
+
+namespace {
+
+const char* const kDriftEvents[] = {
+    "type_added",        "type_retired",     "added_property",
+    "removed_property",  "became_mandatory", "became_optional",
+    "datatype_changed",  "cardinality_changed",
+};
+
+bool IsDriftEvent(const std::string& event) {
+  for (const char* known : kDriftEvents) {
+    if (event == known) return true;
+  }
+  return false;
+}
+
+bool IsComparisonOp(const std::string& op) {
+  return op == ">" || op == ">=" || op == "<" || op == "<=" || op == "==" ||
+         op == "!=";
+}
+
+bool Compare(double lhs, const std::string& op, double rhs) {
+  if (op == ">") return lhs > rhs;
+  if (op == ">=") return lhs >= rhs;
+  if (op == "<") return lhs < rhs;
+  if (op == "<=") return lhs <= rhs;
+  if (op == "==") return lhs == rhs;
+  return lhs != rhs;  // "!="
+}
+
+std::vector<std::string> SplitTokens(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string token;
+  while (in >> token) tokens.push_back(token);
+  return tokens;
+}
+
+Status LineError(size_t line_no, const std::string& msg) {
+  return Status::ParseError("alert rules line " + std::to_string(line_no) +
+                            ": " + msg);
+}
+
+/// The property named by a datatype_changes entry ("age: Int->Double").
+std::string DatatypeChangeProperty(const std::string& entry) {
+  const size_t colon = entry.find(':');
+  return colon == std::string::npos ? entry : entry.substr(0, colon);
+}
+
+/// One matched drift event, used for the state detail string.
+struct DriftMatch {
+  bool matched = false;
+  std::string detail;
+};
+
+void Consider(DriftMatch* match, const AlertRule& rule,
+              const std::string& type_name, const std::string& property,
+              const std::string& detail) {
+  if (match->matched) return;
+  if (!GlobMatch(rule.type_glob, type_name)) return;
+  if (!GlobMatch(rule.property_glob, property)) return;
+  match->matched = true;
+  match->detail = detail;
+}
+
+DriftMatch MatchDriftRule(const AlertRule& rule, const SchemaDiff& diff) {
+  DriftMatch match;
+  if (rule.event == "type_added" || rule.event == "type_retired") {
+    const bool added = rule.event == "type_added";
+    const auto& node_types =
+        added ? diff.added_node_types : diff.removed_node_types;
+    const auto& edge_types =
+        added ? diff.added_edge_types : diff.removed_edge_types;
+    const char* verb = added ? "added" : "retired";
+    for (const std::string& name : node_types) {
+      Consider(&match, rule, name, "",
+               "node type " + name + " " + verb);
+    }
+    for (const std::string& name : edge_types) {
+      Consider(&match, rule, name, "",
+               "edge type " + name + " " + verb);
+    }
+    return match;
+  }
+  for (const TypeChange& tc : diff.changed_types) {
+    if (rule.event == "added_property") {
+      for (const std::string& p : tc.added_properties) {
+        Consider(&match, rule, tc.name, p, tc.name + ": property " + p +
+                                               " added");
+      }
+    } else if (rule.event == "removed_property") {
+      for (const std::string& p : tc.removed_properties) {
+        Consider(&match, rule, tc.name, p, tc.name + ": property " + p +
+                                               " removed");
+      }
+    } else if (rule.event == "became_mandatory") {
+      for (const std::string& p : tc.became_mandatory) {
+        Consider(&match, rule, tc.name, p,
+                 tc.name + ": " + p + " became mandatory");
+      }
+    } else if (rule.event == "became_optional") {
+      for (const std::string& p : tc.became_optional) {
+        Consider(&match, rule, tc.name, p,
+                 tc.name + ": " + p + " became optional");
+      }
+    } else if (rule.event == "datatype_changed") {
+      for (const std::string& entry : tc.datatype_changes) {
+        Consider(&match, rule, tc.name, DatatypeChangeProperty(entry),
+                 tc.name + ": datatype " + entry);
+      }
+    } else if (rule.event == "cardinality_changed") {
+      if (!tc.cardinality_change.empty()) {
+        Consider(&match, rule, tc.name, tc.cardinality_change,
+                 tc.name + ": cardinality " + tc.cardinality_change);
+      }
+    }
+    if (match.matched) break;
+  }
+  return match;
+}
+
+/// Looks up a metric rule's subject in the snapshot. Histogram stats are
+/// addressed as `<histogram>.count|.sum|.p50|.p95|.p99`.
+bool LookupMetric(const MetricsSnapshot& metrics, const std::string& name,
+                  double* out) {
+  for (const auto& [n, v] : metrics.counters) {
+    if (n == name) {
+      *out = static_cast<double>(v);
+      return true;
+    }
+  }
+  for (const auto& [n, v] : metrics.gauges) {
+    if (n == name) {
+      *out = static_cast<double>(v);
+      return true;
+    }
+  }
+  const size_t dot = name.rfind('.');
+  if (dot == std::string::npos) return false;
+  const std::string stem = name.substr(0, dot);
+  const std::string stat = name.substr(dot + 1);
+  for (const auto& [n, h] : metrics.histograms) {
+    if (n != stem) continue;
+    if (stat == "count") {
+      *out = static_cast<double>(h.count);
+    } else if (stat == "sum") {
+      *out = h.sum;
+    } else if (stat == "p50") {
+      *out = h.p50();
+    } else if (stat == "p95") {
+      *out = h.p95();
+    } else if (stat == "p99") {
+      *out = h.p99();
+    } else {
+      return false;
+    }
+    return true;
+  }
+  return false;
+}
+
+std::string FormatThreshold(double v) {
+  char buf[40];
+  if (v == static_cast<double>(static_cast<long long>(v))) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%g", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+bool GlobMatch(const std::string& pattern, const std::string& text) {
+  // Iterative two-pointer match with single-star backtracking.
+  size_t p = 0, t = 0;
+  size_t star = std::string::npos, star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '?' || pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      star_t = t;
+    } else if (star != std::string::npos) {
+      p = star + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+std::string AlertRule::Spec() const {
+  std::string out = "alert " + name;
+  if (kind == AlertKind::kDrift) {
+    out += " drift " + event;
+    if (type_glob != "*") out += " type=" + type_glob;
+    if (property_glob != "*") out += " property=" + property_glob;
+    if (resolve_after != 1) {
+      out += " resolve_after=" + std::to_string(resolve_after);
+    }
+  } else {
+    out += " metric " + metric + " " + op + " " + FormatThreshold(threshold);
+    if (resolve_after != 1) {
+      out += " resolve_after=" + std::to_string(resolve_after);
+    }
+  }
+  return out;
+}
+
+Result<std::vector<AlertRule>> ParseAlertRules(const std::string& text) {
+  std::vector<AlertRule> rules;
+  std::istringstream in(text);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::vector<std::string> tokens = SplitTokens(line);
+    if (tokens.empty()) continue;
+    if (tokens[0] != "alert" || tokens.size() < 4) {
+      return LineError(line_no,
+                       "expected `alert <name> drift|metric ...`, got '" +
+                           line + "'");
+    }
+    AlertRule rule;
+    rule.name = tokens[1];
+    for (const AlertRule& existing : rules) {
+      if (existing.name == rule.name) {
+        return LineError(line_no, "duplicate rule name '" + rule.name + "'");
+      }
+    }
+    size_t next = 4;
+    if (tokens[2] == "drift") {
+      rule.kind = AlertKind::kDrift;
+      rule.event = tokens[3];
+      if (!IsDriftEvent(rule.event)) {
+        return LineError(line_no, "unknown drift event '" + rule.event + "'");
+      }
+    } else if (tokens[2] == "metric") {
+      rule.kind = AlertKind::kMetric;
+      if (tokens.size() < 6) {
+        return LineError(line_no,
+                         "expected `metric <name> <op> <value>`");
+      }
+      rule.metric = tokens[3];
+      rule.op = tokens[4];
+      if (!IsComparisonOp(rule.op)) {
+        return LineError(line_no, "unknown operator '" + rule.op + "'");
+      }
+      char* end = nullptr;
+      rule.threshold = std::strtod(tokens[5].c_str(), &end);
+      if (end == tokens[5].c_str() || *end != '\0') {
+        return LineError(line_no,
+                         "threshold '" + tokens[5] + "' is not a number");
+      }
+      next = 6;
+    } else {
+      return LineError(line_no, "unknown rule kind '" + tokens[2] +
+                                    "' (expected drift or metric)");
+    }
+    for (size_t i = next; i < tokens.size(); ++i) {
+      const size_t eq = tokens[i].find('=');
+      if (eq == std::string::npos) {
+        return LineError(line_no, "expected key=value, got '" + tokens[i] +
+                                      "'");
+      }
+      const std::string key = tokens[i].substr(0, eq);
+      const std::string value = tokens[i].substr(eq + 1);
+      if (key == "type" && rule.kind == AlertKind::kDrift) {
+        rule.type_glob = value;
+      } else if (key == "property" && rule.kind == AlertKind::kDrift) {
+        rule.property_glob = value;
+      } else if (key == "resolve_after") {
+        char* end = nullptr;
+        const unsigned long long n = std::strtoull(value.c_str(), &end, 10);
+        if (end == value.c_str() || *end != '\0' || n == 0) {
+          return LineError(line_no, "resolve_after '" + value +
+                                        "' is not a positive integer");
+        }
+        rule.resolve_after = static_cast<uint64_t>(n);
+      } else {
+        return LineError(line_no, "unknown option '" + key + "'");
+      }
+    }
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
+Result<std::vector<AlertRule>> LoadAlertRules(const std::string& path) {
+  PGHIVE_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  auto rules = ParseAlertRules(text);
+  if (!rules.ok()) {
+    return Status(rules.status().code(),
+                  path + ": " + rules.status().message());
+  }
+  return rules;
+}
+
+AlertEngine::AlertEngine(std::vector<AlertRule> rules)
+    : rules_(std::move(rules)) {
+  states_.resize(rules_.size());
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    states_[i].rule = rules_[i].name;
+  }
+}
+
+bool AlertEngine::ObserveEpoch(uint64_t epoch, const SchemaDiff* diff,
+                               const MetricsSnapshot& metrics) {
+  std::lock_guard<std::mutex> lock(mu_);
+  bool changed = false;
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    const AlertRule& rule = rules_[i];
+    if (rule.kind != AlertKind::kDrift) continue;
+    AlertState& state = states_[i];
+    DriftMatch match;
+    if (diff != nullptr) match = MatchDriftRule(rule, *diff);
+    if (match.matched) {
+      state.last_match_epoch = epoch;
+      state.last_detail = match.detail;
+      if (!state.firing) {
+        state.firing = true;
+        state.fired_epoch = epoch;
+        ++state.fire_count;
+        changed = true;
+      }
+    } else if (state.firing &&
+               epoch >= state.last_match_epoch + rule.resolve_after) {
+      state.firing = false;
+      state.resolved_epoch = epoch;
+      changed = true;
+    }
+  }
+  changed |= EvaluateMetricRulesLocked(epoch, metrics);
+  return changed;
+}
+
+bool AlertEngine::EvaluateMetricRules(uint64_t epoch,
+                                      const MetricsSnapshot& metrics) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return EvaluateMetricRulesLocked(epoch, metrics);
+}
+
+bool AlertEngine::EvaluateMetricRulesLocked(uint64_t epoch,
+                                            const MetricsSnapshot& metrics) {
+  bool changed = false;
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    const AlertRule& rule = rules_[i];
+    if (rule.kind != AlertKind::kMetric) continue;
+    AlertState& state = states_[i];
+    double value = 0.0;
+    const bool held = LookupMetric(metrics, rule.metric, &value) &&
+                      Compare(value, rule.op, rule.threshold);
+    if (held) {
+      state.last_match_epoch = epoch;
+      state.last_detail =
+          rule.metric + " = " + FormatThreshold(value) + " (" + rule.op +
+          " " + FormatThreshold(rule.threshold) + ")";
+      if (!state.firing) {
+        state.firing = true;
+        state.fired_epoch = epoch;
+        ++state.fire_count;
+        changed = true;
+      }
+    } else if (state.firing &&
+               epoch >= state.last_match_epoch + rule.resolve_after) {
+      state.firing = false;
+      state.resolved_epoch = epoch;
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+std::vector<AlertState> AlertEngine::States() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return states_;
+}
+
+std::vector<std::string> AlertEngine::FiringNames() const {
+  std::vector<std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const AlertState& state : states_) {
+      if (state.firing) names.push_back(state.rule);
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+void AlertEngine::PublishGauges(const std::string& graph) const {
+  auto& registry = MetricsRegistry::Global();
+  int64_t firing = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    registry
+        .GetGauge("pghive.alerts.state." + graph + "." + rules_[i].name)
+        ->Set(states_[i].firing ? 1 : 0);
+    if (states_[i].firing) ++firing;
+  }
+  registry.GetGauge("pghive.alerts.firing." + graph)->Set(firing);
+  registry.GetGauge("pghive.alerts.rules." + graph)
+      ->Set(static_cast<int64_t>(rules_.size()));
+}
+
+JsonValue AlertEngine::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonArray rules;
+  int64_t firing = 0;
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    const AlertRule& rule = rules_[i];
+    const AlertState& state = states_[i];
+    JsonObject entry;
+    entry.emplace("name", rule.name);
+    entry.emplace("kind",
+                  rule.kind == AlertKind::kDrift ? "drift" : "metric");
+    entry.emplace("spec", rule.Spec());
+    entry.emplace("firing", state.firing);
+    entry.emplace("fired_epoch", static_cast<int64_t>(state.fired_epoch));
+    entry.emplace("resolved_epoch",
+                  static_cast<int64_t>(state.resolved_epoch));
+    entry.emplace("fire_count", static_cast<int64_t>(state.fire_count));
+    entry.emplace("last_match_epoch",
+                  static_cast<int64_t>(state.last_match_epoch));
+    entry.emplace("last_detail", state.last_detail);
+    rules.push_back(JsonValue(std::move(entry)));
+    if (state.firing) ++firing;
+  }
+  JsonObject out;
+  out.emplace("firing", firing);
+  out.emplace("rules", JsonValue(std::move(rules)));
+  return JsonValue(std::move(out));
+}
+
+std::string AlertEngine::SerializeState() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonArray states;
+  for (const AlertState& state : states_) {
+    JsonObject entry;
+    entry.emplace("rule", state.rule);
+    entry.emplace("firing", state.firing);
+    entry.emplace("fired_epoch", static_cast<int64_t>(state.fired_epoch));
+    entry.emplace("resolved_epoch",
+                  static_cast<int64_t>(state.resolved_epoch));
+    entry.emplace("fire_count", static_cast<int64_t>(state.fire_count));
+    entry.emplace("last_match_epoch",
+                  static_cast<int64_t>(state.last_match_epoch));
+    entry.emplace("last_detail", state.last_detail);
+    states.push_back(JsonValue(std::move(entry)));
+  }
+  JsonObject out;
+  out.emplace("states", JsonValue(std::move(states)));
+  out.emplace("version", 1);
+  return JsonValue(std::move(out)).Dump();
+}
+
+Status AlertEngine::RestoreState(const std::string& json) {
+  auto doc = ParseJson(json);
+  if (!doc.ok()) return doc.status();
+  const JsonValue& states = (*doc)["states"];
+  if (!states.is_array()) {
+    return Status::ParseError("alert state: missing states array");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const JsonValue& entry : states.AsArray()) {
+    const std::string rule = entry["rule"].AsString();
+    for (size_t i = 0; i < rules_.size(); ++i) {
+      if (rules_[i].name != rule) continue;
+      AlertState& state = states_[i];
+      state.firing = entry["firing"].AsBool();
+      state.fired_epoch =
+          static_cast<uint64_t>(entry["fired_epoch"].AsInt());
+      state.resolved_epoch =
+          static_cast<uint64_t>(entry["resolved_epoch"].AsInt());
+      state.fire_count = static_cast<uint64_t>(entry["fire_count"].AsInt());
+      state.last_match_epoch =
+          static_cast<uint64_t>(entry["last_match_epoch"].AsInt());
+      state.last_detail = entry["last_detail"].AsString();
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace pghive

@@ -1,0 +1,144 @@
+// Declarative alert rules over schema-drift records and metric thresholds.
+//
+// Operators write a small rule file (one rule per line, `#` comments):
+//
+//   # fire when any property of any Person-like type becomes mandatory
+//   alert person_mandatory drift became_mandatory type=Person* resolve_after=2
+//   # fire when a node or edge type disappears from the schema
+//   alert retired drift type_retired
+//   # fire while the ingest queue for graph `pole` is deeper than 32
+//   alert queue_deep metric pghive.serve.queue_depth.pole > 32
+//
+// Drift rules are evaluated at batch boundaries against the SchemaDiff the
+// DriftTracker recorded for that epoch; metric rules are additionally
+// re-evaluated at scrape time against a fresh registry snapshot. Each rule
+// carries firing/resolved state: a drift rule fires on the epoch its event
+// matches and resolves after `resolve_after` consecutive non-matching
+// epochs (default 1); a metric rule fires while its predicate holds.
+//
+// Drift event names: type_added, type_retired, added_property,
+// removed_property, became_mandatory, became_optional, datatype_changed,
+// cardinality_changed. `type=` and `property=` accept `*`/`?` globs and
+// default to `*`. Metric predicates name a registered counter or gauge —
+// or a histogram with a `.count`, `.sum`, `.p50`, `.p95` or `.p99` suffix —
+// with one of `> >= < <= == !=`; an unregistered metric never fires.
+//
+// The engine is thread-safe (one mutex): the serving daemon's writer thread
+// calls ObserveEpoch while HTTP workers snapshot state and re-evaluate
+// metric rules. State round-trips through JSON (SerializeState /
+// RestoreState) so firing alerts survive a daemon restart.
+
+#ifndef PGHIVE_OBS_ALERTS_H_
+#define PGHIVE_OBS_ALERTS_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "core/schema_diff.h"
+#include "obs/metrics.h"
+
+namespace pghive {
+namespace obs {
+
+/// Which side of the system a rule predicates over.
+enum class AlertKind {
+  kDrift,   // SchemaDiff events at batch boundaries
+  kMetric,  // counter/gauge/histogram-stat thresholds
+};
+
+/// One parsed rule line.
+struct AlertRule {
+  std::string name;
+  AlertKind kind = AlertKind::kDrift;
+
+  // Drift rules.
+  std::string event;             // one of the documented event names
+  std::string type_glob = "*";   // matched against the changed type's name
+  std::string property_glob = "*";
+  uint64_t resolve_after = 1;    // consecutive clean epochs before resolving
+
+  // Metric rules.
+  std::string metric;
+  std::string op;                // > >= < <= == !=
+  double threshold = 0.0;
+
+  /// The rule re-rendered in file syntax (docs, /alerts endpoint).
+  std::string Spec() const;
+};
+
+/// Firing/resolved state of one rule.
+struct AlertState {
+  std::string rule;
+  bool firing = false;
+  uint64_t fired_epoch = 0;       // epoch of the most recent fire transition
+  uint64_t resolved_epoch = 0;    // epoch of the most recent resolve
+  uint64_t fire_count = 0;        // total fire transitions
+  uint64_t last_match_epoch = 0;  // epoch the predicate last matched
+  std::string last_detail;        // e.g. "Person: age became mandatory"
+};
+
+/// Glob match with `*` (any run) and `?` (any one char); everything else
+/// literal. Exposed for tests.
+bool GlobMatch(const std::string& pattern, const std::string& text);
+
+/// Parses a rule file body. Errors name the offending line.
+Result<std::vector<AlertRule>> ParseAlertRules(const std::string& text);
+
+/// Reads and parses a rule file from disk.
+Result<std::vector<AlertRule>> LoadAlertRules(const std::string& path);
+
+class AlertEngine {
+ public:
+  explicit AlertEngine(std::vector<AlertRule> rules);
+
+  const std::vector<AlertRule>& rules() const { return rules_; }
+
+  /// Batch-boundary evaluation: drift rules against `diff` (null = nothing
+  /// changed this epoch, which still advances resolve counters) and metric
+  /// rules against `metrics`. Returns true when any rule changed state —
+  /// callers use that to wake long-pollers and persist state.
+  bool ObserveEpoch(uint64_t epoch, const SchemaDiff* diff,
+                    const MetricsSnapshot& metrics);
+
+  /// Scrape-time evaluation of the metric rules only (drift state is owned
+  /// by the batch boundary). Returns true when any rule changed state.
+  bool EvaluateMetricRules(uint64_t epoch, const MetricsSnapshot& metrics);
+
+  /// Current state per rule, in rule order.
+  std::vector<AlertState> States() const;
+
+  /// Names of currently-firing rules, sorted.
+  std::vector<std::string> FiringNames() const;
+
+  /// Publishes `pghive.alerts.*` gauges for this engine's graph:
+  /// alerts.firing.<graph>, alerts.rules.<graph> and a 0/1
+  /// alerts.state.<graph>.<rule> per rule.
+  void PublishGauges(const std::string& graph) const;
+
+  /// {"rules":[{name,kind,spec,firing,...}]} — the /alerts endpoint body.
+  JsonValue ToJson() const;
+
+  /// Persistence: deterministic JSON blob of per-rule state. RestoreState
+  /// matches entries by rule name and ignores rules that no longer exist,
+  /// so the rule file can change between runs.
+  std::string SerializeState() const;
+  Status RestoreState(const std::string& json);
+
+ private:
+  bool EvaluateMetricRulesLocked(uint64_t epoch,
+                                 const MetricsSnapshot& metrics);
+
+  std::vector<AlertRule> rules_;
+  mutable std::mutex mu_;
+  std::vector<AlertState> states_;  // parallel to rules_
+};
+
+}  // namespace obs
+}  // namespace pghive
+
+#endif  // PGHIVE_OBS_ALERTS_H_

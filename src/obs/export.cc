@@ -1,5 +1,9 @@
 #include "obs/export.h"
 
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <map>
 
 #include "common/csv.h"
@@ -10,6 +14,33 @@ namespace obs {
 namespace {
 
 double NsToUs(uint64_t ns) { return static_cast<double>(ns) * 1e-3; }
+
+// Prometheus sample values: integral doubles print without an exponent or
+// fraction (matching how the registry's uint64 counters read), everything
+// else as the shortest decimal that round-trips (so a 1e-06 bucket bound
+// reads "1e-06", not a 17-digit expansion).
+std::string PromValue(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[40];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+void AppendPromSample(std::string* out, const std::string& name,
+                      const std::string& labels, double value) {
+  *out += name;
+  *out += labels;
+  *out += ' ';
+  *out += PromValue(value);
+  *out += '\n';
+}
 
 JsonObject AttrsToJson(
     const std::vector<std::pair<std::string, std::string>>& attrs) {
@@ -104,10 +135,91 @@ std::string SpansToChromeTrace(const std::vector<SpanEvent>& spans) {
   return JsonValue(std::move(events)).Dump();
 }
 
+Result<MetricsFormat> ParseMetricsFormat(const std::string& text) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text) {
+    lower += static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "jsonl") return MetricsFormat::kJsonl;
+  if (lower == "prometheus") return MetricsFormat::kPrometheus;
+  return Status::InvalidArgument("unknown metrics format '" + text +
+                                 "' (expected jsonl or prometheus)");
+}
+
+const char* MetricsFormatContentType(MetricsFormat format) {
+  switch (format) {
+    case MetricsFormat::kPrometheus:
+      return "text/plain; version=0.0.4; charset=utf-8";
+    case MetricsFormat::kJsonl:
+      break;
+  }
+  return "application/x-ndjson; charset=utf-8";
+}
+
+std::string SanitizePrometheusName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char c : name) {
+    const bool valid = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += valid ? c : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string MetricsToPrometheus(const MetricsSnapshot& metrics) {
+  std::string out;
+  for (const auto& [name, value] : metrics.counters) {
+    // The _total suffix is the exposition-format convention for counters;
+    // the sanitized registry name is the family stem.
+    const std::string prom = SanitizePrometheusName(name) + "_total";
+    out += "# TYPE " + prom + " counter\n";
+    AppendPromSample(&out, prom, "", static_cast<double>(value));
+  }
+  for (const auto& [name, value] : metrics.gauges) {
+    const std::string prom = SanitizePrometheusName(name);
+    out += "# TYPE " + prom + " gauge\n";
+    AppendPromSample(&out, prom, "", static_cast<double>(value));
+  }
+  for (const auto& [name, h] : metrics.histograms) {
+    const std::string prom = SanitizePrometheusName(name);
+    out += "# TYPE " + prom + " histogram\n";
+    // Registry buckets are per-bucket counts; Prometheus buckets are
+    // cumulative ("everything <= le"), ending with the +Inf catch-all that
+    // must equal _count.
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += h.buckets[i];
+      AppendPromSample(&out, prom + "_bucket",
+                       "{le=\"" + PromValue(h.bounds[i]) + "\"}",
+                       static_cast<double>(cumulative));
+    }
+    AppendPromSample(&out, prom + "_bucket", "{le=\"+Inf\"}",
+                     static_cast<double>(h.count));
+    AppendPromSample(&out, prom + "_sum", "", h.sum);
+    AppendPromSample(&out, prom + "_count", "",
+                     static_cast<double>(h.count));
+  }
+  return out;
+}
+
 Status WriteMetricsJsonl(const std::string& path) {
   return WriteFile(path,
                    MetricsToJsonl(MetricsRegistry::Global().Snapshot(),
                                   Tracer::Global().CollectSpans()));
+}
+
+Status WriteMetricsFile(const std::string& path, MetricsFormat format) {
+  if (format == MetricsFormat::kPrometheus) {
+    return WriteFile(path,
+                     MetricsToPrometheus(MetricsRegistry::Global().Snapshot()));
+  }
+  return WriteMetricsJsonl(path);
 }
 
 Status WriteChromeTrace(const std::string& path) {

@@ -11,6 +11,13 @@
 //  * Chrome trace-event JSON — an array of complete ("ph":"X") duration
 //    events, loadable in chrome://tracing or https://ui.perfetto.dev
 //    (--trace-out).
+//
+//  * Prometheus text exposition (version 0.0.4) — counters, gauges and
+//    histograms with CUMULATIVE `le` buckets, names sanitized to the
+//    Prometheus charset (dots become underscores). Spans have no exposition
+//    equivalent and are omitted. Selected with --metrics-format=prometheus
+//    or `GET /metrics?format=prometheus`; JSONL stays the default and is
+//    byte-compatible with every earlier release.
 
 #ifndef PGHIVE_OBS_EXPORT_H_
 #define PGHIVE_OBS_EXPORT_H_
@@ -19,6 +26,7 @@
 #include <vector>
 
 #include "common/json.h"
+#include "common/result.h"
 #include "common/status.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -41,8 +49,39 @@ std::string MetricsToJsonl(const MetricsSnapshot& metrics,
 /// Renders spans as a Chrome trace-event JSON array of "ph":"X" events.
 std::string SpansToChromeTrace(const std::vector<SpanEvent>& spans);
 
+/// Wire format for a metrics dump. kJsonl is the default everywhere a
+/// format is optional.
+enum class MetricsFormat {
+  kJsonl,
+  kPrometheus,
+};
+
+/// Parses "jsonl" / "prometheus" (ASCII case-insensitive). Errors on
+/// anything else, naming the offending value.
+Result<MetricsFormat> ParseMetricsFormat(const std::string& text);
+
+/// MIME type for HTTP responses carrying the format. Prometheus requires
+/// `text/plain; version=0.0.4`; JSONL is newline-delimited JSON.
+const char* MetricsFormatContentType(MetricsFormat format);
+
+/// Maps a registry metric name onto the Prometheus name charset
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`: every invalid byte becomes '_' and a
+/// leading digit gets a '_' prefix. Empty input becomes "_".
+std::string SanitizePrometheusName(const std::string& name);
+
+/// Renders a metrics snapshot as Prometheus text exposition format 0.0.4:
+/// `# TYPE` comment per family, counters as `<name>_total`, gauges bare,
+/// histograms as cumulative `<name>_bucket{le="..."}` series (always ending
+/// in le="+Inf") plus `<name>_sum` / `<name>_count`. Deterministic given
+/// the (name-sorted) snapshot.
+std::string MetricsToPrometheus(const MetricsSnapshot& metrics);
+
 /// Snapshot the global registry + tracer and write the JSONL file.
 Status WriteMetricsJsonl(const std::string& path);
+
+/// Snapshot the global registry (+ tracer for JSONL) and write `path` in
+/// the requested format.
+Status WriteMetricsFile(const std::string& path, MetricsFormat format);
 
 /// Collect the global tracer's spans and write the Chrome trace file.
 Status WriteChromeTrace(const std::string& path);

@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cassert>
 #include <limits>
 
 namespace pghive {
@@ -127,12 +128,30 @@ const std::vector<double>& DefaultLatencyBoundsSeconds() {
   return kBounds;
 }
 
+bool MetricNameFollowsConvention(const std::string& name) {
+  static const char* kPrefix = "pghive.";
+  if (name.compare(0, 7, kPrefix) != 0) return true;  // tests, embedders
+  static const char* kLayers[] = {"runtime", "pipeline", "incremental",
+                                  "aggregates", "store", "cli",
+                                  "serve", "drift", "graph", "alerts"};
+  const size_t layer_end = name.find('.', 7);
+  if (layer_end == std::string::npos || layer_end + 1 >= name.size()) {
+    return false;
+  }
+  const std::string layer = name.substr(7, layer_end - 7);
+  for (const char* known : kLayers) {
+    if (layer == known) return true;
+  }
+  return false;
+}
+
 MetricsRegistry& MetricsRegistry::Global() {
   static MetricsRegistry* registry = new MetricsRegistry();
   return *registry;
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  assert(MetricNameFollowsConvention(name) && "metric name breaks pghive.<layer>.<name> convention");
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
@@ -140,6 +159,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name) {
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  assert(MetricNameFollowsConvention(name) && "metric name breaks pghive.<layer>.<name> convention");
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
@@ -148,6 +168,7 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name) {
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          const std::vector<double>& bounds) {
+  assert(MetricNameFollowsConvention(name) && "metric name breaks pghive.<layer>.<name> convention");
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = histograms_[name];
   if (!slot) {

@@ -7,9 +7,13 @@
 // stable pointers, so call sites cache them in a function-local static and
 // pay one relaxed atomic add per update.
 //
-// Naming convention (enforced by review, not code): `pghive.<layer>.<name>`
-// with `<layer>` in {runtime, pipeline, incremental, store, cli} and
-// seconds/bytes suffixes spelled out (`fsync_seconds`, `journal_bytes`).
+// Naming convention: `pghive.<layer>.<name>` with `<layer>` in {runtime,
+// pipeline, incremental, aggregates, store, cli, serve, drift, graph,
+// alerts}, seconds/bytes suffixes spelled out (`fsync_seconds`,
+// `journal_bytes`), and optional instance suffixes after the base name
+// (`pghive.serve.queue_depth.<graph>`). Debug builds assert the convention
+// at registration (MetricNameFollowsConvention); names outside the
+// `pghive.` prefix (tests, embedders) are exempt.
 //
 // MetricsEnabled() gates only the instruments whose *measurement* costs
 // something (clock reads around task execution, fsync latency); plain
@@ -148,6 +152,12 @@ class Histogram {
 /// 1-2-5 decades from 1us to 10s — the default for latency-in-seconds
 /// histograms (task execution, fsync).
 const std::vector<double>& DefaultLatencyBoundsSeconds();
+
+/// True when `name` follows the registry convention above: either it does
+/// not claim the `pghive.` prefix at all, or it is
+/// `pghive.<known-layer>.<non-empty rest>`. Debug builds assert this on
+/// every registration so a typo'd layer never ships silently.
+bool MetricNameFollowsConvention(const std::string& name);
 
 /// Everything the registry holds, merged, name-sorted (deterministic).
 struct MetricsSnapshot {

@@ -130,6 +130,23 @@ void ScopedSpan::End() {
   }
 }
 
+void EmitSpan(const char* name, uint64_t start_ns, uint64_t dur_ns,
+              std::vector<std::pair<std::string, std::string>> attrs) {
+  if (!TraceEnabled()) return;
+  SpanEvent event;
+  event.name = name;
+  event.id = Tracer::Global().NextSpanId();
+  event.parent = tls_current_span;
+  event.depth = tls_current_span != 0 ? tls_depth : 0;
+  event.start_ns = start_ns;
+  event.dur_ns = dur_ns;
+  event.attrs = std::move(attrs);
+  auto& buffer = ThisThreadBuffer();
+  event.thread = buffer->thread_index;
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  buffer->events.push_back(std::move(event));
+}
+
 void ScopedSpan::AddAttr(const char* key, std::string value) {
   if (!recording_) return;
   attrs_.emplace_back(key, std::move(value));

@@ -133,6 +133,15 @@ class ScopedSpan {
 /// Nanoseconds since the tracer epoch (monotonic).
 uint64_t TraceNowNs();
 
+/// Records one already-measured span with explicit timestamps. This is the
+/// escape hatch for durations that cross threads — e.g. the serving daemon's
+/// queue-wait, whose start is stamped by the HTTP worker that enqueued the
+/// batch and whose end happens on the writer thread. The span lands in the
+/// CALLING thread's buffer, parented to the caller's innermost open
+/// recording span. No-op when tracing is disabled.
+void EmitSpan(const char* name, uint64_t start_ns, uint64_t dur_ns,
+              std::vector<std::pair<std::string, std::string>> attrs = {});
+
 }  // namespace obs
 }  // namespace pghive
 

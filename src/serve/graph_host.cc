@@ -2,9 +2,13 @@
 
 #include <utility>
 
+#include "common/csv.h"
 #include "common/json.h"
+#include "common/logging.h"
 #include "core/schema_json.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
+#include "store/fs_util.h"
 
 namespace pghive {
 namespace serve {
@@ -29,6 +33,10 @@ obs::Counter* EpochsCounter() {
   return c;
 }
 
+std::string AlertStatePath(const std::string& state_dir) {
+  return state_dir + "/alerts-state.json";
+}
+
 }  // namespace
 
 GraphHost::GraphHost(std::string name, std::string state_dir,
@@ -48,6 +56,18 @@ Result<std::unique_ptr<GraphHost>> GraphHost::Open(const std::string& name,
       host->store_,
       store::DurableDiscoverer::OpenOrRecover(state_dir, host->options_.store));
   host->next_batch_id_ = host->store_->batches_applied() + 1;
+  if (!host->options_.alert_rules_path.empty()) {
+    PGHIVE_ASSIGN_OR_RETURN(
+        std::vector<obs::AlertRule> rules,
+        obs::LoadAlertRules(host->options_.alert_rules_path));
+    host->alerts_ = std::make_unique<obs::AlertEngine>(std::move(rules));
+    // A missing state file is a fresh start, not an error; a corrupt one is.
+    Result<std::string> state = ReadFile(AlertStatePath(state_dir));
+    if (state.ok()) {
+      PGHIVE_RETURN_NOT_OK(host->alerts_->RestoreState(*state));
+    }
+    host->alerts_->PublishGauges(host->name_);
+  }
   // Publish the recovered (or empty) state before any reader or writer can
   // run: Current() is total from the first instant.
   host->PublishSnapshot();
@@ -57,8 +77,15 @@ Result<std::unique_ptr<GraphHost>> GraphHost::Open(const std::string& name,
 
 GraphHost::~GraphHost() { Drain(); }
 
-GraphHost::SubmitResult GraphHost::Submit(store::BatchPayload batch) {
+GraphHost::SubmitResult GraphHost::Submit(store::BatchPayload batch,
+                                          std::string trace_id) {
   SubmitResult result;
+  QueuedBatch entry;
+  entry.payload = std::move(batch);
+  entry.trace_id = std::move(trace_id);
+  // Stamped before admission so the queue-wait span includes lock time.
+  // Clock read only when tracing — the enqueue path stays free otherwise.
+  entry.enqueue_ns = obs::TraceEnabled() ? obs::TraceNowNs() : 0;
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     result.queue_depth = queue_.size();
@@ -69,7 +96,7 @@ GraphHost::SubmitResult GraphHost::Submit(store::BatchPayload batch) {
     } else if (queue_.size() >= options_.queue_capacity) {
       result.admission = Admission::kQueueFull;
     } else {
-      queue_.push_back(std::move(batch));
+      queue_.push_back(std::move(entry));
       result.admission = Admission::kAccepted;
       result.batch_id = next_batch_id_++;
       result.queue_depth = queue_.size();
@@ -152,7 +179,7 @@ Status GraphHost::Drain() {
 
 void GraphHost::WriterLoop() {
   for (;;) {
-    store::BatchPayload batch;
+    QueuedBatch batch;
     {
       std::unique_lock<std::mutex> lock(queue_mu_);
       queue_cv_.wait(lock, [this] {
@@ -170,7 +197,27 @@ void GraphHost::WriterLoop() {
       queue_.pop_front();
       queue_depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
     }
-    const Status status = store_->Feed(batch);
+    if (obs::TraceEnabled() && batch.enqueue_ns != 0) {
+      // The cross-thread leg of the request: enqueue stamped by the HTTP
+      // worker, dequeue on this thread. EmitSpan lands it in this thread's
+      // buffer, joined back to the request by the trace attribute.
+      const uint64_t now = obs::TraceNowNs();
+      obs::EmitSpan(
+          "serve.queue_wait", batch.enqueue_ns,
+          now > batch.enqueue_ns ? now - batch.enqueue_ns : 0,
+          {{"graph", name_}, {"trace", batch.trace_id}});
+    }
+    Status status;
+    {
+      obs::ScopedSpan apply_span("serve.apply");
+      if (apply_span.recording()) {
+        apply_span.AddAttr("graph", name_);
+        apply_span.AddAttr("trace", batch.trace_id);
+      }
+      // store.feed (journal + apply children) nests under serve.apply via
+      // the writer thread's span stack.
+      status = store_->Feed(batch.payload);
+    }
     if (!status.ok()) {
       std::lock_guard<std::mutex> lock(queue_mu_);
       writer_status_ = status;
@@ -178,11 +225,43 @@ void GraphHost::WriterLoop() {
       queue_depth_gauge_->Set(0);
       return;
     }
+    EvaluateAlerts(store_->batches_applied());
     PublishSnapshot();
   }
 }
 
+void GraphHost::EvaluateAlerts(uint64_t epoch) {
+  if (alerts_ == nullptr) return;
+  // The tracker records an entry for `epoch` only when its diff was
+  // non-empty; a clean epoch still advances drift-rule resolve counters.
+  const SchemaDiff* diff = nullptr;
+  if (options_.store.track_drift) {
+    const auto& history = store_->drift_tracker().history();
+    if (!history.empty() && history.back().epoch == epoch) {
+      diff = &history.back().diff;
+    }
+  }
+  const bool changed = alerts_->ObserveEpoch(
+      epoch, diff, obs::MetricsRegistry::Global().Snapshot());
+  alerts_->PublishGauges(name_);
+  if (changed) {
+    const Status persisted = store::AtomicWriteFile(
+        AlertStatePath(state_dir_), alerts_->SerializeState());
+    if (!persisted.ok()) {
+      PGHIVE_LOG(kWarning) << "graph " << name_
+                        << ": alert state not persisted: "
+                        << persisted.ToString();
+    }
+    for (const std::string& rule : alerts_->FiringNames()) {
+      PGHIVE_LOG(kInfo) << "graph " << name_ << " epoch " << epoch
+                        << ": alert firing: " << rule;
+    }
+  }
+}
+
 void GraphHost::PublishSnapshot() {
+  obs::ScopedSpan span("serve.snapshot_publish");
+  if (span.recording()) span.AddAttr("graph", name_);
   auto snap = std::make_shared<EpochSnapshot>();
   snap->epoch = store_->batches_applied();
   snap->schema_json = SchemaToJson(store_->PostProcessedSchema());
@@ -191,6 +270,8 @@ void GraphHost::PublishSnapshot() {
   snap->edge_types = schema.edge_types.size();
   snap->graph_nodes = store_->graph().num_nodes();
   snap->graph_edges = store_->graph().num_edges();
+  snap->batches_since_checkpoint = store_->batches_since_checkpoint();
+  if (alerts_ != nullptr) snap->alerts_firing = alerts_->FiringNames();
   if (options_.store.track_drift) {
     snap->drift =
         std::make_shared<const drift::DriftTracker>(store_->drift_tracker());

@@ -38,6 +38,7 @@
 #include <thread>
 
 #include "drift/drift_tracker.h"
+#include "obs/alerts.h"
 #include "obs/metrics.h"
 #include "store/state_store.h"
 
@@ -55,6 +56,14 @@ struct EpochSnapshot {
   size_t graph_nodes = 0;    // accumulated graph size at this epoch
   size_t graph_edges = 0;
   std::string diagnostics_json;  // compact JSON: last-batch pipeline stats
+  /// Batches applied since the store's last checkpoint (the "checkpoint
+  /// age" /readyz reports).
+  uint64_t batches_since_checkpoint = 0;
+  /// Names of alert rules firing as of this epoch, sorted; empty when the
+  /// host runs without an alert-rule file. Snapshotting them here lets
+  /// /drift?wait=1 long-pollers learn about fired rules from the same
+  /// publish that woke them.
+  std::vector<std::string> alerts_firing;
   /// Drift state frozen at this epoch (copy of the store's tracker; null
   /// when the store runs with drift tracking off). Immutable like the rest
   /// of the snapshot — the /drift endpoint renders it with any `since`.
@@ -67,6 +76,11 @@ struct GraphHostOptions {
   size_t queue_capacity = 64;
   /// Recent epochs kept addressable via AtEpoch() beyond the current one.
   size_t retain_epochs = 8;
+  /// Alert-rule file (obs/alerts.h grammar); empty = no alert engine.
+  /// Rules are evaluated on the writer thread at every batch boundary, and
+  /// firing state is persisted in `<state_dir>/alerts-state.json` so a
+  /// restart resumes mid-incident instead of silently resolving.
+  std::string alert_rules_path;
 };
 
 class GraphHost {
@@ -99,8 +113,13 @@ class GraphHost {
   const std::string& graph_name() const { return name_; }
   const std::string& state_dir() const { return state_dir_; }
 
-  /// Non-blocking admission into the writer queue.
-  SubmitResult Submit(store::BatchPayload batch);
+  /// Non-blocking admission into the writer queue. `trace_id` (optional)
+  /// travels with the batch so the writer thread's queue-wait/apply spans
+  /// can be joined to the HTTP request that enqueued it.
+  SubmitResult Submit(store::BatchPayload batch, std::string trace_id = {});
+
+  /// The alert engine, or null when no rule file is configured.
+  obs::AlertEngine* alerts() const { return alerts_.get(); }
 
   /// The newest published snapshot. Never null after Open().
   std::shared_ptr<const EpochSnapshot> Current() const;
@@ -137,9 +156,21 @@ class GraphHost {
  private:
   GraphHost(std::string name, std::string state_dir, GraphHostOptions options);
 
+  /// A queued batch plus the request context that submitted it: the trace
+  /// id for cross-thread span stitching and the enqueue timestamp the
+  /// writer turns into a serve.queue_wait span.
+  struct QueuedBatch {
+    store::BatchPayload payload;
+    std::string trace_id;
+    uint64_t enqueue_ns = 0;
+  };
+
   void WriterLoop();
   /// Renders and publishes the store's current state as a new snapshot.
   void PublishSnapshot();
+  /// Writer-thread-only: runs drift + metric alert rules against the epoch
+  /// just applied and persists state on any transition.
+  void EvaluateAlerts(uint64_t epoch);
 
   const std::string name_;
   const std::string state_dir_;
@@ -147,10 +178,11 @@ class GraphHost {
   std::unique_ptr<store::DurableDiscoverer> store_;  // writer thread only
                                                      // (after Open publishes
                                                      // the initial epoch)
+  std::unique_ptr<obs::AlertEngine> alerts_;  // engine itself is thread-safe
 
   mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;
-  std::deque<store::BatchPayload> queue_;
+  std::deque<QueuedBatch> queue_;
   bool stopping_ = false;
   bool paused_ = false;
   Status writer_status_;          // guarded by queue_mu_

@@ -4,18 +4,23 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
+#include <cstdio>
 #include <cstdlib>
+#include <random>
 #include <utility>
 #include <vector>
 
 #include <chrono>
 
 #include "common/json.h"
+#include "common/logging.h"
 #include "common/timer.h"
 #include "drift/drift_tracker.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/wire.h"
 
 namespace pghive {
@@ -75,6 +80,53 @@ obs::Counter* RequestsCounter() {
   return c;
 }
 
+/// Static route label for the per-route latency histogram: bounded
+/// cardinality (no graph names, no raw paths).
+const char* RouteLabel(const HttpRequest& request,
+                       const std::vector<std::string>& seg) {
+  if (request.path == "/healthz") return "healthz";
+  if (request.path == "/readyz") return "readyz";
+  if (request.path == "/metrics") return "metrics";
+  if (seg.size() >= 2 && seg[0] == "v1" && seg[1] == "graphs") {
+    if (seg.size() == 2) return "graphs_list";
+    if (seg.size() == 3) return "graph_detail";
+    if (seg.size() == 4 && seg[3] == "schema") return "schema";
+    if (seg.size() == 4 && seg[3] == "drift") return "drift";
+    if (seg.size() == 4 && seg[3] == "alerts") return "alerts";
+    if (seg.size() == 4 && seg[3] == "batches") return "batches";
+  }
+  return "other";
+}
+
+obs::Histogram* RouteLatency(const char* route) {
+  return obs::MetricsRegistry::Global().GetHistogram(
+      std::string("pghive.serve.route_seconds.") + route);
+}
+
+/// 16-hex-digit trace id: process-startup entropy mixed with a sequence
+/// counter — unique within and across daemon restarts, no clock reads.
+std::string NextTraceId() {
+  static const uint64_t seed = [] {
+    std::random_device rd;
+    return (static_cast<uint64_t>(rd()) << 32) ^ rd();
+  }();
+  static std::atomic<uint64_t> sequence{1};
+  const uint64_t id =
+      seed ^ (sequence.fetch_add(1, std::memory_order_relaxed) *
+              0x9e3779b97f4a7c15ull);
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+/// Microseconds since the Unix epoch (access-log timestamps).
+int64_t WallClockMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
 
 SchemaServer::SchemaServer(ServeOptions options)
@@ -103,6 +155,14 @@ Status SchemaServer::AddGraph(const std::string& name,
 
 Status SchemaServer::Start() {
   if (started_) return Status::FailedPrecondition("server already started");
+  if (!options_.access_log_path.empty()) {
+    access_log_.open(options_.access_log_path,
+                     std::ios::out | std::ios::app);
+    if (!access_log_.is_open()) {
+      return Status::IoError("cannot open access log '" +
+                             options_.access_log_path + "'");
+    }
+  }
   if (::pipe(stop_pipe_) != 0) {
     return Status::IoError("cannot create stop pipe");
   }
@@ -234,55 +294,161 @@ void SchemaServer::ServeConnection(int fd) {
 HttpResponse SchemaServer::Route(const HttpRequest& request) {
   const Timer timer;
   const bool is_ingest = request.method == "POST";
-  HttpResponse response;
   const std::vector<std::string> seg = PathSegments(request.path);
-  if (request.path == "/healthz") {
-    if (request.method != "GET") {
-      response = ErrorResponse(405, "method not allowed");
-    } else {
-      JsonObject doc;
-      doc["status"] = "ok";
-      response = JsonResponse(200, JsonValue(std::move(doc)));
+  const char* route = RouteLabel(request, seg);
+  const std::string graph =
+      seg.size() >= 3 && seg[0] == "v1" && seg[1] == "graphs" ? seg[2] : "";
+
+  // Honor an inbound trace id; mint one only when something will use it
+  // (tracing or the access log), so the plain read path stays untouched.
+  std::string trace_id;
+  const auto inbound = request.headers.find("x-pghive-trace-id");
+  if (inbound != request.headers.end()) {
+    trace_id = inbound->second;
+  } else if (obs::TraceEnabled() || access_log_.is_open()) {
+    trace_id = NextTraceId();
+  }
+
+  HttpResponse response;
+  {
+    obs::ScopedSpan span("serve.request");
+    if (span.recording()) {
+      span.AddAttr("method", request.method);
+      span.AddAttr("route", std::string(route));
+      span.AddAttr("trace", trace_id);
     }
-  } else if (request.path == "/metrics") {
-    response = request.method == "GET"
-                   ? HandleMetrics()
-                   : ErrorResponse(405, "method not allowed");
-  } else if (seg.size() >= 2 && seg[0] == "v1" && seg[1] == "graphs") {
-    if (seg.size() == 2) {
+    if (request.path == "/healthz") {
+      if (request.method != "GET") {
+        response = ErrorResponse(405, "method not allowed");
+      } else {
+        JsonObject doc;
+        doc["status"] = "ok";
+        response = JsonResponse(200, JsonValue(std::move(doc)));
+      }
+    } else if (request.path == "/readyz") {
       response = request.method == "GET"
-                     ? HandleListGraphs()
+                     ? HandleReady()
                      : ErrorResponse(405, "method not allowed");
-    } else {
-      GraphHost* host = FindGraph(seg[2]);
-      if (host == nullptr) {
-        response = ErrorResponse(404, "unknown graph '" + seg[2] + "'");
-      } else if (seg.size() == 3) {
+    } else if (request.path == "/metrics") {
+      response = request.method == "GET"
+                     ? HandleMetrics(request.query)
+                     : ErrorResponse(405, "method not allowed");
+    } else if (seg.size() >= 2 && seg[0] == "v1" && seg[1] == "graphs") {
+      if (seg.size() == 2) {
         response = request.method == "GET"
-                       ? HandleGraphDetail(*host)
-                       : ErrorResponse(405, "method not allowed");
-      } else if (seg.size() == 4 && seg[3] == "schema") {
-        response = request.method == "GET"
-                       ? HandleSchema(*host, request.query)
-                       : ErrorResponse(405, "method not allowed");
-      } else if (seg.size() == 4 && seg[3] == "drift") {
-        response = request.method == "GET"
-                       ? HandleDrift(*host, request.query)
-                       : ErrorResponse(405, "method not allowed");
-      } else if (seg.size() == 4 && seg[3] == "batches") {
-        response = request.method == "POST"
-                       ? HandleIngest(host, request)
+                       ? HandleListGraphs()
                        : ErrorResponse(405, "method not allowed");
       } else {
-        response = ErrorResponse(404, "no route for " + request.path);
+        GraphHost* host = FindGraph(seg[2]);
+        if (host == nullptr) {
+          response = ErrorResponse(404, "unknown graph '" + seg[2] + "'");
+        } else if (seg.size() == 3) {
+          response = request.method == "GET"
+                         ? HandleGraphDetail(*host)
+                         : ErrorResponse(405, "method not allowed");
+        } else if (seg.size() == 4 && seg[3] == "schema") {
+          response = request.method == "GET"
+                         ? HandleSchema(*host, request.query)
+                         : ErrorResponse(405, "method not allowed");
+        } else if (seg.size() == 4 && seg[3] == "drift") {
+          response = request.method == "GET"
+                         ? HandleDrift(*host, request.query)
+                         : ErrorResponse(405, "method not allowed");
+        } else if (seg.size() == 4 && seg[3] == "alerts") {
+          response = request.method == "GET"
+                         ? HandleAlerts(*host)
+                         : ErrorResponse(405, "method not allowed");
+        } else if (seg.size() == 4 && seg[3] == "batches") {
+          response = request.method == "POST"
+                         ? HandleIngest(host, request, trace_id)
+                         : ErrorResponse(405, "method not allowed");
+        } else {
+          response = ErrorResponse(404, "no route for " + request.path);
+        }
       }
+    } else {
+      response = ErrorResponse(404, "no route for " + request.path);
     }
-  } else {
-    response = ErrorResponse(404, "no route for " + request.path);
+    if (span.recording()) {
+      span.AddAttr("status", static_cast<uint64_t>(response.status));
+    }
   }
-  (is_ingest ? IngestLatency() : ReadLatency())
-      ->Observe(timer.ElapsedSeconds());
+  const double seconds = timer.ElapsedSeconds();
+  (is_ingest ? IngestLatency() : ReadLatency())->Observe(seconds);
+  RouteLatency(route)->Observe(seconds);
+  if (!is_ingest && !graph.empty() && FindGraph(graph) != nullptr) {
+    obs::MetricsRegistry::Global()
+        .GetHistogram("pghive.serve.graph_read_seconds." + graph)
+        ->Observe(seconds);
+  }
+  if (!trace_id.empty()) {
+    response.headers["x-pghive-trace-id"] = trace_id;
+  }
+  if (access_log_.is_open() || GetLogLevel() <= LogLevel::kDebug) {
+    LogAccess(request, response, trace_id, graph, seconds);
+  }
   return response;
+}
+
+HttpResponse SchemaServer::HandleReady() const {
+  JsonArray graphs;
+  bool ready = true;
+  for (const auto& [name, host] : hosts_) {
+    const std::shared_ptr<const EpochSnapshot> snap = host->Current();
+    const Status writer = host->writer_status();
+    const size_t depth = host->queue_depth();
+    const size_t capacity = options_.graph.queue_capacity;
+    const bool saturated = depth >= capacity;
+    if (!writer.ok() || saturated) ready = false;
+    JsonObject g;
+    g["name"] = name;
+    g["epoch"] = static_cast<int64_t>(snap->epoch);
+    g["writer_ok"] = writer.ok();
+    if (!writer.ok()) g["writer_error"] = writer.ToString();
+    g["queue_depth"] = depth;
+    g["queue_capacity"] = capacity;
+    g["saturated"] = saturated;
+    g["batches_since_checkpoint"] =
+        static_cast<int64_t>(snap->batches_since_checkpoint);
+    graphs.emplace_back(std::move(g));
+  }
+  JsonObject doc;
+  doc["status"] = ready ? "ready" : "unready";
+  doc["graphs"] = std::move(graphs);
+  return JsonResponse(ready ? 200 : 503, JsonValue(std::move(doc)));
+}
+
+HttpResponse SchemaServer::HandleAlerts(const GraphHost& host) const {
+  const obs::AlertEngine* alerts = host.alerts();
+  if (alerts == nullptr) {
+    return ErrorResponse(404, "graph '" + host.graph_name() +
+                                  "' runs without --alert-rules");
+  }
+  HttpResponse resp = JsonResponse(200, alerts->ToJson());
+  resp.headers["x-pghive-epoch"] =
+      std::to_string(host.Current()->epoch);
+  return resp;
+}
+
+void SchemaServer::LogAccess(const HttpRequest& request,
+                             const HttpResponse& response,
+                             const std::string& trace_id,
+                             const std::string& graph, double seconds) {
+  JsonObject record;
+  record["ts_us"] = WallClockMicros();
+  record["method"] = request.method;
+  record["path"] = request.path;
+  record["status"] = response.status;
+  record["seconds"] = seconds;
+  if (!trace_id.empty()) record["trace"] = trace_id;
+  if (!graph.empty()) record["graph"] = graph;
+  const std::string line = JsonValue(std::move(record)).Dump();
+  PGHIVE_LOG(kDebug) << "access " << line;
+  if (access_log_.is_open()) {
+    std::lock_guard<std::mutex> lock(access_log_mu_);
+    access_log_ << line << '\n';
+    access_log_.flush();
+  }
 }
 
 HttpResponse SchemaServer::HandleListGraphs() const {
@@ -373,27 +539,45 @@ HttpResponse SchemaServer::HandleDrift(
     return ErrorResponse(404, "graph '" + host.graph_name() +
                                   "' runs with drift tracking off");
   }
-  HttpResponse resp =
-      JsonResponse(200, drift::DriftToJson(*snap->drift, since));
+  JsonValue body = drift::DriftToJson(*snap->drift, since);
+  if (host.alerts() != nullptr) {
+    // Only with an alert engine configured: the rule-free body stays
+    // byte-identical to `pghive drift` output.
+    JsonArray firing;
+    for (const std::string& rule : snap->alerts_firing) {
+      firing.emplace_back(rule);
+    }
+    body.MutableObject()["alerts_firing"] = std::move(firing);
+  }
+  HttpResponse resp = JsonResponse(200, body);
   resp.headers["x-pghive-epoch"] = std::to_string(snap->epoch);
   return resp;
 }
 
 HttpResponse SchemaServer::HandleIngest(GraphHost* host,
-                                        const HttpRequest& request) {
+                                        const HttpRequest& request,
+                                        const std::string& trace_id) {
   {
     std::lock_guard<std::mutex> lock(conn_mu_);
     if (stopping_) return ErrorResponse(503, "server is draining");
   }
-  Result<JsonValue> doc = ParseJson(request.body);
-  if (!doc.ok()) {
-    return ErrorResponse(400, "invalid JSON body: " + doc.status().message());
-  }
-  Result<store::BatchPayload> batch = BatchFromJson(*doc);
+  Result<store::BatchPayload> batch = [&]() -> Result<store::BatchPayload> {
+    obs::ScopedSpan parse_span("serve.parse");
+    if (parse_span.recording()) {
+      parse_span.AddAttr("bytes", static_cast<uint64_t>(request.body.size()));
+    }
+    Result<JsonValue> doc = ParseJson(request.body);
+    if (!doc.ok()) {
+      return Status::ParseError("invalid JSON body: " +
+                                doc.status().message());
+    }
+    return BatchFromJson(*doc);
+  }();
   if (!batch.ok()) {
     return ErrorResponse(400, batch.status().message());
   }
-  const GraphHost::SubmitResult submitted = host->Submit(std::move(*batch));
+  const GraphHost::SubmitResult submitted =
+      host->Submit(std::move(*batch), trace_id);
   switch (submitted.admission) {
     case GraphHost::Admission::kAccepted: {
       JsonObject out;
@@ -419,12 +603,33 @@ HttpResponse SchemaServer::HandleIngest(GraphHost* host,
   return ErrorResponse(500, "unreachable");
 }
 
-HttpResponse SchemaServer::HandleMetrics() const {
+HttpResponse SchemaServer::HandleMetrics(
+    const std::map<std::string, std::string>& query) const {
+  obs::MetricsFormat format = options_.metrics_format;
+  const auto it = query.find("format");
+  if (it != query.end()) {
+    Result<obs::MetricsFormat> parsed = obs::ParseMetricsFormat(it->second);
+    if (!parsed.ok()) return ErrorResponse(400, parsed.status().message());
+    format = *parsed;
+  }
+  // Scrape-time pass over metric alert rules, so thresholds on gauges that
+  // only move between batches (queue depth under a stalled writer) fire
+  // without waiting for the next epoch; the freshest gauges land in the
+  // same scrape.
+  for (const auto& [name, host] : hosts_) {
+    obs::AlertEngine* alerts = host->alerts();
+    if (alerts == nullptr) continue;
+    alerts->EvaluateMetricRules(host->current_epoch(),
+                                obs::MetricsRegistry::Global().Snapshot());
+    alerts->PublishGauges(name);
+  }
   HttpResponse resp;
   resp.status = 200;
-  resp.headers["content-type"] = "text/plain; charset=utf-8";
+  resp.headers["content-type"] = obs::MetricsFormatContentType(format);
   resp.body =
-      obs::MetricsToJsonl(obs::MetricsRegistry::Global().Snapshot(), {});
+      format == obs::MetricsFormat::kPrometheus
+          ? obs::MetricsToPrometheus(obs::MetricsRegistry::Global().Snapshot())
+          : obs::MetricsToJsonl(obs::MetricsRegistry::Global().Snapshot(), {});
   return resp;
 }
 

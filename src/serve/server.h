@@ -4,8 +4,20 @@
 // Endpoints (JSON unless noted):
 //
 //   GET  /healthz                      liveness: {"status":"ok"}
-//   GET  /metrics                      registry snapshot as JSONL
-//                                      (text/plain; the --metrics-out schema)
+//   GET  /readyz                       readiness: 200 when every graph's
+//                                      writer is healthy and its ingest
+//                                      queue below capacity, 503 otherwise;
+//                                      body lists per-graph writer_ok /
+//                                      queue depth + capacity / saturation /
+//                                      batches_since_checkpoint
+//   GET  /metrics                      registry snapshot. ?format=jsonl
+//                                      (default; application/x-ndjson, the
+//                                      --metrics-out schema) or
+//                                      ?format=prometheus (text/plain;
+//                                      version=0.0.4 exposition). The
+//                                      default is settable per daemon via
+//                                      --metrics-format. Metric alert rules
+//                                      are re-evaluated at scrape time.
 //   GET  /v1/graphs                    every graph's name + current epoch
 //   GET  /v1/graphs/{g}                one graph: epoch, type/graph counts,
 //                                      queue depth, last-batch diagnostics
@@ -24,7 +36,15 @@
 //                                      timeout elapses — poll again). The
 //                                      served epoch is echoed in
 //                                      `x-pghive-epoch`; 404 when the store
-//                                      runs with drift tracking off
+//                                      runs with drift tracking off. With
+//                                      alert rules configured the body
+//                                      gains "alerts_firing" (rule names at
+//                                      the served epoch), so a woken
+//                                      long-poller learns about fired rules
+//   GET  /v1/graphs/{g}/alerts         alert-rule engine state: every rule's
+//                                      spec + firing/resolved state and
+//                                      fire counts; 404 when the graph runs
+//                                      without --alert-rules
 //   POST /v1/graphs/{g}/batches        ingest one batch (serve/wire.h shape,
 //                                      including delete_nodes/delete_edges/
 //                                      update_nodes/update_edges mutations)
@@ -33,6 +53,18 @@
 //                                      bounded queue is full; 503 while
 //                                      draining; 500 after a writer failure
 //
+// Request tracing: every request runs under a serve.request root span
+// (method/route/status/trace attributes) when tracing is on. The trace id
+// is taken from an inbound `x-pghive-trace-id` header when present,
+// generated otherwise, and always echoed back in the response's
+// `x-pghive-trace-id` (when tracing or access logging is active). Ingest
+// forwards the id with the queued batch so the writer thread's
+// serve.queue_wait / serve.apply / serve.snapshot_publish spans join the
+// request across threads. Per-route latency lands in
+// pghive.serve.route_seconds.<route>, per-graph reads additionally in
+// pghive.serve.graph_read_seconds.<graph>. With --access-log, one JSONL
+// record per request (ts_us/method/path/status/seconds/trace/graph) is
+// appended to the file; the same line goes to common/logging at DEBUG.
 // Concurrency: one acceptor thread multiplexes accept(2) with a self-pipe
 // (RequestStop writes one byte — a single async-signal-safe write(2), so
 // SIGINT/SIGTERM handlers may call it directly). Each accepted connection
@@ -50,6 +82,7 @@
 #define PGHIVE_SERVE_SERVER_H_
 
 #include <cstdint>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -58,6 +91,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/export.h"
 #include "runtime/thread_pool.h"
 #include "serve/graph_host.h"
 #include "serve/http.h"
@@ -81,6 +115,10 @@ struct ServeOptions {
   /// state is served and the client polls again. Kept well under the
   /// connection timeout so a waiting request never looks like a dead peer.
   int long_poll_timeout_ms = 10000;
+  /// Default wire format of GET /metrics (a request's ?format= overrides).
+  obs::MetricsFormat metrics_format = obs::MetricsFormat::kJsonl;
+  /// JSONL access-log file, appended per request; empty = no access log.
+  std::string access_log_path;
   /// Template for every hosted graph's queue/retention/store settings.
   GraphHostOptions graph;
 };
@@ -133,8 +171,18 @@ class SchemaServer {
                             const std::map<std::string, std::string>& query);
   HttpResponse HandleDrift(const GraphHost& host,
                            const std::map<std::string, std::string>& query);
-  HttpResponse HandleIngest(GraphHost* host, const HttpRequest& request);
-  HttpResponse HandleMetrics() const;
+  HttpResponse HandleAlerts(const GraphHost& host) const;
+  HttpResponse HandleIngest(GraphHost* host, const HttpRequest& request,
+                            const std::string& trace_id);
+  HttpResponse HandleMetrics(
+      const std::map<std::string, std::string>& query) const;
+  HttpResponse HandleReady() const;
+
+  /// Appends one JSONL record to the access log (mutex-serialized) and
+  /// mirrors it to common/logging at DEBUG.
+  void LogAccess(const HttpRequest& request, const HttpResponse& response,
+                 const std::string& trace_id, const std::string& graph,
+                 double seconds);
 
   ServeOptions options_;
   std::map<std::string, std::unique_ptr<GraphHost>> hosts_;  // name-sorted
@@ -144,6 +192,9 @@ class SchemaServer {
   int stop_pipe_[2] = {-1, -1};  // [0] polled by acceptor, [1] RequestStop
   std::thread acceptor_;
   std::unique_ptr<ThreadPool> workers_;
+
+  std::mutex access_log_mu_;  // serializes appends to the access-log file
+  std::ofstream access_log_;  // opened in Start() when a path is configured
 
   std::mutex conn_mu_;
   std::set<int> active_fds_;  // connections workers are currently serving

@@ -171,6 +171,11 @@ class DurableDiscoverer {
     return engine_.batch_seconds();
   }
   uint64_t batches_applied() const { return applied_batches_; }
+  /// Batches applied since the last checkpoint — the "checkpoint age" the
+  /// serving daemon's /readyz reports per graph.
+  uint64_t batches_since_checkpoint() const {
+    return batches_since_checkpoint_;
+  }
   const std::string& dir() const { return dir_; }
 
   /// The wrapped incremental engine (read-only: aggregate state, timings,

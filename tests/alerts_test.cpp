@@ -1,0 +1,384 @@
+// Alert-rule engine (obs/alerts.h): rule parsing + Spec round-trip, glob
+// matching, the fire/resolve state machine over synthetic SchemaDiffs and
+// metric snapshots, state persistence across an engine restart, and the
+// determinism gate — evolution-scenario streams fire and resolve the SAME
+// alerts at the SAME epochs at 1 and 8 discovery threads.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/incremental.h"
+#include "core/schema_diff.h"
+#include "datagen/evolution.h"
+#include "drift/drift_tracker.h"
+#include "drift/replay.h"
+#include "graph/property_graph.h"
+#include "obs/alerts.h"
+#include "obs/metrics.h"
+#include "text/label_embedder.h"
+
+namespace pghive {
+namespace obs {
+namespace {
+
+std::vector<AlertRule> MustParse(const std::string& text) {
+  auto rules = ParseAlertRules(text);
+  EXPECT_TRUE(rules.ok()) << rules.status();
+  return rules.ok() ? *rules : std::vector<AlertRule>{};
+}
+
+// --- GlobMatch. ---
+
+TEST(GlobMatchTest, StarQuestionAndLiterals) {
+  EXPECT_TRUE(GlobMatch("*", ""));
+  EXPECT_TRUE(GlobMatch("*", "anything"));
+  EXPECT_TRUE(GlobMatch("Person*", "Person"));
+  EXPECT_TRUE(GlobMatch("Person*", "PersonV2"));
+  EXPECT_FALSE(GlobMatch("Person*", "Employee"));
+  EXPECT_TRUE(GlobMatch("*name*", "first_name_alt"));
+  EXPECT_TRUE(GlobMatch("a?c", "abc"));
+  EXPECT_FALSE(GlobMatch("a?c", "ac"));
+  EXPECT_TRUE(GlobMatch("*:N->*", "1:N->M:N"));
+  EXPECT_FALSE(GlobMatch("", "x"));
+  EXPECT_TRUE(GlobMatch("", ""));
+}
+
+// --- ParseAlertRules. ---
+
+TEST(ParseAlertRulesTest, ParsesDriftAndMetricRules) {
+  const std::vector<AlertRule> rules = MustParse(
+      "# comment-only line\n"
+      "alert mand drift became_mandatory type=Person* property=age "
+      "resolve_after=3\n"
+      "\n"
+      "alert retired drift type_retired   # trailing comment\n"
+      "alert deep metric pghive.serve.queue_depth.pole > 32\n");
+  ASSERT_EQ(rules.size(), 3u);
+
+  EXPECT_EQ(rules[0].name, "mand");
+  EXPECT_EQ(rules[0].kind, AlertKind::kDrift);
+  EXPECT_EQ(rules[0].event, "became_mandatory");
+  EXPECT_EQ(rules[0].type_glob, "Person*");
+  EXPECT_EQ(rules[0].property_glob, "age");
+  EXPECT_EQ(rules[0].resolve_after, 3u);
+
+  EXPECT_EQ(rules[1].event, "type_retired");
+  EXPECT_EQ(rules[1].type_glob, "*");
+  EXPECT_EQ(rules[1].resolve_after, 1u);
+
+  EXPECT_EQ(rules[2].kind, AlertKind::kMetric);
+  EXPECT_EQ(rules[2].metric, "pghive.serve.queue_depth.pole");
+  EXPECT_EQ(rules[2].op, ">");
+  EXPECT_DOUBLE_EQ(rules[2].threshold, 32.0);
+}
+
+TEST(ParseAlertRulesTest, SpecRoundTripsThroughParser) {
+  const std::string text =
+      "alert mand drift became_mandatory type=Person* property=age "
+      "resolve_after=3\n"
+      "alert retired drift type_retired\n"
+      "alert deep metric pghive.serve.queue_depth.pole >= 32.5 "
+      "resolve_after=2\n";
+  const std::vector<AlertRule> first = MustParse(text);
+  std::string rendered;
+  for (const AlertRule& rule : first) rendered += rule.Spec() + "\n";
+  const std::vector<AlertRule> second = MustParse(rendered);
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].Spec(), second[i].Spec());
+  }
+}
+
+TEST(ParseAlertRulesTest, ErrorsNameTheOffendingLine) {
+  auto bad_event = ParseAlertRules("alert a drift exploded\n");
+  ASSERT_FALSE(bad_event.ok());
+  EXPECT_NE(bad_event.status().message().find("line 1"), std::string::npos);
+  EXPECT_NE(bad_event.status().message().find("exploded"),
+            std::string::npos);
+
+  auto bad_op = ParseAlertRules("# ok\nalert a metric m ~ 3\n");
+  ASSERT_FALSE(bad_op.ok());
+  EXPECT_NE(bad_op.status().message().find("line 2"), std::string::npos);
+
+  EXPECT_FALSE(ParseAlertRules("alert a drift\n").ok());  // too few tokens
+  EXPECT_FALSE(ParseAlertRules("alert a metric m > nope\n").ok());
+  EXPECT_FALSE(
+      ParseAlertRules("alert a drift type_added resolve_after=0\n").ok());
+  EXPECT_FALSE(ParseAlertRules("alert a drift type_added bogus=1\n").ok());
+
+  auto dup = ParseAlertRules(
+      "alert a drift type_added\nalert a drift type_retired\n");
+  ASSERT_FALSE(dup.ok());
+  EXPECT_NE(dup.status().message().find("duplicate"), std::string::npos);
+}
+
+// --- Fire/resolve state machine over synthetic diffs. ---
+
+SchemaDiff RetireDiff(const std::string& type_name) {
+  SchemaDiff diff;
+  diff.removed_node_types.push_back(type_name);
+  return diff;
+}
+
+TEST(AlertEngineTest, DriftRuleFiresAndResolvesAfterCleanEpochs) {
+  AlertEngine engine(MustParse("alert gone drift type_retired "
+                               "resolve_after=2\n"));
+  const MetricsSnapshot no_metrics;
+
+  const SchemaDiff hit = RetireDiff("Legacy");
+  EXPECT_TRUE(engine.ObserveEpoch(1, &hit, no_metrics));  // fire
+  {
+    const AlertState s = engine.States().at(0);
+    EXPECT_TRUE(s.firing);
+    EXPECT_EQ(s.fired_epoch, 1u);
+    EXPECT_EQ(s.fire_count, 1u);
+    EXPECT_EQ(s.last_detail, "node type Legacy retired");
+  }
+  EXPECT_EQ(engine.FiringNames(), std::vector<std::string>{"gone"});
+
+  // One clean epoch: resolve_after=2 keeps it firing.
+  EXPECT_FALSE(engine.ObserveEpoch(2, nullptr, no_metrics));
+  EXPECT_TRUE(engine.States().at(0).firing);
+
+  // Second clean epoch: resolves.
+  EXPECT_TRUE(engine.ObserveEpoch(3, nullptr, no_metrics));
+  {
+    const AlertState s = engine.States().at(0);
+    EXPECT_FALSE(s.firing);
+    EXPECT_EQ(s.resolved_epoch, 3u);
+    EXPECT_EQ(s.fire_count, 1u);
+  }
+  EXPECT_TRUE(engine.FiringNames().empty());
+
+  // A re-match while resolved is a second fire transition.
+  EXPECT_TRUE(engine.ObserveEpoch(4, &hit, no_metrics));
+  EXPECT_EQ(engine.States().at(0).fire_count, 2u);
+
+  // A re-match while firing refreshes the clock without re-firing.
+  EXPECT_FALSE(engine.ObserveEpoch(5, &hit, no_metrics));
+  EXPECT_FALSE(engine.ObserveEpoch(6, nullptr, no_metrics));
+  EXPECT_TRUE(engine.States().at(0).firing);  // clock runs from epoch 5
+  EXPECT_TRUE(engine.ObserveEpoch(7, nullptr, no_metrics));
+  EXPECT_FALSE(engine.States().at(0).firing);
+}
+
+TEST(AlertEngineTest, GlobsFilterTypeAndProperty) {
+  AlertEngine engine(MustParse(
+      "alert person_age drift became_mandatory type=Person* property=age\n"));
+  const MetricsSnapshot no_metrics;
+
+  SchemaDiff wrong_type;
+  TypeChange other;
+  other.name = "Employee";
+  other.became_mandatory.push_back("age");
+  wrong_type.changed_types.push_back(other);
+  EXPECT_FALSE(engine.ObserveEpoch(1, &wrong_type, no_metrics));
+
+  SchemaDiff wrong_property;
+  TypeChange person_name;
+  person_name.name = "PersonV2";
+  person_name.became_mandatory.push_back("name");
+  wrong_property.changed_types.push_back(person_name);
+  EXPECT_FALSE(engine.ObserveEpoch(2, &wrong_property, no_metrics));
+
+  SchemaDiff match;
+  TypeChange person_age;
+  person_age.name = "PersonV2";
+  person_age.became_mandatory.push_back("age");
+  match.changed_types.push_back(person_age);
+  EXPECT_TRUE(engine.ObserveEpoch(3, &match, no_metrics));
+  EXPECT_EQ(engine.States().at(0).last_detail,
+            "PersonV2: age became mandatory");
+}
+
+TEST(AlertEngineTest, MetricRuleFollowsThresholdAndHistogramStats) {
+  AlertEngine engine(MustParse(
+      "alert deep metric test.queue > 8\n"
+      "alert slow metric test.lat.p99 >= 0.5\n"));
+
+  MetricsSnapshot calm;
+  calm.gauges.emplace_back("test.queue", 3);
+  HistogramSnapshot fast;
+  fast.count = 10;
+  fast.sum = 0.1;
+  fast.min = 0.005;
+  fast.max = 0.009;
+  fast.bounds = {0.01, 1.0};
+  fast.buckets = {10, 0, 0};
+  calm.histograms.emplace_back("test.lat", fast);
+  EXPECT_FALSE(engine.ObserveEpoch(1, nullptr, calm));
+  EXPECT_TRUE(engine.FiringNames().empty());
+
+  MetricsSnapshot loaded = calm;
+  loaded.gauges[0].second = 9;
+  loaded.histograms[0].second.buckets = {0, 10, 0};  // p99 lands in (0.01,1]
+  loaded.histograms[0].second.min = 0.6;
+  loaded.histograms[0].second.max = 0.9;
+  EXPECT_TRUE(engine.EvaluateMetricRules(2, loaded));
+  EXPECT_EQ(engine.FiringNames(),
+            (std::vector<std::string>{"deep", "slow"}));
+  const AlertState deep = engine.States().at(0);
+  EXPECT_EQ(deep.last_detail, "test.queue = 9 (> 8)");
+
+  // Back under threshold: resolve_after=1 resolves on the next evaluation.
+  EXPECT_TRUE(engine.EvaluateMetricRules(3, calm));
+  EXPECT_TRUE(engine.FiringNames().empty());
+
+  // An unregistered metric never fires.
+  AlertEngine missing(MustParse("alert ghost metric no.such.metric > 0\n"));
+  EXPECT_FALSE(missing.ObserveEpoch(1, nullptr, calm));
+  EXPECT_TRUE(missing.FiringNames().empty());
+}
+
+TEST(AlertEngineTest, ToJsonListsEveryRuleWithSpecAndState) {
+  AlertEngine engine(MustParse("alert gone drift type_retired\n"));
+  const MetricsSnapshot no_metrics;
+  const SchemaDiff hit = RetireDiff("Legacy");
+  engine.ObserveEpoch(5, &hit, no_metrics);
+
+  const JsonValue body = engine.ToJson();
+  EXPECT_EQ(body["firing"].AsInt(), 1);
+  const auto& rules = body["rules"].AsArray();
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules[0]["name"].AsString(), "gone");
+  EXPECT_EQ(rules[0]["kind"].AsString(), "drift");
+  EXPECT_EQ(rules[0]["spec"].AsString(), "alert gone drift type_retired");
+  EXPECT_TRUE(rules[0]["firing"].AsBool());
+  EXPECT_EQ(rules[0]["fired_epoch"].AsInt(), 5);
+}
+
+// --- Persistence across restart. ---
+
+TEST(AlertEngineTest, StateSurvivesSerializeRestore) {
+  const std::string rules_text =
+      "alert gone drift type_retired resolve_after=2\n"
+      "alert deep metric test.queue > 8\n";
+  AlertEngine first(MustParse(rules_text));
+  const MetricsSnapshot no_metrics;
+  const SchemaDiff hit = RetireDiff("Legacy");
+  first.ObserveEpoch(7, &hit, no_metrics);
+  const std::string blob = first.SerializeState();
+
+  // A "restarted" engine over the same rule file resumes mid-flight: still
+  // firing, and the resolve clock continues from the restored match epoch.
+  AlertEngine second(MustParse(rules_text));
+  ASSERT_TRUE(second.RestoreState(blob).ok());
+  const AlertState restored = second.States().at(0);
+  EXPECT_TRUE(restored.firing);
+  EXPECT_EQ(restored.fired_epoch, 7u);
+  EXPECT_EQ(restored.fire_count, 1u);
+  EXPECT_EQ(restored.last_detail, "node type Legacy retired");
+  EXPECT_FALSE(second.ObserveEpoch(8, nullptr, no_metrics));
+  EXPECT_TRUE(second.States().at(0).firing);
+  EXPECT_TRUE(second.ObserveEpoch(9, nullptr, no_metrics));
+  EXPECT_FALSE(second.States().at(0).firing);
+
+  // A changed rule file tolerates stale entries: unknown rules in the blob
+  // are ignored, rules without a blob entry start fresh.
+  AlertEngine changed(MustParse("alert brand_new drift type_added\n"));
+  ASSERT_TRUE(changed.RestoreState(blob).ok());
+  EXPECT_FALSE(changed.States().at(0).firing);
+  EXPECT_EQ(changed.States().at(0).fire_count, 0u);
+
+  EXPECT_FALSE(first.RestoreState("{not json").ok());
+  EXPECT_FALSE(first.RestoreState("{\"version\":1}").ok());
+}
+
+// --- Determinism over evolution scenarios across thread counts. ---
+
+/// One engine observation per stream batch, exactly like the serving
+/// daemon's writer thread: feed the batch, post-process, diff via a
+/// DriftTracker, hand the epoch's diff (if any) to the engine.
+std::vector<std::string> AlertTrace(const std::vector<MutationBatch>& stream,
+                                    int threads, AlertEngine* engine) {
+  IncrementalOptions opt;
+  opt.pipeline.embedding.backend = EmbeddingBackend::kHash;
+  opt.pipeline.num_threads = threads;
+
+  PropertyGraph g;
+  IncrementalDiscoverer discoverer(opt);
+  drift::DriftTracker tracker;
+  const MetricsSnapshot no_metrics;
+  std::vector<std::string> trace;
+  uint64_t epoch = 0;
+  for (const MutationBatch& mb : stream) {
+    auto applied = drift::ApplyMutationBatch(&g, mb);
+    EXPECT_TRUE(applied.ok()) << applied.status();
+    if (!applied.ok()) break;
+    Status s;
+    if (applied->deleted_nodes.empty() && applied->deleted_edges.empty()) {
+      if (applied->batch.num_nodes() == 0 && applied->batch.num_edges() == 0) {
+        continue;
+      }
+      s = discoverer.Feed(applied->batch);
+    } else {
+      s = discoverer.FeedMutations(applied->batch, applied->deleted_nodes,
+                                   applied->deleted_edges);
+    }
+    EXPECT_TRUE(s.ok()) << s;
+    if (!s.ok()) break;
+    ++epoch;
+    tracker.Observe(epoch, discoverer.FinishedCopy(g));
+    const SchemaDiff* diff = nullptr;
+    if (!tracker.history().empty() &&
+        tracker.history().back().epoch == epoch) {
+      diff = &tracker.history().back().diff;
+    }
+    engine->ObserveEpoch(epoch, diff, no_metrics);
+    std::string line = "epoch " + std::to_string(epoch) + ":";
+    for (const std::string& name : engine->FiringNames()) {
+      line += " " + name;
+    }
+    trace.push_back(line);
+  }
+  return trace;
+}
+
+TEST(AlertEngineTest, EvolutionScenarioAlertsAreDeterministicAcrossThreads) {
+  // One rule per drift direction the scenarios exercise (evolution.h).
+  const std::string rules_text =
+      "alert new_type drift type_added resolve_after=2\n"
+      "alert retired drift type_retired resolve_after=2\n"
+      "alert prop_gone drift removed_property\n"
+      "alert tightened drift became_mandatory\n"
+      "alert card drift cardinality_changed\n";
+
+  std::map<std::string, uint64_t> fires_by_scenario;
+  for (const EvolutionScenario& scenario : AllEvolutionScenarios()) {
+    AlertEngine at_one(MustParse(rules_text));
+    AlertEngine at_eight(MustParse(rules_text));
+    const std::vector<std::string> trace_one =
+        AlertTrace(scenario.stream, /*threads=*/1, &at_one);
+    const std::vector<std::string> trace_eight =
+        AlertTrace(scenario.stream, /*threads=*/8, &at_eight);
+
+    // The full epoch-by-epoch firing trace is identical, not just the end
+    // state — fires and resolves land on the same epochs.
+    EXPECT_EQ(trace_one, trace_eight) << scenario.name;
+    EXPECT_EQ(at_one.SerializeState(), at_eight.SerializeState())
+        << scenario.name;
+
+    uint64_t fires = 0;
+    for (const AlertState& s : at_one.States()) fires += s.fire_count;
+    fires_by_scenario[scenario.name] = fires;
+    EXPECT_GT(fires, 0u) << scenario.name
+                         << ": scenario produced no alertable drift";
+  }
+
+  // Spot-check the scenarios against their documented drift patterns.
+  AlertEngine label_churn(MustParse(rules_text));
+  auto churn = MakeEvolutionScenario("label-churn");
+  ASSERT_TRUE(churn.ok()) << churn.status();
+  AlertTrace(churn->stream, 1, &label_churn);
+  const std::vector<AlertState> churn_states = label_churn.States();
+  EXPECT_GT(churn_states.at(0).fire_count, 0u);  // new_type: cohorts appear
+  EXPECT_GT(churn_states.at(1).fire_count, 0u);  // retired: cohorts retired
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace pghive

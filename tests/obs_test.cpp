@@ -376,6 +376,131 @@ TEST_F(ObsTest, PipelineSpansCoverEveryStage) {
   EXPECT_GT(t.cluster_nodes, 0.0);
 }
 
+// --- Prometheus exposition (obs/export.h). ---
+
+TEST_F(ObsTest, PrometheusExpositionIsExactForSeededSnapshot) {
+  MetricsSnapshot snap;
+  snap.counters.emplace_back("pghive.serve.requests", 42u);
+  snap.gauges.emplace_back("pghive.serve.queue_depth.pole", -3);
+  HistogramSnapshot h;
+  h.count = 6;
+  h.sum = 3.5;
+  h.min = 0.25;
+  h.max = 2.0;
+  h.bounds = {0.5, 1.0, 2.0};
+  h.buckets = {1, 2, 3, 0};  // per-bucket, last = overflow
+  snap.histograms.emplace_back("pghive.serve.read_seconds", h);
+
+  EXPECT_EQ(MetricsToPrometheus(snap),
+            "# TYPE pghive_serve_requests_total counter\n"
+            "pghive_serve_requests_total 42\n"
+            "# TYPE pghive_serve_queue_depth_pole gauge\n"
+            "pghive_serve_queue_depth_pole -3\n"
+            "# TYPE pghive_serve_read_seconds histogram\n"
+            "pghive_serve_read_seconds_bucket{le=\"0.5\"} 1\n"
+            "pghive_serve_read_seconds_bucket{le=\"1\"} 3\n"
+            "pghive_serve_read_seconds_bucket{le=\"2\"} 6\n"
+            "pghive_serve_read_seconds_bucket{le=\"+Inf\"} 6\n"
+            "pghive_serve_read_seconds_sum 3.5\n"
+            "pghive_serve_read_seconds_count 6\n");
+}
+
+TEST_F(ObsTest, PrometheusBucketsAreCumulativeForLiveHistogram) {
+  Histogram* h = MetricsRegistry::Global().GetHistogram(
+      "test.prom.cumulative", {0.001, 0.01, 0.1, 1.0});
+  h->Reset();
+  for (int i = 0; i < 500; ++i) h->Observe(0.0005 * (i % 40));
+  MetricsSnapshot registry = MetricsRegistry::Global().Snapshot();
+  const std::string text = MetricsToPrometheus(registry);
+
+  // Every _bucket series must be non-decreasing in file order and end with
+  // le="+Inf" equal to the histogram count.
+  uint64_t prev = 0;
+  uint64_t last = 0;
+  size_t buckets_seen = 0;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.find("test_prom_cumulative_bucket{") == std::string::npos) {
+      continue;
+    }
+    const uint64_t value =
+        std::stoull(line.substr(line.rfind(' ') + 1));
+    EXPECT_GE(value, prev) << line;
+    prev = value;
+    last = value;
+    ++buckets_seen;
+  }
+  EXPECT_EQ(buckets_seen, 5u);  // 4 bounds + +Inf
+  EXPECT_EQ(last, 500u);
+}
+
+TEST_F(ObsTest, SanitizePrometheusNameMapsToLegalCharset) {
+  EXPECT_EQ(SanitizePrometheusName("pghive.serve.route_seconds.drift"),
+            "pghive_serve_route_seconds_drift");
+  EXPECT_EQ(SanitizePrometheusName("0weird-name"), "_0weird_name");
+  EXPECT_EQ(SanitizePrometheusName("a:b"), "a:b");  // colons are legal
+  EXPECT_EQ(SanitizePrometheusName(""), "_");
+}
+
+TEST_F(ObsTest, ParseMetricsFormatAcceptsKnownFormats) {
+  EXPECT_EQ(*ParseMetricsFormat("jsonl"), MetricsFormat::kJsonl);
+  EXPECT_EQ(*ParseMetricsFormat("Prometheus"), MetricsFormat::kPrometheus);
+  EXPECT_FALSE(ParseMetricsFormat("xml").ok());
+}
+
+TEST_F(ObsTest, MetricsFormatContentTypes) {
+  EXPECT_STREQ(MetricsFormatContentType(MetricsFormat::kPrometheus),
+               "text/plain; version=0.0.4; charset=utf-8");
+  EXPECT_STREQ(MetricsFormatContentType(MetricsFormat::kJsonl),
+               "application/x-ndjson; charset=utf-8");
+}
+
+TEST_F(ObsTest, MetricNameConventionCheck) {
+  EXPECT_TRUE(MetricNameFollowsConvention("pghive.serve.read_seconds"));
+  EXPECT_TRUE(MetricNameFollowsConvention("pghive.alerts.firing.pole"));
+  EXPECT_TRUE(MetricNameFollowsConvention("test.anything.goes"));
+  EXPECT_FALSE(MetricNameFollowsConvention("pghive.bogus.metric"));
+  EXPECT_FALSE(MetricNameFollowsConvention("pghive.serve"));
+  EXPECT_FALSE(MetricNameFollowsConvention("pghive."));
+}
+
+TEST_F(ObsTest, EmitSpanRecordsExplicitTimestamps) {
+  obs::EmitSpan("test.emitted", 1000, 250, {{"k", "v"}});
+  {
+    ScopedSpan parent("test.emit.parent");
+    obs::EmitSpan("test.emitted.child", 2000, 50);
+  }
+  std::vector<SpanEvent> spans = Tracer::Global().CollectSpans();
+  const SpanEvent* emitted = nullptr;
+  const SpanEvent* parent = nullptr;
+  const SpanEvent* child = nullptr;
+  for (const auto& s : spans) {
+    if (s.name == "test.emitted") emitted = &s;
+    if (s.name == "test.emit.parent") parent = &s;
+    if (s.name == "test.emitted.child") child = &s;
+  }
+  ASSERT_NE(emitted, nullptr);
+  ASSERT_NE(parent, nullptr);
+  ASSERT_NE(child, nullptr);
+  EXPECT_EQ(emitted->start_ns, 1000u);
+  EXPECT_EQ(emitted->dur_ns, 250u);
+  EXPECT_EQ(emitted->parent, 0u);
+  ASSERT_EQ(emitted->attrs.size(), 1u);
+  EXPECT_EQ(emitted->attrs[0].first, "k");
+  // Emitted inside an open span: parented to it, like a ScopedSpan child.
+  EXPECT_EQ(child->parent, parent->id);
+
+  // Disabled tracing: EmitSpan is a no-op.
+  Tracer::Global().SetEnabled(false);
+  Tracer::Global().Clear();
+  obs::EmitSpan("test.emitted.off", 1, 1);
+  EXPECT_EQ(Tracer::Global().SpanCount(), 0u);
+}
+
 // --- Structured logging (common/logging.h). ---
 
 class LoggingTest : public ::testing::Test {

@@ -414,6 +414,16 @@ class ServeEndToEndTest : public ::testing::Test {
                     "application/json");
   }
 
+  /// Variant with full ServeOptions control and a caller-owned state dir
+  /// (NOT wiped — restart tests reuse it).
+  void StartServerAt(ServeOptions options, const std::string& state_dir) {
+    options.port = 0;
+    server_ = std::make_unique<SchemaServer>(std::move(options));
+    ASSERT_TRUE(server_->AddGraph("g", state_dir).ok());
+    ASSERT_TRUE(server_->Start().ok());
+    port_ = server_->port();
+  }
+
   std::unique_ptr<SchemaServer> server_;
   uint16_t port_ = 0;
 };
@@ -689,6 +699,256 @@ TEST_F(ServeEndToEndTest, DriftEndpointAnswers404WhenTrackingIsOff) {
   options.store.track_drift = false;
   StartServer(std::move(options));
   auto resp = Get("/v1/graphs/g/drift");
+  ASSERT_TRUE(resp.ok()) << resp.status();
+  EXPECT_EQ(resp->status, 404);
+  EXPECT_TRUE(server_->Stop().ok());
+}
+
+// --- Observability endpoints: readiness, metrics formats, tracing,
+// --- access log, alerts. ---
+
+TEST_F(ServeEndToEndTest, ReadyzReportsWriterAndQueueSaturation) {
+  GraphHostOptions options = FastHostOptions();
+  options.queue_capacity = 1;
+  StartServer(std::move(options));
+
+  auto ready = Get("/readyz");
+  ASSERT_TRUE(ready.ok()) << ready.status();
+  EXPECT_EQ(ready->status, 200);
+  auto doc = ParseJson(ready->body);
+  ASSERT_TRUE(doc.ok()) << ready->body;
+  EXPECT_EQ((*doc)["status"].AsString(), "ready");
+  const auto& graphs = (*doc)["graphs"].AsArray();
+  ASSERT_EQ(graphs.size(), 1u);
+  EXPECT_EQ(graphs[0]["name"].AsString(), "g");
+  EXPECT_TRUE(graphs[0]["writer_ok"].AsBool());
+  EXPECT_FALSE(graphs[0]["saturated"].AsBool());
+  EXPECT_EQ(graphs[0]["queue_capacity"].AsInt(), 1);
+
+  // A paused writer with a full queue turns readiness off (503) without
+  // affecting liveness (/healthz stays 200).
+  const PropertyGraph g = MakeTestGraph(60, 120);
+  const auto payloads = store::MakeStreamBatches(g, 2);
+  server_->FindGraph("g")->PauseWriterForTest(true);
+  auto admit = Post("/v1/graphs/g/batches", BatchToJson(payloads[0]).Dump());
+  ASSERT_TRUE(admit.ok());
+  ASSERT_EQ(admit->status, 202) << admit->body;
+
+  auto saturated = Get("/readyz");
+  ASSERT_TRUE(saturated.ok());
+  EXPECT_EQ(saturated->status, 503) << saturated->body;
+  auto sat_doc = ParseJson(saturated->body);
+  ASSERT_TRUE(sat_doc.ok());
+  EXPECT_EQ((*sat_doc)["status"].AsString(), "unready");
+  auto health = Get("/healthz");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->status, 200);
+
+  server_->FindGraph("g")->PauseWriterForTest(false);
+  EXPECT_TRUE(server_->Stop().ok());
+}
+
+TEST_F(ServeEndToEndTest, MetricsFormatsAndContentTypes) {
+  StartServer(FastHostOptions());
+  const PropertyGraph g = MakeTestGraph(60, 120);
+  const auto payloads = store::MakeStreamBatches(g, 1);
+  auto admit = Post("/v1/graphs/g/batches", BatchToJson(payloads[0]).Dump());
+  ASSERT_TRUE(admit.ok());
+  ASSERT_EQ(admit->status, 202) << admit->body;
+
+  auto jsonl = Get("/metrics");
+  ASSERT_TRUE(jsonl.ok()) << jsonl.status();
+  ASSERT_EQ(jsonl->status, 200);
+  EXPECT_EQ(jsonl->headers["content-type"],
+            "application/x-ndjson; charset=utf-8");
+  EXPECT_NE(jsonl->body.find("pghive.serve.batches_admitted"),
+            std::string::npos);
+
+  auto prom = Get("/metrics?format=prometheus");
+  ASSERT_TRUE(prom.ok()) << prom.status();
+  ASSERT_EQ(prom->status, 200);
+  EXPECT_EQ(prom->headers["content-type"],
+            "text/plain; version=0.0.4; charset=utf-8");
+  EXPECT_NE(prom->body.find("# TYPE pghive_serve_batches_admitted_total "
+                            "counter"),
+            std::string::npos);
+  // Exposition lines never carry the dotted spelling.
+  EXPECT_EQ(prom->body.find("pghive.serve"), std::string::npos);
+
+  auto bogus = Get("/metrics?format=xml");
+  ASSERT_TRUE(bogus.ok());
+  EXPECT_EQ(bogus->status, 400);
+
+  EXPECT_TRUE(server_->Stop().ok());
+}
+
+TEST_F(ServeEndToEndTest, TraceIdIsEchoedAndAccessLogRecordsRequests) {
+  const std::string log_path =
+      TestDir("access_log_dir") + "_access.jsonl";
+  std::filesystem::remove(log_path);
+  ServeOptions options;
+  options.num_workers = 2;
+  options.graph = FastHostOptions();
+  options.access_log_path = log_path;
+  StartServerAt(std::move(options), TestDir("access_state"));
+
+  // An inbound x-pghive-trace-id is honored and echoed back.
+  auto dial = DialTcp("127.0.0.1", port_);
+  ASSERT_TRUE(dial.ok()) << dial.status();
+  {
+    HttpConnection conn(*dial);
+    const std::string raw =
+        "GET /healthz HTTP/1.1\r\n"
+        "host: test\r\n"
+        "x-pghive-trace-id: deadbeefcafe0123\r\n"
+        "connection: close\r\n\r\n";
+    ASSERT_EQ(::send(*dial, raw.data(), raw.size(), 0),
+              static_cast<ssize_t>(raw.size()));
+    auto echoed = conn.ReadResponse(1 << 20);
+    ASSERT_TRUE(echoed.ok()) << echoed.status();
+    EXPECT_EQ(echoed->status, 200);
+    EXPECT_EQ(echoed->headers["x-pghive-trace-id"], "deadbeefcafe0123");
+  }
+
+  // Without an inbound id the server generates one (access log is active).
+  auto generated = Get("/v1/graphs/g");
+  ASSERT_TRUE(generated.ok()) << generated.status();
+  EXPECT_EQ(generated->headers["x-pghive-trace-id"].size(), 16u);
+  EXPECT_NE(generated->headers["x-pghive-trace-id"], "deadbeefcafe0123");
+
+  EXPECT_TRUE(server_->Stop().ok());
+
+  // The access log holds one JSONL record per request, carrying the ids.
+  auto log = ReadFile(log_path);
+  ASSERT_TRUE(log.ok()) << log.status();
+  size_t lines = 0;
+  bool saw_inbound_id = false;
+  size_t pos = 0;
+  while (pos < log->size()) {
+    size_t end = log->find('\n', pos);
+    if (end == std::string::npos) end = log->size();
+    const std::string line = log->substr(pos, end - pos);
+    pos = end + 1;
+    if (line.empty()) continue;
+    ++lines;
+    auto record = ParseJson(line);
+    ASSERT_TRUE(record.ok()) << line;
+    EXPECT_TRUE((*record)["method"].is_string()) << line;
+    EXPECT_TRUE((*record)["path"].is_string()) << line;
+    EXPECT_TRUE((*record)["status"].is_number()) << line;
+    if ((*record)["trace"].is_string() &&
+        (*record)["trace"].AsString() == "deadbeefcafe0123") {
+      saw_inbound_id = true;
+      EXPECT_EQ((*record)["path"].AsString(), "/healthz");
+    }
+  }
+  EXPECT_GE(lines, 2u);
+  EXPECT_TRUE(saw_inbound_id);
+}
+
+TEST_F(ServeEndToEndTest, AlertsFireOverHttpAndSurviveRestart) {
+  const std::string state_dir = TestDir("alerts_state");
+  const std::string rules_path = TestDir("alerts_rules_dir") + "_rules.txt";
+  ASSERT_TRUE(WriteFile(rules_path,
+                        "# serve alert smoke rules\n"
+                        "alert legacy_gone drift type_retired type=Legacy* "
+                        "resolve_after=8\n"
+                        "alert never metric pghive.serve.queue_depth.g > "
+                        "1000000\n")
+                  .ok());
+
+  GraphHostOptions host = FastHostOptions();
+  host.alert_rules_path = rules_path;
+  ServeOptions options;
+  options.num_workers = 2;
+  options.graph = host;
+  StartServerAt(std::move(options), state_dir);
+
+  // Before any drift: rules listed, nothing firing.
+  auto quiet = Get("/v1/graphs/g/alerts");
+  ASSERT_TRUE(quiet.ok()) << quiet.status();
+  ASSERT_EQ(quiet->status, 200) << quiet->body;
+  {
+    auto doc = ParseJson(quiet->body);
+    ASSERT_TRUE(doc.ok());
+    EXPECT_EQ((*doc)["firing"].AsInt(), 0);
+    EXPECT_EQ((*doc)["rules"].AsArray().size(), 2u);
+  }
+
+  // MutationPayloads retires the Legacy type at epoch 2.
+  const std::vector<store::BatchPayload> payloads = MutationPayloads();
+  for (const auto& payload : payloads) {
+    auto resp = Post("/v1/graphs/g/batches", BatchToJson(payload).Dump());
+    ASSERT_TRUE(resp.ok()) << resp.status();
+    ASSERT_EQ(resp->status, 202) << resp->body;
+  }
+  for (;;) {
+    auto detail = Get("/v1/graphs/g");
+    ASSERT_TRUE(detail.ok()) << detail.status();
+    auto doc = ParseJson(detail->body);
+    ASSERT_TRUE(doc.ok());
+    if (static_cast<size_t>(doc->GetInt("epoch").value()) == payloads.size())
+      break;
+    std::this_thread::yield();
+  }
+
+  auto fired = Get("/v1/graphs/g/alerts");
+  ASSERT_TRUE(fired.ok()) << fired.status();
+  ASSERT_EQ(fired->status, 200);
+  {
+    auto doc = ParseJson(fired->body);
+    ASSERT_TRUE(doc.ok());
+    EXPECT_EQ((*doc)["firing"].AsInt(), 1) << fired->body;
+    const auto& rules = (*doc)["rules"].AsArray();
+    ASSERT_EQ(rules.size(), 2u);
+    EXPECT_EQ(rules[0]["name"].AsString(), "legacy_gone");
+    EXPECT_TRUE(rules[0]["firing"].AsBool());
+    EXPECT_EQ(rules[0]["fired_epoch"].AsInt(), 2);
+    EXPECT_EQ(rules[0]["last_detail"].AsString(),
+              "node type Legacy retired");
+    EXPECT_FALSE(rules[1]["firing"].AsBool());
+  }
+
+  // The drift body now names the firing rules (long-pollers see them).
+  auto drift = Get("/v1/graphs/g/drift");
+  ASSERT_TRUE(drift.ok());
+  ASSERT_EQ(drift->status, 200);
+  {
+    auto doc = ParseJson(drift->body);
+    ASSERT_TRUE(doc.ok());
+    const auto& firing = (*doc)["alerts_firing"].AsArray();
+    ASSERT_EQ(firing.size(), 1u);
+    EXPECT_EQ(firing[0].AsString(), "legacy_gone");
+  }
+
+  EXPECT_TRUE(server_->Stop().ok());
+  EXPECT_TRUE(
+      std::filesystem::exists(state_dir + "/alerts-state.json"));
+
+  // Restart over the same state dir: the alert is still firing with its
+  // original epoch and count — state survived the restart.
+  ServeOptions again;
+  again.num_workers = 2;
+  again.graph = host;
+  StartServerAt(std::move(again), state_dir);
+  auto restored = Get("/v1/graphs/g/alerts");
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  ASSERT_EQ(restored->status, 200);
+  {
+    auto doc = ParseJson(restored->body);
+    ASSERT_TRUE(doc.ok());
+    EXPECT_EQ((*doc)["firing"].AsInt(), 1) << restored->body;
+    const auto& rules = (*doc)["rules"].AsArray();
+    EXPECT_TRUE(rules[0]["firing"].AsBool());
+    EXPECT_EQ(rules[0]["fired_epoch"].AsInt(), 2);
+    EXPECT_EQ(rules[0]["fire_count"].AsInt(), 1);
+  }
+  EXPECT_TRUE(server_->Stop().ok());
+}
+
+TEST_F(ServeEndToEndTest, AlertsEndpointAnswers404WithoutRules) {
+  StartServer(FastHostOptions());
+  auto resp = Get("/v1/graphs/g/alerts");
   ASSERT_TRUE(resp.ok()) << resp.status();
   EXPECT_EQ(resp->status, 404);
   EXPECT_TRUE(server_->Stop().ok());

@@ -23,6 +23,12 @@
 # against the committed BENCH_pipeline.json, and gates the micro_drift
 # mutation-batch series on last-4 <= 2x first-4 flatness (retractable
 # aggregates must keep mutation batches O(batch)).
+#
+# The serve smoke runs the daemon with tracing + access log + alert rules:
+# the served schema must stay byte-identical to the tracing-off one-shot,
+# /metrics?format=prometheus must pass tools/prometheus_lint.py, and the
+# SIGTERM drain must leave alert state, the access log and the request
+# trace behind.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -193,14 +199,27 @@ cmake --build build-asan -j "${JOBS}" \
 ./build-asan/apps/pghive inspect-state "${tmpdir}/state" > /dev/null
 
 echo "=== serve smoke: daemon schema byte-identical to one-shot discover ==="
-# Start the daemon (under ASan) on an ephemeral port, HTTP-ingest the same
-# endpoint-closed batch stream `discover --incremental 6` feeds, and require
-# the served schema JSON to equal the one-shot output byte for byte. Then
+# Start the daemon (under ASan) on an ephemeral port — with request tracing
+# ON (--trace-out), an access log, and drift alert rules — HTTP-ingest the
+# same endpoint-closed batch stream `discover --incremental 6` feeds, and
+# require the served schema JSON to equal the one-shot (tracing-off)
+# output byte for byte: tracing must never perturb discovery. Then scrape
+# /metrics?format=prometheus and validate the exposition with
+# tools/prometheus_lint.py, check /readyz and /v1/graphs/smoke/alerts,
 # prove the LOCK pidfile (exit 4 for a second opener of a live directory)
-# and a clean SIGTERM drain (exit 0, checkpoint on disk).
+# and a clean SIGTERM drain (exit 0, checkpoint + persisted alert state +
+# access log on disk).
 ./build-asan/apps/pghive generate POLE "${tmpdir}/pole3" --nodes 1500
+cat > "${tmpdir}/alert-rules.txt" <<'RULES'
+# insert-only smoke stream: types and properties only ever appear
+alert smoke_new_type drift type_added resolve_after=1000000
+alert smoke_new_prop drift added_property resolve_after=1000000
+RULES
 ./build-asan/apps/pghive serve smoke="${tmpdir}/serve-state" --port 0 \
-  --port-file "${tmpdir}/port.txt" > "${tmpdir}/serve.log" 2>&1 &
+  --port-file "${tmpdir}/port.txt" \
+  --alert-rules "${tmpdir}/alert-rules.txt" \
+  --access-log "${tmpdir}/access.jsonl" \
+  --trace-out "${tmpdir}/serve-trace.json" > "${tmpdir}/serve.log" 2>&1 &
 serve_pid=$!
 for _ in $(seq 1 100); do
   [[ -s "${tmpdir}/port.txt" ]] && break
@@ -240,6 +259,42 @@ assert tail["history"] == [], tail
 print(f"drift endpoint ok: epoch {doc['epoch']}, "
       f"{len(doc['history'])} recorded diffs")
 PYEOF
+  # Prometheus exposition + readiness + alert state on the live daemon.
+  python3 - "$(cat "${tmpdir}/port.txt")" "${tmpdir}/prom.txt" <<'PYEOF'
+import json, sys, urllib.request
+
+port, prom_path = sys.argv[1], sys.argv[2]
+base = f"http://127.0.0.1:{port}"
+
+with urllib.request.urlopen(f"{base}/metrics?format=prometheus",
+                            timeout=10) as resp:
+    assert resp.status == 200, resp.status
+    ctype = resp.headers.get("content-type", "")
+    assert ctype.startswith("text/plain; version=0.0.4"), ctype
+    text = resp.read().decode()
+with open(prom_path, "w") as f:
+    f.write(text)
+
+with urllib.request.urlopen(f"{base}/readyz", timeout=10) as resp:
+    assert resp.status == 200, resp.status
+    ready = json.loads(resp.read().decode())
+assert ready["status"] == "ready", ready
+
+with urllib.request.urlopen(f"{base}/v1/graphs/smoke/alerts",
+                            timeout=10) as resp:
+    assert resp.status == 200, resp.status
+    alerts = json.loads(resp.read().decode())
+# The insert-only stream certainly added types (epoch 1 diffs against an
+# empty baseline); added_property depends on the generated batch slicing.
+assert alerts["firing"] >= 1, alerts
+names = {r["name"] for r in alerts["rules"] if r["firing"]}
+assert "smoke_new_type" in names, names
+print(f"readyz + alerts ok: {sorted(names)} firing")
+PYEOF
+  python3 tools/prometheus_lint.py "${tmpdir}/prom.txt" \
+    --require pghive_serve_batches_admitted_total \
+    --require pghive_alerts_firing_smoke \
+    --require pghive_serve_route_seconds_batches_count
 fi
 set +e
 ./build-asan/apps/pghive discover "${tmpdir}/pole3" --incremental 6 \
@@ -254,6 +309,15 @@ kill -TERM "${serve_pid}"
 wait "${serve_pid}"  # non-zero (under set -e) = drain/checkpoint failed
 ./build-asan/apps/pghive inspect-state "${tmpdir}/serve-state" > /dev/null
 ./build-asan/apps/pghive drift "${tmpdir}/serve-state" > /dev/null
+# The drain left the observability artifacts behind: persisted alert state
+# (still firing — resolve_after is huge), a non-empty JSONL access log
+# covering the ingest requests, and the request-span Chrome trace.
+grep -q '"smoke_new_type"' "${tmpdir}/serve-state/alerts-state.json"
+grep -q '"firing":true' "${tmpdir}/serve-state/alerts-state.json"
+grep -q '"method":"POST"' "${tmpdir}/access.jsonl"
+grep -q '"trace"' "${tmpdir}/access.jsonl"
+grep -q '"serve.request"' "${tmpdir}/serve-trace.json"
+grep -q '"serve.apply"' "${tmpdir}/serve-trace.json"
 echo "serve smoke ok"
 
 echo "=== observability: metrics + trace export sanity ==="

@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""Minimal Prometheus text-format (0.0.4) parser and validator.
+
+Used by tools/check.sh and CI to prove that the serving daemon's
+`GET /metrics?format=prometheus` output parses cleanly and upholds the
+exposition invariants a real scraper relies on:
+
+  * metric names match [a-zA-Z_:][a-zA-Z0-9_:]*
+  * every sample value parses as a float (or +Inf/-Inf/NaN)
+  * `# TYPE` lines precede their metric's samples and name a known type
+  * counters end in _total
+  * histogram bucket series are cumulative (non-decreasing in le order),
+    end with an le="+Inf" bucket, and that bucket equals <name>_count
+
+Usage:
+  prometheus_lint.py [FILE]                 # default: stdin
+  prometheus_lint.py --require NAME [...]   # additionally assert samples
+                                            # for NAME exist (sanitized
+                                            # spelling, e.g.
+                                            # pghive_serve_requests_total)
+
+Exits 0 and prints a one-line summary on success; exits 1 with the
+offending line on the first violation.
+"""
+
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)(?: \d+)?$"  # optional timestamp
+)
+LABEL_RE = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$')
+KNOWN_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def fail(line_no, line, message):
+    print(f"prometheus_lint: line {line_no}: {message}: {line!r}",
+          file=sys.stderr)
+    sys.exit(1)
+
+
+def parse_value(raw):
+    if raw in ("+Inf", "-Inf", "NaN"):
+        return float(raw.replace("Inf", "inf").replace("NaN", "nan"))
+    return float(raw)
+
+
+def parse_labels(raw):
+    labels = {}
+    for part in filter(None, raw.split(",")):
+        m = LABEL_RE.match(part)
+        if m is None:
+            raise ValueError(f"bad label pair {part!r}")
+        labels[m.group(1)] = m.group(2)
+    return labels
+
+
+def lint(text, required):
+    declared_types = {}   # metric family -> type
+    samples = []          # (line_no, name, labels, value)
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4:
+                    fail(line_no, line, "malformed TYPE line")
+                _, _, family, kind = parts
+                if not NAME_RE.match(family):
+                    fail(line_no, line, f"illegal family name {family!r}")
+                if kind not in KNOWN_TYPES:
+                    fail(line_no, line, f"unknown type {kind!r}")
+                if family in declared_types:
+                    fail(line_no, line, f"duplicate TYPE for {family!r}")
+                declared_types[family] = kind
+            continue  # other comments (HELP, freeform) are fine
+        m = SAMPLE_RE.match(line)
+        if m is None:
+            fail(line_no, line, "unparseable sample line")
+        name = m.group("name")
+        try:
+            labels = parse_labels(m.group("labels") or "")
+        except ValueError as err:
+            fail(line_no, line, str(err))
+        try:
+            value = parse_value(m.group("value"))
+        except ValueError:
+            fail(line_no, line, f"bad sample value {m.group('value')!r}")
+        samples.append((line_no, name, labels, value))
+
+    # Per-family checks against the declared types.
+    by_name = {}
+    for line_no, name, labels, value in samples:
+        by_name.setdefault(name, []).append((line_no, labels, value))
+
+    for family, kind in declared_types.items():
+        if kind == "counter":
+            if not family.endswith("_total"):
+                print(f"prometheus_lint: counter {family!r} does not end in "
+                      f"_total", file=sys.stderr)
+                sys.exit(1)
+            if family not in by_name:
+                print(f"prometheus_lint: TYPE for {family!r} has no samples",
+                      file=sys.stderr)
+                sys.exit(1)
+        elif kind == "histogram":
+            buckets = by_name.get(family + "_bucket", [])
+            counts = by_name.get(family + "_count", [])
+            sums = by_name.get(family + "_sum", [])
+            if not buckets or len(counts) != 1 or len(sums) != 1:
+                print(f"prometheus_lint: histogram {family!r} missing "
+                      f"_bucket/_sum/_count series", file=sys.stderr)
+                sys.exit(1)
+            prev = -1.0
+            inf_value = None
+            for line_no, labels, value in buckets:
+                if "le" not in labels:
+                    fail(line_no, family + "_bucket", "bucket without le")
+                if value < prev:
+                    fail(line_no, family + "_bucket",
+                         f"non-cumulative bucket ({value} < {prev})")
+                prev = value
+                if labels["le"] == "+Inf":
+                    inf_value = value
+            if inf_value is None:
+                print(f"prometheus_lint: histogram {family!r} has no "
+                      f'le="+Inf" bucket', file=sys.stderr)
+                sys.exit(1)
+            if inf_value != counts[0][2]:
+                print(f"prometheus_lint: histogram {family!r}: +Inf bucket "
+                      f"{inf_value} != _count {counts[0][2]}",
+                      file=sys.stderr)
+                sys.exit(1)
+
+    for name in required:
+        if name not in by_name:
+            print(f"prometheus_lint: required metric {name!r} not found "
+                  f"among {len(by_name)} series", file=sys.stderr)
+            sys.exit(1)
+
+    histograms = sum(1 for k in declared_types.values() if k == "histogram")
+    print(f"prometheus_lint ok: {len(samples)} samples, "
+          f"{len(declared_types)} typed families ({histograms} histograms)")
+
+
+def main(argv):
+    required = []
+    paths = []
+    it = iter(argv[1:])
+    for arg in it:
+        if arg == "--require":
+            try:
+                required.append(next(it))
+            except StopIteration:
+                print("prometheus_lint: --require needs a metric name",
+                      file=sys.stderr)
+                return 1
+        else:
+            paths.append(arg)
+    if len(paths) > 1:
+        print("prometheus_lint: at most one input file", file=sys.stderr)
+        return 1
+    if paths:
+        with open(paths[0]) as f:
+            text = f.read()
+    else:
+        text = sys.stdin.read()
+    lint(text, required)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
