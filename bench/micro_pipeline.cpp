@@ -21,6 +21,7 @@
 #include "bench_util.h"
 #include "common/csv.h"
 #include "common/json.h"
+#include "common/timer.h"
 #include "core/feature_encoder.h"
 #include "core/incremental.h"
 #include "core/pipeline.h"
@@ -210,7 +211,8 @@ StageTimings StagesFromSpans(const std::vector<obs::SpanEvent>& spans) {
 /// `reps` total wall-clocks, stages taken from the best run. Both the
 /// total and the per-stage breakdown come from the pipeline.* spans the
 /// run recorded (the caller must have tracing enabled).
-JsonObject TimedRun(const PropertyGraph& g, int threads, int reps) {
+JsonObject TimedRun(const PropertyGraph& g, int threads, int reps,
+                    int hardware_threads) {
   double best = -1.0;
   StageTimings best_stages;
   for (int r = 0; r < reps; ++r) {
@@ -235,6 +237,10 @@ JsonObject TimedRun(const PropertyGraph& g, int threads, int reps) {
   JsonObject run;
   run.emplace("threads", threads);
   run.emplace("total_seconds", best);
+  // A multi-thread entry recorded on a host with one hardware thread
+  // measures pure runtime overhead, not speedup: flag it so consumers
+  // (tools/check.sh, trend dashboards) never read it as a scaling point.
+  if (threads > 1 && hardware_threads <= 1) run.emplace("degraded", true);
   run.emplace("stages", StagesToJson(best_stages));
   return run;
 }
@@ -319,6 +325,77 @@ JsonObject IncrementalScalingToJson(const PropertyGraph& g,
   return doc;
 }
 
+/// Min-of-`reps` wall-clock seconds of feeding `g` as a 16-batch stream
+/// through the incremental engine under the given shard/thread layout
+/// (delta aggregates on, per-batch post-processing — the serve-path
+/// ingest workload). Returns a negative value when a feed fails.
+double TimedShardedFeedSeconds(const PropertyGraph& g, int threads,
+                               int feed_shards, int reps) {
+  constexpr size_t kBatches = 16;
+  double best = -1.0;
+  for (int r = 0; r < reps; ++r) {
+    IncrementalOptions opt;
+    opt.pipeline.num_threads = threads;
+    opt.pipeline.feed_shards = feed_shards;
+    opt.post_process_each_batch = true;
+    IncrementalDiscoverer disc(opt);
+    Timer timer;
+    for (const GraphBatch& batch : SplitIntoBatches(g, kBatches)) {
+      Status s = disc.Feed(batch);
+      if (!s.ok()) {
+        std::fprintf(stderr, "sharded feed failed: %s\n",
+                     s.ToString().c_str());
+        return -1.0;
+      }
+    }
+    const double seconds = timer.ElapsedSeconds();
+    if (best < 0.0 || seconds < best) best = seconds;
+  }
+  return best;
+}
+
+/// Sharded-Feed thread sweep: the tentpole workload (signature-sharded
+/// per-batch folds, shard-order merge) at a fixed 16-shard layout across
+/// thread counts. tools/check.sh gates speedup_8t_vs_1t on multicore
+/// hosts; single-core entries carry "degraded": true and are not gated.
+JsonObject ShardedFeedSweepToJson(const PropertyGraph& g,
+                                  const std::string& dataset, int hw) {
+  constexpr int kShards = 16;
+  JsonObject doc;
+  doc.emplace("dataset", dataset);
+  doc.emplace("feed_shards", kShards);
+  doc.emplace("batches", static_cast<uint64_t>(16));
+  JsonArray runs;
+  double t1 = -1.0, t8 = -1.0;
+  for (int threads : {1, 2, 8}) {
+    const double seconds =
+        TimedShardedFeedSeconds(g, threads, kShards, /*reps=*/3);
+    JsonObject run;
+    run.emplace("threads", threads);
+    run.emplace("feed_seconds", seconds);
+    const bool degraded = threads > 1 && hw <= 1;
+    if (degraded) run.emplace("degraded", true);
+    if (threads == 1) t1 = seconds;
+    if (threads == 8) t8 = seconds;
+
+    JsonObject fields;
+    fields.emplace("dataset", dataset);
+    fields.emplace("threads", threads);
+    fields.emplace("feed_shards", kShards);
+    fields.emplace("feed_seconds", seconds);
+    if (degraded) fields.emplace("degraded", true);
+    std::fprintf(
+        stderr, "%s\n",
+        bench::BenchJsonl("micro_pipeline.sharded_feed", fields).c_str());
+    runs.push_back(std::move(run));
+  }
+  doc.emplace("runs", std::move(runs));
+  if (t1 > 0.0 && t8 > 0.0) {
+    doc.emplace("speedup_8t_vs_1t", t1 / t8);
+  }
+  return doc;
+}
+
 void WritePipelineBaseline() {
   // Largest synthetic dataset by default size (the acceptance workload).
   const std::vector<DatasetSpec> specs = AllDatasetSpecs();
@@ -353,9 +430,9 @@ void WritePipelineBaseline() {
   // multi-thread runs measure pure runtime overhead, not speedup — the
   // recorded hardware_threads field says which situation this file holds.
   JsonArray runs;
-  runs.push_back(TimedRun(*g, 1, /*reps=*/3));
-  if (hw > 1) runs.push_back(TimedRun(*g, hw, /*reps=*/3));
-  if (hw != 8) runs.push_back(TimedRun(*g, 8, /*reps=*/3));
+  runs.push_back(TimedRun(*g, 1, /*reps=*/3, hw));
+  if (hw > 1) runs.push_back(TimedRun(*g, hw, /*reps=*/3, hw));
+  if (hw != 8) runs.push_back(TimedRun(*g, 8, /*reps=*/3, hw));
   double t1 = runs[0].AsObject().at("total_seconds").AsDouble();
   double tn = runs.back().AsObject().at("total_seconds").AsDouble();
   doc.emplace("runs", std::move(runs));
@@ -363,6 +440,7 @@ void WritePipelineBaseline() {
     doc.emplace("speedup_vs_1thread", t1 / tn);
   }
   doc.emplace("incremental", IncrementalScalingToJson(*g, largest->name));
+  doc.emplace("sharded_feed", ShardedFeedSweepToJson(*g, largest->name, hw));
 
   // The same runs once more in the shared JSONL metric schema, so the
   // perf trajectory can be tailed/joined with --metrics-out exports.

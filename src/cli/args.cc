@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "common/string_util.h"
+#include "core/shard_plan.h"
 #include "runtime/thread_pool.h"
 
 namespace pghive {
@@ -60,6 +61,26 @@ Result<int> Args::GetThreads() const {
         "--threads must be >= 0 (0 = hardware concurrency)");
   }
   return static_cast<int>(threads);
+}
+
+namespace {
+
+int64_t FeedShardsFromEnv(int64_t fallback) {
+  const char* v = std::getenv("PGHIVE_FEED_SHARDS");
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::atoll(v);
+}
+
+}  // namespace
+
+Result<int> Args::GetFeedShards() const {
+  int64_t shards = GetInt("feed-shards", FeedShardsFromEnv(/*fallback=*/1));
+  if (shards < 1 || shards > ShardPlan::kMaxShards) {
+    return Status::InvalidArgument(
+        "--feed-shards must be in [1, " +
+        std::to_string(ShardPlan::kMaxShards) + "]");
+  }
+  return static_cast<int>(shards);
 }
 
 std::vector<std::string> Args::UnknownFlags(

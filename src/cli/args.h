@@ -39,6 +39,13 @@ class Args {
   /// rejected as InvalidArgument.
   Result<int> GetThreads() const;
 
+  /// Signature-shard count for the sharded incremental Feed path: the
+  /// --feed-shards flag when present, else the PGHIVE_FEED_SHARDS
+  /// environment variable, else 1 (unsharded). Values < 1 or above
+  /// ShardPlan::kMaxShards are rejected as InvalidArgument. Output-neutral:
+  /// any accepted value yields a bit-identical schema.
+  Result<int> GetFeedShards() const;
+
  private:
   std::vector<std::string> positional_;
   std::map<std::string, std::string> flags_;

@@ -4,6 +4,7 @@
 
 #include "cluster/lsh_clusterer.h"
 #include "common/string_util.h"
+#include "lsh/sharded_candidates.h"
 #include "core/cardinality.h"
 #include "core/constraints.h"
 #include "graph/graph_stats.h"
@@ -101,7 +102,7 @@ size_t CountDistinctLabels(const GraphBatch& batch, ElementKind kind) {
 }  // namespace
 
 PgHivePipeline::PgHivePipeline(PipelineOptions options)
-    : options_(options) {}
+    : options_(options), shard_plan_(options.feed_shards) {}
 
 ThreadPool* PgHivePipeline::EnsurePool() const {
   if (pool_) return pool_.get();
@@ -174,6 +175,23 @@ Status PgHivePipeline::ProcessBatch(const GraphBatch& batch,
           SampleMeanDistance(enc.vectors, options_.seed);
       *diag = ComputeAdaptiveParams(profile, kind, options_.adaptive_tuning);
     }
+    // Sharded Feed path: shard of each signature group. Every group maps to
+    // exactly one graph signature (edge encoder groups are FINER than the
+    // edge SignatureId — signature plus endpoint tokens), so any member's
+    // stored signature identifies the group's shard.
+    const GraphSymbols& sym = g.symbols();
+    auto shard_of_reps = [&]() {
+      std::vector<size_t> shard_of(enc.reps.size());
+      for (size_t r = 0; r < enc.reps.size(); ++r) {
+        const size_t id = enc.ids[enc.reps[r]];
+        const uint64_t key =
+            kind == ElementKind::kNode
+                ? sym.node_signatures.shard_key(g.node(id).signature)
+                : sym.edge_signatures.shard_key(g.edge(id).signature);
+        shard_of[r] = shard_plan_.ShardOf(key);
+      }
+      return shard_of;
+    };
     if (options_.method == ClusteringMethod::kElsh) {
       EuclideanLshOptions lsh_opt = options_.elsh;
       if (options_.adaptive_parameters) {
@@ -187,6 +205,14 @@ Status PgHivePipeline::ProcessBatch(const GraphBatch& batch,
       // group share identical vectors, so only each group's representative
       // is hashed and its keys fan out — byte-identical to hashing every
       // element, at any thread count.
+      if (shard_plan_.sharded()) {
+        // Shard-local hashing + candidate generation, merged in ascending
+        // shard order (lsh/sharded_candidates.h) — same groups, same order.
+        return ShardedClusterGroups(
+            pool, shard_plan_.num_shards(), shard_of_reps(),
+            [&](size_t r) { return lsh.Hash(enc.vectors[enc.reps[r]]); },
+            enc.sig_of);
+      }
       std::vector<std::vector<uint64_t>> rep_keys = ParallelMap(
           pool, enc.reps.size(),
           [&](size_t r) { return lsh.Hash(enc.vectors[enc.reps[r]]); });
@@ -211,6 +237,15 @@ Status PgHivePipeline::ProcessBatch(const GraphBatch& batch,
     // dissimilar ones rarely (§4.2). Fragments are reunited by Algorithm 2.
     // Group members share identical token sets, so only representatives are
     // MinHashed and the key fans out.
+    if (shard_plan_.sharded()) {
+      return ShardedClusterGroups(
+          pool, shard_plan_.num_shards(), shard_of_reps(),
+          [&](size_t r) {
+            return std::vector<uint64_t>{
+                lsh.SignatureKey(lsh.Signature(enc.token_sets[enc.reps[r]]))};
+          },
+          enc.sig_of);
+    }
     std::vector<uint64_t> rep_keys = ParallelMap(
         pool, enc.reps.size(), [&](size_t r) {
           return lsh.SignatureKey(lsh.Signature(enc.token_sets[enc.reps[r]]));

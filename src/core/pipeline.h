@@ -18,6 +18,7 @@
 #include "core/feature_encoder.h"
 #include "core/datatype_inference.h"
 #include "core/schema.h"
+#include "core/shard_plan.h"
 #include "core/type_extraction.h"
 #include "graph/property_graph.h"
 #include "lsh/adaptive_params.h"
@@ -74,6 +75,17 @@ struct PipelineOptions {
   /// are order-dependent, so sharding them would break seed-stable
   /// embeddings.
   int num_threads = 1;
+
+  /// Signature shards for the parallel incremental Feed path (see
+  /// core/shard_plan.h): each batch's clustering, aggregate fold and
+  /// retractions are partitioned by signature across this many shards and
+  /// merged in ascending shard order. The shard count — not the thread
+  /// count — fixes the work partition, so output is bit-identical at any
+  /// parallelism; <= 1 (default) keeps the unsharded sequential code
+  /// paths. Not part of the options fingerprint (output-neutral), but the
+  /// plan fingerprint is persisted in PGHS metadata so resume can verify
+  /// layout stability.
+  int feed_shards = 1;
 
   uint64_t seed = 42;
 };
@@ -151,11 +163,16 @@ class PgHivePipeline {
   /// on the first batch.
   ThreadPool* thread_pool() const { return pool_.get(); }
 
+  /// Signature → shard assignment from options().feed_shards; a 1-shard
+  /// plan (sharded() == false) means the unsharded code paths run.
+  const ShardPlan& shard_plan() const { return shard_plan_; }
+
  private:
   /// Resolves options_.num_threads and creates the pool when > 1.
   ThreadPool* EnsurePool() const;
 
   PipelineOptions options_;
+  ShardPlan shard_plan_;
   // mutable: the const PostProcess records its wall-clock in the timings.
   mutable BatchDiagnostics diagnostics_;
   mutable std::unique_ptr<ThreadPool> pool_;

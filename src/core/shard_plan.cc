@@ -1,0 +1,12 @@
+#include "core/shard_plan.h"
+
+#include "common/hash.h"
+
+namespace pghive {
+
+uint64_t ShardPlan::Fingerprint() const {
+  const uint32_t words[2] = {kVersion, static_cast<uint32_t>(num_shards_)};
+  return Fnv1a64(reinterpret_cast<const char*>(words), sizeof(words));
+}
+
+}  // namespace pghive

@@ -1,0 +1,71 @@
+// Signature → shard assignment for the sharded incremental Feed path.
+//
+// A ShardPlan maps every (label-set, key-set) signature to one of N shards
+// via a stable hash of the signature's CONTENT identity (the packed
+// label-set/key-set token pair from SignaturePool::shard_key), never of the
+// dense SignatureId itself — interning order depends on insertion order
+// across batches, but the set-token pair is canonical, so the same logical
+// signature lands on the same shard no matter when it was first seen.
+//
+// Determinism contract: N is a function of PipelineOptions::feed_shards
+// only — never of the thread count — so the partition of work into shards,
+// and therefore the ascending-shard-order merge, is identical whether the
+// shards execute on 1 thread or 64. feed_shards <= 1 collapses to a single
+// shard and the engine takes the original unsharded code paths, which keeps
+// the seed-path output trivially byte-identical.
+//
+// The plan is summarized by a fingerprint (version + shard count under
+// FNV-1a) persisted in PGHS snapshot metadata so `inspect-state` and
+// recovery can verify the layout survived a resume.
+
+#ifndef PGHIVE_CORE_SHARD_PLAN_H_
+#define PGHIVE_CORE_SHARD_PLAN_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/hash.h"
+
+namespace pghive {
+
+class ShardPlan {
+ public:
+  /// Hashing scheme version; bump when ShardOf changes so persisted
+  /// fingerprints from older layouts read as different.
+  static constexpr uint32_t kVersion = 1;
+
+  /// Upper bound on configurable shard counts. Far above any useful value
+  /// (shards are merged sequentially); bounds per-batch partial vectors.
+  static constexpr int kMaxShards = 4096;
+
+  /// num_shards <= 1 (including the default) means "unsharded".
+  explicit ShardPlan(int num_shards = 1)
+      : num_shards_(num_shards < 1          ? 1
+                    : num_shards > kMaxShards ? kMaxShards
+                                              : num_shards) {}
+
+  size_t num_shards() const { return static_cast<size_t>(num_shards_); }
+  bool sharded() const { return num_shards_ > 1; }
+
+  /// Shard for a signature's packed content key (see
+  /// SignaturePool::shard_key). SplitMix64 finalizer, no runtime-dependent
+  /// seeding: stable across processes, runs and platforms, so a plan
+  /// reconstructed from a persisted shard count alone reproduces the
+  /// assignment exactly.
+  size_t ShardOf(uint64_t shard_key) const {
+    return static_cast<size_t>(Mix64(shard_key) %
+                               static_cast<uint64_t>(num_shards_));
+  }
+
+  /// Stable layout fingerprint (version + shard count), persisted in PGHS
+  /// snapshot metadata. Two plans with equal fingerprints assign every
+  /// signature identically.
+  uint64_t Fingerprint() const;
+
+ private:
+  int num_shards_;
+};
+
+}  // namespace pghive
+
+#endif  // PGHIVE_CORE_SHARD_PLAN_H_

@@ -135,6 +135,15 @@ class SignaturePool {
 
   SymbolSetId label_set(SignatureId id) const { return sigs_[id].first; }
   SymbolSetId key_set(SignatureId id) const { return sigs_[id].second; }
+
+  /// Packed content identity of a signature — the same u64 the intern
+  /// index keys on. Set ids are canonical per distinct content, so this is
+  /// stable under re-interning order within one symbol context; it is the
+  /// value ShardPlan::ShardOf hashes to place the signature on a shard.
+  uint64_t shard_key(SignatureId id) const {
+    return (static_cast<uint64_t>(sigs_[id].first) << 32) |
+           static_cast<uint64_t>(sigs_[id].second);
+  }
   size_t size() const { return sigs_.size(); }
   size_t ApproxBytes() const;
 

@@ -1,0 +1,83 @@
+#include "lsh/sharded_candidates.h"
+
+#include <limits>
+#include <unordered_map>
+#include <utility>
+
+#include "common/union_find.h"
+#include "runtime/parallel.h"
+
+namespace pghive {
+
+namespace {
+
+/// One shard's local candidate set, in local discovery order.
+struct ShardCandidates {
+  /// (key, first local group with that key) — merge seeds.
+  std::vector<std::pair<uint64_t, size_t>> anchors;
+  /// Intra-shard collisions: (group, earlier anchor group).
+  std::vector<std::pair<size_t, size_t>> unions;
+};
+
+}  // namespace
+
+std::vector<std::vector<size_t>> ShardedClusterGroups(
+    ThreadPool* pool, size_t num_shards,
+    const std::vector<size_t>& shard_of_rep,
+    const std::function<std::vector<uint64_t>(size_t)>& rep_keys_fn,
+    const std::vector<size_t>& sig_of) {
+  const size_t num_reps = shard_of_rep.size();
+  std::vector<std::vector<size_t>> shard_reps(num_shards);
+  for (size_t r = 0; r < num_reps; ++r) {
+    shard_reps[shard_of_rep[r]].push_back(r);  // ascending within a shard
+  }
+
+  UnionFind uf(num_reps);
+  std::unordered_map<uint64_t, size_t> global_first_seen;
+  global_first_seen.reserve(num_reps);
+  ParallelShardFold(
+      pool, num_shards, /*init=*/0,
+      [&](size_t shard) {
+        ShardCandidates out;
+        std::unordered_map<uint64_t, size_t> first_seen;
+        first_seen.reserve(shard_reps[shard].size());
+        for (size_t r : shard_reps[shard]) {
+          for (uint64_t key : rep_keys_fn(r)) {
+            auto [it, inserted] = first_seen.emplace(key, r);
+            if (inserted) {
+              out.anchors.emplace_back(key, r);
+            } else {
+              out.unions.emplace_back(r, it->second);
+            }
+          }
+        }
+        return out;
+      },
+      [&](int* /*acc*/, size_t /*shard*/, ShardCandidates&& part) {
+        for (const auto& [a, b] : part.unions) uf.Union(a, b);
+        for (const auto& [key, r] : part.anchors) {
+          auto [it, inserted] = global_first_seen.emplace(key, r);
+          if (!inserted) uf.Union(r, it->second);
+        }
+      });
+
+  // Number components by minimal group index (ascending scan), then emit
+  // element slots in ascending order — byte-identical to the sequential
+  // path's UnionFind::Components() over per-element keys.
+  constexpr size_t kUnset = std::numeric_limits<size_t>::max();
+  std::vector<size_t> comp_of_root(num_reps, kUnset);
+  std::vector<size_t> comp_of_rep(num_reps, 0);
+  size_t num_components = 0;
+  for (size_t r = 0; r < num_reps; ++r) {
+    const size_t root = uf.Find(r);
+    if (comp_of_root[root] == kUnset) comp_of_root[root] = num_components++;
+    comp_of_rep[r] = comp_of_root[root];
+  }
+  std::vector<std::vector<size_t>> groups(num_components);
+  for (size_t i = 0; i < sig_of.size(); ++i) {
+    groups[comp_of_rep[sig_of[i]]].push_back(i);
+  }
+  return groups;
+}
+
+}  // namespace pghive

@@ -1,0 +1,56 @@
+// Shard-local LSH candidate generation with a deterministic shard-order
+// union — the sharded-Feed equivalent of ClusterByBucketKeys.
+//
+// The sequential clusterer fans each signature group's bucket keys out to
+// every member slot and unions slots that share a key. Here each shard
+// worker hashes only ITS signature groups (assigned by ShardPlan over the
+// signature's content key), collects a local candidate set — (key → first
+// local group) anchors plus intra-shard union edges — and the calling
+// thread merges the per-shard candidates in ascending shard order into one
+// group-level union-find.
+//
+// Determinism/equivalence argument (pinned by golden_equivalence_test's
+// sharded matrix):
+//  * Bucket keys are a pure function of the group's representative
+//    (read-only LSH state), so WHERE a key is computed cannot change it.
+//  * Connectivity closure is order-independent: within a shard every local
+//    group with key k is unioned to the shard's first local holder of k,
+//    and the merge unions each shard's anchor to the globally first
+//    anchor, so all holders of k end up in one component — exactly the
+//    sequential outcome. Union order can only change internal
+//    representatives, never the partition.
+//  * Output ordering is reconstructed from the partition alone: components
+//    are numbered by their minimal group index (== minimal element slot,
+//    since groups are ordered by first-member slot), and members are
+//    emitted in ascending slot order — the documented UnionFind::
+//    Components() order of the sequential path.
+
+#ifndef PGHIVE_LSH_SHARDED_CANDIDATES_H_
+#define PGHIVE_LSH_SHARDED_CANDIDATES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace pghive {
+
+class ThreadPool;
+
+/// Clusters element slots [0, sig_of.size()) into candidate groups.
+///  shard_of_rep[r] — shard owning signature group r (from ShardPlan).
+///  num_shards     — total shards; shard indices must be < num_shards.
+///  rep_keys_fn    — bucket keys for group r's representative (called from
+///                   shard workers; must be thread-safe and pure).
+///  sig_of[i]      — signature group of element slot i (EncodedElements).
+/// Returns the same groups, in the same order, as the sequential
+/// ClusterByBucketKeys over the fanned-out per-element keys.
+std::vector<std::vector<size_t>> ShardedClusterGroups(
+    ThreadPool* pool, size_t num_shards,
+    const std::vector<size_t>& shard_of_rep,
+    const std::function<std::vector<uint64_t>(size_t)>& rep_keys_fn,
+    const std::vector<size_t>& sig_of);
+
+}  // namespace pghive
+
+#endif  // PGHIVE_LSH_SHARDED_CANDIDATES_H_

@@ -51,7 +51,10 @@ TEST(ArgsTest, UnknownFlags) {
 class CliTest : public testing::Test {
  protected:
   void SetUp() override {
-    prefix_ = testing::TempDir() + "/pghive_cli_graph";
+    // Per-test path: ctest runs each test as its own process, and two
+    // concurrently running CliTest processes must not race on the CSV.
+    prefix_ = testing::TempDir() + "/pghive_cli_graph_" +
+              testing::UnitTest::GetInstance()->current_test_info()->name();
     ASSERT_TRUE(SaveGraphCsv(MakeFigure1Graph(), prefix_).ok());
   }
 
