@@ -1,16 +1,37 @@
-// Microbenchmarks (google-benchmark) for the LSH substrate: hashing
-// throughput and its scaling in dimension / table count / set size, plus
-// the union-find clustering pass. These are the ablation measurements
-// behind the O(N T D) efficiency analysis of §4.7.
+// Microbenchmarks for the LSH substrate, in two layers:
+//
+//  1. A per-kernel recorder that times each hot-path kernel in isolation —
+//     ELSH dot-product projection (HashRow over aligned SoA rows), MinHash
+//     permutation min-fold + signature bucketing, and the union-find
+//     candidate merge — and emits one JSONL row per kernel x mode on
+//     stderr ({"type":"bench","name":"micro_lsh.kernel",...}). The two
+//     SIMD-dispatched kernels are swept scalar-vs-AVX2 (via
+//     simd::ForceMode) and their outputs are required to be byte-identical;
+//     the merge kernel is swept rep-level-union-find vs the seed's fanned
+//     per-element pass. This replaces the old single end-to-end aggregate,
+//     which could not attribute a regression to a kernel.
+//
+//  2. google-benchmark loops for scaling in dimension / table count / set
+//     size (the ablation measurements behind the O(N T D) efficiency
+//     analysis of §4.7).
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "cluster/lsh_clusterer.h"
+#include "common/json.h"
 #include "common/random.h"
+#include "common/timer.h"
 #include "lsh/euclidean_lsh.h"
 #include "lsh/minhash_lsh.h"
+#include "simd/aligned.h"
+#include "simd/simd.h"
 
 namespace pghive {
 namespace {
@@ -24,6 +45,171 @@ std::vector<std::vector<float>> RandomVectors(size_t n, size_t dim,
   }
   return out;
 }
+
+// --- Per-kernel JSONL recorder (scalar-vs-SIMD A/B sweep). ---
+
+// Roughly IYP-scale signature-group counts: the pipeline hashes one row
+// per distinct signature, not per element.
+constexpr size_t kSweepReps = 8192;
+constexpr size_t kSweepElems = kSweepReps * 6;
+constexpr size_t kSweepDim = 64;
+constexpr size_t kSweepTokens = 24;  // tokens per signature group
+constexpr int kSweepTrials = 3;      // best-of wall clocks
+
+void EmitKernelRow(const char* kernel, const char* mode, double seconds,
+                   double items, const char* item_unit) {
+  JsonObject fields;
+  fields.emplace("kernel", kernel);
+  fields.emplace("mode", mode);
+  fields.emplace("seconds", seconds);
+  fields.emplace("items", items);
+  fields.emplace("item_unit", item_unit);
+  fields.emplace("items_per_sec", seconds > 0 ? items / seconds : 0.0);
+  std::fprintf(stderr, "%s\n",
+               bench::BenchJsonl("micro_lsh.kernel", fields).c_str());
+}
+
+/// Times the ELSH projection and MinHash fold kernels under `mode` over a
+/// fixed random fixture, appending the resulting keys/signatures to *out
+/// so the caller can cross-check flavours bytewise.
+struct KernelSweepOutput {
+  std::vector<uint64_t> elsh_keys;  // kSweepReps * num_tables
+  std::vector<uint64_t> minhash_sigs;  // kSweepReps * num_hashes
+};
+
+KernelSweepOutput RunSimdKernels(const char* mode_name,
+                                 const simd::AlignedRowMatrix& features,
+                                 const EuclideanLsh& elsh,
+                                 const std::vector<uint64_t>& token_hashes,
+                                 const MinHashLsh& minhash) {
+  KernelSweepOutput out;
+  const size_t tables = static_cast<size_t>(elsh.num_tables());
+  out.elsh_keys.resize(kSweepReps * tables);
+  double best = -1.0;
+  for (int trial = 0; trial < kSweepTrials; ++trial) {
+    Timer timer;
+    for (size_t r = 0; r < kSweepReps; ++r) {
+      elsh.HashRow(features.row(r), out.elsh_keys.data() + r * tables);
+    }
+    const double s = timer.ElapsedSeconds();
+    if (best < 0 || s < best) best = s;
+  }
+  // One "item" is one dot-product projection (T tables x k projections).
+  EmitKernelRow("elsh_projection", mode_name, best,
+                static_cast<double>(kSweepReps * tables *
+                                    elsh.options().hashes_per_table),
+                "projections");
+
+  const size_t hashes = static_cast<size_t>(minhash.options().num_hashes);
+  out.minhash_sigs.resize(kSweepReps * hashes);
+  best = -1.0;
+  for (int trial = 0; trial < kSweepTrials; ++trial) {
+    Timer timer;
+    for (size_t r = 0; r < kSweepReps; ++r) {
+      minhash.SignatureFromHashes(token_hashes.data() + r * kSweepTokens,
+                                  kSweepTokens,
+                                  out.minhash_sigs.data() + r * hashes);
+    }
+    const double s = timer.ElapsedSeconds();
+    if (best < 0 || s < best) best = s;
+  }
+  // One "item" is one salt x token min-update.
+  EmitKernelRow("minhash_bucketing", mode_name, best,
+                static_cast<double>(kSweepReps * hashes * kSweepTokens),
+                "min_folds");
+  return out;
+}
+
+/// Per-kernel timing rows + scalar-vs-SIMD byte-identity check. Returns
+/// false (and reports on stderr) if the AVX2 flavour ever diverges from
+/// scalar — the bit-identity contract of src/simd/kernels.h.
+bool RunKernelSweep() {
+  Rng rng(17);
+  simd::AlignedRowMatrix features;
+  features.Reset(kSweepReps, kSweepDim);
+  for (size_t r = 0; r < kSweepReps; ++r) {
+    float* row = features.row(r);
+    for (size_t d = 0; d < kSweepDim; ++d) {
+      row[d] = static_cast<float>(rng.Normal());
+    }
+  }
+  std::vector<uint64_t> token_hashes(kSweepReps * kSweepTokens);
+  for (auto& h : token_hashes) h = rng.NextU64();
+
+  EuclideanLshOptions eopt;
+  eopt.bucket_length = 4.0;
+  auto elsh = EuclideanLsh::Create(kSweepDim, eopt).value();
+  auto minhash = MinHashLsh::Create({}).value();
+
+  simd::ForceMode(simd::Mode::kScalar);
+  const KernelSweepOutput scalar =
+      RunSimdKernels("scalar", features, elsh, token_hashes, minhash);
+
+  bool identical = true;
+  if (simd::Avx2Available()) {
+    simd::ForceMode(simd::Mode::kAvx2);
+    const KernelSweepOutput avx2 =
+        RunSimdKernels("avx2", features, elsh, token_hashes, minhash);
+    identical = scalar.elsh_keys == avx2.elsh_keys &&
+                scalar.minhash_sigs == avx2.minhash_sigs;
+    if (!identical) {
+      std::fprintf(stderr,
+                   "FAIL: avx2 kernel output diverges from scalar "
+                   "(bit-identity contract of src/simd/kernels.h)\n");
+    }
+  } else {
+    std::fprintf(stderr,
+                 "micro_lsh: host lacks AVX2 — kernel sweep records the "
+                 "scalar flavour only\n");
+  }
+  simd::ForceMode(simd::Mode::kAuto);
+
+  // Candidate-union merge: rank-compressed union-find over signature-group
+  // representatives vs the seed's pairwise pass over fanned per-element
+  // keys. Integer-only — no SIMD axis; the mode field carries the A/B.
+  std::vector<size_t> sig_of(kSweepElems);
+  for (size_t i = 0; i < kSweepElems; ++i) sig_of[i] = i % kSweepReps;
+  const size_t tables = static_cast<size_t>(elsh.num_tables());
+  std::vector<std::vector<uint64_t>> rep_keys(kSweepReps);
+  for (size_t r = 0; r < kSweepReps; ++r) {
+    rep_keys[r].assign(scalar.elsh_keys.begin() + r * tables,
+                       scalar.elsh_keys.begin() + (r + 1) * tables);
+  }
+  double best = -1.0;
+  std::vector<std::vector<size_t>> rep_groups;
+  for (int trial = 0; trial < kSweepTrials; ++trial) {
+    Timer timer;
+    auto groups = ClusterGroupsByRepKeys(rep_keys, sig_of);
+    const double s = timer.ElapsedSeconds();
+    if (best < 0 || s < best) best = s;
+    rep_groups = std::move(groups);
+  }
+  EmitKernelRow("candidate_union", "rep_union_find", best,
+                static_cast<double>(kSweepElems), "elements");
+
+  std::vector<std::vector<uint64_t>> fanned(kSweepElems);
+  for (size_t i = 0; i < kSweepElems; ++i) fanned[i] = rep_keys[sig_of[i]];
+  best = -1.0;
+  std::vector<std::vector<size_t>> fanned_groups;
+  for (int trial = 0; trial < kSweepTrials; ++trial) {
+    Timer timer;
+    auto groups = ClusterByBucketKeys(fanned);
+    const double s = timer.ElapsedSeconds();
+    if (best < 0 || s < best) best = s;
+    fanned_groups = std::move(groups);
+  }
+  EmitKernelRow("candidate_union", "fanned_pairwise", best,
+                static_cast<double>(kSweepElems), "elements");
+  if (rep_groups != fanned_groups) {
+    std::fprintf(stderr,
+                 "FAIL: rep-level union-find groups diverge from the "
+                 "fanned per-element pass\n");
+    identical = false;
+  }
+  return identical;
+}
+
+// --- google-benchmark scaling loops. ---
 
 void BM_ElshHash(benchmark::State& state) {
   size_t dim = static_cast<size_t>(state.range(0));
@@ -45,6 +231,30 @@ BENCHMARK(BM_ElshHash)
     ->Args({64, 5})
     ->Args({64, 20})
     ->Args({64, 35});
+
+// The zero-copy hot path the pipeline actually runs: aligned SoA rows, no
+// per-call scratch copy (contrast with BM_ElshHash's vector<float> API).
+void BM_ElshHashRow(benchmark::State& state) {
+  size_t dim = static_cast<size_t>(state.range(0));
+  EuclideanLshOptions opt;
+  auto lsh = EuclideanLsh::Create(dim, opt).value();
+  Rng rng(1);
+  simd::AlignedRowMatrix rows;
+  rows.Reset(256, dim);
+  for (size_t r = 0; r < 256; ++r) {
+    for (size_t d = 0; d < dim; ++d) {
+      rows.row(r)[d] = static_cast<float>(rng.Normal());
+    }
+  }
+  std::vector<uint64_t> keys(static_cast<size_t>(lsh.num_tables()));
+  size_t i = 0;
+  for (auto _ : state) {
+    lsh.HashRow(rows.row(i++ & 255), keys.data());
+    benchmark::DoNotOptimize(keys.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ElshHashRow)->Arg(16)->Arg(64)->Arg(256);
 
 void BM_MinHashSignature(benchmark::State& state) {
   size_t set_size = static_cast<size_t>(state.range(0));
@@ -87,6 +297,29 @@ void BM_ClusterByBucketKeys(benchmark::State& state) {
 }
 BENCHMARK(BM_ClusterByBucketKeys)->Arg(1000)->Arg(10000)->Arg(50000);
 
+// Rep-level merge on the same population shape, with each bucket
+// population collapsed to one signature group of ~6 members — the
+// dedup ratio the pipeline typically sees.
+void BM_ClusterGroupsByRepKeys(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  size_t reps = n / 6 + 1;
+  Rng rng(7);
+  std::vector<std::vector<uint64_t>> rep_keys(reps);
+  for (auto& k : rep_keys) {
+    uint64_t base = rng.UniformU32(32);
+    for (int t = 0; t < 12; ++t) {
+      k.push_back(base * 1000 + static_cast<uint64_t>(t));
+    }
+  }
+  std::vector<size_t> sig_of(n);
+  for (size_t i = 0; i < n; ++i) sig_of[i] = i % reps;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ClusterGroupsByRepKeys(rep_keys, sig_of));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ClusterGroupsByRepKeys)->Arg(1000)->Arg(10000)->Arg(50000);
+
 void BM_ElshEndToEndLinear(benchmark::State& state) {
   // Demonstrates the O(N) scaling of hash-then-cluster (§4.7).
   size_t n = static_cast<size_t>(state.range(0));
@@ -107,4 +340,11 @@ BENCHMARK(BM_ElshEndToEndLinear)->Arg(1000)->Arg(4000)->Arg(16000);
 }  // namespace
 }  // namespace pghive
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const bool kernels_ok = pghive::RunKernelSweep();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return kernels_ok ? 0 : 1;
+}

@@ -29,6 +29,7 @@
 #include "datagen/generator.h"
 #include "obs/trace.h"
 #include "runtime/thread_pool.h"
+#include "simd/simd.h"
 
 namespace pghive {
 namespace {
@@ -170,6 +171,16 @@ JsonObject StagesToJson(const StageTimings& t) {
   stages.emplace("encode_edges", t.encode_edges);
   stages.emplace("cluster_edges", t.cluster_edges);
   stages.emplace("extract_edges", t.extract_edges);
+  // Hot-path sub-kernels (see StageTimings): the embed loop inside each
+  // encode stage, and the LSH key computation (project) vs bucket-union
+  // merge (hash) split inside each cluster stage. Zero on the sharded Feed
+  // path, where shard workers interleave the two.
+  stages.emplace("encode_nodes_embed", t.encode_nodes_embed);
+  stages.emplace("encode_edges_embed", t.encode_edges_embed);
+  stages.emplace("cluster_nodes_project", t.cluster_nodes_project);
+  stages.emplace("cluster_nodes_hash", t.cluster_nodes_hash);
+  stages.emplace("cluster_edges_project", t.cluster_edges_project);
+  stages.emplace("cluster_edges_hash", t.cluster_edges_hash);
   stages.emplace("post_process", t.post_process);
   // post_process sub-timings: aggregate build/fold + the three per-pass
   // finalizations (they sum to ~post_process; the rest is dispatch).
@@ -199,6 +210,14 @@ StageTimings StagesFromSpans(const std::vector<obs::SpanEvent>& spans) {
   t.encode_edges = SpanSeconds(spans, "pipeline.encode_edges");
   t.cluster_edges = SpanSeconds(spans, "pipeline.cluster_edges");
   t.extract_edges = SpanSeconds(spans, "pipeline.extract_edges");
+  t.encode_nodes_embed = SpanSeconds(spans, "pipeline.encode_nodes.embed");
+  t.encode_edges_embed = SpanSeconds(spans, "pipeline.encode_edges.embed");
+  t.cluster_nodes_project =
+      SpanSeconds(spans, "pipeline.cluster_nodes.project");
+  t.cluster_nodes_hash = SpanSeconds(spans, "pipeline.cluster_nodes.hash");
+  t.cluster_edges_project =
+      SpanSeconds(spans, "pipeline.cluster_edges.project");
+  t.cluster_edges_hash = SpanSeconds(spans, "pipeline.cluster_edges.hash");
   t.post_process = SpanSeconds(spans, "pipeline.post_process");
   t.post_fold = SpanSeconds(spans, "pipeline.post_fold");
   t.post_constraints = SpanSeconds(spans, "pipeline.post_constraints");
@@ -425,6 +444,9 @@ void WritePipelineBaseline() {
   doc.emplace("nodes", g->num_nodes());
   doc.emplace("edges", g->num_edges());
   doc.emplace("hardware_threads", hw);
+  // Which kernel flavour the PGHIVE_SIMD dispatch resolved to for this
+  // recording (the flavours are bit-identical; only the timings differ).
+  doc.emplace("simd", simd::ModeName());
   // threads = 1 and hardware concurrency, plus 8 (the acceptance-criteria
   // point) when the hardware count differs. On a single-core host the
   // multi-thread runs measure pure runtime overhead, not speedup — the

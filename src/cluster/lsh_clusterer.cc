@@ -1,5 +1,6 @@
 #include "cluster/lsh_clusterer.h"
 
+#include <limits>
 #include <unordered_map>
 
 #include "common/union_find.h"
@@ -23,6 +24,67 @@ std::vector<std::vector<size_t>> ClusterByBucketKeys(
     }
   }
   return uf.Components();
+}
+
+namespace {
+
+/// Unions groups sharing a key, then numbers components by minimal group
+/// index and fans element slots out in ascending order (the equivalence
+/// argument is in the header). KeysOf(r) yields group r's keys.
+template <typename KeysOf>
+std::vector<std::vector<size_t>> ClusterGroups(size_t num_reps,
+                                               size_t keys_per_rep,
+                                               KeysOf keys_of,
+                                               const std::vector<size_t>& sig_of) {
+  UnionFind uf(num_reps);
+  std::unordered_map<uint64_t, size_t> first_seen;
+  first_seen.reserve(num_reps * keys_per_rep);
+  for (size_t r = 0; r < num_reps; ++r) {
+    for (uint64_t key : keys_of(r)) {
+      auto [it, inserted] = first_seen.emplace(key, r);
+      if (!inserted) uf.Union(r, it->second);
+    }
+  }
+
+  constexpr size_t kUnset = std::numeric_limits<size_t>::max();
+  std::vector<size_t> comp_of_root(num_reps, kUnset);
+  std::vector<size_t> comp_of_rep(num_reps, 0);
+  size_t num_components = 0;
+  for (size_t r = 0; r < num_reps; ++r) {
+    const size_t root = uf.Find(r);
+    if (comp_of_root[root] == kUnset) comp_of_root[root] = num_components++;
+    comp_of_rep[r] = comp_of_root[root];
+  }
+  std::vector<std::vector<size_t>> groups(num_components);
+  for (size_t i = 0; i < sig_of.size(); ++i) {
+    groups[comp_of_rep[sig_of[i]]].push_back(i);
+  }
+  return groups;
+}
+
+struct SingleKeyRange {
+  uint64_t key;
+  const uint64_t* begin() const { return &key; }
+  const uint64_t* end() const { return &key + 1; }
+};
+
+}  // namespace
+
+std::vector<std::vector<size_t>> ClusterGroupsByRepKeys(
+    const std::vector<std::vector<uint64_t>>& rep_keys,
+    const std::vector<size_t>& sig_of) {
+  const size_t keys_per_rep = rep_keys.empty() ? 0 : rep_keys[0].size();
+  return ClusterGroups(
+      rep_keys.size(), keys_per_rep,
+      [&](size_t r) -> const std::vector<uint64_t>& { return rep_keys[r]; },
+      sig_of);
+}
+
+std::vector<std::vector<size_t>> ClusterGroupsByRepKey(
+    const std::vector<uint64_t>& rep_key, const std::vector<size_t>& sig_of) {
+  return ClusterGroups(
+      rep_key.size(), 1,
+      [&](size_t r) { return SingleKeyRange{rep_key[r]}; }, sig_of);
 }
 
 }  // namespace pghive

@@ -20,6 +20,26 @@ namespace pghive {
 std::vector<std::vector<size_t>> ClusterByBucketKeys(
     const std::vector<std::vector<uint64_t>>& keys);
 
+/// Hot path: the same clustering at SIGNATURE-GROUP level. rep_keys[r] holds
+/// the bucket keys of signature group r's representative; sig_of[i] maps
+/// element slot i to its group (EncodedElements). Merging runs a
+/// rank-compressed union-find over the ~|groups| representatives instead of
+/// the |elements| fanned-out rows, then fans only the component ids out.
+///
+/// Byte-identical to ClusterByBucketKeys over fanned per-element keys:
+/// members of a group share identical keys, so the element partition is the
+/// group partition fanned out; components are numbered by minimal group
+/// index (== minimal member slot, since groups are created in first-member
+/// slot order) and members are emitted in ascending slot order — exactly
+/// UnionFind::Components()'s documented order on the element-level path.
+std::vector<std::vector<size_t>> ClusterGroupsByRepKeys(
+    const std::vector<std::vector<uint64_t>>& rep_keys,
+    const std::vector<size_t>& sig_of);
+
+/// Single-key-per-representative variant (the MinHash whole-signature rule).
+std::vector<std::vector<size_t>> ClusterGroupsByRepKey(
+    const std::vector<uint64_t>& rep_key, const std::vector<size_t>& sig_of);
+
 }  // namespace pghive
 
 #endif  // PGHIVE_CLUSTER_LSH_CLUSTERER_H_

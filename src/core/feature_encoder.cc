@@ -4,19 +4,27 @@
 #include <map>
 #include <set>
 
+#include "common/hash.h"
 #include "common/string_util.h"
+#include "obs/trace.h"
 #include "runtime/parallel.h"
 
 namespace pghive {
 
 namespace {
 
-/// Dense index over the distinct property keys of a batch slice. Visits
-/// each distinct interned key set once instead of every element's map.
+/// Dense index over the distinct property keys of a batch slice, plus the
+/// pre-hashed "prop:<key>" MinHash token per key slot (computed once per
+/// distinct key instead of once per element). Visits each distinct interned
+/// key set once instead of every element's map.
+struct KeyIndex {
+  std::unordered_map<std::string, size_t> slots;
+  std::vector<uint64_t> prop_hash;  // slot -> HashString("prop:" + key)
+};
+
 template <typename GetKeySet>
-std::unordered_map<std::string, size_t> BuildKeyIndex(const SymbolSetPool& pool,
-                                                      size_t begin, size_t end,
-                                                      GetKeySet get) {
+KeyIndex BuildKeyIndex(const SymbolSetPool& pool, size_t begin, size_t end,
+                       GetKeySet get) {
   std::vector<char> seen(pool.size(), 0);
   std::set<std::string> keys;
   for (size_t i = begin; i < end; ++i) {
@@ -26,19 +34,39 @@ std::unordered_map<std::string, size_t> BuildKeyIndex(const SymbolSetPool& pool,
     const std::set<std::string>& s = pool.strings(ks);
     keys.insert(s.begin(), s.end());
   }
-  std::unordered_map<std::string, size_t> index;
-  index.reserve(keys.size());
+  KeyIndex index;
+  index.slots.reserve(keys.size());
+  index.prop_hash.reserve(keys.size());
   size_t slot = 0;
-  for (const auto& k : keys) index.emplace(k, slot++);
+  for (const auto& k : keys) {
+    index.slots.emplace(k, slot++);
+    index.prop_hash.push_back(HashString("prop:" + k));
+  }
   return index;
 }
 
-void AppendScaled(std::vector<float>* out, const std::vector<float>& block,
-                  double scale) {
-  for (float v : block) out->push_back(static_cast<float>(v * scale));
+/// Appends the `copies` duplicated weighted-MinHash tokens for one label /
+/// endpoint token ("<prefix><c>:<token>"), pre-hashed.
+uint64_t* AppendCopyTokens(uint64_t* out, const char* prefix,
+                           const std::string& token, int copies) {
+  for (int c = 0; c < copies; ++c) {
+    *out++ = HashString(prefix + std::to_string(c) + ":" + token);
+  }
+  return out;
 }
 
 }  // namespace
+
+std::vector<float> EncodedElements::VectorOf(size_t slot) const {
+  const float* row = features.row(sig_of[slot]);
+  return std::vector<float>(row, row + dim);
+}
+
+std::vector<uint64_t> EncodedElements::TokensOf(size_t slot) const {
+  const size_t g = sig_of[slot];
+  return std::vector<uint64_t>(token_hashes.begin() + token_begin[g],
+                               token_hashes.begin() + token_begin[g + 1]);
+}
 
 FeatureEncoder::FeatureEncoder(const LabelEmbedder* embedder,
                                FeatureEncoderOptions options, ThreadPool* pool)
@@ -49,19 +77,19 @@ EncodedElements FeatureEncoder::EncodeNodes(const GraphBatch& batch) const {
   auto key_index =
       BuildKeyIndex(g.symbols().key_sets, batch.node_begin, batch.node_end,
                     [&](size_t i) { return g.node(i).key_set; });
-  const size_t K = key_index.size();
+  const size_t K = key_index.slots.size();
   const size_t d = static_cast<size_t>(embedder_->dimension());
 
   // A node's encoding is a pure function of its (label-set, key-set)
   // signature (plus the shared key index), so each distinct signature is
-  // encoded once and fanned out to its members — value-identical to
-  // per-element encoding, so everything downstream is bit-identical.
+  // encoded once — into its own aligned feature row and token-pool slice —
+  // and members reach it through sig_of. Value-identical to per-element
+  // encoding, so everything downstream is bit-identical.
   EncodedElements out;
   const size_t count = batch.num_nodes();
   out.ids.resize(count);
-  out.vectors.resize(count);
-  out.token_sets.resize(count);
   out.sig_of.resize(count);
+  out.dim = d + K;
   std::vector<int32_t> pos(g.symbols().node_signatures.size(), -1);
   for (size_t slot = 0; slot < count; ++slot) {
     const size_t i = batch.node_begin + slot;
@@ -74,37 +102,42 @@ EncodedElements FeatureEncoder::EncodeNodes(const GraphBatch& batch) const {
     out.sig_of[slot] = static_cast<size_t>(p);
   }
 
-  // Representatives write only their own slot; the embedder and key index
-  // are read-only, so the parallel loops are race-free and
-  // order-independent.
-  std::vector<std::vector<float>> rep_vecs(out.reps.size());
-  std::vector<std::vector<std::string>> rep_tokens(out.reps.size());
+  obs::ScopedSpan embed_span("pipeline.encode_nodes.embed",
+                             &out.embed_seconds);
+  // Per-group token counts are knowable upfront (label copies + key-set
+  // size), so the flat token pool is sized by prefix sums and each group
+  // fills exactly its own slice — race-free and order-independent, like the
+  // feature rows.
+  const GraphSymbols& sym = g.symbols();
+  out.token_begin.resize(out.reps.size() + 1, 0);
+  for (size_t r = 0; r < out.reps.size(); ++r) {
+    const Node& n = g.node(batch.node_begin + out.reps[r]);
+    const size_t labels =
+        n.label_set == SymbolSetPool::kEmpty ? 0 : options_.minhash_label_copies;
+    out.token_begin[r + 1] = out.token_begin[r] +
+                             static_cast<uint32_t>(
+                                 labels + sym.key_sets.set_size(n.key_set));
+  }
+  out.token_hashes.resize(out.token_begin.back());
+  out.features.Reset(out.reps.size(), out.dim);
+
   ParallelFor(pool_, out.reps.size(), [&](size_t r) {
     const Node& n = g.node(batch.node_begin + out.reps[r]);
-
-    std::vector<float> vec;
-    vec.reserve(d + K);
-    AppendScaled(&vec, embedder_->EmbedLabels(n.labels), options_.label_weight);
-    vec.resize(d + K, 0.0f);
-    std::vector<std::string> tokens;
-    tokens.reserve(n.properties.size() + options_.minhash_label_copies);
+    float* row = out.features.row(r);
+    const std::vector<float> wl = embedder_->EmbedLabels(n.labels);
+    for (size_t i = 0; i < d; ++i) {
+      row[i] = static_cast<float>(wl[i] * options_.label_weight);
+    }
+    uint64_t* tok = out.token_hashes.data() + out.token_begin[r];
     if (!n.labels.empty()) {
-      const std::string token = CanonicalLabelToken(n.labels);
-      for (int c = 0; c < options_.minhash_label_copies; ++c) {
-        tokens.push_back("label" + std::to_string(c) + ":" + token);
-      }
+      tok = AppendCopyTokens(tok, "label", sym.label_sets.token(n.label_set),
+                             options_.minhash_label_copies);
     }
     for (const auto& [k, v] : n.properties) {
-      vec[d + key_index.at(k)] = 1.0f;
-      tokens.push_back("prop:" + k);
+      const size_t s = key_index.slots.at(k);
+      row[d + s] = 1.0f;
+      *tok++ = key_index.prop_hash[s];
     }
-    rep_vecs[r] = std::move(vec);
-    rep_tokens[r] = std::move(tokens);
-  });
-  ParallelFor(pool_, count, [&](size_t slot) {
-    const size_t r = out.sig_of[slot];
-    out.vectors[slot] = rep_vecs[r];
-    out.token_sets[slot] = rep_tokens[r];
   });
   return out;
 }
@@ -123,7 +156,7 @@ EncodedElements FeatureEncoder::EncodeEdges(
   auto key_index =
       BuildKeyIndex(g.symbols().key_sets, batch.edge_begin, batch.edge_end,
                     [&](size_t i) { return g.edge(i).key_set; });
-  const size_t Q = key_index.size();
+  const size_t Q = key_index.slots.size();
   const size_t d = static_cast<size_t>(embedder_->dimension());
 
   // An edge's encoding is a pure function of (label-set, key-set, source
@@ -152,9 +185,8 @@ EncodedElements FeatureEncoder::EncodeEdges(
   EncodedElements out;
   const size_t count = batch.num_edges();
   out.ids.resize(count);
-  out.vectors.resize(count);
-  out.token_sets.resize(count);
   out.sig_of.resize(count);
+  out.dim = 3 * d + Q;
   std::map<std::array<uint32_t, 3>, int32_t> group_pos;
   std::vector<const std::string*> rep_src, rep_tgt;
   for (size_t slot = 0; slot < count; ++slot) {
@@ -174,51 +206,55 @@ EncodedElements FeatureEncoder::EncodeEdges(
     out.sig_of[slot] = static_cast<size_t>(it->second);
   }
 
-  std::vector<std::vector<float>> rep_vecs(out.reps.size());
-  std::vector<std::vector<std::string>> rep_tokens(out.reps.size());
+  obs::ScopedSpan embed_span("pipeline.encode_edges.embed",
+                             &out.embed_seconds);
+  const GraphSymbols& sym = g.symbols();
+  const size_t copies = static_cast<size_t>(options_.minhash_label_copies);
+  out.token_begin.resize(out.reps.size() + 1, 0);
+  for (size_t r = 0; r < out.reps.size(); ++r) {
+    const Edge& e = g.edge(batch.edge_begin + out.reps[r]);
+    size_t n = sym.key_sets.set_size(e.key_set);
+    if (e.label_set != SymbolSetPool::kEmpty) n += copies;
+    if (!rep_src[r]->empty()) n += copies;
+    if (!rep_tgt[r]->empty()) n += copies;
+    out.token_begin[r + 1] = out.token_begin[r] + static_cast<uint32_t>(n);
+  }
+  out.token_hashes.resize(out.token_begin.back());
+  out.features.Reset(out.reps.size(), out.dim);
+
   ParallelFor(pool_, out.reps.size(), [&](size_t r) {
     const Edge& e = g.edge(batch.edge_begin + out.reps[r]);
     const std::string& src_token = *rep_src[r];
     const std::string& tgt_token = *rep_tgt[r];
 
-    std::vector<float> vec;
-    vec.reserve(3 * d + Q);
-    AppendScaled(&vec, embedder_->EmbedLabels(e.labels), options_.label_weight);
-    AppendScaled(&vec, embedder_->EmbedToken(src_token),
-                 options_.label_weight);
-    AppendScaled(&vec, embedder_->EmbedToken(tgt_token),
-                 options_.label_weight);
-    vec.resize(3 * d + Q, 0.0f);
+    float* row = out.features.row(r);
+    const std::vector<float> we = embedder_->EmbedLabels(e.labels);
+    const std::vector<float> ws = embedder_->EmbedToken(src_token);
+    const std::vector<float> wt = embedder_->EmbedToken(tgt_token);
+    for (size_t i = 0; i < d; ++i) {
+      row[i] = static_cast<float>(we[i] * options_.label_weight);
+      row[d + i] = static_cast<float>(ws[i] * options_.label_weight);
+      row[2 * d + i] = static_cast<float>(wt[i] * options_.label_weight);
+    }
 
-    std::vector<std::string> tokens;
-    tokens.reserve(e.properties.size() + 3 * options_.minhash_label_copies);
+    uint64_t* tok = out.token_hashes.data() + out.token_begin[r];
     if (!e.labels.empty()) {
-      const std::string token = CanonicalLabelToken(e.labels);
-      for (int c = 0; c < options_.minhash_label_copies; ++c) {
-        tokens.push_back("label" + std::to_string(c) + ":" + token);
-      }
+      tok = AppendCopyTokens(tok, "label", label_pool.token(e.label_set),
+                             options_.minhash_label_copies);
     }
     if (!src_token.empty()) {
-      for (int c = 0; c < options_.minhash_label_copies; ++c) {
-        tokens.push_back("src" + std::to_string(c) + ":" + src_token);
-      }
+      tok = AppendCopyTokens(tok, "src", src_token,
+                             options_.minhash_label_copies);
     }
     if (!tgt_token.empty()) {
-      for (int c = 0; c < options_.minhash_label_copies; ++c) {
-        tokens.push_back("tgt" + std::to_string(c) + ":" + tgt_token);
-      }
+      tok = AppendCopyTokens(tok, "tgt", tgt_token,
+                             options_.minhash_label_copies);
     }
     for (const auto& [k, v] : e.properties) {
-      vec[3 * d + key_index.at(k)] = 1.0f;
-      tokens.push_back("prop:" + k);
+      const size_t s = key_index.slots.at(k);
+      row[3 * d + s] = 1.0f;
+      *tok++ = key_index.prop_hash[s];
     }
-    rep_vecs[r] = std::move(vec);
-    rep_tokens[r] = std::move(tokens);
-  });
-  ParallelFor(pool_, count, [&](size_t slot) {
-    const size_t r = out.sig_of[slot];
-    out.vectors[slot] = rep_vecs[r];
-    out.token_sets[slot] = rep_tokens[r];
   });
   return out;
 }

@@ -8,10 +8,19 @@
 // same information is expressed as a token set ("label:", "prop:", "src:",
 // "tgt:" prefixed strings) whose Jaccard similarity mirrors the structural
 // similarity of the elements.
+//
+// Storage is structure-of-arrays over the signature-group REPRESENTATIVES:
+// one 32-byte-aligned zero-padded row per distinct signature in a single
+// contiguous matrix (simd/aligned.h), and one flat pool of pre-hashed
+// MinHash tokens with prefix-sum offsets. Non-representative members carry
+// no per-element payload at all — consumers index the representative data
+// through sig_of, so the old O(elements) vector/token fan-out copies are
+// gone and the LSH kernels stream dense aligned memory.
 
 #ifndef PGHIVE_CORE_FEATURE_ENCODER_H_
 #define PGHIVE_CORE_FEATURE_ENCODER_H_
 
+#include <cstdint>
 #include <set>
 #include <string>
 #include <unordered_map>
@@ -19,28 +28,53 @@
 
 #include "graph/property_graph.h"
 #include "runtime/thread_pool.h"
+#include "simd/aligned.h"
 #include "text/label_embedder.h"
 
 namespace pghive {
 
-/// Encoded element population: parallel arrays over the same elements.
+/// Encoded element population. ids/sig_of are parallel arrays over the
+/// batch's element slots; features/token pools are indexed by signature
+/// group (representative).
 struct EncodedElements {
   /// Global element ids (NodeId or EdgeId) per position.
   std::vector<size_t> ids;
-  /// Dense vectors for ELSH.
-  std::vector<std::vector<float>> vectors;
-  /// Token sets for MinHash.
-  std::vector<std::vector<std::string>> token_sets;
   /// Signature fan-out. An element's encoding is a pure function of its
   /// signature — nodes: the interned (label-set, key-set); edges: that plus
   /// both endpoint tokens — so each distinct signature is encoded once.
   /// sig_of[slot] is the element's dense signature-group index within this
   /// batch; reps[group] is the slot of the group's first member (the one
-  /// actually encoded). vectors/token_sets are fully fanned out, so
-  /// consumers may ignore these fields; hashing-heavy consumers hash
-  /// reps only and fan the keys out (same bytes, far fewer hashes).
+  /// actually encoded). Groups are created in first-member slot order, so
+  /// rep indices ascend with their first-member slots.
   std::vector<size_t> sig_of;
   std::vector<size_t> reps;
+
+  /// Dense ELSH vectors of the representatives: reps.size() rows of dim
+  /// floats each, rows 32-byte aligned and zero-padded to features.stride()
+  /// (the padding is semantically "no extra property bits"). Group g's
+  /// vector is features.row(g); slot i's vector is features.row(sig_of[i]).
+  simd::AlignedRowMatrix features;
+  /// Logical vector width (embedding block + property-bit block).
+  size_t dim = 0;
+
+  /// MinHash token sets of the representatives, pre-hashed (HashString over
+  /// the token text — exactly what MinHashLsh::Signature hashes first).
+  /// Group g's tokens are token_hashes[token_begin[g] .. token_begin[g+1]).
+  std::vector<uint64_t> token_hashes;
+  std::vector<uint32_t> token_begin;  // size reps.size() + 1
+
+  /// Wall-clock of the representative encoding loop (the embed sub-kernel
+  /// span); the pipeline copies it into StageTimings.
+  double embed_seconds = 0.0;
+
+  size_t num_elements() const { return ids.size(); }
+  size_t num_groups() const { return reps.size(); }
+
+  /// Materialized copy of slot i's feature vector (dim floats) — for
+  /// diagnostics and tests; the hot path reads features.row(sig_of[i]).
+  std::vector<float> VectorOf(size_t slot) const;
+  /// Materialized copy of slot i's token-hash set.
+  std::vector<uint64_t> TokensOf(size_t slot) const;
 };
 
 struct FeatureEncoderOptions {
@@ -59,9 +93,9 @@ struct FeatureEncoderOptions {
 /// clustering pass, so per-batch key spaces are sound).
 class FeatureEncoder {
  public:
-  /// `pool` (optional, not owned) parallelizes the per-element encoding
-  /// loops; elements are written to their own index slot, so the encoding
-  /// is bit-identical at any thread count. Null = sequential.
+  /// `pool` (optional, not owned) parallelizes the per-group encoding
+  /// loops; groups are written to their own row/slice, so the encoding is
+  /// bit-identical at any thread count. Null = sequential.
   FeatureEncoder(const LabelEmbedder* embedder,
                  FeatureEncoderOptions options = {},
                  ThreadPool* pool = nullptr);

@@ -167,12 +167,21 @@ Status PgHivePipeline::ProcessBatch(const GraphBatch& batch,
       -> Result<std::vector<std::vector<size_t>>> {
     std::vector<std::vector<size_t>> groups;
     if (enc.ids.empty()) return groups;
+    const bool is_node = kind == ElementKind::kNode;
+    const char* project_span = is_node ? "pipeline.cluster_nodes.project"
+                                       : "pipeline.cluster_edges.project";
+    const char* hash_span = is_node ? "pipeline.cluster_nodes.hash"
+                                    : "pipeline.cluster_edges.hash";
+    double* project_out = is_node ? &timings.cluster_nodes_project
+                                  : &timings.cluster_edges_project;
+    double* hash_out =
+        is_node ? &timings.cluster_nodes_hash : &timings.cluster_edges_hash;
     DataProfile profile;
     if (options_.adaptive_parameters) {
       profile.num_elements = enc.ids.size();
       profile.num_distinct_labels = CountDistinctLabels(batch, kind);
       profile.mean_pairwise_distance =
-          SampleMeanDistance(enc.vectors, options_.seed);
+          SampleMeanDistance(enc.features, enc.sig_of, options_.seed);
       *diag = ComputeAdaptiveParams(profile, kind, options_.adaptive_tuning);
     }
     // Sharded Feed path: shard of each signature group. Every group maps to
@@ -198,29 +207,33 @@ Status PgHivePipeline::ProcessBatch(const GraphBatch& batch,
         lsh_opt = ToElshOptions(*diag, options_.seed);
         lsh_opt.hashes_per_table = options_.elsh.hashes_per_table;
       }
-      PGHIVE_ASSIGN_OR_RETURN(
-          EuclideanLsh lsh,
-          EuclideanLsh::Create(enc.vectors[0].size(), lsh_opt));
+      PGHIVE_ASSIGN_OR_RETURN(EuclideanLsh lsh,
+                              EuclideanLsh::Create(enc.dim, lsh_opt));
       // Hashing is pure (read-only LSH state) and members of a signature
       // group share identical vectors, so only each group's representative
-      // is hashed and its keys fan out — byte-identical to hashing every
-      // element, at any thread count.
+      // — its aligned SoA feature row — is hashed, and only the component
+      // ids fan out — byte-identical to hashing every element, at any
+      // thread count.
+      auto rep_keys_fn = [&](size_t r) {
+        std::vector<uint64_t> keys(static_cast<size_t>(lsh.num_tables()));
+        lsh.HashRow(enc.features.row(r), keys.data());
+        return keys;
+      };
       if (shard_plan_.sharded()) {
         // Shard-local hashing + candidate generation, merged in ascending
         // shard order (lsh/sharded_candidates.h) — same groups, same order.
-        return ShardedClusterGroups(
-            pool, shard_plan_.num_shards(), shard_of_reps(),
-            [&](size_t r) { return lsh.Hash(enc.vectors[enc.reps[r]]); },
-            enc.sig_of);
+        // Shard workers interleave projection and merging, so the
+        // project/hash sub-timings stay 0 on this path.
+        return ShardedClusterGroups(pool, shard_plan_.num_shards(),
+                                    shard_of_reps(), rep_keys_fn, enc.sig_of);
       }
-      std::vector<std::vector<uint64_t>> rep_keys = ParallelMap(
-          pool, enc.reps.size(),
-          [&](size_t r) { return lsh.Hash(enc.vectors[enc.reps[r]]); });
-      std::vector<std::vector<uint64_t>> keys(enc.vectors.size());
-      for (size_t i = 0; i < keys.size(); ++i) {
-        keys[i] = rep_keys[enc.sig_of[i]];
+      std::vector<std::vector<uint64_t>> rep_keys;
+      {
+        obs::ScopedSpan span(project_span, project_out);
+        rep_keys = ParallelMap(pool, enc.reps.size(), rep_keys_fn);
       }
-      return ClusterByBucketKeys(keys);
+      obs::ScopedSpan span(hash_span, hash_out);
+      return ClusterGroupsByRepKeys(rep_keys, enc.sig_of);
     }
     MinHashLshOptions mh_opt = options_.minhash;
     if (options_.adaptive_parameters) {
@@ -236,25 +249,28 @@ Status PgHivePipeline::ProcessBatch(const GraphBatch& batch,
     // signatures agree (probability J^T) — similar sets collide often,
     // dissimilar ones rarely (§4.2). Fragments are reunited by Algorithm 2.
     // Group members share identical token sets, so only representatives are
-    // MinHashed and the key fans out.
+    // MinHashed — each a pre-hashed slice of the encoder's flat token pool,
+    // min-folded by the simd kernel — and only the component ids fan out.
+    auto rep_sig_key = [&](size_t r) {
+      std::vector<uint64_t> sig(static_cast<size_t>(lsh.options().num_hashes));
+      lsh.SignatureFromHashes(
+          enc.token_hashes.data() + enc.token_begin[r],
+          enc.token_begin[r + 1] - enc.token_begin[r], sig.data());
+      return lsh.SignatureKey(sig);
+    };
     if (shard_plan_.sharded()) {
       return ShardedClusterGroups(
           pool, shard_plan_.num_shards(), shard_of_reps(),
-          [&](size_t r) {
-            return std::vector<uint64_t>{
-                lsh.SignatureKey(lsh.Signature(enc.token_sets[enc.reps[r]]))};
-          },
+          [&](size_t r) { return std::vector<uint64_t>{rep_sig_key(r)}; },
           enc.sig_of);
     }
-    std::vector<uint64_t> rep_keys = ParallelMap(
-        pool, enc.reps.size(), [&](size_t r) {
-          return lsh.SignatureKey(lsh.Signature(enc.token_sets[enc.reps[r]]));
-        });
-    std::vector<std::vector<uint64_t>> keys(enc.token_sets.size());
-    for (size_t i = 0; i < keys.size(); ++i) {
-      keys[i] = {rep_keys[enc.sig_of[i]]};
+    std::vector<uint64_t> rep_keys;
+    {
+      obs::ScopedSpan span(project_span, project_out);
+      rep_keys = ParallelMap(pool, enc.reps.size(), rep_sig_key);
     }
-    return ClusterByBucketKeys(keys);
+    obs::ScopedSpan span(hash_span, hash_out);
+    return ClusterGroupsByRepKey(rep_keys, enc.sig_of);
   };
 
   // --- Nodes first (edges consume the discovered node types). ---
@@ -263,6 +279,7 @@ Status PgHivePipeline::ProcessBatch(const GraphBatch& batch,
     obs::ScopedSpan span("pipeline.encode_nodes", &timings.encode_nodes);
     nodes = encoder.EncodeNodes(batch);
   }
+  timings.encode_nodes_embed = nodes.embed_seconds;
   std::vector<std::vector<size_t>> node_groups;
   {
     obs::ScopedSpan span("pipeline.cluster_nodes", &timings.cluster_nodes);
@@ -302,6 +319,7 @@ Status PgHivePipeline::ProcessBatch(const GraphBatch& batch,
     obs::ScopedSpan span("pipeline.encode_edges", &timings.encode_edges);
     edges = encoder.EncodeEdges(batch, endpoint_labels);
   }
+  timings.encode_edges_embed = edges.embed_seconds;
   std::vector<std::vector<size_t>> edge_groups;
   {
     obs::ScopedSpan span("pipeline.cluster_edges", &timings.cluster_edges);

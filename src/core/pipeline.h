@@ -105,6 +105,20 @@ struct StageTimings {
   double encode_edges = 0.0;
   double cluster_edges = 0.0;
   double extract_edges = 0.0;
+  // Sub-kernel timings of the hot path, so each SoA/SIMD/union-find lever
+  // is individually visible in BENCH_pipeline.json. encode_*_embed is the
+  // representative encoding loop inside encode_* (the remainder is key
+  // indexing + signature grouping). cluster_*_project is LSH key
+  // computation over representatives (ELSH dot-product projections or
+  // MinHash permutation min-folds); cluster_*_hash is bucket grouping +
+  // union-find merge + fan-out. The sharded Feed path interleaves project
+  // and hash inside its shard workers, so there the sub-timings stay 0.
+  double encode_nodes_embed = 0.0;
+  double encode_edges_embed = 0.0;
+  double cluster_nodes_project = 0.0;
+  double cluster_nodes_hash = 0.0;
+  double cluster_edges_project = 0.0;
+  double cluster_edges_hash = 0.0;
   double post_process = 0.0;   // constraints + datatypes + cardinalities
   // Sub-timings of post_process (they sum to roughly post_process; the
   // remainder is dispatch overhead). post_fold is the aggregate build /

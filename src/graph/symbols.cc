@@ -95,14 +95,15 @@ SignatureId SignaturePool::Intern(SymbolSetId label_set, SymbolSetId key_set) {
       (static_cast<uint64_t>(label_set) << 32) | static_cast<uint64_t>(key_set);
   auto it = index_.find(key);
   if (it != index_.end()) return it->second;
-  SignatureId id = static_cast<SignatureId>(sigs_.size());
-  sigs_.emplace_back(label_set, key_set);
+  SignatureId id = static_cast<SignatureId>(label_sets_.size());
+  label_sets_.push_back(label_set);
+  key_sets_.push_back(key_set);
   index_.emplace(key, id);
   return id;
 }
 
 size_t SignaturePool::ApproxBytes() const {
-  return sigs_.capacity() * sizeof(sigs_[0]) +
+  return (label_sets_.capacity() + key_sets_.capacity()) * sizeof(SymbolSetId) +
          index_.size() * (sizeof(uint64_t) + sizeof(SignatureId) + sizeof(void*));
 }
 

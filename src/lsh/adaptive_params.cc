@@ -46,6 +46,41 @@ double SampleMeanDistance(const std::vector<std::vector<float>>& vectors,
   return sum / static_cast<double>(pairs);
 }
 
+double SampleMeanDistance(const simd::AlignedRowMatrix& rep_features,
+                          const std::vector<size_t>& sig_of, uint64_t seed,
+                          size_t max_pairs) {
+  // Mirrors the fanned-out overload exactly — same sample-size rule over
+  // ELEMENT count, same Rng stream, same sequential accumulation — with the
+  // vector lookup indirected through sig_of.
+  const size_t n = sig_of.size();
+  if (n < 2) return 0.0;
+  size_t sample_size = std::min(n, std::max<size_t>(n / 100, 10000));
+  Rng rng(seed, 0xada);
+  std::vector<size_t> sample = rng.SampleWithoutReplacement(n, sample_size);
+
+  size_t pairs = std::min(max_pairs, sample.size() * (sample.size() - 1) / 2);
+  if (pairs == 0) return 0.0;
+  const size_t dim = rep_features.cols();
+  double sum = 0.0;
+  for (size_t p = 0; p < pairs; ++p) {
+    size_t i = sample[rng.UniformU32(static_cast<uint32_t>(sample.size()))];
+    size_t j = sample[rng.UniformU32(static_cast<uint32_t>(sample.size()))];
+    if (i == j) {
+      j = sample[(p + 1) % sample.size()];
+      if (i == j) continue;
+    }
+    const float* a = rep_features.row(sig_of[i]);
+    const float* b = rep_features.row(sig_of[j]);
+    double sq = 0.0;
+    for (size_t d = 0; d < dim; ++d) {
+      double diff = a[d] - b[d];
+      sq += diff * diff;
+    }
+    sum += std::sqrt(sq);
+  }
+  return sum / static_cast<double>(pairs);
+}
+
 double AlphaForLabelCount(size_t num_distinct_labels) {
   if (num_distinct_labels <= 3) return 0.8;
   if (num_distinct_labels <= 10) return 1.0;

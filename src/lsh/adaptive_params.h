@@ -23,6 +23,7 @@
 
 #include "lsh/euclidean_lsh.h"
 #include "lsh/minhash_lsh.h"
+#include "simd/aligned.h"
 
 namespace pghive {
 
@@ -51,6 +52,14 @@ struct AdaptiveLshParams {
 /// fewer than 2 vectors.
 double SampleMeanDistance(const std::vector<std::vector<float>>& vectors,
                           uint64_t seed, size_t max_pairs = 2000);
+
+/// SoA overload over the encoder's representative matrix: element i's
+/// vector is rep_features.row(sig_of[i]). Sampling stays over ELEMENT
+/// indices with the identical RNG consumption and accumulation order as the
+/// fanned-out overload, so the estimate is bit-identical to pre-SoA runs.
+double SampleMeanDistance(const simd::AlignedRowMatrix& rep_features,
+                          const std::vector<size_t>& sig_of, uint64_t seed,
+                          size_t max_pairs = 2000);
 
 /// alpha(L) label-diversity factor from the paper.
 double AlphaForLabelCount(size_t num_distinct_labels);

@@ -4,6 +4,7 @@
 
 #include "common/hash.h"
 #include "common/random.h"
+#include "simd/kernels.h"
 
 namespace pghive {
 
@@ -28,33 +29,42 @@ EuclideanLsh::EuclideanLsh(size_t dimension,
   Rng rng(options.seed, 0xe15b);
   size_t rows = static_cast<size_t>(options.num_tables) *
                 static_cast<size_t>(options.hashes_per_table);
-  projections_.resize(rows * dimension);
+  // Same RNG draw order as the pre-SoA flat layout; the padded tail of each
+  // row stays zero so padded input lanes contribute exact +0.0 terms.
+  projections_.Reset(rows, dimension);
   offsets_.resize(rows);
   for (size_t r = 0; r < rows; ++r) {
+    float* row = projections_.row(r);
     for (size_t d = 0; d < dimension; ++d) {
-      projections_[r * dimension + d] = static_cast<float>(rng.Normal());
+      row[d] = static_cast<float>(rng.Normal());
     }
     offsets_[r] = rng.UniformDouble(0.0, options.bucket_length);
   }
 }
 
-std::vector<uint64_t> EuclideanLsh::Hash(const std::vector<float>& x) const {
+void EuclideanLsh::HashRow(const float* x, uint64_t* keys_out) const {
   const int T = options_.num_tables;
   const int k = options_.hashes_per_table;
-  std::vector<uint64_t> keys(T);
+  const size_t width = projections_.stride();
   for (int t = 0; t < T; ++t) {
     uint64_t key = Mix64(0xb0c4e7 + static_cast<uint64_t>(t));
     for (int i = 0; i < k; ++i) {
-      size_t row = static_cast<size_t>(t) * k + i;
-      const float* a = &projections_[row * dimension_];
-      double dot = 0.0;
-      for (size_t d = 0; d < dimension_; ++d) dot += a[d] * x[d];
+      const size_t row = static_cast<size_t>(t) * k + i;
+      const double dot = simd::DotProduct(projections_.row(row), x, width);
       int64_t bucket = static_cast<int64_t>(
           std::floor((dot + offsets_[row]) / options_.bucket_length));
       key = HashCombine(key, static_cast<uint64_t>(bucket));
     }
-    keys[t] = key;
+    keys_out[t] = key;
   }
+}
+
+std::vector<uint64_t> EuclideanLsh::Hash(const std::vector<float>& x) const {
+  simd::AlignedRowMatrix scratch(1, dimension_);
+  float* row = scratch.row(0);
+  for (size_t d = 0; d < dimension_; ++d) row[d] = x[d];
+  std::vector<uint64_t> keys(options_.num_tables);
+  HashRow(row, keys.data());
   return keys;
 }
 

@@ -18,6 +18,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "simd/aligned.h"
 
 namespace pghive {
 
@@ -48,16 +49,25 @@ class EuclideanLsh {
 
   /// Bucket keys of `x` (size num_tables). x.size() must equal dimension().
   /// Each key already encodes the table index, so keys from different tables
-  /// never collide with each other.
+  /// never collide with each other. Convenience wrapper over HashRow (copies
+  /// x into an aligned scratch row).
   std::vector<uint64_t> Hash(const std::vector<float>& x) const;
+
+  /// Hot path: bucket keys of one 32-byte-aligned feature row (an
+  /// AlignedRowMatrix row whose cols == dimension(), zero-padded — exactly
+  /// what FeatureEncoder produces). Writes num_tables() keys to keys_out.
+  /// The dot products run through the simd kernels (scalar or AVX2 per the
+  /// PGHIVE_SIMD dispatch), which are bit-identical to each other.
+  void HashRow(const float* x, uint64_t* keys_out) const;
 
  private:
   EuclideanLsh(size_t dimension, const EuclideanLshOptions& options);
 
   size_t dimension_;
   EuclideanLshOptions options_;
-  /// T * k rows of `dimension` Gaussian entries, row-major.
-  std::vector<float> projections_;
+  /// T * k rows of `dimension` Gaussian entries, one aligned zero-padded
+  /// row per projection (SoA column block for the dot-product kernel).
+  simd::AlignedRowMatrix projections_;
   /// T * k offsets in [0, b).
   std::vector<double> offsets_;
 };

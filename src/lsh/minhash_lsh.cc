@@ -4,6 +4,7 @@
 
 #include "common/hash.h"
 #include "common/random.h"
+#include "simd/kernels.h"
 
 namespace pghive {
 
@@ -27,18 +28,21 @@ MinHashLsh::MinHashLsh(const MinHashLshOptions& options) : options_(options) {
 
 std::vector<uint64_t> MinHashLsh::Signature(
     const std::vector<std::string>& tokens) const {
-  std::vector<uint64_t> sig(options_.num_hashes,
-                            std::numeric_limits<uint64_t>::max());
-  // Hash each token once, then mix with per-function salts: O(|S| * T) with
-  // only |S| string hashes.
-  for (const auto& tok : tokens) {
-    uint64_t h = HashString(tok);
-    for (int i = 0; i < options_.num_hashes; ++i) {
-      uint64_t v = Mix64(h ^ salts_[i]);
-      if (v < sig[i]) sig[i] = v;
-    }
-  }
+  // Hash each token once, then min-fold over the per-function salts:
+  // O(|S| * T) with only |S| string hashes.
+  std::vector<uint64_t> hashes;
+  hashes.reserve(tokens.size());
+  for (const auto& tok : tokens) hashes.push_back(HashString(tok));
+  std::vector<uint64_t> sig(options_.num_hashes);
+  SignatureFromHashes(hashes.data(), hashes.size(), sig.data());
   return sig;
+}
+
+void MinHashLsh::SignatureFromHashes(const uint64_t* token_hashes,
+                                     size_t num_tokens,
+                                     uint64_t* sig_out) const {
+  simd::MinHashFold(token_hashes, num_tokens, salts_.data(), salts_.size(),
+                    sig_out);
 }
 
 std::vector<uint64_t> MinHashLsh::BandKeys(

@@ -44,6 +44,15 @@ class MinHashLsh {
   std::vector<uint64_t> Signature(
       const std::vector<std::string>& tokens) const;
 
+  /// Hot path: signature from pre-hashed tokens (HashString of each token —
+  /// what FeatureEncoder stores in its flat token pool). Writes num_hashes
+  /// minima to sig_out via the simd MinHashFold kernel (scalar or AVX2 per
+  /// the PGHIVE_SIMD dispatch; exact integer ops, so both flavours and the
+  /// pre-SoA loop agree bitwise). num_hashes == 0 yields the all-max
+  /// empty-set sentinel.
+  void SignatureFromHashes(const uint64_t* token_hashes, size_t num_tokens,
+                           uint64_t* sig_out) const;
+
   /// Banded bucket keys (size num_bands) derived from a signature; each key
   /// encodes the band index.
   std::vector<uint64_t> BandKeys(const std::vector<uint64_t>& signature) const;

@@ -1,0 +1,90 @@
+// Aligned structure-of-arrays storage for the hot-path kernels.
+//
+// AlignedRowMatrix is the column-block layout the SoA pass puts feature
+// vectors and projection rows in: every row starts on a 32-byte boundary
+// (one AVX2 register) and is padded with zeros to a multiple of 8 floats,
+// so the SIMD kernels (simd/kernels.h) can stream whole rows in full
+// 128-bit float loads with no tail handling. The zero padding is part of
+// the contract: kernels may run over the padded width, and a padded lane
+// contributes exact +0.0 terms that cannot change an IEEE-754 sum that
+// starts from +0.0 (see kernels.h for the bit-identity argument).
+
+#ifndef PGHIVE_SIMD_ALIGNED_H_
+#define PGHIVE_SIMD_ALIGNED_H_
+
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+namespace pghive {
+namespace simd {
+
+/// Rows × cols float matrix; rows are 32-byte aligned and zero-padded to a
+/// stride of 8 floats. Move-only (rows can be megabytes; copies must be
+/// explicit).
+class AlignedRowMatrix {
+ public:
+  static constexpr size_t kAlignBytes = 32;
+  static constexpr size_t kStrideFloats = kAlignBytes / sizeof(float);
+
+  AlignedRowMatrix() = default;
+  AlignedRowMatrix(size_t rows, size_t cols) { Reset(rows, cols); }
+  ~AlignedRowMatrix() { std::free(data_); }
+
+  AlignedRowMatrix(const AlignedRowMatrix&) = delete;
+  AlignedRowMatrix& operator=(const AlignedRowMatrix&) = delete;
+  AlignedRowMatrix(AlignedRowMatrix&& other) noexcept { *this = std::move(other); }
+  AlignedRowMatrix& operator=(AlignedRowMatrix&& other) noexcept {
+    if (this != &other) {
+      std::free(data_);
+      data_ = std::exchange(other.data_, nullptr);
+      rows_ = std::exchange(other.rows_, 0);
+      cols_ = std::exchange(other.cols_, 0);
+      stride_ = std::exchange(other.stride_, 0);
+    }
+    return *this;
+  }
+
+  /// Stride (in floats) a `cols`-wide row occupies: next multiple of 8.
+  static size_t StrideFor(size_t cols) {
+    return (cols + kStrideFloats - 1) / kStrideFloats * kStrideFloats;
+  }
+
+  /// Reallocates to rows × cols, all elements (and padding) zeroed.
+  void Reset(size_t rows, size_t cols) {
+    std::free(data_);
+    rows_ = rows;
+    cols_ = cols;
+    stride_ = StrideFor(cols);
+    const size_t bytes = rows_ * stride_ * sizeof(float);
+    if (bytes == 0) {
+      data_ = nullptr;
+      return;
+    }
+    // stride_ is a multiple of 8 floats = 32 bytes, so `bytes` meets
+    // aligned_alloc's size-multiple-of-alignment requirement.
+    data_ = static_cast<float*>(std::aligned_alloc(kAlignBytes, bytes));
+    std::memset(data_, 0, bytes);
+  }
+
+  float* row(size_t r) { return data_ + r * stride_; }
+  const float* row(size_t r) const { return data_ + r * stride_; }
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  /// Padded row width in floats; kernels iterate this far (padding is zero).
+  size_t stride() const { return stride_; }
+  size_t bytes() const { return rows_ * stride_ * sizeof(float); }
+
+ private:
+  float* data_ = nullptr;
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  size_t stride_ = 0;
+};
+
+}  // namespace simd
+}  // namespace pghive
+
+#endif  // PGHIVE_SIMD_ALIGNED_H_

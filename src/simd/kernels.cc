@@ -1,0 +1,154 @@
+#include "simd/kernels.h"
+
+#include <limits>
+
+#include "common/hash.h"
+
+#if defined(PGHIVE_SIMD_X86)
+#include <immintrin.h>
+#endif
+
+namespace pghive {
+namespace simd {
+
+double DotProductScalar(const float* a, const float* x, size_t width) {
+  // Lane mapping d mod 8 and the left-to-right reduce below are the
+  // bit-identity contract shared with DotProductAvx2 (see kernels.h).
+  double acc[8] = {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+  for (size_t d = 0; d < width; ++d) {
+    acc[d & 7] += static_cast<double>(a[d] * x[d]);
+  }
+  double sum = acc[0];
+  for (int l = 1; l < 8; ++l) sum += acc[l];
+  return sum;
+}
+
+void MinHashFoldScalar(const uint64_t* hashes, size_t num_hashes,
+                       const uint64_t* salts, size_t num_salts,
+                       uint64_t* sig) {
+  for (size_t i = 0; i < num_salts; ++i) {
+    sig[i] = std::numeric_limits<uint64_t>::max();
+  }
+  for (size_t j = 0; j < num_hashes; ++j) {
+    const uint64_t h = hashes[j];
+    for (size_t i = 0; i < num_salts; ++i) {
+      const uint64_t v = Mix64(h ^ salts[i]);
+      if (v < sig[i]) sig[i] = v;
+    }
+  }
+}
+
+#if defined(PGHIVE_SIMD_X86)
+
+namespace {
+
+/// Low 64 bits of a 64x64 multiply, 4 lanes. mul_epu32 only multiplies the
+/// low 32-bit halves, so the high cross terms are assembled by hand; the
+/// cross sum may wrap but only its low 32 bits survive the shift.
+__attribute__((target("avx2"))) inline __m256i MulLo64(__m256i x, __m256i y) {
+  const __m256i lo = _mm256_mul_epu32(x, y);
+  const __m256i xh = _mm256_srli_epi64(x, 32);
+  const __m256i yh = _mm256_srli_epi64(y, 32);
+  const __m256i cross =
+      _mm256_add_epi64(_mm256_mul_epu32(xh, y), _mm256_mul_epu32(x, yh));
+  return _mm256_add_epi64(lo, _mm256_slli_epi64(cross, 32));
+}
+
+/// SplitMix64 finalizer (common/hash.h Mix64), 4 lanes.
+__attribute__((target("avx2"))) inline __m256i Mix64x4(__m256i x) {
+  x = _mm256_add_epi64(
+      x, _mm256_set1_epi64x(static_cast<long long>(0x9e3779b97f4a7c15ULL)));
+  x = MulLo64(
+      _mm256_xor_si256(x, _mm256_srli_epi64(x, 30)),
+      _mm256_set1_epi64x(static_cast<long long>(0xbf58476d1ce4e5b9ULL)));
+  x = MulLo64(
+      _mm256_xor_si256(x, _mm256_srli_epi64(x, 27)),
+      _mm256_set1_epi64x(static_cast<long long>(0x94d049bb133111ebULL)));
+  return _mm256_xor_si256(x, _mm256_srli_epi64(x, 31));
+}
+
+/// Unsigned 64-bit min, 4 lanes (AVX2 only has a signed 64-bit compare, so
+/// both sides are sign-biased first).
+__attribute__((target("avx2"))) inline __m256i MinU64x4(__m256i a, __m256i b) {
+  const __m256i bias =
+      _mm256_set1_epi64x(static_cast<long long>(0x8000000000000000ULL));
+  const __m256i a_gt_b = _mm256_cmpgt_epi64(_mm256_xor_si256(a, bias),
+                                            _mm256_xor_si256(b, bias));
+  return _mm256_blendv_epi8(a, b, a_gt_b);
+}
+
+}  // namespace
+
+__attribute__((target("avx2"))) double DotProductAvx2(const float* a,
+                                                      const float* x,
+                                                      size_t width) {
+  // acc_lo holds lanes d mod 8 in {0..3}, acc_hi {4..7} — the same mapping
+  // as DotProductScalar. Products are computed in FLOAT (matching the
+  // scalar flavour and the pre-SoA code) and widened exactly to double.
+  __m256d acc_lo = _mm256_setzero_pd();
+  __m256d acc_hi = _mm256_setzero_pd();
+  for (size_t d = 0; d < width; d += 8) {
+    const __m256 prod =
+        _mm256_mul_ps(_mm256_load_ps(a + d), _mm256_load_ps(x + d));
+    acc_lo = _mm256_add_pd(acc_lo,
+                           _mm256_cvtps_pd(_mm256_castps256_ps128(prod)));
+    acc_hi = _mm256_add_pd(acc_hi,
+                           _mm256_cvtps_pd(_mm256_extractf128_ps(prod, 1)));
+  }
+  alignas(32) double lanes[8];
+  _mm256_store_pd(lanes, acc_lo);
+  _mm256_store_pd(lanes + 4, acc_hi);
+  double sum = lanes[0];
+  for (int l = 1; l < 8; ++l) sum += lanes[l];
+  return sum;
+}
+
+__attribute__((target("avx2"))) void MinHashFoldAvx2(const uint64_t* hashes,
+                                                     size_t num_hashes,
+                                                     const uint64_t* salts,
+                                                     size_t num_salts,
+                                                     uint64_t* sig) {
+  size_t i = 0;
+  for (; i + 4 <= num_salts; i += 4) {
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(salts + i));
+    __m256i m = _mm256_set1_epi64x(-1);
+    for (size_t j = 0; j < num_hashes; ++j) {
+      const __m256i h =
+          _mm256_set1_epi64x(static_cast<long long>(hashes[j]));
+      m = MinU64x4(m, Mix64x4(_mm256_xor_si256(h, s)));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(sig + i), m);
+  }
+  for (; i < num_salts; ++i) {
+    uint64_t m = std::numeric_limits<uint64_t>::max();
+    for (size_t j = 0; j < num_hashes; ++j) {
+      const uint64_t v = Mix64(hashes[j] ^ salts[i]);
+      if (v < m) m = v;
+    }
+    sig[i] = m;
+  }
+}
+
+#endif  // PGHIVE_SIMD_X86
+
+double DotProduct(const float* a, const float* x, size_t width) {
+#if defined(PGHIVE_SIMD_X86)
+  if (Enabled()) return DotProductAvx2(a, x, width);
+#endif
+  return DotProductScalar(a, x, width);
+}
+
+void MinHashFold(const uint64_t* hashes, size_t num_hashes,
+                 const uint64_t* salts, size_t num_salts, uint64_t* sig) {
+#if defined(PGHIVE_SIMD_X86)
+  if (Enabled()) {
+    MinHashFoldAvx2(hashes, num_hashes, salts, num_salts, sig);
+    return;
+  }
+#endif
+  MinHashFoldScalar(hashes, num_hashes, salts, num_salts, sig);
+}
+
+}  // namespace simd
+}  // namespace pghive

@@ -1,0 +1,67 @@
+// Hot-path SIMD kernels: ELSH dot-product projection and MinHash
+// permutation min-reduction, each in a scalar and an AVX2 flavour that
+// produce bit-identical results.
+//
+// Why bit-identity holds:
+//
+//   DotProduct — each term is the FLOAT product a[d]*x[d] (exactly the
+//   rounding the pre-SoA sequential loop produced) widened exactly to
+//   double, accumulated into 8 lanes with lane = d mod 8, then reduced
+//   with one fixed left-to-right lane order. The scalar flavour uses 8
+//   double accumulators with the same lane mapping and the same reduce,
+//   so scalar and AVX2 perform the identical sequence of IEEE-754
+//   operations. Zero padding (aligned.h) contributes +0.0 terms, and
+//   +0.0 added to an accumulator that starts at +0.0 can never flip its
+//   value or sign, so padded width is harmless. Widening float->double is
+//   exact, and GCC/Clang cannot contract the float multiply with the
+//   double add into an FMA (the intermediate float rounding is
+//   observable), so -O2/-O3 codegen keeps the order.
+//
+//   MinHashFold — xor, SplitMix64 and unsigned min are exact integer
+//   operations and min is associative/commutative, so ANY evaluation
+//   order gives the same minima; the AVX2 flavour processes salts in
+//   blocks of 4 with a scalar tail and is trivially equal to the scalar
+//   token-major loop (which mirrors the pre-SoA code).
+//
+// Callers normally use the dispatching entry points (DotProduct,
+// MinHashFold); the flavoured variants exist for the equivalence tests
+// and the scalar-vs-SIMD bench sweep.
+
+#ifndef PGHIVE_SIMD_KERNELS_H_
+#define PGHIVE_SIMD_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "simd/simd.h"
+
+namespace pghive {
+namespace simd {
+
+/// Dot product over two float rows of `width` floats. `width` must be a
+/// multiple of 8 (AlignedRowMatrix stride) and for the AVX2 flavour both
+/// pointers must be 32-byte aligned. Returns the 8-lane / ordered-reduce
+/// double sum described above.
+double DotProduct(const float* a, const float* x, size_t width);
+double DotProductScalar(const float* a, const float* x, size_t width);
+
+/// sig[i] = min over tokens j of Mix64(hashes[j] ^ salts[i]), for
+/// i in [0, num_salts). sig is fully overwritten; with no tokens every
+/// entry is UINT64_MAX (the empty-set sentinel signature).
+void MinHashFold(const uint64_t* hashes, size_t num_hashes,
+                 const uint64_t* salts, size_t num_salts, uint64_t* sig);
+void MinHashFoldScalar(const uint64_t* hashes, size_t num_hashes,
+                       const uint64_t* salts, size_t num_salts, uint64_t* sig);
+
+#if defined(PGHIVE_SIMD_X86)
+/// AVX2 flavours; call only when Avx2Available(). Compiled with a
+/// function-level target attribute, so no global -mavx2 is needed.
+double DotProductAvx2(const float* a, const float* x, size_t width);
+void MinHashFoldAvx2(const uint64_t* hashes, size_t num_hashes,
+                     const uint64_t* salts, size_t num_salts, uint64_t* sig);
+#endif
+
+}  // namespace simd
+}  // namespace pghive
+
+#endif  // PGHIVE_SIMD_KERNELS_H_

@@ -1,0 +1,46 @@
+#include "simd/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace pghive {
+namespace simd {
+namespace {
+
+std::atomic<int> g_force{static_cast<int>(Mode::kAuto)};
+
+bool EnvDisabled() {
+  const char* v = std::getenv("PGHIVE_SIMD");
+  if (v == nullptr) return false;
+  return std::strcmp(v, "off") == 0 || std::strcmp(v, "0") == 0 ||
+         std::strcmp(v, "false") == 0 || std::strcmp(v, "scalar") == 0;
+}
+
+}  // namespace
+
+bool Avx2Available() {
+#if defined(PGHIVE_SIMD_X86)
+  static const bool avail = __builtin_cpu_supports("avx2");
+  return avail;
+#else
+  return false;
+#endif
+}
+
+bool Enabled() {
+  const Mode forced = static_cast<Mode>(g_force.load(std::memory_order_relaxed));
+  if (forced == Mode::kScalar) return false;
+  if (forced == Mode::kAvx2) return true;
+  static const bool enabled = !EnvDisabled() && Avx2Available();
+  return enabled;
+}
+
+void ForceMode(Mode mode) {
+  g_force.store(static_cast<int>(mode), std::memory_order_relaxed);
+}
+
+const char* ModeName() { return Enabled() ? "avx2" : "scalar"; }
+
+}  // namespace simd
+}  // namespace pghive

@@ -1,0 +1,48 @@
+// Runtime SIMD dispatch switch.
+//
+// Kernels in simd/kernels.h come in a scalar and an AVX2 flavour that are
+// bit-identical by construction (same FP operation order); which one runs
+// is decided once per process from:
+//   1. the test/bench override (ForceMode), if set;
+//   2. the PGHIVE_SIMD environment variable ("off"/"0" forces scalar);
+//   3. whether the CPU actually supports AVX2.
+// The AVX2 paths are compiled with function-level target attributes, so
+// the build needs no -mavx2 flag and the binary stays runnable on
+// non-AVX2 hosts.
+
+#ifndef PGHIVE_SIMD_SIMD_H_
+#define PGHIVE_SIMD_SIMD_H_
+
+namespace pghive {
+namespace simd {
+
+// AVX2 kernels are only compiled on x86-64 GCC/Clang; elsewhere the
+// dispatcher always picks scalar.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define PGHIVE_SIMD_X86 1
+#endif
+
+enum class Mode {
+  kAuto = 0,    // env + CPU detection (default)
+  kScalar = 1,  // force the scalar kernels
+  kAvx2 = 2,    // force AVX2 (test use only; caller must know the CPU has it)
+};
+
+/// True when the running CPU supports AVX2 (cached).
+bool Avx2Available();
+
+/// True when the AVX2 kernel flavour should run: ForceMode override if set,
+/// else PGHIVE_SIMD env (off/0/false/scalar → false) AND Avx2Available().
+bool Enabled();
+
+/// Test/bench hook: override dispatch for the rest of the process (until the
+/// next call). kAuto restores env+CPU behaviour.
+void ForceMode(Mode mode);
+
+/// "avx2" or "scalar" — what Enabled() currently resolves to.
+const char* ModeName();
+
+}  // namespace simd
+}  // namespace pghive
+
+#endif  // PGHIVE_SIMD_SIMD_H_

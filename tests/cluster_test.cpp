@@ -5,6 +5,7 @@
 
 #include "cluster/cluster.h"
 #include "cluster/lsh_clusterer.h"
+#include "common/random.h"
 
 namespace pghive {
 namespace {
@@ -85,6 +86,80 @@ TEST(LshClustererTest, CoversEveryElementExactlyOnce) {
     for (size_t m : g) EXPECT_TRUE(seen.insert(m).second);
   }
   EXPECT_EQ(seen.size(), 100u);
+}
+
+// --- Rep-level union-find vs the seed element-level pass. ---
+//
+// A randomized candidate set in EncodedElements shape: `reps` signature
+// groups with `tables` random bucket keys each, and a sig_of mapping that
+// respects the grouping invariant (group g is first seen at the slot of
+// its first member — groups are created in slot order during encoding).
+struct RandomCandidates {
+  std::vector<std::vector<uint64_t>> rep_keys;
+  std::vector<size_t> sig_of;
+  std::vector<std::vector<uint64_t>> fanned;  // per-element keys (seed path)
+};
+
+RandomCandidates MakeCandidates(uint64_t seed, size_t reps, size_t elems,
+                                int tables, uint64_t key_space) {
+  Rng rng(seed);
+  RandomCandidates c;
+  c.rep_keys.resize(reps);
+  for (auto& k : c.rep_keys) {
+    for (int t = 0; t < tables; ++t) {
+      // Narrow key space => plenty of cross-group collisions to merge.
+      k.push_back(static_cast<uint64_t>(t) * 1000 +
+                  rng.UniformU32(static_cast<uint32_t>(key_space)));
+    }
+  }
+  // Random group sizes, but every group's first member appears before any
+  // member of a later group (the encoder's first-seen numbering).
+  c.sig_of.reserve(elems);
+  for (size_t g = 0; g < reps && c.sig_of.size() < elems; ++g) {
+    c.sig_of.push_back(g);
+  }
+  while (c.sig_of.size() < elems) {
+    c.sig_of.push_back(rng.UniformU32(static_cast<uint32_t>(reps)));
+  }
+  for (size_t s : c.sig_of) c.fanned.push_back(c.rep_keys[s]);
+  return c;
+}
+
+TEST(LshClustererTest, RepLevelMatchesElementLevelOnRandomCandidates) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u}) {
+    auto c = MakeCandidates(seed, /*reps=*/40 + seed * 7,
+                            /*elems=*/300, /*tables=*/6,
+                            /*key_space=*/10 + seed * 3);
+    auto rep_groups = ClusterGroupsByRepKeys(c.rep_keys, c.sig_of);
+    auto elem_groups = ClusterByBucketKeys(c.fanned);
+    EXPECT_EQ(rep_groups, elem_groups) << "seed " << seed;
+  }
+}
+
+TEST(LshClustererTest, SingleKeyVariantMatchesElementLevel) {
+  for (uint64_t seed : {11u, 12u, 13u, 14u}) {
+    Rng rng(seed);
+    size_t reps = 50, elems = 400;
+    std::vector<uint64_t> rep_key(reps);
+    for (auto& k : rep_key) k = rng.UniformU32(12);  // heavy collisions
+    std::vector<size_t> sig_of;
+    for (size_t g = 0; g < reps; ++g) sig_of.push_back(g);
+    while (sig_of.size() < elems) {
+      sig_of.push_back(rng.UniformU32(static_cast<uint32_t>(reps)));
+    }
+    std::vector<std::vector<uint64_t>> fanned;
+    for (size_t s : sig_of) fanned.push_back({rep_key[s]});
+    EXPECT_EQ(ClusterGroupsByRepKey(rep_key, sig_of),
+              ClusterByBucketKeys(fanned))
+        << "seed " << seed;
+  }
+}
+
+TEST(LshClustererTest, RepLevelEmptyAndSingleton) {
+  EXPECT_TRUE(ClusterGroupsByRepKeys({}, {}).empty());
+  auto groups = ClusterGroupsByRepKeys({{7, 8}}, {0, 0, 0});
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0], (std::vector<size_t>{0, 1, 2}));
 }
 
 }  // namespace

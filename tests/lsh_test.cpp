@@ -3,14 +3,20 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <set>
 
+#include "common/hash.h"
 #include "common/random.h"
 #include "lsh/adaptive_params.h"
 #include "lsh/collision_model.h"
 #include "lsh/euclidean_lsh.h"
 #include "lsh/minhash_lsh.h"
+#include "simd/aligned.h"
+#include "simd/kernels.h"
+#include "simd/simd.h"
 
 namespace pghive {
 namespace {
@@ -302,6 +308,109 @@ TEST(AdaptiveParamsTest, OptionConversion) {
   auto mh = ToMinHashOptions(params, 99);
   EXPECT_EQ(mh.num_hashes % mh.rows_per_band, 0);
   EXPECT_EQ(mh.num_hashes, 17 * mh.rows_per_band);
+}
+
+// ---------- SIMD kernels (bit-identity contract of simd/kernels.h) ----------
+
+TEST(SimdKernelTest, DotProductScalarMatchesAvx2Bitwise) {
+#if defined(PGHIVE_SIMD_X86)
+  if (!simd::Avx2Available()) GTEST_SKIP() << "host lacks AVX2";
+  Rng rng(21);
+  for (size_t cols : {1u, 7u, 8u, 9u, 48u, 200u}) {
+    simd::AlignedRowMatrix m(2, cols);
+    for (int trial = 0; trial < 50; ++trial) {
+      for (size_t r = 0; r < 2; ++r) {
+        for (size_t d = 0; d < cols; ++d) {
+          m.row(r)[d] = static_cast<float>(rng.Normal(0, 10));
+        }
+      }
+      const double scalar =
+          simd::DotProductScalar(m.row(0), m.row(1), m.stride());
+      const double avx2 = simd::DotProductAvx2(m.row(0), m.row(1), m.stride());
+      // Bitwise, not approximate: the flavours run the same IEEE op order.
+      EXPECT_EQ(std::memcmp(&scalar, &avx2, sizeof scalar), 0)
+          << "cols=" << cols << " scalar=" << scalar << " avx2=" << avx2;
+    }
+  }
+#else
+  GTEST_SKIP() << "non-x86 build";
+#endif
+}
+
+TEST(SimdKernelTest, MinHashFoldScalarMatchesAvx2) {
+#if defined(PGHIVE_SIMD_X86)
+  if (!simd::Avx2Available()) GTEST_SKIP() << "host lacks AVX2";
+  Rng rng(22);
+  for (size_t num_salts : {1u, 3u, 4u, 5u, 64u, 130u}) {
+    std::vector<uint64_t> salts(num_salts);
+    for (auto& s : salts) s = rng.NextU64();
+    for (size_t num_tokens : {0u, 1u, 17u}) {
+      std::vector<uint64_t> hashes(num_tokens);
+      for (auto& h : hashes) h = rng.NextU64();
+      std::vector<uint64_t> a(num_salts), b(num_salts);
+      simd::MinHashFoldScalar(hashes.data(), num_tokens, salts.data(),
+                              num_salts, a.data());
+      simd::MinHashFoldAvx2(hashes.data(), num_tokens, salts.data(),
+                            num_salts, b.data());
+      EXPECT_EQ(a, b) << "salts=" << num_salts << " tokens=" << num_tokens;
+      if (num_tokens == 0) {
+        for (uint64_t v : a) EXPECT_EQ(v, UINT64_MAX);
+      }
+    }
+  }
+#else
+  GTEST_SKIP() << "non-x86 build";
+#endif
+}
+
+TEST(SimdKernelTest, DispatchHonorsForceMode) {
+  simd::ForceMode(simd::Mode::kScalar);
+  EXPECT_FALSE(simd::Enabled());
+  EXPECT_STREQ(simd::ModeName(), "scalar");
+#if defined(PGHIVE_SIMD_X86)
+  if (simd::Avx2Available()) {
+    simd::ForceMode(simd::Mode::kAvx2);
+    EXPECT_TRUE(simd::Enabled());
+    EXPECT_STREQ(simd::ModeName(), "avx2");
+  }
+#endif
+  simd::ForceMode(simd::Mode::kAuto);
+}
+
+TEST(SimdKernelTest, HashMatchesHashRowOnPaddedRow) {
+  // The vector<float> convenience API (scratch copy) and the aligned
+  // hot-path row must agree — and must agree across SIMD modes.
+  Rng rng(23);
+  const size_t dim = 13;  // deliberately not a multiple of the stride
+  EuclideanLshOptions opt;
+  opt.num_tables = 6;
+  auto lsh = EuclideanLsh::Create(dim, opt).value();
+  std::vector<float> x(dim);
+  for (auto& v : x) v = static_cast<float>(rng.Normal());
+  simd::AlignedRowMatrix m(1, dim);
+  std::copy(x.begin(), x.end(), m.row(0));
+
+  simd::ForceMode(simd::Mode::kScalar);
+  const std::vector<uint64_t> scalar_keys = lsh.Hash(x);
+  simd::ForceMode(simd::Mode::kAuto);
+  std::vector<uint64_t> row_keys(static_cast<size_t>(lsh.num_tables()));
+  lsh.HashRow(m.row(0), row_keys.data());
+  EXPECT_EQ(scalar_keys, row_keys);
+}
+
+TEST(SimdKernelTest, SignatureMatchesSignatureFromHashes) {
+  auto lsh = MinHashLsh::Create({}).value();
+  const std::vector<std::string> tokens = {"prop:a", "prop:b", "label:C"};
+  std::vector<uint64_t> hashes;
+  for (const auto& t : tokens) hashes.push_back(HashString(t));
+
+  simd::ForceMode(simd::Mode::kScalar);
+  const std::vector<uint64_t> from_tokens = lsh.Signature(tokens);
+  simd::ForceMode(simd::Mode::kAuto);
+  std::vector<uint64_t> from_hashes(
+      static_cast<size_t>(lsh.options().num_hashes));
+  lsh.SignatureFromHashes(hashes.data(), hashes.size(), from_hashes.data());
+  EXPECT_EQ(from_tokens, from_hashes);
 }
 
 }  // namespace

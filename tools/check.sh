@@ -25,7 +25,11 @@
 # aggregates must keep mutation batches O(batch)), and requires the
 # 8-thread signature-sharded Feed to be >= 1.5x faster than 1-thread on
 # multicore hosts (skipped with a warning on single-core hosts, where the
-# bench marks multi-thread entries "degraded").
+# bench marks multi-thread entries "degraded"). The hot-path gate requires
+# 1-thread encode+cluster to hold >= 1.5x over the pinned pre-SoA baseline
+# (bench/BASELINE_pre_soa.json) on AVX2 hosts (warn-skip otherwise), and a
+# scalar-vs-SIMD leg requires PGHIVE_SIMD=off and =on discoveries to emit
+# byte-identical schema JSON for both LSH backends.
 #
 # The serve smoke runs the daemon with tracing + access log + alert rules:
 # the served schema must stay byte-identical to the tracing-off one-shot,
@@ -58,10 +62,16 @@ if [[ "${1:-}" != "--fast" ]]; then
       PGHIVE_BENCH_OUT="${perf_tmp}/run${i}.json" \
         ./build/bench/micro_pipeline --benchmark_filter='^$' > /dev/null 2>&1
     done
-    python3 - BENCH_pipeline.json \
+    if grep -q '\bavx2\b' /proc/cpuinfo 2>/dev/null; then
+      host_avx2=1
+    else
+      host_avx2=0
+    fi
+    PGHIVE_HOST_AVX2="${host_avx2}" python3 - BENCH_pipeline.json \
+      bench/BASELINE_pre_soa.json \
       "${perf_tmp}/run1.json" "${perf_tmp}/run2.json" "${perf_tmp}/run3.json" \
       <<'PYEOF'
-import json, sys
+import json, os, sys
 
 def load(path):
     with open(path) as f:
@@ -75,7 +85,7 @@ def encode_cluster_1thread(doc):
                     s["encode_edges"] + s["cluster_edges"])
     raise SystemExit("no 1-thread run in baseline")
 
-fresh = [load(p) for p in sys.argv[2:]]
+fresh = [load(p) for p in sys.argv[3:]]
 committed = encode_cluster_1thread(load(sys.argv[1]))
 current = min(encode_cluster_1thread(d) for d in fresh)
 print(f"encode+cluster 1-thread: committed {committed:.4f}s, "
@@ -85,6 +95,25 @@ if current > committed * 1.10:
         f"PERF REGRESSION: encode+cluster {current:.4f}s is more than 10% "
         f"slower than the committed baseline {committed:.4f}s "
         f"(BENCH_pipeline.json)")
+
+# Hot-path speedup gate: the SoA/SIMD/union-find pass must hold its win
+# against the pinned pre-pass baseline (bench/BASELINE_pre_soa.json, the
+# BENCH_pipeline.json recorded just before the pass landed on comparable
+# hardware). The SIMD flavours only dispatch on AVX2 hosts, so without
+# AVX2 the gate is skipped with a warning rather than failed.
+pre_soa = encode_cluster_1thread(load(sys.argv[2]))
+if os.environ.get("PGHIVE_HOST_AVX2") != "1":
+    print(f"hot-path speedup: pre-SoA {pre_soa:.4f}s, current {current:.4f}s "
+          f"— WARNING: host lacks AVX2, 1.5x gate skipped")
+else:
+    speedup = pre_soa / current if current > 0 else 0.0
+    print(f"hot-path speedup: pre-SoA {pre_soa:.4f}s, current {current:.4f}s, "
+          f"speedup {speedup:.2f}x")
+    if speedup < 1.5:
+        raise SystemExit(
+            f"HOT-PATH REGRESSION: encode+cluster is only {speedup:.2f}x "
+            f"faster than the pre-SoA baseline (requires >= 1.5x on AVX2 "
+            f"hosts; bench/BASELINE_pre_soa.json)")
 
 # Quadratic-growth gate over the delta-maintained incremental series: with
 # O(batch) aggregate folds, per-batch post-processing cost must stay flat
@@ -196,6 +225,29 @@ PYEOF
   else
     echo "skipping drift flatness gate (python3 or build/bench/micro_drift missing)"
   fi
+
+  echo "=== scalar-vs-SIMD byte-identity: PGHIVE_SIMD=off vs on ==="
+  # The kernel flavours promise bit-identical output (simd/kernels.h): a
+  # full discovery with the SIMD dispatch disabled must produce the same
+  # schema JSON, byte for byte, as the enabled run — for both LSH backends.
+  # On hosts without AVX2 both runs take the scalar path, which still
+  # exercises the env-var dispatch; note it but run the comparison anyway.
+  if ! grep -q '\bavx2\b' /proc/cpuinfo 2>/dev/null; then
+    echo "note: host lacks AVX2 — both legs run the scalar flavour"
+  fi
+  simd_tmp="$(mktemp -d)"
+  ./build/apps/pghive generate IYP "${simd_tmp}/iyp"
+  for method in elsh minhash; do
+    PGHIVE_SIMD=off ./build/apps/pghive discover "${simd_tmp}/iyp" \
+      --method "${method}" \
+      --save-schema "${simd_tmp}/${method}-scalar.json" > /dev/null
+    PGHIVE_SIMD=on ./build/apps/pghive discover "${simd_tmp}/iyp" \
+      --method "${method}" \
+      --save-schema "${simd_tmp}/${method}-simd.json" > /dev/null
+    cmp "${simd_tmp}/${method}-scalar.json" "${simd_tmp}/${method}-simd.json"
+    echo "simd byte-identity ok (${method})"
+  done
+  rm -rf "${simd_tmp}"
 fi
 
 echo "=== TSan: runtime + pipeline + store + serve tests, 4-thread discovery ==="
@@ -234,9 +286,12 @@ cmake -B build-asan -S . -DPGHIVE_SANITIZE=address,undefined \
 cmake --build build-asan -j "${JOBS}" \
   --target store_test csv_io_test pgschema_parser_test \
   golden_equivalence_test store_compat_test drift_test \
-  drift_equivalence_test pghive_app
+  drift_equivalence_test lsh_test cluster_test pghive_app
+# SimdKernel / EuclideanLsh / MinHash / LshClusterer cover the SoA + SIMD
+# hot-path kernels (aligned loads, padded-lane reads, the AVX2 intrinsics
+# paths) under ASan/UBSan alongside the store decoders.
 (cd build-asan && ctest --output-on-failure -j "${JOBS}" \
-  -R 'BinaryIo|Codec|Snapshot|Journal|StreamBatches|Fingerprint|Durable|CsvIo|PgSchemaParser|GoldenEquivalence|StoreCompat|Drift|Mutation|Evolution|NetSurviving')
+  -R 'BinaryIo|Codec|Snapshot|Journal|StreamBatches|Fingerprint|Durable|CsvIo|PgSchemaParser|GoldenEquivalence|StoreCompat|Drift|Mutation|Evolution|NetSurviving|SimdKernel|EuclideanLsh|MinHash|LshClusterer')
 
 ./build-asan/apps/pghive generate POLE "${tmpdir}/pole2" --nodes 1000
 ./build-asan/apps/pghive discover "${tmpdir}/pole2" --incremental 4 \

@@ -28,9 +28,8 @@ double Dist(const std::vector<float>& a, const std::vector<float>& b) {
   return std::sqrt(sq);
 }
 
-double Jac(const std::vector<std::string>& a,
-           const std::vector<std::string>& b) {
-  std::set<std::string> sa(a.begin(), a.end()), sb(b.begin(), b.end());
+double Jac(const std::vector<uint64_t>& a, const std::vector<uint64_t>& b) {
+  std::set<uint64_t> sa(a.begin(), a.end()), sb(b.begin(), b.end());
   size_t inter = 0;
   for (const auto& x : sa) inter += sb.count(x);
   size_t uni = sa.size() + sb.size() - inter;
@@ -77,8 +76,8 @@ void Analyze(const char* dsname, const PropertyGraph& g, double noise,
       size_t i = rng.UniformU32(uint32_t(n));
       size_t j = rng.UniformU32(uint32_t(n));
       if (i == j) continue;
-      double d = Dist(enc_el.vectors[i], enc_el.vectors[j]);
-      double jc = Jac(enc_el.token_sets[i], enc_el.token_sets[j]);
+      double d = Dist(enc_el.VectorOf(i), enc_el.VectorOf(j));
+      double jc = Jac(enc_el.TokensOf(i), enc_el.TokensOf(j));
       if (truth(i) == truth(j)) {
         intra_d.push_back(d);
         intra_j.push_back(jc);
